@@ -1,0 +1,302 @@
+// Package vsimdvliw's root benchmark harness regenerates every table and
+// figure of the paper's evaluation section as a testing.B target:
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkTableN/BenchmarkFigureN renders the corresponding
+// artifact from a shared simulation sweep (collected once) and reports
+// its headline number as a custom metric, so `go test -bench` output
+// doubles as a summary of the reproduction. BenchmarkSimulator and
+// BenchmarkScheduler measure the substrate itself.
+package vsimdvliw
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"vsimdvliw/internal/apps"
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/energy"
+	"vsimdvliw/internal/kernels"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/mem"
+	"vsimdvliw/internal/report"
+	"vsimdvliw/internal/sched"
+)
+
+var (
+	matrixOnce sync.Once
+	matrix     *report.Matrix
+	matrixErr  error
+)
+
+func getMatrix(b *testing.B) *report.Matrix {
+	b.Helper()
+	matrixOnce.Do(func() { matrix, matrixErr = report.Collect(nil) })
+	if matrixErr != nil {
+		b.Fatal(matrixErr)
+	}
+	return matrix
+}
+
+// speedup computes cycles(base)/cycles(cfg) for one app.
+func speedup(m *report.Matrix, app, base, cfg string, mem core.MemoryModel, vectorOnly bool) float64 {
+	rb := m.Get(app, base, mem)
+	rc := m.Get(app, cfg, mem)
+	if vectorOnly {
+		return float64(rb.VectorCycles()) / float64(rc.VectorCycles())
+	}
+	return float64(rb.Cycles) / float64(rc.Cycles)
+}
+
+func avgSpeedup(m *report.Matrix, base, cfg string, mem core.MemoryModel, vectorOnly bool) float64 {
+	s := 0.0
+	for _, a := range m.Apps {
+		s += speedup(m, a.Name, base, cfg, mem, vectorOnly)
+	}
+	return s / float64(len(m.Apps))
+}
+
+func BenchmarkTable1(b *testing.B) {
+	m := getMatrix(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = m.Table1()
+	}
+	_ = out
+	// Headline: average vectorization percentage on uSIMD-2w.
+	s := 0.0
+	for _, a := range m.Apps {
+		r := m.Get(a.Name, machine.USIMD2.Name, core.Realistic)
+		s += float64(r.VectorCycles()) / float64(r.Cycles)
+	}
+	b.ReportMetric(100*s/float64(len(m.Apps)), "%vect_avg")
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	m := getMatrix(b)
+	for i := 0; i < b.N; i++ {
+		_ = m.Figure1()
+	}
+	// Headline: scalar-region speed-up from 4-issue to 8-issue (paper: ~1.03).
+	s := 0.0
+	for _, a := range m.Apps {
+		r4 := m.Get(a.Name, machine.USIMD4.Name, core.Realistic)
+		r8 := m.Get(a.Name, machine.USIMD8.Name, core.Realistic)
+		s += float64(r4.Cycles-r4.VectorCycles()) / float64(r8.Cycles-r8.VectorCycles())
+	}
+	b.ReportMetric(s/float64(len(m.Apps)), "scalar_sp_4to8")
+}
+
+func BenchmarkTable2(b *testing.B) {
+	m := getMatrix(b)
+	for i := 0; i < b.N; i++ {
+		_ = m.Table2()
+	}
+	b.ReportMetric(float64(len(machine.All())), "configs")
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	m := getMatrix(b)
+	for i := 0; i < b.N; i++ {
+		_ = m.Figure3()
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := report.Figure4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5a(b *testing.B) {
+	m := getMatrix(b)
+	for i := 0; i < b.N; i++ {
+		_ = m.Figure5(core.Perfect)
+	}
+	// Headline: 4-issue Vector2 over 8-issue µSIMD in vector regions
+	// (paper: ~2.3x average, perfect memory).
+	b.ReportMetric(avgSpeedup(m, machine.USIMD8.Name, machine.Vector2x4.Name, core.Perfect, true),
+		"v2_4w_over_usimd8w")
+}
+
+func BenchmarkFigure5b(b *testing.B) {
+	m := getMatrix(b)
+	for i := 0; i < b.N; i++ {
+		_ = m.Figure5(core.Realistic)
+	}
+	// Headline: mpeg2_enc vector-region degradation perfect->realistic on
+	// the vector machine (paper: close to 200%).
+	p := m.Get("mpeg2_enc", machine.Vector2x2.Name, core.Perfect).VectorCycles()
+	r := m.Get("mpeg2_enc", machine.Vector2x2.Name, core.Realistic).VectorCycles()
+	b.ReportMetric(float64(r)/float64(p), "mpeg2enc_degradation")
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	m := getMatrix(b)
+	for i := 0; i < b.N; i++ {
+		_ = m.Figure6()
+	}
+	b.ReportMetric(avgSpeedup(m, machine.VLIW2.Name, machine.Vector2x4.Name, core.Realistic, false),
+		"v2_4w_app_speedup")
+	b.ReportMetric(avgSpeedup(m, machine.VLIW2.Name, machine.USIMD8.Name, core.Realistic, false),
+		"usimd_8w_app_speedup")
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	m := getMatrix(b)
+	for i := 0; i < b.N; i++ {
+		_ = m.Figure7()
+	}
+	// Headline: vector-region operation reduction vs µSIMD (paper: 84%).
+	s := 0.0
+	for _, a := range m.Apps {
+		var u, v int64
+		ru := m.Get(a.Name, machine.USIMD2.Name, core.Realistic)
+		rv := m.Get(a.Name, machine.Vector2x2.Name, core.Realistic)
+		for i := 1; i < 4; i++ {
+			u += ru.Regions[i].Ops
+			v += rv.Regions[i].Ops
+		}
+		s += 1 - float64(v)/float64(u)
+	}
+	b.ReportMetric(100*s/float64(len(m.Apps)), "%fewer_vect_ops")
+}
+
+func BenchmarkTable3(b *testing.B) {
+	m := getMatrix(b)
+	for i := 0; i < b.N; i++ {
+		_ = m.Table3()
+	}
+	// Headline: vector-region µOPC on Vector2-4w (paper: 14.00).
+	s := 0.0
+	for _, a := range m.Apps {
+		r := m.Get(a.Name, machine.Vector2x4.Name, core.Realistic)
+		var micro, cyc int64
+		for i := 1; i < 4; i++ {
+			micro += r.Regions[i].MicroOps
+			cyc += r.Regions[i].Cycles
+		}
+		s += float64(micro) / float64(cyc)
+	}
+	b.ReportMetric(s/float64(len(m.Apps)), "vect_uOPC_v2_4w")
+}
+
+// BenchmarkSimulator measures raw simulation throughput (simulated
+// operations per wall-clock second) on the heaviest application.
+func BenchmarkSimulator(b *testing.B) {
+	a, err := apps.ByName("mpeg2_enc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	built := a.Build(kernels.Vector)
+	prog, err := core.Compile(built.Func, &machine.Vector2x4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var ops int64
+	for i := 0; i < b.N; i++ {
+		res, err := prog.Run(core.Realistic)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops = res.Ops
+	}
+	b.ReportMetric(float64(ops)*float64(b.N)/b.Elapsed().Seconds(), "sim_ops/s")
+}
+
+// BenchmarkScheduler measures static-scheduling throughput on the
+// application with the largest basic blocks.
+func BenchmarkScheduler(b *testing.B) {
+	a, err := apps.ByName("jpeg_enc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	built := a.Build(kernels.USIMD)
+	ops := built.Func.NumOps()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.Schedule(built.Func, &machine.USIMD4); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(ops)*float64(b.N)/b.Elapsed().Seconds(), "sched_ops/s")
+}
+
+// BenchmarkAppSimulation runs every application/configuration pair once
+// per iteration, giving a per-cell wall-clock profile of the harness.
+func BenchmarkAppSimulation(b *testing.B) {
+	for _, a := range apps.All() {
+		for _, cfg := range []*machine.Config{&machine.VLIW8, &machine.USIMD8, &machine.Vector2x4} {
+			a, cfg := a, cfg
+			b.Run(fmt.Sprintf("%s/%s", a.Name, cfg.Name), func(b *testing.B) {
+				built := a.Build(report.VariantFor(cfg))
+				prog, err := core.Compile(built.Func, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := prog.Run(core.Realistic); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblations regenerates the design-decision ablation study on
+// the 2-issue Vector2 machine and reports two headline ratios.
+func BenchmarkAblations(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = report.RunAblations(&machine.Vector2x2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = out
+	// Headline: banked strided memory's effect on mpeg2_enc vector regions.
+	a, _ := apps.ByName("mpeg2_enc")
+	built := a.Build(kernels.Vector)
+	prog, err := core.Compile(built.Func, &machine.Vector2x2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := prog.RunModel(mem.NewHierarchy(&machine.Vector2x2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	banked, err := prog.RunModel(mem.NewHierarchyOpts(&machine.Vector2x2,
+		mem.Options{StridedWordsPerCycle: 4}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(banked.VectorCycles())/float64(base.VectorCycles()),
+		"mpeg2enc_banked_vect_ratio")
+}
+
+// BenchmarkEnergy renders the energy-model table and reports the
+// energy-delay-product ratio of the 4-issue Vector1 machine against the
+// 8-issue µSIMD machine (the paper's embedded-systems argument).
+func BenchmarkEnergy(b *testing.B) {
+	m := getMatrix(b)
+	for i := 0; i < b.N; i++ {
+		_ = m.EnergyTable()
+	}
+	model := energy.Default()
+	edp := func(cfg *machine.Config) float64 {
+		s := 0.0
+		for _, a := range m.Apps {
+			s += model.EDP(m.Get(a.Name, cfg.Name, core.Realistic), cfg)
+		}
+		return s
+	}
+	b.ReportMetric(edp(&machine.Vector1x4)/edp(&machine.USIMD8), "v1_4w_edp_vs_usimd8w")
+}

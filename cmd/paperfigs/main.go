@@ -1,0 +1,111 @@
+// Command paperfigs regenerates every table and figure of the paper's
+// evaluation section: it runs the six benchmark applications on the ten
+// processor configurations of Table 2 under both memory models and prints
+// the results in the paper's structure.
+//
+// Usage:
+//
+//	paperfigs              # everything
+//	paperfigs -only table1 # one artifact: table1, figure1, table2,
+//	                       # figure3, figure4, figure5a, figure5b,
+//	                       # figure6, figure7, table3, ablations
+//	paperfigs -v           # progress lines while simulating
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/report"
+)
+
+func main() {
+	only := flag.String("only", "", "render a single artifact (e.g. figure5a)")
+	csvPath := flag.String("csv", "", "also write the raw evaluation matrix as CSV to this file")
+	verbose := flag.Bool("v", false, "print per-run progress")
+	flag.Parse()
+
+	// Figure 4 and the ablation study need no full sweep.
+	static := map[string]func() (string, error){
+		"figure4":   report.Figure4,
+		"ablations": func() (string, error) { return report.RunAblations(machine.ByName("Vector2-2w")) },
+		"lanes":     report.LanesStudy,
+	}
+	if f, ok := static[*only]; ok {
+		out, err := f()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperfigs:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		return
+	}
+
+	var progress io.Writer
+	if *verbose {
+		progress = os.Stderr
+	}
+	m, err := report.Collect(progress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperfigs:", err)
+		os.Exit(1)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperfigs:", err)
+			os.Exit(1)
+		}
+		if err := m.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, "paperfigs:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	artifacts := []struct {
+		name   string
+		render func() string
+	}{
+		{"table1", m.Table1},
+		{"figure1", m.Figure1},
+		{"table2", m.Table2},
+		{"figure3", m.Figure3},
+		{"figure4", func() string { s, _ := report.Figure4(); return s }},
+		{"figure5a", func() string { return m.Figure5(core.Perfect) }},
+		{"figure5b", func() string { return m.Figure5(core.Realistic) }},
+		{"figure6", m.Figure6},
+		{"figure7", m.Figure7},
+		{"table3", m.Table3},
+		{"energy", m.EnergyTable},
+		{"lanes", func() string {
+			out, err := report.LanesStudy()
+			if err != nil {
+				return "lanes study failed: " + err.Error()
+			}
+			return out
+		}},
+		{"ablations", func() string {
+			out, err := report.RunAblations(machine.ByName("Vector2-2w"))
+			if err != nil {
+				return "ablations failed: " + err.Error()
+			}
+			return out
+		}},
+	}
+	found := false
+	for _, a := range artifacts {
+		if *only != "" && a.name != *only {
+			continue
+		}
+		found = true
+		fmt.Println(a.render())
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "paperfigs: unknown artifact %q\n", *only)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,63 @@
+// Command schedview prints VLIW schedules. Without flags it regenerates
+// the paper's Figure 4 (the dist1 motion-estimation kernel scheduled on
+// the 2-issue Vector2 machine); with -app/-config it prints the largest
+// scheduled blocks of an application, which is useful for inspecting what
+// the static scheduler does with real kernels.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"vsimdvliw/internal/apps"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/report"
+	"vsimdvliw/internal/sched"
+)
+
+func main() {
+	appName := flag.String("app", "", "application to schedule (default: Figure 4 example)")
+	cfgName := flag.String("config", "Vector2-2w", "machine configuration")
+	blocks := flag.Int("blocks", 1, "number of largest blocks to print")
+	flag.Parse()
+
+	if *appName == "" {
+		out, err := report.Figure4()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(out)
+		return
+	}
+
+	a, err := apps.ByName(*appName)
+	if err != nil {
+		fail(err)
+	}
+	cfg := machine.ByName(*cfgName)
+	if cfg == nil {
+		fail(fmt.Errorf("unknown configuration %q", *cfgName))
+	}
+	built := a.Build(report.VariantFor(cfg))
+	fs, err := sched.Schedule(built.Func, cfg)
+	if err != nil {
+		fail(err)
+	}
+	ordered := make([]*sched.BlockSched, len(fs.Blocks))
+	copy(ordered, fs.Blocks)
+	sort.Slice(ordered, func(i, j int) bool {
+		return len(ordered[i].Block.Ops) > len(ordered[j].Block.Ops)
+	})
+	for i := 0; i < *blocks && i < len(ordered); i++ {
+		bs := ordered[i]
+		fmt.Printf("%s B%d (%d ops, %d cycles):\n", a.Name, bs.Block.ID, len(bs.Block.Ops), bs.Length)
+		fmt.Println(bs.Dump(cfg))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "schedview:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,105 @@
+// Command vsimdasm assembles and runs a Vector-µSIMD-VLIW assembly file
+// (see internal/asm for the syntax), printing execution statistics and
+// optionally dumping memory or the disassembly/schedule.
+//
+// Usage:
+//
+//	vsimdasm prog.s                          # assemble + run on Vector2-2w
+//	vsimdasm -config uSIMD-4w prog.s
+//	vsimdasm -dump 0x10000:64 prog.s         # hex-dump memory after the run
+//	vsimdasm -dis prog.s                     # print the round-tripped disassembly
+//	vsimdasm -sched prog.s                   # print the schedule of block 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"vsimdvliw/internal/asm"
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/machine"
+)
+
+func main() {
+	cfgName := flag.String("config", "Vector2-2w", "machine configuration")
+	memName := flag.String("mem", "realistic", "memory model: perfect or realistic")
+	dump := flag.String("dump", "", "hex-dump a memory range after the run (addr:len)")
+	dis := flag.Bool("dis", false, "print the disassembly instead of running")
+	schedDump := flag.Bool("sched", false, "print the schedule of the first block")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fail(fmt.Errorf("usage: vsimdasm [flags] file.s"))
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	f, err := asm.Assemble(flag.Arg(0), string(src))
+	if err != nil {
+		fail(err)
+	}
+	if *dis {
+		fmt.Print(asm.Disassemble(f))
+		return
+	}
+	cfg := machine.ByName(*cfgName)
+	if cfg == nil {
+		fail(fmt.Errorf("unknown configuration %q", *cfgName))
+	}
+	prog, err := core.Compile(f, cfg)
+	if err != nil {
+		fail(err)
+	}
+	if *schedDump {
+		fmt.Print(prog.Sched.Blocks[0].Dump(cfg))
+		return
+	}
+	model := core.Realistic
+	if *memName == "perfect" {
+		model = core.Perfect
+	}
+	m := prog.NewMachine(model)
+	res, err := m.Run()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s on %s: %d cycles (%d stalls), %d ops, %d µops (OPC %.2f, µOPC %.2f)\n",
+		flag.Arg(0), cfg.Name, res.Cycles, res.StallCycles, res.Ops, res.MicroOps,
+		res.OPC(), res.MicroOPC())
+
+	if *dump != "" {
+		parts := strings.SplitN(*dump, ":", 2)
+		if len(parts) != 2 {
+			fail(fmt.Errorf("bad -dump %q, want addr:len", *dump))
+		}
+		addr, err1 := strconv.ParseInt(parts[0], 0, 64)
+		n, err2 := strconv.ParseInt(parts[1], 0, 64)
+		if err1 != nil || err2 != nil {
+			fail(fmt.Errorf("bad -dump %q", *dump))
+		}
+		raw, err := m.ReadBytes(addr, n)
+		if err != nil {
+			fail(err)
+		}
+		for i := 0; i < len(raw); i += 16 {
+			end := i + 16
+			if end > len(raw) {
+				end = len(raw)
+			}
+			fmt.Printf("%#08x ", addr+int64(i))
+			for _, b := range raw[i:end] {
+				fmt.Printf(" %02x", b)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "vsimdasm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+// Command vsimdsim runs one benchmark application on one processor
+// configuration and prints its execution statistics.
+//
+// Usage:
+//
+//	vsimdsim -app mpeg2_enc -config Vector2-4w [-mem perfect|realistic]
+//	vsimdsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vsimdvliw/internal/apps"
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/report"
+	"vsimdvliw/internal/sim"
+)
+
+func main() {
+	appName := flag.String("app", "jpeg_enc", "application to run")
+	cfgName := flag.String("config", "Vector2-2w", "machine configuration (see -list)")
+	memName := flag.String("mem", "realistic", "memory model: perfect or realistic")
+	list := flag.Bool("list", false, "list applications and configurations")
+	trace := flag.Int("trace", 0, "print the first N basic-block trace lines")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("applications:")
+		for _, a := range apps.All() {
+			fmt.Printf("  %-10s vector regions: %v\n", a.Name, a.Regions)
+		}
+		fmt.Println("configurations:")
+		for _, c := range machine.All() {
+			fmt.Printf("  %s\n", c.Name)
+		}
+		return
+	}
+
+	a, err := apps.ByName(*appName)
+	if err != nil {
+		fail(err)
+	}
+	cfg := machine.ByName(*cfgName)
+	if cfg == nil {
+		fail(fmt.Errorf("unknown configuration %q (try -list)", *cfgName))
+	}
+	mem := core.Realistic
+	switch *memName {
+	case "perfect":
+		mem = core.Perfect
+	case "realistic":
+	default:
+		fail(fmt.Errorf("unknown memory model %q", *memName))
+	}
+
+	variant := report.VariantFor(cfg)
+	built := a.Build(variant)
+	prog, err := core.Compile(built.Func, cfg)
+	if err != nil {
+		fail(err)
+	}
+	machineSim := prog.NewMachine(mem)
+	var traceBuf strings.Builder
+	if *trace > 0 {
+		machineSim.Trace = &traceBuf
+	}
+	res, err := machineSim.Run()
+	if err != nil {
+		fail(err)
+	}
+	if *trace > 0 {
+		lines := strings.SplitAfter(traceBuf.String(), "\n")
+		for i := 0; i < *trace && i < len(lines); i++ {
+			fmt.Print(lines[i])
+		}
+	}
+
+	fmt.Printf("%s on %s (%s code, %s memory)\n", a.Name, cfg.Name, variant, *memName)
+	fmt.Printf("  cycles:        %d (stalls: %d)\n", res.Cycles, res.StallCycles)
+	fmt.Printf("  operations:    %d (%.2f per cycle)\n", res.Ops, res.OPC())
+	fmt.Printf("  micro-ops:     %d (%.2f per cycle)\n", res.MicroOps, res.MicroOPC())
+	fmt.Printf("  vector cycles: %d (%.1f%% of execution)\n",
+		res.VectorCycles(), 100*float64(res.VectorCycles())/float64(res.Cycles))
+	for i := 0; i < sim.MaxRegions; i++ {
+		r := res.Regions[i]
+		if r.Cycles == 0 {
+			continue
+		}
+		name := "scalar"
+		if i > 0 && i-1 < len(a.Regions) {
+			name = a.Regions[i-1]
+		}
+		fmt.Printf("  R%d %-9s cycles=%-9d ops=%-9d µops=%-10d stalls=%d\n",
+			i, name, r.Cycles, r.Ops, r.MicroOps, r.StallCycles)
+	}
+	if mem == core.Realistic {
+		fmt.Printf("  memory: L1 %d/%d  L2 %d/%d  L3 %d/%d (hits/misses), flushes=%d, strided=%d\n",
+			res.Mem.L1Hits, res.Mem.L1Misses, res.Mem.L2Hits, res.Mem.L2Misses,
+			res.Mem.L3Hits, res.Mem.L3Misses, res.Mem.CoherencyFlushes,
+			res.Mem.StridedVectorAccesses)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "vsimdsim:", err)
+	os.Exit(1)
+}

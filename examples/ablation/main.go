@@ -1,0 +1,76 @@
+// Ablation: design-space exploration with the public options. This
+// example takes the paper's problem kernel — strided motion estimation —
+// and explores the two knobs the paper's conclusion proposes as future
+// work: a memory hierarchy that serves strided vector accesses faster,
+// and more flexible scheduling (approximated by the overlap-drain upper
+// bound). It also shows what chaining is worth.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/kernels"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/media"
+	"vsimdvliw/internal/mem"
+	"vsimdvliw/internal/sched"
+)
+
+func main() {
+	const w, h, r = 96, 64, 4
+	cur, ref := media.FramePair(77, w, h, 2, -1)
+	mbs := []kernels.MBOrigin{
+		{X: 16, Y: 16}, {X: 40, Y: 16}, {X: 64, Y: 16},
+		{X: 16, Y: 40}, {X: 40, Y: 40}, {X: 64, Y: 40},
+	}
+
+	build := func() *ir.Func {
+		b := ir.NewBuilder("motion")
+		p := kernels.MEParams{
+			Cur: b.Data(cur), Ref: b.Data(ref),
+			MV: b.Alloc(int64(24 * len(mbs))),
+			W:  w, H: h, MBs: mbs, R: r,
+			AliasCur: 1, AliasRef: 2, AliasMV: 3,
+		}
+		kernels.MotionEstimate(b, kernels.Vector, p)
+		return b.Func()
+	}
+
+	cfg := &machine.Vector2x2
+	type variant struct {
+		name string
+		so   sched.Options
+		mo   mem.Options
+	}
+	variants := []variant{
+		{"baseline", sched.Options{}, mem.Options{}},
+		{"no chaining", sched.Options{NoChaining: true}, mem.Options{}},
+		{"overlap drain", sched.Options{OverlapDrain: true}, mem.Options{}},
+		{"strided @2 words/cycle", sched.Options{}, mem.Options{StridedWordsPerCycle: 2}},
+		{"strided @4 words/cycle", sched.Options{}, mem.Options{StridedWordsPerCycle: 4}},
+		{"no prefetch", sched.Options{}, mem.Options{NoPrefetch: true}},
+	}
+
+	var base int64
+	fmt.Printf("%-24s %10s %8s %9s\n", "model", "cycles", "stalls", "vs base")
+	for i, v := range variants {
+		prog, err := core.CompileWith(build(), cfg, v.so)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := prog.RunModel(mem.NewHierarchyOpts(cfg, v.mo))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			base = res.Cycles
+		}
+		fmt.Printf("%-24s %10d %8d %8.2fx\n", v.name, res.Cycles, res.StallCycles,
+			float64(base)/float64(res.Cycles))
+	}
+	fmt.Println("\nthe strided-access rate is the lever that fixes the paper's")
+	fmt.Println("motion-estimation bottleneck; chaining and drain overlap are minor here")
+}

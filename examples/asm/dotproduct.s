@@ -1,0 +1,79 @@
+; dotproduct.s — 64-element int16 dot product three ways in one program,
+; demonstrating the ISA levels: scalar loop, µSIMD PMADD loop, and a
+; single Vector-µSIMD accumulator sequence. All three results land in
+; consecutive words of `out` and must be equal.
+;
+; Run with:
+;   go run ./cmd/vsimdasm -config Vector2-4w -dump 0x10100:24 examples/asm/dotproduct.s
+
+.data xs 128                ; 64 int16, filled by the init loop below
+.data ys 128
+.data out 24
+
+; ---- init: xs[i] = i-20, ys[i] = 2i+1 (scalar) -------------------------
+	movi r0, &xs
+	movi r1, &ys
+	movi r2, #0
+	movi r3, #64
+init:
+	sub  r4, r2, #20
+	sth  r4, [r0] @1
+	shl  r5, r2, #1
+	add  r5, r5, #1
+	sth  r5, [r1] @2
+	add  r0, r0, #2
+	add  r1, r1, #2
+	add  r2, r2, #1
+	blt  r2, r3, init
+
+; ---- scalar dot product ------------------------------------------------
+	movi r0, &xs
+	movi r1, &ys
+	movi r2, #0
+	movi r6, #0                ; accumulator
+sdot:
+	ldh  r4, [r0] @1
+	ldh  r5, [r1] @2
+	mul  r4, r4, r5
+	add  r6, r6, r4
+	add  r0, r0, #2
+	add  r1, r1, #2
+	add  r2, r2, #1
+	blt  r2, r3, sdot
+	movi r7, &out
+	std  r6, [r7] @3
+
+; ---- µSIMD dot product (PMADD, 4 lanes per word) -----------------------
+	movi r0, &xs
+	movi r1, &ys
+	movi r2, #0
+	movi r3, #16               ; 16 words of 4 int16
+	movim m2, #0               ; packed 2x32 accumulator
+pdot:
+	ldm  m0, [r0] @1
+	ldm  m1, [r1] @2
+	pmadd.w m0, m0, m1
+	padd.d  m2, m2, m0
+	add  r0, r0, #8
+	add  r1, r1, #8
+	add  r2, r2, #1
+	blt  r2, r3, pdot
+	movmr r6, m2               ; horizontal add of the two 32-bit lanes
+	shl  r4, r6, #32
+	sra  r4, r4, #32
+	sra  r5, r6, #32
+	add  r6, r4, r5
+	std  r6, [r7+8] @3
+
+; ---- Vector-µSIMD dot product (one VMACA) ------------------------------
+	setvl #16
+	setvs #8
+	movi r0, &xs
+	movi r1, &ys
+	vld  v0, [r0] @1
+	vld  v1, [r1] @2
+	aclr a0
+	vmaca a0, v0, v1
+	vsum.w r6, a0
+	std  r6, [r7+16] @3
+	halt

@@ -1,0 +1,47 @@
+; sad.s — the paper's dist1 kernel in Vector-µSIMD-VLIW assembly:
+; sum of absolute differences between two 8x16-pixel blocks whose rows
+; are lx = 64 bytes apart (the motion-estimation inner loop of Figure 4).
+;
+; Run with:
+;   go run ./cmd/vsimdasm -config Vector2-2w -dump 0x10800:8 examples/asm/sad.s
+;   go run ./cmd/vsimdasm -sched examples/asm/sad.s     (the Figure 4 schedule)
+
+.data blk1 1024              ; 16 rows x 64-byte pitch
+.data blk2 1024
+.data out  8
+
+	setvs #64                ; VS = lx: one row per vector element
+	setvl #8                 ; 8 rows
+	movi  r1, &blk1
+	movi  r2, &blk2
+	movi  r7, &out
+
+	; fill the blocks with a recognizable pattern (scalar prologue):
+	movi  r8, #0
+	movi  r9, #128
+fill:
+	stb   r8, [r1] @1        ; blk1 row byte = i
+	stb   r9, [r2] @2        ; blk2 row byte = 128
+	add   r1, r1, #64
+	add   r2, r2, #64
+	add   r8, r8, #16
+	blt   r8, r9, fill
+	movi  r1, &blk1
+	movi  r2, &blk2
+
+	; the dist1 kernel proper (paper Section 3.3.1):
+	aclr  a1
+	add   r3, r1, #8
+	vld   v1, [r1] @1
+	aclr  a2
+	add   r4, r2, #8
+	vld   v2, [r2] @2
+	vld   v3, [r3] @1
+	vld   v4, [r4] @2
+	vsada a1, v1, v2
+	vsada a2, v3, v4
+	vsum.b r5, a1
+	vsum.b r6, a2
+	add   r5, r5, r6
+	std   r5, [r7] @3
+	halt

@@ -1,0 +1,79 @@
+// DCT: runs the 8x8 forward DCT over a batch of blocks in all three ISA
+// variants across machine widths, demonstrating the scaling behaviour the
+// paper studies — the µSIMD version gains from wider issue, the vector
+// version reaches the same work with a fraction of the fetched
+// operations, and both are bit-exact against the scalar code.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/kernels"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/media"
+	"vsimdvliw/internal/report"
+)
+
+const nblocks = 32
+
+func buildInput() []byte {
+	img := media.SmoothImage(99, 64, 32) // 8x4 grid of blocks
+	blocks := kernels.BlockifyRef(img, 64, 8, 4)
+	out := make([]byte, 0, nblocks*kernels.BlockBytes)
+	for _, blk := range blocks {
+		for _, v := range blk {
+			out = binary.LittleEndian.AppendUint16(out, uint16(v))
+		}
+	}
+	return out
+}
+
+func main() {
+	input := buildInput()
+
+	// Reference output for verification.
+	want := make([]int16, 0, 64*nblocks)
+	for i := 0; i < nblocks; i++ {
+		blk := make([]int16, 64)
+		for j := range blk {
+			blk[j] = int16(binary.LittleEndian.Uint16(input[i*kernels.BlockBytes+2*j:]))
+		}
+		want = append(want, kernels.DCT2DRef(kernels.FDCTMatrix(), blk)...)
+	}
+
+	fmt.Printf("%-11s %-7s %9s %9s %8s %8s\n", "config", "code", "cycles", "ops", "OPC", "µOPC")
+	for _, cfg := range machine.All() {
+		variant := report.VariantFor(cfg)
+		b := ir.NewBuilder("fdct")
+		src := b.Data(input)
+		dst := b.Alloc(nblocks * kernels.BlockBytes)
+		kernels.DCT2D(b, variant, kernels.FDCTMatrix(), src, dst, nblocks,
+			kernels.DCTAlias{Src: 1, Dst: 2, Tmp: 3})
+		prog, err := core.Compile(b.Func(), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := prog.NewMachine(core.Perfect)
+		res, err := m.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-11s %-7s %9d %9d %8.2f %8.2f\n",
+			cfg.Name, variant, res.Cycles, res.Ops, res.OPC(), res.MicroOPC())
+
+		raw, err := m.ReadBytes(dst, int64(nblocks*kernels.BlockBytes))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for j, wv := range want {
+			if got := int16(binary.LittleEndian.Uint16(raw[2*j:])); got != wv {
+				log.Fatalf("%s: element %d = %d, want %d", cfg.Name, j, got, wv)
+			}
+		}
+	}
+	fmt.Println("\nall configurations produced bit-identical DCT coefficients")
+}

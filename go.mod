@@ -1,0 +1,3 @@
+module vsimdvliw
+
+go 1.22

@@ -1,0 +1,89 @@
+// Package apps assembles the six benchmark applications of the paper
+// (Table 1) from the kernels in internal/kernels and the scalar-region
+// code in this package:
+//
+//	jpeg_enc  — RGB→YCC (R1), blockify+forward DCT (R2), quantization (R3),
+//	            zigzag/run-length/bit-packing entropy coding (scalar R0)
+//	jpeg_dec  — entropy decoding + dequant + scalar IDCT + deblockify (R0),
+//	            YCC→RGB (R1), h2v2 chroma up-sampling (R2)
+//	mpeg2_enc — motion estimation (R1), forward DCT (R2), inverse DCT (R3),
+//	            quantization + VLC coding (R0)
+//	mpeg2_dec — form-component prediction (R1), inverse DCT (R2),
+//	            add-block (R3), bitstream decoding (R0)
+//	gsm_enc   — LTP parameter search (R1), autocorrelation (R2),
+//	            preprocessing + Schur recursion + residual filtering (R0)
+//	gsm_dec   — long-term filtering (R1), parameter decoding + short-term
+//	            synthesis lattice filter (R0)
+//
+// Every application is built in the three ISA variants; the scalar-region
+// code is byte-for-byte identical across variants, as in the paper. The
+// workload sizes below are calibrated once so that the vector regions'
+// share of execution time on the 2-issue µSIMD machine approximates the
+// paper's Table 1 percentages; every machine configuration runs the
+// identical program.
+package apps
+
+import (
+	"fmt"
+
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/kernels"
+)
+
+// Check is an output assertion: after the run, memory at Addr must equal
+// Want. Checks verify the functional pipeline against the pure-Go
+// references.
+type Check struct {
+	Name string
+	Addr int64
+	Want []byte
+}
+
+// CrossCheck names an output region that must be identical across the
+// three ISA variants (used for scalar-region outputs such as bitstreams,
+// which have no independent reference implementation).
+type CrossCheck struct {
+	Name string
+	Addr int64
+	Len  int64
+}
+
+// Built is a constructed application program.
+type Built struct {
+	Func        *ir.Func
+	Checks      []Check
+	CrossChecks []CrossCheck
+}
+
+// App is one benchmark application.
+type App struct {
+	Name string
+	// Regions names the instrumented vector regions R1..R3 (Table 1).
+	Regions []string
+	Build   func(v kernels.Variant) *Built
+}
+
+// All returns the six applications in the paper's order.
+func All() []*App {
+	return []*App{
+		JPEGEnc(),
+		JPEGDec(),
+		MPEG2Enc(),
+		MPEG2Dec(),
+		GSMEnc(),
+		GSMDec(),
+	}
+}
+
+// ByName returns the application with the given name.
+func ByName(name string) (*App, error) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: unknown application %q", name)
+}
+
+// Variants lists the three code versions.
+var Variants = []kernels.Variant{kernels.Scalar, kernels.USIMD, kernels.Vector}

@@ -1,0 +1,240 @@
+package apps
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/kernels"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/sched"
+	"vsimdvliw/internal/sim"
+)
+
+// cfgFor picks a representative machine for a variant.
+func cfgFor(v kernels.Variant) *machine.Config {
+	switch v {
+	case kernels.Scalar:
+		return &machine.VLIW4
+	case kernels.USIMD:
+		return &machine.USIMD4
+	default:
+		return &machine.Vector2x4
+	}
+}
+
+// runApp builds and executes one app/variant on perfect memory.
+func runApp(t *testing.T, a *App, v kernels.Variant, cfg *machine.Config) (*sim.Machine, *sim.Result, *Built) {
+	t.Helper()
+	built := a.Build(v)
+	prog, err := core.Compile(built.Func, cfg)
+	if err != nil {
+		t.Fatalf("%s/%v on %s: compile: %v", a.Name, v, cfg.Name, err)
+	}
+	m := prog.NewMachine(core.Perfect)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("%s/%v: run: %v", a.Name, v, err)
+	}
+	return m, res, built
+}
+
+func verifyChecks(t *testing.T, name string, v kernels.Variant, m *sim.Machine, built *Built) {
+	t.Helper()
+	for _, c := range built.Checks {
+		got, err := m.ReadBytes(c.Addr, int64(len(c.Want)))
+		if err != nil {
+			t.Fatalf("%s/%v check %s: %v", name, v, c.Name, err)
+		}
+		if !bytes.Equal(got, c.Want) {
+			for i := range c.Want {
+				if got[i] != c.Want[i] {
+					t.Fatalf("%s/%v check %s: first mismatch at +%d: got %#x want %#x",
+						name, v, c.Name, i, got[i], c.Want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAllAppsAllVariantsFunctional(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			cross := map[kernels.Variant][][]byte{}
+			for _, v := range Variants {
+				m, res, built := runApp(t, a, v, cfgFor(v))
+				verifyChecks(t, a.Name, v, m, built)
+				if res.Cycles == 0 || res.Ops == 0 {
+					t.Fatalf("%s/%v: empty run", a.Name, v)
+				}
+				var outs [][]byte
+				for _, cc := range built.CrossChecks {
+					raw, err := m.ReadBytes(cc.Addr, cc.Len)
+					if err != nil {
+						t.Fatal(err)
+					}
+					outs = append(outs, raw)
+				}
+				cross[v] = outs
+			}
+			// Scalar-region outputs must be identical across variants.
+			for i := range cross[kernels.Scalar] {
+				if !bytes.Equal(cross[kernels.Scalar][i], cross[kernels.USIMD][i]) ||
+					!bytes.Equal(cross[kernels.Scalar][i], cross[kernels.Vector][i]) {
+					t.Errorf("%s: cross-variant output %d differs", a.Name, i)
+				}
+			}
+		})
+	}
+}
+
+func TestVectorVariantFitsTightestConfig(t *testing.T) {
+	// Every vector-variant application must fit the 20-register vector
+	// file and 4 accumulators of the 2-issue configurations (Table 2).
+	for _, a := range All() {
+		built := a.Build(kernels.Vector)
+		if _, err := core.Compile(built.Func, &machine.Vector1x2); err != nil {
+			t.Errorf("%s does not fit Vector1-2w: %v", a.Name, err)
+		}
+	}
+}
+
+func TestScalarVariantFitsAllVLIWs(t *testing.T) {
+	for _, a := range All() {
+		built := a.Build(kernels.Scalar)
+		for _, cfg := range []*machine.Config{&machine.VLIW2, &machine.VLIW8} {
+			if _, err := core.Compile(built.Func, cfg); err != nil {
+				t.Errorf("%s does not fit %s: %v", a.Name, cfg.Name, err)
+			}
+		}
+	}
+}
+
+func TestUSIMDVariantFits(t *testing.T) {
+	for _, a := range All() {
+		built := a.Build(kernels.USIMD)
+		if _, err := core.Compile(built.Func, &machine.USIMD2); err != nil {
+			t.Errorf("%s does not fit uSIMD-2w: %v", a.Name, err)
+		}
+	}
+}
+
+func TestVectorRegionsAccountedSeparately(t *testing.T) {
+	// Each app must spend measurable cycles in its declared regions.
+	for _, a := range All() {
+		_, res, _ := runApp(t, a, kernels.Vector, &machine.Vector2x4)
+		for i := range a.Regions {
+			if res.Regions[i+1].Cycles == 0 {
+				t.Errorf("%s: region R%d (%s) has no cycles", a.Name, i+1, a.Regions[i])
+			}
+		}
+		if res.Regions[0].Cycles == 0 {
+			t.Errorf("%s: scalar region has no cycles", a.Name)
+		}
+	}
+}
+
+func TestVectorBeatsScalarOnVectorRegions(t *testing.T) {
+	// The whole point of the paper: on comparable-width machines, the
+	// vector variant's vector regions run much faster than the scalar
+	// variant's.
+	for _, a := range All() {
+		_, sres, _ := runApp(t, a, kernels.Scalar, &machine.VLIW2)
+		_, vres, _ := runApp(t, a, kernels.Vector, &machine.Vector2x2)
+		sv := sres.VectorCycles()
+		vv := vres.VectorCycles()
+		if vv >= sv {
+			t.Errorf("%s: vector regions on Vector2-2w (%d cyc) not faster than on VLIW-2w (%d cyc)",
+				a.Name, vv, sv)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("jpeg_enc"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("expected error for unknown app")
+	}
+	if len(All()) != 6 {
+		t.Errorf("expected 6 applications, got %d", len(All()))
+	}
+}
+
+func TestAppOpCountsScaleDown(t *testing.T) {
+	// Figure 7: vector variants execute far fewer operations in the
+	// vector regions.
+	for _, a := range All() {
+		counts := map[kernels.Variant]int64{}
+		for _, v := range Variants {
+			_, res, _ := runApp(t, a, v, cfgFor(v))
+			var n int64
+			for i := 1; i < sim.MaxRegions; i++ {
+				n += res.Regions[i].Ops
+			}
+			counts[v] = n
+		}
+		if !(counts[kernels.Vector] < counts[kernels.USIMD] &&
+			counts[kernels.USIMD] < counts[kernels.Scalar]) {
+			t.Errorf("%s: vector-region ops scalar=%d usimd=%d vector=%d (must decrease)",
+				a.Name, counts[kernels.Scalar], counts[kernels.USIMD], counts[kernels.Vector])
+		}
+	}
+}
+
+func ExampleByName() {
+	a, _ := ByName("gsm_dec")
+	fmt.Println(a.Name, a.Regions)
+	// Output: gsm_dec [longterm]
+}
+
+// TestAllocatedProgramsRunIdentically lowers every application through
+// the register allocator and checks that the allocated form fits the
+// target register files and computes bit-identical results.
+func TestAllocatedProgramsRunIdentically(t *testing.T) {
+	for _, a := range All() {
+		for _, v := range Variants {
+			cfg := cfgFor(v)
+			built := a.Build(v)
+			alloc, used, err := sched.Allocate(built.Func, cfg)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", a.Name, v, err)
+			}
+			for _, class := range []isa.RegClass{isa.RegInt, isa.RegSIMD, isa.RegVec, isa.RegAcc} {
+				if limit := cfg.Regs(class); limit > 0 && int(used[class]) > limit {
+					t.Errorf("%s/%v: %s file demand %d > %d", a.Name, v, class, used[class], limit)
+				}
+			}
+			prog, err := core.Compile(alloc, cfg)
+			if err != nil {
+				t.Fatalf("%s/%v: allocated program failed to compile: %v", a.Name, v, err)
+			}
+			m := prog.NewMachine(core.Perfect)
+			if _, err := m.Run(); err != nil {
+				t.Fatalf("%s/%v: allocated program failed: %v", a.Name, v, err)
+			}
+			verifyChecks(t, a.Name+"(allocated)", v, m, built)
+		}
+	}
+}
+
+// TestAllocationReducesRegisterCount spot-checks that allocation actually
+// compacts the (much larger) virtual numbering.
+func TestAllocationReducesRegisterCount(t *testing.T) {
+	built := JPEGEnc().Build(kernels.Vector)
+	alloc, used, err := sched.Allocate(built.Func, &machine.Vector2x4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used[isa.RegInt] >= built.Func.NumRegs[isa.RegInt] {
+		t.Errorf("int demand %d not below virtual count %d",
+			used[isa.RegInt], built.Func.NumRegs[isa.RegInt])
+	}
+	if alloc.NumOps() != built.Func.NumOps() {
+		t.Error("allocation changed the operation count")
+	}
+}

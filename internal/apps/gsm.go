@@ -1,0 +1,237 @@
+package apps
+
+import (
+	"encoding/binary"
+
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/kernels"
+	"vsimdvliw/internal/media"
+)
+
+// GSM workloads: the encoder processes gsmFrames 160-sample frames
+// (preprocessing, autocorrelation, Schur, short-term analysis filtering,
+// LTP search per 40-sample subframe); the decoder reconstructs the same
+// number of frames (long-term filtering per subframe + short-term
+// synthesis). The scalar rep counts model the codec stages not built
+// explicitly (RPE grid selection/decoding, APCM, LAR coding) and are
+// calibrated against Table 1.
+const (
+	gsmFrames        = 6
+	gsmEncScalarReps = 10
+	gsmDecScalarReps = 6
+)
+
+// GSMEnc builds the GSM encoder application.
+func GSMEnc() *App {
+	return &App{
+		Name:    "gsm_enc",
+		Regions: []string{"ltp", "autocorr"},
+		Build:   buildGSMEnc,
+	}
+}
+
+func buildGSMEnc(v kernels.Variant) *Built {
+	b := ir.NewBuilder("gsm_enc")
+	const n = kernels.GSMFrame
+	samples := media.Speech(55, n*gsmFrames)
+
+	const (
+		aIn = iota + 1
+		aSos
+		aAcf
+		aRefl
+		aD
+		aLTP
+	)
+	inAddr := b.DataH(samples)
+	sos := b.Alloc(2 * n * gsmFrames)
+	acf := b.Alloc(8 * 9 * gsmFrames)
+	refl := b.Alloc(8 * 8 * gsmFrames)
+	// Residual buffer with a 120-sample zero history in front.
+	dBuf := b.Alloc(2 * (kernels.GSMMaxLag + n*gsmFrames))
+	ltpOut := b.Alloc(16 * 4 * gsmFrames)
+
+	// Scalar input stage: read the audio input and initialize buffers.
+	WarmAll(b)
+
+	for f := 0; f < gsmFrames; f++ {
+		frameIn := inAddr + int64(2*n*f)
+		frameSos := sos + int64(2*n*f)
+		frameAcf := acf + int64(8*9*f)
+		frameRefl := refl + int64(8*8*f)
+		frameD := dBuf + int64(2*(kernels.GSMMaxLag+n*f))
+
+		// Scalar: offset compensation + preemphasis (serial recurrence).
+		for rep := 0; rep < gsmEncScalarReps; rep++ {
+			Preprocess(b, frameIn, frameSos, n, aIn, aSos)
+		}
+
+		// R2: autocorrelation.
+		b.RegionBegin(2)
+		kernels.Autocorr(b, v, frameSos, frameAcf, n, 9, aSos, aAcf)
+		b.RegionEnd(2)
+
+		// Scalar: Schur recursion + short-term analysis filtering.
+		Schur(b, frameAcf, frameRefl, aAcf, aRefl)
+		for rep := 0; rep < gsmEncScalarReps; rep++ {
+			SynthesisFilter(b, frameRefl, frameSos, frameD, n, aRefl, aSos, aD)
+		}
+
+		// R1: LTP parameter search per subframe.
+		b.RegionBegin(1)
+		for j := 0; j < 4; j++ {
+			sub := frameD + int64(2*kernels.GSMSubframe*j)
+			hist := sub - int64(2*kernels.GSMMaxLag)
+			kernels.LTPParams(b, v, sub, hist, ltpOut+int64(16*(4*f+j)), aD, aD, aLTP)
+		}
+		b.RegionEnd(1)
+	}
+
+	// Reference pipeline.
+	var checks []Check
+	dRef := make([]int16, kernels.GSMMaxLag+n*gsmFrames)
+	var ltpWant []byte
+	var acfWant, reflWant []byte
+	for f := 0; f < gsmFrames; f++ {
+		sosRef := PreprocessRef(samples[n*f : n*(f+1)])
+		acfRef := kernels.AutocorrRef(sosRef, 9)
+		reflRef := SchurRef(acfRef)
+		filtered := SynthesisFilterRef(reflRef, sosRef)
+		copy(dRef[kernels.GSMMaxLag+n*f:], filtered)
+		for _, a := range acfRef {
+			acfWant = binary.LittleEndian.AppendUint64(acfWant, uint64(a))
+		}
+		for _, k := range reflRef {
+			reflWant = binary.LittleEndian.AppendUint64(reflWant, uint64(k))
+		}
+		for j := 0; j < 4; j++ {
+			start := kernels.GSMMaxLag + n*f + kernels.GSMSubframe*j
+			d := dRef[start : start+kernels.GSMSubframe]
+			hist := dRef[start-kernels.GSMMaxLag : start]
+			lag, corr := kernels.LTPParamsRef(d, hist)
+			ltpWant = binary.LittleEndian.AppendUint64(ltpWant, uint64(lag))
+			ltpWant = binary.LittleEndian.AppendUint64(ltpWant, uint64(corr))
+		}
+	}
+	checks = append(checks,
+		Check{Name: "acf", Addr: acf, Want: acfWant},
+		Check{Name: "refl", Addr: refl, Want: reflWant},
+		Check{Name: "ltp", Addr: ltpOut, Want: ltpWant},
+	)
+	return &Built{Func: b.Func(), Checks: checks}
+}
+
+// GSMDec builds the GSM decoder application.
+func GSMDec() *App {
+	return &App{
+		Name:    "gsm_dec",
+		Regions: []string{"longterm"},
+		Build:   buildGSMDec,
+	}
+}
+
+func buildGSMDec(v kernels.Variant) *Built {
+	b := ir.NewBuilder("gsm_dec")
+	const n = kernels.GSMFrame
+	erp := media.Speech(66, n*gsmFrames)
+	rnd := media.NewRand(67)
+	// Decoded LTP parameters per subframe: lag in 40..120, gain Q16.
+	type subParams struct{ lag, gain int64 }
+	params := make([]subParams, 4*gsmFrames)
+	for i := range params {
+		params[i] = subParams{
+			lag:  int64(kernels.GSMMinLag + rnd.Intn(kernels.GSMMaxLag-kernels.GSMMinLag+1)),
+			gain: int64(8000 + rnd.Intn(20000)),
+		}
+	}
+	paramBytes := make([]byte, 0, 16*len(params))
+	for _, p := range params {
+		paramBytes = binary.LittleEndian.AppendUint64(paramBytes, uint64(p.lag))
+		paramBytes = binary.LittleEndian.AppendUint64(paramBytes, uint64(p.gain))
+	}
+	// Reflection coefficients for the synthesis filter (small Q8 values).
+	refl := make([]int64, 8)
+	for i := range refl {
+		refl[i] = int64(rnd.Intn(161) - 80)
+	}
+	reflBytes := make([]byte, 0, 64)
+	for _, k := range refl {
+		reflBytes = binary.LittleEndian.AppendUint64(reflBytes, uint64(k))
+	}
+	// Parameter "bitstream" for the scalar decoding front end.
+	stream := media.Stream(68, 128*gsmFrames)
+	streamBytes := make([]byte, 2*len(stream))
+	for i, w := range stream {
+		binary.LittleEndian.PutUint16(streamBytes[2*i:], w)
+	}
+
+	const (
+		aErp = iota + 1
+		aParams
+		aDrp
+		aRefl
+		aOut
+		aStream
+		aScratch
+	)
+	erpAddr := b.DataH(erp)
+	paramAddr := b.Data(paramBytes)
+	reflAddr := b.Data(reflBytes)
+	streamAddr := b.Data(streamBytes)
+	scratch := b.Alloc(2 * 128 * gsmFrames)
+	drp := b.Alloc(2 * (kernels.GSMMaxLag + n*gsmFrames))
+	audio := b.Alloc(2 * n * gsmFrames)
+
+	// Scalar input stage: residual and parameters come out of the scalar
+	// RPE/parameter decoding; the decoder zero-initializes its state.
+	WarmAll(b)
+
+	for f := 0; f < gsmFrames; f++ {
+		// Scalar: parameter decoding (bit unpacking) — repeated to model
+		// the APCM/RPE decoding stages.
+		for rep := 0; rep < gsmDecScalarReps; rep++ {
+			EntropyDecode(b, streamAddr+int64(256*f), 128, scratch+int64(256*f), aStream, aScratch)
+		}
+
+		// R1: long-term filtering per subframe.
+		b.RegionBegin(1)
+		for j := 0; j < 4; j++ {
+			pos := kernels.GSMMaxLag + n*f + kernels.GSMSubframe*j
+			sub := erpAddr + int64(2*(n*f+kernels.GSMSubframe*j))
+			hist := drp + int64(2*(pos-kernels.GSMMaxLag))
+			out := drp + int64(2*pos)
+			kernels.LongTermFilter(b, v, sub, hist, paramAddr+int64(16*(4*f+j)), out,
+				aErp, aDrp, aDrp)
+		}
+		b.RegionEnd(1)
+
+		// Scalar: short-term synthesis lattice filter.
+		frameDrp := drp + int64(2*(kernels.GSMMaxLag+n*f))
+		frameOut := audio + int64(2*n*f)
+		for rep := 0; rep < gsmDecScalarReps; rep++ {
+			SynthesisFilter(b, reflAddr, frameDrp, frameOut, n, aRefl, aDrp, aOut)
+		}
+	}
+
+	// Reference pipeline.
+	drpRef := make([]int16, kernels.GSMMaxLag+n*gsmFrames)
+	audioRef := make([]int16, 0, n*gsmFrames)
+	for f := 0; f < gsmFrames; f++ {
+		for j := 0; j < 4; j++ {
+			pos := kernels.GSMMaxLag + n*f + kernels.GSMSubframe*j
+			p := params[4*f+j]
+			sub := erp[n*f+kernels.GSMSubframe*j : n*f+kernels.GSMSubframe*(j+1)]
+			hist := drpRef[pos-kernels.GSMMaxLag : pos]
+			copy(drpRef[pos:], kernels.LongTermFilterRef(sub, hist, int(p.lag), p.gain))
+		}
+		audioRef = append(audioRef,
+			SynthesisFilterRef(refl, drpRef[kernels.GSMMaxLag+n*f:kernels.GSMMaxLag+n*(f+1)])...)
+	}
+	return &Built{
+		Func: b.Func(),
+		Checks: []Check{
+			{Name: "drp", Addr: drp + 2*kernels.GSMMaxLag, Want: int16Bytes(drpRef[kernels.GSMMaxLag:])},
+			{Name: "audio", Addr: audio, Want: int16Bytes(audioRef)},
+		},
+	}
+}

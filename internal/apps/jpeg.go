@@ -1,0 +1,232 @@
+package apps
+
+import (
+	"encoding/binary"
+
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/kernels"
+	"vsimdvliw/internal/media"
+)
+
+// Workload geometry for the JPEG pair. The image is 128x64 (the vector
+// color-conversion step requires multiples of 128 pixels); the luma plane
+// yields a 16x8 grid of DCT blocks, chroma planes are subsampled 2:1.
+const (
+	jpegW       = 128
+	jpegH       = 64
+	jpegBlocksX = jpegW / 8
+	jpegBlocksY = jpegH / 8
+	jpegNBlocks = jpegBlocksX * jpegBlocksY
+
+	// jpegEncScalarReps repeats the entropy-coding pass (rate-optimizing
+	// encoders make several passes); calibrated against Table 1.
+	jpegEncScalarReps = 3
+)
+
+func int16Bytes(vals []int16) []byte {
+	out := make([]byte, 2*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint16(out[2*i:], uint16(v))
+	}
+	return out
+}
+
+func flatten(blocks [][]int16) []int16 {
+	out := make([]int16, 0, 64*len(blocks))
+	for _, blk := range blocks {
+		out = append(out, blk...)
+	}
+	return out
+}
+
+// JPEGEnc builds the JPEG encoder application.
+func JPEGEnc() *App {
+	return &App{
+		Name:    "jpeg_enc",
+		Regions: []string{"rgb2ycc", "fdct", "quant"},
+		Build:   buildJPEGEnc,
+	}
+}
+
+func buildJPEGEnc(v kernels.Variant) *Built {
+	b := ir.NewBuilder("jpeg_enc")
+	const npix = jpegW * jpegH
+	r, g, bl := media.RGBImage(11, jpegW, jpegH)
+
+	const (
+		aRGB = iota + 1
+		aYCC
+		aBlocks
+		aDCT
+		aQuant
+		aBits
+		aTmp
+	)
+	bufs := kernels.ColorBufs{
+		R: b.Data(r), G: b.Data(g), B: b.Data(bl),
+		Y: b.Alloc(npix), Cb: b.Alloc(npix), Cr: b.Alloc(npix),
+		NPix: npix, AliasRGB: aRGB, AliasYCC: aYCC,
+	}
+	blocks := b.Alloc(jpegNBlocks * kernels.BlockBytes)
+	dctOut := b.Alloc(jpegNBlocks * kernels.BlockBytes)
+	qOut := b.Alloc(jpegNBlocks * kernels.BlockBytes)
+	bits := b.Alloc(32 << 10)
+	recip := kernels.QuantRecip(&kernels.JPEGLumaQuant)
+
+	// Scalar input stage: read the input planes and initialize buffers.
+	WarmAll(b)
+
+	// R1: color conversion.
+	b.RegionBegin(1)
+	kernels.RGB2YCC(b, v, bufs)
+	b.RegionEnd(1)
+
+	// R2: sample conversion + forward DCT on the luma plane.
+	b.RegionBegin(2)
+	kernels.Blockify(b, v, bufs.Y, blocks, jpegW, jpegBlocksX, jpegBlocksY, aYCC, aBlocks)
+	kernels.DCT2D(b, v, kernels.FDCTMatrix(), blocks, dctOut, jpegNBlocks,
+		kernels.DCTAlias{Src: aBlocks, Dst: aDCT, Tmp: aTmp})
+	b.RegionEnd(2)
+
+	// R3: quantization.
+	b.RegionBegin(3)
+	kernels.Quantize(b, v, recip, dctOut, qOut, jpegNBlocks, aDCT, aQuant)
+	b.RegionEnd(3)
+
+	// Scalar region: zigzag + run-length + bit-packing entropy coding.
+	EntropyEncode(b, qOut, jpegNBlocks, jpegEncScalarReps, bits, aQuant, aBits)
+
+	// Reference pipeline.
+	wantY, wantCb, wantCr := kernels.RGB2YCCRef(r, g, bl)
+	blkRef := kernels.BlockifyRef(wantY, jpegW, jpegBlocksX, jpegBlocksY)
+	qRef := make([][]int16, jpegNBlocks)
+	for i, blk := range blkRef {
+		qRef[i] = kernels.QuantizeRef(recip, kernels.DCT2DRef(kernels.FDCTMatrix(), blk))
+	}
+	return &Built{
+		Func: b.Func(),
+		Checks: []Check{
+			{Name: "Y", Addr: bufs.Y, Want: wantY},
+			{Name: "Cb", Addr: bufs.Cb, Want: wantCb},
+			{Name: "Cr", Addr: bufs.Cr, Want: wantCr},
+			{Name: "quantized", Addr: qOut, Want: int16Bytes(flatten(qRef))},
+		},
+		CrossChecks: []CrossCheck{
+			{Name: "bitstream", Addr: bits, Len: 4096},
+		},
+	}
+}
+
+// JPEGDec builds the JPEG decoder application.
+func JPEGDec() *App {
+	return &App{
+		Name:    "jpeg_dec",
+		Regions: []string{"ycc2rgb", "h2v2"},
+		Build:   buildJPEGDec,
+	}
+}
+
+func buildJPEGDec(v kernels.Variant) *Built {
+	b := ir.NewBuilder("jpeg_dec")
+	const (
+		npix    = jpegW * jpegH
+		cw, ch  = jpegW / 2, jpegH / 2
+		cblocks = (cw / 8) * (ch / 8)
+	)
+	const (
+		aStream = iota + 1
+		aCoeff
+		aPlane
+		aChroma
+		aRGB
+		aTmp
+	)
+	yStream := media.Stream(21, 64*jpegNBlocks)
+	cbStream := media.Stream(22, 64*cblocks)
+	crStream := media.Stream(23, 64*cblocks)
+
+	streamBytes := func(s []uint16) []byte {
+		out := make([]byte, 2*len(s))
+		for i, w := range s {
+			binary.LittleEndian.PutUint16(out[2*i:], w)
+		}
+		return out
+	}
+	ysAddr := b.Data(streamBytes(yStream))
+	cbsAddr := b.Data(streamBytes(cbStream))
+	crsAddr := b.Data(streamBytes(crStream))
+
+	yCoeff := b.Alloc(jpegNBlocks * kernels.BlockBytes)
+	cbCoeff := b.Alloc(cblocks * kernels.BlockBytes)
+	crCoeff := b.Alloc(cblocks * kernels.BlockBytes)
+	ySpat := b.Alloc(jpegNBlocks * kernels.BlockBytes)
+	cbSpat := b.Alloc(cblocks * kernels.BlockBytes)
+	crSpat := b.Alloc(cblocks * kernels.BlockBytes)
+	yPlane := b.Alloc(npix)
+	cbPlane := b.Alloc(cw * ch)
+	crPlane := b.Alloc(cw * ch)
+	cbFull := b.Alloc(npix)
+	crFull := b.Alloc(npix)
+	rgb := kernels.ColorBufs{
+		Y: yPlane, Cb: cbFull, Cr: crFull,
+		R: b.Alloc(npix), G: b.Alloc(npix), B: b.Alloc(npix),
+		NPix: npix, AliasRGB: aRGB, AliasYCC: aPlane,
+	}
+
+	// Scalar input stage.
+	WarmAll(b)
+
+	// Scalar region: entropy decoding, inverse DCT (always scalar code in
+	// this application, per Table 1) and deblockification.
+	EntropyDecode(b, ysAddr, 64*jpegNBlocks, yCoeff, aStream, aCoeff)
+	EntropyDecode(b, cbsAddr, 64*cblocks, cbCoeff, aStream, aCoeff)
+	EntropyDecode(b, crsAddr, 64*cblocks, crCoeff, aStream, aCoeff)
+	kernels.DCT2D(b, kernels.Scalar, kernels.IDCTMatrix(), yCoeff, ySpat, jpegNBlocks,
+		kernels.DCTAlias{Src: aCoeff, Dst: aCoeff, Tmp: aTmp})
+	kernels.DCT2D(b, kernels.Scalar, kernels.IDCTMatrix(), cbCoeff, cbSpat, cblocks,
+		kernels.DCTAlias{Src: aCoeff, Dst: aCoeff, Tmp: aTmp})
+	kernels.DCT2D(b, kernels.Scalar, kernels.IDCTMatrix(), crCoeff, crSpat, cblocks,
+		kernels.DCTAlias{Src: aCoeff, Dst: aCoeff, Tmp: aTmp})
+	Deblockify(b, ySpat, yPlane, jpegW, jpegBlocksX, jpegBlocksY, aCoeff, aPlane)
+	Deblockify(b, cbSpat, cbPlane, cw, cw/8, ch/8, aCoeff, aChroma)
+	Deblockify(b, crSpat, crPlane, cw, cw/8, ch/8, aCoeff, aChroma)
+
+	// R2: h2v2 chroma up-sampling.
+	b.RegionBegin(2)
+	kernels.H2V2Upsample(b, v, cbPlane, cbFull, cw, ch, aChroma, aPlane)
+	kernels.H2V2Upsample(b, v, crPlane, crFull, cw, ch, aChroma, aPlane)
+	b.RegionEnd(2)
+
+	// R1: color conversion back to RGB.
+	b.RegionBegin(1)
+	kernels.YCC2RGB(b, v, rgb)
+	b.RegionEnd(1)
+
+	// Reference pipeline.
+	decodePlane := func(stream []uint16, nblocks, w, bx, by int) []byte {
+		coeffs := EntropyDecodeRef(stream, 64*nblocks)
+		blocks := make([][]int16, nblocks)
+		for i := range blocks {
+			blocks[i] = kernels.DCT2DRef(kernels.IDCTMatrix(), coeffs[64*i:64*i+64])
+		}
+		return DeblockifyRef(blocks, w, bx, by)
+	}
+	wantY := decodePlane(yStream, jpegNBlocks, jpegW, jpegBlocksX, jpegBlocksY)
+	wantCbP := decodePlane(cbStream, cblocks, cw, cw/8, ch/8)
+	wantCrP := decodePlane(crStream, cblocks, cw, cw/8, ch/8)
+	wantCb := kernels.H2V2UpsampleRef(wantCbP, cw, ch)
+	wantCr := kernels.H2V2UpsampleRef(wantCrP, cw, ch)
+	wantR, wantG, wantB := kernels.YCC2RGBRef(wantY, wantCb, wantCr)
+
+	return &Built{
+		Func: b.Func(),
+		Checks: []Check{
+			{Name: "yplane", Addr: yPlane, Want: wantY},
+			{Name: "cbfull", Addr: cbFull, Want: wantCb},
+			{Name: "crfull", Addr: crFull, Want: wantCr},
+			{Name: "R", Addr: rgb.R, Want: wantR},
+			{Name: "G", Addr: rgb.G, Want: wantG},
+			{Name: "B", Addr: rgb.B, Want: wantB},
+		},
+	}
+}

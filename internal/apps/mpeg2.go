@@ -1,0 +1,243 @@
+package apps
+
+import (
+	"encoding/binary"
+
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/kernels"
+	"vsimdvliw/internal/media"
+)
+
+// MPEG2 workload geometry. The encoder motion-estimates a 3x3 macroblock
+// grid over an 80x80 frame pair with radius 3 (the reference-frame loads
+// stride by the image width — the access pattern that degrades the vector
+// configurations under realistic memory, Section 5.1); it then transforms
+// a 64x64 sub-area (64 blocks). The decoder reconstructs 40 blocks of a
+// 96x64 frame.
+const (
+	m2eW, m2eH    = 80, 80
+	m2eR          = 5
+	m2eNBlocks    = 32 // 8x8 blocks in the 64x32 transformed sub-area
+	m2eScalarReps = 4
+
+	m2dW, m2dH   = 96, 64
+	m2dBX, m2dBY = 8, 5 // decoded block grid
+	m2dNBlocks   = m2dBX * m2dBY
+	m2dDecReps   = 6
+)
+
+// JPEG-style macroblock origins for the encoder's motion search.
+func m2eMBs() []kernels.MBOrigin {
+	var out []kernels.MBOrigin
+	for _, y := range []int{8, 24, 40} {
+		for _, x := range []int{8, 24, 40, 56} {
+			out = append(out, kernels.MBOrigin{X: x, Y: y})
+		}
+	}
+	return out
+}
+
+// MPEG2Enc builds the MPEG2 encoder application.
+func MPEG2Enc() *App {
+	return &App{
+		Name:    "mpeg2_enc",
+		Regions: []string{"motion", "fdct", "idct"},
+		Build:   buildMPEG2Enc,
+	}
+}
+
+func buildMPEG2Enc(v kernels.Variant) *Built {
+	b := ir.NewBuilder("mpeg2_enc")
+	cur, ref := media.FramePair(33, m2eW, m2eH, -3, 2)
+	mbs := m2eMBs()
+
+	const (
+		aCur = iota + 1
+		aRef
+		aMV
+		aBlocks
+		aDCT
+		aQuant
+		aRecon
+		aBits
+		aTmp
+	)
+	p := kernels.MEParams{
+		Cur: b.Data(cur), Ref: b.Data(ref),
+		MV: b.Alloc(int64(24 * len(mbs))),
+		W:  m2eW, H: m2eH, MBs: mbs, R: m2eR,
+		AliasCur: aCur, AliasRef: aRef, AliasMV: aMV,
+	}
+	blocks := b.Alloc(m2eNBlocks * kernels.BlockBytes)
+	dctOut := b.Alloc(m2eNBlocks * kernels.BlockBytes)
+	qOut := b.Alloc(m2eNBlocks * kernels.BlockBytes)
+	recon := b.Alloc(m2eNBlocks * kernels.BlockBytes)
+	bits := b.Alloc(32 << 10)
+	recip := kernels.QuantRecip(&kernels.JPEGLumaQuant)
+
+	// Scalar input stage: read the two frames and initialize buffers.
+	WarmAll(b)
+
+	// R1: motion estimation (full-search SAD).
+	b.RegionBegin(1)
+	kernels.MotionEstimate(b, v, p)
+	b.RegionEnd(1)
+
+	// R2: forward DCT over the 64x32 sub-area at (8,8).
+	subArea := p.Cur + int64(8*m2eW+8)
+	b.RegionBegin(2)
+	kernels.Blockify(b, v, subArea, blocks, m2eW, 8, 4, aCur, aBlocks)
+	kernels.DCT2D(b, v, kernels.FDCTMatrix(), blocks, dctOut, m2eNBlocks,
+		kernels.DCTAlias{Src: aBlocks, Dst: aDCT, Tmp: aTmp})
+	b.RegionEnd(2)
+
+	// Scalar: quantization + rate control-ish coding (quantization is not
+	// one of the paper's mpeg2_enc vector regions, so it is always scalar
+	// code here).
+	kernels.Quantize(b, kernels.Scalar, recip, dctOut, qOut, m2eNBlocks, aDCT, aQuant)
+
+	// R3: inverse DCT (local reconstruction of the quantized blocks).
+	b.RegionBegin(3)
+	kernels.DCT2D(b, v, kernels.IDCTMatrix(), qOut, recon, m2eNBlocks,
+		kernels.DCTAlias{Src: aQuant, Dst: aRecon, Tmp: aTmp})
+	b.RegionEnd(3)
+
+	// Scalar: VLC entropy coding of the quantized blocks.
+	EntropyEncode(b, qOut, m2eNBlocks, m2eScalarReps, bits, aQuant, aBits)
+
+	// Reference pipeline.
+	wantMV := kernels.MotionEstimateRef(cur, ref, m2eW, mbs, m2eR)
+	mvBytes := make([]byte, 0, 24*len(wantMV))
+	for _, e := range wantMV {
+		for _, x := range e {
+			mvBytes = binary.LittleEndian.AppendUint64(mvBytes, uint64(x))
+		}
+	}
+	sub := make([]byte, 0, 64*32)
+	for r := 0; r < 32; r++ {
+		sub = append(sub, cur[(8+r)*m2eW+8:(8+r)*m2eW+8+64]...)
+	}
+	blkRef := kernels.BlockifyRef(sub, 64, 8, 4)
+	qRef := make([][]int16, m2eNBlocks)
+	reconRef := make([][]int16, m2eNBlocks)
+	for i, blk := range blkRef {
+		qRef[i] = kernels.QuantizeRef(recip, kernels.DCT2DRef(kernels.FDCTMatrix(), blk))
+		reconRef[i] = kernels.DCT2DRef(kernels.IDCTMatrix(), qRef[i])
+	}
+	return &Built{
+		Func: b.Func(),
+		Checks: []Check{
+			{Name: "mv", Addr: p.MV, Want: mvBytes},
+			{Name: "quantized", Addr: qOut, Want: int16Bytes(flatten(qRef))},
+			{Name: "recon", Addr: recon, Want: int16Bytes(flatten(reconRef))},
+		},
+		CrossChecks: []CrossCheck{{Name: "bitstream", Addr: bits, Len: 2048}},
+	}
+}
+
+// MPEG2Dec builds the MPEG2 decoder application.
+func MPEG2Dec() *App {
+	return &App{
+		Name:    "mpeg2_dec",
+		Regions: []string{"formpred", "idct", "addblock"},
+		Build:   buildMPEG2Dec,
+	}
+}
+
+func buildMPEG2Dec(v kernels.Variant) *Built {
+	b := ir.NewBuilder("mpeg2_dec")
+	refPlane := media.SmoothImage(44, m2dW, m2dH)
+	stream := media.Stream(45, 64*m2dNBlocks)
+	rnd := media.NewRand(46)
+
+	// Decoded motion vectors (input data: in a real decoder they come out
+	// of the bitstream; the bit-unpacking work is modeled in the scalar
+	// region below). One MV per 2x2 block group.
+	nmv := (m2dNBlocks + 3) / 4
+	mv := make([][3]int64, nmv)
+	for i := range mv {
+		mv[i] = [3]int64{int64(rnd.Intn(9) - 4), int64(rnd.Intn(9) - 4), 0}
+	}
+	mvBytes := make([]byte, 0, 24*nmv)
+	for _, e := range mv {
+		for _, x := range e {
+			mvBytes = binary.LittleEndian.AppendUint64(mvBytes, uint64(x))
+		}
+	}
+	var blocks []kernels.MCBlock
+	for by := 0; by < m2dBY; by++ {
+		for bx := 0; bx < m2dBX; bx++ {
+			i := by*m2dBX + bx
+			blocks = append(blocks, kernels.MCBlock{X: 8 + 8*bx, Y: 8 + 8*by, MVIdx: i / 4})
+		}
+	}
+
+	const (
+		aStream = iota + 1
+		aCoeff
+		aRef
+		aMV
+		aPred
+		aRes
+		aOut
+		aTmp
+	)
+	streamBytes := make([]byte, 2*len(stream))
+	for i, w := range stream {
+		binary.LittleEndian.PutUint16(streamBytes[2*i:], w)
+	}
+	sAddr := b.Data(streamBytes)
+	mvAddr := b.Data(mvBytes)
+	refAddr := b.Data(refPlane)
+	coeff := b.Alloc(m2dNBlocks * kernels.BlockBytes)
+	pred := b.Alloc(64 * m2dNBlocks)
+	res := b.Alloc(m2dNBlocks * kernels.BlockBytes)
+	out := b.Alloc(64 * m2dNBlocks)
+
+	// Scalar input stage: the reference frame was produced (and therefore
+	// touched) by the previous frame's decode; buffers are initialized.
+	WarmAll(b)
+
+	// Scalar region: bitstream decoding (repeated passes model the VLC,
+	// macroblock-mode and coefficient parsing that dominate the decoder).
+	for i := 0; i < m2dDecReps; i++ {
+		EntropyDecode(b, sAddr, 64*m2dNBlocks, coeff, aStream, aCoeff)
+	}
+
+	mc := kernels.MCParams{
+		Ref: refAddr, MV: mvAddr, Pred: pred, W: m2dW,
+		Avg: true, Blocks: blocks,
+		AliasRef: aRef, AliasMV: aMV, AliasPred: aPred,
+	}
+	// R1: form-component prediction.
+	b.RegionBegin(1)
+	kernels.FormPred(b, v, mc)
+	b.RegionEnd(1)
+
+	// R2: inverse DCT of the decoded residual.
+	b.RegionBegin(2)
+	kernels.DCT2D(b, v, kernels.IDCTMatrix(), coeff, res, m2dNBlocks,
+		kernels.DCTAlias{Src: aCoeff, Dst: aRes, Tmp: aTmp})
+	b.RegionEnd(2)
+
+	// R3: add-block reconstruction.
+	b.RegionBegin(3)
+	kernels.AddBlock(b, v, pred, res, out, m2dNBlocks, aPred, aRes, aOut)
+	b.RegionEnd(3)
+
+	// Reference pipeline.
+	coeffRef := EntropyDecodeRef(stream, 64*m2dNBlocks)
+	predRef := kernels.FormPredRef(refPlane, m2dW, mv, blocks, true)
+	want := make([]byte, 0, 64*m2dNBlocks)
+	for i := 0; i < m2dNBlocks; i++ {
+		resRef := kernels.DCT2DRef(kernels.IDCTMatrix(), coeffRef[64*i:64*i+64])
+		want = append(want, kernels.AddBlockRef(predRef[64*i:64*i+64], resRef)...)
+	}
+	return &Built{
+		Func: b.Func(),
+		Checks: []Check{
+			{Name: "pred", Addr: pred, Want: predRef},
+			{Name: "recon", Addr: out, Want: want},
+		},
+	}
+}

@@ -1,0 +1,383 @@
+package apps
+
+import (
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/kernels"
+)
+
+// Scalar-region code: the protocol-processing parts of the applications
+// that the paper identifies as hard to vectorize — "first order
+// recurrences, table look-ups and non-streaming memory patterns with
+// large amounts of indirections". These builders emit identical code in
+// every ISA variant.
+
+// zigzagOffsets returns the byte offsets (within a two-plane block) of
+// the 64 coefficients in JPEG zigzag order.
+func zigzagOffsets() []byte {
+	order := [64][2]int{}
+	i := 0
+	for s := 0; s < 15; s++ { // anti-diagonals
+		if s%2 == 0 {
+			for r := s; r >= 0; r-- {
+				c := s - r
+				if r < 8 && c < 8 {
+					order[i] = [2]int{r, c}
+					i++
+				}
+			}
+		} else {
+			for c := s; c >= 0; c-- {
+				r := s - c
+				if r < 8 && c < 8 {
+					order[i] = [2]int{r, c}
+					i++
+				}
+			}
+		}
+	}
+	out := make([]byte, 64)
+	for k, rc := range order {
+		out[k] = byte(2 * kernels.BlockIdx(rc[0], rc[1]))
+	}
+	return out
+}
+
+// bitLengthTable returns, for each magnitude 0..255, the number of bits
+// of its binary representation (the JPEG "category").
+func bitLengthTable() []byte {
+	out := make([]byte, 256)
+	for v := 1; v < 256; v++ {
+		n := 0
+		for x := v; x > 0; x >>= 1 {
+			n++
+		}
+		out[v] = byte(n)
+	}
+	return out
+}
+
+// runLengthTable returns synthetic run-code lengths (2..9 bits).
+func runLengthTable() []byte {
+	out := make([]byte, 64)
+	for r := range out {
+		out[r] = byte(2 + r%8)
+	}
+	return out
+}
+
+// EntropyEncode emits the zigzag scan + run-length + bit-packing loop
+// over nblocks quantized coefficient blocks, writing packed words to out
+// (at least 8*(1+64*nblocks/4) bytes). It is dominated by a serial bit
+// buffer, data-dependent branches and three table lookups per
+// coefficient. reps repeats the pass (encoders run multi-pass rate
+// optimization), scaling the scalar region.
+func EntropyEncode(b *ir.Builder, blocks int64, nblocks, reps int, out int64, aliasBlk, aliasOut int) {
+	zz := b.Data(zigzagOffsets())
+	cat := b.Data(bitLengthTable())
+	rlt := b.Data(runLengthTable())
+	zero := b.Const(0)
+	c255 := b.Const(255)
+	zzB := b.Const(zz)
+	catB := b.Const(cat)
+	rltB := b.Const(rlt)
+	flushAt := b.Const(40)
+
+	for rep := 0; rep < reps; rep++ {
+		bp := b.Const(blocks)
+		op := b.Const(out)
+		bitbuf := b.Const(int64(rep))
+		bitcnt := b.Const(0)
+		run := b.Const(0)
+		b.Loop(0, int64(nblocks), 1, func(ir.Reg) {
+			b.Loop(0, 64, 1, func(iv ir.Reg) {
+				zoff := b.Load(isa.LDBU, b.Add(zzB, iv), 0, aliasBlk)
+				c := b.Load(isa.LDH, b.Add(bp, zoff), 0, aliasBlk)
+				b.IfElse(isa.BEQ, c, zero, func() {
+					b.BinITo(isa.ADD, run, run, 1)
+				}, func() {
+					mask := b.SraI(c, 63)
+					abs := b.Sub(b.Xor(c, mask), mask)
+					capped := b.Select(b.Bin(isa.CMPLT, abs, c255), abs, c255)
+					catv := b.Load(isa.LDBU, b.Add(catB, capped), 0, aliasBlk)
+					rl := b.Load(isa.LDBU, b.Add(rltB, b.AndI(run, 63)), 0, aliasBlk)
+					length := b.Add(catv, rl)
+					code := b.Add(capped, b.ShlI(run, 4))
+					b.BinTo(isa.SHL, bitbuf, bitbuf, length)
+					b.BinTo(isa.OR, bitbuf, bitbuf, code)
+					b.BinTo(isa.ADD, bitcnt, bitcnt, length)
+					b.MovITo(run, 0)
+					b.IfElse(isa.BGE, bitcnt, flushAt, func() {
+						b.Store(isa.STD, bitbuf, op, 0, aliasOut)
+						b.BinITo(isa.ADD, op, op, 8)
+						b.BinITo(isa.SUB, bitcnt, bitcnt, 40)
+					}, nil)
+				})
+			})
+			b.BinITo(isa.ADD, bp, bp, int64(kernels.BlockBytes))
+		})
+		// Flush the tail.
+		b.Store(isa.STD, bitbuf, op, 0, aliasOut)
+		b.Store(isa.STD, bitcnt, op, 8, aliasOut)
+	}
+}
+
+// EntropyDecode emits the decoder front end: a serial "bit position" key
+// chains every extraction; each coefficient needs an unpack, a descramble
+// and a dequantization table lookup. It writes ncoeff int16 coefficients
+// (element order) to out. The Go mirror is EntropyDecodeRef.
+func EntropyDecode(b *ir.Builder, stream int64, ncoeff int, out int64, aliasStream, aliasOut int) {
+	dq := make([]int16, 64)
+	for i := range dq {
+		dq[i] = int16(8 + (i*7)%56)
+	}
+	dqAddr := b.DataH(dq)
+	sp := b.Const(stream)
+	op := b.Const(out)
+	dqB := b.Const(dqAddr)
+	key := b.Const(0)
+	zero := b.Const(0)
+	b.Loop(0, int64(ncoeff), 1, func(iv ir.Reg) {
+		v := b.Load(isa.LDHU, sp, 0, aliasStream)
+		// Most coefficients are zero (coded as run lengths): real Huffman
+		// decoders take a cheap path for them. One symbol in sixteen
+		// carries a value and pays the full descramble + dequantization.
+		b.IfElse(isa.BNE, b.AndI(v, 15), zero, func() {
+			b.Store(isa.STH, zero, op, 0, aliasOut)
+		}, func() {
+			d := b.Xor(v, b.AndI(key, 255))
+			c := b.SubI(b.AndI(d, 511), 256)
+			idx := b.AndI(iv, 63)
+			q := b.Load(isa.LDH, b.Add(dqB, b.ShlI(idx, 1)), 0, aliasStream)
+			b.Store(isa.STH, b.SraI(b.Mul(c, q), 4), op, 0, aliasOut)
+			b.BinTo(isa.ADD, key, key, v)
+			b.BinITo(isa.AND, key, key, 0xFFFF)
+		})
+		b.BinITo(isa.ADD, sp, sp, 2)
+		b.BinITo(isa.ADD, op, op, 2)
+	})
+}
+
+// EntropyDecodeRef mirrors EntropyDecode in Go.
+func EntropyDecodeRef(stream []uint16, ncoeff int) []int16 {
+	dq := make([]int16, 64)
+	for i := range dq {
+		dq[i] = int16(8 + (i*7)%56)
+	}
+	out := make([]int16, ncoeff)
+	key := int64(0)
+	for i := 0; i < ncoeff; i++ {
+		v := int64(stream[i])
+		if v&15 != 0 {
+			out[i] = 0
+			continue
+		}
+		d := v ^ (key & 255)
+		c := (d & 511) - 256
+		out[i] = int16((c * int64(dq[i&63])) >> 4)
+		key = (key + v) & 0xFFFF
+	}
+	return out
+}
+
+// Deblockify converts int16 blocks (two-plane layout, centered at 0) back
+// to a byte plane (adding 128 and clamping). It is scalar in every
+// variant: in the JPEG decoder it belongs to the scalar region.
+func Deblockify(b *ir.Builder, blocks, plane int64, w, bxCount, byCount int, aliasBlk, aliasPlane int) {
+	zero := b.Const(0)
+	max := b.Const(255)
+	bp := b.Const(blocks)
+	pbase := b.Const(plane)
+	rowAdvance := int64(8*w - 8*bxCount)
+	b.Loop(0, int64(byCount), 1, func(ir.Reg) {
+		b.Loop(0, int64(bxCount), 1, func(ir.Reg) {
+			for r := 0; r < 8; r++ {
+				for c := 0; c < 8; c++ {
+					v := b.Load(isa.LDH, bp, int64(2*kernels.BlockIdx(r, c)), aliasBlk)
+					v = b.AddI(v, 128)
+					v = b.Select(b.Bin(isa.CMPLT, v, zero), zero, v)
+					v = b.Select(b.Bin(isa.CMPLT, max, v), max, v)
+					b.Store(isa.STB, v, pbase, int64(r*w+c), aliasPlane)
+				}
+			}
+			b.BinITo(isa.ADD, bp, bp, int64(kernels.BlockBytes))
+			b.BinITo(isa.ADD, pbase, pbase, 8)
+		})
+		b.BinITo(isa.ADD, pbase, pbase, rowAdvance)
+	})
+}
+
+// DeblockifyRef mirrors Deblockify.
+func DeblockifyRef(blocks [][]int16, w, bxCount, byCount int) []byte {
+	out := make([]byte, w*8*byCount)
+	for by := 0; by < byCount; by++ {
+		for bx := 0; bx < bxCount; bx++ {
+			blk := blocks[by*bxCount+bx]
+			for r := 0; r < 8; r++ {
+				for c := 0; c < 8; c++ {
+					v := int(blk[kernels.BlockIdx(r, c)]) + 128
+					if v < 0 {
+						v = 0
+					}
+					if v > 255 {
+						v = 255
+					}
+					out[(by*8+r)*w+bx*8+c] = byte(v)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Preprocess emits the GSM encoder's offset compensation + preemphasis:
+// a first-order recurrence per sample (z = diff + (z*32735)>>15), the
+// canonical serial scalar region.
+func Preprocess(b *ir.Builder, in, out int64, n int, aliasIn, aliasOut int) {
+	sp := b.Const(in)
+	op := b.Const(out)
+	prev := b.Const(0)
+	z := b.Const(0)
+	b.Loop(0, int64(n), 1, func(ir.Reg) {
+		s := b.Load(isa.LDH, sp, 0, aliasIn)
+		diff := b.Sub(s, prev)
+		b.MovTo(prev, s)
+		t := b.SraI(b.MulI(z, 32735), 15)
+		b.BinTo(isa.ADD, z, diff, t)
+		b.Store(isa.STH, z, op, 0, aliasOut)
+		b.BinITo(isa.ADD, sp, sp, 2)
+		b.BinITo(isa.ADD, op, op, 2)
+	})
+}
+
+// PreprocessRef mirrors Preprocess.
+func PreprocessRef(in []int16) []int16 {
+	out := make([]int16, len(in))
+	var prev, z int64
+	for i, s := range in {
+		diff := int64(s) - prev
+		prev = int64(s)
+		z = diff + ((z * 32735) >> 15)
+		out[i] = int16(z)
+	}
+	return out
+}
+
+// Schur emits a simplified Schur recursion over 9 autocorrelation values
+// (int64), producing 8 reflection coefficients. The chain of dependent
+// divisions is inherently serial.
+func Schur(b *ir.Builder, acf, out int64, aliasAcf, aliasOut int) {
+	ap := b.Const(acf)
+	op := b.Const(out)
+	one := b.Const(1)
+	e := b.Load(isa.LDD, ap, 0, aliasAcf)
+	e = b.Select(b.Bin(isa.CMPLT, e, one), one, e)
+	for i := 1; i <= 8; i++ {
+		p := b.Load(isa.LDD, ap, int64(8*i), aliasAcf)
+		k := b.Bin(isa.DIV, b.ShlI(p, 8), e)
+		b.Store(isa.STD, k, op, int64(8*(i-1)), aliasOut)
+		k2 := b.SraI(b.Mul(k, k), 8)
+		red := b.SraI(b.Mul(k2, b.SraI(e, 8)), 8)
+		e = b.Sub(e, red)
+		e = b.Select(b.Bin(isa.CMPLT, e, one), one, e)
+	}
+}
+
+// SchurRef mirrors Schur.
+func SchurRef(acf []int64) []int64 {
+	out := make([]int64, 8)
+	e := acf[0]
+	if e < 1 {
+		e = 1
+	}
+	for i := 1; i <= 8; i++ {
+		k := (acf[i] << 8) / e
+		out[i-1] = k
+		k2 := (k * k) >> 8
+		e -= (k2 * (e >> 8)) >> 8
+		if e < 1 {
+			e = 1
+		}
+	}
+	return out
+}
+
+// SynthesisFilter emits the GSM decoder's short-term synthesis lattice
+// filter: per sample, eight dependent multiply/shift/add stages — the
+// reason gsm_dec is 99% scalar in Table 1. refl points at 8 int64
+// reflection coefficients; n samples from in are filtered to out.
+func SynthesisFilter(b *ir.Builder, refl, in, out int64, n int, aliasK, aliasIn, aliasOut int) {
+	rp := b.Const(refl)
+	var k [8]ir.Reg
+	for i := 0; i < 8; i++ {
+		k[i] = b.Load(isa.LDD, rp, int64(8*i), aliasK)
+	}
+	var v [8]ir.Reg
+	for i := range v {
+		v[i] = b.Const(0)
+	}
+	sp := b.Const(in)
+	op := b.Const(out)
+	b.Loop(0, int64(n), 1, func(ir.Reg) {
+		sri := b.Load(isa.LDH, sp, 0, aliasIn)
+		for i := 7; i >= 0; i-- {
+			sri = b.Sub(sri, b.SraI(b.Mul(k[i], v[i]), 8))
+			t := b.Add(v[i], b.SraI(b.Mul(k[i], sri), 8))
+			b.MovTo(v[i], t)
+		}
+		b.Store(isa.STH, sri, op, 0, aliasOut)
+		b.BinITo(isa.ADD, sp, sp, 2)
+		b.BinITo(isa.ADD, op, op, 2)
+	})
+}
+
+// SynthesisFilterRef mirrors SynthesisFilter. Intermediate values are
+// kept in int64 exactly as the IR does; the stored sample is the low 16
+// bits.
+func SynthesisFilterRef(refl []int64, in []int16) []int16 {
+	var v [8]int64
+	out := make([]int16, len(in))
+	for n, s := range in {
+		sri := int64(s)
+		for i := 7; i >= 0; i-- {
+			sri -= (refl[i] * v[i]) >> 8
+			v[i] += (refl[i] * sri) >> 8
+		}
+		out[n] = int16(sri)
+	}
+	return out
+}
+
+// ReadInput emits the scalar input stage every Mediabench program has: a
+// load-and-checksum loop over an input buffer (file reading, header
+// parsing, buffer unpacking). Besides contributing genuine scalar-region
+// work, it brings the input data into the cache hierarchy — which is why
+// the paper's vector regions mostly see L2 hits. n must be a multiple
+// of 8.
+func ReadInput(b *ir.Builder, addr, n int64, alias int) {
+	if n%8 != 0 {
+		panic("apps: ReadInput length must be a multiple of 8")
+	}
+	sp := b.Const(addr)
+	sum := b.Const(0)
+	b.Loop(0, n, 8, func(ir.Reg) {
+		v := b.Load(isa.LDD, sp, 0, alias)
+		b.BinTo(isa.ADD, sum, sum, v)
+		b.BinITo(isa.ADD, sp, sp, 8)
+	})
+	b.Store(isa.STD, sum, b.Const(b.Alloc(8)), 0, alias)
+}
+
+// WarmAll emits the program-initialization stage: one scalar pass over
+// the entire data segment allocated so far (inputs read from "files",
+// output buffers zeroed by allocation). Mediabench programs touch their
+// working set this way before the hot loops run; without it, every
+// width-independent cold miss lands inside the measured regions and
+// flattens the scaling curves the paper studies.
+func WarmAll(b *ir.Builder) {
+	n := (b.Size() + 7) &^ 7
+	if n == 0 {
+		return
+	}
+	ReadInput(b, ir.DataBase, n, 0)
+}

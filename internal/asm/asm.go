@@ -1,0 +1,584 @@
+// Package asm implements a textual assembly format for the
+// Vector-µSIMD-VLIW ISA, with an assembler (text → ir.Func) and a
+// disassembler (ir.Func → text) that round-trip. It lets kernels be
+// written and inspected without going through the Go builder API.
+//
+// Syntax overview (see the package tests and cmd/vsimdasm for examples):
+//
+//	; comment
+//	.data   buf 1024          ; zero-initialized region, 1024 bytes
+//	.bytes  lut 00 01 ff      ; initialized bytes (hex)
+//	.half   tab -3 77 128     ; int16 values
+//	.word   big 100000 -5     ; int32 values
+//
+//	movi  r0, &buf            ; address of a data symbol
+//	movi  r1, #42             ; immediate
+//	add   r2, r0, r1          ; register form
+//	add   r2, r2, #8          ; immediate form
+//	ldd   r3, [r0+16] @2      ; load, alias class 2
+//	std   r3, [r0+24] @2      ; store (value first)
+//	beq   r2, r3, done        ; branch to label
+//	loop:                     ; label (starts a basic block)
+//	setvl #8
+//	setvs #8
+//	vld   v0, [r0] @1
+//	vadd.w v1, v0, v0         ; width suffix: .b/.w/.d = 8/16/32-bit lanes
+//	vsll.w v1, v1, #2
+//	aclr  a0
+//	vsada a0, v0, v1
+//	vsum.b r4, a0
+//	apack r5, a0, #8
+//	regbegin #1               ; region markers (Table 1 regions)
+//	regend   #1
+//	halt
+//
+// Registers are virtual: r (integer), m (µSIMD), v (vector), a
+// (accumulator), numbered from 0. Labels name basic-block starts; control
+// falls through from one block to the next as in the IR.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/simd"
+)
+
+// mnemonics maps each opcode name to its opcode.
+var mnemonics = func() map[string]isa.Opcode {
+	m := make(map[string]isa.Opcode, isa.NumOpcodes)
+	for op := isa.Opcode(0); int(op) < isa.NumOpcodes; op++ {
+		m[op.Name()] = op
+	}
+	return m
+}()
+
+// widthBySuffix maps the mnemonic width suffix to a sub-word width.
+var widthBySuffix = map[string]simd.Width{
+	"b": simd.W8, "w": simd.W16, "d": simd.W32, "q": simd.W64,
+}
+
+func suffixByWidth(w simd.Width) string { return w.String() }
+
+// Assemble parses the assembly source into a function named name.
+func Assemble(name, src string) (*ir.Func, error) {
+	p := &parser{
+		name:    name,
+		symbols: map[string]int64{},
+		labels:  map[string]int{},
+		f:       &ir.Func{Name: name},
+	}
+	return p.run(src)
+}
+
+type pendingBranch struct {
+	block, op int
+	label     string
+	line      int
+}
+
+type parser struct {
+	name    string
+	symbols map[string]int64 // data symbol -> address
+	labels  map[string]int   // label -> block index
+	f       *ir.Func
+	cur     *ir.Block
+	next    int64 // data bump pointer
+	pending []pendingBranch
+	regs    [5]int32 // highest register id seen per class, +1
+}
+
+func (p *parser) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("asm: %s:%d: %s", p.name, line, fmt.Sprintf(format, args...))
+}
+
+// block returns the current emission block, opening one if needed.
+func (p *parser) block() *ir.Block {
+	if p.cur == nil {
+		p.cur = &ir.Block{ID: len(p.f.Blocks)}
+		p.f.Blocks = append(p.f.Blocks, p.cur)
+	}
+	return p.cur
+}
+
+// seal ends the current block (after a branch).
+func (p *parser) seal() { p.cur = nil }
+
+func (p *parser) run(src string) (*ir.Func, error) {
+	for i, raw := range strings.Split(src, "\n") {
+		line := i + 1
+		text := raw
+		if j := strings.IndexByte(text, ';'); j >= 0 {
+			text = text[:j]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, ".") {
+			if err := p.directive(line, text); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			j := strings.IndexByte(text, ':')
+			if j < 0 || strings.ContainsAny(text[:j], " \t,#[") {
+				break
+			}
+			label := text[:j]
+			p.seal()
+			p.labels[label] = len(p.f.Blocks)
+			p.block() // open the labeled block now so its index is fixed
+			text = strings.TrimSpace(text[j+1:])
+			if text == "" {
+				break
+			}
+		}
+		if text == "" {
+			continue
+		}
+		if err := p.instruction(line, text); err != nil {
+			return nil, err
+		}
+	}
+	// Resolve branch labels.
+	for _, pb := range p.pending {
+		target, ok := p.labels[pb.label]
+		if !ok {
+			return nil, p.errf(pb.line, "undefined label %q", pb.label)
+		}
+		p.f.Blocks[pb.block].Ops[pb.op].Target = target
+	}
+	// Terminate.
+	if len(p.f.Blocks) == 0 {
+		p.block()
+	}
+	last := p.f.Blocks[len(p.f.Blocks)-1]
+	if !last.Terminated() {
+		last.Ops = append(last.Ops, ir.Op{Opcode: isa.HALT})
+	}
+	p.f.DataSize = p.next
+	p.f.NumRegs = p.regs
+	return p.f, p.f.Verify()
+}
+
+// directive handles .data/.bytes/.half/.word lines.
+func (p *parser) directive(line int, text string) error {
+	fields := strings.Fields(text)
+	if len(fields) < 2 {
+		return p.errf(line, "malformed directive %q", text)
+	}
+	name := fields[1]
+	if _, dup := p.symbols[name]; dup {
+		return p.errf(line, "duplicate data symbol %q", name)
+	}
+	alloc := func(n int64) int64 {
+		addr := ir.DataBase + p.next
+		p.next += (n + 7) &^ 7
+		return addr
+	}
+	switch fields[0] {
+	case ".data":
+		if len(fields) != 3 {
+			return p.errf(line, ".data needs a name and a size")
+		}
+		n, err := strconv.ParseInt(fields[2], 0, 64)
+		if err != nil || n <= 0 {
+			return p.errf(line, "bad .data size %q", fields[2])
+		}
+		p.symbols[name] = alloc(n)
+	case ".bytes":
+		buf := make([]byte, 0, len(fields)-2)
+		for _, h := range fields[2:] {
+			v, err := strconv.ParseUint(h, 16, 8)
+			if err != nil {
+				return p.errf(line, "bad hex byte %q", h)
+			}
+			buf = append(buf, byte(v))
+		}
+		addr := alloc(int64(len(buf)))
+		p.symbols[name] = addr
+		p.f.DataInit = append(p.f.DataInit, ir.DataChunk{Addr: addr, Bytes: buf})
+	case ".half", ".word":
+		size := 2
+		if fields[0] == ".word" {
+			size = 4
+		}
+		buf := make([]byte, 0, size*(len(fields)-2))
+		for _, h := range fields[2:] {
+			v, err := strconv.ParseInt(h, 0, 64)
+			if err != nil {
+				return p.errf(line, "bad value %q", h)
+			}
+			for b := 0; b < size; b++ {
+				buf = append(buf, byte(uint64(v)>>(8*b)))
+			}
+		}
+		addr := alloc(int64(len(buf)))
+		p.symbols[name] = addr
+		p.f.DataInit = append(p.f.DataInit, ir.DataChunk{Addr: addr, Bytes: buf})
+	default:
+		return p.errf(line, "unknown directive %q", fields[0])
+	}
+	return nil
+}
+
+// reg parses a register operand and tracks the register-file high water.
+func (p *parser) reg(line int, tok string) (ir.Reg, error) {
+	if len(tok) < 2 {
+		return ir.Reg{}, p.errf(line, "bad register %q", tok)
+	}
+	var class isa.RegClass
+	switch tok[0] {
+	case 'r':
+		class = isa.RegInt
+	case 'm':
+		class = isa.RegSIMD
+	case 'v':
+		class = isa.RegVec
+	case 'a':
+		class = isa.RegAcc
+	default:
+		return ir.Reg{}, p.errf(line, "bad register %q", tok)
+	}
+	id, err := strconv.Atoi(tok[1:])
+	if err != nil || id < 0 {
+		return ir.Reg{}, p.errf(line, "bad register %q", tok)
+	}
+	if int32(id+1) > p.regs[class] {
+		p.regs[class] = int32(id + 1)
+	}
+	return ir.Reg{Class: class, ID: int32(id)}, nil
+}
+
+// imm parses #imm or &symbol.
+func (p *parser) imm(line int, tok string) (int64, error) {
+	switch {
+	case strings.HasPrefix(tok, "#"):
+		v, err := strconv.ParseInt(tok[1:], 0, 64)
+		if err != nil {
+			return 0, p.errf(line, "bad immediate %q", tok)
+		}
+		return v, nil
+	case strings.HasPrefix(tok, "&"):
+		addr, ok := p.symbols[tok[1:]]
+		if !ok {
+			return 0, p.errf(line, "undefined data symbol %q", tok[1:])
+		}
+		return addr, nil
+	}
+	return 0, p.errf(line, "expected immediate or &symbol, got %q", tok)
+}
+
+// memOperand parses "[rN+off]" or "[rN]".
+func (p *parser) memOperand(line int, tok string) (ir.Reg, int64, error) {
+	if !strings.HasPrefix(tok, "[") || !strings.HasSuffix(tok, "]") {
+		return ir.Reg{}, 0, p.errf(line, "expected [reg+off], got %q", tok)
+	}
+	inner := tok[1 : len(tok)-1]
+	off := int64(0)
+	regTok := inner
+	if j := strings.IndexAny(inner, "+-"); j > 0 {
+		var err error
+		off, err = strconv.ParseInt(inner[j:], 0, 64)
+		if err != nil {
+			return ir.Reg{}, 0, p.errf(line, "bad offset in %q", tok)
+		}
+		regTok = inner[:j]
+	}
+	base, err := p.reg(line, regTok)
+	if err != nil {
+		return ir.Reg{}, 0, err
+	}
+	if base.Class != isa.RegInt {
+		return ir.Reg{}, 0, p.errf(line, "memory base must be an integer register")
+	}
+	return base, off, nil
+}
+
+// splitOperands splits the operand text on commas, trimming each piece,
+// and extracts a trailing "@alias" annotation.
+func splitOperands(text string) (ops []string, alias int) {
+	if j := strings.LastIndex(text, "@"); j >= 0 {
+		if v, err := strconv.Atoi(strings.TrimSpace(text[j+1:])); err == nil {
+			alias = v
+			text = strings.TrimSpace(text[:j])
+		}
+	}
+	if text == "" {
+		return nil, alias
+	}
+	for _, part := range strings.Split(text, ",") {
+		ops = append(ops, strings.TrimSpace(part))
+	}
+	return ops, alias
+}
+
+func (p *parser) instruction(line int, text string) error {
+	mn := text
+	rest := ""
+	if j := strings.IndexAny(text, " \t"); j >= 0 {
+		mn, rest = text[:j], strings.TrimSpace(text[j+1:])
+	}
+	var width simd.Width
+	if j := strings.LastIndexByte(mn, '.'); j >= 0 {
+		w, ok := widthBySuffix[mn[j+1:]]
+		if !ok {
+			return p.errf(line, "unknown width suffix %q", mn[j+1:])
+		}
+		width = w
+		mn = mn[:j]
+	}
+	op, ok := mnemonics[mn]
+	if !ok {
+		return p.errf(line, "unknown mnemonic %q", mn)
+	}
+	operands, alias := splitOperands(rest)
+	out := ir.Op{Opcode: op, Width: width, Alias: alias}
+	in := op.Get()
+
+	need := func(n int) error {
+		if len(operands) != n {
+			return p.errf(line, "%s expects %d operands, got %d", mn, n, len(operands))
+		}
+		return nil
+	}
+
+	switch {
+	case op == isa.NOP || op == isa.HALT:
+		if err := need(0); err != nil {
+			return err
+		}
+	case op == isa.REGBEGIN || op == isa.REGEND:
+		if err := need(1); err != nil {
+			return err
+		}
+		v, err := p.imm(line, operands[0])
+		if err != nil {
+			return err
+		}
+		out.Imm = v
+	case op == isa.MOVI || op == isa.MOVIM:
+		if err := need(2); err != nil {
+			return err
+		}
+		d, err := p.reg(line, operands[0])
+		if err != nil {
+			return err
+		}
+		v, err := p.imm(line, operands[1])
+		if err != nil {
+			return err
+		}
+		out.Dst = []ir.Reg{d}
+		out.Imm = v
+		out.UseImm = true
+	case op == isa.SETVL || op == isa.SETVS:
+		if err := need(1); err != nil {
+			return err
+		}
+		if strings.HasPrefix(operands[0], "#") {
+			v, err := p.imm(line, operands[0])
+			if err != nil {
+				return err
+			}
+			out.Imm = v
+			out.UseImm = true
+		} else {
+			r, err := p.reg(line, operands[0])
+			if err != nil {
+				return err
+			}
+			out.Src = []ir.Reg{r}
+		}
+	case in.Branch: // beq/bne/blt/bge ra, rb, label ; jmp label
+		want := len(in.Sig.Src)
+		if err := need(want + 1); err != nil {
+			return err
+		}
+		for _, tok := range operands[:want] {
+			r, err := p.reg(line, tok)
+			if err != nil {
+				return err
+			}
+			out.Src = append(out.Src, r)
+		}
+		blk := p.block()
+		p.pending = append(p.pending, pendingBranch{
+			block: blk.ID, op: len(blk.Ops), label: operands[want], line: line,
+		})
+		blk.Ops = append(blk.Ops, out)
+		p.seal()
+		return nil
+	case in.Mem == isa.MemLoad: // ld* rd, [base+off]
+		if err := need(2); err != nil {
+			return err
+		}
+		d, err := p.reg(line, operands[0])
+		if err != nil {
+			return err
+		}
+		base, off, err := p.memOperand(line, operands[1])
+		if err != nil {
+			return err
+		}
+		out.Dst = []ir.Reg{d}
+		out.Src = []ir.Reg{base}
+		out.Imm = off
+	case in.Mem == isa.MemStore: // st* rs, [base+off]
+		if err := need(2); err != nil {
+			return err
+		}
+		s, err := p.reg(line, operands[0])
+		if err != nil {
+			return err
+		}
+		base, off, err := p.memOperand(line, operands[1])
+		if err != nil {
+			return err
+		}
+		out.Src = []ir.Reg{s, base}
+		out.Imm = off
+	case op == isa.PSLL || op == isa.PSRL || op == isa.PSRA ||
+		op == isa.VSLL || op == isa.VSRL || op == isa.VSRA ||
+		op == isa.VEXTR || op == isa.APACK:
+		// op rd, rs, #imm
+		if err := need(3); err != nil {
+			return err
+		}
+		d, err := p.reg(line, operands[0])
+		if err != nil {
+			return err
+		}
+		s, err := p.reg(line, operands[1])
+		if err != nil {
+			return err
+		}
+		v, err := p.imm(line, operands[2])
+		if err != nil {
+			return err
+		}
+		out.Dst = []ir.Reg{d}
+		out.Src = []ir.Reg{s}
+		out.Imm = v
+		if op != isa.VEXTR && op != isa.APACK {
+			out.UseImm = true
+		}
+	case op == isa.VINS: // vins vd, rs, #idx  (vd is also a source)
+		if err := need(3); err != nil {
+			return err
+		}
+		d, err := p.reg(line, operands[0])
+		if err != nil {
+			return err
+		}
+		s, err := p.reg(line, operands[1])
+		if err != nil {
+			return err
+		}
+		v, err := p.imm(line, operands[2])
+		if err != nil {
+			return err
+		}
+		out.Dst = []ir.Reg{d}
+		out.Src = []ir.Reg{s, d}
+		out.Imm = v
+	case op == isa.VSADA || op == isa.VMACA: // op ad, va, vb (ad also source)
+		if err := need(3); err != nil {
+			return err
+		}
+		d, err := p.reg(line, operands[0])
+		if err != nil {
+			return err
+		}
+		a, err := p.reg(line, operands[1])
+		if err != nil {
+			return err
+		}
+		bb, err := p.reg(line, operands[2])
+		if err != nil {
+			return err
+		}
+		out.Dst = []ir.Reg{d}
+		out.Src = []ir.Reg{a, bb, d}
+		if out.Width == 0 {
+			out.Width = in.Widths[0]
+		}
+	case op == isa.VACCW: // vaccw ad, va
+		if err := need(2); err != nil {
+			return err
+		}
+		d, err := p.reg(line, operands[0])
+		if err != nil {
+			return err
+		}
+		a, err := p.reg(line, operands[1])
+		if err != nil {
+			return err
+		}
+		out.Dst = []ir.Reg{d}
+		out.Src = []ir.Reg{a, d}
+		if out.Width == 0 {
+			out.Width = in.Widths[0]
+		}
+	default:
+		// Generic: dst list then src list per the signature; immediates
+		// allowed as the final source of immediate-capable scalar ALU ops.
+		wantDst := len(in.Sig.Dst)
+		wantSrc := len(in.Sig.Src)
+		hasImm := len(operands) == wantDst+wantSrc &&
+			wantSrc > 0 && in.Imm &&
+			(strings.HasPrefix(operands[len(operands)-1], "#") ||
+				strings.HasPrefix(operands[len(operands)-1], "&"))
+		if hasImm {
+			wantSrc--
+			out.UseImm = true
+		}
+		if err := need(wantDst + wantSrc + btoi(out.UseImm)); err != nil {
+			return err
+		}
+		idx := 0
+		for i := 0; i < wantDst; i++ {
+			r, err := p.reg(line, operands[idx])
+			if err != nil {
+				return err
+			}
+			out.Dst = append(out.Dst, r)
+			idx++
+		}
+		for i := 0; i < wantSrc; i++ {
+			r, err := p.reg(line, operands[idx])
+			if err != nil {
+				return err
+			}
+			out.Src = append(out.Src, r)
+			idx++
+		}
+		if out.UseImm {
+			v, err := p.imm(line, operands[idx])
+			if err != nil {
+				return err
+			}
+			out.Imm = v
+		}
+	}
+
+	blk := p.block()
+	blk.Ops = append(blk.Ops, out)
+	if op == isa.JMP || op == isa.HALT {
+		p.seal()
+	}
+	return nil
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,300 @@
+package asm
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vsimdvliw/internal/apps"
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/kernels"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/sim"
+)
+
+// dotProduct is a complete Vector-µSIMD assembly program: the dot product
+// of two 32-element int16 arrays via the packed accumulator.
+const dotProduct = `
+; dot product of two int16[32] arrays
+.half xs 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16
+.half ys 2 2 2 2 2 2 2 2 2 2 2 2 2 2 2 2 3 3 3 3 3 3 3 3 3 3 3 3 3 3 3 3
+.data out 8
+
+	setvl #8              ; 8 words = 32 int16 lanes
+	setvs #8
+	movi  r0, &xs
+	movi  r1, &ys
+	movi  r2, &out
+	vld   v0, [r0] @1
+	vld   v1, [r1] @2
+	aclr  a0
+	vmaca a0, v0, v1
+	vsum.w r3, a0
+	std   r3, [r2] @3
+	halt
+`
+
+func TestAssembleAndRunDotProduct(t *testing.T) {
+	f, err := Assemble("dot", dotProduct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := core.Compile(f, &machine.Vector2x2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.NewMachine(core.Perfect)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Expected: sum(1..16)*2 + sum(1..16)*3 = 136*5 = 680.
+	outAddr := f.DataInit[0].Addr + 64 + 64 // xs then ys, then out
+	raw, err := m.ReadBytes(outAddr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int64(binary.LittleEndian.Uint64(raw)); got != 680 {
+		t.Errorf("dot product = %d, want 680", got)
+	}
+}
+
+func TestAssembleLoopAndBranch(t *testing.T) {
+	src := `
+.data out 8
+	movi r0, #0
+	movi r1, #0
+	movi r2, #10
+loop:
+	add r1, r1, r0
+	add r0, r0, #1
+	blt r0, r2, loop
+	movi r3, &out
+	std r1, [r3] @1
+	halt
+`
+	f, err := Assemble("loop", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := core.Compile(f, &machine.VLIW2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.NewMachine(core.Perfect)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := m.ReadBytes(0x10000, 8) // &out is the first allocation
+	if got := int64(binary.LittleEndian.Uint64(out)); got != 45 {
+		t.Errorf("sum(0..9) = %d, want 45", got)
+	}
+}
+
+func TestAssembleDirectives(t *testing.T) {
+	src := `
+.data  blank 16
+.bytes raw ff 00 7f
+.half  halves -1 256
+.word  words -100000
+	halt
+`
+	f, err := Assemble("dirs", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.DataInit) != 3 {
+		t.Fatalf("chunks = %d", len(f.DataInit))
+	}
+	if f.DataInit[0].Addr != 0x10000+16 {
+		t.Errorf("raw at %#x", f.DataInit[0].Addr)
+	}
+	if !reflect.DeepEqual(f.DataInit[0].Bytes, []byte{0xFF, 0x00, 0x7F}) {
+		t.Errorf("raw = %v", f.DataInit[0].Bytes)
+	}
+	if !reflect.DeepEqual(f.DataInit[1].Bytes, []byte{0xFF, 0xFF, 0x00, 0x01}) {
+		t.Errorf("halves = %v", f.DataInit[1].Bytes)
+	}
+	w := f.DataInit[2].Bytes
+	if int32(binary.LittleEndian.Uint32(w)) != -100000 {
+		t.Errorf("words = %v", w)
+	}
+	if f.DataSize != 16+8+8+8 {
+		t.Errorf("DataSize = %d", f.DataSize)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown mnemonic", "frobnicate r0, r1"},
+		{"bad register", "add q0, r1, r2"},
+		{"undefined label", "jmp nowhere"},
+		{"undefined symbol", "movi r0, &missing"},
+		{"duplicate symbol", ".data x 8\n.data x 8"},
+		{"bad width", "vadd.z v0, v1, v2"},
+		{"bad operand count", "add r0, r1"},
+		{"bad directive", ".frob x 1"},
+		{"bad hex", ".bytes x zz"},
+		{"bad data size", ".data x -5"},
+		{"bad immediate", "movi r0, #1x"},
+		{"store to nonint base", "std r0, [v1+8]"},
+	}
+	for _, c := range cases {
+		if _, err := Assemble(c.name, c.src); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestRoundTripSmall(t *testing.T) {
+	f, err := Assemble("dot", dotProduct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Disassemble(f)
+	f2, err := Assemble("dot2", text)
+	if err != nil {
+		t.Fatalf("reassembly failed: %v\n%s", err, text)
+	}
+	compareFuncs(t, f, f2)
+}
+
+// TestRoundTripApplications disassembles every application in every ISA
+// variant and reassembles it, requiring structural identity — a strong
+// joint test of the assembler, the disassembler and the IR.
+func TestRoundTripApplications(t *testing.T) {
+	for _, a := range apps.All() {
+		for _, v := range []kernels.Variant{kernels.Scalar, kernels.USIMD, kernels.Vector} {
+			built := a.Build(v)
+			text := Disassemble(built.Func)
+			f2, err := Assemble(a.Name, text)
+			if err != nil {
+				t.Fatalf("%s/%v: reassembly failed: %v", a.Name, v, err)
+			}
+			compareFuncs(t, built.Func, f2)
+		}
+	}
+}
+
+func compareFuncs(t *testing.T, a, b *ir.Func) {
+	t.Helper()
+	if len(a.Blocks) != len(b.Blocks) {
+		t.Fatalf("block count %d vs %d", len(a.Blocks), len(b.Blocks))
+	}
+	for i := range a.Blocks {
+		if len(a.Blocks[i].Ops) != len(b.Blocks[i].Ops) {
+			t.Fatalf("B%d: op count %d vs %d", i, len(a.Blocks[i].Ops), len(b.Blocks[i].Ops))
+		}
+		for j := range a.Blocks[i].Ops {
+			x := a.Blocks[i].Ops[j]
+			y := b.Blocks[i].Ops[j]
+			x.Label, y.Label = "", "" // labels are presentation-only
+			if !reflect.DeepEqual(x, y) {
+				t.Fatalf("B%d op %d differs:\n  orig: %+v\n  rt:   %+v", i, j, x, y)
+			}
+		}
+	}
+	if a.DataSize != b.DataSize {
+		t.Errorf("DataSize %d vs %d", a.DataSize, b.DataSize)
+	}
+	if len(a.DataInit) != len(b.DataInit) {
+		t.Fatalf("DataInit count %d vs %d", len(a.DataInit), len(b.DataInit))
+	}
+	for i := range a.DataInit {
+		if a.DataInit[i].Addr != b.DataInit[i].Addr ||
+			!reflect.DeepEqual(a.DataInit[i].Bytes, b.DataInit[i].Bytes) {
+			t.Fatalf("DataInit chunk %d differs", i)
+		}
+	}
+}
+
+func TestDisassembleReadable(t *testing.T) {
+	f, err := Assemble("dot", dotProduct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Disassemble(f)
+	for _, want := range []string{"vmaca", "vsum.w", "setvl #8", ".bytes", "B0:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// FuzzAssemble feeds arbitrary text to the assembler: it must reject or
+// accept without panicking, and anything it accepts must disassemble and
+// reassemble.
+func FuzzAssemble(f *testing.F) {
+	f.Add(dotProduct)
+	f.Add("add r0, r1, r2\nhalt")
+	f.Add(".data x 8\nmovi r0, &x\nldd r1, [r0+0] @1")
+	f.Add("loop: blt r0, r1, loop")
+	f.Add(".bytes b ff\n.half h -1\n.word w 9")
+	f.Fuzz(func(t *testing.T, src string) {
+		fn, err := Assemble("fuzz", src)
+		if err != nil {
+			return
+		}
+		text := Disassemble(fn)
+		if _, err := Assemble("fuzz2", text); err != nil {
+			t.Fatalf("accepted program failed to round-trip: %v\n%s", err, text)
+		}
+	})
+}
+
+// TestShippedExamplePrograms assembles and runs every .s file shipped in
+// examples/asm, checking their documented results.
+func TestShippedExamplePrograms(t *testing.T) {
+	run := func(file string, cfg *machine.Config) *sim.Machine {
+		t.Helper()
+		src, err := os.ReadFile(filepath.Join("..", "..", "examples", "asm", file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := Assemble(file, string(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Shipped sources must also round-trip.
+		if _, err := Assemble(file+".rt", Disassemble(f)); err != nil {
+			t.Fatalf("%s does not round-trip: %v", file, err)
+		}
+		prog, err := core.Compile(f, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := prog.NewMachine(core.Realistic)
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	// sad.s: documented SAD result 576 at &out = 0x10800.
+	m := run("sad.s", machine.ByName("Vector2-2w"))
+	raw, err := m.ReadBytes(0x10800, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int64(binary.LittleEndian.Uint64(raw)); got != 576 {
+		t.Errorf("sad.s result = %d, want 576", got)
+	}
+
+	// dotproduct.s: three identical results (90784) at &out = 0x10100.
+	m = run("dotproduct.s", machine.ByName("Vector2-4w"))
+	raw, err = m.ReadBytes(0x10100, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if got := int64(binary.LittleEndian.Uint64(raw[8*i:])); got != 90784 {
+			t.Errorf("dotproduct.s result %d = %d, want 90784", i, got)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+)
+
+// Disassemble renders f as assembly text that Assemble parses back into a
+// structurally identical function (same blocks, operations, register
+// numbers and data layout). Data chunks are named d0, d1, ...; gaps
+// between them become anonymous .data reservations; blocks are labeled
+// B0, B1, ...
+func Disassemble(f *ir.Func) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; %s — disassembled\n", f.Name)
+
+	// Data segment.
+	chunks := append([]ir.DataChunk(nil), f.DataInit...)
+	sort.Slice(chunks, func(i, j int) bool { return chunks[i].Addr < chunks[j].Addr })
+	pos := int64(ir.DataBase)
+	gap := 0
+	for i, c := range chunks {
+		if c.Addr > pos {
+			fmt.Fprintf(&sb, ".data g%d %d\n", gap, c.Addr-pos)
+			gap++
+			pos = c.Addr
+		}
+		fmt.Fprintf(&sb, ".bytes d%d %s\n", i, hexBytes(c.Bytes))
+		pos += (int64(len(c.Bytes)) + 7) &^ 7
+	}
+	if end := int64(ir.DataBase) + f.DataSize; end > pos {
+		fmt.Fprintf(&sb, ".data g%d %d\n", gap, end-pos)
+	}
+
+	// Code.
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&sb, "B%d:\n", blk.ID)
+		for i := range blk.Ops {
+			fmt.Fprintf(&sb, "\t%s\n", formatOp(&blk.Ops[i]))
+		}
+	}
+	return sb.String()
+}
+
+func hexBytes(b []byte) string {
+	parts := make([]string, len(b))
+	for i, v := range b {
+		parts[i] = fmt.Sprintf("%02x", v)
+	}
+	return strings.Join(parts, " ")
+}
+
+// formatOp renders one operation in the assembler's syntax.
+func formatOp(op *ir.Op) string {
+	in := op.Info()
+	mn := op.Opcode.Name()
+	if op.Width != 0 {
+		mn += "." + suffixByWidth(op.Width)
+	}
+	aliasSuffix := ""
+	if op.Alias != 0 {
+		aliasSuffix = fmt.Sprintf(" @%d", op.Alias)
+	}
+	memOperand := func(base ir.Reg, off int64) string {
+		if off == 0 {
+			return fmt.Sprintf("[%s]", base)
+		}
+		return fmt.Sprintf("[%s%+d]", base, off)
+	}
+
+	switch {
+	case op.Opcode == isa.NOP || op.Opcode == isa.HALT:
+		return mn
+	case op.Opcode == isa.REGBEGIN || op.Opcode == isa.REGEND:
+		return fmt.Sprintf("%s #%d", mn, op.Imm)
+	case op.Opcode == isa.MOVI || op.Opcode == isa.MOVIM:
+		return fmt.Sprintf("%s %s, #%d", mn, op.Dst[0], op.Imm)
+	case op.Opcode == isa.SETVL || op.Opcode == isa.SETVS:
+		if op.UseImm {
+			return fmt.Sprintf("%s #%d", mn, op.Imm)
+		}
+		return fmt.Sprintf("%s %s", mn, op.Src[0])
+	case in.Branch:
+		parts := make([]string, 0, 3)
+		for _, r := range op.Src {
+			parts = append(parts, r.String())
+		}
+		parts = append(parts, fmt.Sprintf("B%d", op.Target))
+		return mn + " " + strings.Join(parts, ", ")
+	case in.Mem == isa.MemLoad:
+		return fmt.Sprintf("%s %s, %s%s", mn, op.Dst[0], memOperand(op.Src[0], op.Imm), aliasSuffix)
+	case in.Mem == isa.MemStore:
+		return fmt.Sprintf("%s %s, %s%s", mn, op.Src[0], memOperand(op.Src[1], op.Imm), aliasSuffix)
+	case op.Opcode == isa.PSLL || op.Opcode == isa.PSRL || op.Opcode == isa.PSRA ||
+		op.Opcode == isa.VSLL || op.Opcode == isa.VSRL || op.Opcode == isa.VSRA ||
+		op.Opcode == isa.VEXTR || op.Opcode == isa.APACK:
+		return fmt.Sprintf("%s %s, %s, #%d", mn, op.Dst[0], op.Src[0], op.Imm)
+	case op.Opcode == isa.VINS:
+		return fmt.Sprintf("%s %s, %s, #%d", mn, op.Dst[0], op.Src[0], op.Imm)
+	case op.Opcode == isa.VSADA || op.Opcode == isa.VMACA:
+		return fmt.Sprintf("%s %s, %s, %s", mn, op.Dst[0], op.Src[0], op.Src[1])
+	case op.Opcode == isa.VACCW:
+		return fmt.Sprintf("%s %s, %s", mn, op.Dst[0], op.Src[0])
+	default:
+		parts := make([]string, 0, 4)
+		for _, r := range op.Dst {
+			parts = append(parts, r.String())
+		}
+		srcs := op.Src
+		for _, r := range srcs {
+			parts = append(parts, r.String())
+		}
+		if op.UseImm {
+			parts = append(parts, fmt.Sprintf("#%d", op.Imm))
+		}
+		if len(parts) == 0 {
+			return mn
+		}
+		return mn + " " + strings.Join(parts, ", ")
+	}
+}

@@ -1,0 +1,93 @@
+// Package core is the top-level API of the Vector-µSIMD-VLIW toolkit: it
+// ties the static scheduler (internal/sched), the memory models
+// (internal/mem) and the simulator (internal/sim) together behind two
+// calls — Compile and Run — mirroring the paper's methodology (Trimaran
+// compilation onto an HPL-PD-style machine description, followed by
+// cycle simulation with a detailed memory hierarchy).
+//
+// Typical use:
+//
+//	b := ir.NewBuilder("kernel")
+//	... emit operations (see internal/ir) ...
+//	prog, err := core.Compile(b.Func(), &machine.Vector2x4)
+//	res, err := prog.Run(core.Realistic)
+//	fmt.Println(res.Cycles, res.OPC())
+package core
+
+import (
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/mem"
+	"vsimdvliw/internal/sched"
+	"vsimdvliw/internal/sim"
+)
+
+// MemoryModel selects the timing model for a run.
+type MemoryModel int
+
+// The two memory models evaluated in the paper (Figure 5a vs 5b).
+const (
+	// Perfect: every access hits in its cache with the corresponding
+	// latency; vector accesses are served at full port rate regardless of
+	// stride.
+	Perfect MemoryModel = iota
+	// Realistic: the full three-level hierarchy with the two-bank
+	// interleaved L2 vector cache, coherency traffic and run-time stalls
+	// for misses and non-unit strides.
+	Realistic
+)
+
+// Program is a compiled (scheduled) program bound to a machine
+// configuration.
+type Program struct {
+	Sched  *sched.FuncSched
+	Config *machine.Config
+}
+
+// Compile schedules f for cfg, verifying ISA support and register
+// pressure.
+func Compile(f *ir.Func, cfg *machine.Config) (*Program, error) {
+	return CompileWith(f, cfg, sched.Options{})
+}
+
+// CompileWith compiles with explicit scheduler options (ablations).
+func CompileWith(f *ir.Func, cfg *machine.Config, opts sched.Options) (*Program, error) {
+	fs, err := sched.ScheduleOpts(f, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Sched: fs, Config: cfg}, nil
+}
+
+// NewMachine instantiates a simulation of the program under the given
+// memory model. Use it when you need access to the machine's memory after
+// the run (e.g. to verify kernel outputs).
+func (p *Program) NewMachine(model MemoryModel) *sim.Machine {
+	var mm mem.Model
+	if model == Perfect {
+		mm = mem.NewPerfect(p.Config)
+	} else {
+		mm = mem.NewHierarchy(p.Config)
+	}
+	return sim.New(p.Sched, mm)
+}
+
+// Run executes the program to completion under the given memory model.
+func (p *Program) Run(model MemoryModel) (*sim.Result, error) {
+	return p.NewMachine(model).Run()
+}
+
+// RunModel executes the program against an explicit memory model (e.g. a
+// mem.Hierarchy built with ablation options).
+func (p *Program) RunModel(model mem.Model) (*sim.Result, error) {
+	return sim.New(p.Sched, model).Run()
+}
+
+// RunOn compiles and runs f on cfg in one step.
+func RunOn(f *ir.Func, cfg *machine.Config, model MemoryModel) (*sim.Result, error) {
+	p, err := Compile(f, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(model)
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/simd"
+)
+
+// buildVectorProgram builds a small vector kernel writing a known value.
+func buildVectorProgram() (*ir.Func, int64) {
+	b := ir.NewBuilder("demo")
+	in := b.DataH([]int16{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	out := b.Alloc(32)
+	b.SetVLI(4)
+	b.SetVSI(8)
+	v := b.Vld(b.Const(in), 0, 1)
+	b.Vst(b.V(isa.VADD, simd.W16, v, v), b.Const(out), 0, 2)
+	return b.Func(), out
+}
+
+func TestCompileAndRun(t *testing.T) {
+	f, out := buildVectorProgram()
+	prog, err := Compile(f, &machine.Vector2x2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mem := range []MemoryModel{Perfect, Realistic} {
+		m := prog.NewMachine(mem)
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles == 0 || res.Ops == 0 {
+			t.Fatal("empty result")
+		}
+		raw, err := m.ReadBytes(out, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if raw[0] != 2 || raw[2] != 4 { // 1+1, 2+2 in 16-bit lanes
+			t.Errorf("mem=%d: output = %v", mem, raw[:8])
+		}
+	}
+}
+
+func TestCompileRejectsWrongISA(t *testing.T) {
+	f, _ := buildVectorProgram()
+	if _, err := Compile(f, &machine.VLIW4); err == nil {
+		t.Fatal("plain VLIW must reject vector code")
+	}
+	if _, err := Compile(f, &machine.USIMD4); err == nil {
+		t.Fatal("µSIMD machine must reject vector code")
+	}
+}
+
+func TestRunOn(t *testing.T) {
+	f, _ := buildVectorProgram()
+	res, err := RunOn(f, &machine.Vector1x2, Perfect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StallCycles != 0 {
+		t.Errorf("perfect memory produced stalls: %d", res.StallCycles)
+	}
+	if _, err := RunOn(f, &machine.VLIW2, Perfect); err == nil {
+		t.Fatal("expected compile error")
+	}
+}
+
+func TestRealisticSlowerOrEqual(t *testing.T) {
+	f, _ := buildVectorProgram()
+	prog, err := Compile(f, &machine.Vector2x4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := prog.Run(Perfect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := prog.Run(Realistic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles < p.Cycles {
+		t.Errorf("realistic (%d) faster than perfect (%d)", r.Cycles, p.Cycles)
+	}
+}

@@ -1,0 +1,102 @@
+// Package energy is a first-order energy model for the Vector-µSIMD-VLIW
+// configurations. The paper argues, qualitatively, that vector extensions
+// "clearly reduce the fetch pressure ... which translates into a decrease
+// in power consumption" and that "very high issue rates require decoding
+// more operations in parallel and complicate the register files, which
+// clearly increases power consumption" — but it never quantifies the
+// claim ("a quantitative analysis on power consumption is out of the
+// scope of this paper"). This package makes the argument measurable with
+// an event-based model in the style of simple architectural power
+// estimators:
+//
+//	E = Nops   * Efetch(width)      // fetch/decode/issue + register file
+//	  + Nmicro * Eexec              // datapath work actually performed
+//	  + per-level memory access energies
+//	  + cycles * Estatic(units)     // idle/leakage proportional to hardware
+//
+// The absolute unit is arbitrary (call it pJ); only ratios between
+// configurations are meaningful, which is all the paper's argument needs.
+package energy
+
+import (
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/sim"
+)
+
+// Model holds per-event energy coefficients.
+type Model struct {
+	// FetchBase is the energy to fetch/decode/issue one operation on a
+	// 2-issue machine; FetchPerWidth adds the cost of the wider issue
+	// logic and the extra register-file ports of wider machines (the
+	// paper's "complicate the register files" argument).
+	FetchBase     float64
+	FetchPerWidth float64
+	// ExecPerMicroOp is the datapath energy per micro-operation (sub-word
+	// item processed). Identical work costs the same in every ISA; what
+	// differs between ISAs is how many operations were fetched to do it.
+	ExecPerMicroOp float64
+	// Memory access energies per event.
+	L1Access, L2Access, L3Access, MemAccess float64
+	// StaticPerUnitCycle charges leakage per functional unit per cycle:
+	// an 8-issue machine that finishes barely faster than a 4-issue one
+	// burns almost twice the idle power for it.
+	StaticPerUnitCycle float64
+}
+
+// Default returns coefficients with relative magnitudes taken from the
+// usual architectural rules of thumb: instruction fetch/decode costs a
+// few times a simple ALU micro-op, an L1 access costs about a fetch, L2
+// about 5x, main memory orders of magnitude more.
+func Default() Model {
+	return Model{
+		FetchBase:          4.0,
+		FetchPerWidth:      0.5,
+		ExecPerMicroOp:     1.0,
+		L1Access:           4.0,
+		L2Access:           20.0,
+		L3Access:           60.0,
+		MemAccess:          400.0,
+		StaticPerUnitCycle: 0.2,
+	}
+}
+
+// Breakdown is an energy estimate split by source.
+type Breakdown struct {
+	Fetch, Exec, Memory, Static float64
+}
+
+// Total sums the components.
+func (b Breakdown) Total() float64 { return b.Fetch + b.Exec + b.Memory + b.Static }
+
+// units counts the functional units that contribute static power.
+func units(cfg *machine.Config) int {
+	n := cfg.IntUnits + cfg.SIMDUnits + cfg.BranchUnits + cfg.L1Ports
+	// A vector unit is LN lanes of datapath.
+	n += cfg.VectorUnits * cfg.Lanes
+	n += cfg.L2Ports
+	return n
+}
+
+// Estimate computes the energy breakdown of one run on one configuration.
+// The result must come from a realistic-memory run (it uses the hierarchy
+// event counters); with a perfect-memory result the memory component
+// degenerates to zero.
+func (m Model) Estimate(res *sim.Result, cfg *machine.Config) Breakdown {
+	var b Breakdown
+	fetchPerOp := m.FetchBase + m.FetchPerWidth*float64(cfg.Issue)
+	b.Fetch = float64(res.Ops) * fetchPerOp
+	b.Exec = float64(res.MicroOps) * m.ExecPerMicroOp
+	st := res.Mem
+	b.Memory = float64(st.L1Hits+st.L1Misses)*m.L1Access +
+		float64(st.L2Hits+st.L2Misses+st.Prefetches)*m.L2Access +
+		float64(st.L3Hits+st.L3Misses)*m.L3Access +
+		float64(st.L3Misses)*m.MemAccess
+	b.Static = float64(res.Cycles) * m.StaticPerUnitCycle * float64(units(cfg))
+	return b
+}
+
+// EDP returns the energy-delay product (energy x cycles), the standard
+// single-number efficiency metric: lower is better.
+func (m Model) EDP(res *sim.Result, cfg *machine.Config) float64 {
+	return m.Estimate(res, cfg).Total() * float64(res.Cycles)
+}

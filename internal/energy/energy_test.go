@@ -1,0 +1,79 @@
+package energy
+
+import (
+	"testing"
+
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/mem"
+	"vsimdvliw/internal/sim"
+)
+
+func fakeResult(ops, micro, cycles int64, st mem.Stats) *sim.Result {
+	return &sim.Result{Ops: ops, MicroOps: micro, Cycles: cycles, Mem: st}
+}
+
+func TestBreakdownComponents(t *testing.T) {
+	m := Default()
+	res := fakeResult(100, 800, 1000, mem.Stats{L1Hits: 50, L2Hits: 10, L3Misses: 2})
+	b := m.Estimate(res, &machine.USIMD2)
+	if b.Fetch != 100*(m.FetchBase+2*m.FetchPerWidth) {
+		t.Errorf("fetch = %v", b.Fetch)
+	}
+	if b.Exec != 800*m.ExecPerMicroOp {
+		t.Errorf("exec = %v", b.Exec)
+	}
+	wantMem := 50*m.L1Access + 10*m.L2Access + 2*m.L3Access + 2*m.MemAccess
+	if b.Memory != wantMem {
+		t.Errorf("memory = %v, want %v", b.Memory, wantMem)
+	}
+	if b.Static <= 0 {
+		t.Error("static must be positive")
+	}
+	if b.Total() != b.Fetch+b.Exec+b.Memory+b.Static {
+		t.Error("Total mismatch")
+	}
+}
+
+func TestWiderIssueCostsMoreFetchEnergy(t *testing.T) {
+	m := Default()
+	res := fakeResult(1000, 1000, 1000, mem.Stats{})
+	narrow := m.Estimate(res, &machine.USIMD2)
+	wide := m.Estimate(res, &machine.USIMD8)
+	if wide.Fetch <= narrow.Fetch {
+		t.Errorf("8-issue fetch energy (%v) must exceed 2-issue (%v)", wide.Fetch, narrow.Fetch)
+	}
+	if wide.Static <= narrow.Static {
+		t.Errorf("8-issue static energy (%v) must exceed 2-issue (%v)", wide.Static, narrow.Static)
+	}
+}
+
+func TestSameWorkFewerOpsCostsLess(t *testing.T) {
+	// The paper's argument in one assertion: identical micro-op work and
+	// runtime, but packed into 8x fewer operations (a vector encoding),
+	// must cost less total energy on comparable hardware.
+	m := Default()
+	usimd := m.Estimate(fakeResult(8000, 64000, 10000, mem.Stats{}), &machine.USIMD2)
+	vector := m.Estimate(fakeResult(1000, 64000, 10000, mem.Stats{}), &machine.Vector2x2)
+	if vector.Total() >= usimd.Total() {
+		t.Errorf("vector encoding (%v) must cost less than µSIMD (%v)", vector.Total(), usimd.Total())
+	}
+}
+
+func TestEDP(t *testing.T) {
+	m := Default()
+	res := fakeResult(10, 10, 100, mem.Stats{})
+	if got := m.EDP(res, &machine.VLIW2); got != m.Estimate(res, &machine.VLIW2).Total()*100 {
+		t.Errorf("EDP = %v", got)
+	}
+}
+
+func TestUnitsCount(t *testing.T) {
+	// Vector2-2w: 2 int + 1 branch + 1 L1 port + 2x4 vector lanes + 1 L2 port = 13.
+	if got := units(&machine.Vector2x2); got != 13 {
+		t.Errorf("units(Vector2-2w) = %d, want 13", got)
+	}
+	// uSIMD-8w: 8 int + 8 simd + 1 branch + 3 ports = 20.
+	if got := units(&machine.USIMD8); got != 20 {
+		t.Errorf("units(uSIMD-8w) = %d, want 20", got)
+	}
+}

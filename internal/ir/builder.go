@@ -1,0 +1,483 @@
+package ir
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/simd"
+)
+
+// Builder constructs a Func. It is the programming interface the kernels
+// are written against — the equivalent of the paper's emulation libraries.
+// Methods that produce a value allocate and return a fresh virtual
+// register; methods may also target existing registers via the *To forms
+// (reusing a register creates the corresponding dependences, e.g. loop
+// induction variables).
+type Builder struct {
+	f    *Func
+	cur  *Block
+	next int64 // data-segment bump pointer (offset from DataBase)
+}
+
+// NewBuilder returns a builder with a single open entry block.
+func NewBuilder(name string) *Builder {
+	b := &Builder{f: &Func{Name: name}}
+	b.cur = b.NewBlock()
+	return b
+}
+
+// Func finalizes and returns the function: the last block is terminated
+// with HALT if it does not already transfer control.
+func (b *Builder) Func() *Func {
+	last := b.f.Blocks[len(b.f.Blocks)-1]
+	if !last.Terminated() {
+		b.cur = last
+		b.Emit(Op{Opcode: isa.HALT})
+	}
+	b.f.DataSize = b.next
+	return b.f
+}
+
+// NewBlock appends a fresh basic block (it becomes the fallthrough
+// successor of the previously last block) and returns it. It does not
+// change the emission point; use SetBlock for that.
+func (b *Builder) NewBlock() *Block {
+	blk := &Block{ID: len(b.f.Blocks)}
+	b.f.Blocks = append(b.f.Blocks, blk)
+	return blk
+}
+
+// SetBlock moves the emission point to blk.
+func (b *Builder) SetBlock(blk *Block) { b.cur = blk }
+
+// Block returns the current emission block.
+func (b *Builder) Block() *Block { return b.cur }
+
+// Emit appends a raw operation to the current block.
+func (b *Builder) Emit(op Op) { b.cur.Ops = append(b.cur.Ops, op) }
+
+// Reg allocates a fresh virtual register of the given class.
+func (b *Builder) Reg(c isa.RegClass) Reg {
+	id := b.f.NumRegs[c]
+	b.f.NumRegs[c]++
+	return Reg{Class: c, ID: id}
+}
+
+// IntReg allocates an integer virtual register.
+func (b *Builder) IntReg() Reg { return b.Reg(isa.RegInt) }
+
+// SIMDReg allocates a µSIMD (64-bit packed) virtual register.
+func (b *Builder) SIMDReg() Reg { return b.Reg(isa.RegSIMD) }
+
+// VecReg allocates a vector virtual register.
+func (b *Builder) VecReg() Reg { return b.Reg(isa.RegVec) }
+
+// AccReg allocates a packed-accumulator virtual register.
+func (b *Builder) AccReg() Reg { return b.Reg(isa.RegAcc) }
+
+// --- data segment ----------------------------------------------------------
+
+// Size returns the number of data-segment bytes allocated so far.
+func (b *Builder) Size() int64 { return b.next }
+
+// Alloc reserves n bytes of zero-initialized data memory (8-byte aligned)
+// and returns its virtual address.
+func (b *Builder) Alloc(n int64) int64 {
+	addr := DataBase + b.next
+	b.next += (n + 7) &^ 7
+	return addr
+}
+
+// Data reserves and initializes a byte region, returning its address.
+func (b *Builder) Data(data []byte) int64 {
+	addr := b.Alloc(int64(len(data)))
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	b.f.DataInit = append(b.f.DataInit, DataChunk{Addr: addr, Bytes: cp})
+	return addr
+}
+
+// DataH reserves and initializes an array of 16-bit values (little-endian).
+func (b *Builder) DataH(vals []int16) int64 {
+	buf := make([]byte, 2*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint16(buf[2*i:], uint16(v))
+	}
+	return b.Data(buf)
+}
+
+// DataW reserves and initializes an array of 32-bit values.
+func (b *Builder) DataW(vals []int32) int64 {
+	buf := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+	}
+	return b.Data(buf)
+}
+
+// --- scalar operations ------------------------------------------------------
+
+// Const materializes an immediate into a fresh integer register.
+func (b *Builder) Const(v int64) Reg {
+	dst := b.IntReg()
+	b.Emit(Op{Opcode: isa.MOVI, Dst: []Reg{dst}, Imm: v, UseImm: true})
+	return dst
+}
+
+// MovITo writes an immediate into an existing register.
+func (b *Builder) MovITo(dst Reg, v int64) {
+	b.Emit(Op{Opcode: isa.MOVI, Dst: []Reg{dst}, Imm: v, UseImm: true})
+}
+
+// Mov copies src into a fresh register.
+func (b *Builder) Mov(src Reg) Reg {
+	dst := b.IntReg()
+	b.Emit(Op{Opcode: isa.MOV, Dst: []Reg{dst}, Src: []Reg{src}})
+	return dst
+}
+
+// MovTo copies src into dst.
+func (b *Builder) MovTo(dst, src Reg) {
+	b.Emit(Op{Opcode: isa.MOV, Dst: []Reg{dst}, Src: []Reg{src}})
+}
+
+// Bin emits a two-source integer ALU operation into a fresh register.
+func (b *Builder) Bin(op isa.Opcode, x, y Reg) Reg {
+	dst := b.IntReg()
+	b.Emit(Op{Opcode: op, Dst: []Reg{dst}, Src: []Reg{x, y}})
+	return dst
+}
+
+// BinTo emits a two-source integer ALU operation into dst.
+func (b *Builder) BinTo(op isa.Opcode, dst, x, y Reg) {
+	b.Emit(Op{Opcode: op, Dst: []Reg{dst}, Src: []Reg{x, y}})
+}
+
+// BinI emits an ALU operation with an immediate second source.
+func (b *Builder) BinI(op isa.Opcode, x Reg, imm int64) Reg {
+	dst := b.IntReg()
+	b.Emit(Op{Opcode: op, Dst: []Reg{dst}, Src: []Reg{x}, Imm: imm, UseImm: true})
+	return dst
+}
+
+// BinITo is BinI targeting an existing register.
+func (b *Builder) BinITo(op isa.Opcode, dst, x Reg, imm int64) {
+	b.Emit(Op{Opcode: op, Dst: []Reg{dst}, Src: []Reg{x}, Imm: imm, UseImm: true})
+}
+
+// Common ALU shorthands.
+func (b *Builder) Add(x, y Reg) Reg          { return b.Bin(isa.ADD, x, y) }
+func (b *Builder) AddI(x Reg, imm int64) Reg { return b.BinI(isa.ADD, x, imm) }
+func (b *Builder) Sub(x, y Reg) Reg          { return b.Bin(isa.SUB, x, y) }
+func (b *Builder) SubI(x Reg, imm int64) Reg { return b.BinI(isa.SUB, x, imm) }
+func (b *Builder) Mul(x, y Reg) Reg          { return b.Bin(isa.MUL, x, y) }
+func (b *Builder) MulI(x Reg, imm int64) Reg { return b.BinI(isa.MUL, x, imm) }
+func (b *Builder) And(x, y Reg) Reg          { return b.Bin(isa.AND, x, y) }
+func (b *Builder) AndI(x Reg, imm int64) Reg { return b.BinI(isa.AND, x, imm) }
+func (b *Builder) Or(x, y Reg) Reg           { return b.Bin(isa.OR, x, y) }
+func (b *Builder) OrI(x Reg, imm int64) Reg  { return b.BinI(isa.OR, x, imm) }
+func (b *Builder) Xor(x, y Reg) Reg          { return b.Bin(isa.XOR, x, y) }
+func (b *Builder) ShlI(x Reg, imm int64) Reg { return b.BinI(isa.SHL, x, imm) }
+func (b *Builder) ShrI(x Reg, imm int64) Reg { return b.BinI(isa.SHR, x, imm) }
+func (b *Builder) SraI(x Reg, imm int64) Reg { return b.BinI(isa.SRA, x, imm) }
+
+// Select emits dst <- cond != 0 ? x : y.
+func (b *Builder) Select(cond, x, y Reg) Reg {
+	dst := b.IntReg()
+	b.Emit(Op{Opcode: isa.SELECT, Dst: []Reg{dst}, Src: []Reg{cond, x, y}})
+	return dst
+}
+
+// SelectTo is Select targeting an existing register (e.g. running minima).
+func (b *Builder) SelectTo(dst, cond, x, y Reg) {
+	b.Emit(Op{Opcode: isa.SELECT, Dst: []Reg{dst}, Src: []Reg{cond, x, y}})
+}
+
+// --- scalar memory ----------------------------------------------------------
+
+// Load emits a scalar load (one of the LD* opcodes) from base+off.
+func (b *Builder) Load(op isa.Opcode, base Reg, off int64, alias int) Reg {
+	dst := b.IntReg()
+	b.Emit(Op{Opcode: op, Dst: []Reg{dst}, Src: []Reg{base}, Imm: off, Alias: alias})
+	return dst
+}
+
+// Store emits a scalar store of val to base+off.
+func (b *Builder) Store(op isa.Opcode, val, base Reg, off int64, alias int) {
+	b.Emit(Op{Opcode: op, Src: []Reg{val, base}, Imm: off, Alias: alias})
+}
+
+// --- µSIMD operations --------------------------------------------------------
+
+// Ldm loads a 64-bit packed word into a fresh µSIMD register.
+func (b *Builder) Ldm(base Reg, off int64, alias int) Reg {
+	dst := b.SIMDReg()
+	b.Emit(Op{Opcode: isa.LDM, Dst: []Reg{dst}, Src: []Reg{base}, Imm: off, Alias: alias})
+	return dst
+}
+
+// Stm stores a µSIMD register.
+func (b *Builder) Stm(val, base Reg, off int64, alias int) {
+	b.Emit(Op{Opcode: isa.STM, Src: []Reg{val, base}, Imm: off, Alias: alias})
+}
+
+// P emits a two-source packed operation of the given width.
+func (b *Builder) P(op isa.Opcode, w simd.Width, x, y Reg) Reg {
+	dst := b.SIMDReg()
+	b.Emit(Op{Opcode: op, Width: w, Dst: []Reg{dst}, Src: []Reg{x, y}})
+	return dst
+}
+
+// PTo is P targeting an existing µSIMD register (e.g. packed running
+// sums carried across loop iterations).
+func (b *Builder) PTo(op isa.Opcode, w simd.Width, dst, x, y Reg) {
+	b.Emit(Op{Opcode: op, Width: w, Dst: []Reg{dst}, Src: []Reg{x, y}})
+}
+
+// PShiftI emits a packed shift by an immediate.
+func (b *Builder) PShiftI(op isa.Opcode, w simd.Width, x Reg, imm int64) Reg {
+	dst := b.SIMDReg()
+	b.Emit(Op{Opcode: op, Width: w, Dst: []Reg{dst}, Src: []Reg{x}, Imm: imm, UseImm: true})
+	return dst
+}
+
+// Psplat broadcasts the low lane of an integer register across a packed word.
+func (b *Builder) Psplat(w simd.Width, src Reg) Reg {
+	dst := b.SIMDReg()
+	b.Emit(Op{Opcode: isa.PSPLAT, Width: w, Dst: []Reg{dst}, Src: []Reg{src}})
+	return dst
+}
+
+// Movrm copies an integer register's bits into a µSIMD register.
+func (b *Builder) Movrm(src Reg) Reg {
+	dst := b.SIMDReg()
+	b.Emit(Op{Opcode: isa.MOVRM, Dst: []Reg{dst}, Src: []Reg{src}})
+	return dst
+}
+
+// Movmr copies a µSIMD register's bits into an integer register.
+func (b *Builder) Movmr(src Reg) Reg {
+	dst := b.IntReg()
+	b.Emit(Op{Opcode: isa.MOVMR, Dst: []Reg{dst}, Src: []Reg{src}})
+	return dst
+}
+
+// --- vector operations --------------------------------------------------------
+
+// SetVLI sets the vector-length register to an immediate.
+func (b *Builder) SetVLI(vl int64) {
+	if vl < 1 || vl > isa.MaxVL {
+		panic(fmt.Sprintf("ir: SetVLI(%d) out of range", vl))
+	}
+	b.Emit(Op{Opcode: isa.SETVL, Imm: vl, UseImm: true})
+}
+
+// SetVL sets the vector-length register from an integer register (the
+// compiler then assumes the maximum vector length for scheduling).
+func (b *Builder) SetVL(src Reg) {
+	b.Emit(Op{Opcode: isa.SETVL, Src: []Reg{src}})
+}
+
+// SetVSI sets the vector-stride register (bytes between consecutive 64-bit
+// words; 8 means stride one) to an immediate.
+func (b *Builder) SetVSI(vs int64) {
+	b.Emit(Op{Opcode: isa.SETVS, Imm: vs, UseImm: true})
+}
+
+// SetVS sets the vector-stride register from an integer register.
+func (b *Builder) SetVS(src Reg) {
+	b.Emit(Op{Opcode: isa.SETVS, Src: []Reg{src}})
+}
+
+// Vld emits a vector load from base+off under the current VL/VS.
+func (b *Builder) Vld(base Reg, off int64, alias int) Reg {
+	dst := b.VecReg()
+	b.Emit(Op{Opcode: isa.VLD, Dst: []Reg{dst}, Src: []Reg{base}, Imm: off, Alias: alias})
+	return dst
+}
+
+// Vst emits a vector store.
+func (b *Builder) Vst(val, base Reg, off int64, alias int) {
+	b.Emit(Op{Opcode: isa.VST, Src: []Reg{val, base}, Imm: off, Alias: alias})
+}
+
+// V emits a two-source element-wise vector operation.
+func (b *Builder) V(op isa.Opcode, w simd.Width, x, y Reg) Reg {
+	dst := b.VecReg()
+	b.Emit(Op{Opcode: op, Width: w, Dst: []Reg{dst}, Src: []Reg{x, y}})
+	return dst
+}
+
+// VTo is V targeting an existing vector register.
+func (b *Builder) VTo(op isa.Opcode, w simd.Width, dst, x, y Reg) {
+	b.Emit(Op{Opcode: op, Width: w, Dst: []Reg{dst}, Src: []Reg{x, y}})
+}
+
+// VShiftI emits an element-wise vector shift by an immediate.
+func (b *Builder) VShiftI(op isa.Opcode, w simd.Width, x Reg, imm int64) Reg {
+	dst := b.VecReg()
+	b.Emit(Op{Opcode: op, Width: w, Dst: []Reg{dst}, Src: []Reg{x}, Imm: imm, UseImm: true})
+	return dst
+}
+
+// Vsplat broadcasts an integer register's 64-bit value to all words.
+func (b *Builder) Vsplat(src Reg) Reg {
+	dst := b.VecReg()
+	b.Emit(Op{Opcode: isa.VSPLAT, Dst: []Reg{dst}, Src: []Reg{src}})
+	return dst
+}
+
+// Vextr extracts vector word idx into a fresh integer register.
+func (b *Builder) Vextr(v Reg, idx int64) Reg {
+	dst := b.IntReg()
+	b.Emit(Op{Opcode: isa.VEXTR, Dst: []Reg{dst}, Src: []Reg{v}, Imm: idx})
+	return dst
+}
+
+// Vins inserts an integer register into word idx of a vector register.
+func (b *Builder) Vins(v Reg, src Reg, idx int64) {
+	b.Emit(Op{Opcode: isa.VINS, Dst: []Reg{v}, Src: []Reg{src, v}, Imm: idx})
+}
+
+// Aclr returns a freshly cleared accumulator.
+func (b *Builder) Aclr() Reg {
+	dst := b.AccReg()
+	b.Emit(Op{Opcode: isa.ACLR, Dst: []Reg{dst}})
+	return dst
+}
+
+// AclrTo clears an existing accumulator.
+func (b *Builder) AclrTo(dst Reg) {
+	b.Emit(Op{Opcode: isa.ACLR, Dst: []Reg{dst}})
+}
+
+// Vsada accumulates the per-byte-lane SAD of vectors x and y into acc.
+func (b *Builder) Vsada(acc, x, y Reg) {
+	b.Emit(Op{Opcode: isa.VSADA, Width: simd.W8, Dst: []Reg{acc}, Src: []Reg{x, y, acc}})
+}
+
+// Vmaca accumulates 16-bit lane products of vectors x and y into acc.
+func (b *Builder) Vmaca(acc, x, y Reg) {
+	b.Emit(Op{Opcode: isa.VMACA, Width: simd.W16, Dst: []Reg{acc}, Src: []Reg{x, y, acc}})
+}
+
+// Vaccw accumulates the 16-bit lanes of vector x into acc.
+func (b *Builder) Vaccw(acc, x Reg) {
+	b.Emit(Op{Opcode: isa.VACCW, Width: simd.W16, Dst: []Reg{acc}, Src: []Reg{x, acc}})
+}
+
+// Vsum reduces the accumulator to a scalar (byte mode W8: eight lanes;
+// halfword mode W16: four lanes).
+func (b *Builder) Vsum(w simd.Width, acc Reg) Reg {
+	dst := b.IntReg()
+	b.Emit(Op{Opcode: isa.VSUM, Width: w, Dst: []Reg{dst}, Src: []Reg{acc}})
+	return dst
+}
+
+// Apack packs the four halfword accumulator lanes (shifted right by sh and
+// saturated to int16) into an integer register.
+func (b *Builder) Apack(acc Reg, sh int64) Reg {
+	dst := b.IntReg()
+	b.Emit(Op{Opcode: isa.APACK, Dst: []Reg{dst}, Src: []Reg{acc}, Imm: sh})
+	return dst
+}
+
+// --- control flow -------------------------------------------------------------
+
+// Branch emits a conditional branch to target.
+func (b *Builder) Branch(op isa.Opcode, x, y Reg, target *Block) {
+	b.Emit(Op{Opcode: op, Src: []Reg{x, y}, Target: target.ID})
+}
+
+// Jmp emits an unconditional jump.
+func (b *Builder) Jmp(target *Block) {
+	b.Emit(Op{Opcode: isa.JMP, Target: target.ID})
+}
+
+// RegionBegin/RegionEnd bracket an instrumented region (0 is the implicit
+// scalar region; vector regions use ids 1..3 as in the paper's Figure 7).
+// Both start a fresh basic block so that every block lies entirely inside
+// or outside a region and cycle accounting is exact at block granularity.
+func (b *Builder) RegionBegin(id int) {
+	b.SetBlock(b.NewBlock())
+	b.Emit(Op{Opcode: isa.REGBEGIN, Imm: int64(id)})
+}
+
+// RegionEnd closes the region opened with the same id.
+func (b *Builder) RegionEnd(id int) {
+	b.SetBlock(b.NewBlock())
+	b.Emit(Op{Opcode: isa.REGEND, Imm: int64(id)})
+}
+
+// invert returns the branch opcode with the opposite condition.
+func invert(op isa.Opcode) isa.Opcode {
+	switch op {
+	case isa.BEQ:
+		return isa.BNE
+	case isa.BNE:
+		return isa.BEQ
+	case isa.BLT:
+		return isa.BGE
+	case isa.BGE:
+		return isa.BLT
+	}
+	panic("ir: cannot invert " + op.Name())
+}
+
+// IfElse emits an if/else diamond: then() runs when "x op y" holds.
+// els may be nil.
+func (b *Builder) IfElse(op isa.Opcode, x, y Reg, then, els func()) {
+	thenBlk := b.NewBlock()
+	if els == nil {
+		end := b.NewBlock()
+		b.Branch(invert(op), x, y, end)
+		b.SetBlock(thenBlk)
+		then()
+		b.SetBlock(end)
+		return
+	}
+	elseBlk := b.NewBlock()
+	end := b.NewBlock()
+	b.Branch(invert(op), x, y, elseBlk)
+	b.SetBlock(thenBlk)
+	then()
+	b.Jmp(end)
+	b.SetBlock(elseBlk)
+	els()
+	b.SetBlock(end)
+}
+
+// Loop emits a counted loop:
+//
+//	for iv := start; iv < stop; iv += step { body(iv) }
+//
+// start/stop/step are compile-time constants; iv is a virtual register the
+// body may read (but must not write). The loop body must execute at least
+// once (start < stop), matching the rotating-loop style of VLIW codes.
+func (b *Builder) Loop(start, stop, step int64, body func(iv Reg)) {
+	if start >= stop || step <= 0 {
+		panic("ir: Loop requires start < stop and step > 0")
+	}
+	iv := b.Const(start)
+	limit := b.Const(stop)
+	loop := b.NewBlock()
+	b.SetBlock(loop)
+	body(iv)
+	b.BinITo(isa.ADD, iv, iv, step)
+	b.Branch(isa.BLT, iv, limit, loop)
+	after := b.NewBlock()
+	b.SetBlock(after)
+}
+
+// LoopReg is Loop with a register trip bound: for iv := 0; iv < n; iv++.
+func (b *Builder) LoopReg(n Reg, body func(iv Reg)) {
+	iv := b.Const(0)
+	loop := b.NewBlock()
+	b.SetBlock(loop)
+	body(iv)
+	b.BinITo(isa.ADD, iv, iv, 1)
+	b.Branch(isa.BLT, iv, n, loop)
+	after := b.NewBlock()
+	b.SetBlock(after)
+}

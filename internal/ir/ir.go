@@ -1,0 +1,146 @@
+// Package ir defines the intermediate representation consumed by the
+// static scheduler (internal/sched) and the simulator (internal/sim):
+// operations over virtual registers, grouped into basic blocks with
+// explicit control flow.
+//
+// Programs are written against the Builder API, which plays the role of
+// the emulation libraries the paper used to hand-write µSIMD and
+// Vector-µSIMD code ("we have used emulation libraries to hand-write the
+// applications ... and the compiler replaces the emulation function calls
+// by the corresponding operation").
+package ir
+
+import (
+	"fmt"
+
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/simd"
+)
+
+// Reg is a virtual register: a class and an index within that class.
+// The zero value is "no register".
+type Reg struct {
+	Class isa.RegClass
+	ID    int32
+}
+
+// Valid reports whether r names a register.
+func (r Reg) Valid() bool { return r.Class != isa.RegNone }
+
+// String implements fmt.Stringer.
+func (r Reg) String() string {
+	if !r.Valid() {
+		return "-"
+	}
+	return fmt.Sprintf("%s%d", r.Class, r.ID)
+}
+
+// Op is one machine operation.
+type Op struct {
+	Opcode isa.Opcode
+	Width  simd.Width // sub-word width for packed/vector operations
+	Dst    []Reg
+	Src    []Reg
+	// Imm is the immediate operand: the value for MOVI/SETVL/SETVS, the
+	// address offset for memory operations, the shift amount for immediate
+	// shifts, the element index for VEXTR/VINS, the region id for
+	// REGBEGIN/REGEND, or the second ALU source when UseImm is set.
+	Imm    int64
+	UseImm bool
+	// Target is the destination block ID of a branch operation.
+	Target int
+	// Alias is the memory-disambiguation class of a memory operation.
+	// Operations in different non-zero classes are guaranteed independent
+	// (the paper's scalar codes include interprocedural pointer analysis
+	// and cost-effective memory disambiguation; the vector codes carry the
+	// same information inherently). Class 0 may alias anything.
+	Alias int
+	// Label optionally annotates the operation in schedule dumps
+	// (used to reproduce the paper's Figure 4 lettering).
+	Label string
+}
+
+// Info returns the opcode metadata.
+func (o *Op) Info() *isa.Info { return o.Opcode.Get() }
+
+// String renders the operation in a compact assembly-like form.
+func (o *Op) String() string {
+	s := o.Opcode.Name()
+	if o.Width != 0 {
+		s += "." + o.Width.String()
+	}
+	for i, d := range o.Dst {
+		if i == 0 {
+			s += " "
+		} else {
+			s += ","
+		}
+		s += d.String()
+	}
+	if len(o.Src) > 0 || o.UseImm || o.Info().Imm {
+		if len(o.Dst) > 0 {
+			s += " <-"
+		}
+		for _, r := range o.Src {
+			s += " " + r.String()
+		}
+		if o.UseImm || (o.Info().Imm && len(o.Src) < 2) {
+			s += fmt.Sprintf(" #%d", o.Imm)
+		} else if o.Info().Imm && o.Imm != 0 {
+			s += fmt.Sprintf(" +%d", o.Imm)
+		}
+	}
+	if o.Info().Branch && o.Opcode != isa.HALT {
+		s += fmt.Sprintf(" ->B%d", o.Target)
+	}
+	return s
+}
+
+// Block is a basic block: a straight-line sequence of operations ended
+// either by a branch or by falling through to the next block.
+type Block struct {
+	ID  int
+	Ops []Op
+}
+
+// Terminated reports whether the block ends in an unconditional control
+// transfer (JMP or HALT), i.e. it never falls through.
+func (b *Block) Terminated() bool {
+	if len(b.Ops) == 0 {
+		return false
+	}
+	op := b.Ops[len(b.Ops)-1].Opcode
+	return op == isa.JMP || op == isa.HALT
+}
+
+// Func is a schedulable unit: an entry block plus the rest of the CFG.
+type Func struct {
+	Name   string
+	Blocks []*Block
+	// NumRegs counts virtual registers per class (indexed by isa.RegClass).
+	NumRegs [5]int32
+	// DataSize is the number of bytes of the data segment the function's
+	// builder allocated (the simulator maps it at DataBase).
+	DataSize int64
+	// DataInit holds initial data-segment contents keyed by address.
+	DataInit []DataChunk
+}
+
+// DataChunk is a contiguous piece of initialized data memory.
+type DataChunk struct {
+	Addr  int64
+	Bytes []byte
+}
+
+// DataBase is the virtual address where a function's data segment starts.
+// A non-zero base catches null-pointer-style bugs in hand-written kernels.
+const DataBase = 0x10000
+
+// NumOps returns the total static operation count.
+func (f *Func) NumOps() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Ops)
+	}
+	return n
+}

@@ -1,0 +1,349 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/simd"
+)
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder("basic")
+	x := b.Const(5)
+	y := b.Const(7)
+	z := b.Add(x, y)
+	b.Store(isa.STD, z, b.Const(0), b.Alloc(8)-DataBase, 1)
+	f := b.Func()
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "basic" {
+		t.Errorf("name = %q", f.Name)
+	}
+	if f.NumOps() != 6 { // 3 movi + add + std + halt
+		t.Errorf("NumOps = %d, want 6", f.NumOps())
+	}
+	last := f.Blocks[len(f.Blocks)-1].Ops
+	if last[len(last)-1].Opcode != isa.HALT {
+		t.Error("Func() must append HALT")
+	}
+}
+
+func TestRegAllocationCounts(t *testing.T) {
+	b := NewBuilder("regs")
+	b.IntReg()
+	b.IntReg()
+	b.SIMDReg()
+	b.VecReg()
+	b.VecReg()
+	b.VecReg()
+	b.AccReg()
+	f := b.Func()
+	if f.NumRegs[isa.RegInt] != 2 || f.NumRegs[isa.RegSIMD] != 1 ||
+		f.NumRegs[isa.RegVec] != 3 || f.NumRegs[isa.RegAcc] != 1 {
+		t.Errorf("NumRegs = %v", f.NumRegs)
+	}
+}
+
+func TestDataSegment(t *testing.T) {
+	b := NewBuilder("data")
+	a1 := b.Alloc(10) // rounded to 16
+	a2 := b.Data([]byte{1, 2, 3})
+	a3 := b.DataH([]int16{-1, 300})
+	a4 := b.DataW([]int32{-5})
+	f := b.Func()
+	if a1 != DataBase {
+		t.Errorf("first alloc at %#x, want DataBase", a1)
+	}
+	if a2 != DataBase+16 {
+		t.Errorf("second alloc at %#x, want DataBase+16 (8-byte aligned)", a2)
+	}
+	if a3 != a2+8 || a4 != a3+8 {
+		t.Errorf("alloc layout: %#x %#x %#x", a2, a3, a4)
+	}
+	if f.DataSize != 16+8+8+8 {
+		t.Errorf("DataSize = %d", f.DataSize)
+	}
+	if len(f.DataInit) != 3 {
+		t.Fatalf("DataInit chunks = %d", len(f.DataInit))
+	}
+	if f.DataInit[1].Bytes[0] != 0xFF || f.DataInit[1].Bytes[1] != 0xFF {
+		t.Errorf("DataH little-endian encoding wrong: %v", f.DataInit[1].Bytes)
+	}
+}
+
+func TestLoop(t *testing.T) {
+	b := NewBuilder("loop")
+	n := 0
+	b.Loop(0, 8, 2, func(iv Reg) {
+		if !iv.Valid() || iv.Class != isa.RegInt {
+			t.Fatal("induction variable must be an int register")
+		}
+		b.AddI(iv, 1)
+		n++
+	})
+	if n != 1 {
+		t.Fatal("body must be emitted exactly once")
+	}
+	f := b.Func()
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Loop structure: entry block, loop block, after block.
+	if len(f.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(f.Blocks))
+	}
+	loop := f.Blocks[1]
+	lastOp := loop.Ops[len(loop.Ops)-1]
+	if lastOp.Opcode != isa.BLT || lastOp.Target != 1 {
+		t.Errorf("back edge = %s", &lastOp)
+	}
+}
+
+func TestLoopPanicsOnEmptyRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b := NewBuilder("bad")
+	b.Loop(5, 5, 1, func(Reg) {})
+}
+
+func TestIfElse(t *testing.T) {
+	b := NewBuilder("ifelse")
+	x := b.Const(1)
+	y := b.Const(2)
+	thenRan, elseRan := false, false
+	b.IfElse(isa.BLT, x, y, func() {
+		thenRan = true
+		b.AddI(x, 1)
+	}, func() {
+		elseRan = true
+		b.AddI(y, 1)
+	})
+	f := b.Func()
+	if !thenRan || !elseRan {
+		t.Fatal("both arms must be emitted")
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Entry branches (inverted) to else block.
+	entry := f.Blocks[0]
+	br := entry.Ops[len(entry.Ops)-1]
+	if br.Opcode != isa.BGE {
+		t.Errorf("inverted branch = %s, want bge", br.Opcode.Name())
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	b := NewBuilder("if")
+	x := b.Const(1)
+	b.IfElse(isa.BEQ, x, x, func() { b.AddI(x, 1) }, nil)
+	if err := b.Func().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-invertible opcode")
+		}
+	}()
+	invert(isa.JMP)
+}
+
+func TestSetVLIRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for VL > MaxVL")
+		}
+	}()
+	b := NewBuilder("vl")
+	b.SetVLI(17)
+}
+
+func TestVectorBuilderOps(t *testing.T) {
+	b := NewBuilder("vec")
+	base := b.Const(int64(DataBase))
+	b.Alloc(16 * 8)
+	b.SetVLI(8)
+	b.SetVSI(8)
+	v1 := b.Vld(base, 0, 1)
+	v2 := b.Vld(base, 64, 1)
+	v3 := b.V(isa.VADD, simd.W16, v1, v2)
+	acc := b.Aclr()
+	b.Vsada(acc, v1, v2)
+	b.Vmaca(acc, v1, v2)
+	b.Vaccw(acc, v3)
+	s := b.Vsum(simd.W8, acc)
+	b.Vst(v3, base, 0, 1)
+	_ = b.Vextr(v3, 2)
+	b.Vins(v3, s, 0)
+	sp := b.Vsplat(s)
+	sh := b.VShiftI(isa.VSRA, simd.W16, sp, 3)
+	b.VTo(isa.VSUB, simd.W16, v3, v3, sh)
+	f := b.Func()
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUSIMDBuilderOps(t *testing.T) {
+	b := NewBuilder("usimd")
+	base := b.Const(int64(DataBase))
+	b.Alloc(64)
+	m1 := b.Ldm(base, 0, 1)
+	m2 := b.Ldm(base, 8, 1)
+	m3 := b.P(isa.PADD, simd.W8, m1, m2)
+	m4 := b.PShiftI(isa.PSRL, simd.W16, m3, 2)
+	m5 := b.P(isa.PSAD, simd.W8, m1, m2)
+	r := b.Movmr(m5)
+	m6 := b.Psplat(simd.W16, r)
+	m7 := b.Movrm(r)
+	b.Stm(b.P(isa.PXOR, 0, m6, m7), base, 16, 1)
+	b.Stm(m4, base, 24, 1)
+	if err := b.Func().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalarBuilderOps(t *testing.T) {
+	b := NewBuilder("scalar")
+	base := b.Const(int64(DataBase))
+	b.Alloc(64)
+	x := b.Load(isa.LDW, base, 0, 1)
+	y := b.Load(isa.LDBU, base, 4, 1)
+	z := b.Select(b.Bin(isa.CMPLT, x, y), x, y)
+	b.Store(isa.STW, z, base, 8, 1)
+	b.MovTo(x, y)
+	b.MovITo(y, 9)
+	w := b.Mov(z)
+	b.Store(isa.STB, b.Xor(b.Or(b.And(x, y), w), z), base, 12, 1)
+	b.Store(isa.STH, b.SraI(b.ShrI(b.ShlI(x, 1), 1), 1), base, 14, 1)
+	b.Store(isa.STD, b.Mul(b.Sub(x, y), b.AddI(x, 3)), base, 16, 1)
+	b.Store(isa.STD, b.MulI(b.SubI(x, 1), 3), base, 24, 1)
+	b.Store(isa.STD, b.OrI(b.AndI(x, 0xF), 1), base, 32, 1)
+	if err := b.Func().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyCatchesClassMismatch(t *testing.T) {
+	b := NewBuilder("bad")
+	x := b.Const(1)
+	// ADD with a vector register destination is malformed.
+	v := b.VecReg()
+	b.Emit(Op{Opcode: isa.ADD, Dst: []Reg{v}, Src: []Reg{x, x}})
+	if err := b.Func().Verify(); err == nil {
+		t.Fatal("expected class-mismatch error")
+	}
+}
+
+func TestVerifyCatchesBadWidth(t *testing.T) {
+	b := NewBuilder("bad")
+	m := b.SIMDReg()
+	b.Emit(Op{Opcode: isa.PMULL, Width: simd.W8, Dst: []Reg{m}, Src: []Reg{m, m}})
+	err := b.Func().Verify()
+	if err == nil || !strings.Contains(err.Error(), "width") {
+		t.Fatalf("expected width error, got %v", err)
+	}
+}
+
+func TestVerifyCatchesBadTarget(t *testing.T) {
+	b := NewBuilder("bad")
+	x := b.Const(0)
+	b.Emit(Op{Opcode: isa.BEQ, Src: []Reg{x, x}, Target: 99})
+	if err := b.Func().Verify(); err == nil {
+		t.Fatal("expected branch-target error")
+	}
+}
+
+func TestVerifyCatchesUnallocatedReg(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Emit(Op{Opcode: isa.MOV, Dst: []Reg{{Class: isa.RegInt, ID: 7}},
+		Src: []Reg{{Class: isa.RegInt, ID: 8}}})
+	if err := b.Func().Verify(); err == nil {
+		t.Fatal("expected out-of-range register error")
+	}
+}
+
+func TestVerifyCatchesMidBlockBranch(t *testing.T) {
+	b := NewBuilder("bad")
+	x := b.Const(0)
+	blk := b.Block()
+	blk.Ops = append(blk.Ops, Op{Opcode: isa.BEQ, Src: []Reg{x, x}, Target: 0})
+	blk.Ops = append(blk.Ops, Op{Opcode: isa.MOVI, Dst: []Reg{x}, Imm: 1, UseImm: true})
+	if err := b.Func().Verify(); err == nil {
+		t.Fatal("expected mid-block branch error")
+	}
+}
+
+func TestVerifyEmptyFunc(t *testing.T) {
+	f := &Func{Name: "empty"}
+	if err := f.Verify(); err == nil {
+		t.Fatal("expected error for empty function")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	b := NewBuilder("str")
+	x := b.Const(3)
+	y := b.Add(x, x)
+	op := Op{Opcode: isa.VADD, Width: simd.W16,
+		Dst: []Reg{{Class: isa.RegVec, ID: 1}},
+		Src: []Reg{{Class: isa.RegVec, ID: 2}, {Class: isa.RegVec, ID: 3}}}
+	s := op.String()
+	if !strings.Contains(s, "vadd.w") || !strings.Contains(s, "v1") {
+		t.Errorf("Op.String = %q", s)
+	}
+	_ = y
+	br := Op{Opcode: isa.BNE, Src: []Reg{x, x}, Target: 2}
+	if !strings.Contains(br.String(), "->B2") {
+		t.Errorf("branch string = %q", br.String())
+	}
+	if (Reg{}).String() != "-" {
+		t.Error("invalid reg must print as -")
+	}
+}
+
+func TestRegionMarkers(t *testing.T) {
+	b := NewBuilder("regions")
+	b.RegionBegin(1)
+	b.AddI(b.Const(0), 1)
+	b.RegionEnd(1)
+	f := b.Func()
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// RegionBegin starts a fresh block whose first op is the marker, so
+	// cycle accounting is exact at block granularity.
+	ops := f.Blocks[1].Ops
+	if ops[0].Opcode != isa.REGBEGIN || ops[0].Imm != 1 {
+		t.Error("region begin wrong")
+	}
+	if len(f.Blocks[0].Ops) != 0 {
+		t.Error("entry block should be empty: markers open new blocks")
+	}
+	if f.Blocks[2].Ops[0].Opcode != isa.REGEND {
+		t.Error("region end must start its own block")
+	}
+}
+
+func TestTerminated(t *testing.T) {
+	blk := &Block{}
+	if blk.Terminated() {
+		t.Error("empty block is not terminated")
+	}
+	blk.Ops = append(blk.Ops, Op{Opcode: isa.JMP})
+	if !blk.Terminated() {
+		t.Error("JMP terminates")
+	}
+	blk.Ops[0] = Op{Opcode: isa.BEQ}
+	if blk.Terminated() {
+		t.Error("conditional branch can fall through")
+	}
+}

@@ -1,0 +1,109 @@
+package ir
+
+import (
+	"fmt"
+
+	"vsimdvliw/internal/isa"
+)
+
+// Verify checks the structural validity of a function: operand register
+// classes match each opcode's signature, sub-word widths are supported,
+// branch targets exist, virtual register IDs are in range, and region
+// markers nest properly along the layout order. It returns the first
+// problem found.
+func (f *Func) Verify() error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("ir: %s: no blocks", f.Name)
+	}
+	for i, blk := range f.Blocks {
+		if blk.ID != i {
+			return fmt.Errorf("ir: %s: block %d has ID %d", f.Name, i, blk.ID)
+		}
+		for j := range blk.Ops {
+			op := &blk.Ops[j]
+			if err := f.verifyOp(op); err != nil {
+				return fmt.Errorf("ir: %s: B%d op %d (%s): %w", f.Name, i, j, op, err)
+			}
+			if op.Info().Branch && op.Opcode != isa.HALT {
+				if op.Target < 0 || op.Target >= len(f.Blocks) {
+					return fmt.Errorf("ir: %s: B%d op %d: branch target B%d out of range",
+						f.Name, i, j, op.Target)
+				}
+			}
+			// Branches may only terminate a block.
+			if op.Info().Branch && j != len(blk.Ops)-1 && op.Opcode != isa.HALT {
+				if op.Opcode == isa.JMP {
+					return fmt.Errorf("ir: %s: B%d: JMP not at block end", f.Name, i)
+				}
+				// Conditional branches mid-block would make the block not
+				// basic; the builder never produces this.
+				return fmt.Errorf("ir: %s: B%d: branch %s not at block end", f.Name, i, op.Opcode.Name())
+			}
+		}
+	}
+	// The last block must not fall off the end of the function.
+	if !f.Blocks[len(f.Blocks)-1].Terminated() {
+		return fmt.Errorf("ir: %s: last block falls through", f.Name)
+	}
+	return nil
+}
+
+func (f *Func) verifyOp(op *Op) error {
+	in := op.Info()
+	sig := in.Sig
+	if len(op.Dst) != len(sig.Dst) {
+		return fmt.Errorf("want %d destinations, have %d", len(sig.Dst), len(op.Dst))
+	}
+	// ALU operations may replace their second register source with an
+	// immediate; loads/stores/shifts carry the immediate in addition to
+	// their sources.
+	wantSrc := len(sig.Src)
+	if op.UseImm && in.Imm && wantSrc > 0 && in.Mem == isa.MemNone && !in.Branch {
+		switch op.Opcode {
+		case isa.MOVI, isa.SETVL, isa.SETVS, isa.MOVIM:
+			wantSrc = 0
+		case isa.PSLL, isa.PSRL, isa.PSRA, isa.VSLL, isa.VSRL, isa.VSRA:
+			// shift amount is the immediate; one register source remains
+		default:
+			wantSrc-- // binary ALU op with immediate second operand
+		}
+	}
+	if len(op.Src) != wantSrc {
+		return fmt.Errorf("want %d sources, have %d", wantSrc, len(op.Src))
+	}
+	for i, r := range op.Dst {
+		if r.Class != sig.Dst[i] {
+			return fmt.Errorf("dst %d: class %s, want %s", i, r.Class, sig.Dst[i])
+		}
+		if err := f.checkReg(r); err != nil {
+			return err
+		}
+	}
+	for i, r := range op.Src {
+		// With an immediate second ALU operand the remaining sources match
+		// the signature prefix.
+		if i < len(sig.Src) && r.Class != sig.Src[i] {
+			return fmt.Errorf("src %d: class %s, want %s", i, r.Class, sig.Src[i])
+		}
+		if err := f.checkReg(r); err != nil {
+			return err
+		}
+	}
+	if !op.Opcode.SupportsWidth(op.Width) {
+		return fmt.Errorf("width %v not supported", op.Width)
+	}
+	if op.Alias < 0 {
+		return fmt.Errorf("negative alias class")
+	}
+	return nil
+}
+
+func (f *Func) checkReg(r Reg) error {
+	if !r.Valid() {
+		return fmt.Errorf("invalid register")
+	}
+	if r.ID < 0 || r.ID >= f.NumRegs[r.Class] {
+		return fmt.Errorf("register %s out of range (%d allocated)", r, f.NumRegs[r.Class])
+	}
+	return nil
+}

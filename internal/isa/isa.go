@@ -1,0 +1,520 @@
+// Package isa defines the instruction-set architecture of the
+// Vector-µSIMD-VLIW processor family studied in the paper: the scalar
+// (HPL-PD-like) operation set, the µSIMD extension (64-bit packed
+// operations fairly similar to Intel's SSE integer opcodes), and the
+// Vector-µSIMD extension based on the MOM matrix-oriented ISA (short
+// vectors of up to 16 64-bit words, vector-length and vector-stride
+// registers, and MDMX-like 192-bit packed accumulators).
+//
+// The paper reserves the term "operation" for each independent machine
+// operation codified into a VLIW instruction; a vector operation executes
+// VL sub-operations, and each sub-operation operates on up to eight packed
+// items, so a single vector operation performs up to 16x8 micro-operations.
+// The Info metadata in this package carries everything the static
+// scheduler (internal/sched) and the simulator (internal/sim) need:
+// functional-unit class, flow latency, register classes and sub-word
+// behaviour.
+package isa
+
+import "vsimdvliw/internal/simd"
+
+// Unit identifies the functional-unit class an operation executes on.
+type Unit uint8
+
+// Functional-unit classes. Each operation consumes one issue slot plus one
+// unit of its class; memory operations additionally consume a cache port
+// (L1 for scalar/µSIMD accesses, the wide L2 port for vector accesses).
+const (
+	UnitNone   Unit = iota // pseudo-operations (region markers): free
+	UnitInt                // integer ALU
+	UnitMem                // scalar and µSIMD memory (L1 data cache port)
+	UnitBranch             // branch unit
+	UnitSIMD               // µSIMD (packed) functional unit
+	UnitVector             // vector functional unit (LN parallel lanes)
+	UnitVMem               // vector memory (wide L2 vector-cache port)
+)
+
+// String implements fmt.Stringer.
+func (u Unit) String() string {
+	switch u {
+	case UnitNone:
+		return "none"
+	case UnitInt:
+		return "int"
+	case UnitMem:
+		return "mem"
+	case UnitBranch:
+		return "br"
+	case UnitSIMD:
+		return "simd"
+	case UnitVector:
+		return "valu"
+	case UnitVMem:
+		return "vmem"
+	}
+	return "?"
+}
+
+// RegClass identifies a register file.
+type RegClass uint8
+
+// Register classes of the architecture (Table 2 of the paper): the integer
+// file, the 64-bit µSIMD packed file, the vector file (16 x 64-bit words
+// per register), and the packed-accumulator file.
+const (
+	RegNone RegClass = iota
+	RegInt
+	RegSIMD
+	RegVec
+	RegAcc
+)
+
+// String implements fmt.Stringer.
+func (c RegClass) String() string {
+	switch c {
+	case RegNone:
+		return "-"
+	case RegInt:
+		return "r"
+	case RegSIMD:
+		return "m"
+	case RegVec:
+		return "v"
+	case RegAcc:
+		return "a"
+	}
+	return "?"
+}
+
+// MemKind classifies memory behaviour.
+type MemKind uint8
+
+// Memory operation kinds.
+const (
+	MemNone MemKind = iota
+	MemLoad
+	MemStore
+)
+
+// MaxVL is the architectural maximum vector length: 16 64-bit words, so a
+// vector register holds a matrix of up to 16x8 packed elements.
+const MaxVL = 16
+
+// Opcode enumerates every machine operation.
+type Opcode uint8
+
+// Scalar operations (HPL-PD-like core ISA).
+const (
+	NOP  Opcode = iota
+	MOVI        // dst <- imm
+	MOV         // dst <- src
+	ADD
+	SUB
+	MUL
+	DIV
+	AND
+	OR
+	XOR
+	SHL
+	SHR
+	SRA
+	CMPEQ // dst <- (a == b) ? 1 : 0
+	CMPNE
+	CMPLT  // signed
+	CMPLE  // signed
+	CMPLTU // unsigned
+	SELECT // dst <- (cond != 0) ? a : b   (3 sources: cond, a, b)
+
+	LDB  // sign-extending byte load
+	LDBU // zero-extending byte load
+	LDH  // sign-extending halfword load
+	LDHU
+	LDW // sign-extending word (32-bit) load
+	LDWU
+	LDD // 64-bit load
+	STB
+	STH
+	STW
+	STD
+
+	BEQ // branch if a == b
+	BNE
+	BLT // signed
+	BGE
+	JMP
+
+	REGBEGIN // pseudo: begin region (imm = region id)
+	REGEND   // pseudo: end region
+	HALT
+
+	// µSIMD operations: 64-bit packed, Width field of the Op selects the
+	// sub-word size. Together with their width variants these mirror the
+	// SSE integer opcode set (~67 opcodes).
+	LDM // load 64-bit word into a µSIMD register
+	STM // store a µSIMD register
+	MOVIM
+	MOVRM // int reg -> µSIMD reg (bit copy)
+	MOVMR // µSIMD reg -> int reg
+	PSPLAT
+	PADD
+	PSUB
+	PADDS
+	PSUBS
+	PADDU
+	PSUBU
+	PMULL
+	PMULH
+	PMADD
+	PAVG
+	PMINU
+	PMAXU
+	PMINS
+	PMAXS
+	PABSD
+	PSAD // packed SAD: dst µSIMD reg receives scalar sum of byte |a-b|
+	PAND
+	POR
+	PXOR
+	PANDN
+	PSLL
+	PSRL
+	PSRA
+	PCMPEQ
+	PCMPGT
+	PACKSS
+	PACKUS
+	PUNPCKL
+	PUNPCKH
+
+	// Vector-µSIMD operations (MOM-like). Compute operations execute VL
+	// sub-operations, each a µSIMD word operation, across LN lanes.
+	SETVL // set vector-length register (from int reg or imm)
+	SETVS // set vector-stride register, in bytes (8 = stride one)
+	VLD   // vector load: VL words from base, consecutive words VS bytes apart
+	VST   // vector store
+	VMOV
+	VSPLAT // broadcast an int register's 64-bit value to all VL words
+	VADD
+	VSUB
+	VADDS
+	VSUBS
+	VADDU
+	VSUBU
+	VMULL
+	VMULH
+	VMADD
+	VAVG
+	VMINU
+	VMAXU
+	VMINS
+	VMAXS
+	VABSD
+	VAND
+	VOR
+	VXOR
+	VANDN
+	VSLL
+	VSRL
+	VSRA
+	VCMPEQ
+	VCMPGT
+	VPACKSS
+	VPACKUS
+	VUNPCKL
+	VUNPCKH
+	VEXTR // dst int <- vector word [imm]
+	VINS  // vector word [imm] <- int src
+
+	// Packed-accumulator operations (MDMX-like).
+	ACLR  // accumulator <- 0
+	VSADA // acc lanes += per-byte-lane |a-b| over the vector pair
+	VMACA // acc lanes += 16-bit lane products over the vector pair
+	VACCW // acc lanes += 16-bit lanes of the vector
+	VSUM  // dst int <- reduction of the accumulator lanes (last-lane reduce)
+	APACK // dst int <- the four halfword accumulator lanes, >>imm, saturated to int16, packed
+
+	numOpcodes // sentinel
+)
+
+// NumOpcodes is the number of defined opcodes.
+const NumOpcodes = int(numOpcodes)
+
+// Sig describes the register classes of an operation's destinations and
+// sources, in order.
+type Sig struct {
+	Dst []RegClass
+	Src []RegClass
+}
+
+// Info is the static metadata of one opcode.
+type Info struct {
+	Name string
+	Unit Unit
+	// Lat is the flow latency L of one (sub-)operation in cycles. For
+	// vector operations the scheduler derives the full latency descriptors
+	// Tlr = (VL-1)/LN and Tlw = L + (VL-1)/LN from it (Figure 3 of the
+	// paper); for vector memory the lane count is replaced by the width of
+	// the L2 port in words.
+	Lat int
+	Sig Sig
+	// Widths lists the sub-word widths the operation accepts; nil means
+	// the operation is width-less (logicals, moves, scalar ops).
+	Widths []simd.Width
+	Mem    MemKind
+	Branch bool
+	// Vector marks operations whose execution is governed by the vector
+	// length register (compute, memory and accumulator vector operations).
+	Vector bool
+	// HasImm marks operations that carry an immediate operand (in addition
+	// to, or instead of, register sources).
+	Imm bool
+}
+
+var b8 = []simd.Width{simd.W8}
+var b16 = []simd.Width{simd.W16}
+var b816 = []simd.Width{simd.W8, simd.W16}
+var b81632 = []simd.Width{simd.W8, simd.W16, simd.W32}
+var b1632 = []simd.Width{simd.W16, simd.W32}
+
+// Latency constants (cycles), loosely based on the Itanium2 latencies the
+// paper uses: 1-cycle integer ALU, multi-cycle multiply, 1-cycle L1 access
+// for scheduling purposes, 2-cycle µSIMD ALU, 3-cycle µSIMD multiply,
+// 5-cycle L2 vector cache.
+const (
+	LatInt     = 1
+	LatMul     = 3
+	LatDiv     = 12
+	LatLoad    = 1 // scheduled L1-hit latency
+	LatStore   = 1
+	LatBranch  = 1
+	LatSIMD    = 2
+	LatSIMDMul = 3
+	LatVMem    = 5 // L2 vector-cache latency
+	LatVSum    = 4 // accumulator reduction (single-lane tree)
+)
+
+var infos [numOpcodes]Info
+
+func def(op Opcode, name string, unit Unit, lat int, sig Sig, f func(*Info)) {
+	in := Info{Name: name, Unit: unit, Lat: lat, Sig: sig}
+	if f != nil {
+		f(&in)
+	}
+	infos[op] = in
+}
+
+func sig(dst string, src string) Sig {
+	conv := func(s string) []RegClass {
+		var out []RegClass
+		for _, c := range s {
+			switch c {
+			case 'r':
+				out = append(out, RegInt)
+			case 'm':
+				out = append(out, RegSIMD)
+			case 'v':
+				out = append(out, RegVec)
+			case 'a':
+				out = append(out, RegAcc)
+			default:
+				panic("isa: bad sig char")
+			}
+		}
+		return out
+	}
+	return Sig{Dst: conv(dst), Src: conv(src)}
+}
+
+func init() {
+	// Scalar core.
+	def(NOP, "nop", UnitNone, 0, sig("", ""), nil)
+	def(MOVI, "movi", UnitInt, LatInt, sig("r", ""), func(i *Info) { i.Imm = true })
+	def(MOV, "mov", UnitInt, LatInt, sig("r", "r"), nil)
+	for _, e := range []struct {
+		op   Opcode
+		name string
+		lat  int
+	}{
+		{ADD, "add", LatInt}, {SUB, "sub", LatInt}, {MUL, "mul", LatMul},
+		{DIV, "div", LatDiv}, {AND, "and", LatInt}, {OR, "or", LatInt},
+		{XOR, "xor", LatInt}, {SHL, "shl", LatInt}, {SHR, "shr", LatInt},
+		{SRA, "sra", LatInt}, {CMPEQ, "cmpeq", LatInt}, {CMPNE, "cmpne", LatInt},
+		{CMPLT, "cmplt", LatInt}, {CMPLE, "cmple", LatInt}, {CMPLTU, "cmpltu", LatInt},
+	} {
+		def(e.op, e.name, UnitInt, e.lat, sig("r", "rr"), func(i *Info) { i.Imm = true })
+	}
+	def(SELECT, "select", UnitInt, LatInt, sig("r", "rrr"), nil)
+
+	for _, e := range []struct {
+		op   Opcode
+		name string
+	}{
+		{LDB, "ldb"}, {LDBU, "ldbu"}, {LDH, "ldh"}, {LDHU, "ldhu"},
+		{LDW, "ldw"}, {LDWU, "ldwu"}, {LDD, "ldd"},
+	} {
+		def(e.op, e.name, UnitMem, LatLoad, sig("r", "r"), func(i *Info) {
+			i.Mem = MemLoad
+			i.Imm = true // address offset
+		})
+	}
+	for _, e := range []struct {
+		op   Opcode
+		name string
+	}{{STB, "stb"}, {STH, "sth"}, {STW, "stw"}, {STD, "std"}} {
+		def(e.op, e.name, UnitMem, LatStore, sig("", "rr"), func(i *Info) {
+			i.Mem = MemStore
+			i.Imm = true // address offset; src = [value, base]
+		})
+	}
+
+	for _, e := range []struct {
+		op   Opcode
+		name string
+		n    string
+	}{{BEQ, "beq", "rr"}, {BNE, "bne", "rr"}, {BLT, "blt", "rr"}, {BGE, "bge", "rr"}, {JMP, "jmp", ""}} {
+		def(e.op, e.name, UnitBranch, LatBranch, sig("", e.n), func(i *Info) { i.Branch = true })
+	}
+
+	def(REGBEGIN, "regbegin", UnitNone, 0, sig("", ""), func(i *Info) { i.Imm = true })
+	def(REGEND, "regend", UnitNone, 0, sig("", ""), func(i *Info) { i.Imm = true })
+	def(HALT, "halt", UnitBranch, LatBranch, sig("", ""), func(i *Info) { i.Branch = true })
+
+	// µSIMD extension.
+	def(LDM, "ldm", UnitMem, LatLoad, sig("m", "r"), func(i *Info) { i.Mem = MemLoad; i.Imm = true })
+	def(STM, "stm", UnitMem, LatStore, sig("", "mr"), func(i *Info) { i.Mem = MemStore; i.Imm = true })
+	def(MOVIM, "movim", UnitSIMD, LatSIMD, sig("m", ""), func(i *Info) { i.Imm = true })
+	def(MOVRM, "movrm", UnitSIMD, LatSIMD, sig("m", "r"), nil)
+	def(MOVMR, "movmr", UnitSIMD, LatSIMD, sig("r", "m"), nil)
+	def(PSPLAT, "psplat", UnitSIMD, LatSIMD, sig("m", "r"), func(i *Info) { i.Widths = b81632 })
+
+	type pdef struct {
+		op     Opcode
+		name   string
+		lat    int
+		widths []simd.Width
+	}
+	for _, e := range []pdef{
+		{PADD, "padd", LatSIMD, b81632}, {PSUB, "psub", LatSIMD, b81632},
+		{PADDS, "padds", LatSIMD, b816}, {PSUBS, "psubs", LatSIMD, b816},
+		{PADDU, "paddu", LatSIMD, b816}, {PSUBU, "psubu", LatSIMD, b816},
+		{PMULL, "pmull", LatSIMDMul, b16}, {PMULH, "pmulh", LatSIMDMul, b16},
+		{PMADD, "pmadd", LatSIMDMul, b16},
+		{PAVG, "pavg", LatSIMD, b816},
+		{PMINU, "pminu", LatSIMD, b8}, {PMAXU, "pmaxu", LatSIMD, b8},
+		{PMINS, "pmins", LatSIMD, b16}, {PMAXS, "pmaxs", LatSIMD, b16},
+		{PABSD, "pabsd", LatSIMD, b816},
+		{PSAD, "psad", LatSIMDMul, b8},
+		{PAND, "pand", LatSIMD, nil}, {POR, "por", LatSIMD, nil},
+		{PXOR, "pxor", LatSIMD, nil}, {PANDN, "pandn", LatSIMD, nil},
+		{PCMPEQ, "pcmpeq", LatSIMD, b81632}, {PCMPGT, "pcmpgt", LatSIMD, b81632},
+		{PACKSS, "packss", LatSIMD, b1632}, {PACKUS, "packus", LatSIMD, b16},
+		{PUNPCKL, "punpckl", LatSIMD, b81632}, {PUNPCKH, "punpckh", LatSIMD, b81632},
+	} {
+		def(e.op, e.name, UnitSIMD, e.lat, sig("m", "mm"), func(i *Info) { i.Widths = e.widths })
+	}
+	for _, e := range []pdef{
+		{PSLL, "psll", LatSIMD, b1632}, {PSRL, "psrl", LatSIMD, b1632}, {PSRA, "psra", LatSIMD, b1632},
+	} {
+		def(e.op, e.name, UnitSIMD, e.lat, sig("m", "m"), func(i *Info) {
+			i.Widths = e.widths
+			i.Imm = true
+		})
+	}
+
+	// Vector-µSIMD extension.
+	def(SETVL, "setvl", UnitInt, LatInt, sig("", "r"), func(i *Info) { i.Imm = true })
+	def(SETVS, "setvs", UnitInt, LatInt, sig("", "r"), func(i *Info) { i.Imm = true })
+	def(VLD, "vld", UnitVMem, LatVMem, sig("v", "r"), func(i *Info) {
+		i.Mem = MemLoad
+		i.Vector = true
+		i.Imm = true
+	})
+	def(VST, "vst", UnitVMem, LatVMem, sig("", "vr"), func(i *Info) {
+		i.Mem = MemStore
+		i.Vector = true
+		i.Imm = true
+	})
+	def(VMOV, "vmov", UnitVector, LatSIMD, sig("v", "v"), func(i *Info) { i.Vector = true })
+	def(VSPLAT, "vsplat", UnitVector, LatSIMD, sig("v", "r"), func(i *Info) { i.Vector = true })
+	for _, e := range []pdef{
+		{VADD, "vadd", LatSIMD, b81632}, {VSUB, "vsub", LatSIMD, b81632},
+		{VADDS, "vadds", LatSIMD, b816}, {VSUBS, "vsubs", LatSIMD, b816},
+		{VADDU, "vaddu", LatSIMD, b816}, {VSUBU, "vsubu", LatSIMD, b816},
+		{VMULL, "vmull", LatSIMDMul, b16}, {VMULH, "vmulh", LatSIMDMul, b16},
+		{VMADD, "vmadd", LatSIMDMul, b16},
+		{VAVG, "vavg", LatSIMD, b816},
+		{VMINU, "vminu", LatSIMD, b8}, {VMAXU, "vmaxu", LatSIMD, b8},
+		{VMINS, "vmins", LatSIMD, b16}, {VMAXS, "vmaxs", LatSIMD, b16},
+		{VABSD, "vabsd", LatSIMD, b816},
+		{VAND, "vand", LatSIMD, nil}, {VOR, "vor", LatSIMD, nil},
+		{VXOR, "vxor", LatSIMD, nil}, {VANDN, "vandn", LatSIMD, nil},
+		{VCMPEQ, "vcmpeq", LatSIMD, b81632}, {VCMPGT, "vcmpgt", LatSIMD, b81632},
+		{VPACKSS, "vpackss", LatSIMD, b1632}, {VPACKUS, "vpackus", LatSIMD, b16},
+		{VUNPCKL, "vunpckl", LatSIMD, b81632}, {VUNPCKH, "vunpckh", LatSIMD, b81632},
+	} {
+		def(e.op, e.name, UnitVector, e.lat, sig("v", "vv"), func(i *Info) {
+			i.Widths = e.widths
+			i.Vector = true
+		})
+	}
+	for _, e := range []pdef{
+		{VSLL, "vsll", LatSIMD, b1632}, {VSRL, "vsrl", LatSIMD, b1632}, {VSRA, "vsra", LatSIMD, b1632},
+	} {
+		def(e.op, e.name, UnitVector, e.lat, sig("v", "v"), func(i *Info) {
+			i.Widths = e.widths
+			i.Vector = true
+			i.Imm = true
+		})
+	}
+	def(VEXTR, "vextr", UnitVector, LatSIMD, sig("r", "v"), func(i *Info) { i.Imm = true })
+	def(VINS, "vins", UnitVector, LatSIMD, sig("v", "rv"), func(i *Info) { i.Imm = true })
+
+	def(ACLR, "aclr", UnitVector, LatInt, sig("a", ""), nil)
+	def(VSADA, "vsada", UnitVector, LatSIMD, sig("a", "vva"), func(i *Info) {
+		i.Widths = b8
+		i.Vector = true
+	})
+	def(VMACA, "vmaca", UnitVector, LatSIMDMul, sig("a", "vva"), func(i *Info) {
+		i.Widths = b16
+		i.Vector = true
+	})
+	def(VACCW, "vaccw", UnitVector, LatSIMD, sig("a", "va"), func(i *Info) {
+		i.Widths = b16
+		i.Vector = true
+	})
+	def(VSUM, "vsum", UnitVector, LatVSum, sig("r", "a"), func(i *Info) { i.Widths = b816 })
+	def(APACK, "apack", UnitVector, LatSIMDMul, sig("r", "a"), func(i *Info) { i.Imm = true })
+}
+
+// Get returns the metadata of op. It panics on an out-of-range opcode.
+func (op Opcode) Get() *Info {
+	if int(op) >= NumOpcodes {
+		panic("isa: invalid opcode")
+	}
+	return &infos[op]
+}
+
+// Name returns the mnemonic of op.
+func (op Opcode) Name() string { return op.Get().Name }
+
+// IsMem reports whether op accesses memory.
+func (op Opcode) IsMem() bool { return op.Get().Mem != MemNone }
+
+// IsVectorMem reports whether op is a vector memory access (uses the wide
+// L2 port and bypasses the L1).
+func (op Opcode) IsVectorMem() bool { return op == VLD || op == VST }
+
+// SupportsWidth reports whether the opcode accepts the given sub-word width.
+// Width-less opcodes accept only a zero width.
+func (op Opcode) SupportsWidth(w simd.Width) bool {
+	in := op.Get()
+	if in.Widths == nil {
+		return w == 0
+	}
+	for _, x := range in.Widths {
+		if x == w {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,218 @@
+package isa
+
+import (
+	"testing"
+
+	"vsimdvliw/internal/simd"
+)
+
+func TestEveryOpcodeDefined(t *testing.T) {
+	for op := Opcode(0); int(op) < NumOpcodes; op++ {
+		in := op.Get()
+		if in.Name == "" {
+			t.Errorf("opcode %d has no metadata", op)
+		}
+		if op != NOP && op != REGBEGIN && op != REGEND && in.Unit == UnitNone {
+			t.Errorf("%s: real operation with UnitNone", in.Name)
+		}
+		if in.Unit != UnitNone && in.Lat < 1 {
+			t.Errorf("%s: latency %d < 1", in.Name, in.Lat)
+		}
+	}
+}
+
+func TestNamesUnique(t *testing.T) {
+	seen := make(map[string]Opcode)
+	for op := Opcode(0); int(op) < NumOpcodes; op++ {
+		n := op.Name()
+		if prev, ok := seen[n]; ok {
+			t.Errorf("duplicate mnemonic %q for %d and %d", n, prev, op)
+		}
+		seen[n] = op
+	}
+}
+
+func TestVectorOpsFlagged(t *testing.T) {
+	vecOps := []Opcode{VLD, VST, VADD, VSUB, VMULL, VMADD, VSADA, VMACA, VMOV, VSPLAT}
+	for _, op := range vecOps {
+		if !op.Get().Vector {
+			t.Errorf("%s must be flagged Vector", op.Name())
+		}
+	}
+	scalarOps := []Opcode{ADD, LDD, PADD, PSAD, VSUM, SETVL}
+	for _, op := range scalarOps {
+		if op.Get().Vector {
+			t.Errorf("%s must not be flagged Vector", op.Name())
+		}
+	}
+}
+
+func TestMemFlags(t *testing.T) {
+	loads := []Opcode{LDB, LDBU, LDH, LDHU, LDW, LDWU, LDD, LDM, VLD}
+	for _, op := range loads {
+		if op.Get().Mem != MemLoad {
+			t.Errorf("%s must be MemLoad", op.Name())
+		}
+		if !op.IsMem() {
+			t.Errorf("%s IsMem false", op.Name())
+		}
+	}
+	stores := []Opcode{STB, STH, STW, STD, STM, VST}
+	for _, op := range stores {
+		if op.Get().Mem != MemStore {
+			t.Errorf("%s must be MemStore", op.Name())
+		}
+	}
+	if ADD.IsMem() {
+		t.Error("ADD flagged as memory")
+	}
+}
+
+func TestVectorMemUnit(t *testing.T) {
+	if VLD.Get().Unit != UnitVMem || VST.Get().Unit != UnitVMem {
+		t.Error("vector memory ops must use the L2 vector port unit")
+	}
+	if !VLD.IsVectorMem() || !VST.IsVectorMem() {
+		t.Error("IsVectorMem false for VLD/VST")
+	}
+	if LDM.IsVectorMem() {
+		t.Error("LDM is a µSIMD (L1) access, not a vector access")
+	}
+	if LDM.Get().Unit != UnitMem {
+		t.Error("LDM must use the L1 port unit")
+	}
+}
+
+func TestBranchFlags(t *testing.T) {
+	for _, op := range []Opcode{BEQ, BNE, BLT, BGE, JMP, HALT} {
+		if !op.Get().Branch {
+			t.Errorf("%s must be Branch", op.Name())
+		}
+		if op.Get().Unit != UnitBranch {
+			t.Errorf("%s must run on the branch unit", op.Name())
+		}
+	}
+}
+
+func TestWidthSupport(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		w    simd.Width
+		want bool
+	}{
+		{PADD, simd.W8, true},
+		{PADD, simd.W16, true},
+		{PADD, simd.W32, true},
+		{PADD, simd.W64, false},
+		{PMULL, simd.W16, true},
+		{PMULL, simd.W8, false},
+		{PSAD, simd.W8, true},
+		{PSAD, simd.W16, false},
+		{PAND, 0, true},
+		{PAND, simd.W8, false},
+		{ADD, 0, true},
+		{VMADD, simd.W16, true},
+		{VPACKUS, simd.W16, true},
+		{VPACKUS, simd.W32, false},
+	}
+	for _, c := range cases {
+		if got := c.op.SupportsWidth(c.w); got != c.want {
+			t.Errorf("%s width %v: got %v, want %v", c.op.Name(), c.w, got, c.want)
+		}
+	}
+}
+
+func TestSignatures(t *testing.T) {
+	if s := ADD.Get().Sig; len(s.Dst) != 1 || s.Dst[0] != RegInt || len(s.Src) != 2 {
+		t.Error("ADD signature wrong")
+	}
+	if s := VSADA.Get().Sig; len(s.Src) != 3 || s.Src[0] != RegVec || s.Src[2] != RegAcc {
+		t.Error("VSADA signature wrong: must read two vectors and the accumulator")
+	}
+	if s := VSUM.Get().Sig; s.Dst[0] != RegInt || s.Src[0] != RegAcc {
+		t.Error("VSUM signature wrong")
+	}
+	if s := STD.Get().Sig; len(s.Dst) != 0 || len(s.Src) != 2 {
+		t.Error("STD signature wrong")
+	}
+	if s := SELECT.Get().Sig; len(s.Src) != 3 {
+		t.Error("SELECT must have 3 sources")
+	}
+}
+
+func TestAccessBytes(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		want int
+	}{
+		{LDB, 1}, {LDBU, 1}, {STB, 1},
+		{LDH, 2}, {STH, 2},
+		{LDW, 4}, {LDWU, 4}, {STW, 4},
+		{LDD, 8}, {STD, 8}, {LDM, 8}, {STM, 8}, {VLD, 8}, {VST, 8},
+		{ADD, 0}, {VADD, 0},
+	}
+	for _, c := range cases {
+		if got := AccessBytes(c.op); got != c.want {
+			t.Errorf("AccessBytes(%s) = %d, want %d", c.op.Name(), got, c.want)
+		}
+	}
+}
+
+func TestLoadSigned(t *testing.T) {
+	if !LoadSigned(LDB) || !LoadSigned(LDH) || !LoadSigned(LDW) {
+		t.Error("signed loads misreported")
+	}
+	if LoadSigned(LDBU) || LoadSigned(LDHU) || LoadSigned(LDD) {
+		t.Error("unsigned/64-bit loads misreported")
+	}
+}
+
+func TestLatencyExpectations(t *testing.T) {
+	// The paper's Figure 4 example uses 2-cycle vector units and a 5-cycle
+	// vector cache; integer ops are 1 cycle (Itanium2-based).
+	if ADD.Get().Lat != 1 {
+		t.Error("integer ALU must be 1 cycle")
+	}
+	if VADD.Get().Lat != 2 || VSADA.Get().Lat != 2 {
+		t.Error("vector ALU ops must be 2 cycles (paper's example)")
+	}
+	if VLD.Get().Lat != 5 {
+		t.Error("vector cache latency must be 5 cycles")
+	}
+	if LDD.Get().Lat != 1 {
+		t.Error("L1 scheduled latency must be 1 cycle")
+	}
+}
+
+func TestUnitString(t *testing.T) {
+	for u, want := range map[Unit]string{
+		UnitNone: "none", UnitInt: "int", UnitMem: "mem", UnitBranch: "br",
+		UnitSIMD: "simd", UnitVector: "valu", UnitVMem: "vmem",
+	} {
+		if u.String() != want {
+			t.Errorf("Unit(%d).String() = %q, want %q", u, u.String(), want)
+		}
+	}
+	if Unit(200).String() != "?" {
+		t.Error("unknown unit must stringify to ?")
+	}
+}
+
+func TestRegClassString(t *testing.T) {
+	for c, want := range map[RegClass]string{
+		RegNone: "-", RegInt: "r", RegSIMD: "m", RegVec: "v", RegAcc: "a",
+	} {
+		if c.String() != want {
+			t.Errorf("RegClass(%d).String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+func TestGetPanicsOnBadOpcode(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Opcode(255).Get()
+}

@@ -1,0 +1,28 @@
+package isa
+
+// AccessBytes returns the number of bytes moved by one (sub-)operation of a
+// memory opcode: the element size for scalar loads/stores, 8 for µSIMD and
+// vector word accesses (a vector operation moves VL such words). It returns
+// 0 for non-memory opcodes.
+func AccessBytes(op Opcode) int {
+	switch op {
+	case LDB, LDBU, STB:
+		return 1
+	case LDH, LDHU, STH:
+		return 2
+	case LDW, LDWU, STW:
+		return 4
+	case LDD, STD, LDM, STM, VLD, VST:
+		return 8
+	}
+	return 0
+}
+
+// LoadSigned reports whether a load opcode sign-extends its result.
+func LoadSigned(op Opcode) bool {
+	switch op {
+	case LDB, LDH, LDW:
+		return true
+	}
+	return false
+}

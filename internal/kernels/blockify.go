@@ -1,0 +1,92 @@
+package kernels
+
+import (
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/simd"
+)
+
+// Blockify converts a bxCount x byCount grid of 8x8 tiles from a byte
+// plane (row pitch w, starting at plane) into level-shifted int16 blocks
+// in two-plane layout (block-sequential at blocks): b[i] = p[i] - 128.
+// It is the sample-conversion step that feeds the forward DCT and is part
+// of the DCT vector region.
+func Blockify(b *ir.Builder, v Variant, plane, blocks int64, w, bxCount, byCount int, aliasPlane, aliasBlk int) {
+	checkMultiple("Blockify bxCount", bxCount, 1)
+	checkMultiple("Blockify byCount", byCount, 1)
+	op := b.Const(blocks)
+	rowAdvance := int64(8*w - 8*bxCount) // from last tile of a row to the next row of tiles
+	switch v {
+	case Scalar:
+		pb := b.Const(plane)
+		b.Loop(0, int64(byCount), 1, func(ir.Reg) {
+			b.Loop(0, int64(bxCount), 1, func(ir.Reg) {
+				for r := 0; r < 8; r++ {
+					for c := 0; c < 8; c++ {
+						px := b.Load(isa.LDBU, pb, int64(r*w+c), aliasPlane)
+						b.Store(isa.STH, b.SubI(px, 128), op, blockOff(r, c), aliasBlk)
+					}
+				}
+				b.BinITo(isa.ADD, pb, pb, 8)
+				b.BinITo(isa.ADD, op, op, BlockBytes)
+			})
+			b.BinITo(isa.ADD, pb, pb, rowAdvance)
+		})
+	case USIMD:
+		o := ops{b: b, vec: false}
+		zero := o.zero()
+		k128 := o.splat16(128)
+		pb := b.Const(plane)
+		b.Loop(0, int64(byCount), 1, func(ir.Reg) {
+			b.Loop(0, int64(bxCount), 1, func(ir.Reg) {
+				for r := 0; r < 8; r++ {
+					x := b.Ldm(pb, int64(r*w), aliasPlane)
+					lo := b.P(isa.PSUB, simd.W16, b.P(isa.PUNPCKL, simd.W8, x, zero), k128)
+					hi := b.P(isa.PSUB, simd.W16, b.P(isa.PUNPCKH, simd.W8, x, zero), k128)
+					b.Stm(lo, op, int64(8*r), aliasBlk)
+					b.Stm(hi, op, int64(64+8*r), aliasBlk)
+				}
+				b.BinITo(isa.ADD, pb, pb, 8)
+				b.BinITo(isa.ADD, op, op, BlockBytes)
+			})
+			b.BinITo(isa.ADD, pb, pb, rowAdvance)
+		})
+	default:
+		b.SetVLI(8)
+		zero := b.Vsplat(b.Const(0))
+		k128 := b.Vsplat(b.Const(splatWord16(128)))
+		pb := b.Const(plane)
+		b.Loop(0, int64(byCount), 1, func(ir.Reg) {
+			b.Loop(0, int64(bxCount), 1, func(ir.Reg) {
+				b.SetVS(b.Const(int64(w))) // tile rows, strided by the plane pitch
+				x := b.Vld(pb, 0, aliasPlane)
+				lo := b.V(isa.VSUB, simd.W16, b.V(isa.VUNPCKL, simd.W8, x, zero), k128)
+				hi := b.V(isa.VSUB, simd.W16, b.V(isa.VUNPCKH, simd.W8, x, zero), k128)
+				b.SetVSI(8) // block planes are contiguous
+				b.Vst(lo, op, 0, aliasBlk)
+				b.Vst(hi, op, 64, aliasBlk)
+				b.BinITo(isa.ADD, pb, pb, 8)
+				b.BinITo(isa.ADD, op, op, BlockBytes)
+			})
+			b.BinITo(isa.ADD, pb, pb, rowAdvance)
+		})
+	}
+}
+
+// BlockifyRef mirrors Blockify, returning block-sequential two-plane
+// blocks.
+func BlockifyRef(plane []byte, w, bxCount, byCount int) [][]int16 {
+	out := make([][]int16, 0, bxCount*byCount)
+	for by := 0; by < byCount; by++ {
+		for bx := 0; bx < bxCount; bx++ {
+			blk := make([]int16, 64)
+			for r := 0; r < 8; r++ {
+				for c := 0; c < 8; c++ {
+					blk[BlockIdx(r, c)] = int16(plane[(by*8+r)*w+bx*8+c]) - 128
+				}
+			}
+			out = append(out, blk)
+		}
+	}
+	return out
+}

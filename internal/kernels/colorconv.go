@@ -1,0 +1,247 @@
+package kernels
+
+import (
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/simd"
+)
+
+// Fixed-point (7-bit) color-conversion coefficients. They are chosen so
+// every 16-bit lane product and sum stays within int16 range, which lets
+// the µSIMD and vector variants use PMULL/VMULL directly; the scalar
+// variant and the reference use the identical integer arithmetic, so all
+// versions are bit-exact.
+const (
+	cYR, cYG, cYB    = 38, 75, 15
+	cCbR, cCbG, cCbB = -22, -42, 64
+	cCrR, cCrG, cCrB = 64, -54, -10
+
+	cRCr = 179 // R = Y + (179*(Cr-128))>>7
+	cGCb = -44
+	cGCr = -91
+	cBCb = 226
+)
+
+// ColorBufs names the six planar byte buffers of a color conversion.
+// In/out roles swap between the two directions.
+type ColorBufs struct {
+	R, G, B   int64
+	Y, Cb, Cr int64
+	NPix      int
+	// AliasRGB and AliasYCC are the memory-disambiguation classes of the
+	// two buffer groups.
+	AliasRGB, AliasYCC int
+}
+
+// VecPixStep is the pixel granularity of the vector color-conversion
+// loops: 16 words of 8 pixels.
+const VecPixStep = 16 * 8
+
+// RGB2YCC emits the forward color conversion (the first vector region of
+// the JPEG encoder) in the requested variant. NPix must be a multiple of
+// 128 (the vector step).
+func RGB2YCC(b *ir.Builder, v Variant, p ColorBufs) {
+	checkMultiple("RGB2YCC", p.NPix, VecPixStep)
+	if v == Scalar {
+		rgb2yccScalar(b, p)
+		return
+	}
+	rgb2yccPacked(b, v, p)
+}
+
+func rgb2yccScalar(b *ir.Builder, p ColorBufs) {
+	rp, gp, bp := b.Const(p.R), b.Const(p.G), b.Const(p.B)
+	yp, cbp, crp := b.Const(p.Y), b.Const(p.Cb), b.Const(p.Cr)
+	// Unrolled by two for a little ILP, as a VLIW compiler would.
+	b.Loop(0, int64(p.NPix), 2, func(ir.Reg) {
+		for u := int64(0); u < 2; u++ {
+			r := b.Load(isa.LDBU, rp, u, p.AliasRGB)
+			g := b.Load(isa.LDBU, gp, u, p.AliasRGB)
+			bl := b.Load(isa.LDBU, bp, u, p.AliasRGB)
+			y := b.SraI(b.Add(b.Add(b.MulI(r, cYR), b.MulI(g, cYG)), b.MulI(bl, cYB)), 7)
+			b.Store(isa.STB, y, yp, u, p.AliasYCC)
+			cb := b.AddI(b.SraI(b.Add(b.Add(b.MulI(r, cCbR), b.MulI(g, cCbG)), b.MulI(bl, cCbB)), 7), 128)
+			b.Store(isa.STB, cb, cbp, u, p.AliasYCC)
+			cr := b.AddI(b.SraI(b.Add(b.Add(b.MulI(r, cCrR), b.MulI(g, cCrG)), b.MulI(bl, cCrB)), 7), 128)
+			b.Store(isa.STB, cr, crp, u, p.AliasYCC)
+		}
+		for _, ptr := range []ir.Reg{rp, gp, bp, yp, cbp, crp} {
+			b.BinITo(isa.ADD, ptr, ptr, 2)
+		}
+	})
+}
+
+func rgb2yccPacked(b *ir.Builder, v Variant, p ColorBufs) {
+	o := ops{b: b, vec: v == Vector}
+	step := int64(8)
+	if o.vec {
+		b.SetVLI(16)
+		b.SetVSI(8)
+		step = VecPixStep
+	}
+	zero := o.zero()
+	kYR, kYG, kYB := o.splat16(cYR), o.splat16(cYG), o.splat16(cYB)
+	kCbR, kCbG := o.splat16(cCbR), o.splat16(cCbG)
+	// cCbB and cCrR are both 64: share one register (the hand-vectorized
+	// code must fit the 20-entry vector file of the 2-issue machines).
+	k64 := o.splat16(cCbB)
+	kCbB, kCrR := k64, k64
+	kCrG, kCrB := o.splat16(cCrG), o.splat16(cCrB)
+	k128 := o.splat16(128)
+
+	rp, gp, bp := b.Const(p.R), b.Const(p.G), b.Const(p.B)
+	yp, cbp, crp := b.Const(p.Y), b.Const(p.Cb), b.Const(p.Cr)
+
+	// component computes pack(((rl*kr + gl*kg + bl*kb) >> 7) + bias).
+	component := func(rl, rh, gl, gh, bl, bh ir.Reg, kr, kg, kb ir.Reg, bias ir.Reg) ir.Reg {
+		half := func(r, g, bb ir.Reg) ir.Reg {
+			s := o.bin(isa.PADD, simd.W16,
+				o.bin(isa.PADD, simd.W16,
+					o.bin(isa.PMULL, simd.W16, r, kr),
+					o.bin(isa.PMULL, simd.W16, g, kg)),
+				o.bin(isa.PMULL, simd.W16, bb, kb))
+			s = o.shift(isa.PSRA, simd.W16, s, 7)
+			if bias.Valid() {
+				s = o.bin(isa.PADD, simd.W16, s, bias)
+			}
+			return s
+		}
+		return o.bin(isa.PACKUS, simd.W16, half(rl, gl, bl), half(rh, gh, bh))
+	}
+
+	b.Loop(0, int64(p.NPix), step, func(ir.Reg) {
+		rw := o.load(rp, 0, p.AliasRGB)
+		gw := o.load(gp, 0, p.AliasRGB)
+		bw := o.load(bp, 0, p.AliasRGB)
+		rl := o.bin(isa.PUNPCKL, simd.W8, rw, zero)
+		rh := o.bin(isa.PUNPCKH, simd.W8, rw, zero)
+		gl := o.bin(isa.PUNPCKL, simd.W8, gw, zero)
+		gh := o.bin(isa.PUNPCKH, simd.W8, gw, zero)
+		bl := o.bin(isa.PUNPCKL, simd.W8, bw, zero)
+		bh := o.bin(isa.PUNPCKH, simd.W8, bw, zero)
+		o.store(component(rl, rh, gl, gh, bl, bh, kYR, kYG, kYB, ir.Reg{}), yp, 0, p.AliasYCC)
+		o.store(component(rl, rh, gl, gh, bl, bh, kCbR, kCbG, kCbB, k128), cbp, 0, p.AliasYCC)
+		o.store(component(rl, rh, gl, gh, bl, bh, kCrR, kCrG, kCrB, k128), crp, 0, p.AliasYCC)
+		for _, ptr := range []ir.Reg{rp, gp, bp, yp, cbp, crp} {
+			b.BinITo(isa.ADD, ptr, ptr, step)
+		}
+	})
+}
+
+// RGB2YCCRef is the reference forward conversion.
+func RGB2YCCRef(r, g, b []byte) (y, cb, cr []byte) {
+	n := len(r)
+	y, cb, cr = make([]byte, n), make([]byte, n), make([]byte, n)
+	for i := 0; i < n; i++ {
+		ri, gi, bi := int(r[i]), int(g[i]), int(b[i])
+		y[i] = byte((cYR*ri + cYG*gi + cYB*bi) >> 7)
+		cb[i] = byte(((cCbR*ri + cCbG*gi + cCbB*bi) >> 7) + 128)
+		cr[i] = byte(((cCrR*ri + cCrG*gi + cCrB*bi) >> 7) + 128)
+	}
+	return y, cb, cr
+}
+
+// YCC2RGB emits the inverse color conversion (the first vector region of
+// the JPEG decoder) in the requested variant.
+func YCC2RGB(b *ir.Builder, v Variant, p ColorBufs) {
+	checkMultiple("YCC2RGB", p.NPix, VecPixStep)
+	if v == Scalar {
+		ycc2rgbScalar(b, p)
+		return
+	}
+	ycc2rgbPacked(b, v, p)
+}
+
+func ycc2rgbScalar(b *ir.Builder, p ColorBufs) {
+	yp, cbp, crp := b.Const(p.Y), b.Const(p.Cb), b.Const(p.Cr)
+	rp, gp, bp := b.Const(p.R), b.Const(p.G), b.Const(p.B)
+	zero := b.Const(0)
+	max := b.Const(255)
+	clamp := func(x ir.Reg) ir.Reg {
+		x = b.Select(b.Bin(isa.CMPLT, x, zero), zero, x)
+		return b.Select(b.Bin(isa.CMPLT, max, x), max, x)
+	}
+	b.Loop(0, int64(p.NPix), 2, func(ir.Reg) {
+		for u := int64(0); u < 2; u++ {
+			y := b.Load(isa.LDBU, yp, u, p.AliasYCC)
+			cb := b.SubI(b.Load(isa.LDBU, cbp, u, p.AliasYCC), 128)
+			cr := b.SubI(b.Load(isa.LDBU, crp, u, p.AliasYCC), 128)
+			r := clamp(b.Add(y, b.SraI(b.MulI(cr, cRCr), 7)))
+			g := clamp(b.Add(y, b.SraI(b.Add(b.MulI(cb, cGCb), b.MulI(cr, cGCr)), 7)))
+			bl := clamp(b.Add(y, b.SraI(b.MulI(cb, cBCb), 7)))
+			b.Store(isa.STB, r, rp, u, p.AliasRGB)
+			b.Store(isa.STB, g, gp, u, p.AliasRGB)
+			b.Store(isa.STB, bl, bp, u, p.AliasRGB)
+		}
+		for _, ptr := range []ir.Reg{yp, cbp, crp, rp, gp, bp} {
+			b.BinITo(isa.ADD, ptr, ptr, 2)
+		}
+	})
+}
+
+func ycc2rgbPacked(b *ir.Builder, v Variant, p ColorBufs) {
+	o := ops{b: b, vec: v == Vector}
+	step := int64(8)
+	if o.vec {
+		b.SetVLI(16)
+		b.SetVSI(8)
+		step = VecPixStep
+	}
+	zero := o.zero()
+	kRCr := o.splat16(cRCr)
+	kGCb, kGCr := o.splat16(cGCb), o.splat16(cGCr)
+	kBCb := o.splat16(cBCb)
+	k128 := o.splat16(128)
+
+	yp, cbp, crp := b.Const(p.Y), b.Const(p.Cb), b.Const(p.Cr)
+	rp, gp, bp := b.Const(p.R), b.Const(p.G), b.Const(p.B)
+
+	b.Loop(0, int64(p.NPix), step, func(ir.Reg) {
+		yw := o.load(yp, 0, p.AliasYCC)
+		cbw := o.load(cbp, 0, p.AliasYCC)
+		crw := o.load(crp, 0, p.AliasYCC)
+		yl := o.bin(isa.PUNPCKL, simd.W8, yw, zero)
+		yh := o.bin(isa.PUNPCKH, simd.W8, yw, zero)
+		cbl := o.bin(isa.PSUB, simd.W16, o.bin(isa.PUNPCKL, simd.W8, cbw, zero), k128)
+		cbh := o.bin(isa.PSUB, simd.W16, o.bin(isa.PUNPCKH, simd.W8, cbw, zero), k128)
+		crl := o.bin(isa.PSUB, simd.W16, o.bin(isa.PUNPCKL, simd.W8, crw, zero), k128)
+		crh := o.bin(isa.PSUB, simd.W16, o.bin(isa.PUNPCKH, simd.W8, crw, zero), k128)
+
+		rlo := o.bin(isa.PADD, simd.W16, yl, o.shift(isa.PSRA, simd.W16, o.bin(isa.PMULL, simd.W16, crl, kRCr), 7))
+		rhi := o.bin(isa.PADD, simd.W16, yh, o.shift(isa.PSRA, simd.W16, o.bin(isa.PMULL, simd.W16, crh, kRCr), 7))
+		o.store(o.bin(isa.PACKUS, simd.W16, rlo, rhi), rp, 0, p.AliasRGB)
+
+		glo := o.bin(isa.PADD, simd.W16, yl, o.shift(isa.PSRA, simd.W16,
+			o.bin(isa.PADD, simd.W16,
+				o.bin(isa.PMULL, simd.W16, cbl, kGCb),
+				o.bin(isa.PMULL, simd.W16, crl, kGCr)), 7))
+		ghi := o.bin(isa.PADD, simd.W16, yh, o.shift(isa.PSRA, simd.W16,
+			o.bin(isa.PADD, simd.W16,
+				o.bin(isa.PMULL, simd.W16, cbh, kGCb),
+				o.bin(isa.PMULL, simd.W16, crh, kGCr)), 7))
+		o.store(o.bin(isa.PACKUS, simd.W16, glo, ghi), gp, 0, p.AliasRGB)
+
+		blo := o.bin(isa.PADD, simd.W16, yl, o.shift(isa.PSRA, simd.W16, o.bin(isa.PMULL, simd.W16, cbl, kBCb), 7))
+		bhi := o.bin(isa.PADD, simd.W16, yh, o.shift(isa.PSRA, simd.W16, o.bin(isa.PMULL, simd.W16, cbh, kBCb), 7))
+		o.store(o.bin(isa.PACKUS, simd.W16, blo, bhi), bp, 0, p.AliasRGB)
+
+		for _, ptr := range []ir.Reg{yp, cbp, crp, rp, gp, bp} {
+			b.BinITo(isa.ADD, ptr, ptr, step)
+		}
+	})
+}
+
+// YCC2RGBRef is the reference inverse conversion.
+func YCC2RGBRef(y, cb, cr []byte) (r, g, b []byte) {
+	n := len(y)
+	r, g, b = make([]byte, n), make([]byte, n), make([]byte, n)
+	for i := 0; i < n; i++ {
+		yi := int(y[i])
+		cbi := int(cb[i]) - 128
+		cri := int(cr[i]) - 128
+		r[i] = clamp255(yi + (cRCr*cri)>>7)
+		g[i] = clamp255(yi + (cGCb*cbi+cGCr*cri)>>7)
+		b[i] = clamp255(yi + (cBCb*cbi)>>7)
+	}
+	return r, g, b
+}

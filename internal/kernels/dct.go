@@ -1,0 +1,312 @@
+package kernels
+
+import (
+	"math"
+
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/simd"
+)
+
+// An 8x8 int16 block is stored in two-plane layout: words 0..7 hold rows
+// 0..7 of columns 0..3, words 8..15 hold rows 0..7 of columns 4..7. This
+// makes the column transform a pair of unit-stride vector loads (VL=8) and
+// keeps every variant's access pattern cache-friendly.
+
+// BlockBytes is the storage size of one 8x8 int16 block.
+const BlockBytes = 128
+
+// BlockIdx returns the element index of (row, col) within a two-plane
+// block (16-bit elements).
+func BlockIdx(r, c int) int { return ((c>>2)*8+r)*4 + (c & 3) }
+
+// blockOff returns the byte offset of (row, col) within a block.
+func blockOff(r, c int) int64 { return int64(BlockIdx(r, c)) * 2 }
+
+// dctBase computes the orthonormal 8-point DCT-II matrix scaled by 256:
+// M[u][k] = round(256 * s(u) * cos((2k+1)uπ/16)), s(0)=sqrt(1/8),
+// s(u)=1/2. All entries fit in 8 bits, so 16-bit lane products of pass one
+// stay within int16 for centered pixel input.
+func dctBase() [8][8]int16 {
+	var m [8][8]int16
+	for u := 0; u < 8; u++ {
+		s := 0.5
+		if u == 0 {
+			s = math.Sqrt(1.0 / 8.0)
+		}
+		for k := 0; k < 8; k++ {
+			m[u][k] = int16(math.Round(256 * s * math.Cos(float64(2*k+1)*float64(u)*math.Pi/16)))
+		}
+	}
+	return m
+}
+
+var fdctM = dctBase()
+var idctM = transpose(fdctM)
+
+func transpose(m [8][8]int16) [8][8]int16 {
+	var t [8][8]int16
+	for i := range m {
+		for j := range m {
+			t[i][j] = m[j][i]
+		}
+	}
+	return t
+}
+
+// FDCTMatrix returns the forward-DCT coefficient matrix (Y = M·X·Mᵀ with
+// an arithmetic >>8 after each one-dimensional pass).
+func FDCTMatrix() *[8][8]int16 { return &fdctM }
+
+// IDCTMatrix returns the inverse-DCT matrix (the transpose), so the same
+// two-pass routine computes X = Mᵀ·Y·M.
+func IDCTMatrix() *[8][8]int16 { return &idctM }
+
+// DCTAlias groups the memory-disambiguation classes of a DCT invocation.
+type DCTAlias struct {
+	Src, Dst, Tmp int
+}
+
+// DCT2D emits a two-dimensional 8x8 DCT over nblocks consecutive blocks
+// (two-plane layout) from src to dst using coefficient matrix m. The same
+// builder serves the forward and inverse transforms (pass FDCTMatrix or
+// IDCTMatrix). Both passes shift right arithmetically by 8.
+func DCT2D(b *ir.Builder, v Variant, m *[8][8]int16, src, dst int64, nblocks int, al DCTAlias) {
+	checkMultiple("DCT2D", nblocks, 1)
+	switch v {
+	case Scalar:
+		dctScalar(b, m, src, dst, nblocks, al)
+	case USIMD:
+		dctUSIMD(b, m, src, dst, nblocks, al)
+	default:
+		dctVector(b, m, src, dst, nblocks, al)
+	}
+}
+
+func dctScalar(b *ir.Builder, m *[8][8]int16, src, dst int64, nblocks int, al DCTAlias) {
+	tmp := b.Alloc(BlockBytes)
+	sp := b.Const(src)
+	dp := b.Const(dst)
+	tp := b.Const(tmp)
+	zero := b.Const(0)
+	// oneD emits one 1-D pass: eight dot products per line. Like the fast
+	// scalar IDCTs in production codecs, an all-zero input line takes an
+	// early exit (bit-exact: its contributions are all zero).
+	oneD := func(in, out ir.Reg, inOff, outOff func(a, k int) int64, aliasIn, aliasOut int) {
+		for j := 0; j < 8; j++ {
+			var line [8]ir.Reg
+			for k := 0; k < 8; k++ {
+				line[k] = b.Load(isa.LDH, in, inOff(j, k), aliasIn)
+			}
+			nz := b.Or(line[0], line[1])
+			for k := 2; k < 8; k++ {
+				nz = b.Or(nz, line[k])
+			}
+			b.IfElse(isa.BEQ, nz, zero, func() {
+				for u := 0; u < 8; u++ {
+					b.Store(isa.STH, zero, out, outOff(j, u), aliasOut)
+				}
+			}, func() {
+				for u := 0; u < 8; u++ {
+					s := b.MulI(line[0], int64(m[u][0]))
+					for k := 1; k < 8; k++ {
+						s = b.Add(s, b.MulI(line[k], int64(m[u][k])))
+					}
+					b.Store(isa.STH, b.SraI(s, 8), out, outOff(j, u), aliasOut)
+				}
+			})
+		}
+	}
+	b.Loop(0, int64(nblocks), 1, func(ir.Reg) {
+		// Pass 1 (columns): T[u][j] = (sum_k M[u][k]*X[k][j]) >> 8.
+		oneD(sp, tp,
+			func(j, k int) int64 { return blockOff(k, j) },
+			func(j, u int) int64 { return blockOff(u, j) },
+			al.Src, al.Tmp)
+		// Pass 2 (rows): Y[i][v] = (sum_k T[i][k]*M[v][k]) >> 8.
+		oneD(tp, dp,
+			func(i, k int) int64 { return blockOff(i, k) },
+			func(i, v int) int64 { return blockOff(i, v) },
+			al.Tmp, al.Dst)
+		b.BinITo(isa.ADD, sp, sp, BlockBytes)
+		b.BinITo(isa.ADD, dp, dp, BlockBytes)
+	})
+}
+
+// packWord16 packs four int16 coefficients into a 64-bit immediate.
+func packWord16(a, b, c, d int16) int64 {
+	return int64(uint64(uint16(a)) | uint64(uint16(b))<<16 |
+		uint64(uint16(c))<<32 | uint64(uint16(d))<<48)
+}
+
+func dctUSIMD(b *ir.Builder, m *[8][8]int16, src, dst int64, nblocks int, al DCTAlias) {
+	tmp := b.Alloc(BlockBytes)
+	sp := b.Const(src)
+	dp := b.Const(dst)
+	tp := b.Const(tmp)
+
+	// Pass-2 coefficient words hoisted out of the block loop:
+	// mrow[v][h] = M[v][4h..4h+3] packed.
+	var mrow [8][2]ir.Reg
+	for v := 0; v < 8; v++ {
+		for h := 0; h < 2; h++ {
+			r := b.SIMDReg()
+			b.Emit(ir.Op{Opcode: isa.MOVIM, Dst: []ir.Reg{r},
+				Imm: packWord16(m[v][4*h], m[v][4*h+1], m[v][4*h+2], m[v][4*h+3]), UseImm: true})
+			mrow[v][h] = r
+		}
+	}
+
+	b.Loop(0, int64(nblocks), 1, func(ir.Reg) {
+		// Load the block: 16 words (two planes of 8 row-halves).
+		var x [16]ir.Reg
+		for w := 0; w < 16; w++ {
+			x[w] = b.Ldm(sp, int64(8*w), al.Src)
+		}
+		// Pass 1 (columns), 32-bit accumulation: products via
+		// PMULL/PMULH recombined into 32-bit lanes.
+		for u := 0; u < 8; u++ {
+			var coeff [8]ir.Reg
+			for k := 0; k < 8; k++ {
+				coeff[k] = b.SIMDReg()
+				b.Emit(ir.Op{Opcode: isa.MOVIM, Dst: []ir.Reg{coeff[k]},
+					Imm: splatWord16(int64(m[u][k])), UseImm: true})
+			}
+			for h := 0; h < 2; h++ { // column half (4 columns)
+				var acc0, acc1 ir.Reg
+				for k := 0; k < 8; k++ {
+					xw := x[8*h+k]
+					lo := b.P(isa.PMULL, simd.W16, xw, coeff[k])
+					hi := b.P(isa.PMULH, simd.W16, xw, coeff[k])
+					p0 := b.P(isa.PUNPCKL, simd.W16, lo, hi)
+					p1 := b.P(isa.PUNPCKH, simd.W16, lo, hi)
+					if k == 0 {
+						acc0, acc1 = p0, p1
+					} else {
+						acc0 = b.P(isa.PADD, simd.W32, acc0, p0)
+						acc1 = b.P(isa.PADD, simd.W32, acc1, p1)
+					}
+				}
+				acc0 = b.PShiftI(isa.PSRA, simd.W32, acc0, 8)
+				acc1 = b.PShiftI(isa.PSRA, simd.W32, acc1, 8)
+				b.Stm(b.P(isa.PACKSS, simd.W32, acc0, acc1), tp, int64(8*(8*h+u)), al.Tmp)
+			}
+		}
+		// Pass 2 (rows), PMADD dot products.
+		for i := 0; i < 8; i++ {
+			t0 := b.Ldm(tp, int64(8*i), al.Tmp)
+			t1 := b.Ldm(tp, int64(8*(8+i)), al.Tmp)
+			for v := 0; v < 8; v++ {
+				s := b.P(isa.PADD, simd.W32,
+					b.P(isa.PMADD, simd.W16, t0, mrow[v][0]),
+					b.P(isa.PMADD, simd.W16, t1, mrow[v][1]))
+				// Horizontal add of the two 32-bit lanes in scalar code.
+				si := b.Movmr(s)
+				lo := b.SraI(b.ShlI(si, 32), 32)
+				hi := b.SraI(si, 32)
+				b.Store(isa.STH, b.SraI(b.Add(lo, hi), 8), dp, blockOff(i, v), al.Dst)
+			}
+		}
+		b.BinITo(isa.ADD, sp, sp, BlockBytes)
+		b.BinITo(isa.ADD, dp, dp, BlockBytes)
+	})
+}
+
+func dctVector(b *ir.Builder, m *[8][8]int16, src, dst int64, nblocks int, al DCTAlias) {
+	tmp := b.Alloc(BlockBytes)
+	// Splat-coefficient table for pass 1: vector u holds eight words,
+	// word k = M[u][k] replicated through four 16-bit lanes.
+	splat := make([]int16, 0, 8*8*4)
+	for u := 0; u < 8; u++ {
+		for k := 0; k < 8; k++ {
+			for l := 0; l < 4; l++ {
+				splat = append(splat, m[u][k])
+			}
+		}
+	}
+	splatAddr := b.DataH(splat)
+	// Row table for pass 2: row v as two consecutive words.
+	rows := make([]int16, 0, 8*8)
+	for v := 0; v < 8; v++ {
+		rows = append(rows, m[v][0:4]...)
+		rows = append(rows, m[v][4:8]...)
+	}
+	rowAddr := b.DataH(rows)
+
+	sp := b.Const(src)
+	dp := b.Const(dst)
+	tp := b.Const(tmp)
+	cs := b.Const(splatAddr)
+	cr := b.Const(rowAddr)
+
+	// Hoist the pass-2 coefficient rows (VL=2 each).
+	b.SetVSI(8)
+	b.SetVLI(2)
+	var mv [8]ir.Reg
+	for v := 0; v < 8; v++ {
+		mv[v] = b.Vld(cr, int64(16*v), al.Tmp)
+	}
+
+	b.Loop(0, int64(nblocks), 1, func(ir.Reg) {
+		// Pass 1: column transform on the two planes.
+		b.SetVLI(8)
+		colL := b.Vld(sp, 0, al.Src)
+		colR := b.Vld(sp, 64, al.Src)
+		vtl := b.Vsplat(b.Const(0))
+		vtr := b.Vsplat(b.Const(0))
+		for u := 0; u < 8; u++ {
+			cu := b.Vld(cs, int64(64*u), al.Tmp)
+			accL := b.AccReg()
+			b.AclrTo(accL)
+			b.Vmaca(accL, colL, cu)
+			b.Vins(vtl, b.Apack(accL, 8), int64(u))
+			accR := b.AccReg()
+			b.AclrTo(accR)
+			b.Vmaca(accR, colR, cu)
+			b.Vins(vtr, b.Apack(accR, 8), int64(u))
+		}
+		b.Vst(vtl, tp, 0, al.Tmp)
+		b.Vst(vtr, tp, 64, al.Tmp)
+
+		// Pass 2: row dot products (VL=2: the two words of a row).
+		b.SetVLI(2)
+		b.SetVSI(64)
+		for i := 0; i < 8; i++ {
+			ti := b.Vld(tp, int64(8*i), al.Tmp)
+			for v := 0; v < 8; v++ {
+				acc := b.AccReg()
+				b.AclrTo(acc)
+				b.Vmaca(acc, ti, mv[v])
+				b.Store(isa.STH, b.SraI(b.Vsum(simd.W16, acc), 8), dp, blockOff(i, v), al.Dst)
+			}
+		}
+		b.SetVSI(8)
+		b.BinITo(isa.ADD, sp, sp, BlockBytes)
+		b.BinITo(isa.ADD, dp, dp, BlockBytes)
+	})
+}
+
+// DCT2DRef is the reference two-pass transform over one block in
+// two-plane layout.
+func DCT2DRef(m *[8][8]int16, src []int16) []int16 {
+	var t, out [64]int16
+	for u := 0; u < 8; u++ {
+		for j := 0; j < 8; j++ {
+			s := 0
+			for k := 0; k < 8; k++ {
+				s += int(m[u][k]) * int(src[BlockIdx(k, j)])
+			}
+			t[BlockIdx(u, j)] = int16(s >> 8)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		for v := 0; v < 8; v++ {
+			s := 0
+			for k := 0; k < 8; k++ {
+				s += int(t[BlockIdx(i, k)]) * int(m[v][k])
+			}
+			out[BlockIdx(i, v)] = int16(s >> 8)
+		}
+	}
+	return out[:]
+}

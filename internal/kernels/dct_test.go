@@ -1,0 +1,214 @@
+package kernels
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/sim"
+)
+
+// blocksToBytes serializes int16 blocks little-endian.
+func blocksToBytes(blocks [][]int16) []byte {
+	out := make([]byte, 0, len(blocks)*BlockBytes)
+	for _, blk := range blocks {
+		for _, v := range blk {
+			out = binary.LittleEndian.AppendUint16(out, uint16(v))
+		}
+	}
+	return out
+}
+
+func bytesToBlock(raw []byte) []int16 {
+	out := make([]int16, 64)
+	for i := range out {
+		out[i] = int16(binary.LittleEndian.Uint16(raw[2*i:]))
+	}
+	return out
+}
+
+// randBlocks generates n centered-pixel test blocks.
+func randBlocks(seed prng, n int, lim int32) [][]int16 {
+	rnd := seed
+	blocks := make([][]int16, n)
+	for i := range blocks {
+		blocks[i] = rnd.int16s(64, lim)
+	}
+	return blocks
+}
+
+func readBlocks(t *testing.T, m *sim.Machine, addr int64, n int) [][]int16 {
+	t.Helper()
+	out := make([][]int16, n)
+	for i := range out {
+		raw := readBuf(t, m, addr+int64(i*BlockBytes), BlockBytes)
+		out[i] = bytesToBlock(raw)
+	}
+	return out
+}
+
+func TestBlockIdxCoversBlock(t *testing.T) {
+	seen := make(map[int]bool)
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			i := BlockIdx(r, c)
+			if i < 0 || i >= 64 {
+				t.Fatalf("BlockIdx(%d,%d) = %d", r, c, i)
+			}
+			if seen[i] {
+				t.Fatalf("BlockIdx collision at (%d,%d)", r, c)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+func TestDCTMatrixProperties(t *testing.T) {
+	m := FDCTMatrix()
+	// DC row: all entries equal (constant basis).
+	for k := 1; k < 8; k++ {
+		if m[0][k] != m[0][0] {
+			t.Errorf("DC row not constant: %v", m[0])
+		}
+	}
+	// Near-orthogonality: M·Mᵀ ≈ 256²/256... rows have squared norm ~2^16
+	// scaled; check rows are pairwise near-orthogonal.
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			s := 0
+			for k := 0; k < 8; k++ {
+				s += int(m[u][k]) * int(m[v][k])
+			}
+			if u == v {
+				if s < 60000 || s > 70000 {
+					t.Errorf("row %d squared norm %d out of range", u, s)
+				}
+			} else if s > 600 || s < -600 {
+				t.Errorf("rows %d,%d not orthogonal: %d", u, v, s)
+			}
+		}
+	}
+	// IDCT matrix is the transpose.
+	im := IDCTMatrix()
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if im[i][j] != m[j][i] {
+				t.Fatal("IDCTMatrix is not the transpose")
+			}
+		}
+	}
+}
+
+func TestDCTRefRoundTrip(t *testing.T) {
+	// IDCT(FDCT(x)) must reconstruct x within fixed-point error.
+	blocks := randBlocks(42, 4, 256) // centered pixels -128..127
+	for _, blk := range blocks {
+		f := DCT2DRef(FDCTMatrix(), blk)
+		r := DCT2DRef(IDCTMatrix(), f)
+		for i := range blk {
+			d := int(blk[i]) - int(r[i])
+			if d < 0 {
+				d = -d
+			}
+			if d > 16 {
+				t.Fatalf("round-trip error %d at %d (orig %d, got %d)", d, i, blk[i], r[i])
+			}
+		}
+	}
+}
+
+func TestDCTRefEnergyCompaction(t *testing.T) {
+	// A constant block transforms to (almost) pure DC.
+	blk := make([]int16, 64)
+	for i := range blk {
+		blk[i] = 100
+	}
+	f := DCT2DRef(FDCTMatrix(), blk)
+	dc := f[BlockIdx(0, 0)]
+	if dc < 700 || dc > 900 { // 100*8*(91/256)^2*... ≈ 100*8*0.126 ≈ 790
+		t.Errorf("DC = %d, expected ~790", dc)
+	}
+	var ac int
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			if r == 0 && c == 0 {
+				continue
+			}
+			v := int(f[BlockIdx(r, c)])
+			if v < 0 {
+				v = -v
+			}
+			ac += v
+		}
+	}
+	if ac > 64 {
+		t.Errorf("AC energy %d too high for a constant block", ac)
+	}
+}
+
+func TestFDCTAllVariantsMatchRef(t *testing.T) {
+	const nblocks = 3
+	blocks := randBlocks(7, nblocks, 256)
+	want := make([][]int16, nblocks)
+	for i, blk := range blocks {
+		want[i] = DCT2DRef(FDCTMatrix(), blk)
+	}
+	for _, v := range allVariants {
+		b := ir.NewBuilder("fdct")
+		src := b.Data(blocksToBytes(blocks))
+		dst := b.Alloc(int64(nblocks * BlockBytes))
+		DCT2D(b, v, FDCTMatrix(), src, dst, nblocks, DCTAlias{Src: 1, Dst: 2, Tmp: 3})
+		m, _ := execute(t, v, b.Func())
+		got := readBlocks(t, m, dst, nblocks)
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("%v: block %d elem %d = %d, want %d", v, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestIDCTAllVariantsMatchRef(t *testing.T) {
+	const nblocks = 2
+	// IDCT input: quantized-DCT-like coefficients (larger range).
+	blocks := randBlocks(19, nblocks, 1200)
+	want := make([][]int16, nblocks)
+	for i, blk := range blocks {
+		want[i] = DCT2DRef(IDCTMatrix(), blk)
+	}
+	for _, v := range allVariants {
+		b := ir.NewBuilder("idct")
+		src := b.Data(blocksToBytes(blocks))
+		dst := b.Alloc(int64(nblocks * BlockBytes))
+		DCT2D(b, v, IDCTMatrix(), src, dst, nblocks, DCTAlias{Src: 1, Dst: 2, Tmp: 3})
+		m, _ := execute(t, v, b.Func())
+		got := readBlocks(t, m, dst, nblocks)
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("%v: block %d elem %d = %d, want %d", v, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestDCTOpCountsDecrease(t *testing.T) {
+	const nblocks = 2
+	blocks := randBlocks(3, nblocks, 256)
+	counts := map[Variant]int64{}
+	for _, v := range allVariants {
+		b := ir.NewBuilder("fdct")
+		src := b.Data(blocksToBytes(blocks))
+		dst := b.Alloc(int64(nblocks * BlockBytes))
+		DCT2D(b, v, FDCTMatrix(), src, dst, nblocks, DCTAlias{Src: 1, Dst: 2, Tmp: 3})
+		_, res := execute(t, v, b.Func())
+		counts[v] = res.Ops
+	}
+	if !(counts[Vector] < counts[USIMD] && counts[USIMD] < counts[Scalar]) {
+		t.Errorf("DCT ops: scalar=%d usimd=%d vector=%d (must strictly decrease)",
+			counts[Scalar], counts[USIMD], counts[Vector])
+	}
+}

@@ -1,0 +1,274 @@
+package kernels
+
+import (
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/simd"
+)
+
+// GSM 06.10 kernels: the autocorrelation and long-term-predictor (LTP)
+// parameter search of the encoder, and the long-term filtering of the
+// decoder (Table 1 of the paper). Samples are int16; products accumulate
+// in 32/48-bit precision so every variant computes identical integers.
+// Frame and window sizes follow the codec: 160-sample frames, 40-sample
+// subframes, lags 40..120.
+
+// GSMFrame is the codec frame length in samples.
+const GSMFrame = 160
+
+// GSMSubframe is the subframe length used by the LTP.
+const GSMSubframe = 40
+
+// GSMMaxLag and GSMMinLag bound the long-term-predictor lag search.
+const (
+	GSMMinLag = 40
+	GSMMaxLag = 120
+)
+
+// horizAdd32 sums the two 32-bit lanes of a packed register into an
+// integer register (sign-extending each half).
+func horizAdd32(b *ir.Builder, s ir.Reg) ir.Reg {
+	si := b.Movmr(s)
+	lo := b.SraI(b.ShlI(si, 32), 32)
+	hi := b.SraI(si, 32)
+	return b.Add(lo, hi)
+}
+
+// Autocorr emits acf[k] = sum_{i=k}^{n-1} s[i]*s[i-k] for k = 0..lags-1.
+// s holds n int16 samples (|s| < 4096 so 32-bit lane sums cannot wrap);
+// out receives lags int64 values.
+func Autocorr(b *ir.Builder, v Variant, s, out int64, n, lags int, aliasS, aliasOut int) {
+	checkMultiple("Autocorr", n, 40)
+	for k := 0; k < lags; k++ {
+		var acc ir.Reg
+		switch v {
+		case Scalar:
+			acc = b.Const(0)
+			sp := b.Const(s + int64(2*k))
+			sk := b.Const(s)
+			b.Loop(0, int64(n-k), 1, func(ir.Reg) {
+				a := b.Load(isa.LDH, sp, 0, aliasS)
+				c := b.Load(isa.LDH, sk, 0, aliasS)
+				b.BinTo(isa.ADD, acc, acc, b.Mul(a, c))
+				b.BinITo(isa.ADD, sp, sp, 2)
+				b.BinITo(isa.ADD, sk, sk, 2)
+			})
+		case USIMD:
+			words := (n - k) / 4
+			o := ops{b: b, vec: false}
+			accP := o.zero()
+			sp := b.Const(s + int64(2*k))
+			sk := b.Const(s)
+			b.Loop(0, int64(words), 1, func(ir.Reg) {
+				a := b.Ldm(sp, 0, aliasS)
+				c := b.Ldm(sk, 0, aliasS)
+				b.PTo(isa.PADD, simd.W32, accP, accP, b.P(isa.PMADD, simd.W16, a, c))
+				b.BinITo(isa.ADD, sp, sp, 8)
+				b.BinITo(isa.ADD, sk, sk, 8)
+			})
+			acc = horizAdd32(b, accP)
+			acc = addTailScalar(b, acc, s, n, k, words*4, aliasS)
+		default:
+			// Vector: full chunks of VL=10 words (40 samples), one
+			// partial-VL chunk, then a scalar tail.
+			words := (n - k) / 4
+			full := words / 10 * 10
+			a := b.AccReg()
+			b.AclrTo(a)
+			sp := b.Const(s + int64(2*k))
+			sk := b.Const(s)
+			b.SetVSI(8)
+			if full > 0 {
+				b.SetVLI(10)
+				b.Loop(0, int64(full/10), 1, func(ir.Reg) {
+					x := b.Vld(sp, 0, aliasS)
+					y := b.Vld(sk, 0, aliasS)
+					b.Vmaca(a, x, y)
+					b.BinITo(isa.ADD, sp, sp, 80)
+					b.BinITo(isa.ADD, sk, sk, 80)
+				})
+			}
+			if rem := words - full; rem > 0 {
+				b.SetVLI(int64(rem))
+				x := b.Vld(sp, 0, aliasS)
+				y := b.Vld(sk, 0, aliasS)
+				b.Vmaca(a, x, y)
+			}
+			acc = b.Vsum(simd.W16, a)
+			acc = addTailScalar(b, acc, s, n, k, words*4, aliasS)
+		}
+		b.Store(isa.STD, acc, b.Const(out+int64(8*k)), 0, aliasOut)
+	}
+}
+
+// addTailScalar adds the last (n-k) mod 4 sample products to acc with
+// scalar code (compile-time addresses), so packed variants match the
+// scalar sum exactly.
+func addTailScalar(b *ir.Builder, acc ir.Reg, s int64, n, k, done int, aliasS int) ir.Reg {
+	for i := k + done; i < n; i++ {
+		a := b.Load(isa.LDH, b.Const(s+int64(2*i)), 0, aliasS)
+		c := b.Load(isa.LDH, b.Const(s+int64(2*(i-k))), 0, aliasS)
+		acc = b.Add(acc, b.Mul(a, c))
+	}
+	return acc
+}
+
+// AutocorrRef is the reference autocorrelation.
+func AutocorrRef(s []int16, lags int) []int64 {
+	out := make([]int64, lags)
+	for k := 0; k < lags; k++ {
+		var acc int64
+		for i := k; i < len(s); i++ {
+			acc += int64(s[i]) * int64(s[i-k])
+		}
+		out[k] = acc
+	}
+	return out
+}
+
+// LTPParams emits the long-term-predictor parameter search: over lags
+// 40..120 it cross-correlates the 40-sample subframe d with the 120-sample
+// history dp and stores (bestLag, maxCorr) as two int64 values at out.
+func LTPParams(b *ir.Builder, v Variant, d, dp, out int64, aliasD, aliasP, aliasOut int) {
+	dpEnd := b.Const(dp + 2*GSMMaxLag) // address one past the history
+	best := b.Const(-(1 << 62))
+	bestLag := b.Const(0)
+
+	track := func(lag, corr ir.Reg) {
+		c := b.Bin(isa.CMPLT, best, corr) // strictly greater: first max wins
+		b.SelectTo(best, c, corr, best)
+		b.SelectTo(bestLag, c, lag, bestLag)
+	}
+
+	switch v {
+	case Scalar:
+		dr := b.Const(d)
+		b.Loop(GSMMinLag, GSMMaxLag+1, 1, func(lag ir.Reg) {
+			win := b.Sub(dpEnd, b.ShlI(lag, 1))
+			acc := b.Const(0)
+			wp := b.Mov(win)
+			cp := b.Mov(dr)
+			b.Loop(0, GSMSubframe, 1, func(ir.Reg) {
+				x := b.Load(isa.LDH, cp, 0, aliasD)
+				y := b.Load(isa.LDH, wp, 0, aliasP)
+				b.BinTo(isa.ADD, acc, acc, b.Mul(x, y))
+				b.BinITo(isa.ADD, cp, cp, 2)
+				b.BinITo(isa.ADD, wp, wp, 2)
+			})
+			track(lag, acc)
+		})
+	case USIMD:
+		o := ops{b: b, vec: false}
+		// Hoist the ten subframe words.
+		var dw [10]ir.Reg
+		dr := b.Const(d)
+		for w := 0; w < 10; w++ {
+			dw[w] = b.Ldm(dr, int64(8*w), aliasD)
+		}
+		b.Loop(GSMMinLag, GSMMaxLag+1, 1, func(lag ir.Reg) {
+			win := b.Sub(dpEnd, b.ShlI(lag, 1))
+			accP := o.zero()
+			for w := 0; w < 10; w++ {
+				y := b.Ldm(win, int64(8*w), aliasP)
+				b.PTo(isa.PADD, simd.W32, accP, accP, b.P(isa.PMADD, simd.W16, dw[w], y))
+			}
+			track(lag, horizAdd32(b, accP))
+		})
+	default:
+		b.SetVLI(10)
+		b.SetVSI(8)
+		dv := b.Vld(b.Const(d), 0, aliasD)
+		b.Loop(GSMMinLag, GSMMaxLag+1, 1, func(lag ir.Reg) {
+			win := b.Sub(dpEnd, b.ShlI(lag, 1))
+			wv := b.Vld(win, 0, aliasP)
+			a := b.AccReg()
+			b.AclrTo(a)
+			b.Vmaca(a, dv, wv)
+			track(lag, b.Vsum(simd.W16, a))
+		})
+	}
+	op := b.Const(out)
+	b.Store(isa.STD, bestLag, op, 0, aliasOut)
+	b.Store(isa.STD, best, op, 8, aliasOut)
+}
+
+// LTPParamsRef is the reference LTP search.
+func LTPParamsRef(d, dp []int16) (bestLag int64, maxCorr int64) {
+	maxCorr = -(1 << 62)
+	for lag := GSMMinLag; lag <= GSMMaxLag; lag++ {
+		var acc int64
+		for i := 0; i < GSMSubframe; i++ {
+			acc += int64(d[i]) * int64(dp[GSMMaxLag-lag+i])
+		}
+		if acc > maxCorr {
+			maxCorr, bestLag = acc, int64(lag)
+		}
+	}
+	return bestLag, maxCorr
+}
+
+// LongTermFilter emits the decoder's long-term filtering: for one
+// 40-sample subframe, out[n] = erp[n] + (gain*hist[120-lag+n])>>16, where
+// lag and gain are decoded parameters loaded from params (two int64
+// values: lag, gain with gain in Q16 0..65535 but < 32768). hist holds
+// 120 int16 samples; out receives 40 int16 samples.
+func LongTermFilter(b *ir.Builder, v Variant, erp, hist, params, out int64, aliasE, aliasH, aliasOut int) {
+	pp := b.Const(params)
+	lag := b.Load(isa.LDD, pp, 0, aliasH)
+	gain := b.Load(isa.LDD, pp, 8, aliasH)
+	histEnd := b.Const(hist + 2*GSMMaxLag)
+	win := b.Sub(histEnd, b.ShlI(lag, 1))
+	switch v {
+	case Scalar:
+		ep := b.Const(erp)
+		op := b.Const(out)
+		wp := b.Mov(win)
+		b.Loop(0, GSMSubframe, 1, func(ir.Reg) {
+			e := b.Load(isa.LDH, ep, 0, aliasE)
+			h := b.Load(isa.LDH, wp, 0, aliasH)
+			t := b.SraI(b.Mul(h, gain), 16)
+			b.Store(isa.STH, b.Add(e, t), op, 0, aliasOut)
+			b.BinITo(isa.ADD, ep, ep, 2)
+			b.BinITo(isa.ADD, wp, wp, 2)
+			b.BinITo(isa.ADD, op, op, 2)
+		})
+	case USIMD:
+		g2 := b.Or(gain, b.ShlI(gain, 16))
+		g4 := b.Or(g2, b.ShlI(g2, 32))
+		gw := b.Movrm(g4)
+		ep := b.Const(erp)
+		op := b.Const(out)
+		wp := b.Mov(win)
+		b.Loop(0, GSMSubframe, 4, func(ir.Reg) {
+			e := b.Ldm(ep, 0, aliasE)
+			h := b.Ldm(wp, 0, aliasH)
+			t := b.P(isa.PMULH, simd.W16, h, gw)
+			b.Stm(b.P(isa.PADDS, simd.W16, e, t), op, 0, aliasOut)
+			b.BinITo(isa.ADD, ep, ep, 8)
+			b.BinITo(isa.ADD, wp, wp, 8)
+			b.BinITo(isa.ADD, op, op, 8)
+		})
+	default:
+		g2 := b.Or(gain, b.ShlI(gain, 16))
+		g4 := b.Or(g2, b.ShlI(g2, 32))
+		gv := b.Vsplat(g4)
+		b.SetVLI(10)
+		b.SetVSI(8)
+		e := b.Vld(b.Const(erp), 0, aliasE)
+		h := b.Vld(win, 0, aliasH)
+		t := b.V(isa.VMULH, simd.W16, h, gv)
+		b.Vst(b.V(isa.VADDS, simd.W16, e, t), b.Const(out), 0, aliasOut)
+	}
+}
+
+// LongTermFilterRef is the reference long-term filter. gain is Q16
+// (0 <= gain < 32768); values are small enough that the saturating packed
+// adds never clip, so plain addition matches.
+func LongTermFilterRef(erp, hist []int16, lag int, gain int64) []int16 {
+	out := make([]int16, GSMSubframe)
+	for n := 0; n < GSMSubframe; n++ {
+		t := (int64(hist[GSMMaxLag-lag+n]) * gain) >> 16
+		out[n] = int16(int64(erp[n]) + t)
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package kernels
+
+import (
+	"bytes"
+	"testing"
+
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/sim"
+)
+
+// cfgFor returns a machine configuration able to run the variant.
+func cfgFor(v Variant) *machine.Config {
+	switch v {
+	case Scalar:
+		return &machine.VLIW4
+	case USIMD:
+		return &machine.USIMD4
+	default:
+		return &machine.Vector2x4
+	}
+}
+
+// allVariants lists the three code versions.
+var allVariants = []Variant{Scalar, USIMD, Vector}
+
+// execute compiles the built function for the variant's machine, runs it
+// on perfect memory and returns the machine for output inspection.
+func execute(t *testing.T, v Variant, f *ir.Func) (*sim.Machine, *sim.Result) {
+	t.Helper()
+	prog, err := core.Compile(f, cfgFor(v))
+	if err != nil {
+		t.Fatalf("%v: compile: %v", v, err)
+	}
+	m := prog.NewMachine(core.Perfect)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("%v: run: %v", v, err)
+	}
+	return m, res
+}
+
+// readBuf reads n bytes at addr, failing the test on error.
+func readBuf(t *testing.T, m *sim.Machine, addr int64, n int) []byte {
+	t.Helper()
+	out, err := m.ReadBytes(addr, int64(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// prng is a tiny deterministic generator for test inputs.
+type prng uint64
+
+func (p *prng) next() uint64 {
+	*p ^= *p << 13
+	*p ^= *p >> 7
+	*p ^= *p << 17
+	return uint64(*p)
+}
+
+func (p *prng) bytes(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(p.next())
+	}
+	return out
+}
+
+func (p *prng) int16s(n int, lim int32) []int16 {
+	out := make([]int16, n)
+	for i := range out {
+		out[i] = int16(int32(p.next())%lim - lim/2)
+	}
+	return out
+}
+
+func TestVariantString(t *testing.T) {
+	if Scalar.String() != "scalar" || USIMD.String() != "usimd" ||
+		Vector.String() != "vector" || Variant(9).String() != "?" {
+		t.Error("Variant.String wrong")
+	}
+}
+
+func TestSplatWord16(t *testing.T) {
+	if splatWord16(0x1234) != 0x1234123412341234 {
+		t.Errorf("splatWord16 = %#x", splatWord16(0x1234))
+	}
+	if uint64(splatWord16(-1)) != ^uint64(0) {
+		t.Errorf("splatWord16(-1) = %#x", splatWord16(-1))
+	}
+}
+
+func TestCheckMultiplePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	checkMultiple("x", 100, 128)
+}
+
+func TestRGB2YCCAllVariants(t *testing.T) {
+	const npix = 256
+	var rnd prng = 12345
+	r, g, bb := rnd.bytes(npix), rnd.bytes(npix), rnd.bytes(npix)
+	wantY, wantCb, wantCr := RGB2YCCRef(r, g, bb)
+	for _, v := range allVariants {
+		b := ir.NewBuilder("rgb2ycc")
+		p := ColorBufs{
+			R: b.Data(r), G: b.Data(g), B: b.Data(bb),
+			Y: b.Alloc(npix), Cb: b.Alloc(npix), Cr: b.Alloc(npix),
+			NPix: npix, AliasRGB: 1, AliasYCC: 2,
+		}
+		RGB2YCC(b, v, p)
+		m, _ := execute(t, v, b.Func())
+		if got := readBuf(t, m, p.Y, npix); !bytes.Equal(got, wantY) {
+			t.Errorf("%v: Y mismatch (first bytes got %v want %v)", v, got[:8], wantY[:8])
+		}
+		if got := readBuf(t, m, p.Cb, npix); !bytes.Equal(got, wantCb) {
+			t.Errorf("%v: Cb mismatch", v)
+		}
+		if got := readBuf(t, m, p.Cr, npix); !bytes.Equal(got, wantCr) {
+			t.Errorf("%v: Cr mismatch", v)
+		}
+	}
+}
+
+func TestYCC2RGBAllVariants(t *testing.T) {
+	const npix = 256
+	var rnd prng = 999
+	y, cb, cr := rnd.bytes(npix), rnd.bytes(npix), rnd.bytes(npix)
+	wantR, wantG, wantB := YCC2RGBRef(y, cb, cr)
+	for _, v := range allVariants {
+		b := ir.NewBuilder("ycc2rgb")
+		p := ColorBufs{
+			Y: b.Data(y), Cb: b.Data(cb), Cr: b.Data(cr),
+			R: b.Alloc(npix), G: b.Alloc(npix), B: b.Alloc(npix),
+			NPix: npix, AliasRGB: 2, AliasYCC: 1,
+		}
+		YCC2RGB(b, v, p)
+		m, _ := execute(t, v, b.Func())
+		if got := readBuf(t, m, p.R, npix); !bytes.Equal(got, wantR) {
+			t.Errorf("%v: R mismatch (got %v want %v)", v, got[:8], wantR[:8])
+		}
+		if got := readBuf(t, m, p.G, npix); !bytes.Equal(got, wantG) {
+			t.Errorf("%v: G mismatch", v)
+		}
+		if got := readBuf(t, m, p.B, npix); !bytes.Equal(got, wantB) {
+			t.Errorf("%v: B mismatch", v)
+		}
+	}
+}
+
+func TestColorConversionRoundTrip(t *testing.T) {
+	// YCC2RGB(RGB2YCC(x)) must be close to x (lossy fixed point, but
+	// bounded error) — checked on the references.
+	var rnd prng = 7
+	const n = 512
+	r, g, b := rnd.bytes(n), rnd.bytes(n), rnd.bytes(n)
+	y, cb, cr := RGB2YCCRef(r, g, b)
+	r2, g2, b2 := YCC2RGBRef(y, cb, cr)
+	maxErr := 0
+	for i := 0; i < n; i++ {
+		for _, d := range []int{int(r[i]) - int(r2[i]), int(g[i]) - int(g2[i]), int(b[i]) - int(b2[i])} {
+			if d < 0 {
+				d = -d
+			}
+			if d > maxErr {
+				maxErr = d
+			}
+		}
+	}
+	if maxErr > 12 {
+		t.Errorf("round-trip error %d too large for 7-bit fixed point", maxErr)
+	}
+}
+
+func TestColorConversionOpCounts(t *testing.T) {
+	// The vector variant must execute far fewer operations than µSIMD,
+	// which must execute far fewer than scalar (Figure 7 of the paper).
+	const npix = 256
+	var rnd prng = 3
+	r, g, bb := rnd.bytes(npix), rnd.bytes(npix), rnd.bytes(npix)
+	opsByVariant := map[Variant]int64{}
+	for _, v := range allVariants {
+		b := ir.NewBuilder("rgb2ycc")
+		p := ColorBufs{
+			R: b.Data(r), G: b.Data(g), B: b.Data(bb),
+			Y: b.Alloc(npix), Cb: b.Alloc(npix), Cr: b.Alloc(npix),
+			NPix: npix, AliasRGB: 1, AliasYCC: 2,
+		}
+		RGB2YCC(b, v, p)
+		_, res := execute(t, v, b.Func())
+		opsByVariant[v] = res.Ops
+	}
+	if !(opsByVariant[Vector] < opsByVariant[USIMD] && opsByVariant[USIMD] < opsByVariant[Scalar]) {
+		t.Errorf("op counts: scalar=%d usimd=%d vector=%d (must strictly decrease)",
+			opsByVariant[Scalar], opsByVariant[USIMD], opsByVariant[Vector])
+	}
+	if opsByVariant[Scalar] < 3*opsByVariant[USIMD] {
+		t.Errorf("µSIMD should pack >= 3x fewer ops: scalar=%d usimd=%d",
+			opsByVariant[Scalar], opsByVariant[USIMD])
+	}
+	if opsByVariant[USIMD] < 8*opsByVariant[Vector] {
+		t.Errorf("vector should need >= 8x fewer ops than µSIMD: usimd=%d vector=%d",
+			opsByVariant[USIMD], opsByVariant[Vector])
+	}
+}

@@ -1,0 +1,187 @@
+package kernels
+
+import (
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/simd"
+)
+
+// Motion-compensation kernels of the MPEG2 decoder: form-component
+// prediction (fetch the predicted 8x8 block from the reference frame at
+// the decoded motion vector, optionally averaging two predictions) and
+// add-block (add the IDCT residual to the prediction and clamp to pixel
+// range). Both operate on 8x8 blocks: a block of bytes is eight
+// 64-bit words (one per row), the residual is an int16 block in two-plane
+// layout (the IDCT output layout).
+
+// MCBlock describes one predicted block: its origin in the target frame
+// and the index of the motion vector (in the MV array) it uses.
+type MCBlock struct {
+	X, Y  int
+	MVIdx int
+}
+
+// MCParams describes a form-component-prediction invocation.
+type MCParams struct {
+	Ref  int64 // reference frame plane, W x H bytes
+	MV   int64 // motion vectors: per entry three int64 (dx, dy, sad)
+	Pred int64 // output: len(Blocks) x 64 bytes, block-sequential
+	W    int
+	// Avg selects the averaging prediction (two reference fetches offset
+	// by one pixel, rounded average), modeling half-pel/bidirectional
+	// modes.
+	Avg                          bool
+	Blocks                       []MCBlock
+	AliasRef, AliasMV, AliasPred int
+}
+
+// FormPred emits the form-component-prediction kernel.
+func FormPred(b *ir.Builder, v Variant, p MCParams) {
+	if v == Vector {
+		b.SetVLI(8)
+		b.SetVS(b.Const(int64(p.W))) // row-strided fetches
+	}
+	for i, blk := range p.Blocks {
+		// addr = Ref + (Y+dy)*W + X+dx, with dx,dy loaded at run time.
+		mvp := b.Const(p.MV + int64(24*blk.MVIdx))
+		dx := b.Load(isa.LDD, mvp, 0, p.AliasMV)
+		dy := b.Load(isa.LDD, mvp, 8, p.AliasMV)
+		base := b.Add(b.Const(p.Ref+int64(blk.Y*p.W+blk.X)),
+			b.Add(b.MulI(dy, int64(p.W)), dx))
+		out := b.Const(p.Pred + int64(64*i))
+		switch v {
+		case Scalar:
+			for r := 0; r < 8; r++ {
+				for c := 0; c < 8; c++ {
+					off := int64(r*p.W + c)
+					px := b.Load(isa.LDBU, base, off, p.AliasRef)
+					if p.Avg {
+						px2 := b.Load(isa.LDBU, base, off+1, p.AliasRef)
+						px = b.ShrI(b.AddI(b.Add(px, px2), 1), 1)
+					}
+					b.Store(isa.STB, px, out, int64(8*r+c), p.AliasPred)
+				}
+			}
+		case USIMD:
+			for r := 0; r < 8; r++ {
+				w := b.Ldm(base, int64(r*p.W), p.AliasRef)
+				if p.Avg {
+					w2 := b.Ldm(base, int64(r*p.W)+1, p.AliasRef)
+					w = b.P(isa.PAVG, simd.W8, w, w2)
+				}
+				b.Stm(w, out, int64(8*r), p.AliasPred)
+			}
+		default:
+			vv := b.Vld(base, 0, p.AliasRef)
+			if p.Avg {
+				v2 := b.Vld(base, 1, p.AliasRef)
+				vv = b.V(isa.VAVG, simd.W8, vv, v2)
+			}
+			// The prediction block is contiguous: unit-stride store.
+			b.SetVSI(8)
+			b.Vst(vv, out, 0, p.AliasPred)
+			if i+1 < len(p.Blocks) {
+				b.SetVS(b.Const(int64(p.W)))
+			}
+		}
+	}
+	if v == Vector {
+		b.SetVSI(8)
+	}
+}
+
+// FormPredRef is the reference prediction.
+func FormPredRef(ref []byte, w int, mv [][3]int64, blocks []MCBlock, avg bool) []byte {
+	out := make([]byte, 64*len(blocks))
+	for i, blk := range blocks {
+		dx, dy := int(mv[blk.MVIdx][0]), int(mv[blk.MVIdx][1])
+		for r := 0; r < 8; r++ {
+			for c := 0; c < 8; c++ {
+				a := int(ref[(blk.Y+dy+r)*w+blk.X+dx+c])
+				if avg {
+					b := int(ref[(blk.Y+dy+r)*w+blk.X+dx+c+1])
+					a = (a + b + 1) >> 1
+				}
+				out[64*i+8*r+c] = byte(a)
+			}
+		}
+	}
+	return out
+}
+
+// AddBlock emits the add-block kernel: out[i] = clamp(pred[i] + res[i])
+// for nblocks 8x8 blocks. pred and out are byte blocks (64 bytes each,
+// block-sequential); res holds int16 blocks in two-plane layout.
+func AddBlock(b *ir.Builder, v Variant, pred, res, out int64, nblocks int, aliasPred, aliasRes, aliasOut int) {
+	checkMultiple("AddBlock", nblocks, 1)
+	pp := b.Const(pred)
+	rp := b.Const(res)
+	op := b.Const(out)
+	switch v {
+	case Scalar:
+		zero := b.Const(0)
+		max := b.Const(255)
+		b.Loop(0, int64(nblocks), 1, func(ir.Reg) {
+			for r := 0; r < 8; r++ {
+				for c := 0; c < 8; c++ {
+					px := b.Load(isa.LDBU, pp, int64(8*r+c), aliasPred)
+					rs := b.Load(isa.LDH, rp, blockOff(r, c), aliasRes)
+					s := b.Add(px, rs)
+					s = b.Select(b.Bin(isa.CMPLT, s, zero), zero, s)
+					s = b.Select(b.Bin(isa.CMPLT, max, s), max, s)
+					b.Store(isa.STB, s, op, int64(8*r+c), aliasOut)
+				}
+			}
+			b.BinITo(isa.ADD, pp, pp, 64)
+			b.BinITo(isa.ADD, rp, rp, BlockBytes)
+			b.BinITo(isa.ADD, op, op, 64)
+		})
+	case USIMD:
+		o := ops{b: b, vec: false}
+		zero := o.zero()
+		b.Loop(0, int64(nblocks), 1, func(ir.Reg) {
+			for r := 0; r < 8; r++ {
+				pw := b.Ldm(pp, int64(8*r), aliasPred)
+				lo := b.P(isa.PUNPCKL, simd.W8, pw, zero)
+				hi := b.P(isa.PUNPCKH, simd.W8, pw, zero)
+				resL := b.Ldm(rp, int64(8*r), aliasRes)
+				resR := b.Ldm(rp, int64(64+8*r), aliasRes)
+				lo = b.P(isa.PADDS, simd.W16, lo, resL)
+				hi = b.P(isa.PADDS, simd.W16, hi, resR)
+				b.Stm(b.P(isa.PACKUS, simd.W16, lo, hi), op, int64(8*r), aliasOut)
+			}
+			b.BinITo(isa.ADD, pp, pp, 64)
+			b.BinITo(isa.ADD, rp, rp, BlockBytes)
+			b.BinITo(isa.ADD, op, op, 64)
+		})
+	default:
+		b.SetVLI(8)
+		b.SetVSI(8)
+		zv := b.Vsplat(b.Const(0))
+		b.Loop(0, int64(nblocks), 1, func(ir.Reg) {
+			pw := b.Vld(pp, 0, aliasPred)
+			lo := b.V(isa.VUNPCKL, simd.W8, pw, zv)
+			hi := b.V(isa.VUNPCKH, simd.W8, pw, zv)
+			resL := b.Vld(rp, 0, aliasRes)
+			resR := b.Vld(rp, 64, aliasRes)
+			lo = b.V(isa.VADDS, simd.W16, lo, resL)
+			hi = b.V(isa.VADDS, simd.W16, hi, resR)
+			b.Vst(b.V(isa.VPACKUS, simd.W16, lo, hi), op, 0, aliasOut)
+			b.BinITo(isa.ADD, pp, pp, 64)
+			b.BinITo(isa.ADD, rp, rp, BlockBytes)
+			b.BinITo(isa.ADD, op, op, 64)
+		})
+	}
+}
+
+// AddBlockRef is the reference add-block over one block (pred: 64 bytes
+// row-major; res: two-plane int16).
+func AddBlockRef(pred []byte, res []int16) []byte {
+	out := make([]byte, 64)
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			out[8*r+c] = clamp255(int(pred[8*r+c]) + int(res[BlockIdx(r, c)]))
+		}
+	}
+	return out
+}

@@ -1,0 +1,338 @@
+package kernels
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"vsimdvliw/internal/ir"
+)
+
+func TestQuantizeAllVariants(t *testing.T) {
+	const nblocks = 3
+	recip := QuantRecip(&JPEGLumaQuant)
+	blocks := randBlocks(77, nblocks, 4000)
+	want := make([][]int16, nblocks)
+	for i := range blocks {
+		want[i] = QuantizeRef(recip, blocks[i])
+	}
+	for _, v := range allVariants {
+		b := ir.NewBuilder("quant")
+		src := b.Data(blocksToBytes(blocks))
+		dst := b.Alloc(nblocks * BlockBytes)
+		Quantize(b, v, recip, src, dst, nblocks, 1, 2)
+		m, _ := execute(t, v, b.Func())
+		got := readBlocks(t, m, dst, nblocks)
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("%v: block %d elem %d = %d, want %d", v, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestQuantRecipLayout(t *testing.T) {
+	recip := QuantRecip(&JPEGLumaQuant)
+	// Element (0,0): step 16 -> recip 4096; check the plane layout.
+	if recip[BlockIdx(0, 0)] != 4096 {
+		t.Errorf("recip(0,0) = %d, want 4096", recip[BlockIdx(0, 0)])
+	}
+	if recip[BlockIdx(7, 7)] != int16(65536/99) {
+		t.Errorf("recip(7,7) = %d", recip[BlockIdx(7, 7)])
+	}
+}
+
+func TestQuantizeReducesMagnitude(t *testing.T) {
+	recip := QuantRecip(&JPEGLumaQuant)
+	blk := randBlocks(5, 1, 4000)[0]
+	q := QuantizeRef(recip, blk)
+	for i := range q {
+		if abs16(q[i]) > abs16(blk[i]) {
+			t.Fatalf("quantization increased magnitude at %d: %d -> %d", i, blk[i], q[i])
+		}
+	}
+}
+
+func abs16(v int16) int16 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestH2V2UpsampleAllVariants(t *testing.T) {
+	const cw, ch = 64, 6
+	var rnd prng = 31
+	src := rnd.bytes(cw * ch)
+	want := H2V2UpsampleRef(src, cw, ch)
+	for _, v := range allVariants {
+		b := ir.NewBuilder("h2v2")
+		sa := b.Data(src)
+		da := b.Alloc(int64(len(want)))
+		H2V2Upsample(b, v, sa, da, cw, ch, 1, 2)
+		m, _ := execute(t, v, b.Func())
+		if got := readBuf(t, m, da, len(want)); !bytes.Equal(got, want) {
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v: first mismatch at %d: got %d want %d", v, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// meFrame builds a synthetic frame pair where each macroblock of cur is a
+// shifted copy of ref plus noise, so motion search has real structure.
+func meFrame(w, h int) (cur, ref []byte) {
+	var rnd prng = 2024
+	ref = rnd.bytes(w * h)
+	cur = make([]byte, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			sy, sx := y+2, x-3 // global motion (-3, +2)
+			if sy < 0 || sy >= h || sx < 0 || sx >= w {
+				sy, sx = y, x
+			}
+			cur[y*w+x] = ref[sy*w+sx]
+		}
+	}
+	return cur, ref
+}
+
+func TestMotionEstimateAllVariants(t *testing.T) {
+	const w, h, r = 64, 48, 4
+	cur, ref := meFrame(w, h)
+	mbs := []MBOrigin{{X: 8, Y: 8}, {X: 24, Y: 8}, {X: 8, Y: 24}}
+	want := MotionEstimateRef(cur, ref, w, mbs, r)
+	for _, v := range allVariants {
+		b := ir.NewBuilder("me")
+		p := MEParams{
+			Cur: b.Data(cur), Ref: b.Data(ref), MV: b.Alloc(int64(24 * len(mbs))),
+			W: w, H: h, MBs: mbs, R: r,
+			AliasCur: 1, AliasRef: 2, AliasMV: 3,
+		}
+		MotionEstimate(b, v, p)
+		m, _ := execute(t, v, b.Func())
+		for i := range mbs {
+			raw := readBuf(t, m, p.MV+int64(24*i), 24)
+			dx := int64(binary.LittleEndian.Uint64(raw[0:]))
+			dy := int64(binary.LittleEndian.Uint64(raw[8:]))
+			sad := int64(binary.LittleEndian.Uint64(raw[16:]))
+			if dx != want[i][0] || dy != want[i][1] || sad != want[i][2] {
+				t.Fatalf("%v: MB %d = (%d,%d,%d), want (%d,%d,%d)",
+					v, i, dx, dy, sad, want[i][0], want[i][1], want[i][2])
+			}
+		}
+	}
+}
+
+func TestMotionEstimateFindsGlobalMotion(t *testing.T) {
+	const w, h, r = 64, 48, 4
+	cur, ref := meFrame(w, h)
+	mbs := []MBOrigin{{X: 16, Y: 16}}
+	mv := MotionEstimateRef(cur, ref, w, mbs, r)
+	if mv[0][0] != -3 || mv[0][1] != 2 {
+		t.Errorf("reference search found (%d,%d), want (-3,2)", mv[0][0], mv[0][1])
+	}
+	if mv[0][2] != 0 {
+		t.Errorf("SAD at true motion = %d, want 0 (exact copy)", mv[0][2])
+	}
+}
+
+func TestMotionEstimateMarginPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected margin panic")
+		}
+	}()
+	b := ir.NewBuilder("bad")
+	MotionEstimate(b, Scalar, MEParams{
+		W: 64, H: 48, R: 8, MBs: []MBOrigin{{X: 0, Y: 0}},
+	})
+}
+
+func TestFormPredAllVariants(t *testing.T) {
+	const w, h = 64, 48
+	var rnd prng = 555
+	refPlane := rnd.bytes(w * h)
+	mv := [][3]int64{{-2, 1, 0}, {3, -2, 0}}
+	blocks := []MCBlock{{X: 16, Y: 16, MVIdx: 0}, {X: 24, Y: 16, MVIdx: 1}, {X: 16, Y: 24, MVIdx: 0}}
+	for _, avg := range []bool{false, true} {
+		want := FormPredRef(refPlane, w, mv, blocks, avg)
+		for _, v := range allVariants {
+			b := ir.NewBuilder("formpred")
+			mvBytes := make([]byte, 0, 24*len(mv))
+			for _, e := range mv {
+				for _, x := range e {
+					mvBytes = binary.LittleEndian.AppendUint64(mvBytes, uint64(x))
+				}
+			}
+			p := MCParams{
+				Ref: b.Data(refPlane), MV: b.Data(mvBytes),
+				Pred: b.Alloc(int64(64 * len(blocks))),
+				W:    w, Avg: avg, Blocks: blocks,
+				AliasRef: 1, AliasMV: 2, AliasPred: 3,
+			}
+			FormPred(b, v, p)
+			m, _ := execute(t, v, b.Func())
+			if got := readBuf(t, m, p.Pred, len(want)); !bytes.Equal(got, want) {
+				t.Fatalf("%v (avg=%v): prediction mismatch", v, avg)
+			}
+		}
+	}
+}
+
+func TestAddBlockAllVariants(t *testing.T) {
+	const nblocks = 3
+	var rnd prng = 91
+	pred := rnd.bytes(64 * nblocks)
+	resBlocks := randBlocks(17, nblocks, 512)
+	want := make([]byte, 0, 64*nblocks)
+	for i := 0; i < nblocks; i++ {
+		want = append(want, AddBlockRef(pred[64*i:64*i+64], resBlocks[i])...)
+	}
+	for _, v := range allVariants {
+		b := ir.NewBuilder("addblock")
+		pa := b.Data(pred)
+		ra := b.Data(blocksToBytes(resBlocks))
+		oa := b.Alloc(64 * nblocks)
+		AddBlock(b, v, pa, ra, oa, nblocks, 1, 2, 3)
+		m, _ := execute(t, v, b.Func())
+		if got := readBuf(t, m, oa, len(want)); !bytes.Equal(got, want) {
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v: first mismatch at %d: got %d want %d", v, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAutocorrAllVariants(t *testing.T) {
+	const n, lags = GSMFrame, 9
+	var rnd prng = 4242
+	s := rnd.int16s(n, 4096)
+	want := AutocorrRef(s, lags)
+	for _, v := range allVariants {
+		b := ir.NewBuilder("autocorr")
+		sa := b.DataH(s)
+		oa := b.Alloc(8 * lags)
+		Autocorr(b, v, sa, oa, n, lags, 1, 2)
+		m, _ := execute(t, v, b.Func())
+		for k := 0; k < lags; k++ {
+			raw := readBuf(t, m, oa+int64(8*k), 8)
+			if got := int64(binary.LittleEndian.Uint64(raw)); got != want[k] {
+				t.Fatalf("%v: acf[%d] = %d, want %d", v, k, got, want[k])
+			}
+		}
+	}
+}
+
+func TestAutocorrZeroLagIsEnergy(t *testing.T) {
+	s := []int16{3, -4, 5, 0, 1, 2, -2, 1}
+	padded := make([]int16, 40)
+	copy(padded, s)
+	acf := AutocorrRef(padded, 1)
+	var want int64
+	for _, v := range padded {
+		want += int64(v) * int64(v)
+	}
+	if acf[0] != want {
+		t.Errorf("acf[0] = %d, want %d", acf[0], want)
+	}
+}
+
+func TestLTPParamsAllVariants(t *testing.T) {
+	var rnd prng = 31337
+	d := rnd.int16s(GSMSubframe, 4096)
+	dp := rnd.int16s(GSMMaxLag, 4096)
+	// Plant a strong correlation at lag 77.
+	for i := 0; i < GSMSubframe; i++ {
+		idx := GSMMaxLag - 77 + i
+		if idx < GSMMaxLag {
+			dp[idx] = d[i]
+		}
+	}
+	wantLag, wantCorr := LTPParamsRef(d, dp)
+	if wantLag != 77 {
+		t.Fatalf("reference missed the planted lag: got %d", wantLag)
+	}
+	for _, v := range allVariants {
+		b := ir.NewBuilder("ltp")
+		da := b.DataH(d)
+		pa := b.DataH(dp)
+		oa := b.Alloc(16)
+		LTPParams(b, v, da, pa, oa, 1, 2, 3)
+		m, _ := execute(t, v, b.Func())
+		raw := readBuf(t, m, oa, 16)
+		lag := int64(binary.LittleEndian.Uint64(raw[0:]))
+		corr := int64(binary.LittleEndian.Uint64(raw[8:]))
+		if lag != wantLag || corr != wantCorr {
+			t.Fatalf("%v: (lag,corr) = (%d,%d), want (%d,%d)", v, lag, corr, wantLag, wantCorr)
+		}
+	}
+}
+
+func TestLongTermFilterAllVariants(t *testing.T) {
+	var rnd prng = 606
+	erp := rnd.int16s(GSMSubframe, 4096)
+	hist := rnd.int16s(GSMMaxLag, 4096)
+	lag, gain := 64, int64(22000) // gain ~0.336 in Q16
+	want := LongTermFilterRef(erp, hist, lag, gain)
+	for _, v := range allVariants {
+		b := ir.NewBuilder("longterm")
+		ea := b.DataH(erp)
+		ha := b.DataH(hist)
+		params := make([]byte, 16)
+		binary.LittleEndian.PutUint64(params[0:], uint64(lag))
+		binary.LittleEndian.PutUint64(params[8:], uint64(gain))
+		pa := b.Data(params)
+		oa := b.Alloc(2 * GSMSubframe)
+		LongTermFilter(b, v, ea, ha, pa, oa, 1, 2, 3)
+		m, _ := execute(t, v, b.Func())
+		raw := readBuf(t, m, oa, 2*GSMSubframe)
+		for i := 0; i < GSMSubframe; i++ {
+			if got := int16(binary.LittleEndian.Uint16(raw[2*i:])); got != want[i] {
+				t.Fatalf("%v: sample %d = %d, want %d", v, i, got, want[i])
+			}
+		}
+	}
+}
+
+func TestBlockifyAllVariants(t *testing.T) {
+	const w, bx, by = 48, 4, 3
+	var rnd prng = 808
+	plane := rnd.bytes(w * 8 * by)
+	want := BlockifyRef(plane, w, bx, by)
+	for _, v := range allVariants {
+		b := ir.NewBuilder("blockify")
+		pa := b.Data(plane)
+		ba := b.Alloc(int64(bx * by * BlockBytes))
+		Blockify(b, v, pa, ba, w, bx, by, 1, 2)
+		m, _ := execute(t, v, b.Func())
+		got := readBlocks(t, m, ba, bx*by)
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("%v: block %d elem %d = %d, want %d", v, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestBlockifyRoundTripsWithBlockIdx(t *testing.T) {
+	// BlockifyRef followed by reading through BlockIdx reproduces the tile.
+	var rnd prng = 4
+	plane := rnd.bytes(16 * 8)
+	blocks := BlockifyRef(plane, 16, 2, 1)
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			if got := blocks[1][BlockIdx(r, c)]; got != int16(plane[r*16+8+c])-128 {
+				t.Fatalf("(%d,%d): got %d", r, c, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package kernels
+
+import (
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/simd"
+)
+
+// Quantization divides each DCT coefficient by a per-position step. As in
+// production JPEG/MPEG encoders, the division is replaced by a multiply
+// with a precomputed reciprocal: q = (x * recip) >> 16, with
+// recip = 65536/step (int16). All variants use the identical arithmetic
+// (PMULH/VMULH is exactly a 16x16 multiply keeping the high half).
+
+// JPEGLumaQuant is the ISO JPEG Annex K luminance quantization table
+// (row-major).
+var JPEGLumaQuant = [64]int16{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// QuantRecip converts a row-major quantization table into the reciprocal
+// array in two-plane block layout, matching the DCT output layout.
+func QuantRecip(table *[64]int16) []int16 {
+	out := make([]int16, 64)
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			out[BlockIdx(r, c)] = int16(65536 / int32(table[8*r+c]))
+		}
+	}
+	return out
+}
+
+// Quantize emits q[i] = (x[i]*recip[i])>>16 over nblocks blocks in
+// two-plane layout. The reciprocal table is embedded in the data segment.
+func Quantize(b *ir.Builder, v Variant, recip []int16, src, dst int64, nblocks int, aliasSrc, aliasDst int) {
+	checkMultiple("Quantize", nblocks, 1)
+	rAddr := b.DataH(recip)
+	sp := b.Const(src)
+	dp := b.Const(dst)
+	switch v {
+	case Scalar:
+		rp := b.Const(rAddr)
+		b.Loop(0, int64(nblocks), 1, func(ir.Reg) {
+			for i := 0; i < 64; i++ {
+				x := b.Load(isa.LDH, sp, int64(2*i), aliasSrc)
+				r := b.Load(isa.LDH, rp, int64(2*i), aliasSrc)
+				b.Store(isa.STH, b.SraI(b.Mul(x, r), 16), dp, int64(2*i), aliasDst)
+			}
+			b.BinITo(isa.ADD, sp, sp, BlockBytes)
+			b.BinITo(isa.ADD, dp, dp, BlockBytes)
+		})
+	case USIMD:
+		rp := b.Const(rAddr)
+		var rw [16]ir.Reg
+		for w := 0; w < 16; w++ {
+			rw[w] = b.Ldm(rp, int64(8*w), aliasSrc)
+		}
+		b.Loop(0, int64(nblocks), 1, func(ir.Reg) {
+			for w := 0; w < 16; w++ {
+				x := b.Ldm(sp, int64(8*w), aliasSrc)
+				b.Stm(b.P(isa.PMULH, simd.W16, x, rw[w]), dp, int64(8*w), aliasDst)
+			}
+			b.BinITo(isa.ADD, sp, sp, BlockBytes)
+			b.BinITo(isa.ADD, dp, dp, BlockBytes)
+		})
+	default:
+		b.SetVLI(16)
+		b.SetVSI(8)
+		rv := b.Vld(b.Const(rAddr), 0, aliasSrc)
+		b.Loop(0, int64(nblocks), 1, func(ir.Reg) {
+			x := b.Vld(sp, 0, aliasSrc)
+			b.Vst(b.V(isa.VMULH, simd.W16, x, rv), dp, 0, aliasDst)
+			b.BinITo(isa.ADD, sp, sp, BlockBytes)
+			b.BinITo(isa.ADD, dp, dp, BlockBytes)
+		})
+	}
+}
+
+// QuantizeRef is the reference quantizer over one block.
+func QuantizeRef(recip, src []int16) []int16 {
+	out := make([]int16, 64)
+	for i := range out {
+		out[i] = int16((int32(src[i]) * int32(recip[i])) >> 16)
+	}
+	return out
+}

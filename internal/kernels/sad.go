@@ -1,0 +1,185 @@
+package kernels
+
+import (
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/simd"
+)
+
+// Motion estimation: full-search block matching with the sum of absolute
+// differences, the dominant vector region of the MPEG2 encoder and the
+// kernel of the paper's Figure 4 example (dist1). For each 16x16
+// macroblock of the current frame the search scans a +-R window in the
+// reference frame; the vector variant loads macroblock columns with
+// VS = image width — the non-unit stride that makes this kernel stall
+// under realistic memory, exactly as the paper reports.
+
+// MEParams describes a motion-estimation invocation.
+type MEParams struct {
+	Cur, Ref int64 // byte planes, W x H
+	MV       int64 // output: per MB three int64 values (dx, dy, sad)
+	W, H     int
+	// MBs lists macroblock origins (top-left pixel). Every origin must
+	// leave an R-pixel margin inside the frame.
+	MBs                         []MBOrigin
+	R                           int // search radius
+	AliasCur, AliasRef, AliasMV int
+}
+
+// MBOrigin is a macroblock position.
+type MBOrigin struct{ X, Y int }
+
+// MotionEstimate emits the full-search SAD kernel.
+func MotionEstimate(b *ir.Builder, v Variant, p MEParams) {
+	if p.R < 1 {
+		panic("kernels: MotionEstimate requires R >= 1")
+	}
+	for _, mb := range p.MBs {
+		if mb.X < p.R || mb.Y < p.R || mb.X+16+p.R > p.W || mb.Y+16+p.R > p.H {
+			panic("kernels: macroblock violates search margin")
+		}
+	}
+	switch v {
+	case Scalar:
+		meScalar(b, p)
+	case USIMD:
+		meUSIMD(b, p)
+	default:
+		meVector(b, p)
+	}
+}
+
+// meSearch runs the candidate double loop, calling sad(cand) to emit the
+// SAD computation for the candidate whose top-left address is in cand,
+// and tracks the best (dx, dy, sad) triple.
+func meSearch(b *ir.Builder, p MEParams, mbIdx int, curBase int64, sad func(cand ir.Reg) ir.Reg) {
+	span := int64(2*p.R + 1)
+	best := b.Const(1 << 30)
+	bestDx := b.Const(0)
+	bestDy := b.Const(0)
+	// Candidate origin for (iy, ix): curOrigin + (iy-R)*W + (ix-R) in the
+	// reference plane.
+	refOrigin := p.Ref + curBase - p.Cur - int64(p.R*p.W+p.R)
+	rowStart := b.Const(refOrigin)
+	b.Loop(0, span, 1, func(iy ir.Reg) {
+		cand := b.Mov(rowStart)
+		b.Loop(0, span, 1, func(ix ir.Reg) {
+			s := sad(cand)
+			c := b.Bin(isa.CMPLT, s, best)
+			b.SelectTo(best, c, s, best)
+			b.SelectTo(bestDx, c, ix, bestDx)
+			b.SelectTo(bestDy, c, iy, bestDy)
+			b.BinITo(isa.ADD, cand, cand, 1)
+		})
+		b.BinITo(isa.ADD, rowStart, rowStart, int64(p.W))
+	})
+	mvp := b.Const(p.MV + int64(24*mbIdx))
+	b.Store(isa.STD, b.SubI(bestDx, int64(p.R)), mvp, 0, p.AliasMV)
+	b.Store(isa.STD, b.SubI(bestDy, int64(p.R)), mvp, 8, p.AliasMV)
+	b.Store(isa.STD, best, mvp, 16, p.AliasMV)
+}
+
+func meScalar(b *ir.Builder, p MEParams) {
+	for i, mb := range p.MBs {
+		curBase := p.Cur + int64(mb.Y*p.W+mb.X)
+		cp := b.Const(curBase)
+		meSearch(b, p, i, curBase, func(cand ir.Reg) ir.Reg {
+			acc := b.Const(0)
+			for r := 0; r < 16; r++ {
+				for c := 0; c < 16; c++ {
+					off := int64(r*p.W + c)
+					cur := b.Load(isa.LDBU, cp, off, p.AliasCur)
+					ref := b.Load(isa.LDBU, cand, off, p.AliasRef)
+					d := b.Sub(cur, ref)
+					mask := b.SraI(d, 63)
+					abs := b.Sub(b.Xor(d, mask), mask)
+					b.BinTo(isa.ADD, acc, acc, abs)
+				}
+			}
+			return acc
+		})
+	}
+}
+
+func meUSIMD(b *ir.Builder, p MEParams) {
+	for i, mb := range p.MBs {
+		curBase := p.Cur + int64(mb.Y*p.W+mb.X)
+		cp := b.Const(curBase)
+		// Hoist the current macroblock (32 words) out of the search loops.
+		var cur [32]ir.Reg
+		for r := 0; r < 16; r++ {
+			cur[2*r] = b.Ldm(cp, int64(r*p.W), p.AliasCur)
+			cur[2*r+1] = b.Ldm(cp, int64(r*p.W+8), p.AliasCur)
+		}
+		meSearch(b, p, i, curBase, func(cand ir.Reg) ir.Reg {
+			var acc ir.Reg
+			for r := 0; r < 16; r++ {
+				for h := 0; h < 2; h++ {
+					ref := b.Ldm(cand, int64(r*p.W+8*h), p.AliasRef)
+					s := b.P(isa.PSAD, simd.W8, cur[2*r+h], ref)
+					if !acc.Valid() {
+						acc = s
+					} else {
+						acc = b.P(isa.PADD, simd.W32, acc, s)
+					}
+				}
+			}
+			return b.Movmr(acc)
+		})
+	}
+}
+
+func meVector(b *ir.Builder, p MEParams) {
+	b.SetVLI(16)
+	b.SetVS(b.Const(int64(p.W))) // VS = image width: the fateful stride
+	for i, mb := range p.MBs {
+		curBase := p.Cur + int64(mb.Y*p.W+mb.X)
+		cp := b.Const(curBase)
+		// Current macroblock as two column vectors (left/right 8 bytes of
+		// each of the 16 rows), hoisted out of the search.
+		curL := b.Vld(cp, 0, p.AliasCur)
+		curR := b.Vld(cp, 8, p.AliasCur)
+		meSearch(b, p, i, curBase, func(cand ir.Reg) ir.Reg {
+			refL := b.Vld(cand, 0, p.AliasRef)
+			refR := b.Vld(cand, 8, p.AliasRef)
+			a1 := b.AccReg()
+			b.AclrTo(a1)
+			a2 := b.AccReg()
+			b.AclrTo(a2)
+			b.Vsada(a1, curL, refL)
+			b.Vsada(a2, curR, refR)
+			return b.Add(b.Vsum(simd.W8, a1), b.Vsum(simd.W8, a2))
+		})
+	}
+	b.SetVSI(8)
+}
+
+// MotionEstimateRef computes the reference motion vectors.
+func MotionEstimateRef(cur, ref []byte, w int, mbs []MBOrigin, r int) [][3]int64 {
+	out := make([][3]int64, len(mbs))
+	for i, mb := range mbs {
+		best := int64(1 << 30)
+		var bdx, bdy int64
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				var s int64
+				for rr := 0; rr < 16; rr++ {
+					for cc := 0; cc < 16; cc++ {
+						a := int(cur[(mb.Y+rr)*w+mb.X+cc])
+						bb := int(ref[(mb.Y+dy+rr)*w+mb.X+dx+cc])
+						d := a - bb
+						if d < 0 {
+							d = -d
+						}
+						s += int64(d)
+					}
+				}
+				if s < best {
+					best, bdx, bdy = s, int64(dx), int64(dy)
+				}
+			}
+		}
+		out[i] = [3]int64{bdx, bdy, best}
+	}
+	return out
+}

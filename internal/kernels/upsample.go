@@ -1,0 +1,105 @@
+package kernels
+
+import (
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/simd"
+)
+
+// H2V2Upsample doubles a chroma plane in both dimensions (the h2v2
+// up-sampling of the JPEG decoder): every input pixel becomes a 2x2
+// output square. src is cw x ch bytes; dst is 2cw x 2ch bytes.
+//
+// The µSIMD and vector variants double horizontally with a self-unpack
+// (unpack(x, x) yields x0,x0,x1,x1,...) and vertically by storing the
+// doubled row twice.
+func H2V2Upsample(b *ir.Builder, v Variant, src, dst int64, cw, ch int, aliasSrc, aliasDst int) {
+	checkMultiple("H2V2Upsample width", cw, 8)
+	checkMultiple("H2V2Upsample height", ch, 1)
+	ow := int64(2 * cw)
+	switch v {
+	case Scalar:
+		sp := b.Const(src)
+		d0 := b.Const(dst)      // even output row
+		d1 := b.Const(dst + ow) // odd output row
+		b.Loop(0, int64(ch), 1, func(ir.Reg) {
+			b.Loop(0, int64(cw), 1, func(ir.Reg) {
+				px := b.Load(isa.LDBU, sp, 0, aliasSrc)
+				b.Store(isa.STB, px, d0, 0, aliasDst)
+				b.Store(isa.STB, px, d0, 1, aliasDst)
+				b.Store(isa.STB, px, d1, 0, aliasDst)
+				b.Store(isa.STB, px, d1, 1, aliasDst)
+				b.BinITo(isa.ADD, sp, sp, 1)
+				b.BinITo(isa.ADD, d0, d0, 2)
+				b.BinITo(isa.ADD, d1, d1, 2)
+			})
+			// Skip the odd output row already written.
+			b.BinITo(isa.ADD, d0, d0, ow)
+			b.BinITo(isa.ADD, d1, d1, ow)
+		})
+	case USIMD:
+		sp := b.Const(src)
+		d0 := b.Const(dst)
+		d1 := b.Const(dst + ow)
+		b.Loop(0, int64(ch), 1, func(ir.Reg) {
+			b.Loop(0, int64(cw), 8, func(ir.Reg) {
+				x := b.Ldm(sp, 0, aliasSrc)
+				lo := b.P(isa.PUNPCKL, simd.W8, x, x)
+				hi := b.P(isa.PUNPCKH, simd.W8, x, x)
+				b.Stm(lo, d0, 0, aliasDst)
+				b.Stm(hi, d0, 8, aliasDst)
+				b.Stm(lo, d1, 0, aliasDst)
+				b.Stm(hi, d1, 8, aliasDst)
+				b.BinITo(isa.ADD, sp, sp, 8)
+				b.BinITo(isa.ADD, d0, d0, 16)
+				b.BinITo(isa.ADD, d1, d1, 16)
+			})
+			b.BinITo(isa.ADD, d0, d0, ow)
+			b.BinITo(isa.ADD, d1, d1, ow)
+		})
+	default:
+		// One vector load covers a whole chroma row (VL = cw/8 words,
+		// clamped to the architectural maximum).
+		vl := cw / 8
+		if vl > isa.MaxVL {
+			panic("kernels: H2V2Upsample vector variant requires cw <= 128")
+		}
+		b.SetVLI(int64(vl))
+		sp := b.Const(src)
+		d0 := b.Const(dst)
+		d1 := b.Const(dst + ow)
+		b.Loop(0, int64(ch), 1, func(ir.Reg) {
+			b.SetVSI(8)
+			x := b.Vld(sp, 0, aliasSrc)
+			lo := b.V(isa.VUNPCKL, simd.W8, x, x)
+			hi := b.V(isa.VUNPCKH, simd.W8, x, x)
+			// Doubled row interleaves lo_i, hi_i word pairs: stride-16
+			// stores place them correctly.
+			b.SetVSI(16)
+			b.Vst(lo, d0, 0, aliasDst)
+			b.Vst(hi, d0, 8, aliasDst)
+			b.Vst(lo, d1, 0, aliasDst)
+			b.Vst(hi, d1, 8, aliasDst)
+			b.BinITo(isa.ADD, sp, sp, int64(cw))
+			b.BinITo(isa.ADD, d0, d0, 2*ow)
+			b.BinITo(isa.ADD, d1, d1, 2*ow)
+		})
+		b.SetVSI(8)
+	}
+}
+
+// H2V2UpsampleRef is the reference up-sampler.
+func H2V2UpsampleRef(src []byte, cw, ch int) []byte {
+	out := make([]byte, 4*cw*ch)
+	ow := 2 * cw
+	for y := 0; y < ch; y++ {
+		for x := 0; x < cw; x++ {
+			p := src[y*cw+x]
+			out[(2*y)*ow+2*x] = p
+			out[(2*y)*ow+2*x+1] = p
+			out[(2*y+1)*ow+2*x] = p
+			out[(2*y+1)*ow+2*x+1] = p
+		}
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+// Package machine describes the processor configurations evaluated in the
+// paper (Table 2): 2/4/8-issue VLIW, 2/4/8-issue µSIMD-VLIW, and the 2/4
+// issue Vector-µSIMD-VLIW configurations Vector1 and Vector2.
+//
+// A Config is consumed by the static scheduler (resource reservation and
+// latency descriptors), by the register-pressure verifier, and by the
+// simulator (memory-hierarchy ports).
+package machine
+
+import (
+	"fmt"
+
+	"vsimdvliw/internal/isa"
+)
+
+// ISAKind selects which extension a configuration implements, and therefore
+// which code variant of a program it can run.
+type ISAKind uint8
+
+// The three ISA levels evaluated in the paper.
+const (
+	ISAScalar ISAKind = iota // plain VLIW: scalar operations only
+	ISAuSIMD                 // VLIW + µSIMD packed operations
+	ISAVector                // VLIW + µSIMD + Vector-µSIMD operations
+)
+
+// String implements fmt.Stringer.
+func (k ISAKind) String() string {
+	switch k {
+	case ISAScalar:
+		return "VLIW"
+	case ISAuSIMD:
+		return "uSIMD"
+	case ISAVector:
+		return "Vector"
+	}
+	return "?"
+}
+
+// Config is one processor configuration (a row group of Table 2).
+type Config struct {
+	Name  string
+	ISA   ISAKind
+	Issue int // VLIW issue width (operations per instruction)
+
+	// Register file sizes.
+	IntRegs  int // integer registers
+	SIMDRegs int // µSIMD 64-bit registers (µSIMD configs) or vector registers (vector configs)
+	AccRegs  int // packed accumulators (vector configs only)
+
+	// Functional units.
+	IntUnits    int // integer ALUs
+	SIMDUnits   int // µSIMD units (µSIMD configs)
+	VectorUnits int // vector units (vector configs)
+	Lanes       int // parallel vector lanes per vector unit
+	BranchUnits int
+
+	// Memory ports.
+	L1Ports     int // scalar/µSIMD ports to the L1 data cache
+	L2Ports     int // wide ports to the L2 vector cache
+	L2PortWords int // width of each L2 port in 64-bit words (B)
+
+	// Memory hierarchy latencies (cycles).
+	LatL1  int
+	LatL2  int
+	LatL3  int
+	LatMem int
+
+	// Cache geometry.
+	L1Bytes, L1Ways, L1Line int
+	L2Bytes, L2Ways, L2Line int // the two-bank interleaved vector cache
+	L3Bytes, L3Ways, L3Line int
+}
+
+// Validate checks internal consistency of the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.Issue < 1:
+		return fmt.Errorf("machine %s: issue width %d", c.Name, c.Issue)
+	case c.IntUnits < 1:
+		return fmt.Errorf("machine %s: no integer units", c.Name)
+	case c.L1Ports < 1:
+		return fmt.Errorf("machine %s: no L1 ports", c.Name)
+	case c.ISA == ISAuSIMD && c.SIMDUnits < 1:
+		return fmt.Errorf("machine %s: µSIMD ISA without µSIMD units", c.Name)
+	case c.ISA == ISAVector && (c.VectorUnits < 1 || c.Lanes < 1):
+		return fmt.Errorf("machine %s: vector ISA without vector units/lanes", c.Name)
+	case c.ISA == ISAVector && (c.L2Ports < 1 || c.L2PortWords < 1):
+		return fmt.Errorf("machine %s: vector ISA without an L2 vector port", c.Name)
+	case c.ISA == ISAVector && c.AccRegs < 1:
+		return fmt.Errorf("machine %s: vector ISA without accumulators", c.Name)
+	}
+	return nil
+}
+
+// Units returns the number of functional units of the given class. For
+// vector configurations, µSIMD operations execute on the vector units
+// (a vector operation with VL=1 is exactly a µSIMD operation, so the
+// vector unit subsumes the µSIMD one).
+func (c *Config) Units(u isa.Unit) int {
+	switch u {
+	case isa.UnitInt:
+		return c.IntUnits
+	case isa.UnitMem:
+		return c.L1Ports
+	case isa.UnitBranch:
+		return c.BranchUnits
+	case isa.UnitSIMD:
+		if c.ISA == ISAVector {
+			return c.VectorUnits
+		}
+		return c.SIMDUnits
+	case isa.UnitVector:
+		return c.VectorUnits
+	case isa.UnitVMem:
+		return c.L2Ports
+	case isa.UnitNone:
+		return 0
+	}
+	return 0
+}
+
+// UnitFor maps an operation's nominal unit class to the class that executes
+// it on this configuration (µSIMD ops fold onto vector units in vector
+// configurations).
+func (c *Config) UnitFor(u isa.Unit) isa.Unit {
+	if u == isa.UnitSIMD && c.ISA == ISAVector {
+		return isa.UnitVector
+	}
+	return u
+}
+
+// Supports reports whether the configuration can execute the opcode.
+func (c *Config) Supports(op isa.Opcode) bool {
+	in := op.Get()
+	switch in.Unit {
+	case isa.UnitSIMD:
+		return c.ISA >= ISAuSIMD
+	case isa.UnitVector, isa.UnitVMem:
+		return c.ISA == ISAVector
+	}
+	if op == isa.SETVL || op == isa.SETVS {
+		return c.ISA == ISAVector
+	}
+	// Operations on other units may still touch register files the
+	// configuration lacks (e.g. the LDM/STM µSIMD memory operations).
+	for _, classes := range [][]isa.RegClass{in.Sig.Dst, in.Sig.Src} {
+		for _, cl := range classes {
+			switch cl {
+			case isa.RegSIMD:
+				if c.ISA < ISAuSIMD {
+					return false
+				}
+			case isa.RegVec, isa.RegAcc:
+				if c.ISA != ISAVector {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Regs returns the size of the register file of the given class.
+func (c *Config) Regs(cl isa.RegClass) int {
+	switch cl {
+	case isa.RegInt:
+		return c.IntRegs
+	case isa.RegSIMD, isa.RegVec:
+		return c.SIMDRegs
+	case isa.RegAcc:
+		return c.AccRegs
+	}
+	return 0
+}
+
+// cacheDefaults fills the memory-hierarchy parameters shared by every
+// configuration in the paper: 16KB 4-way L1 (1 cycle), 256KB two-bank
+// vector L2 (5 cycles), 1MB L3 (12 cycles), 500-cycle main memory.
+func cacheDefaults(c Config) Config {
+	c.LatL1, c.LatL2, c.LatL3, c.LatMem = 1, 5, 12, 500
+	c.L1Bytes, c.L1Ways, c.L1Line = 16<<10, 4, 64
+	c.L2Bytes, c.L2Ways, c.L2Line = 256<<10, 8, 64
+	c.L3Bytes, c.L3Ways, c.L3Line = 1<<20, 8, 64
+	c.BranchUnits = 1
+	return c
+}
+
+// The ten configurations of Table 2. Integer register files are
+// 64/96/128 for 2/4/8-issue; µSIMD configurations add an equal-sized
+// packed file; Vector configurations have 20/32 vector registers of 16
+// words, 4/6 accumulators, one wide (4x64-bit) port to the L2 vector
+// cache, and one L1 port (Vector2-4w has two).
+func vliw(w int) Config {
+	regs := map[int]int{2: 64, 4: 96, 8: 128}[w]
+	ports := map[int]int{2: 1, 4: 2, 8: 3}[w]
+	return cacheDefaults(Config{
+		Name:     fmt.Sprintf("VLIW-%dw", w),
+		ISA:      ISAScalar,
+		Issue:    w,
+		IntRegs:  regs,
+		IntUnits: w,
+		L1Ports:  ports,
+	})
+}
+
+func usimd(w int) Config {
+	c := vliw(w)
+	c.Name = fmt.Sprintf("uSIMD-%dw", w)
+	c.ISA = ISAuSIMD
+	c.SIMDRegs = c.IntRegs
+	c.SIMDUnits = w
+	return c
+}
+
+func vector(w, units int) Config {
+	c := vliw(w)
+	c.ISA = ISAVector
+	if w == 2 {
+		c.SIMDRegs = 20
+		c.AccRegs = 4
+	} else {
+		c.SIMDRegs = 32
+		c.AccRegs = 6
+	}
+	c.VectorUnits = units
+	c.Lanes = 4
+	c.L2Ports = 1
+	c.L2PortWords = 4
+	return c
+}
+
+// Vector1 has one vector unit at 2-issue and two at 4-issue, and a single
+// L1 port; Vector2 has two and four vector units, with 1/2 L1 ports
+// (Table 2).
+func vector1(w int) Config {
+	c := vector(w, w/2)
+	c.Name = fmt.Sprintf("Vector1-%dw", w)
+	c.L1Ports = 1
+	return c
+}
+
+func vector2(w int) Config {
+	c := vector(w, w)
+	c.Name = fmt.Sprintf("Vector2-%dw", w)
+	c.L1Ports = w / 2 // 1 at 2-issue, 2 at 4-issue
+	return c
+}
+
+// Predefined configurations (Table 2).
+var (
+	VLIW2 = vliw(2)
+	VLIW4 = vliw(4)
+	VLIW8 = vliw(8)
+
+	USIMD2 = usimd(2)
+	USIMD4 = usimd(4)
+	USIMD8 = usimd(8)
+
+	Vector1x2 = vector1(2)
+	Vector1x4 = vector1(4)
+	Vector2x2 = vector2(2)
+	Vector2x4 = vector2(4)
+)
+
+// All returns the ten configurations in the paper's presentation order.
+func All() []*Config {
+	return []*Config{
+		&VLIW2, &VLIW4, &VLIW8,
+		&USIMD2, &USIMD4, &USIMD8,
+		&Vector1x2, &Vector1x4,
+		&Vector2x2, &Vector2x4,
+	}
+}
+
+// ByName returns the configuration with the given name, or nil.
+func ByName(name string) *Config {
+	for _, c := range All() {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}

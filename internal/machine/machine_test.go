@@ -1,0 +1,197 @@
+package machine
+
+import (
+	"testing"
+
+	"vsimdvliw/internal/isa"
+)
+
+func TestAllValidate(t *testing.T) {
+	all := All()
+	if len(all) != 10 {
+		t.Fatalf("expected the 10 configurations of Table 2, got %d", len(all))
+	}
+	for _, c := range all {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestTable2Parameters(t *testing.T) {
+	cases := []struct {
+		c        *Config
+		issue    int
+		intRegs  int
+		simdRegs int
+		accRegs  int
+		intU     int
+		simdU    int
+		vecU     int
+		l1Ports  int
+		l2Ports  int
+	}{
+		{&VLIW2, 2, 64, 0, 0, 2, 0, 0, 1, 0},
+		{&VLIW4, 4, 96, 0, 0, 4, 0, 0, 2, 0},
+		{&VLIW8, 8, 128, 0, 0, 8, 0, 0, 3, 0},
+		{&USIMD2, 2, 64, 64, 0, 2, 2, 0, 1, 0},
+		{&USIMD4, 4, 96, 96, 0, 4, 4, 0, 2, 0},
+		{&USIMD8, 8, 128, 128, 0, 8, 8, 0, 3, 0},
+		{&Vector1x2, 2, 64, 20, 4, 2, 0, 1, 1, 1},
+		{&Vector1x4, 4, 96, 32, 6, 4, 0, 2, 1, 1},
+		{&Vector2x2, 2, 64, 20, 4, 2, 0, 2, 1, 1},
+		{&Vector2x4, 4, 96, 32, 6, 4, 0, 4, 2, 1},
+	}
+	for _, x := range cases {
+		c := x.c
+		if c.Issue != x.issue {
+			t.Errorf("%s issue = %d, want %d", c.Name, c.Issue, x.issue)
+		}
+		if c.IntRegs != x.intRegs {
+			t.Errorf("%s int regs = %d, want %d", c.Name, c.IntRegs, x.intRegs)
+		}
+		if c.SIMDRegs != x.simdRegs {
+			t.Errorf("%s simd regs = %d, want %d", c.Name, c.SIMDRegs, x.simdRegs)
+		}
+		if c.AccRegs != x.accRegs {
+			t.Errorf("%s acc regs = %d, want %d", c.Name, c.AccRegs, x.accRegs)
+		}
+		if c.IntUnits != x.intU {
+			t.Errorf("%s int units = %d, want %d", c.Name, c.IntUnits, x.intU)
+		}
+		if c.SIMDUnits != x.simdU {
+			t.Errorf("%s simd units = %d, want %d", c.Name, c.SIMDUnits, x.simdU)
+		}
+		if c.VectorUnits != x.vecU {
+			t.Errorf("%s vector units = %d, want %d", c.Name, c.VectorUnits, x.vecU)
+		}
+		if c.L1Ports != x.l1Ports {
+			t.Errorf("%s L1 ports = %d, want %d", c.Name, c.L1Ports, x.l1Ports)
+		}
+		if c.L2Ports != x.l2Ports {
+			t.Errorf("%s L2 ports = %d, want %d", c.Name, c.L2Ports, x.l2Ports)
+		}
+	}
+}
+
+func TestVectorLanes(t *testing.T) {
+	for _, c := range []*Config{&Vector1x2, &Vector1x4, &Vector2x2, &Vector2x4} {
+		if c.Lanes != 4 {
+			t.Errorf("%s: %d lanes, want 4 (the paper uses four vector lanes)", c.Name, c.Lanes)
+		}
+		if c.L2PortWords != 4 {
+			t.Errorf("%s: L2 port %d words wide, want 4 (4x64-bit)", c.Name, c.L2PortWords)
+		}
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	for _, c := range All() {
+		if c.LatL1 != 1 || c.LatL2 != 5 || c.LatL3 != 12 || c.LatMem != 500 {
+			t.Errorf("%s latencies = %d/%d/%d/%d, want 1/5/12/500",
+				c.Name, c.LatL1, c.LatL2, c.LatL3, c.LatMem)
+		}
+		if c.L1Bytes != 16<<10 || c.L1Ways != 4 {
+			t.Errorf("%s: L1 must be 16KB 4-way", c.Name)
+		}
+		if c.L2Bytes != 256<<10 {
+			t.Errorf("%s: L2 vector cache must be 256KB", c.Name)
+		}
+		if c.L3Bytes != 1<<20 {
+			t.Errorf("%s: L3 must be 1MB", c.Name)
+		}
+	}
+}
+
+func TestSupports(t *testing.T) {
+	if !VLIW2.Supports(isa.ADD) || VLIW2.Supports(isa.PADD) || VLIW2.Supports(isa.VADD) {
+		t.Error("VLIW must support scalar only")
+	}
+	if !USIMD4.Supports(isa.PADD) || USIMD4.Supports(isa.VADD) || USIMD4.Supports(isa.SETVL) {
+		t.Error("µSIMD must support packed but not vector ops")
+	}
+	if !Vector2x2.Supports(isa.VADD) || !Vector2x2.Supports(isa.PADD) ||
+		!Vector2x2.Supports(isa.SETVL) || !Vector2x2.Supports(isa.VSADA) {
+		t.Error("vector config must support the full ISA")
+	}
+}
+
+func TestUnitsAndUnitFor(t *testing.T) {
+	if USIMD2.Units(isa.UnitSIMD) != 2 {
+		t.Error("uSIMD-2w must have 2 µSIMD units")
+	}
+	// Vector configs fold µSIMD ops onto the vector units.
+	if Vector2x2.Units(isa.UnitSIMD) != 2 {
+		t.Errorf("Vector2-2w Units(SIMD) = %d, want 2 (vector units)", Vector2x2.Units(isa.UnitSIMD))
+	}
+	if Vector2x2.UnitFor(isa.UnitSIMD) != isa.UnitVector {
+		t.Error("Vector config must map UnitSIMD -> UnitVector")
+	}
+	if USIMD2.UnitFor(isa.UnitSIMD) != isa.UnitSIMD {
+		t.Error("µSIMD config must keep UnitSIMD")
+	}
+	if Vector2x4.Units(isa.UnitVMem) != 1 {
+		t.Error("vector configs have one L2 vector port")
+	}
+	if VLIW8.Units(isa.UnitBranch) != 1 {
+		t.Error("one branch unit")
+	}
+	if VLIW8.Units(isa.UnitNone) != 0 {
+		t.Error("UnitNone has no units")
+	}
+}
+
+func TestRegs(t *testing.T) {
+	if Vector2x2.Regs(isa.RegVec) != 20 || Vector2x2.Regs(isa.RegAcc) != 4 {
+		t.Error("Vector2-2w register files wrong")
+	}
+	if USIMD8.Regs(isa.RegSIMD) != 128 || USIMD8.Regs(isa.RegInt) != 128 {
+		t.Error("uSIMD-8w register files wrong")
+	}
+	if VLIW2.Regs(isa.RegAcc) != 0 {
+		t.Error("VLIW has no accumulators")
+	}
+	if VLIW2.Regs(isa.RegNone) != 0 {
+		t.Error("RegNone has no file")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("Vector2-4w") != &Vector2x4 {
+		t.Error("ByName failed for Vector2-4w")
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName must return nil for unknown names")
+	}
+	for _, c := range All() {
+		if ByName(c.Name) != c {
+			t.Errorf("ByName(%q) did not round-trip", c.Name)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []Config{
+		{Name: "x", Issue: 0, IntUnits: 1, L1Ports: 1},
+		{Name: "x", Issue: 2, IntUnits: 0, L1Ports: 1},
+		{Name: "x", Issue: 2, IntUnits: 2, L1Ports: 0},
+		{Name: "x", Issue: 2, IntUnits: 2, L1Ports: 1, ISA: ISAuSIMD},
+		{Name: "x", Issue: 2, IntUnits: 2, L1Ports: 1, ISA: ISAVector},
+		{Name: "x", Issue: 2, IntUnits: 2, L1Ports: 1, ISA: ISAVector,
+			VectorUnits: 1, Lanes: 4},
+		{Name: "x", Issue: 2, IntUnits: 2, L1Ports: 1, ISA: ISAVector,
+			VectorUnits: 1, Lanes: 4, L2Ports: 1, L2PortWords: 4},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestISAKindString(t *testing.T) {
+	if ISAScalar.String() != "VLIW" || ISAuSIMD.String() != "uSIMD" ||
+		ISAVector.String() != "Vector" || ISAKind(9).String() != "?" {
+		t.Error("ISAKind.String wrong")
+	}
+}

@@ -1,0 +1,166 @@
+// Package media generates the deterministic synthetic inputs the
+// applications run on: images with spatial structure (so DCT and
+// entropy-coding stages see realistic coefficient distributions), video
+// frame pairs with global motion (so motion estimation has a real
+// optimum), speech-like waveforms (so GSM correlations are meaningful),
+// and raw pseudo-random bitstreams for the decoder front ends.
+//
+// The paper drives its benchmarks with the UCLA Mediabench inputs; this
+// package is the offline substitute. The workloads exercise exactly the
+// same code paths — what matters to the evaluation is the instruction
+// mix and the memory access patterns, both of which are preserved.
+package media
+
+import "math"
+
+// Rand is a small deterministic xorshift64* generator.
+type Rand struct{ s uint64 }
+
+// NewRand seeds a generator (seed 0 is remapped to 1).
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Rand{s: seed}
+}
+
+// Uint64 returns the next value.
+func (r *Rand) Uint64() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// Byte returns a pseudo-random byte.
+func (r *Rand) Byte() byte { return byte(r.Uint64() >> 56) }
+
+// Intn returns a value in [0, n).
+func (r *Rand) Intn(n int) int { return int(r.Uint64() % uint64(n)) }
+
+// Bytes returns n pseudo-random bytes.
+func (r *Rand) Bytes(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = r.Byte()
+	}
+	return out
+}
+
+// SmoothImage builds a w x h plane with low-frequency structure plus mild
+// noise — the kind of content DCT compresses well, so quantized blocks
+// have realistic zero runs.
+func SmoothImage(seed uint64, w, h int) []byte {
+	r := NewRand(seed)
+	fx := 2 * math.Pi / float64(w) * (1 + float64(r.Intn(3)))
+	fy := 2 * math.Pi / float64(h) * (1 + float64(r.Intn(4)))
+	phase := float64(r.Intn(628)) / 100
+	out := make([]byte, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := 128 +
+				55*math.Sin(fx*float64(x)+phase) +
+				45*math.Cos(fy*float64(y)) +
+				20*math.Sin(fx*float64(x)*3+fy*float64(y)*2)
+			v += float64(r.Intn(9)) - 4
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			out[y*w+x] = byte(v)
+		}
+	}
+	return out
+}
+
+// RGBImage builds three correlated planes (R, G, B).
+func RGBImage(seed uint64, w, h int) (r, g, b []byte) {
+	base := SmoothImage(seed, w, h)
+	rnd := NewRand(seed + 17)
+	r = make([]byte, w*h)
+	g = make([]byte, w*h)
+	b = make([]byte, w*h)
+	for i := range base {
+		v := int(base[i])
+		r[i] = clamp(v + rnd.Intn(31) - 15)
+		g[i] = clamp(v + rnd.Intn(21) - 10)
+		b[i] = clamp(v - rnd.Intn(41) + 20)
+	}
+	return r, g, b
+}
+
+func clamp(v int) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}
+
+// FramePair builds a reference frame and a current frame that is the
+// reference shifted by (dx, dy) with mild noise — full-search motion
+// estimation recovers the shift.
+func FramePair(seed uint64, w, h, dx, dy int) (cur, ref []byte) {
+	ref = SmoothImage(seed, w, h)
+	rnd := NewRand(seed + 99)
+	cur = make([]byte, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			sx, sy := x+dx, y+dy
+			if sx < 0 {
+				sx = 0
+			}
+			if sx >= w {
+				sx = w - 1
+			}
+			if sy < 0 {
+				sy = 0
+			}
+			if sy >= h {
+				sy = h - 1
+			}
+			v := int(ref[sy*w+sx]) + rnd.Intn(5) - 2
+			cur[y*w+x] = clamp(v)
+		}
+	}
+	return cur, ref
+}
+
+// Speech builds an n-sample speech-like waveform: a few harmonics with a
+// pitch period (so LTP finds genuine long-term correlation) plus noise.
+// Amplitude stays under 4096 so all fixed-point kernels are exact.
+func Speech(seed uint64, n int) []int16 {
+	r := NewRand(seed)
+	pitch := 60 + r.Intn(40) // samples per pitch period
+	out := make([]int16, n)
+	for i := 0; i < n; i++ {
+		t := float64(i)
+		v := 1800*math.Sin(2*math.Pi*t/float64(pitch)) +
+			700*math.Sin(4*math.Pi*t/float64(pitch)+0.7) +
+			300*math.Sin(6*math.Pi*t/float64(pitch)+1.9)
+		v += float64(r.Intn(201) - 100)
+		if v > 4000 {
+			v = 4000
+		}
+		if v < -4000 {
+			v = -4000
+		}
+		out[i] = int16(v)
+	}
+	return out
+}
+
+// Stream builds n 16-bit words of pseudo-random "bitstream" for the
+// decoder front ends.
+func Stream(seed uint64, n int) []uint16 {
+	r := NewRand(seed)
+	out := make([]uint16, n)
+	for i := range out {
+		out[i] = uint16(r.Uint64())
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package media
+
+import "testing"
+
+func TestRandDeterministic(t *testing.T) {
+	a := NewRand(42)
+	b := NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must produce the same stream")
+		}
+	}
+	if NewRand(1).Uint64() == NewRand(2).Uint64() {
+		t.Error("different seeds should diverge immediately")
+	}
+}
+
+func TestRandZeroSeed(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed must be remapped, not stuck at zero")
+	}
+}
+
+func TestIntnInRange(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+	}
+}
+
+func TestBytesLength(t *testing.T) {
+	if got := len(NewRand(3).Bytes(123)); got != 123 {
+		t.Errorf("Bytes(123) returned %d bytes", got)
+	}
+}
+
+func TestSmoothImageProperties(t *testing.T) {
+	img := SmoothImage(5, 64, 48)
+	if len(img) != 64*48 {
+		t.Fatalf("size %d", len(img))
+	}
+	// Smoothness: neighboring pixels differ much less than random bytes
+	// would (expected ~85 for uniform noise).
+	var diff, n int64
+	for y := 0; y < 48; y++ {
+		for x := 1; x < 64; x++ {
+			d := int64(img[y*64+x]) - int64(img[y*64+x-1])
+			if d < 0 {
+				d = -d
+			}
+			diff += d
+			n++
+		}
+	}
+	if avg := diff / n; avg > 25 {
+		t.Errorf("average horizontal gradient %d: not smooth", avg)
+	}
+	// Determinism.
+	img2 := SmoothImage(5, 64, 48)
+	for i := range img {
+		if img[i] != img2[i] {
+			t.Fatal("SmoothImage must be deterministic")
+		}
+	}
+}
+
+func TestRGBImageCorrelated(t *testing.T) {
+	r, g, b := RGBImage(7, 32, 32)
+	if len(r) != 1024 || len(g) != 1024 || len(b) != 1024 {
+		t.Fatal("plane sizes wrong")
+	}
+	// Channels come from the same base image: they should correlate.
+	var diff int64
+	for i := range r {
+		d := int64(r[i]) - int64(g[i])
+		if d < 0 {
+			d = -d
+		}
+		diff += d
+	}
+	if avg := diff / int64(len(r)); avg > 40 {
+		t.Errorf("R and G differ by %d on average: not correlated", avg)
+	}
+}
+
+func TestFramePairMotionRecoverable(t *testing.T) {
+	cur, ref := FramePair(11, 64, 48, -3, 2)
+	// SAD at the true displacement must be far lower than at zero.
+	sad := func(dx, dy int) int64 {
+		var s int64
+		for y := 16; y < 32; y++ {
+			for x := 16; x < 32; x++ {
+				d := int64(cur[y*64+x]) - int64(ref[(y+dy)*64+x+dx])
+				if d < 0 {
+					d = -d
+				}
+				s += d
+			}
+		}
+		return s
+	}
+	atTrue := sad(-3, 2)
+	atZero := sad(0, 0)
+	if atTrue*4 > atZero {
+		t.Errorf("SAD at true motion (%d) not clearly below zero-motion (%d)", atTrue, atZero)
+	}
+}
+
+func TestSpeechProperties(t *testing.T) {
+	s := Speech(13, 320)
+	if len(s) != 320 {
+		t.Fatal("length wrong")
+	}
+	var maxAbs int
+	var energy int64
+	for _, v := range s {
+		a := int(v)
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+		energy += int64(v) * int64(v)
+	}
+	if maxAbs > 4096 {
+		t.Errorf("amplitude %d exceeds the fixed-point budget", maxAbs)
+	}
+	if energy == 0 {
+		t.Error("silent signal")
+	}
+	// Periodicity: autocorrelation at some lag in 60..100 should be a
+	// large fraction of the energy.
+	best := int64(0)
+	for lag := 40; lag <= 120; lag++ {
+		var c int64
+		for i := lag; i < len(s); i++ {
+			c += int64(s[i]) * int64(s[i-lag])
+		}
+		if c > best {
+			best = c
+		}
+	}
+	if best*2 < energy/2 {
+		t.Errorf("no long-term correlation: best=%d energy=%d", best, energy)
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	a := Stream(3, 50)
+	b := Stream(3, 50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Stream must be deterministic")
+		}
+	}
+	if len(a) != 50 {
+		t.Fatal("length wrong")
+	}
+}

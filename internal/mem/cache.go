@@ -1,0 +1,165 @@
+// Package mem models the memory hierarchy of the Vector-µSIMD-VLIW
+// architecture: a per-configuration L1 data cache for scalar and µSIMD
+// accesses, the two-bank interleaved 256KB L2 vector cache with a wide
+// (4x64-bit) port serving stride-one vector requests at full rate and any
+// other stride at one element per cycle, a 1MB L3, and 500-cycle main
+// memory. Vector accesses bypass the L1 and go directly to the L2; an
+// exclusive-bit-plus-inclusion protocol keeps the two coherent.
+//
+// The package models timing only: functional data lives in the
+// simulator's flat memory (internal/sim). Timing and function are
+// decoupled exactly as in trace-driven simulators.
+package mem
+
+// Cache is a set-associative write-back, write-allocate cache with LRU
+// replacement. It tracks tags only (timing model).
+type Cache struct {
+	lineSize int
+	sets     int
+	ways     int
+	tags     []int64 // [set*ways + way]
+	valid    []bool
+	dirty    []bool
+	stamp    []int64
+	tick     int64
+
+	Hits   int64
+	Misses int64
+}
+
+// NewCache builds a cache of the given total size, associativity and line
+// size (all powers of two).
+func NewCache(bytes, ways, line int) *Cache {
+	sets := bytes / (ways * line)
+	if sets < 1 {
+		sets = 1
+	}
+	n := sets * ways
+	return &Cache{
+		lineSize: line,
+		sets:     sets,
+		ways:     ways,
+		tags:     make([]int64, n),
+		valid:    make([]bool, n),
+		dirty:    make([]bool, n),
+		stamp:    make([]int64, n),
+	}
+}
+
+// LineBase returns the base address of the line containing addr.
+func (c *Cache) LineBase(addr int64) int64 {
+	return addr &^ int64(c.lineSize-1)
+}
+
+// LineSize returns the cache's line size in bytes.
+func (c *Cache) LineSize() int { return c.lineSize }
+
+func (c *Cache) index(addr int64) (set int, tag int64) {
+	line := addr / int64(c.lineSize)
+	return int(line % int64(c.sets)), line / int64(c.sets)
+}
+
+// Lookup probes the cache. On a hit it updates LRU state, marks the line
+// dirty if write is set, and returns true; on a miss it returns false
+// (the caller decides whether to Fill).
+func (c *Cache) Lookup(addr int64, write bool) bool {
+	set, tag := c.index(addr)
+	c.tick++
+	for w := 0; w < c.ways; w++ {
+		i := set*c.ways + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.stamp[i] = c.tick
+			if write {
+				c.dirty[i] = true
+			}
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+// Probe reports presence and dirtiness without touching LRU or counters.
+func (c *Cache) Probe(addr int64) (present, dirty bool) {
+	set, tag := c.index(addr)
+	for w := 0; w < c.ways; w++ {
+		i := set*c.ways + w
+		if c.valid[i] && c.tags[i] == tag {
+			return true, c.dirty[i]
+		}
+	}
+	return false, false
+}
+
+// Fill installs the line containing addr, evicting the LRU way. It
+// returns the victim's base address and dirtiness (victimValid false if
+// the way was empty). The new line is installed clean; call Lookup with
+// write=true afterwards for a write allocation.
+func (c *Cache) Fill(addr int64) (victimBase int64, victimValid, victimDirty bool) {
+	set, tag := c.index(addr)
+	c.tick++
+	lru, lruStamp := -1, int64(1<<62)
+	for w := 0; w < c.ways; w++ {
+		i := set*c.ways + w
+		if !c.valid[i] {
+			lru = i
+			lruStamp = -1
+			break
+		}
+		if c.stamp[i] < lruStamp {
+			lru, lruStamp = i, c.stamp[i]
+		}
+	}
+	i := lru
+	if c.valid[i] {
+		victimValid = true
+		victimDirty = c.dirty[i]
+		victimBase = (c.tags[i]*int64(c.sets) + int64(set)) * int64(c.lineSize)
+	}
+	c.tags[i] = tag
+	c.valid[i] = true
+	c.dirty[i] = false
+	c.stamp[i] = c.tick
+	return victimBase, victimValid, victimDirty
+}
+
+// Invalidate removes the line containing addr if present, returning its
+// previous presence and dirtiness.
+func (c *Cache) Invalidate(addr int64) (present, dirty bool) {
+	set, tag := c.index(addr)
+	for w := 0; w < c.ways; w++ {
+		i := set*c.ways + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.valid[i] = false
+			d := c.dirty[i]
+			c.dirty[i] = false
+			return true, d
+		}
+	}
+	return false, false
+}
+
+// MarkDirty sets the dirty bit of the line containing addr if present.
+func (c *Cache) MarkDirty(addr int64) {
+	set, tag := c.index(addr)
+	for w := 0; w < c.ways; w++ {
+		i := set*c.ways + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.dirty[i] = true
+			return
+		}
+	}
+}
+
+// Reset clears all cache state and counters.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.dirty[i] = false
+		c.stamp[i] = 0
+	}
+	c.tick = 0
+	c.Hits = 0
+	c.Misses = 0
+}

@@ -1,0 +1,264 @@
+package mem
+
+import "vsimdvliw/internal/machine"
+
+// Model is the timing interface the simulator drives. Both the realistic
+// Hierarchy and the Perfect model implement it. Returned values are the
+// access's total service latency in cycles; the simulator stalls the
+// machine for the difference between this and the statically scheduled
+// latency.
+type Model interface {
+	// ScalarAccess services a scalar or µSIMD access of the given size
+	// through the L1.
+	ScalarAccess(addr int64, size int, write bool) int
+	// VectorAccess services a vector access of vl 64-bit words whose
+	// consecutive words are stride bytes apart, through the L2 vector
+	// cache (bypassing the L1).
+	VectorAccess(base, stride int64, vl int, write bool) int
+	// Reset clears all state and statistics.
+	Reset()
+}
+
+// Stats aggregates hierarchy event counters.
+type Stats struct {
+	L1Hits, L1Misses int64
+	L2Hits, L2Misses int64
+	L3Hits, L3Misses int64
+	// CoherencyFlushes counts dirty L1 lines written back (and
+	// invalidated, per the exclusive-bit policy) because a vector access
+	// touched them.
+	CoherencyFlushes int64
+	// StridedVectorAccesses counts vector accesses served at one element
+	// per cycle because their stride was not one.
+	StridedVectorAccesses int64
+	UnitVectorAccesses    int64
+	// Prefetches counts next-line prefetch fills issued by the L2.
+	Prefetches int64
+}
+
+// Options selects memory-model variations for ablation studies (the
+// paper's conclusion calls for improving the memory hierarchy; these
+// knobs quantify its individual mechanisms).
+type Options struct {
+	// NoPrefetch disables the tagged next-line prefetcher, so every cold
+	// line of a stream pays the full memory latency.
+	NoPrefetch bool
+	// NoWriteValidate makes stride-one vector stores fetch missing lines
+	// (classic write-allocate) instead of installing them directly.
+	NoWriteValidate bool
+	// StridedWordsPerCycle is the element rate of non-unit-stride vector
+	// accesses. The paper's two-bank cache serves them at 1 (the default);
+	// a fully conflict-free banked cache — the "improved memory
+	// hierarchy" the conclusion asks for — would approach the port width.
+	StridedWordsPerCycle int
+}
+
+// Hierarchy is the realistic three-level memory system.
+type Hierarchy struct {
+	cfg  *machine.Config
+	opts Options
+	l1   *Cache
+	l2   *Cache // the two-bank interleaved vector cache
+	l3   *Cache
+	st   Stats
+}
+
+// NewHierarchy builds the hierarchy described by cfg with default options.
+func NewHierarchy(cfg *machine.Config) *Hierarchy {
+	return NewHierarchyOpts(cfg, Options{})
+}
+
+// NewHierarchyOpts builds the hierarchy with ablation options.
+func NewHierarchyOpts(cfg *machine.Config, opts Options) *Hierarchy {
+	if opts.StridedWordsPerCycle < 1 {
+		opts.StridedWordsPerCycle = 1
+	}
+	return &Hierarchy{
+		cfg:  cfg,
+		opts: opts,
+		l1:   NewCache(cfg.L1Bytes, cfg.L1Ways, cfg.L1Line),
+		l2:   NewCache(cfg.L2Bytes, cfg.L2Ways, cfg.L2Line),
+		l3:   NewCache(cfg.L3Bytes, cfg.L3Ways, cfg.L3Line),
+	}
+}
+
+// Stats returns a snapshot of the event counters.
+func (h *Hierarchy) Stats() Stats {
+	s := h.st
+	s.L1Hits, s.L1Misses = h.l1.Hits, h.l1.Misses
+	s.L2Hits, s.L2Misses = h.l2.Hits, h.l2.Misses
+	s.L3Hits, s.L3Misses = h.l3.Hits, h.l3.Misses
+	return s
+}
+
+// Reset implements Model.
+func (h *Hierarchy) Reset() {
+	h.l1.Reset()
+	h.l2.Reset()
+	h.l3.Reset()
+	h.st = Stats{}
+}
+
+// fillL2 ensures the line containing addr is in the L2 (filling from L3 or
+// memory as needed) and returns the latency contributed beyond the L2
+// access itself: 0 on an L2 hit. A simple next-line prefetcher runs on
+// every fill, so sequential streams pay the full memory latency only for
+// the first line — without it the in-order, stall-on-miss machine would
+// serialize hundreds of cycles per line on streaming code.
+func (h *Hierarchy) fillL2(addr int64) int {
+	// Tagged next-line prefetch: every L2 access (hit or miss) pulls the
+	// following line in at no cost, so streams pay the memory latency
+	// only on their first line.
+	if !h.opts.NoPrefetch {
+		defer h.prefetch(h.l2.LineBase(addr) + int64(h.l2.LineSize()))
+	}
+	if h.l2.Lookup(addr, false) {
+		return 0
+	}
+	lat := 0
+	if h.l3.Lookup(addr, false) {
+		lat = h.cfg.LatL3
+	} else {
+		lat = h.cfg.LatMem
+		h.l3.Fill(addr) // write-back of the victim is hidden behind the fill
+	}
+	h.installL2(addr)
+	return lat
+}
+
+// prefetch installs a line into the L2 (and L3) if absent, without
+// charging latency.
+func (h *Hierarchy) prefetch(line int64) {
+	if present, _ := h.l2.Probe(line); present {
+		return
+	}
+	if p3, _ := h.l3.Probe(line); !p3 {
+		h.l3.Fill(line)
+	}
+	h.installL2(line)
+	h.st.Prefetches++
+}
+
+// installL2 fills a line into the L2, pushing a dirty victim down to the
+// L3 (inclusion) without perturbing the hit/miss counters.
+func (h *Hierarchy) installL2(addr int64) {
+	if base, ok, dirty := h.l2.Fill(addr); ok && dirty {
+		if present, _ := h.l3.Probe(base); !present {
+			h.l3.Fill(base)
+		}
+		h.l3.MarkDirty(base)
+	}
+}
+
+// ScalarAccess implements Model: L1 first, then L2/L3/memory, inclusive
+// fills along the way.
+func (h *Hierarchy) ScalarAccess(addr int64, size int, write bool) int {
+	if h.l1.Lookup(addr, write) {
+		return h.cfg.LatL1
+	}
+	lat := h.cfg.LatL2 + h.fillL2(addr)
+	if base, ok, dirty := h.l1.Fill(addr); ok && dirty {
+		// Write the victim back into the L2 (it is there by inclusion).
+		h.l2.MarkDirty(base)
+	}
+	if write {
+		h.l1.MarkDirty(addr) // write allocation
+	}
+	return lat
+}
+
+// VectorAccess implements Model. The compiler schedules every vector
+// memory operation as a stride-one L2 hit; the run-time difference is the
+// stall the simulator charges:
+//
+//   - stride one (8 bytes between words): the two banks deliver two whole
+//     lines per access, B words per cycle;
+//   - any other stride: one element per cycle;
+//   - L2 misses add the L3/memory fill latency per missing line;
+//   - dirty L1 lines covering the accessed words are flushed to the L2
+//     and invalidated (exclusive bit + inclusion), costing one L1-flush
+//     penalty each.
+func (h *Hierarchy) VectorAccess(base, stride int64, vl int, write bool) int {
+	lat := h.cfg.LatL2
+	unit := stride == 8
+	if unit {
+		h.st.UnitVectorAccesses++
+		lat += (vl - 1) / h.cfg.L2PortWords
+	} else {
+		h.st.StridedVectorAccesses++
+		lat += (vl - 1) / h.opts.StridedWordsPerCycle
+	}
+
+	// Visit each distinct line the access touches.
+	lastLine := int64(-1)
+	for i := 0; i < vl; i++ {
+		addr := base + int64(i)*stride
+		line := h.l2.LineBase(addr)
+		endLine := h.l2.LineBase(addr + 7)
+		for l := line; l <= endLine; l += int64(h.l2.LineSize()) {
+			if l == lastLine {
+				continue
+			}
+			lastLine = l
+			// Coherency probe: flush dirty L1 copies; a vector store also
+			// invalidates clean copies (exclusive-bit policy).
+			if present, dirty := h.l1.Probe(l); present {
+				if dirty {
+					h.l1.Invalidate(l)
+					h.l2.MarkDirty(l)
+					h.st.CoherencyFlushes++
+					lat += h.cfg.LatL1 + 1
+				} else if write {
+					h.l1.Invalidate(l)
+				}
+			}
+			if write && unit && !h.opts.NoWriteValidate {
+				// Write-validate: a stride-one vector store covers whole
+				// lines through the wide port, so a missing line is
+				// installed without fetching it from below.
+				if !h.l2.Lookup(l, true) {
+					if base, ok, dirty := h.l2.Fill(l); ok && dirty {
+						if present, _ := h.l3.Probe(base); !present {
+							h.l3.Fill(base)
+						}
+						h.l3.MarkDirty(base)
+					}
+					h.l2.MarkDirty(l)
+				}
+			} else {
+				lat += h.fillL2(l)
+				if write {
+					h.l2.MarkDirty(l)
+				}
+			}
+		}
+	}
+	return lat
+}
+
+var _ Model = (*Hierarchy)(nil)
+
+// Perfect is the paper's perfect-memory model (Figure 5a): every access
+// hits in its cache with the corresponding latency, and vector accesses
+// are served at the full port rate regardless of stride.
+type Perfect struct {
+	cfg *machine.Config
+}
+
+// NewPerfect builds a perfect-memory model for cfg.
+func NewPerfect(cfg *machine.Config) *Perfect { return &Perfect{cfg: cfg} }
+
+// ScalarAccess implements Model: always an L1 hit.
+func (p *Perfect) ScalarAccess(addr int64, size int, write bool) int {
+	return p.cfg.LatL1
+}
+
+// VectorAccess implements Model: always a full-rate L2 hit.
+func (p *Perfect) VectorAccess(base, stride int64, vl int, write bool) int {
+	return p.cfg.LatL2 + (vl-1)/p.cfg.L2PortWords
+}
+
+// Reset implements Model.
+func (p *Perfect) Reset() {}
+
+var _ Model = (*Perfect)(nil)

@@ -1,0 +1,279 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vsimdvliw/internal/machine"
+)
+
+func TestCacheBasics(t *testing.T) {
+	c := NewCache(1024, 2, 64) // 8 sets
+	if c.Lookup(0, false) {
+		t.Fatal("cold cache must miss")
+	}
+	c.Fill(0)
+	if !c.Lookup(0, false) {
+		t.Fatal("line must hit after fill")
+	}
+	if !c.Lookup(63, false) {
+		t.Fatal("same line must hit")
+	}
+	if c.Lookup(64, false) {
+		t.Fatal("next line must miss")
+	}
+	if c.Hits != 2 || c.Misses != 2 {
+		t.Errorf("hits/misses = %d/%d, want 2/2", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(128, 2, 64) // a single set, two ways
+	c.Fill(0)
+	c.Fill(1 * 128) // second way (addresses 128 apart map to set 0)
+	c.Lookup(0, false)
+	// Filling a third line must evict the LRU line (128, not 0).
+	base, ok, _ := c.Fill(2 * 128)
+	if !ok || base != 128 {
+		t.Errorf("victim = %#x (valid=%v), want 0x80", base, ok)
+	}
+	if !c.Lookup(0, false) {
+		t.Error("recently used line evicted")
+	}
+	if c.Lookup(128, false) {
+		t.Error("LRU line still present")
+	}
+}
+
+func TestCacheDirtyWriteback(t *testing.T) {
+	c := NewCache(128, 1, 64) // direct-mapped, 2 sets
+	c.Fill(0)
+	c.Lookup(0, true) // dirty it
+	base, ok, dirty := c.Fill(128)
+	if !ok || !dirty || base != 0 {
+		t.Errorf("victim base=%#x valid=%v dirty=%v, want 0 true true", base, ok, dirty)
+	}
+	// New line installed clean.
+	if _, d := c.Probe(128); d {
+		t.Error("fresh line must be clean")
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache(1024, 4, 64)
+	c.Fill(320)
+	c.Lookup(320, true)
+	present, dirty := c.Invalidate(320)
+	if !present || !dirty {
+		t.Errorf("invalidate: present=%v dirty=%v", present, dirty)
+	}
+	if p, _ := c.Probe(320); p {
+		t.Error("line still present after invalidate")
+	}
+	if p, _ := c.Invalidate(320); p {
+		t.Error("second invalidate must report absent")
+	}
+}
+
+func TestCacheMarkDirtyAndReset(t *testing.T) {
+	c := NewCache(1024, 4, 64)
+	c.MarkDirty(0) // absent: no-op
+	c.Fill(0)
+	c.MarkDirty(0)
+	if _, d := c.Probe(0); !d {
+		t.Error("MarkDirty failed")
+	}
+	c.Reset()
+	if p, _ := c.Probe(0); p {
+		t.Error("Reset must clear contents")
+	}
+	if c.Hits != 0 || c.Misses != 0 {
+		t.Error("Reset must clear counters")
+	}
+}
+
+func TestPropCacheFillThenHit(t *testing.T) {
+	c := NewCache(16<<10, 4, 64)
+	f := func(raw uint32) bool {
+		addr := int64(raw % (1 << 22))
+		c.Fill(addr)
+		return c.Lookup(addr, false)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHierarchyScalarLatencies(t *testing.T) {
+	cfg := &machine.USIMD2
+	h := NewHierarchy(cfg)
+	// Cold: miss everywhere -> memory latency dominates.
+	lat := h.ScalarAccess(0x10000, 8, false)
+	if lat < cfg.LatMem {
+		t.Errorf("cold access latency %d, want >= %d", lat, cfg.LatMem)
+	}
+	// Now an L1 hit.
+	if lat := h.ScalarAccess(0x10000, 8, false); lat != cfg.LatL1 {
+		t.Errorf("L1 hit latency %d, want %d", lat, cfg.LatL1)
+	}
+	// Same line, different word: still a hit.
+	if lat := h.ScalarAccess(0x10008, 8, true); lat != cfg.LatL1 {
+		t.Errorf("L1 hit latency %d, want %d", lat, cfg.LatL1)
+	}
+	st := h.Stats()
+	if st.L1Hits != 2 || st.L1Misses != 1 {
+		t.Errorf("L1 hits/misses = %d/%d", st.L1Hits, st.L1Misses)
+	}
+}
+
+func TestHierarchyL2ServesSecondMiss(t *testing.T) {
+	cfg := &machine.USIMD2
+	h := NewHierarchy(cfg)
+	h.ScalarAccess(0x10000, 8, false) // cold fill of L1+L2+L3
+	// Evict from tiny L1 by touching many conflicting lines? Instead,
+	// access another address mapping to the same L1 set: L1 is 16KB 4-way
+	// 64B lines -> 64 sets -> addresses 4KB apart share a set.
+	for i := 1; i <= 4; i++ {
+		h.ScalarAccess(int64(0x10000+i*4096), 8, false)
+	}
+	// 0x10000 has been evicted from L1 but still sits in L2.
+	lat := h.ScalarAccess(0x10000, 8, false)
+	if lat != cfg.LatL2 {
+		t.Errorf("L2 hit latency %d, want %d", lat, cfg.LatL2)
+	}
+}
+
+func TestVectorUnitStrideLatency(t *testing.T) {
+	cfg := &machine.Vector2x2
+	h := NewHierarchy(cfg)
+	// Warm the L2 with a first access.
+	h.VectorAccess(0x10000, 8, 16, false)
+	// Unit-stride hit: 5 + (16-1)/4 = 8 cycles.
+	lat := h.VectorAccess(0x10000, 8, 16, false)
+	want := cfg.LatL2 + 15/cfg.L2PortWords
+	if lat != want {
+		t.Errorf("unit-stride hit latency %d, want %d", lat, want)
+	}
+	st := h.Stats()
+	if st.UnitVectorAccesses != 2 {
+		t.Errorf("unit accesses = %d", st.UnitVectorAccesses)
+	}
+}
+
+func TestVectorNonUnitStridePenalty(t *testing.T) {
+	cfg := &machine.Vector2x2
+	h := NewHierarchy(cfg)
+	stride := int64(256)
+	// Warm all touched lines.
+	h.VectorAccess(0x10000, stride, 8, false)
+	lat := h.VectorAccess(0x10000, stride, 8, false)
+	want := cfg.LatL2 + 7 // one element per cycle
+	if lat != want {
+		t.Errorf("strided hit latency %d, want %d", lat, want)
+	}
+	if st := h.Stats(); st.StridedVectorAccesses != 2 {
+		t.Errorf("strided accesses = %d", st.StridedVectorAccesses)
+	}
+}
+
+func TestVectorBypassesL1(t *testing.T) {
+	cfg := &machine.Vector2x2
+	h := NewHierarchy(cfg)
+	h.VectorAccess(0x10000, 8, 16, false)
+	st := h.Stats()
+	if st.L1Hits != 0 || st.L1Misses != 0 {
+		t.Error("vector access must not touch the L1")
+	}
+	if st.L2Misses == 0 {
+		t.Error("cold vector access must miss in L2")
+	}
+}
+
+func TestCoherencyFlushOnVectorAccess(t *testing.T) {
+	cfg := &machine.Vector2x2
+	h := NewHierarchy(cfg)
+	// Scalar write dirties an L1 line.
+	h.ScalarAccess(0x10000, 8, true)
+	// A vector load covering that line must flush it and pay a penalty.
+	clean := NewHierarchy(cfg)
+	clean.ScalarAccess(0x10000, 8, false) // same footprint, clean line
+	latDirty := h.VectorAccess(0x10000, 8, 16, false)
+	latClean := clean.VectorAccess(0x10000, 8, 16, false)
+	if latDirty <= latClean {
+		t.Errorf("dirty-line flush not charged: dirty=%d clean=%d", latDirty, latClean)
+	}
+	if st := h.Stats(); st.CoherencyFlushes != 1 {
+		t.Errorf("flushes = %d, want 1", st.CoherencyFlushes)
+	}
+	// The dirty copy is gone from L1 (exclusive policy): next scalar read
+	// misses in L1 and is served by the L2.
+	if lat := h.ScalarAccess(0x10000, 8, false); lat != cfg.LatL2 {
+		t.Errorf("post-flush scalar latency %d, want L2 %d", lat, cfg.LatL2)
+	}
+}
+
+func TestVectorStoreInvalidatesCleanL1(t *testing.T) {
+	cfg := &machine.Vector2x2
+	h := NewHierarchy(cfg)
+	h.ScalarAccess(0x10000, 8, false) // clean L1 copy
+	h.VectorAccess(0x10000, 8, 8, true)
+	// Exclusive bit: the L1 copy is invalidated by the vector store.
+	if lat := h.ScalarAccess(0x10000, 8, false); lat == cfg.LatL1 {
+		t.Error("clean L1 copy must be invalidated by a vector store")
+	}
+}
+
+func TestVectorMissPenalty(t *testing.T) {
+	cfg := &machine.Vector2x2
+	h := NewHierarchy(cfg)
+	cold := h.VectorAccess(0x40000, 8, 16, false)
+	warm := h.VectorAccess(0x40000, 8, 16, false)
+	if cold <= warm {
+		t.Errorf("cold %d must exceed warm %d", cold, warm)
+	}
+	if cold < cfg.LatMem {
+		t.Errorf("cold vector access %d must include a memory fill (%d)", cold, cfg.LatMem)
+	}
+}
+
+func TestHierarchyReset(t *testing.T) {
+	h := NewHierarchy(&machine.Vector2x2)
+	h.ScalarAccess(0, 8, true)
+	h.VectorAccess(0x1000, 8, 8, false)
+	h.Reset()
+	st := h.Stats()
+	if st != (Stats{}) {
+		t.Errorf("stats after reset: %+v", st)
+	}
+}
+
+func TestPerfectModel(t *testing.T) {
+	cfg := &machine.Vector2x2
+	p := NewPerfect(cfg)
+	if lat := p.ScalarAccess(0x999999, 8, true); lat != cfg.LatL1 {
+		t.Errorf("perfect scalar latency %d, want %d", lat, cfg.LatL1)
+	}
+	// Perfect memory serves any stride at full port rate.
+	unit := p.VectorAccess(0, 8, 16, false)
+	strided := p.VectorAccess(0, 640, 16, false)
+	if unit != strided {
+		t.Errorf("perfect memory must ignore stride: %d vs %d", unit, strided)
+	}
+	if want := cfg.LatL2 + 15/cfg.L2PortWords; unit != want {
+		t.Errorf("perfect vector latency %d, want %d", unit, want)
+	}
+	p.Reset() // must not panic
+}
+
+func TestPerfectMatchesScheduledLatency(t *testing.T) {
+	// The scheduler's Tlw for a stride-one vector memory op must equal the
+	// perfect-memory service latency — so perfect memory never stalls.
+	cfg := &machine.Vector2x4
+	p := NewPerfect(cfg)
+	for vl := 1; vl <= 16; vl++ {
+		schedTlw := cfg.LatL2 + (vl-1)/cfg.L2PortWords
+		if lat := p.VectorAccess(0, 8, vl, false); lat != schedTlw {
+			t.Errorf("VL=%d: perfect latency %d != scheduled %d", vl, lat, schedTlw)
+		}
+	}
+}

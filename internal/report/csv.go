@@ -1,0 +1,56 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/sim"
+)
+
+// WriteCSV dumps the raw evaluation matrix — one row per (application,
+// configuration, memory model) with cycles, stalls, operation counts and
+// the per-region breakdown — for downstream plotting of the paper's
+// figures with external tools.
+func (m *Matrix) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"app", "config", "isa", "issue", "memory",
+		"cycles", "stall_cycles", "ops", "micro_ops",
+		"l1_hits", "l1_misses", "l2_hits", "l2_misses", "flushes", "strided_accesses"}
+	for r := 0; r < sim.MaxRegions; r++ {
+		header = append(header,
+			fmt.Sprintf("r%d_cycles", r), fmt.Sprintf("r%d_ops", r),
+			fmt.Sprintf("r%d_micro_ops", r), fmt.Sprintf("r%d_stalls", r))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	memName := map[core.MemoryModel]string{core.Perfect: "perfect", core.Realistic: "realistic"}
+	for _, a := range m.Apps {
+		for _, cfg := range machine.All() {
+			for _, mm := range []core.MemoryModel{core.Perfect, core.Realistic} {
+				res := m.Get(a.Name, cfg.Name, mm)
+				row := []string{
+					a.Name, cfg.Name, cfg.ISA.String(), fmt.Sprint(cfg.Issue), memName[mm],
+					fmt.Sprint(res.Cycles), fmt.Sprint(res.StallCycles),
+					fmt.Sprint(res.Ops), fmt.Sprint(res.MicroOps),
+					fmt.Sprint(res.Mem.L1Hits), fmt.Sprint(res.Mem.L1Misses),
+					fmt.Sprint(res.Mem.L2Hits), fmt.Sprint(res.Mem.L2Misses),
+					fmt.Sprint(res.Mem.CoherencyFlushes), fmt.Sprint(res.Mem.StridedVectorAccesses),
+				}
+				for r := 0; r < sim.MaxRegions; r++ {
+					reg := res.Regions[r]
+					row = append(row, fmt.Sprint(reg.Cycles), fmt.Sprint(reg.Ops),
+						fmt.Sprint(reg.MicroOps), fmt.Sprint(reg.StallCycles))
+				}
+				if err := cw.Write(row); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,315 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/energy"
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/sched"
+	"vsimdvliw/internal/simd"
+)
+
+// Table1 reports the vector regions of each benchmark and the percentage
+// of execution time they represent on the 2-issue µSIMD-VLIW machine
+// (realistic memory), like the paper's Table 1.
+func (m *Matrix) Table1() string {
+	t := &table{header: []string{"Benchmark", "%Vect", "Vector Regions"}}
+	for _, a := range m.Apps {
+		r := m.Get(a.Name, machine.USIMD2.Name, core.Realistic)
+		t.add(a.Name, pct(ratio(r.VectorCycles(), r.Cycles)), strings.Join(a.Regions, ", "))
+	}
+	return "Table 1: vector regions (2-issue µSIMD-VLIW, realistic memory)\n" + t.String()
+}
+
+// Figure1 reports the scalability of the scalar regions, vector regions
+// and complete applications on the 2/4/8-issue µSIMD-VLIW machines,
+// relative to the 2-issue machine (realistic memory).
+func (m *Matrix) Figure1() string {
+	cfgs := []*machine.Config{&machine.USIMD2, &machine.USIMD4, &machine.USIMD8}
+	t := &table{header: []string{"Benchmark",
+		"scal 2w", "scal 4w", "scal 8w",
+		"vect 2w", "vect 4w", "vect 8w",
+		"app 2w", "app 4w", "app 8w"}}
+	var scal, vect, app [3][]float64
+	for _, a := range m.Apps {
+		base := m.Get(a.Name, machine.USIMD2.Name, core.Realistic)
+		row := []string{a.Name}
+		var cells [3][3]float64
+		for i, cfg := range cfgs {
+			r := m.Get(a.Name, cfg.Name, core.Realistic)
+			cells[0][i] = ratio(scalarCycles(base), scalarCycles(r))
+			cells[1][i] = ratio(base.VectorCycles(), r.VectorCycles())
+			cells[2][i] = ratio(base.Cycles, r.Cycles)
+		}
+		for g := 0; g < 3; g++ {
+			for i := 0; i < 3; i++ {
+				row = append(row, f2(cells[g][i]))
+			}
+		}
+		for i := 0; i < 3; i++ {
+			scal[i] = append(scal[i], cells[0][i])
+			vect[i] = append(vect[i], cells[1][i])
+			app[i] = append(app[i], cells[2][i])
+		}
+		t.add(row...)
+	}
+	avg := []string{"AVERAGE"}
+	for _, g := range [][3][]float64{{scal[0], scal[1], scal[2]}, {vect[0], vect[1], vect[2]}, {app[0], app[1], app[2]}} {
+		for i := 0; i < 3; i++ {
+			avg = append(avg, f2(mean(g[i])))
+		}
+	}
+	t.add(avg...)
+	return "Figure 1: µSIMD-VLIW scalability over 2-issue (speed-up; realistic memory)\n" + t.String()
+}
+
+// Table2 prints the ten processor configurations.
+func (m *Matrix) Table2() string {
+	t := &table{header: []string{"Config", "ISA", "Issue", "IntRegs", "SIMD/VecRegs",
+		"AccRegs", "IntU", "SIMDU", "VecU(xLanes)", "L1ports", "L2ports(xWords)"}}
+	for _, c := range machine.All() {
+		vec := "-"
+		if c.VectorUnits > 0 {
+			vec = fmt.Sprintf("%dx%d", c.VectorUnits, c.Lanes)
+		}
+		l2 := "-"
+		if c.L2Ports > 0 {
+			l2 = fmt.Sprintf("%dx%d", c.L2Ports, c.L2PortWords)
+		}
+		t.add(c.Name, c.ISA.String(), fmt.Sprint(c.Issue), fmt.Sprint(c.IntRegs),
+			fmt.Sprint(c.SIMDRegs), fmt.Sprint(c.AccRegs), fmt.Sprint(c.IntUnits),
+			fmt.Sprint(c.SIMDUnits), vec, fmt.Sprint(c.L1Ports), l2)
+	}
+	return "Table 2: processor configurations\n" + t.String()
+}
+
+// Figure3 prints the latency descriptors of representative operations
+// under the vector-length values of the paper's Figure 3 discussion.
+func (m *Matrix) Figure3() string {
+	cfg := &machine.Vector2x2
+	t := &table{header: []string{"Operation", "VL", "L", "Tlr=(VL-1)/LN", "Tlw=L+(VL-1)/LN", "unit busy"}}
+	add := func(name string, op ir.Op, vl int) {
+		in := op.Opcode.Get()
+		rate := cfg.Lanes
+		if op.Opcode.IsVectorMem() {
+			rate = cfg.L2PortWords
+		}
+		occ := 1
+		tlr := 0
+		tlw := in.Lat
+		if in.Vector {
+			occ = (vl + rate - 1) / rate
+			tlr = (vl - 1) / rate
+			tlw = in.Lat + (vl-1)/rate
+		}
+		t.add(name, fmt.Sprint(vl), fmt.Sprint(in.Lat), fmt.Sprint(tlr), fmt.Sprint(tlw), fmt.Sprint(occ))
+	}
+	add("add (scalar)", ir.Op{Opcode: isa.ADD}, 1)
+	for _, vl := range []int{4, 8, 16} {
+		add("vadd.w", ir.Op{Opcode: isa.VADD}, vl)
+	}
+	for _, vl := range []int{4, 8, 16} {
+		add("vld", ir.Op{Opcode: isa.VLD}, vl)
+	}
+	return "Figure 3: latency descriptors (4 lanes, 4-word L2 port)\n" + t.String()
+}
+
+// Figure4 rebuilds the paper's motion-estimation scheduling example (the
+// dist1 sum of absolute differences over an 8x16 block pair) and prints
+// its schedule on the 2-issue Vector2 machine.
+func Figure4() (string, error) {
+	b := ir.NewBuilder("dist1")
+	const lx = 64 // row stride between block rows
+	blk1 := b.Alloc(16 * lx)
+	blk2 := b.Alloc(16 * lx)
+	out := b.Alloc(8)
+
+	emit := func(label string, f func()) {
+		blkRef := b.Block()
+		start := len(blkRef.Ops)
+		f()
+		for i := start; i < len(blkRef.Ops); i++ {
+			blkRef.Ops[i].Label = label
+		}
+	}
+	r1 := b.Const(blk1)
+	r2 := b.Const(blk2)
+	r7 := b.Const(out)
+	emit("VS=lx", func() { b.SetVSI(lx) })
+	emit("VL=8", func() { b.SetVLI(8) })
+	var a1, a2, v1, v2, v3, v4 ir.Reg
+	var r3, r4, r5, r6 ir.Reg
+	emit("(a)", func() { a1 = b.Aclr() })
+	emit("(b)", func() { r3 = b.AddI(r1, 8) })
+	emit("(c)", func() { v1 = b.Vld(r1, 0, 1) })
+	emit("(d)", func() { a2 = b.Aclr() })
+	emit("(e)", func() { r4 = b.AddI(r2, 8) })
+	emit("(g)", func() { v2 = b.Vld(r2, 0, 2) })
+	emit("(i)", func() { v3 = b.Vld(r3, 0, 1) })
+	emit("(j)", func() { v4 = b.Vld(r4, 0, 2) })
+	emit("(k)", func() { b.Vsada(a1, v1, v2) })
+	emit("(m)", func() { b.Vsada(a2, v3, v4) })
+	emit("(n)", func() { r5 = b.Vsum(simd.W8, a1) })
+	emit("(o)", func() { r6 = b.Vsum(simd.W8, a2) })
+	emit("(p)", func() {
+		sum := b.Add(r5, r6)
+		b.Store(isa.STD, sum, r7, 0, 3)
+	})
+	f := b.Func()
+	fs, err := sched.Schedule(f, &machine.Vector2x2)
+	if err != nil {
+		return "", err
+	}
+	return "Figure 4: scheduling of motion estimation (dist1) on the 2-issue Vector2 machine\n" +
+		fs.Blocks[0].Dump(&machine.Vector2x2), nil
+}
+
+// Figure5 reports the vector-region speed-ups of all ten configurations
+// over the 2-issue VLIW machine under the given memory model (Figure 5a:
+// perfect, Figure 5b: realistic).
+func (m *Matrix) Figure5(mem core.MemoryModel) string {
+	return m.speedups(mem, true,
+		fmt.Sprintf("Figure 5%s: speed-up in vector regions (%s memory)",
+			map[core.MemoryModel]string{core.Perfect: "a", core.Realistic: "b"}[mem],
+			map[core.MemoryModel]string{core.Perfect: "perfect", core.Realistic: "realistic"}[mem]))
+}
+
+// Figure6 reports the complete-application speed-ups over the 2-issue
+// VLIW machine (realistic memory).
+func (m *Matrix) Figure6() string {
+	return m.speedups(core.Realistic, false, "Figure 6: speed-up in complete applications (realistic memory)")
+}
+
+func (m *Matrix) speedups(mem core.MemoryModel, vectorOnly bool, title string) string {
+	cfgs := machine.All()
+	header := []string{"Benchmark"}
+	for _, c := range cfgs {
+		header = append(header, c.Name)
+	}
+	t := &table{header: header}
+	sums := make([][]float64, len(cfgs))
+	metric := func(app string, cfg *machine.Config) float64 {
+		base := m.Get(app, machine.VLIW2.Name, mem)
+		r := m.Get(app, cfg.Name, mem)
+		if vectorOnly {
+			return ratio(base.VectorCycles(), r.VectorCycles())
+		}
+		return ratio(base.Cycles, r.Cycles)
+	}
+	for _, a := range m.Apps {
+		row := []string{a.Name}
+		for i, cfg := range cfgs {
+			sp := metric(a.Name, cfg)
+			sums[i] = append(sums[i], sp)
+			row = append(row, f2(sp))
+		}
+		t.add(row...)
+	}
+	avg := []string{"AVERAGE"}
+	for i := range cfgs {
+		avg = append(avg, f2(mean(sums[i])))
+	}
+	t.add(avg...)
+	return title + "\n" + t.String()
+}
+
+// Figure7 reports the dynamic operation count of the µSIMD and vector
+// versions normalized to the scalar (VLIW) version, split by region
+// (R0 = scalar region, R1..R3 = the vector regions of Table 1).
+func (m *Matrix) Figure7() string {
+	type cfgv struct {
+		name string
+		cfg  *machine.Config
+	}
+	versions := []cfgv{
+		{"VLIW", &machine.VLIW2},
+		{"+uSIMD", &machine.USIMD2},
+		{"+Vector", &machine.Vector2x2},
+	}
+	t := &table{header: []string{"Benchmark", "Version", "R0", "R1", "R2", "R3", "Total"}}
+	for _, a := range m.Apps {
+		base := m.Get(a.Name, machine.VLIW2.Name, core.Realistic)
+		for _, ver := range versions {
+			r := m.Get(a.Name, ver.cfg.Name, core.Realistic)
+			row := []string{a.Name, ver.name}
+			for reg := 0; reg < 4; reg++ {
+				row = append(row, f2(ratio(r.Regions[reg].Ops, base.Ops)))
+			}
+			row = append(row, f2(ratio(r.Ops, base.Ops)))
+			t.add(row...)
+		}
+	}
+	return "Figure 7: dynamic operation count normalized to the VLIW version\n" + t.String()
+}
+
+// Table3 reports, for every configuration, the operations and
+// micro-operations per cycle and the speed-ups of the scalar regions, the
+// vector regions and the complete applications, averaged over the six
+// benchmarks (realistic memory) — the paper's Table 3.
+func (m *Matrix) Table3() string {
+	t := &table{header: []string{"Config",
+		"scal OPC", "scal SP",
+		"vect OPC", "vect uOPC", "vect SP",
+		"app OPC", "app uOPC", "app SP"}}
+	for _, cfg := range machine.All() {
+		var sOPC, sSP, vOPC, vUOPC, vSP, aOPC, aUOPC, aSP []float64
+		for _, a := range m.Apps {
+			base := m.Get(a.Name, machine.VLIW2.Name, core.Realistic)
+			r := m.Get(a.Name, cfg.Name, core.Realistic)
+			vo, vm, vc := regionOps(r)
+			_, _, bvc := regionOps(base)
+			sc := scalarCycles(r)
+			sOPC = append(sOPC, ratio(r.Regions[0].Ops, sc))
+			sSP = append(sSP, ratio(scalarCycles(base), sc))
+			vOPC = append(vOPC, ratio(vo, vc))
+			vUOPC = append(vUOPC, ratio(vm, vc))
+			vSP = append(vSP, ratio(bvc, vc))
+			aOPC = append(aOPC, r.OPC())
+			aUOPC = append(aUOPC, r.MicroOPC())
+			aSP = append(aSP, ratio(base.Cycles, r.Cycles))
+		}
+		t.add(cfg.Name, f2(mean(sOPC)), f2(mean(sSP)),
+			f2(mean(vOPC)), f2(mean(vUOPC)), f2(mean(vSP)),
+			f2(mean(aOPC)), f2(mean(aUOPC)), f2(mean(aSP)))
+	}
+	return "Table 3: OPC / µOPC / speed-up averages over the six benchmarks (realistic memory)\n" + t.String()
+}
+
+// EnergyTable estimates, with the first-order model of internal/energy,
+// the energy and energy-delay product of every configuration over the six
+// benchmarks (realistic memory), normalized to the 2-issue VLIW machine.
+// It quantifies the power argument the paper makes qualitatively: the
+// vector configurations do the same micro-op work with far fewer fetched
+// operations and narrower issue logic.
+func (m *Matrix) EnergyTable() string {
+	model := energy.Default()
+	t := &table{header: []string{"Config",
+		"fetch", "exec", "memory", "static", "energy", "EDP", "perf"}}
+	var baseE, baseEDP, baseCyc float64
+	for _, cfg := range machine.All() {
+		var b energy.Breakdown
+		var edp, cyc float64
+		for _, a := range m.Apps {
+			r := m.Get(a.Name, cfg.Name, core.Realistic)
+			e := model.Estimate(r, cfg)
+			b.Fetch += e.Fetch
+			b.Exec += e.Exec
+			b.Memory += e.Memory
+			b.Static += e.Static
+			edp += model.EDP(r, cfg)
+			cyc += float64(r.Cycles)
+		}
+		if cfg.Name == machine.VLIW2.Name {
+			baseE, baseEDP, baseCyc = b.Total(), edp, cyc
+		}
+		t.add(cfg.Name,
+			f2(b.Fetch/baseE), f2(b.Exec/baseE), f2(b.Memory/baseE), f2(b.Static/baseE),
+			f2(b.Total()/baseE), f2(edp/baseEDP), f2(baseCyc/cyc))
+	}
+	return "Energy model (normalized to VLIW-2w; lower energy/EDP is better, higher perf is better)\n" +
+		t.String()
+}

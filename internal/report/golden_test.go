@@ -1,0 +1,79 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/machine"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden files")
+
+// TestGoldenArtifacts freezes the rendered output of every table and
+// figure. The whole pipeline — synthetic inputs, kernels, scheduler,
+// memory hierarchy, simulator — is deterministic, so any diff here is a
+// real behaviour change. Regenerate intentionally with:
+//
+//	go test ./internal/report -run TestGolden -update
+func TestGoldenArtifacts(t *testing.T) {
+	m := getMatrix(t)
+	artifacts := map[string]func() string{
+		"table1.txt":   m.Table1,
+		"figure1.txt":  m.Figure1,
+		"table2.txt":   m.Table2,
+		"figure3.txt":  m.Figure3,
+		"figure5a.txt": func() string { return m.Figure5(core.Perfect) },
+		"figure5b.txt": func() string { return m.Figure5(core.Realistic) },
+		"figure6.txt":  m.Figure6,
+		"figure7.txt":  m.Figure7,
+		"table3.txt":   m.Table3,
+		"energy.txt":   m.EnergyTable,
+		"figure4.txt": func() string {
+			out, err := Figure4()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		},
+		"lanes.txt": func() string {
+			out, err := LanesStudy()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		},
+		"ablations.txt": func() string {
+			out, err := RunAblations(&machine.Vector2x2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		},
+	}
+	if *updateGolden {
+		if err := os.MkdirAll("testdata/golden", 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, render := range artifacts {
+		path := filepath.Join("testdata", "golden", name)
+		got := render()
+		if *updateGolden {
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to create the golden files)", name, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s drifted from the golden output; run with -update if intentional.\n--- got ---\n%s\n--- want ---\n%s",
+				name, got, want)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package report
+
+import (
+	"fmt"
+
+	"vsimdvliw/internal/apps"
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/mem"
+)
+
+// LanesStudy evaluates the paper's lane-count decision ("In this work, we
+// use four independent vector lanes. As our vector lengths are relatively
+// short, a larger number of lanes would not pay off"): it rebuilds the
+// 2-issue Vector2 configuration with 2, 4 and 8 lanes (and a matching
+// L2 port width) and reports the vector-region cycles of every benchmark,
+// normalized to the 4-lane baseline.
+func LanesStudy() (string, error) {
+	lanes := []int{2, 4, 8}
+	cfgs := make([]*machine.Config, len(lanes))
+	for i, ln := range lanes {
+		c := machine.Vector2x2 // copy
+		c.Name = fmt.Sprintf("Vector2-2w-%dln", ln)
+		c.Lanes = ln
+		c.L2PortWords = ln
+		if err := c.Validate(); err != nil {
+			return "", err
+		}
+		cfgs[i] = &c
+	}
+
+	t := &table{header: []string{"Benchmark", "2 lanes", "4 lanes", "8 lanes"}}
+	sums := make([]float64, len(lanes))
+	for _, a := range apps.All() {
+		built := a.Build(VariantFor(cfgs[0]))
+		var cells []float64
+		for _, cfg := range cfgs {
+			prog, err := core.Compile(built.Func, cfg)
+			if err != nil {
+				return "", err
+			}
+			res, err := prog.RunModel(mem.NewHierarchy(cfg))
+			if err != nil {
+				return "", err
+			}
+			cells = append(cells, float64(res.VectorCycles()))
+		}
+		row := []string{a.Name}
+		for i, c := range cells {
+			ratio := cells[1] / c // speed-up vs 4-lane baseline
+			sums[i] += ratio
+			row = append(row, f2(ratio))
+		}
+		t.add(row...)
+	}
+	avg := []string{"AVERAGE"}
+	for _, s := range sums {
+		avg = append(avg, f2(s/6))
+	}
+	t.add(avg...)
+	return "Lane-count study: vector-region speed-up vs the 4-lane baseline (2-issue Vector2)\n" +
+		t.String(), nil
+}

@@ -1,0 +1,193 @@
+// Package report runs the full evaluation matrix of the paper — six
+// applications, ten processor configurations (Table 2), two memory models
+// — and renders every table and figure of the evaluation section:
+//
+//	Table 1   vector regions and their share of execution time
+//	Figure 1  scalability of scalar/vector regions on µSIMD-VLIW
+//	Table 2   processor configurations
+//	Figure 3  latency descriptors
+//	Figure 4  schedule of the motion-estimation kernel
+//	Figure 5  speed-up in vector regions (perfect and realistic memory)
+//	Figure 6  speed-up in complete applications
+//	Figure 7  normalized dynamic operation count per region
+//	Table 3   operations/micro-operations per cycle and speed-ups
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"vsimdvliw/internal/apps"
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/kernels"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/sim"
+)
+
+// VariantFor maps a machine configuration to the code version it runs:
+// plain VLIW machines run the scalar code, µSIMD machines the µSIMD code,
+// vector machines the Vector-µSIMD code.
+func VariantFor(cfg *machine.Config) kernels.Variant {
+	switch cfg.ISA {
+	case machine.ISAScalar:
+		return kernels.Scalar
+	case machine.ISAuSIMD:
+		return kernels.USIMD
+	default:
+		return kernels.Vector
+	}
+}
+
+// Matrix holds the results of the full evaluation sweep.
+type Matrix struct {
+	Apps []*apps.App
+	res  map[string]*sim.Result
+}
+
+func key(app, cfg string, mem core.MemoryModel) string {
+	return fmt.Sprintf("%s|%s|%d", app, cfg, mem)
+}
+
+// Collect builds, compiles and simulates every application on every
+// configuration under both memory models. progress (may be nil) receives
+// one line per completed run.
+func Collect(progress io.Writer) (*Matrix, error) {
+	m := &Matrix{Apps: apps.All(), res: make(map[string]*sim.Result)}
+	for _, a := range m.Apps {
+		built := map[kernels.Variant]*ir0{}
+		for _, cfg := range machine.All() {
+			v := VariantFor(cfg)
+			bv, ok := built[v]
+			if !ok {
+				bv = &ir0{b: a.Build(v)}
+				built[v] = bv
+			}
+			prog, err := core.Compile(bv.b.Func, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("report: %s on %s: %w", a.Name, cfg.Name, err)
+			}
+			for _, mem := range []core.MemoryModel{core.Perfect, core.Realistic} {
+				res, err := prog.Run(mem)
+				if err != nil {
+					return nil, fmt.Errorf("report: %s on %s: %w", a.Name, cfg.Name, err)
+				}
+				m.res[key(a.Name, cfg.Name, mem)] = res
+				if progress != nil {
+					fmt.Fprintf(progress, "%-10s %-11s mem=%d cycles=%d\n", a.Name, cfg.Name, mem, res.Cycles)
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// ir0 wraps a built app (small indirection keeping Build calls single).
+type ir0 struct{ b *apps.Built }
+
+// Get returns the result for one (app, config, memory) cell.
+func (m *Matrix) Get(app, cfg string, mem core.MemoryModel) *sim.Result {
+	r, ok := m.res[key(app, cfg, mem)]
+	if !ok {
+		panic(fmt.Sprintf("report: missing result %s/%s", app, cfg))
+	}
+	return r
+}
+
+// scalarCycles returns the cycles outside the vector regions.
+func scalarCycles(r *sim.Result) int64 { return r.Cycles - r.VectorCycles() }
+
+// regionOps sums operations over the vector regions.
+func regionOps(r *sim.Result) (ops, micro, cycles int64) {
+	for i := 1; i < sim.MaxRegions; i++ {
+		ops += r.Regions[i].Ops
+		micro += r.Regions[i].MicroOps
+		cycles += r.Regions[i].Cycles
+	}
+	return
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// appNames returns the application names in order.
+func (m *Matrix) appNames() []string {
+	out := make([]string, len(m.Apps))
+	for i, a := range m.Apps {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// table is a minimal fixed-width text-table builder.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, r := range t.rows {
+		line(r)
+	}
+	return sb.String()
+}
+
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+func pct(x float64) string { return fmt.Sprintf("%.2f %%", 100*x) }
+
+// sortedKeys is a test helper exposing the collected cells.
+func (m *Matrix) sortedKeys() []string {
+	out := make([]string, 0, len(m.res))
+	for k := range m.res {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

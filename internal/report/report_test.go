@@ -1,0 +1,356 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"vsimdvliw/internal/apps"
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/energy"
+	"vsimdvliw/internal/kernels"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/mem"
+	"vsimdvliw/internal/sched"
+)
+
+// The matrix is expensive (120 runs); collect it once for all tests.
+var (
+	matrixOnce sync.Once
+	matrix     *Matrix
+	matrixErr  error
+)
+
+func getMatrix(t *testing.T) *Matrix {
+	t.Helper()
+	matrixOnce.Do(func() { matrix, matrixErr = Collect(nil) })
+	if matrixErr != nil {
+		t.Fatal(matrixErr)
+	}
+	return matrix
+}
+
+func TestVariantFor(t *testing.T) {
+	if VariantFor(&machine.VLIW8) != kernels.Scalar ||
+		VariantFor(&machine.USIMD2) != kernels.USIMD ||
+		VariantFor(&machine.Vector1x4) != kernels.Vector {
+		t.Error("VariantFor mapping wrong")
+	}
+}
+
+func TestCollectCoversFullMatrix(t *testing.T) {
+	m := getMatrix(t)
+	if got := len(m.sortedKeys()); got != 6*10*2 {
+		t.Fatalf("collected %d cells, want 120", got)
+	}
+	for _, a := range m.Apps {
+		for _, cfg := range machine.All() {
+			for _, mem := range []core.MemoryModel{core.Perfect, core.Realistic} {
+				r := m.Get(a.Name, cfg.Name, mem)
+				if r.Cycles <= 0 {
+					t.Errorf("%s/%s: no cycles", a.Name, cfg.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestAllRenderersProduceOutput(t *testing.T) {
+	m := getMatrix(t)
+	outputs := map[string]string{
+		"table1":   m.Table1(),
+		"figure1":  m.Figure1(),
+		"table2":   m.Table2(),
+		"figure3":  m.Figure3(),
+		"figure5a": m.Figure5(core.Perfect),
+		"figure5b": m.Figure5(core.Realistic),
+		"figure6":  m.Figure6(),
+		"figure7":  m.Figure7(),
+		"table3":   m.Table3(),
+	}
+	for name, out := range outputs {
+		if len(out) < 100 {
+			t.Errorf("%s: suspiciously short output:\n%s", name, out)
+		}
+		if !strings.Contains(out, "jpeg_enc") && !strings.Contains(out, "VLIW") &&
+			!strings.Contains(out, "vadd") {
+			t.Errorf("%s: missing expected content", name)
+		}
+	}
+	fig4, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"(k)", "(m)", "(n)", "VS=lx", "VL=8", "VALU0", "pL2_0"} {
+		if !strings.Contains(fig4, want) {
+			t.Errorf("figure 4 missing %q:\n%s", want, fig4)
+		}
+	}
+}
+
+func TestPerfectMemoryNeverSlower(t *testing.T) {
+	m := getMatrix(t)
+	for _, a := range m.Apps {
+		for _, cfg := range machine.All() {
+			p := m.Get(a.Name, cfg.Name, core.Perfect)
+			r := m.Get(a.Name, cfg.Name, core.Realistic)
+			if r.Cycles < p.Cycles {
+				t.Errorf("%s/%s: realistic (%d) faster than perfect (%d)",
+					a.Name, cfg.Name, r.Cycles, p.Cycles)
+			}
+		}
+	}
+}
+
+func TestPaperShapeScalarRegionsSaturate(t *testing.T) {
+	// Finding 1 (Figure 1 / Table 3): scalar regions gain much less from
+	// 4w->8w than from 2w->4w.
+	m := getMatrix(t)
+	var sp24, sp48 []float64
+	for _, a := range m.Apps {
+		r2 := scalarCycles(m.Get(a.Name, machine.USIMD2.Name, core.Realistic))
+		r4 := scalarCycles(m.Get(a.Name, machine.USIMD4.Name, core.Realistic))
+		r8 := scalarCycles(m.Get(a.Name, machine.USIMD8.Name, core.Realistic))
+		sp24 = append(sp24, float64(r2)/float64(r4))
+		sp48 = append(sp48, float64(r4)/float64(r8))
+	}
+	if mean(sp24) < 1.05 {
+		t.Errorf("scalar regions do not scale 2w->4w at all: %.2f", mean(sp24))
+	}
+	if mean(sp48) > mean(sp24) {
+		t.Errorf("scalar regions scale better 4->8 (%.2f) than 2->4 (%.2f): no saturation",
+			mean(sp48), mean(sp24))
+	}
+	if mean(sp48) > 1.15 {
+		t.Errorf("scalar regions 4w->8w gain %.2f, paper reports ~1.03", mean(sp48))
+	}
+}
+
+func TestPaperShapeVectorBeatsUSIMDInVectorRegions(t *testing.T) {
+	// Finding 2 (Figure 5): the 2-issue Vector2 outperforms the 2-issue
+	// µSIMD clearly in the vector regions, and the 4-issue Vector2
+	// outperforms even the 8-issue µSIMD on average.
+	m := getMatrix(t)
+	var v2OverU2, v4OverU8 []float64
+	for _, a := range m.Apps {
+		u2 := m.Get(a.Name, machine.USIMD2.Name, core.Perfect).VectorCycles()
+		u8 := m.Get(a.Name, machine.USIMD8.Name, core.Perfect).VectorCycles()
+		v2 := m.Get(a.Name, machine.Vector2x2.Name, core.Perfect).VectorCycles()
+		v4 := m.Get(a.Name, machine.Vector2x4.Name, core.Perfect).VectorCycles()
+		v2OverU2 = append(v2OverU2, float64(u2)/float64(v2))
+		v4OverU8 = append(v4OverU8, float64(u8)/float64(v4))
+	}
+	if mean(v2OverU2) < 1.5 {
+		t.Errorf("Vector2-2w over uSIMD-2w in vector regions = %.2f, paper reports ~4.4", mean(v2OverU2))
+	}
+	if mean(v4OverU8) < 1.0 {
+		t.Errorf("Vector2-4w over uSIMD-8w in vector regions = %.2f, paper reports ~2.3", mean(v4OverU8))
+	}
+}
+
+func TestPaperShapeMPEG2EncDegradesUnderRealisticMemory(t *testing.T) {
+	// Finding 3 (Figure 5b): the strided motion estimation makes
+	// mpeg2_enc's vector regions degrade far more than other apps on the
+	// vector machines under realistic memory.
+	m := getMatrix(t)
+	degr := func(app string) float64 {
+		p := m.Get(app, machine.Vector2x2.Name, core.Perfect).VectorCycles()
+		r := m.Get(app, machine.Vector2x2.Name, core.Realistic).VectorCycles()
+		return float64(r) / float64(p)
+	}
+	me := degr("mpeg2_enc")
+	if me < 1.3 {
+		t.Errorf("mpeg2_enc vector-region degradation %.2f, paper reports ~3x (close to 200%%)", me)
+	}
+	for _, app := range []string{"jpeg_enc", "gsm_enc", "gsm_dec"} {
+		if d := degr(app); d > me {
+			t.Errorf("%s degrades more (%.2f) than mpeg2_enc (%.2f)", app, d, me)
+		}
+	}
+}
+
+func TestPaperShapeAmdahlDominates(t *testing.T) {
+	// Finding 4: on the 4-issue Vector2 machine the vector regions are a
+	// small share of execution (paper: <10% except mpeg2_enc).
+	m := getMatrix(t)
+	for _, a := range m.Apps {
+		r := m.Get(a.Name, machine.Vector2x4.Name, core.Realistic)
+		share := ratio(r.VectorCycles(), r.Cycles)
+		if a.Name == "mpeg2_enc" {
+			continue
+		}
+		if share > 0.35 {
+			t.Errorf("%s: vector regions still %.0f%% of time on Vector2-4w", a.Name, 100*share)
+		}
+	}
+}
+
+func TestPaperShapeVectorExecutesFewerOps(t *testing.T) {
+	// Finding 5 (Figure 7): the vector version executes far fewer
+	// operations in the vector regions than the µSIMD version.
+	m := getMatrix(t)
+	var ratios []float64
+	for _, a := range m.Apps {
+		u, _, _ := regionOps(m.Get(a.Name, machine.USIMD2.Name, core.Realistic))
+		v, _, _ := regionOps(m.Get(a.Name, machine.Vector2x2.Name, core.Realistic))
+		ratios = append(ratios, 1-float64(v)/float64(u))
+	}
+	if mean(ratios) < 0.5 {
+		t.Errorf("vector executes only %.0f%% fewer vector-region ops than µSIMD; paper reports 84%%",
+			100*mean(ratios))
+	}
+}
+
+func TestPaperShapeVectorHighMicroOPCLowFetch(t *testing.T) {
+	// Table 3: in vector regions the vector machine sustains high µOPC at
+	// low OPC (fetch bandwidth).
+	m := getMatrix(t)
+	var opc, uopc []float64
+	for _, a := range m.Apps {
+		r := m.Get(a.Name, machine.Vector2x4.Name, core.Realistic)
+		o, u, c := regionOps(r)
+		opc = append(opc, ratio(o, c))
+		uopc = append(uopc, ratio(u, c))
+	}
+	if mean(uopc) < 4*mean(opc) {
+		t.Errorf("vector regions: µOPC %.2f not >> OPC %.2f", mean(uopc), mean(opc))
+	}
+}
+
+func TestAblations(t *testing.T) {
+	out, err := RunAblations(&machine.Vector2x2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no-chaining") || !strings.Contains(out, "banked-strided-x4") {
+		t.Fatalf("ablation table incomplete:\n%s", out)
+	}
+	t.Log("\n" + out)
+}
+
+func TestAblationDirections(t *testing.T) {
+	// Sanity-check the sign of each ablation on the vector machine:
+	// disabling a mechanism must not speed things up; the banked memory
+	// must not slow things down.
+	cfg := &machine.Vector2x2
+	a, err := apps.ByName("mpeg2_enc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := a.Build(kernels.Vector)
+	baseProg, err := core.Compile(built.Func, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := baseProg.RunModel(mem.NewHierarchy(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(so sched.Options, mo mem.Options) int64 {
+		prog, err := core.CompileWith(built.Func, cfg, so)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := prog.RunModel(mem.NewHierarchyOpts(cfg, mo))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	if c := run(sched.Options{NoChaining: true}, mem.Options{}); c < base.Cycles {
+		t.Errorf("disabling chaining sped mpeg2_enc up: %d < %d", c, base.Cycles)
+	}
+	if c := run(sched.Options{}, mem.Options{NoPrefetch: true}); c < base.Cycles {
+		t.Errorf("disabling the prefetcher sped mpeg2_enc up: %d < %d", c, base.Cycles)
+	}
+	if c := run(sched.Options{OverlapDrain: true}, mem.Options{}); c > base.Cycles {
+		t.Errorf("overlapping drains slowed mpeg2_enc down: %d > %d", c, base.Cycles)
+	}
+	if c := run(sched.Options{}, mem.Options{StridedWordsPerCycle: 4}); c > base.Cycles {
+		t.Errorf("banked strided memory slowed mpeg2_enc down: %d > %d", c, base.Cycles)
+	}
+}
+
+func TestEnergyTableShape(t *testing.T) {
+	m := getMatrix(t)
+	out := m.EnergyTable()
+	if !strings.Contains(out, "Vector1-4w") || !strings.Contains(out, "EDP") {
+		t.Fatalf("energy table incomplete:\n%s", out)
+	}
+	// The paper's qualitative power claim, made quantitative: every vector
+	// configuration consumes less total energy than the 8-issue µSIMD
+	// machine while the 4-issue ones are also faster.
+	model := energy.Default()
+	total := func(cfg *machine.Config) (e, cycles float64) {
+		for _, a := range m.Apps {
+			r := m.Get(a.Name, cfg.Name, core.Realistic)
+			e += model.Estimate(r, cfg).Total()
+			cycles += float64(r.Cycles)
+		}
+		return e, cycles
+	}
+	u8e, u8c := total(&machine.USIMD8)
+	for _, cfg := range []*machine.Config{&machine.Vector1x2, &machine.Vector1x4,
+		&machine.Vector2x2, &machine.Vector2x4} {
+		ve, vc := total(cfg)
+		if ve >= u8e {
+			t.Errorf("%s energy (%.0f) not below uSIMD-8w (%.0f)", cfg.Name, ve, u8e)
+		}
+		if cfg.Issue == 4 && vc >= u8c {
+			t.Errorf("%s cycles (%.0f) not below uSIMD-8w (%.0f)", cfg.Name, vc, u8c)
+		}
+	}
+	// Wider VLIW burns more energy for its modest speedups.
+	v2e, _ := total(&machine.VLIW2)
+	v8e, _ := total(&machine.VLIW8)
+	if v8e <= v2e {
+		t.Errorf("VLIW-8w energy (%.0f) not above VLIW-2w (%.0f)", v8e, v2e)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	m := getMatrix(t)
+	var buf strings.Builder
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if want := 1 + 6*10*2; len(lines) != want {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), want)
+	}
+	if !strings.HasPrefix(lines[0], "app,config,isa,issue,memory,cycles") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(buf.String(), "mpeg2_enc,Vector2-4w,Vector,4,realistic") {
+		t.Error("missing expected row key")
+	}
+}
+
+func TestLanesStudyPaperClaim(t *testing.T) {
+	out, err := LanesStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + out)
+	// Parse the AVERAGE row: columns are speed-up vs 4 lanes for 2/4/8.
+	var l2, l4, l8 float64
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "AVERAGE") {
+			if _, err := fmt.Sscanf(line, "AVERAGE %f %f %f", &l2, &l4, &l8); err != nil {
+				t.Fatalf("cannot parse %q: %v", line, err)
+			}
+		}
+	}
+	if l4 != 1.0 {
+		t.Fatalf("baseline column = %v, want 1.00", l4)
+	}
+	// The paper's claim: 4 lanes clearly beat 2, but 8 lanes do not pay
+	// off for these short vector lengths.
+	if gain24 := l4 / l2; gain24 < 1.1 {
+		t.Errorf("2->4 lanes gains only %.2f; expected a clear win", gain24)
+	}
+	if gain48 := l8 / l4; gain48 > 1.25 {
+		t.Errorf("4->8 lanes gains %.2f; the paper says it should not pay off", gain48)
+	}
+}

@@ -1,0 +1,220 @@
+package sched
+
+import (
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/machine"
+)
+
+// edge is a scheduling dependence: the successor may issue no earlier than
+// lat cycles after the predecessor.
+type edge struct {
+	to  int
+	lat int
+}
+
+type node struct {
+	op     *ir.Op
+	idx    int
+	pseudo bool
+	unit   isa.Unit // nominal unit class (before configuration folding)
+	vl     int      // compile-time VL (vector ops only)
+	lat    int      // flow latency L
+	occ    int      // unit occupancy in cycles
+	tlw    int      // full write-back latency
+	preds  []edge
+	succs  []edge
+}
+
+type dag struct {
+	nodes []node
+}
+
+func (g *dag) addEdge(from, to, lat int) {
+	if from == to {
+		return
+	}
+	g.nodes[from].succs = append(g.nodes[from].succs, edge{to: to, lat: lat})
+	g.nodes[to].preds = append(g.nodes[to].preds, edge{to: from, lat: lat})
+}
+
+// rawLat is the flow-dependence latency from producer p to consumer c.
+// Chaining (Section 3.3): when both are vector operations the consumer may
+// start as soon as the producer's first elements are written, i.e. after
+// the producer's flow latency L — as long as it cannot outrun the
+// producer. With the paper's configurations the lane and port rates are
+// equal (4) and the chained latency is exactly L; for custom
+// configurations with a faster consumer, the start is delayed so the
+// consumer's last read (at Tlr = Tlw - L after its issue) does not pass
+// the producer's last write: lat = max(L_p, Tlw_p - Tlr_c). A scalar
+// consumer of a vector result must wait for the full write-back, and with
+// chaining disabled (Options.NoChaining) vector consumers wait for it too.
+func rawLat(p, c *node, opts Options) int {
+	if p.pseudo {
+		return 0
+	}
+	if p.op.Info().Vector {
+		if c.op.Info().Vector && !opts.NoChaining {
+			lat := p.lat
+			if slack := p.tlw - (c.tlw - c.lat); slack > lat {
+				lat = slack
+			}
+			return lat
+		}
+		return p.tlw
+	}
+	return p.lat
+}
+
+// warLat is the anti-dependence latency from a reader r to a subsequent
+// writer of the same register: a vector reader consumes its operand until
+// (VL-1)/rate cycles after issue, so the overwrite must wait one cycle
+// beyond that; scalar reads happen at issue.
+func warLat(r *node) int {
+	if r.op != nil && r.op.Info().Vector {
+		return r.tlw - r.lat + 1
+	}
+	return 0
+}
+
+// wawLat is the output-dependence latency: the second write must land
+// after the first.
+func wawLat(first, second *node) int {
+	l := first.tlw - second.tlw + 1
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+func mayAlias(a, b int) bool { return a == 0 || b == 0 || a == b }
+
+// buildDAG constructs the dependence graph of one block under the
+// compile-time vector length vlIn, returning the graph and the VL value at
+// block exit.
+func buildDAG(blk *ir.Block, cfg *machine.Config, vlIn int, opts Options) (*dag, int) {
+	g := &dag{nodes: make([]node, len(blk.Ops))}
+	vl := vlIn
+
+	lastDef := make(map[ir.Reg]int)
+	readers := make(map[ir.Reg][]int)
+
+	type memRec struct {
+		idx   int
+		store bool
+		alias int
+	}
+	var mems []memRec
+
+	lastSetVL, lastSetVS := -1, -1
+	var vecSinceVL, vecSinceVS []int
+	branch := -1
+
+	for i := range blk.Ops {
+		op := &blk.Ops[i]
+		in := op.Info()
+		nd := &g.nodes[i]
+		nd.op = op
+		nd.idx = i
+		nd.unit = in.Unit
+		nd.lat = in.Lat
+		nd.pseudo = in.Unit == isa.UnitNone
+
+		if op.Opcode == isa.SETVL {
+			if op.UseImm {
+				vl = int(op.Imm)
+			} else {
+				vl = isa.MaxVL // unknown at compile time: assume the maximum
+			}
+		}
+		if in.Vector {
+			nd.vl = vl
+		}
+		nd.occ, nd.tlw = descriptors(op, cfg, vl)
+
+		// Flow dependences on register sources.
+		for _, r := range op.Src {
+			if d, ok := lastDef[r]; ok {
+				g.addEdge(d, i, rawLat(&g.nodes[d], nd, opts))
+			}
+			readers[r] = append(readers[r], i)
+		}
+		// Implicit dependences on the VL/VS special registers.
+		if in.Vector && lastSetVL >= 0 {
+			g.addEdge(lastSetVL, i, g.nodes[lastSetVL].lat)
+		}
+		if op.Opcode.IsVectorMem() && lastSetVS >= 0 {
+			g.addEdge(lastSetVS, i, g.nodes[lastSetVS].lat)
+		}
+		if in.Vector {
+			vecSinceVL = append(vecSinceVL, i)
+		}
+		if op.Opcode.IsVectorMem() {
+			vecSinceVS = append(vecSinceVS, i)
+		}
+		if op.Opcode == isa.SETVL {
+			for _, v := range vecSinceVL {
+				g.addEdge(v, i, warLat(&g.nodes[v]))
+			}
+			if lastSetVL >= 0 {
+				g.addEdge(lastSetVL, i, 1)
+			}
+			vecSinceVL = nil
+			lastSetVL = i
+		}
+		if op.Opcode == isa.SETVS {
+			for _, v := range vecSinceVS {
+				g.addEdge(v, i, warLat(&g.nodes[v]))
+			}
+			if lastSetVS >= 0 {
+				g.addEdge(lastSetVS, i, 1)
+			}
+			vecSinceVS = nil
+			lastSetVS = i
+		}
+
+		// Memory dependences: conservative ordering between accesses that
+		// may alias, unless both are loads. Stores must complete before a
+		// dependent load issues.
+		if in.Mem != isa.MemNone {
+			st := in.Mem == isa.MemStore
+			for _, m := range mems {
+				if !mayAlias(m.alias, op.Alias) || (!m.store && !st) {
+					continue
+				}
+				lat := 1
+				if m.store && !st {
+					lat = g.nodes[m.idx].tlw // store -> load: full write-back
+				}
+				g.addEdge(m.idx, i, lat)
+			}
+			mems = append(mems, memRec{idx: i, store: st, alias: op.Alias})
+		}
+
+		// Anti and output dependences on destinations.
+		for _, r := range op.Dst {
+			for _, rd := range readers[r] {
+				g.addEdge(rd, i, warLat(&g.nodes[rd]))
+			}
+			if d, ok := lastDef[r]; ok {
+				g.addEdge(d, i, wawLat(&g.nodes[d], nd))
+			}
+			lastDef[r] = i
+			delete(readers, r)
+		}
+
+		if in.Branch {
+			branch = i
+		}
+	}
+
+	// No operation may issue after the block's branch.
+	if branch >= 0 {
+		for i := range g.nodes {
+			if i != branch && !g.nodes[i].pseudo {
+				g.addEdge(i, branch, 0)
+			}
+		}
+	}
+	return g, vl
+}

@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/machine"
+)
+
+// Dump renders the block schedule as a cycle-by-unit grid in the style of
+// the paper's Figure 4: one row per cycle, one column per functional-unit
+// instance, with multi-cycle vector occupancies shown on every cycle they
+// hold their unit.
+func (bs *BlockSched) Dump(cfg *machine.Config) string {
+	type col struct {
+		unit isa.Unit
+		idx  int
+		name string
+	}
+	var cols []col
+	addCols := func(u isa.Unit, label string) {
+		for i := 0; i < cfg.Units(u); i++ {
+			cols = append(cols, col{unit: u, idx: i, name: fmt.Sprintf("%s%d", label, i)})
+		}
+	}
+	addCols(isa.UnitInt, "IALU")
+	addCols(isa.UnitMem, "pL1_")
+	if cfg.ISA == machine.ISAVector {
+		addCols(isa.UnitVector, "VALU")
+		addCols(isa.UnitVMem, "pL2_")
+	} else if cfg.ISA == machine.ISAuSIMD {
+		addCols(isa.UnitSIMD, "SIMD")
+	}
+	addCols(isa.UnitBranch, "BR")
+
+	colOf := func(u isa.Unit, idx int) int {
+		for c, cl := range cols {
+			if cl.unit == u && cl.idx == idx {
+				return c
+			}
+		}
+		return -1
+	}
+
+	grid := make([][]string, bs.Length)
+	for i := range grid {
+		grid[i] = make([]string, len(cols))
+	}
+	for i := range bs.Ops {
+		os := &bs.Ops[i]
+		if os.Unit == isa.UnitNone {
+			continue
+		}
+		c := colOf(os.Unit, os.UnitIdx)
+		if c < 0 {
+			continue
+		}
+		op := &bs.Block.Ops[os.Index]
+		label := op.Label
+		if label == "" {
+			label = op.Opcode.Name()
+		}
+		for k := 0; k < os.Occ && os.Cycle+k < len(grid); k++ {
+			cell := label
+			if k > 0 {
+				cell = "|" + label
+			}
+			grid[os.Cycle+k][c] = cell
+		}
+	}
+
+	width := 6
+	for _, cl := range cols {
+		if len(cl.name) >= width {
+			width = len(cl.name) + 1
+		}
+	}
+	for _, row := range grid {
+		for _, cell := range row {
+			if len(cell) >= width {
+				width = len(cell) + 1
+			}
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%4s", "cyc")
+	for _, cl := range cols {
+		fmt.Fprintf(&sb, " %-*s", width, cl.name)
+	}
+	sb.WriteByte('\n')
+	for cyc, row := range grid {
+		fmt.Fprintf(&sb, "%4d", cyc)
+		for _, cell := range row {
+			fmt.Fprintf(&sb, " %-*s", width, cell)
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "block length: %d cycles, %d operations\n", bs.Length, len(bs.Block.Ops))
+	return sb.String()
+}

@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"sort"
+
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+)
+
+// liveSpan is a register's live range as an interval over the linearized
+// operation order (block layout order).
+type liveSpan struct {
+	reg         ir.Reg
+	first, last int
+	// readFirst records that the register's first textual occurrence is a
+	// read — the signature of a loop-carried value (its defining write
+	// happens later in the body, so the value crosses the back edge).
+	readFirst bool
+}
+
+// liveSpans computes loop-aware live ranges. Plain first-to-last textual
+// occurrence under-approximates liveness across loop back edges: a value
+// defined before a loop and read in the middle of its body is live until
+// the *end* of the loop (every iteration re-reads it), and a loop-carried
+// value (read before its in-body definition) is live across the whole
+// body. Both cases are widened to cover the loop region, iterating to a
+// fixed point for nested loops.
+func liveSpans(f *ir.Func) []*liveSpan {
+	// Linearize and collect raw spans.
+	blockStart := make([]int, len(f.Blocks))
+	blockEnd := make([]int, len(f.Blocks))
+	live := map[ir.Reg]*liveSpan{}
+	pos := 0
+	for bi, blk := range f.Blocks {
+		blockStart[bi] = pos
+		for i := range blk.Ops {
+			op := &blk.Ops[i]
+			for _, r := range op.Src {
+				if s, ok := live[r]; ok {
+					s.last = pos
+				} else {
+					live[r] = &liveSpan{reg: r, first: pos, last: pos, readFirst: true}
+				}
+			}
+			for _, r := range op.Dst {
+				if s, ok := live[r]; ok {
+					s.last = pos
+				} else {
+					live[r] = &liveSpan{reg: r, first: pos, last: pos}
+				}
+			}
+			pos++
+		}
+		blockEnd[bi] = pos - 1
+		if len(blk.Ops) == 0 {
+			blockEnd[bi] = pos - 1 // empty block: degenerate range
+		}
+	}
+
+	// Loop regions from back edges (branch targets at or before the
+	// branching block).
+	type region struct{ s, e int }
+	var loops []region
+	for bi, blk := range f.Blocks {
+		for i := range blk.Ops {
+			op := &blk.Ops[i]
+			if op.Info().Branch && op.Opcode != isa.HALT &&
+				op.Target <= bi && op.Target < len(f.Blocks) {
+				loops = append(loops, region{s: blockStart[op.Target], e: blockEnd[bi]})
+			}
+		}
+	}
+
+	spans := make([]*liveSpan, 0, len(live))
+	for _, s := range live {
+		spans = append(spans, s)
+	}
+
+	// Widen to a fixed point.
+	for changed := true; changed; {
+		changed = false
+		for _, s := range spans {
+			for _, l := range loops {
+				if s.last < l.s || s.first > l.e {
+					continue // no intersection
+				}
+				liveThrough := s.first < l.s             // defined before, used inside
+				carried := s.readFirst && s.first >= l.s // loop-carried within this body
+				if liveThrough || carried {
+					if s.last < l.e {
+						s.last = l.e
+						changed = true
+					}
+					if carried && s.first > l.s {
+						s.first = l.s
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].first != spans[j].first {
+			return spans[i].first < spans[j].first
+		}
+		if spans[i].reg.Class != spans[j].reg.Class {
+			return spans[i].reg.Class < spans[j].reg.Class
+		}
+		return spans[i].reg.ID < spans[j].reg.ID
+	})
+	return spans
+}

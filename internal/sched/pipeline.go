@@ -1,0 +1,195 @@
+package sched
+
+import (
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/machine"
+)
+
+// Software-pipelining timing model (Options.SoftwarePipeline): for a
+// self-loop block — a block whose terminating branch targets itself, the
+// shape every hot loop in the kernels has — the scheduler computes an
+// initiation interval II at which consecutive iterations can overlap:
+//
+//	II = max( ResMII,            resource bound per unit class and issue
+//	          RecMII,            loop-carried dependence bound
+//	          modulo-conflict ), verified on a modulo reservation table
+//
+// keeping the acyclic placement of each operation unchanged (so the
+// functional simulator is unaffected). The simulator then charges the
+// full block length for the first iteration and II for every directly
+// following one — exactly the steady-state cost of a kernel-only modulo
+// schedule, ignoring register pressure from modulo variable expansion
+// (documented optimism; the paper's conclusion asks for exactly this kind
+// of "more flexible scheduling technique" evaluation).
+
+// computeII derives the initiation interval for a scheduled self-loop
+// block. It returns 0 when the block is not pipelinable.
+func computeII(bs *BlockSched, g *dag, cfg *machine.Config) int {
+	blk := bs.Block
+	n := len(blk.Ops)
+	if n == 0 {
+		return 0
+	}
+	last := &blk.Ops[n-1]
+	if !last.Info().Branch || last.Target != blk.ID {
+		return 0 // not a self loop
+	}
+
+	// Resource bound: per unit class, total occupancy / instances; plus
+	// the issue width.
+	occ := map[isa.Unit]int{}
+	realOps := 0
+	for i := range blk.Ops {
+		nd := &g.nodes[i]
+		if nd.pseudo {
+			continue
+		}
+		realOps++
+		unit := cfg.UnitFor(nd.unit)
+		occ[unit] += nd.occ
+	}
+	ii := ceilDiv(realOps, cfg.Issue)
+	for unit, total := range occ {
+		if cnt := cfg.Units(unit); cnt > 0 {
+			if b := ceilDiv(total, cnt); b > ii {
+				ii = b
+			}
+		}
+	}
+
+	// Recurrence bound: loop-carried dependences at distance one. A value
+	// defined at cycle(d) with latency lat and consumed by the next
+	// iteration's op at cycle(u) requires cycle(u) + II >= cycle(d) + lat.
+	// Loop-carried edges are re-derived the same way the DAG builder
+	// derives intra-iteration edges, but from each op to earlier-or-equal
+	// positions (the wrap-around).
+	for _, e := range carriedEdges(blk, g) {
+		if b := bs.Ops[e.from].Cycle + e.lat - bs.Ops[e.to].Cycle; b > ii {
+			ii = b
+		}
+	}
+	if ii < 1 {
+		ii = 1
+	}
+
+	// Modulo reservation check: with the acyclic placement fixed, two
+	// operations sharing a unit instance (or an issue slot group) must
+	// not collide modulo II.
+	for ; ii <= bs.Length; ii++ {
+		if !moduloConflict(bs, g, cfg, ii) {
+			break
+		}
+	}
+	if ii >= bs.Length {
+		return 0 // no overlap achievable
+	}
+	return ii
+}
+
+// carriedEdge is a loop-carried dependence (distance one).
+type carriedEdge struct {
+	from, to int // op indices: from's result (previous iteration) reaches to
+	lat      int
+}
+
+// carriedEdges derives distance-one dependences: the last write of each
+// register in the block reaches every read at an earlier-or-equal
+// position in the next iteration; memory operations are handled
+// conservatively (any store conflicts with any may-aliasing access at an
+// earlier-or-equal position).
+func carriedEdges(blk *ir.Block, g *dag) []carriedEdge {
+	var out []carriedEdge
+	lastDef := map[regKey]int{}
+	for i := range blk.Ops {
+		for _, r := range blk.Ops[i].Dst {
+			lastDef[regKey{r.Class, r.ID}] = i
+		}
+	}
+	for i := range blk.Ops {
+		op := &blk.Ops[i]
+		for _, r := range op.Src {
+			if d, ok := lastDef[regKey{r.Class, r.ID}]; ok && d >= i {
+				out = append(out, carriedEdge{from: d, to: i, lat: rawLat(&g.nodes[d], &g.nodes[i], Options{})})
+			}
+		}
+		// Anti/output wrap-around: a later-or-equal reader of a register
+		// this op writes must finish before next iteration's write; the
+		// unit-latency bound suffices for the II inequality.
+		for _, r := range op.Dst {
+			if d, ok := lastDef[regKey{r.Class, r.ID}]; ok && d > i {
+				out = append(out, carriedEdge{from: d, to: i, lat: 1})
+			}
+		}
+	}
+	// Memory: any store reaches may-aliasing accesses at earlier-or-equal
+	// positions in the next iteration.
+	type memRec struct {
+		idx   int
+		store bool
+		alias int
+	}
+	var mems []memRec
+	for i := range blk.Ops {
+		in := blk.Ops[i].Info()
+		if in.Mem != isa.MemNone {
+			mems = append(mems, memRec{i, in.Mem == isa.MemStore, blk.Ops[i].Alias})
+		}
+	}
+	for _, a := range mems {
+		for _, b := range mems {
+			if a.idx < b.idx {
+				continue // intra-iteration order already enforced
+			}
+			if !a.store && !b.store {
+				continue
+			}
+			if !mayAlias(a.alias, b.alias) {
+				continue
+			}
+			lat := 1
+			if a.store && !b.store {
+				lat = g.nodes[a.idx].tlw
+			}
+			out = append(out, carriedEdge{from: a.idx, to: b.idx, lat: lat})
+		}
+	}
+	return out
+}
+
+type regKey struct {
+	class isa.RegClass
+	id    int32
+}
+
+// moduloConflict reports whether any unit instance is claimed twice in
+// the same slot modulo ii, or any issue slot exceeds the machine width.
+func moduloConflict(bs *BlockSched, g *dag, cfg *machine.Config, ii int) bool {
+	type slotKey struct {
+		unit isa.Unit
+		idx  int
+		slot int
+	}
+	used := map[slotKey]bool{}
+	issue := make([]int, ii)
+	for i := range bs.Ops {
+		if g.nodes[i].pseudo {
+			continue
+		}
+		os := &bs.Ops[i]
+		issue[os.Cycle%ii]++
+		if issue[os.Cycle%ii] > cfg.Issue {
+			return true
+		}
+		for k := 0; k < os.Occ; k++ {
+			key := slotKey{os.Unit, os.UnitIdx, (os.Cycle + k) % ii}
+			if used[key] {
+				return true
+			}
+			used[key] = true
+		}
+	}
+	return false
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,67 @@
+package sched
+
+import (
+	"fmt"
+
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/machine"
+)
+
+// checkPressure verifies that the function's register pressure fits the
+// configuration's register files (Table 2). Execution works on virtual
+// registers, so this pass is the allocator's feasibility check: live
+// ranges are approximated by each virtual register's first-to-last textual
+// occurrence over the block layout, which safely over-approximates
+// liveness across loop back edges.
+func checkPressure(f *ir.Func, cfg *machine.Config) ([5]int32, error) {
+	spans := liveSpans(f)
+	npos := 0
+	for _, blk := range f.Blocks {
+		npos += len(blk.Ops)
+	}
+
+	// Sweep: +1 at first occurrence, -1 after last.
+	type ev struct {
+		pos   int
+		delta int
+	}
+	events := make(map[isa.RegClass][]ev)
+	for _, s := range spans {
+		events[s.reg.Class] = append(events[s.reg.Class],
+			ev{pos: s.first, delta: 1}, ev{pos: s.last + 1, delta: -1})
+	}
+
+	var max [5]int32
+	for class, evs := range events {
+		// Counting sort by position (positions are bounded by op count).
+		byPos := make([]int, npos+2)
+		for _, e := range evs {
+			byPos[e.pos] += e.delta
+		}
+		cur := int32(0)
+		for _, d := range byPos {
+			cur += int32(d)
+			if cur > max[class] {
+				max[class] = cur
+			}
+		}
+	}
+
+	for _, class := range []isa.RegClass{isa.RegInt, isa.RegSIMD, isa.RegVec, isa.RegAcc} {
+		if max[class] == 0 {
+			continue
+		}
+		limit := cfg.Regs(class)
+		if limit == 0 {
+			// The config has no such file; Supports() will reject the ops,
+			// so only report if the class is genuinely used.
+			continue
+		}
+		if int(max[class]) > limit {
+			return max, fmt.Errorf("sched: %s: %s register pressure %d exceeds the %d-entry file of %s",
+				f.Name, class, max[class], limit, cfg.Name)
+		}
+	}
+	return max, nil
+}

@@ -1,0 +1,107 @@
+package sched
+
+import (
+	"fmt"
+
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/machine"
+)
+
+// Allocate maps the virtual registers of f onto the physical register
+// files of cfg (Table 2) with a linear-scan allocator over the same
+// linearized live ranges the pressure checker uses, and returns a new
+// function with every register rewritten. Because live ranges are
+// intervals on the layout order, greedy assignment by start point needs
+// exactly max-overlap (the measured pressure) registers, so Allocate
+// succeeds whenever the pressure check does.
+//
+// The allocated function computes bit-identical results (renaming does
+// not change dataflow: each virtual interval gets one physical register
+// for its whole lifetime). The evaluation schedules the virtual-register
+// form — like the paper's Trimaran flow, where scheduling runs before
+// register assignment — and uses Allocate as the lowering/validation
+// step.
+func Allocate(f *ir.Func, cfg *machine.Config) (*ir.Func, [5]int32, error) {
+	spans := liveSpans(f)
+
+	// Per-class free lists (min-heap behaviour via sorted slice is fine at
+	// these sizes) and expiry queues.
+	type active struct {
+		last int
+		phys int32
+	}
+	free := map[isa.RegClass][]int32{}
+	inUse := map[isa.RegClass][]active{}
+	assign := map[ir.Reg]int32{}
+	var used [5]int32
+
+	for _, s := range spans {
+		class := s.reg.Class
+		// Expire finished intervals.
+		keep := inUse[class][:0]
+		for _, a := range inUse[class] {
+			if a.last < s.first {
+				free[class] = append(free[class], a.phys)
+			} else {
+				keep = append(keep, a)
+			}
+		}
+		inUse[class] = keep
+
+		var phys int32
+		if fl := free[class]; len(fl) > 0 {
+			// Lowest-numbered free register (keeps the mapping tidy).
+			min := 0
+			for i := range fl {
+				if fl[i] < fl[min] {
+					min = i
+				}
+			}
+			phys = fl[min]
+			free[class] = append(fl[:min], fl[min+1:]...)
+		} else {
+			phys = used[class]
+			used[class]++
+			limit := cfg.Regs(class)
+			if limit > 0 && int(used[class]) > limit {
+				return nil, used, fmt.Errorf("sched: %s: %s register demand %d exceeds the %d-entry file of %s",
+					f.Name, class, used[class], limit, cfg.Name)
+			}
+		}
+		assign[s.reg] = phys
+		inUse[class] = append(inUse[class], active{last: s.last, phys: phys})
+	}
+
+	// Rewrite.
+	out := &ir.Func{
+		Name:     f.Name,
+		DataSize: f.DataSize,
+		DataInit: f.DataInit,
+		NumRegs:  used,
+	}
+	remap := func(rs []ir.Reg) []ir.Reg {
+		if rs == nil {
+			return nil
+		}
+		mapped := make([]ir.Reg, len(rs))
+		for i, r := range rs {
+			mapped[i] = ir.Reg{Class: r.Class, ID: assign[r]}
+		}
+		return mapped
+	}
+	for _, blk := range f.Blocks {
+		nb := &ir.Block{ID: blk.ID, Ops: make([]ir.Op, len(blk.Ops))}
+		for i := range blk.Ops {
+			op := blk.Ops[i]
+			op.Dst = remap(op.Dst)
+			op.Src = remap(op.Src)
+			nb.Ops[i] = op
+		}
+		out.Blocks = append(out.Blocks, nb)
+	}
+	if err := out.Verify(); err != nil {
+		return nil, used, fmt.Errorf("sched: allocation produced invalid IR: %w", err)
+	}
+	return out, used, nil
+}

@@ -1,0 +1,319 @@
+// Package sched is the static VLIW scheduler: the part of the compiler
+// that, in the paper's Trimaran/Elcor toolchain, assigns a schedule time
+// to each operation "subject to the constraints of data dependence and
+// resource availability".
+//
+// It implements:
+//
+//   - per-block dependence DAGs (flow, anti and output dependences over
+//     virtual registers, alias-class memory dependences, and the implicit
+//     dependences through the vector-length and vector-stride registers);
+//   - the latency descriptors of the paper's Figure 3: a vector operation
+//     of flow latency L on a unit with LN lanes reads its last input at
+//     (VL-1)/LN and writes its last output at L + (VL-1)/LN, with the L2
+//     port width (in 64-bit words) replacing LN for vector memory;
+//   - chaining: a vector operation consuming a vector operand may start
+//     L cycles after its producer, as soon as the first elements are
+//     available (Section 3.3 of the paper);
+//   - cycle-accurate resource reservation: issue slots, functional-unit
+//     occupancy (a vector operation occupies its unit for ceil(VL/LN)
+//     cycles), L1 ports and the wide L2 vector-cache port;
+//   - compile-time vector-length tracking: VL set from an immediate is
+//     propagated by data flow; VL set from a register falls back to the
+//     architectural maximum (16), as the paper prescribes.
+//
+// Vector memory operations are always scheduled as stride-one L2 hits;
+// the simulator stalls the machine at run time when the assumption fails.
+package sched
+
+import (
+	"fmt"
+
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/machine"
+)
+
+// OpSched is the placement of one operation in its block's schedule.
+type OpSched struct {
+	Index int // position of the op within the block (program order)
+	Cycle int // issue cycle relative to block start
+	// Unit is the executing unit class after configuration folding (µSIMD
+	// ops run on vector units in vector configurations); UnitIdx is the
+	// unit instance. Pseudo-operations have Unit isa.UnitNone.
+	Unit    isa.Unit
+	UnitIdx int
+	// VL is the compile-time vector length assumed for this operation
+	// (0 for non-vector operations).
+	VL int
+	// Occ is the number of cycles the operation occupies its unit.
+	Occ int
+	// Tlw is the full write-back latency (issue-relative cycle at which
+	// the last result element is written).
+	Tlw int
+}
+
+// BlockSched is the schedule of one basic block.
+type BlockSched struct {
+	Block *ir.Block
+	Ops   []OpSched // indexed like Block.Ops
+	// Length is the block's execution time in cycles: the schedule drains
+	// before control transfers (max of last issue + 1 and last write-back).
+	Length int
+	// II is the software-pipelining initiation interval for self-loop
+	// blocks when the schedule was built with Options.SoftwarePipeline:
+	// the cost of each back-to-back re-execution. 0 means not pipelined.
+	II int
+}
+
+// FuncSched is a fully scheduled function for one machine configuration.
+type FuncSched struct {
+	Func   *ir.Func
+	Config *machine.Config
+	Blocks []*BlockSched
+	// MaxPressure is the maximum register pressure per class, as verified
+	// against the configuration's register files.
+	MaxPressure [5]int32
+	// Opts records the options the schedule was built with (used by
+	// Validate).
+	Opts Options
+}
+
+// Options selects scheduling-model variations for ablation studies (the
+// paper's conclusion calls for "more flexible scheduling techniques";
+// these knobs quantify two of the design decisions).
+type Options struct {
+	// NoChaining disables vector chaining: a vector consumer waits for
+	// its producer's full write-back instead of starting after the flow
+	// latency (Section 3.3 discusses chaining as a register-file design
+	// choice).
+	NoChaining bool
+	// OverlapDrain ends each block at its last issue cycle instead of
+	// waiting for the last write-back, modeling a machine/compiler able
+	// to overlap the drain of a block with its successor (an optimistic
+	// upper bound on software pipelining across back edges).
+	OverlapDrain bool
+	// SoftwarePipeline computes a modulo-schedule initiation interval for
+	// every self-loop block (see pipeline.go); the simulator then charges
+	// II instead of the full block length for back-to-back iterations —
+	// the "more flexible scheduling techniques" of the paper's
+	// conclusion, as a kernel-only timing model.
+	SoftwarePipeline bool
+	// SourceOrderPriority replaces the critical-path list-scheduling
+	// priority with plain program order, quantifying what the heuristic
+	// is worth.
+	SourceOrderPriority bool
+}
+
+// Schedule verifies and schedules f for cfg with default options.
+func Schedule(f *ir.Func, cfg *machine.Config) (*FuncSched, error) {
+	return ScheduleOpts(f, cfg, Options{})
+}
+
+// ScheduleOpts verifies and schedules f for cfg. It fails if f uses
+// operations the configuration does not implement, or if its register
+// pressure exceeds the configuration's register files (Table 2).
+func ScheduleOpts(f *ir.Func, cfg *machine.Config, opts Options) (*FuncSched, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := f.Verify(); err != nil {
+		return nil, err
+	}
+	for _, blk := range f.Blocks {
+		for i := range blk.Ops {
+			if !cfg.Supports(blk.Ops[i].Opcode) {
+				return nil, fmt.Errorf("sched: %s: %s does not implement %s",
+					f.Name, cfg.Name, blk.Ops[i].Opcode.Name())
+			}
+		}
+	}
+	fs := &FuncSched{Func: f, Config: cfg, Opts: opts}
+	pressure, err := checkPressure(f, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fs.MaxPressure = pressure
+
+	// Compile-time VL propagated across blocks in layout order (the
+	// builders emit SETVL ahead of the loops that use it).
+	vl := isa.MaxVL
+	for _, blk := range f.Blocks {
+		bs, nextVL, err := scheduleBlock(blk, cfg, vl, opts)
+		if err != nil {
+			return nil, fmt.Errorf("sched: %s B%d: %w", f.Name, blk.ID, err)
+		}
+		fs.Blocks = append(fs.Blocks, bs)
+		vl = nextVL
+	}
+	return fs, nil
+}
+
+// vecRate returns the per-cycle element rate of a vector operation on cfg:
+// the number of parallel lanes for compute, the L2 port width for memory.
+func vecRate(op *ir.Op, cfg *machine.Config) int {
+	if op.Opcode.IsVectorMem() {
+		return cfg.L2PortWords
+	}
+	return cfg.Lanes
+}
+
+// descriptors computes (occupancy, full write latency) for an operation
+// under the compile-time vector length vl, per Figure 3 of the paper.
+func descriptors(op *ir.Op, cfg *machine.Config, vl int) (occ, tlw int) {
+	in := op.Info()
+	if !in.Vector {
+		return 1, in.Lat
+	}
+	rate := vecRate(op, cfg)
+	occ = (vl + rate - 1) / rate
+	tlw = in.Lat + (vl-1)/rate
+	return occ, tlw
+}
+
+const maxScheduleCycles = 1 << 20
+
+func scheduleBlock(blk *ir.Block, cfg *machine.Config, vlIn int, opts Options) (*BlockSched, int, error) {
+	g, vlOut := buildDAG(blk, cfg, vlIn, opts)
+	bs := &BlockSched{Block: blk, Ops: make([]OpSched, len(blk.Ops))}
+	n := len(g.nodes)
+	if n == 0 {
+		return bs, vlOut, nil
+	}
+
+	// Longest path to the end of the block (critical-path priority), or
+	// plain source order under the ablation option.
+	prio := make([]int, n)
+	if opts.SourceOrderPriority {
+		for i := range prio {
+			prio[i] = n - i
+		}
+	} else {
+		for i := n - 1; i >= 0; i-- {
+			nd := &g.nodes[i]
+			prio[i] = nd.tlw
+			for _, e := range nd.succs {
+				if p := e.lat + prio[e.to]; p > prio[i] {
+					prio[i] = p
+				}
+			}
+		}
+	}
+
+	res := newResources(cfg)
+	readyAt := make([]int, n)
+	indeg := make([]int, n)
+	for i := range g.nodes {
+		indeg[i] = len(g.nodes[i].preds)
+	}
+	scheduled := make([]bool, n)
+	remaining := 0
+	// Pseudo-operations are placed immediately at cycle 0 and consume
+	// nothing.
+	for i := range g.nodes {
+		if g.nodes[i].pseudo {
+			scheduled[i] = true
+			bs.Ops[g.nodes[i].idx] = OpSched{Index: g.nodes[i].idx, Unit: isa.UnitNone}
+			continue
+		}
+		remaining++
+	}
+
+	for cycle := 0; remaining > 0; cycle++ {
+		if cycle > maxScheduleCycles {
+			return nil, 0, fmt.Errorf("schedule did not converge")
+		}
+		// Gather ready ops, highest priority first (stable by index).
+		var ready []int
+		for i := range g.nodes {
+			if !scheduled[i] && indeg[i] == 0 && readyAt[i] <= cycle {
+				ready = append(ready, i)
+			}
+		}
+		sortByPriority(ready, prio)
+		for _, i := range ready {
+			nd := &g.nodes[i]
+			if !res.issueFree(cycle, cfg.Issue) {
+				break // instruction full this cycle
+			}
+			unit := cfg.UnitFor(nd.unit)
+			idx, ok := res.reserve(unit, cycle, nd.occ, cfg.Units(unit))
+			if !ok {
+				continue
+			}
+			res.takeIssue(cycle)
+			scheduled[i] = true
+			remaining--
+			bs.Ops[nd.idx] = OpSched{
+				Index: nd.idx, Cycle: cycle, Unit: unit, UnitIdx: idx,
+				VL: nd.vl, Occ: nd.occ, Tlw: nd.tlw,
+			}
+			if end := cycle + nd.tlw; end > bs.Length && !opts.OverlapDrain {
+				bs.Length = end
+			}
+			if cycle+1 > bs.Length {
+				bs.Length = cycle + 1
+			}
+			for _, e := range nd.succs {
+				indeg[e.to]--
+				if t := cycle + e.lat; t > readyAt[e.to] {
+					readyAt[e.to] = t
+				}
+			}
+		}
+	}
+	if opts.SoftwarePipeline {
+		bs.II = computeII(bs, g, cfg)
+	}
+	return bs, vlOut, nil
+}
+
+func sortByPriority(idx []int, prio []int) {
+	// Insertion sort: ready lists are short and mostly ordered.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && prio[idx[j]] > prio[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+}
+
+// resources is the cycle-indexed reservation table.
+type resources struct {
+	// busy[unit][instance] is the set of busy cycles.
+	busy  map[isa.Unit][]map[int]bool
+	issue map[int]int // ops issued per cycle
+}
+
+func newResources(cfg *machine.Config) *resources {
+	return &resources{busy: make(map[isa.Unit][]map[int]bool), issue: make(map[int]int)}
+}
+
+func (r *resources) issueFree(cycle, width int) bool { return r.issue[cycle] < width }
+
+func (r *resources) takeIssue(cycle int) { r.issue[cycle]++ }
+
+// reserve finds a free instance of the unit for [cycle, cycle+occ) among
+// count instances, marks it busy and returns its index.
+func (r *resources) reserve(unit isa.Unit, cycle, occ, count int) (int, bool) {
+	insts := r.busy[unit]
+	for len(insts) < count {
+		insts = append(insts, make(map[int]bool))
+	}
+	r.busy[unit] = insts
+	for idx := 0; idx < count; idx++ {
+		free := true
+		for c := cycle; c < cycle+occ; c++ {
+			if insts[idx][c] {
+				free = false
+				break
+			}
+		}
+		if free {
+			for c := cycle; c < cycle+occ; c++ {
+				insts[idx][c] = true
+			}
+			return idx, true
+		}
+	}
+	return 0, false
+}

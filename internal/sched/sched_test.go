@@ -1,0 +1,738 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/simd"
+)
+
+// sched schedules f on cfg, failing the test on error.
+func mustSchedule(t *testing.T, f *ir.Func, cfg *machine.Config) *FuncSched {
+	t.Helper()
+	fs, err := Schedule(f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestDescriptorsFigure3(t *testing.T) {
+	// Figure 3: scalar op of latency L has Tlw = L; a vector op has
+	// Tlw = L + (VL-1)/LN and occupies its unit ceil(VL/LN) cycles.
+	cfg := &machine.Vector2x2 // 4 lanes, 4-word L2 port
+	scalar := &ir.Op{Opcode: isa.ADD}
+	occ, tlw := descriptors(scalar, cfg, 16)
+	if occ != 1 || tlw != 1 {
+		t.Errorf("scalar: occ=%d tlw=%d, want 1,1", occ, tlw)
+	}
+	vadd := &ir.Op{Opcode: isa.VADD, Width: simd.W16}
+	occ, tlw = descriptors(vadd, cfg, 16)
+	if occ != 4 || tlw != 2+15/4 {
+		t.Errorf("VADD VL=16: occ=%d tlw=%d, want 4,%d", occ, tlw, 2+15/4)
+	}
+	occ, tlw = descriptors(vadd, cfg, 8)
+	if occ != 2 || tlw != 2+7/4 {
+		t.Errorf("VADD VL=8: occ=%d tlw=%d, want 2,%d", occ, tlw, 2+7/4)
+	}
+	occ, tlw = descriptors(vadd, cfg, 4)
+	if occ != 1 || tlw != 2 {
+		t.Errorf("VADD VL=4: occ=%d tlw=%d, want 1,2", occ, tlw)
+	}
+	// Vector memory uses the port width (4 words): VL=8 -> 2-cycle port
+	// occupancy, Tlw = 5 + (8-1)/4 = 6.
+	vld := &ir.Op{Opcode: isa.VLD}
+	occ, tlw = descriptors(vld, cfg, 8)
+	if occ != 2 || tlw != 6 {
+		t.Errorf("VLD VL=8: occ=%d tlw=%d, want 2,6", occ, tlw)
+	}
+}
+
+func TestScheduleSimpleChain(t *testing.T) {
+	// c = (a + b) * d: MUL must issue at least 1 cycle after ADD.
+	b := ir.NewBuilder("chain")
+	a := b.Const(1)
+	c := b.Const(2)
+	s := b.Add(a, c)
+	m := b.Mul(s, a)
+	b.Store(isa.STD, m, b.Const(int64(ir.DataBase)), 0, 1)
+	b.Alloc(8)
+	fs := mustSchedule(t, b.Func(), &machine.VLIW2)
+	blk := fs.Blocks[0]
+	ops := blk.Block.Ops
+	var addCyc, mulCyc, stCyc int
+	for i := range ops {
+		switch ops[i].Opcode {
+		case isa.ADD:
+			addCyc = blk.Ops[i].Cycle
+		case isa.MUL:
+			mulCyc = blk.Ops[i].Cycle
+		case isa.STD:
+			stCyc = blk.Ops[i].Cycle
+		}
+	}
+	if mulCyc < addCyc+1 {
+		t.Errorf("MUL at %d, ADD at %d: flow latency violated", mulCyc, addCyc)
+	}
+	if stCyc < mulCyc+isa.LatMul {
+		t.Errorf("STD at %d, MUL at %d: multiply latency %d violated", stCyc, mulCyc, isa.LatMul)
+	}
+}
+
+func TestIssueWidthLimits(t *testing.T) {
+	// Eight independent adds: a 2-issue machine needs >= 4 cycles, an
+	// 8-issue machine can do it in 1 (plus drain).
+	build := func() *ir.Func {
+		b := ir.NewBuilder("wide")
+		base := b.Const(0)
+		for i := 0; i < 8; i++ {
+			b.AddI(base, int64(i))
+		}
+		return b.Func()
+	}
+	fs2 := mustSchedule(t, build(), &machine.VLIW2)
+	fs8 := mustSchedule(t, build(), &machine.VLIW8)
+	// Block 0 holds everything incl. MOVI and HALT.
+	if fs2.Blocks[0].Length <= fs8.Blocks[0].Length {
+		t.Errorf("2-issue length %d must exceed 8-issue length %d",
+			fs2.Blocks[0].Length, fs8.Blocks[0].Length)
+	}
+	// Count max ops per cycle on the 2-issue schedule.
+	perCycle := map[int]int{}
+	for i := range fs2.Blocks[0].Ops {
+		os := &fs2.Blocks[0].Ops[i]
+		if os.Unit != isa.UnitNone {
+			perCycle[os.Cycle]++
+		}
+	}
+	for cyc, n := range perCycle {
+		if n > 2 {
+			t.Errorf("cycle %d has %d ops on a 2-issue machine", cyc, n)
+		}
+	}
+}
+
+func TestL1PortLimit(t *testing.T) {
+	// Four independent loads on a machine with 1 L1 port must serialize.
+	b := ir.NewBuilder("ports")
+	base := b.Const(int64(ir.DataBase))
+	b.Alloc(64)
+	for i := 0; i < 4; i++ {
+		b.Load(isa.LDD, base, int64(8*i), 1)
+	}
+	fs := mustSchedule(t, b.Func(), &machine.Vector1x2) // 1 L1 port, 2-issue
+	cycles := map[int]int{}
+	for i := range fs.Blocks[0].Ops {
+		os := &fs.Blocks[0].Ops[i]
+		if fs.Blocks[0].Block.Ops[i].Opcode == isa.LDD {
+			cycles[os.Cycle]++
+		}
+	}
+	for cyc, n := range cycles {
+		if n > 1 {
+			t.Errorf("cycle %d has %d loads with a single L1 port", cyc, n)
+		}
+	}
+}
+
+func TestVectorChaining(t *testing.T) {
+	// VLD -> VSADA chains: the SAD may start L(VLD)=5 cycles after the
+	// load, not after the full load completes (Figure 4 of the paper).
+	b := ir.NewBuilder("chain")
+	base := b.Const(int64(ir.DataBase))
+	b.Alloc(16 * 8 * 2)
+	b.SetVLI(8)
+	b.SetVSI(8)
+	v1 := b.Vld(base, 0, 1)
+	v2 := b.Vld(base, 64, 1)
+	acc := b.Aclr()
+	b.Vsada(acc, v1, v2)
+	s := b.Vsum(simd.W8, acc)
+	b.Store(isa.STD, s, base, 128, 2)
+	fs := mustSchedule(t, b.Func(), &machine.Vector2x2)
+	blk := fs.Blocks[0]
+	var ld2Cyc, sadCyc, sumCyc int
+	nld := 0
+	for i := range blk.Block.Ops {
+		switch blk.Block.Ops[i].Opcode {
+		case isa.VLD:
+			nld++
+			if nld == 2 {
+				ld2Cyc = blk.Ops[i].Cycle
+			}
+		case isa.VSADA:
+			sadCyc = blk.Ops[i].Cycle
+		case isa.VSUM:
+			sumCyc = blk.Ops[i].Cycle
+		}
+	}
+	// Chained: SAD starts exactly 5 cycles after the later load (its
+	// other dependences resolve earlier).
+	if sadCyc != ld2Cyc+isa.LatVMem {
+		t.Errorf("VSADA at %d, second VLD at %d: chaining broken (want +%d)",
+			sadCyc, ld2Cyc, isa.LatVMem)
+	}
+	// VSUM is a scalar consumer: must wait for the SAD's full write-back
+	// Tlw = 2 + (8-1)/4 = 3.
+	if sumCyc < sadCyc+3 {
+		t.Errorf("VSUM at %d, VSADA at %d: full-latency rule broken", sumCyc, sadCyc)
+	}
+}
+
+func TestVectorUnitOccupancy(t *testing.T) {
+	// Two independent VADDs with VL=16 on one vector unit: the second
+	// cannot start until the first's 4-cycle occupancy ends.
+	b := ir.NewBuilder("occ")
+	base := b.Const(int64(ir.DataBase))
+	b.Alloc(16 * 8 * 4)
+	b.SetVLI(16)
+	b.SetVSI(8)
+	v1 := b.Vld(base, 0, 1)
+	v2 := b.Vld(base, 128, 1)
+	s1 := b.V(isa.VADD, simd.W16, v1, v2)
+	s2 := b.V(isa.VSUB, simd.W16, v1, v2)
+	b.Vst(s1, base, 256, 2)
+	b.Vst(s2, base, 384, 3)
+	fs := mustSchedule(t, b.Func(), &machine.Vector1x2) // one vector unit
+	blk := fs.Blocks[0]
+	var cycles []int
+	for i := range blk.Block.Ops {
+		op := blk.Block.Ops[i].Opcode
+		if op == isa.VADD || op == isa.VSUB {
+			cycles = append(cycles, blk.Ops[i].Cycle)
+			if blk.Ops[i].Occ != 4 {
+				t.Errorf("VL=16 on 4 lanes must occupy 4 cycles, got %d", blk.Ops[i].Occ)
+			}
+		}
+	}
+	if len(cycles) != 2 {
+		t.Fatalf("found %d vector ALU ops", len(cycles))
+	}
+	d := cycles[1] - cycles[0]
+	if d < 0 {
+		d = -d
+	}
+	if d < 4 {
+		t.Errorf("vector ops %d cycles apart on a single unit; occupancy requires >= 4", d)
+	}
+}
+
+func TestSetVLFromRegisterAssumesMax(t *testing.T) {
+	b := ir.NewBuilder("vlreg")
+	n := b.Const(4)
+	base := b.Const(int64(ir.DataBase))
+	b.Alloc(256)
+	b.SetVL(n) // register: compiler must assume MaxVL=16
+	b.SetVSI(8)
+	v := b.Vld(base, 0, 1)
+	b.Vst(v, base, 128, 2)
+	fs := mustSchedule(t, b.Func(), &machine.Vector2x2)
+	for i := range fs.Blocks[0].Block.Ops {
+		if fs.Blocks[0].Block.Ops[i].Opcode == isa.VLD {
+			if got := fs.Blocks[0].Ops[i].VL; got != isa.MaxVL {
+				t.Errorf("compile-time VL = %d, want %d", got, isa.MaxVL)
+			}
+		}
+	}
+}
+
+func TestVLPropagatesAcrossBlocks(t *testing.T) {
+	b := ir.NewBuilder("vlflow")
+	base := b.Const(int64(ir.DataBase))
+	b.Alloc(1024)
+	b.SetVLI(8)
+	b.SetVSI(8)
+	b.Loop(0, 4, 1, func(iv ir.Reg) {
+		v := b.Vld(base, 0, 1)
+		b.Vst(v, base, 512, 2)
+	})
+	fs := mustSchedule(t, b.Func(), &machine.Vector2x2)
+	found := false
+	for _, bs := range fs.Blocks {
+		for i := range bs.Block.Ops {
+			if bs.Block.Ops[i].Opcode == isa.VLD {
+				found = true
+				if bs.Ops[i].VL != 8 {
+					t.Errorf("VL in loop block = %d, want 8 (set before the loop)", bs.Ops[i].VL)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no VLD found")
+	}
+}
+
+func TestBranchLast(t *testing.T) {
+	b := ir.NewBuilder("br")
+	x := b.Const(0)
+	b.Loop(0, 10, 1, func(iv ir.Reg) {
+		b.BinTo(isa.ADD, x, x, iv)
+		b.BinITo(isa.MUL, x, x, 3)
+	})
+	fs := mustSchedule(t, b.Func(), &machine.VLIW8)
+	for _, bs := range fs.Blocks {
+		var brCyc = -1
+		maxCyc := 0
+		for i := range bs.Block.Ops {
+			if bs.Block.Ops[i].Opcode.Get().Branch {
+				brCyc = bs.Ops[i].Cycle
+			}
+			if bs.Ops[i].Unit != isa.UnitNone && bs.Ops[i].Cycle > maxCyc {
+				maxCyc = bs.Ops[i].Cycle
+			}
+		}
+		if brCyc >= 0 && brCyc != maxCyc {
+			t.Errorf("B%d: branch at cycle %d but ops issue up to %d", bs.Block.ID, brCyc, maxCyc)
+		}
+	}
+}
+
+func TestMemoryDependenceOrdering(t *testing.T) {
+	// Store then load of the same alias class must not reorder.
+	b := ir.NewBuilder("mem")
+	base := b.Const(int64(ir.DataBase))
+	b.Alloc(64)
+	v := b.Const(42)
+	b.Store(isa.STD, v, base, 0, 1)
+	l := b.Load(isa.LDD, base, 0, 1)
+	b.Store(isa.STD, l, base, 8, 1)
+	fs := mustSchedule(t, b.Func(), &machine.VLIW8)
+	blk := fs.Blocks[0]
+	var st0, ld int
+	seen := 0
+	for i := range blk.Block.Ops {
+		switch blk.Block.Ops[i].Opcode {
+		case isa.STD:
+			if seen == 0 {
+				st0 = blk.Ops[i].Cycle
+			}
+			seen++
+		case isa.LDD:
+			ld = blk.Ops[i].Cycle
+		}
+	}
+	if ld <= st0 {
+		t.Errorf("load at %d not after store at %d", ld, st0)
+	}
+}
+
+func TestDistinctAliasClassesReorder(t *testing.T) {
+	// A store and a load in different alias classes are independent; the
+	// scheduler may overlap them (both in cycle <= 1 on a wide machine).
+	b := ir.NewBuilder("alias")
+	base := b.Const(int64(ir.DataBase))
+	b.Alloc(64)
+	v := b.Const(42)
+	b.Store(isa.STD, v, base, 0, 1)
+	b.Load(isa.LDD, base, 32, 2)
+	fs := mustSchedule(t, b.Func(), &machine.VLIW8) // 3 L1 ports
+	blk := fs.Blocks[0]
+	var st, ld int
+	for i := range blk.Block.Ops {
+		switch blk.Block.Ops[i].Opcode {
+		case isa.STD:
+			st = blk.Ops[i].Cycle
+		case isa.LDD:
+			ld = blk.Ops[i].Cycle
+		}
+	}
+	if ld > st {
+		t.Errorf("independent load (cycle %d) needlessly ordered after store (cycle %d)", ld, st)
+	}
+}
+
+func TestUnsupportedOpcodeRejected(t *testing.T) {
+	b := ir.NewBuilder("bad")
+	base := b.Const(int64(ir.DataBase))
+	b.Alloc(128)
+	b.SetVLI(8)
+	b.SetVSI(8)
+	v := b.Vld(base, 0, 1)
+	b.Vst(v, base, 64, 2)
+	if _, err := Schedule(b.Func(), &machine.USIMD2); err == nil {
+		t.Fatal("µSIMD machine must reject vector operations")
+	}
+	b2 := ir.NewBuilder("bad2")
+	m := b2.Ldm(b2.Const(int64(ir.DataBase)), 0, 1)
+	b2.Stm(m, b2.Const(int64(ir.DataBase)), 8, 1)
+	b2.Alloc(16)
+	if _, err := Schedule(b2.Func(), &machine.VLIW2); err == nil {
+		t.Fatal("plain VLIW must reject µSIMD operations")
+	}
+}
+
+func TestRegisterPressureRejected(t *testing.T) {
+	// 30 simultaneously-live vector registers exceed the 20-entry file of
+	// Vector2-2w.
+	b := ir.NewBuilder("pressure")
+	base := b.Const(int64(ir.DataBase))
+	b.Alloc(4096)
+	b.SetVLI(8)
+	b.SetVSI(8)
+	var vs []ir.Reg
+	for i := 0; i < 30; i++ {
+		vs = append(vs, b.Vld(base, int64(i*64), 1))
+	}
+	acc := b.Aclr()
+	for i := 0; i+1 < len(vs); i += 2 {
+		b.Vsada(acc, vs[i], vs[i+1])
+	}
+	f := b.Func()
+	if _, err := Schedule(f, &machine.Vector2x2); err == nil {
+		t.Fatal("expected register-pressure error on Vector2-2w (20 vector regs)")
+	}
+	if _, err := Schedule(f, &machine.Vector2x4); err != nil {
+		t.Fatalf("Vector2-4w (32 vector regs) must accept: %v", err)
+	}
+}
+
+func TestMaxPressureReported(t *testing.T) {
+	b := ir.NewBuilder("p")
+	x := b.Const(1)
+	y := b.Const(2)
+	z := b.Add(x, y)
+	b.Store(isa.STD, z, b.Const(int64(ir.DataBase)), 0, 1)
+	b.Alloc(8)
+	fs := mustSchedule(t, b.Func(), &machine.VLIW2)
+	if fs.MaxPressure[isa.RegInt] < 2 {
+		t.Errorf("int pressure = %d, want >= 2", fs.MaxPressure[isa.RegInt])
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	build := func() *ir.Func {
+		b := ir.NewBuilder("det")
+		base := b.Const(int64(ir.DataBase))
+		b.Alloc(1024)
+		b.SetVLI(16)
+		b.SetVSI(8)
+		for i := 0; i < 4; i++ {
+			v1 := b.Vld(base, int64(i*128), 1)
+			v2 := b.VShiftI(isa.VSRA, simd.W16, v1, 2)
+			b.Vst(v2, base, int64(512+i*128), 2)
+		}
+		return b.Func()
+	}
+	a := mustSchedule(t, build(), &machine.Vector2x4)
+	c := mustSchedule(t, build(), &machine.Vector2x4)
+	for i := range a.Blocks {
+		if a.Blocks[i].Length != c.Blocks[i].Length {
+			t.Fatalf("nondeterministic block length at B%d", i)
+		}
+		for j := range a.Blocks[i].Ops {
+			if a.Blocks[i].Ops[j].Cycle != c.Blocks[i].Ops[j].Cycle {
+				t.Fatalf("nondeterministic cycle at B%d op %d", i, j)
+			}
+		}
+	}
+}
+
+func TestDumpRendersGrid(t *testing.T) {
+	b := ir.NewBuilder("dump")
+	base := b.Const(int64(ir.DataBase))
+	b.Alloc(256)
+	b.SetVLI(8)
+	b.SetVSI(8)
+	v1 := b.Vld(base, 0, 1)
+	v2 := b.Vld(base, 64, 1)
+	acc := b.Aclr()
+	b.Vsada(acc, v1, v2)
+	s := b.Vsum(simd.W8, acc)
+	b.Store(isa.STD, s, base, 128, 2)
+	fs := mustSchedule(t, b.Func(), &machine.Vector2x2)
+	out := fs.Blocks[0].Dump(&machine.Vector2x2)
+	for _, want := range []string{"IALU0", "VALU0", "pL2_0", "vld", "vsada", "block length"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmptyBlockScheduled(t *testing.T) {
+	b := ir.NewBuilder("empty")
+	b.NewBlock() // empty block in the middle
+	blk := b.NewBlock()
+	b.SetBlock(blk)
+	b.Const(1)
+	fs := mustSchedule(t, b.Func(), &machine.VLIW2)
+	if fs.Blocks[1].Length != 0 {
+		t.Errorf("empty block length = %d, want 0", fs.Blocks[1].Length)
+	}
+}
+
+func TestDrainIncludesWriteback(t *testing.T) {
+	// A lone µSIMD op (latency 2) at the end of a block extends the block
+	// beyond its issue cycle: length = issue + 2.
+	b := ir.NewBuilder("drain")
+	base := b.Const(int64(ir.DataBase))
+	b.Alloc(32)
+	m := b.Ldm(base, 0, 1)
+	b.P(isa.PADD, simd.W8, m, m)
+	f := b.Func()
+	fs := mustSchedule(t, f, &machine.USIMD2)
+	blk := fs.Blocks[0]
+	var padd OpSched
+	for i := range blk.Block.Ops {
+		if blk.Block.Ops[i].Opcode == isa.PADD {
+			padd = blk.Ops[i]
+		}
+	}
+	if blk.Length < padd.Cycle+isa.LatSIMD {
+		t.Errorf("length %d does not cover PADD write-back at %d", blk.Length, padd.Cycle+isa.LatSIMD)
+	}
+}
+
+func TestValidateAcceptsProducedSchedules(t *testing.T) {
+	// The independent auditor must accept everything the scheduler emits.
+	builds := []func() *ir.Func{
+		func() *ir.Func {
+			b := ir.NewBuilder("mix")
+			base := b.Const(int64(ir.DataBase))
+			b.Alloc(4096)
+			b.SetVLI(12)
+			b.SetVSI(8)
+			v1 := b.Vld(base, 0, 1)
+			v2 := b.Vld(base, 128, 1)
+			acc := b.Aclr()
+			b.Vsada(acc, v1, v2)
+			s := b.Vsum(simd.W8, acc)
+			b.Store(isa.STD, s, base, 512, 2)
+			b.Loop(0, 8, 1, func(iv ir.Reg) {
+				x := b.Load(isa.LDD, base, 1024, 3)
+				b.Store(isa.STD, b.Add(x, iv), base, 1032, 3)
+			})
+			return b.Func()
+		},
+		func() *ir.Func {
+			b := ir.NewBuilder("scalar")
+			x := b.Const(1)
+			b.Loop(0, 20, 1, func(iv ir.Reg) {
+				b.BinTo(isa.MUL, x, x, iv)
+				b.IfElse(isa.BLT, x, iv, func() { b.BinITo(isa.ADD, x, x, 3) }, nil)
+			})
+			b.Store(isa.STD, x, b.Const(int64(ir.DataBase)), 0, 1)
+			b.Alloc(8)
+			return b.Func()
+		},
+	}
+	for _, build := range builds {
+		for _, cfg := range machine.All() {
+			f := build()
+			fs, err := Schedule(f, cfg)
+			if err != nil {
+				// ISA-mismatch is fine (vector code on scalar machines).
+				continue
+			}
+			if err := fs.Validate(); err != nil {
+				t.Errorf("%s on %s: %v", f.Name, cfg.Name, err)
+			}
+		}
+	}
+}
+
+func TestValidateWithAblationOptions(t *testing.T) {
+	b := ir.NewBuilder("opts")
+	base := b.Const(int64(ir.DataBase))
+	b.Alloc(1024)
+	b.SetVLI(16)
+	b.SetVSI(8)
+	v1 := b.Vld(base, 0, 1)
+	v2 := b.V(isa.VADD, simd.W16, v1, v1)
+	b.Vst(v2, base, 512, 2)
+	f := b.Func()
+	for _, opts := range []Options{
+		{},
+		{NoChaining: true},
+		{OverlapDrain: true},
+		{NoChaining: true, OverlapDrain: true},
+	} {
+		fs, err := ScheduleOpts(f, &machine.Vector2x2, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Validate(); err != nil {
+			t.Errorf("opts %+v: %v", opts, err)
+		}
+	}
+}
+
+func TestNoChainingDelaysConsumers(t *testing.T) {
+	build := func(opts Options) *FuncSched {
+		b := ir.NewBuilder("chain")
+		base := b.Const(int64(ir.DataBase))
+		b.Alloc(1024)
+		b.SetVLI(16)
+		b.SetVSI(8)
+		v1 := b.Vld(base, 0, 1)
+		v2 := b.V(isa.VADD, simd.W16, v1, v1)
+		b.Vst(v2, base, 512, 2)
+		fs, err := ScheduleOpts(b.Func(), &machine.Vector2x2, opts)
+		if err != nil {
+			panic(err)
+		}
+		return fs
+	}
+	with := build(Options{})
+	without := build(Options{NoChaining: true})
+	if without.Blocks[0].Length <= with.Blocks[0].Length {
+		// VLD(VL=16) full write-back is 5+15/4=8 vs chained start at 5.
+		t.Errorf("no-chaining schedule (%d cycles) not longer than chained (%d)",
+			without.Blocks[0].Length, with.Blocks[0].Length)
+	}
+}
+
+func TestOverlapDrainShortensBlocks(t *testing.T) {
+	b := ir.NewBuilder("drain")
+	base := b.Const(int64(ir.DataBase))
+	b.Alloc(1024)
+	b.SetVLI(16)
+	b.SetVSI(8)
+	v := b.Vld(base, 0, 1)
+	b.Vst(v, base, 512, 2)
+	f := b.Func()
+	normal, err := ScheduleOpts(f, &machine.Vector2x2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlap, err := ScheduleOpts(f, &machine.Vector2x2, Options{OverlapDrain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overlap.Blocks[0].Length >= normal.Blocks[0].Length {
+		t.Errorf("overlap-drain (%d) not shorter than drained (%d)",
+			overlap.Blocks[0].Length, normal.Blocks[0].Length)
+	}
+	if err := overlap.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftwarePipelineComputesII(t *testing.T) {
+	// A vector copy loop: per iteration 2 VLDs + 1 VST on a single L2
+	// port (occupancy 4 each at VL=16) bound II to ~12, far below the
+	// drained block length.
+	build := func() *ir.Func {
+		b := ir.NewBuilder("pipe")
+		base := b.Const(int64(ir.DataBase))
+		b.Alloc(8192)
+		b.SetVLI(16)
+		b.SetVSI(8)
+		p := b.Mov(base)
+		q := b.AddI(base, 4096)
+		b.Loop(0, 16, 1, func(ir.Reg) {
+			v1 := b.Vld(p, 0, 1)
+			v2 := b.Vld(p, 128, 1)
+			b.Vst(b.V(isa.VADD, simd.W16, v1, v2), q, 0, 2)
+			b.BinITo(isa.ADD, p, p, 256)
+			b.BinITo(isa.ADD, q, q, 128)
+		})
+		return b.Func()
+	}
+	plain, err := ScheduleOpts(build(), &machine.Vector2x2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped, err := ScheduleOpts(build(), &machine.Vector2x2, Options{SoftwarePipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loop *BlockSched
+	for _, bs := range piped.Blocks {
+		if bs.II > 0 {
+			loop = bs
+		}
+	}
+	if loop == nil {
+		t.Fatal("no block was pipelined")
+	}
+	if loop.II >= loop.Length {
+		t.Fatalf("II %d not below block length %d", loop.II, loop.Length)
+	}
+	// The L2 port occupancy (3 vector mem ops x 4 cycles) bounds II >= 12.
+	if loop.II < 12 {
+		t.Fatalf("II %d below the L2-port resource bound of 12", loop.II)
+	}
+	// Plain schedules never set II.
+	for _, bs := range plain.Blocks {
+		if bs.II != 0 {
+			t.Fatal("II set without SoftwarePipeline")
+		}
+	}
+}
+
+func TestSoftwarePipelineRespectsRecurrences(t *testing.T) {
+	// A loop whose body is one long dependent chain through a carried
+	// register cannot overlap: II must be >= the chain latency.
+	b := ir.NewBuilder("serial")
+	x := b.Const(1)
+	b.Loop(0, 8, 1, func(ir.Reg) {
+		b.BinITo(isa.MUL, x, x, 3) // 3-cycle latency, carried
+		b.BinITo(isa.MUL, x, x, 5)
+		b.BinITo(isa.MUL, x, x, 7)
+	})
+	b.Store(isa.STD, x, b.Const(int64(ir.DataBase)), 0, 1)
+	b.Alloc(8)
+	fs, err := ScheduleOpts(b.Func(), &machine.VLIW8, Options{SoftwarePipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range fs.Blocks {
+		if bs.II > 0 && bs.II < 3*isa.LatMul {
+			t.Fatalf("II %d violates the 3-multiply carried chain (%d)", bs.II, 3*isa.LatMul)
+		}
+	}
+}
+
+func TestSourceOrderPriorityNotFaster(t *testing.T) {
+	// The critical-path heuristic must be at least as good as source
+	// order on a latency-diverse block.
+	build := func() *ir.Func {
+		b := ir.NewBuilder("prio")
+		base := b.Const(int64(ir.DataBase))
+		b.Alloc(128)
+		// A long multiply chain plus independent cheap work.
+		x := b.Const(3)
+		for i := 0; i < 6; i++ {
+			x = b.MulI(x, 7)
+		}
+		for i := 0; i < 10; i++ {
+			b.Store(isa.STB, b.Const(int64(i)), base, int64(i), 1)
+		}
+		b.Store(isa.STD, x, base, 64, 2)
+		return b.Func()
+	}
+	cp, err := ScheduleOpts(build(), &machine.VLIW4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, err := ScheduleOpts(build(), &machine.VLIW4, Options{SourceOrderPriority: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := so.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Blocks[0].Length > so.Blocks[0].Length {
+		t.Errorf("critical-path schedule (%d) worse than source order (%d)",
+			cp.Blocks[0].Length, so.Blocks[0].Length)
+	}
+}
+
+func TestLoopRegBuilder(t *testing.T) {
+	b := ir.NewBuilder("loopreg")
+	out := b.Alloc(8)
+	n := b.Const(7)
+	sum := b.Const(0)
+	b.LoopReg(n, func(iv ir.Reg) {
+		b.BinTo(isa.ADD, sum, sum, iv)
+	})
+	b.Store(isa.STD, sum, b.Const(out), 0, 1)
+	fs := mustSchedule(t, b.Func(), &machine.VLIW2)
+	if err := fs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

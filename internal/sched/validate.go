@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"fmt"
+
+	"vsimdvliw/internal/isa"
+)
+
+// Validate re-derives the dependence graph and resource requirements of
+// every block and checks the computed schedule against them: an
+// independent auditor for the list scheduler. It verifies that
+//
+//   - every dependence edge's latency is respected,
+//   - no cycle issues more operations than the machine width,
+//   - no functional-unit instance is double-booked during an occupancy,
+//   - instance indices are within the configuration's unit counts,
+//   - no operation issues after the block's branch,
+//   - the block length covers every issue (and, unless the schedule was
+//     built with OverlapDrain, every write-back).
+func (fs *FuncSched) Validate() error {
+	opts := fs.Opts
+	cfg := fs.Config
+	vl := isa.MaxVL
+	for bi, bs := range fs.Blocks {
+		g, vlOut := buildDAG(bs.Block, cfg, vl, opts)
+		vl = vlOut
+		issue := map[int]int{}
+		busy := map[[3]int]int{} // (unit, instance, cycle) -> op index + 1
+		branchCycle := -1
+		maxIssue := 0
+
+		for i := range g.nodes {
+			nd := &g.nodes[i]
+			os := &bs.Ops[i]
+			if nd.pseudo {
+				continue
+			}
+			// Dependences.
+			for _, e := range nd.preds {
+				p := &g.nodes[e.to]
+				if p.pseudo {
+					continue
+				}
+				if got := os.Cycle - bs.Ops[e.to].Cycle; got < e.lat {
+					return fmt.Errorf("sched: %s B%d: op %d (%s) at cycle %d violates "+
+						"dependence on op %d (%s) at cycle %d (latency %d)",
+						fs.Func.Name, bi, i, nd.op, os.Cycle,
+						e.to, p.op, bs.Ops[e.to].Cycle, e.lat)
+				}
+			}
+			// Descriptors recorded faithfully.
+			occ, tlw := descriptors(nd.op, cfg, nd.vlOrDefault())
+			if os.Occ != occ || os.Tlw != tlw {
+				return fmt.Errorf("sched: %s B%d op %d: recorded occ/tlw %d/%d, derived %d/%d",
+					fs.Func.Name, bi, i, os.Occ, os.Tlw, occ, tlw)
+			}
+			// Resources.
+			issue[os.Cycle]++
+			if issue[os.Cycle] > cfg.Issue {
+				return fmt.Errorf("sched: %s B%d: cycle %d issues %d ops on a %d-issue machine",
+					fs.Func.Name, bi, os.Cycle, issue[os.Cycle], cfg.Issue)
+			}
+			unit := cfg.UnitFor(nd.unit)
+			if os.Unit != unit {
+				return fmt.Errorf("sched: %s B%d op %d: unit %v, want %v", fs.Func.Name, bi, i, os.Unit, unit)
+			}
+			if os.UnitIdx < 0 || os.UnitIdx >= cfg.Units(unit) {
+				return fmt.Errorf("sched: %s B%d op %d: unit index %d out of %d",
+					fs.Func.Name, bi, i, os.UnitIdx, cfg.Units(unit))
+			}
+			for c := os.Cycle; c < os.Cycle+os.Occ; c++ {
+				key := [3]int{int(unit), os.UnitIdx, c}
+				if prev, taken := busy[key]; taken {
+					return fmt.Errorf("sched: %s B%d: ops %d and %d share %v[%d] at cycle %d",
+						fs.Func.Name, bi, prev-1, i, unit, os.UnitIdx, c)
+				}
+				busy[key] = i + 1
+			}
+			if nd.op.Info().Branch {
+				branchCycle = os.Cycle
+			}
+			if os.Cycle > maxIssue {
+				maxIssue = os.Cycle
+			}
+			// Length coverage.
+			if bs.Length < os.Cycle+1 {
+				return fmt.Errorf("sched: %s B%d: length %d does not cover issue at %d",
+					fs.Func.Name, bi, bs.Length, os.Cycle)
+			}
+			if !opts.OverlapDrain && bs.Length < os.Cycle+os.Tlw {
+				return fmt.Errorf("sched: %s B%d: length %d does not cover write-back at %d",
+					fs.Func.Name, bi, bs.Length, os.Cycle+os.Tlw)
+			}
+		}
+		if branchCycle >= 0 && branchCycle < maxIssue {
+			return fmt.Errorf("sched: %s B%d: branch at cycle %d precedes issues up to %d",
+				fs.Func.Name, bi, branchCycle, maxIssue)
+		}
+	}
+	return nil
+}
+
+// vlOrDefault returns the node's VL, defaulting to 1 for scalar ops so
+// descriptors() is well-defined.
+func (n *node) vlOrDefault() int {
+	if n.vl > 0 {
+		return n.vl
+	}
+	return 1
+}

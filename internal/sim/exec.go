@@ -1,0 +1,486 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/sched"
+	"vsimdvliw/internal/simd"
+)
+
+func (m *Machine) geti(r ir.Reg) uint64    { return m.intRegs[r.ID] }
+func (m *Machine) seti(r ir.Reg, v uint64) { m.intRegs[r.ID] = v }
+func (m *Machine) getm(r ir.Reg) uint64    { return m.simdRegs[r.ID] }
+func (m *Machine) setm(r ir.Reg, v uint64) { m.simdRegs[r.ID] = v }
+
+func (m *Machine) loadWord(addr int64, size int) (uint64, error) {
+	if addr < 0 || addr+int64(size) > int64(len(m.memory)) {
+		return 0, fmt.Errorf("load at %#x (%d bytes) outside memory", addr, size)
+	}
+	switch size {
+	case 1:
+		return uint64(m.memory[addr]), nil
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(m.memory[addr:])), nil
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(m.memory[addr:])), nil
+	case 8:
+		return binary.LittleEndian.Uint64(m.memory[addr:]), nil
+	}
+	return 0, fmt.Errorf("bad access size %d", size)
+}
+
+func (m *Machine) storeWord(addr int64, size int, v uint64) error {
+	if addr < 0 || addr+int64(size) > int64(len(m.memory)) {
+		return fmt.Errorf("store at %#x (%d bytes) outside memory", addr, size)
+	}
+	switch size {
+	case 1:
+		m.memory[addr] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(m.memory[addr:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(m.memory[addr:], uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(m.memory[addr:], v)
+	default:
+		return fmt.Errorf("bad access size %d", size)
+	}
+	return nil
+}
+
+// signExtend sign-extends the low size bytes of v.
+func signExtend(v uint64, size int) uint64 {
+	sh := uint(64 - 8*size)
+	return uint64(int64(v<<sh) >> sh)
+}
+
+// aluEval computes a scalar integer operation.
+func aluEval(op isa.Opcode, a, b uint64) (uint64, error) {
+	sa, sb := int64(a), int64(b)
+	switch op {
+	case isa.ADD:
+		return uint64(sa + sb), nil
+	case isa.SUB:
+		return uint64(sa - sb), nil
+	case isa.MUL:
+		return uint64(sa * sb), nil
+	case isa.DIV:
+		if sb == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return uint64(sa / sb), nil
+	case isa.AND:
+		return a & b, nil
+	case isa.OR:
+		return a | b, nil
+	case isa.XOR:
+		return a ^ b, nil
+	case isa.SHL:
+		return a << (b & 63), nil
+	case isa.SHR:
+		return a >> (b & 63), nil
+	case isa.SRA:
+		return uint64(sa >> (b & 63)), nil
+	case isa.CMPEQ:
+		return boolTo(a == b), nil
+	case isa.CMPNE:
+		return boolTo(a != b), nil
+	case isa.CMPLT:
+		return boolTo(sa < sb), nil
+	case isa.CMPLE:
+		return boolTo(sa <= sb), nil
+	case isa.CMPLTU:
+		return boolTo(a < b), nil
+	}
+	return 0, fmt.Errorf("not an ALU opcode: %s", op.Name())
+}
+
+func boolTo(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// vecBase maps a vector compute opcode to the packed opcode applied per
+// 64-bit word element.
+func vecBase(op isa.Opcode) isa.Opcode {
+	switch op {
+	case isa.VADD:
+		return isa.PADD
+	case isa.VSUB:
+		return isa.PSUB
+	case isa.VADDS:
+		return isa.PADDS
+	case isa.VSUBS:
+		return isa.PSUBS
+	case isa.VADDU:
+		return isa.PADDU
+	case isa.VSUBU:
+		return isa.PSUBU
+	case isa.VMULL:
+		return isa.PMULL
+	case isa.VMULH:
+		return isa.PMULH
+	case isa.VMADD:
+		return isa.PMADD
+	case isa.VAVG:
+		return isa.PAVG
+	case isa.VMINU:
+		return isa.PMINU
+	case isa.VMAXU:
+		return isa.PMAXU
+	case isa.VMINS:
+		return isa.PMINS
+	case isa.VMAXS:
+		return isa.PMAXS
+	case isa.VABSD:
+		return isa.PABSD
+	case isa.VAND:
+		return isa.PAND
+	case isa.VOR:
+		return isa.POR
+	case isa.VXOR:
+		return isa.PXOR
+	case isa.VANDN:
+		return isa.PANDN
+	case isa.VCMPEQ:
+		return isa.PCMPEQ
+	case isa.VCMPGT:
+		return isa.PCMPGT
+	case isa.VPACKSS:
+		return isa.PACKSS
+	case isa.VPACKUS:
+		return isa.PACKUS
+	case isa.VUNPCKL:
+		return isa.PUNPCKL
+	case isa.VUNPCKH:
+		return isa.PUNPCKH
+	case isa.VSLL:
+		return isa.PSLL
+	case isa.VSRL:
+		return isa.PSRL
+	case isa.VSRA:
+		return isa.PSRA
+	}
+	return isa.NOP
+}
+
+// packedEval computes a two-source packed word operation.
+func packedEval(op isa.Opcode, w simd.Width, a, b uint64) (uint64, error) {
+	switch op {
+	case isa.PADD:
+		return simd.Add(a, b, w), nil
+	case isa.PSUB:
+		return simd.Sub(a, b, w), nil
+	case isa.PADDS:
+		return simd.AddS(a, b, w), nil
+	case isa.PSUBS:
+		return simd.SubS(a, b, w), nil
+	case isa.PADDU:
+		return simd.AddU(a, b, w), nil
+	case isa.PSUBU:
+		return simd.SubU(a, b, w), nil
+	case isa.PMULL:
+		return simd.MulLo(a, b, w), nil
+	case isa.PMULH:
+		return simd.MulHi(a, b, w), nil
+	case isa.PMADD:
+		return simd.MAdd(a, b), nil
+	case isa.PAVG:
+		return simd.AvgU(a, b, w), nil
+	case isa.PMINU:
+		return simd.MinU(a, b, w), nil
+	case isa.PMAXU:
+		return simd.MaxU(a, b, w), nil
+	case isa.PMINS:
+		return simd.MinS(a, b, w), nil
+	case isa.PMAXS:
+		return simd.MaxS(a, b, w), nil
+	case isa.PABSD:
+		return simd.AbsDiffU(a, b, w), nil
+	case isa.PSAD:
+		return simd.SAD(a, b), nil
+	case isa.PAND:
+		return simd.And(a, b), nil
+	case isa.POR:
+		return simd.Or(a, b), nil
+	case isa.PXOR:
+		return simd.Xor(a, b), nil
+	case isa.PANDN:
+		return simd.AndNot(a, b), nil
+	case isa.PCMPEQ:
+		return simd.CmpEq(a, b, w), nil
+	case isa.PCMPGT:
+		return simd.CmpGtS(a, b, w), nil
+	case isa.PACKSS:
+		return simd.PackSS(a, b, w), nil
+	case isa.PACKUS:
+		return simd.PackUS(a, b, w), nil
+	case isa.PUNPCKL:
+		return simd.UnpackLo(a, b, w), nil
+	case isa.PUNPCKH:
+		return simd.UnpackHi(a, b, w), nil
+	}
+	return 0, fmt.Errorf("not a packed opcode: %s", op.Name())
+}
+
+// packedShift computes an immediate packed shift.
+func packedShift(op isa.Opcode, w simd.Width, a uint64, imm uint) (uint64, error) {
+	switch op {
+	case isa.PSLL:
+		return simd.ShlI(a, w, imm), nil
+	case isa.PSRL:
+		return simd.ShrI(a, w, imm), nil
+	case isa.PSRA:
+		return simd.SraI(a, w, imm), nil
+	}
+	return 0, fmt.Errorf("not a packed shift: %s", op.Name())
+}
+
+// execOp executes a single operation. It returns the memory stall charged
+// to this operation, the taken-branch target (-1 if none) and a halt flag.
+func (m *Machine) execOp(op *ir.Op, os *sched.OpSched) (stall int64, branch int, halt bool, err error) {
+	branch = -1
+	m.count(op)
+
+	// Second ALU source: immediate or register.
+	src2 := func() uint64 {
+		if op.UseImm {
+			return uint64(op.Imm)
+		}
+		return m.geti(op.Src[1])
+	}
+
+	switch op.Opcode {
+	case isa.MOVI:
+		m.seti(op.Dst[0], uint64(op.Imm))
+	case isa.MOV:
+		m.seti(op.Dst[0], m.geti(op.Src[0]))
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.AND, isa.OR, isa.XOR,
+		isa.SHL, isa.SHR, isa.SRA, isa.CMPEQ, isa.CMPNE, isa.CMPLT,
+		isa.CMPLE, isa.CMPLTU:
+		v, e := aluEval(op.Opcode, m.geti(op.Src[0]), src2())
+		if e != nil {
+			return 0, -1, false, e
+		}
+		m.seti(op.Dst[0], v)
+	case isa.SELECT:
+		if m.geti(op.Src[0]) != 0 {
+			m.seti(op.Dst[0], m.geti(op.Src[1]))
+		} else {
+			m.seti(op.Dst[0], m.geti(op.Src[2]))
+		}
+
+	case isa.LDB, isa.LDBU, isa.LDH, isa.LDHU, isa.LDW, isa.LDWU, isa.LDD:
+		size := isa.AccessBytes(op.Opcode)
+		addr := int64(m.geti(op.Src[0])) + op.Imm
+		v, e := m.loadWord(addr, size)
+		if e != nil {
+			return 0, -1, false, e
+		}
+		if isa.LoadSigned(op.Opcode) {
+			v = signExtend(v, size)
+		}
+		m.seti(op.Dst[0], v)
+		stall = m.memStall(os, m.model.ScalarAccess(addr, size, false))
+	case isa.STB, isa.STH, isa.STW, isa.STD:
+		size := isa.AccessBytes(op.Opcode)
+		addr := int64(m.geti(op.Src[1])) + op.Imm
+		if e := m.storeWord(addr, size, m.geti(op.Src[0])); e != nil {
+			return 0, -1, false, e
+		}
+		stall = m.memStall(os, m.model.ScalarAccess(addr, size, true))
+
+	case isa.BEQ:
+		if m.geti(op.Src[0]) == m.geti(op.Src[1]) {
+			branch = op.Target
+		}
+	case isa.BNE:
+		if m.geti(op.Src[0]) != m.geti(op.Src[1]) {
+			branch = op.Target
+		}
+	case isa.BLT:
+		if int64(m.geti(op.Src[0])) < int64(m.geti(op.Src[1])) {
+			branch = op.Target
+		}
+	case isa.BGE:
+		if int64(m.geti(op.Src[0])) >= int64(m.geti(op.Src[1])) {
+			branch = op.Target
+		}
+	case isa.JMP:
+		branch = op.Target
+	case isa.HALT:
+		halt = true
+
+	case isa.LDM:
+		addr := int64(m.geti(op.Src[0])) + op.Imm
+		v, e := m.loadWord(addr, 8)
+		if e != nil {
+			return 0, -1, false, e
+		}
+		m.setm(op.Dst[0], v)
+		stall = m.memStall(os, m.model.ScalarAccess(addr, 8, false))
+	case isa.STM:
+		addr := int64(m.geti(op.Src[1])) + op.Imm
+		if e := m.storeWord(addr, 8, m.getm(op.Src[0])); e != nil {
+			return 0, -1, false, e
+		}
+		stall = m.memStall(os, m.model.ScalarAccess(addr, 8, true))
+	case isa.MOVIM:
+		m.setm(op.Dst[0], uint64(op.Imm))
+	case isa.MOVRM:
+		m.setm(op.Dst[0], m.geti(op.Src[0]))
+	case isa.MOVMR:
+		m.seti(op.Dst[0], m.getm(op.Src[0]))
+	case isa.PSPLAT:
+		m.setm(op.Dst[0], simd.Splat(m.geti(op.Src[0]), op.Width))
+	case isa.PSLL, isa.PSRL, isa.PSRA:
+		v, e := packedShift(op.Opcode, op.Width, m.getm(op.Src[0]), uint(op.Imm))
+		if e != nil {
+			return 0, -1, false, e
+		}
+		m.setm(op.Dst[0], v)
+	case isa.PADD, isa.PSUB, isa.PADDS, isa.PSUBS, isa.PADDU, isa.PSUBU,
+		isa.PMULL, isa.PMULH, isa.PMADD, isa.PAVG, isa.PMINU, isa.PMAXU,
+		isa.PMINS, isa.PMAXS, isa.PABSD, isa.PSAD, isa.PAND, isa.POR,
+		isa.PXOR, isa.PANDN, isa.PCMPEQ, isa.PCMPGT, isa.PACKSS,
+		isa.PACKUS, isa.PUNPCKL, isa.PUNPCKH:
+		v, e := packedEval(op.Opcode, op.Width, m.getm(op.Src[0]), m.getm(op.Src[1]))
+		if e != nil {
+			return 0, -1, false, e
+		}
+		m.setm(op.Dst[0], v)
+
+	case isa.SETVL:
+		v := op.Imm
+		if !op.UseImm {
+			v = int64(m.geti(op.Src[0]))
+		}
+		if v < 1 || v > isa.MaxVL {
+			return 0, -1, false, fmt.Errorf("SETVL %d out of range", v)
+		}
+		m.vl = int(v)
+	case isa.SETVS:
+		v := op.Imm
+		if !op.UseImm {
+			v = int64(m.geti(op.Src[0]))
+		}
+		m.vs = v
+	case isa.VLD:
+		base := int64(m.geti(op.Src[0])) + op.Imm
+		vec := &m.vecRegs[op.Dst[0].ID]
+		for i := 0; i < m.vl; i++ {
+			v, e := m.loadWord(base+int64(i)*m.vs, 8)
+			if e != nil {
+				return 0, -1, false, e
+			}
+			vec[i] = v
+		}
+		stall = m.memStall(os, m.model.VectorAccess(base, m.vs, m.vl, false))
+	case isa.VST:
+		base := int64(m.geti(op.Src[1])) + op.Imm
+		vec := &m.vecRegs[op.Src[0].ID]
+		for i := 0; i < m.vl; i++ {
+			if e := m.storeWord(base+int64(i)*m.vs, 8, vec[i]); e != nil {
+				return 0, -1, false, e
+			}
+		}
+		stall = m.memStall(os, m.model.VectorAccess(base, m.vs, m.vl, true))
+	case isa.VMOV:
+		src := m.vecRegs[op.Src[0].ID]
+		dst := &m.vecRegs[op.Dst[0].ID]
+		for i := 0; i < m.vl; i++ {
+			dst[i] = src[i]
+		}
+	case isa.VSPLAT:
+		v := m.geti(op.Src[0])
+		dst := &m.vecRegs[op.Dst[0].ID]
+		for i := 0; i < m.vl; i++ {
+			dst[i] = v
+		}
+	case isa.VSLL, isa.VSRL, isa.VSRA:
+		src := m.vecRegs[op.Src[0].ID]
+		dst := &m.vecRegs[op.Dst[0].ID]
+		base := vecBase(op.Opcode)
+		for i := 0; i < m.vl; i++ {
+			v, e := packedShift(base, op.Width, src[i], uint(op.Imm))
+			if e != nil {
+				return 0, -1, false, e
+			}
+			dst[i] = v
+		}
+	case isa.VADD, isa.VSUB, isa.VADDS, isa.VSUBS, isa.VADDU, isa.VSUBU,
+		isa.VMULL, isa.VMULH, isa.VMADD, isa.VAVG, isa.VMINU, isa.VMAXU,
+		isa.VMINS, isa.VMAXS, isa.VABSD, isa.VAND, isa.VOR, isa.VXOR,
+		isa.VANDN, isa.VCMPEQ, isa.VCMPGT, isa.VPACKSS, isa.VPACKUS,
+		isa.VUNPCKL, isa.VUNPCKH:
+		a := m.vecRegs[op.Src[0].ID]
+		bb := m.vecRegs[op.Src[1].ID]
+		dst := &m.vecRegs[op.Dst[0].ID]
+		base := vecBase(op.Opcode)
+		for i := 0; i < m.vl; i++ {
+			v, e := packedEval(base, op.Width, a[i], bb[i])
+			if e != nil {
+				return 0, -1, false, e
+			}
+			dst[i] = v
+		}
+	case isa.VEXTR:
+		if op.Imm < 0 || op.Imm >= isa.MaxVL {
+			return 0, -1, false, fmt.Errorf("VEXTR index %d out of range", op.Imm)
+		}
+		m.seti(op.Dst[0], m.vecRegs[op.Src[0].ID][op.Imm])
+	case isa.VINS:
+		if op.Imm < 0 || op.Imm >= isa.MaxVL {
+			return 0, -1, false, fmt.Errorf("VINS index %d out of range", op.Imm)
+		}
+		old := m.vecRegs[op.Src[1].ID]
+		old[op.Imm] = m.geti(op.Src[0])
+		m.vecRegs[op.Dst[0].ID] = old
+
+	case isa.ACLR:
+		m.accRegs[op.Dst[0].ID].Clear()
+	case isa.VSADA:
+		a := m.vecRegs[op.Src[0].ID]
+		bb := m.vecRegs[op.Src[1].ID]
+		acc := &m.accRegs[op.Dst[0].ID]
+		for i := 0; i < m.vl; i++ {
+			acc.SADB(a[i], bb[i])
+		}
+	case isa.VMACA:
+		a := m.vecRegs[op.Src[0].ID]
+		bb := m.vecRegs[op.Src[1].ID]
+		acc := &m.accRegs[op.Dst[0].ID]
+		for i := 0; i < m.vl; i++ {
+			acc.MACW(a[i], bb[i])
+		}
+	case isa.VACCW:
+		a := m.vecRegs[op.Src[0].ID]
+		acc := &m.accRegs[op.Dst[0].ID]
+		for i := 0; i < m.vl; i++ {
+			acc.ACCW(a[i])
+		}
+	case isa.VSUM:
+		m.seti(op.Dst[0], uint64(m.accRegs[op.Src[0].ID].Sum(op.Width)))
+	case isa.APACK:
+		m.seti(op.Dst[0], m.accRegs[op.Src[0].ID].Pack(uint(op.Imm)))
+
+	default:
+		return 0, -1, false, fmt.Errorf("unimplemented opcode %s", op.Opcode.Name())
+	}
+
+	return stall, branch, halt, nil
+}
+
+// memStall converts an access's actual service latency into the stall the
+// lock-step machine pays beyond what the compiler scheduled (os.Tlw).
+func (m *Machine) memStall(os *sched.OpSched, actual int) int64 {
+	if s := int64(actual - os.Tlw); s > 0 {
+		return s
+	}
+	return 0
+}

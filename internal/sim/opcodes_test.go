@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"testing"
+
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/mem"
+	"vsimdvliw/internal/sched"
+	"vsimdvliw/internal/simd"
+)
+
+// buildEveryOpcode builds one program that executes every opcode of the
+// ISA at least once.
+func buildEveryOpcode() *ir.Func {
+	b := ir.NewBuilder("everyop")
+	arena := b.Alloc(1024)
+	base := b.Const(arena)
+
+	// Scalar.
+	x := b.Const(100)
+	y := b.Const(7)
+	b.Emit(ir.Op{Opcode: isa.NOP})
+	z := b.Mov(x)
+	b.BinTo(isa.ADD, z, x, y)
+	b.BinTo(isa.SUB, z, z, y)
+	b.BinTo(isa.MUL, z, z, y)
+	b.BinTo(isa.DIV, z, z, y)
+	b.BinTo(isa.AND, z, z, x)
+	b.BinTo(isa.OR, z, z, y)
+	b.BinTo(isa.XOR, z, z, y)
+	b.BinTo(isa.SHL, z, z, y)
+	b.BinTo(isa.SHR, z, z, y)
+	b.BinTo(isa.SRA, z, z, y)
+	for _, op := range []isa.Opcode{isa.CMPEQ, isa.CMPNE, isa.CMPLT, isa.CMPLE, isa.CMPLTU} {
+		b.Bin(op, x, y)
+	}
+	b.Select(b.Const(1), x, y)
+
+	// Scalar memory.
+	b.Store(isa.STB, x, base, 0, 1)
+	b.Store(isa.STH, x, base, 2, 1)
+	b.Store(isa.STW, x, base, 4, 1)
+	b.Store(isa.STD, x, base, 8, 1)
+	for _, op := range []isa.Opcode{isa.LDB, isa.LDBU, isa.LDH, isa.LDHU, isa.LDW, isa.LDWU, isa.LDD} {
+		b.Load(op, base, 0, 1)
+	}
+
+	// Branches (taken and fall-through paths).
+	b.IfElse(isa.BEQ, x, x, func() { b.AddI(x, 1) }, func() { b.AddI(x, 2) })
+	b.IfElse(isa.BNE, x, y, func() { b.AddI(x, 3) }, nil)
+	b.IfElse(isa.BLT, y, x, func() { b.AddI(x, 4) }, func() { b.AddI(x, 5) })
+	b.IfElse(isa.BGE, x, y, func() { b.AddI(x, 6) }, nil)
+	// JMP is emitted by IfElse with a non-nil else; HALT by Func().
+
+	// Region markers.
+	b.RegionBegin(1)
+	b.AddI(x, 0)
+	b.RegionEnd(1)
+
+	// µSIMD.
+	m1 := b.Ldm(base, 0, 1)
+	m2 := b.SIMDReg()
+	b.Emit(ir.Op{Opcode: isa.MOVIM, Dst: []ir.Reg{m2}, Imm: 0x0102030405060708, UseImm: true})
+	m3 := b.Movrm(x)
+	b.Movmr(m3)
+	b.Psplat(simd.W16, y)
+	packed2 := []struct {
+		op isa.Opcode
+		w  simd.Width
+	}{
+		{isa.PADD, simd.W8}, {isa.PSUB, simd.W8}, {isa.PADDS, simd.W16},
+		{isa.PSUBS, simd.W16}, {isa.PADDU, simd.W8}, {isa.PSUBU, simd.W8},
+		{isa.PMULL, simd.W16}, {isa.PMULH, simd.W16}, {isa.PMADD, simd.W16},
+		{isa.PAVG, simd.W8}, {isa.PMINU, simd.W8}, {isa.PMAXU, simd.W8},
+		{isa.PMINS, simd.W16}, {isa.PMAXS, simd.W16}, {isa.PABSD, simd.W8},
+		{isa.PSAD, simd.W8}, {isa.PAND, 0}, {isa.POR, 0}, {isa.PXOR, 0},
+		{isa.PANDN, 0}, {isa.PCMPEQ, simd.W8}, {isa.PCMPGT, simd.W8},
+		{isa.PACKSS, simd.W16}, {isa.PACKUS, simd.W16},
+		{isa.PUNPCKL, simd.W8}, {isa.PUNPCKH, simd.W8},
+	}
+	for _, p := range packed2 {
+		b.P(p.op, p.w, m1, m2)
+	}
+	b.PShiftI(isa.PSLL, simd.W16, m1, 2)
+	b.PShiftI(isa.PSRL, simd.W16, m1, 2)
+	b.PShiftI(isa.PSRA, simd.W16, m1, 2)
+	b.Stm(m2, base, 16, 1)
+
+	// Vector.
+	b.SetVLI(8)
+	b.SetVSI(8)
+	n := b.Const(8)
+	b.SetVL(n)
+	b.SetVS(b.Const(8))
+	v1 := b.Vld(base, 0, 1)
+	v2 := b.Vsplat(x)
+	vm := b.VecReg()
+	b.Emit(ir.Op{Opcode: isa.VMOV, Dst: []ir.Reg{vm}, Src: []ir.Reg{v1}})
+	vec2 := []struct {
+		op isa.Opcode
+		w  simd.Width
+	}{
+		{isa.VADD, simd.W8}, {isa.VSUB, simd.W8}, {isa.VADDS, simd.W16},
+		{isa.VSUBS, simd.W16}, {isa.VADDU, simd.W8}, {isa.VSUBU, simd.W8},
+		{isa.VMULL, simd.W16}, {isa.VMULH, simd.W16}, {isa.VMADD, simd.W16},
+		{isa.VAVG, simd.W8}, {isa.VMINU, simd.W8}, {isa.VMAXU, simd.W8},
+		{isa.VMINS, simd.W16}, {isa.VMAXS, simd.W16}, {isa.VABSD, simd.W8},
+		{isa.VAND, 0}, {isa.VOR, 0}, {isa.VXOR, 0}, {isa.VANDN, 0},
+		{isa.VCMPEQ, simd.W8}, {isa.VCMPGT, simd.W8},
+		{isa.VPACKSS, simd.W16}, {isa.VPACKUS, simd.W16},
+		{isa.VUNPCKL, simd.W8}, {isa.VUNPCKH, simd.W8},
+	}
+	for _, p := range vec2 {
+		b.V(p.op, p.w, v1, v2)
+	}
+	b.VShiftI(isa.VSLL, simd.W16, v1, 1)
+	b.VShiftI(isa.VSRL, simd.W16, v1, 1)
+	b.VShiftI(isa.VSRA, simd.W16, v1, 1)
+	ext := b.Vextr(v1, 3)
+	b.Vins(v2, ext, 5)
+	b.Vst(v2, base, 256, 2)
+
+	// Accumulators.
+	acc := b.Aclr()
+	b.Vsada(acc, v1, v2)
+	b.Vmaca(acc, v1, v2)
+	b.Vaccw(acc, v1)
+	b.Store(isa.STD, b.Vsum(simd.W8, acc), base, 512, 3)
+	b.Store(isa.STD, b.Vsum(simd.W16, acc), base, 520, 3)
+	b.Store(isa.STD, b.Apack(acc, 4), base, 528, 3)
+
+	return b.Func()
+}
+
+func TestEveryOpcodeExecutes(t *testing.T) {
+	f := buildEveryOpcode()
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Completeness: the program must statically contain every opcode.
+	seen := make(map[isa.Opcode]bool)
+	for _, blk := range f.Blocks {
+		for i := range blk.Ops {
+			seen[blk.Ops[i].Opcode] = true
+		}
+	}
+	for op := isa.Opcode(0); int(op) < isa.NumOpcodes; op++ {
+		if !seen[op] {
+			t.Errorf("program does not contain opcode %s", op.Name())
+		}
+	}
+
+	// And the simulator must execute all of it without errors, with
+	// identical functional results on every vector-capable machine.
+	var golden []byte
+	for _, cfg := range []*machine.Config{&machine.Vector1x2, &machine.Vector2x4} {
+		fs, err := sched.Schedule(f, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		m := New(fs, mem.NewHierarchy(cfg))
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		out, err := m.ReadBytes(ir.DataBase, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if golden == nil {
+			golden = out
+		} else {
+			for i := range out {
+				if out[i] != golden[i] {
+					t.Fatalf("functional result differs between configs at byte %d", i)
+				}
+			}
+		}
+	}
+}
+
+func TestVMOVSemantics(t *testing.T) {
+	b := ir.NewBuilder("vmov")
+	arena := b.Alloc(256)
+	base := b.Const(arena)
+	vals := make([]int16, 32)
+	for i := range vals {
+		vals[i] = int16(i * 3)
+	}
+	src := b.DataH(vals)
+	b.SetVLI(8)
+	b.SetVSI(8)
+	v1 := b.Vld(b.Const(src), 0, 1)
+	v2 := b.VecReg()
+	b.Emit(ir.Op{Opcode: isa.VMOV, Dst: []ir.Reg{v2}, Src: []ir.Reg{v1}})
+	b.Vst(v2, base, 0, 2)
+	fs, err := sched.Schedule(b.Func(), &machine.Vector2x2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(fs, mem.NewPerfect(&machine.Vector2x2))
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.ReadBytes(arena, 64)
+	want, _ := m.ReadBytes(src, 64)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("VMOV byte %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestVextrVinsBoundsError(t *testing.T) {
+	for _, idx := range []int64{-1, 16} {
+		b := ir.NewBuilder("bounds")
+		b.SetVLI(4)
+		v := b.Vsplat(b.Const(1))
+		b.Vextr(v, idx)
+		fs, err := sched.Schedule(b.Func(), &machine.Vector2x2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := New(fs, mem.NewPerfect(&machine.Vector2x2)).Run(); err == nil {
+			t.Errorf("VEXTR index %d must fail at run time", idx)
+		}
+	}
+}
+
+func TestSetVLRegisterOutOfRange(t *testing.T) {
+	b := ir.NewBuilder("badvl")
+	n := b.Const(99)
+	b.SetVL(n)
+	v := b.Vsplat(b.Const(1))
+	_ = v
+	fs, err := sched.Schedule(b.Func(), &machine.Vector2x2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(fs, mem.NewPerfect(&machine.Vector2x2)).Run(); err == nil {
+		t.Fatal("SETVL 99 must fail at run time")
+	}
+}

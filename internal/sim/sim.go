@@ -1,0 +1,291 @@
+// Package sim executes scheduled programs on a modeled Vector-µSIMD-VLIW
+// machine. It is both a functional simulator (every operation's semantics
+// are interpreted, so kernel outputs can be checked against reference
+// implementations) and a timing simulator:
+//
+//   - each basic block contributes its statically scheduled length
+//     (internal/sched) per execution;
+//   - memory operations are replayed against a memory model
+//     (internal/mem); when an access takes longer than the compiler
+//     scheduled (a cache miss, or a vector access whose stride is not
+//     one), the in-order, lock-step VLIW machine stalls for the
+//     difference, exactly as the paper describes ("the compiler schedules
+//     all vector memory operations as having a stride of one and hitting
+//     in the L2 vector cache, and the processor stalls at run-time if
+//     either of the two assertions is not true");
+//   - cycles, operations and micro-operations are accounted per region
+//     (the scalar region 0 and the vector regions 1..3 of Table 1).
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/mem"
+	"vsimdvliw/internal/sched"
+	"vsimdvliw/internal/simd"
+)
+
+// MaxRegions is the number of instrumentable regions (R0 = scalar plus
+// vector regions R1..R3, following the paper's Figure 7).
+const MaxRegions = 4
+
+// RegionStats accumulates per-region execution statistics.
+type RegionStats struct {
+	Cycles      int64 // total cycles, including stalls
+	StallCycles int64 // run-time memory stalls
+	Ops         int64 // operations executed (pseudo-ops excluded)
+	MicroOps    int64 // micro-operations (sub-word items processed)
+	Blocks      int64 // basic-block executions
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Cycles      int64
+	StallCycles int64
+	Ops         int64
+	MicroOps    int64
+	Regions     [MaxRegions]RegionStats
+	// Mem holds hierarchy statistics when the model is a *mem.Hierarchy.
+	Mem mem.Stats
+}
+
+// OPC returns operations per cycle for the whole run.
+func (r *Result) OPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Ops) / float64(r.Cycles)
+}
+
+// MicroOPC returns micro-operations per cycle for the whole run.
+func (r *Result) MicroOPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.MicroOps) / float64(r.Cycles)
+}
+
+// VectorCycles returns the cycles spent in regions 1..3.
+func (r *Result) VectorCycles() int64 {
+	var n int64
+	for i := 1; i < MaxRegions; i++ {
+		n += r.Regions[i].Cycles
+	}
+	return n
+}
+
+// Machine is a simulation instance: a scheduled function bound to a memory
+// model.
+type Machine struct {
+	fs    *sched.FuncSched
+	model mem.Model
+
+	intRegs  []uint64
+	simdRegs []uint64
+	vecRegs  [][isa.MaxVL]uint64
+	accRegs  []simd.Acc
+	vl       int
+	vs       int64
+	memory   []byte
+
+	regionStack []int
+	pipelined   bool
+	res         Result
+	// MaxCycles aborts runaway simulations (default 4e9).
+	MaxCycles int64
+	// Trace, when non-nil, receives one line per executed basic block:
+	// block id, active region, charged cycles (II when pipelined), stalls
+	// and the running cycle counter — a lightweight execution trace for
+	// debugging kernels and timing models.
+	Trace io.Writer
+}
+
+// New prepares a machine to run the scheduled function fs against the
+// given memory model.
+func New(fs *sched.FuncSched, model mem.Model) *Machine {
+	f := fs.Func
+	m := &Machine{
+		fs:        fs,
+		model:     model,
+		intRegs:   make([]uint64, f.NumRegs[isa.RegInt]),
+		simdRegs:  make([]uint64, f.NumRegs[isa.RegSIMD]),
+		vecRegs:   make([][isa.MaxVL]uint64, f.NumRegs[isa.RegVec]),
+		accRegs:   make([]simd.Acc, f.NumRegs[isa.RegAcc]),
+		vl:        isa.MaxVL,
+		vs:        8,
+		memory:    make([]byte, ir.DataBase+f.DataSize),
+		MaxCycles: 4e9,
+	}
+	for _, chunk := range f.DataInit {
+		copy(m.memory[chunk.Addr:], chunk.Bytes)
+	}
+	m.regionStack = []int{0}
+	return m
+}
+
+// Memory exposes the flat data memory (for output verification).
+func (m *Machine) Memory() []byte { return m.memory }
+
+// ReadBytes copies n bytes starting at the virtual address addr.
+func (m *Machine) ReadBytes(addr, n int64) ([]byte, error) {
+	if addr < 0 || addr+n > int64(len(m.memory)) {
+		return nil, fmt.Errorf("sim: read [%#x,%#x) outside memory", addr, addr+n)
+	}
+	out := make([]byte, n)
+	copy(out, m.memory[addr:addr+n])
+	return out, nil
+}
+
+// Run executes the program to completion and returns the statistics.
+func (m *Machine) Run() (*Result, error) {
+	blocks := m.fs.Blocks
+	pc := 0
+	prev := -1
+	for {
+		if pc < 0 || pc >= len(blocks) {
+			return nil, fmt.Errorf("sim: control reached invalid block %d", pc)
+		}
+		bs := blocks[pc]
+		m.pipelined = bs.II > 0 && pc == prev
+		prev = pc
+		next, halted, err := m.execBlock(bs)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s B%d: %w", m.fs.Func.Name, pc, err)
+		}
+		if halted {
+			break
+		}
+		if next < 0 {
+			next = pc + 1
+		}
+		pc = next
+		if m.res.Cycles > m.MaxCycles {
+			return nil, fmt.Errorf("sim: exceeded %d cycles (runaway loop?)", m.MaxCycles)
+		}
+	}
+	if h, ok := m.model.(*mem.Hierarchy); ok {
+		m.res.Mem = h.Stats()
+	}
+	res := m.res
+	return &res, nil
+}
+
+// region returns the currently active region id.
+func (m *Machine) region() int { return m.regionStack[len(m.regionStack)-1] }
+
+// execBlock functionally executes one block in program order and charges
+// its scheduled length plus run-time stalls. It returns the next block id
+// (-1 for fallthrough) and whether the machine halted.
+func (m *Machine) execBlock(bs *sched.BlockSched) (next int, halted bool, err error) {
+	next = -1
+	stalls := int64(0)
+	// The region a block's cycles belong to is fixed once its leading
+	// markers have executed (the builder places markers at block heads).
+	regionFrozen := false
+	blockRegion := m.region()
+
+	for i := range bs.Block.Ops {
+		op := &bs.Block.Ops[i]
+		switch op.Opcode {
+		case isa.REGBEGIN:
+			m.regionStack = append(m.regionStack, int(op.Imm))
+			if !regionFrozen {
+				blockRegion = m.region()
+			}
+			continue
+		case isa.REGEND:
+			if len(m.regionStack) == 1 {
+				return 0, false, fmt.Errorf("unmatched region end (id %d)", op.Imm)
+			}
+			if top := m.region(); top != int(op.Imm) {
+				return 0, false, fmt.Errorf("region end %d does not match open region %d", op.Imm, top)
+			}
+			m.regionStack = m.regionStack[:len(m.regionStack)-1]
+			if !regionFrozen {
+				blockRegion = m.region()
+			}
+			continue
+		case isa.NOP:
+			continue
+		}
+		regionFrozen = true
+
+		stall, branch, halt, err := m.execOp(op, &bs.Ops[i])
+		if err != nil {
+			return 0, false, fmt.Errorf("op %d (%s): %w", i, op, err)
+		}
+		stalls += stall
+		if halt {
+			halted = true
+		}
+		if branch >= 0 {
+			next = branch
+		}
+	}
+
+	length := int64(bs.Length)
+	if m.pipelined {
+		// Software-pipelined steady state: back-to-back iterations of a
+		// self-loop block initiate every II cycles.
+		length = int64(bs.II)
+	}
+	cycles := length + stalls
+	m.res.Cycles += cycles
+	m.res.StallCycles += stalls
+	rs := &m.res.Regions[blockRegion]
+	rs.Cycles += cycles
+	rs.StallCycles += stalls
+	rs.Blocks++
+	if m.Trace != nil {
+		pipe := ""
+		if m.pipelined {
+			pipe = " (pipelined)"
+		}
+		fmt.Fprintf(m.Trace, "B%-4d R%d cycles=%-6d stalls=%-6d total=%d%s\n",
+			bs.Block.ID, blockRegion, cycles, stalls, m.res.Cycles, pipe)
+	}
+	return next, halted, nil
+}
+
+// count records an executed operation and its micro-operations.
+func (m *Machine) count(op *ir.Op) {
+	micro := microOps(op, m.vl)
+	m.res.Ops++
+	m.res.MicroOps += micro
+	rs := &m.res.Regions[m.region()]
+	rs.Ops++
+	rs.MicroOps += micro
+}
+
+// microOps returns the number of micro-operations (processed sub-word
+// items) of one dynamic operation: 1 for scalar operations, the packed
+// lane count for µSIMD operations, and VL times the per-word count for
+// vector operations (up to 16x8, as the paper notes).
+func microOps(op *ir.Op, vl int) int64 {
+	in := op.Info()
+	perWord := int64(1)
+	if op.Width != 0 {
+		perWord = int64(op.Width.Lanes())
+	} else if in.Unit == isa.UnitSIMD || in.Unit == isa.UnitVector {
+		// Width-less packed operations (logicals, moves) process a full
+		// 64-bit word; count its eight bytes as the items processed.
+		switch op.Opcode {
+		case isa.PAND, isa.POR, isa.PXOR, isa.PANDN,
+			isa.VAND, isa.VOR, isa.VXOR, isa.VANDN:
+			perWord = 8
+		}
+	}
+	if in.Vector {
+		if op.Opcode.IsVectorMem() {
+			return int64(vl) // one item per 64-bit word moved
+		}
+		return int64(vl) * perWord
+	}
+	if in.Unit == isa.UnitSIMD {
+		return perWord
+	}
+	return 1
+}

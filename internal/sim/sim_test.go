@@ -1,0 +1,619 @@
+package sim
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/mem"
+	"vsimdvliw/internal/sched"
+	"vsimdvliw/internal/simd"
+)
+
+// run schedules f on cfg and executes it with the given memory model.
+func run(t *testing.T, f *ir.Func, cfg *machine.Config, model mem.Model) (*Machine, *Result) {
+	t.Helper()
+	fs, err := sched.Schedule(f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(fs, model)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, res
+}
+
+func word(t *testing.T, m *Machine, addr int64) uint64 {
+	t.Helper()
+	b, err := m.ReadBytes(addr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func TestScalarArithmetic(t *testing.T) {
+	b := ir.NewBuilder("arith")
+	out := b.Alloc(64)
+	base := b.Const(out)
+	x := b.Const(100)
+	y := b.Const(7)
+	b.Store(isa.STD, b.Add(x, y), base, 0, 1)
+	b.Store(isa.STD, b.Sub(x, y), base, 8, 1)
+	b.Store(isa.STD, b.Mul(x, y), base, 16, 1)
+	b.Store(isa.STD, b.Bin(isa.DIV, x, y), base, 24, 1)
+	b.Store(isa.STD, b.And(x, y), base, 32, 1)
+	b.Store(isa.STD, b.Xor(x, y), base, 40, 1)
+	b.Store(isa.STD, b.ShlI(x, 3), base, 48, 1)
+	b.Store(isa.STD, b.SraI(b.Const(-16), 2), base, 56, 1)
+	m, _ := run(t, b.Func(), &machine.VLIW2, mem.NewPerfect(&machine.VLIW2))
+	minusFour := int64(-4)
+	want := []uint64{107, 93, 700, 14, 100 & 7, 100 ^ 7, 800, uint64(minusFour)}
+	for i, w := range want {
+		if got := word(t, m, out+int64(8*i)); got != w {
+			t.Errorf("slot %d = %d, want %d", i, int64(got), int64(w))
+		}
+	}
+}
+
+func TestLoopSumsIntegers(t *testing.T) {
+	// sum(1..100) = 5050 via a real loop.
+	b := ir.NewBuilder("sum")
+	out := b.Alloc(8)
+	sum := b.Const(0)
+	b.Loop(1, 101, 1, func(iv ir.Reg) {
+		b.BinTo(isa.ADD, sum, sum, iv)
+	})
+	b.Store(isa.STD, sum, b.Const(out), 0, 1)
+	m, res := run(t, b.Func(), &machine.VLIW4, mem.NewPerfect(&machine.VLIW4))
+	if got := word(t, m, out); got != 5050 {
+		t.Errorf("sum = %d, want 5050", got)
+	}
+	if res.Cycles < 100 {
+		t.Errorf("cycles = %d: a 100-iteration loop cannot run in under 100 cycles", res.Cycles)
+	}
+}
+
+func TestConditionals(t *testing.T) {
+	b := ir.NewBuilder("cond")
+	out := b.Alloc(16)
+	base := b.Const(out)
+	x := b.Const(5)
+	y := b.Const(9)
+	b.IfElse(isa.BLT, x, y, func() {
+		b.Store(isa.STD, b.Const(111), base, 0, 1)
+	}, func() {
+		b.Store(isa.STD, b.Const(222), base, 0, 1)
+	})
+	b.IfElse(isa.BEQ, x, y, func() {
+		b.Store(isa.STD, b.Const(333), base, 8, 1)
+	}, func() {
+		b.Store(isa.STD, b.Const(444), base, 8, 1)
+	})
+	m, _ := run(t, b.Func(), &machine.VLIW2, mem.NewPerfect(&machine.VLIW2))
+	if got := word(t, m, out); got != 111 {
+		t.Errorf("then-branch result = %d, want 111", got)
+	}
+	if got := word(t, m, out+8); got != 444 {
+		t.Errorf("else-branch result = %d, want 444", got)
+	}
+}
+
+func TestLoadStoreSizes(t *testing.T) {
+	b := ir.NewBuilder("ldst")
+	buf := b.Data([]byte{0xFF, 0x80, 0x01, 0x00, 0xFF, 0xFF, 0xFF, 0x7F})
+	out := b.Alloc(48)
+	base := b.Const(buf)
+	ob := b.Const(out)
+	b.Store(isa.STD, b.Load(isa.LDB, base, 0, 1), ob, 0, 2)  // -1
+	b.Store(isa.STD, b.Load(isa.LDBU, base, 0, 1), ob, 8, 2) // 255
+	b.Store(isa.STD, b.Load(isa.LDH, base, 0, 1), ob, 16, 2) // 0x80FF sign-extended
+	b.Store(isa.STD, b.Load(isa.LDHU, base, 0, 1), ob, 24, 2)
+	b.Store(isa.STD, b.Load(isa.LDW, base, 4, 1), ob, 32, 2)
+	b.Store(isa.STD, b.Load(isa.LDD, base, 0, 1), ob, 40, 2)
+	m, _ := run(t, b.Func(), &machine.VLIW2, mem.NewPerfect(&machine.VLIW2))
+	checks := []struct {
+		off  int64
+		want uint64
+	}{
+		{0, ^uint64(0)},
+		{8, 255},
+		{16, 0xFFFFFFFFFFFF80FF},
+		{24, 0x80FF},
+		{32, 0x7FFFFFFF},
+		{40, 0x7FFFFFFF000180FF},
+	}
+	for _, c := range checks {
+		if got := word(t, m, out+c.off); got != c.want {
+			t.Errorf("offset %d = %#x, want %#x", c.off, got, c.want)
+		}
+	}
+}
+
+func TestUSIMDPackedExecution(t *testing.T) {
+	// Packed saturating add of two byte vectors, checked against simd.
+	b := ir.NewBuilder("packed")
+	in := b.Data([]byte{10, 250, 100, 1, 2, 3, 4, 5, 20, 10, 200, 1, 2, 3, 4, 5})
+	out := b.Alloc(16)
+	base := b.Const(in)
+	ob := b.Const(out)
+	m1 := b.Ldm(base, 0, 1)
+	m2 := b.Ldm(base, 8, 1)
+	b.Stm(b.P(isa.PADDU, simd.W8, m1, m2), ob, 0, 2)
+	b.Stm(b.P(isa.PSAD, simd.W8, m1, m2), ob, 8, 2)
+	m, _ := run(t, b.Func(), &machine.USIMD2, mem.NewPerfect(&machine.USIMD2))
+	got, _ := m.ReadBytes(out, 8)
+	want := []byte{30, 255, 255, 2, 4, 6, 8, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("PADDU byte %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// SAD: |10-20|+|250-10|+|100-200|+0+0+0+0+0 = 10+240+100 = 350.
+	if got := word(t, m, out+8); got != 350 {
+		t.Errorf("PSAD = %d, want 350", got)
+	}
+}
+
+func TestVectorLoadComputeStore(t *testing.T) {
+	// v3 = (v1 + v2) over 16 words of 16-bit lanes, stored back.
+	b := ir.NewBuilder("vec")
+	n := 16
+	src1 := make([]int16, 4*n)
+	src2 := make([]int16, 4*n)
+	for i := range src1 {
+		src1[i] = int16(i * 3)
+		src2[i] = int16(1000 - i)
+	}
+	a1 := b.DataH(src1)
+	a2 := b.DataH(src2)
+	out := b.Alloc(int64(8 * n))
+	b.SetVLI(int64(n))
+	b.SetVSI(8)
+	r1 := b.Const(a1)
+	r2 := b.Const(a2)
+	ro := b.Const(out)
+	v1 := b.Vld(r1, 0, 1)
+	v2 := b.Vld(r2, 0, 2)
+	b.Vst(b.V(isa.VADD, simd.W16, v1, v2), ro, 0, 3)
+	m, res := run(t, b.Func(), &machine.Vector2x2, mem.NewPerfect(&machine.Vector2x2))
+	raw, _ := m.ReadBytes(out, int64(8*n))
+	for i := 0; i < 4*n; i++ {
+		got := int16(binary.LittleEndian.Uint16(raw[2*i:]))
+		want := src1[i] + src2[i]
+		if got != want {
+			t.Fatalf("lane %d = %d, want %d", i, got, want)
+		}
+	}
+	// One VADD processes 16 words x 4 lanes = 64 micro-ops.
+	if res.MicroOps < 64 {
+		t.Errorf("micro-ops = %d, want >= 64", res.MicroOps)
+	}
+}
+
+func TestVectorStride(t *testing.T) {
+	// Load a column from a 2D array using VS = row pitch.
+	rows, pitch := 8, int64(32)
+	vals := make([]byte, int(pitch)*rows)
+	for r := 0; r < rows; r++ {
+		binary.LittleEndian.PutUint64(vals[int64(r)*pitch:], uint64(100+r))
+	}
+	b := ir.NewBuilder("stride")
+	arr := b.Data(vals)
+	out := b.Alloc(int64(rows) * 8)
+	b.SetVLI(int64(rows))
+	b.SetVSI(pitch)
+	v := b.Vld(b.Const(arr), 0, 1)
+	b.SetVSI(8)
+	b.Vst(v, b.Const(out), 0, 2)
+	m, _ := run(t, b.Func(), &machine.Vector2x2, mem.NewPerfect(&machine.Vector2x2))
+	for r := 0; r < rows; r++ {
+		if got := word(t, m, out+int64(r)*8); got != uint64(100+r) {
+			t.Errorf("row %d = %d, want %d", r, got, 100+r)
+		}
+	}
+}
+
+func TestAccumulatorSADAndSum(t *testing.T) {
+	b := ir.NewBuilder("sad")
+	n := 8
+	x := make([]byte, 8*n)
+	y := make([]byte, 8*n)
+	var want uint64
+	for i := range x {
+		x[i] = byte(i * 7)
+		y[i] = byte(200 - i)
+		d := int(x[i]) - int(y[i])
+		if d < 0 {
+			d = -d
+		}
+		want += uint64(d)
+	}
+	ax := b.Data(x)
+	ay := b.Data(y)
+	out := b.Alloc(8)
+	b.SetVLI(int64(n))
+	b.SetVSI(8)
+	v1 := b.Vld(b.Const(ax), 0, 1)
+	v2 := b.Vld(b.Const(ay), 0, 2)
+	acc := b.Aclr()
+	b.Vsada(acc, v1, v2)
+	b.Store(isa.STD, b.Vsum(simd.W8, acc), b.Const(out), 0, 3)
+	m, _ := run(t, b.Func(), &machine.Vector2x2, mem.NewPerfect(&machine.Vector2x2))
+	if got := word(t, m, out); got != want {
+		t.Errorf("vector SAD = %d, want %d", got, want)
+	}
+}
+
+func TestAccumulatorMACMatchesDotProduct(t *testing.T) {
+	b := ir.NewBuilder("dot")
+	n := 8 // words
+	xs := make([]int16, 4*n)
+	ys := make([]int16, 4*n)
+	var want int64
+	for i := range xs {
+		xs[i] = int16(i - 10)
+		ys[i] = int16(3*i - 5)
+		want += int64(xs[i]) * int64(ys[i])
+	}
+	ax := b.DataH(xs)
+	ay := b.DataH(ys)
+	out := b.Alloc(8)
+	b.SetVLI(int64(n))
+	b.SetVSI(8)
+	v1 := b.Vld(b.Const(ax), 0, 1)
+	v2 := b.Vld(b.Const(ay), 0, 2)
+	acc := b.Aclr()
+	b.Vmaca(acc, v1, v2)
+	b.Store(isa.STD, b.Vsum(simd.W16, acc), b.Const(out), 0, 3)
+	m, _ := run(t, b.Func(), &machine.Vector1x4, mem.NewPerfect(&machine.Vector1x4))
+	if got := int64(word(t, m, out)); got != want {
+		t.Errorf("dot product = %d, want %d", got, want)
+	}
+}
+
+func TestVextrVinsVsplat(t *testing.T) {
+	b := ir.NewBuilder("lanes")
+	out := b.Alloc(32)
+	b.SetVLI(4)
+	b.SetVSI(8)
+	v := b.Vsplat(b.Const(77))
+	b.Vins(v, b.Const(99), 2)
+	b.Store(isa.STD, b.Vextr(v, 0), b.Const(out), 0, 1)
+	b.Store(isa.STD, b.Vextr(v, 2), b.Const(out), 8, 1)
+	m, _ := run(t, b.Func(), &machine.Vector2x2, mem.NewPerfect(&machine.Vector2x2))
+	if word(t, m, out) != 77 || word(t, m, out+8) != 99 {
+		t.Errorf("lane ops: got %d,%d want 77,99", word(t, m, out), word(t, m, out+8))
+	}
+}
+
+func TestRegionAccounting(t *testing.T) {
+	b := ir.NewBuilder("regions")
+	x := b.Const(0)
+	// Scalar work (region 0).
+	b.Loop(0, 10, 1, func(iv ir.Reg) { b.BinTo(isa.ADD, x, x, iv) })
+	// Vector-region work (region 1): heavier loop.
+	b.RegionBegin(1)
+	b.Loop(0, 50, 1, func(iv ir.Reg) { b.BinTo(isa.ADD, x, x, iv) })
+	b.RegionEnd(1)
+	_, res := run(t, b.Func(), &machine.VLIW2, mem.NewPerfect(&machine.VLIW2))
+	r0, r1 := res.Regions[0], res.Regions[1]
+	if r1.Cycles == 0 || r0.Cycles == 0 {
+		t.Fatalf("cycles r0=%d r1=%d: both regions must accumulate", r0.Cycles, r1.Cycles)
+	}
+	if r1.Cycles <= r0.Cycles {
+		t.Errorf("region 1 (50 iters, %d cyc) must outweigh region 0 (10 iters, %d cyc)",
+			r1.Cycles, r0.Cycles)
+	}
+	if got := r0.Cycles + r1.Cycles; got != res.Cycles {
+		t.Errorf("region cycles %d do not add up to total %d", got, res.Cycles)
+	}
+	if r1.Ops <= r0.Ops {
+		t.Errorf("region ops: r0=%d r1=%d", r0.Ops, r1.Ops)
+	}
+}
+
+func TestPerfectMemoryNoStalls(t *testing.T) {
+	b := ir.NewBuilder("nostall")
+	arr := b.Alloc(16 * 8)
+	b.SetVLI(16)
+	b.SetVSI(8)
+	v := b.Vld(b.Const(arr), 0, 1)
+	b.Vst(v, b.Const(arr), 0, 1)
+	x := b.Load(isa.LDD, b.Const(arr), 0, 1)
+	b.Store(isa.STD, x, b.Const(arr), 8, 1)
+	cfg := &machine.Vector2x2
+	_, res := run(t, b.Func(), cfg, mem.NewPerfect(cfg))
+	if res.StallCycles != 0 {
+		t.Errorf("perfect memory produced %d stall cycles", res.StallCycles)
+	}
+}
+
+func TestRealisticMemoryStallsOnColdMisses(t *testing.T) {
+	b := ir.NewBuilder("cold")
+	arr := b.Alloc(4096)
+	base := b.Const(arr)
+	for i := 0; i < 4; i++ {
+		b.Load(isa.LDD, base, int64(i*1024), 1)
+	}
+	cfg := &machine.USIMD2
+	_, res := run(t, b.Func(), cfg, mem.NewHierarchy(cfg))
+	// Four cold misses, each ~500 cycles beyond the scheduled 1.
+	if res.StallCycles < 4*int64(cfg.LatMem-10) {
+		t.Errorf("stalls = %d, want ~%d", res.StallCycles, 4*cfg.LatMem)
+	}
+	if res.Mem.L1Misses != 4 {
+		t.Errorf("L1 misses = %d, want 4", res.Mem.L1Misses)
+	}
+}
+
+func TestNonUnitStrideStallsRealistic(t *testing.T) {
+	// Same program, stride 8 vs stride 256: the strided version must stall
+	// (the compiler scheduled it as stride-one).
+	build := func(stride int64) *ir.Func {
+		b := ir.NewBuilder("stride")
+		arr := b.Alloc(16 * 512)
+		b.SetVLI(16)
+		b.SetVSI(stride)
+		// Warm-up load, then many loads over warmed lines.
+		base := b.Const(arr)
+		for i := 0; i < 8; i++ {
+			b.Vld(base, 0, 1)
+		}
+		return b.Func()
+	}
+	cfg := &machine.Vector2x2
+	_, unit := run(t, build(8), cfg, mem.NewHierarchy(cfg))
+	_, strided := run(t, build(256), cfg, mem.NewHierarchy(cfg))
+	if strided.StallCycles <= unit.StallCycles {
+		t.Errorf("strided stalls (%d) must exceed unit-stride stalls (%d)",
+			strided.StallCycles, unit.StallCycles)
+	}
+	if strided.Cycles <= unit.Cycles {
+		t.Errorf("strided cycles (%d) must exceed unit-stride cycles (%d)",
+			strided.Cycles, unit.Cycles)
+	}
+}
+
+func TestMicroOpCounting(t *testing.T) {
+	b := ir.NewBuilder("micro")
+	arr := b.Alloc(256)
+	base := b.Const(arr)
+	b.SetVLI(16)
+	b.SetVSI(8)
+	v1 := b.Vld(base, 0, 1)
+	b.V(isa.VADD, simd.W8, v1, v1)
+	f := b.Func()
+	fs, err := sched.Schedule(f, &machine.Vector2x2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(fs, mem.NewPerfect(&machine.Vector2x2))
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// movi + setvl + setvs + vld(16) + vadd(16*8=128) + halt = 4 scalar + 16 + 128.
+	want := int64(4 + 16 + 128)
+	if res.MicroOps != want {
+		t.Errorf("micro-ops = %d, want %d", res.MicroOps, want)
+	}
+	if res.Ops != 6 {
+		t.Errorf("ops = %d, want 6", res.Ops)
+	}
+}
+
+func TestDivByZeroError(t *testing.T) {
+	b := ir.NewBuilder("div0")
+	x := b.Const(1)
+	y := b.Const(0)
+	b.Bin(isa.DIV, x, y)
+	fs, err := sched.Schedule(b.Func(), &machine.VLIW2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(fs, mem.NewPerfect(&machine.VLIW2)).Run(); err == nil {
+		t.Fatal("expected division-by-zero error")
+	}
+}
+
+func TestOutOfBoundsAccessError(t *testing.T) {
+	b := ir.NewBuilder("oob")
+	b.Load(isa.LDD, b.Const(1<<40), 0, 1)
+	fs, err := sched.Schedule(b.Func(), &machine.VLIW2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(fs, mem.NewPerfect(&machine.VLIW2)).Run(); err == nil {
+		t.Fatal("expected out-of-bounds error")
+	}
+}
+
+func TestRunawayLoopCaught(t *testing.T) {
+	b := ir.NewBuilder("forever")
+	blk := b.NewBlock()
+	b.SetBlock(blk)
+	b.AddI(b.Const(0), 1)
+	b.Jmp(blk)
+	fs, err := sched.Schedule(b.Func(), &machine.VLIW2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(fs, mem.NewPerfect(&machine.VLIW2))
+	m.MaxCycles = 10000
+	if _, err := m.Run(); err == nil {
+		t.Fatal("expected runaway-loop error")
+	}
+}
+
+func TestUnmatchedRegionEnd(t *testing.T) {
+	b := ir.NewBuilder("badregion")
+	b.RegionEnd(1)
+	fs, err := sched.Schedule(b.Func(), &machine.VLIW2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(fs, mem.NewPerfect(&machine.VLIW2)).Run(); err == nil {
+		t.Fatal("expected unmatched-region error")
+	}
+}
+
+func TestWiderMachineIsFaster(t *testing.T) {
+	// A kernel with ILP must run in fewer cycles on a wider machine.
+	build := func() *ir.Func {
+		b := ir.NewBuilder("ilp")
+		arr := b.Alloc(512)
+		base := b.Const(arr)
+		b.Loop(0, 32, 1, func(iv ir.Reg) {
+			off := b.ShlI(iv, 3)
+			p := b.Add(base, off)
+			a := b.Load(isa.LDD, p, 0, 1)
+			c := b.MulI(a, 3)
+			d := b.AddI(c, 17)
+			e := b.Xor(d, a)
+			b.Store(isa.STD, e, p, 256, 2)
+		})
+		return b.Func()
+	}
+	_, r2 := run(t, build(), &machine.VLIW2, mem.NewPerfect(&machine.VLIW2))
+	_, r8 := run(t, build(), &machine.VLIW8, mem.NewPerfect(&machine.VLIW8))
+	if r8.Cycles >= r2.Cycles {
+		t.Errorf("8-issue (%d cyc) must beat 2-issue (%d cyc)", r8.Cycles, r2.Cycles)
+	}
+	if r2.Ops != r8.Ops {
+		t.Errorf("op counts must match across widths: %d vs %d", r2.Ops, r8.Ops)
+	}
+}
+
+func TestSelectSemantics(t *testing.T) {
+	b := ir.NewBuilder("select")
+	out := b.Alloc(16)
+	base := b.Const(out)
+	x := b.Const(11)
+	y := b.Const(22)
+	b.Store(isa.STD, b.Select(b.Const(1), x, y), base, 0, 1)
+	b.Store(isa.STD, b.Select(b.Const(0), x, y), base, 8, 1)
+	m, _ := run(t, b.Func(), &machine.VLIW2, mem.NewPerfect(&machine.VLIW2))
+	if word(t, m, out) != 11 || word(t, m, out+8) != 22 {
+		t.Error("SELECT semantics wrong")
+	}
+}
+
+func TestSoftwarePipeliningSpeedsLoopsUp(t *testing.T) {
+	// The same program scheduled with and without software pipelining must
+	// produce identical outputs; the pipelined run takes fewer cycles.
+	build := func() *ir.Func {
+		b := ir.NewBuilder("pipe")
+		src := b.Alloc(4096)
+		dst := b.Alloc(4096)
+		b.SetVLI(16)
+		b.SetVSI(8)
+		p := b.Const(src)
+		q := b.Const(dst)
+		b.Loop(0, 16, 1, func(iv ir.Reg) {
+			v := b.Vld(p, 0, 1)
+			b.Vst(b.V(isa.VADD, simd.W8, v, v), q, 0, 2)
+			b.BinITo(isa.ADD, p, p, 128)
+			b.BinITo(isa.ADD, q, q, 128)
+		})
+		// Also store a scalar checksum so outputs are observable.
+		b.Store(isa.STD, b.Const(7), b.Const(dst), 4088, 3)
+		return b.Func()
+	}
+	cfg := &machine.Vector2x2
+	plainFS, err := sched.ScheduleOpts(build(), cfg, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipedFS, err := sched.ScheduleOpts(build(), cfg, sched.Options{SoftwarePipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mPlain := New(plainFS, mem.NewPerfect(cfg))
+	rPlain, err := mPlain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mPiped := New(pipedFS, mem.NewPerfect(cfg))
+	rPiped, err := mPiped.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rPiped.Cycles >= rPlain.Cycles {
+		t.Errorf("pipelined (%d cycles) not faster than plain (%d)", rPiped.Cycles, rPlain.Cycles)
+	}
+	if rPiped.Ops != rPlain.Ops {
+		t.Errorf("op counts differ: %d vs %d", rPiped.Ops, rPlain.Ops)
+	}
+	a, _ := mPlain.ReadBytes(ir.DataBase, 8192)
+	c, _ := mPiped.ReadBytes(ir.DataBase, 8192)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("functional divergence at byte %d", i)
+		}
+	}
+}
+
+func TestPipeliningFirstIterationPaysFullLength(t *testing.T) {
+	// A loop entered repeatedly from outside (trip count 1 per entry)
+	// never hits the steady state: pipelining must not change its cost.
+	build := func(opts sched.Options) *Result {
+		b := ir.NewBuilder("onetrip")
+		arr := b.Alloc(2048)
+		base := b.Const(arr)
+		b.SetVLI(16)
+		b.SetVSI(8)
+		// Outer loop over an inner single-iteration loop.
+		b.Loop(0, 4, 1, func(ir.Reg) {
+			b.Loop(0, 1, 1, func(ir.Reg) {
+				v := b.Vld(base, 0, 1)
+				b.Vst(v, base, 1024, 2)
+			})
+		})
+		fs, err := sched.ScheduleOpts(b.Func(), &machine.Vector2x2, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := New(fs, mem.NewPerfect(&machine.Vector2x2)).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := build(sched.Options{})
+	piped := build(sched.Options{SoftwarePipeline: true})
+	if plain.Cycles != piped.Cycles {
+		t.Errorf("single-trip inner loop: pipelined %d vs plain %d cycles (must match)",
+			piped.Cycles, plain.Cycles)
+	}
+}
+
+func TestTraceOutput(t *testing.T) {
+	b := ir.NewBuilder("trace")
+	x := b.Const(0)
+	b.RegionBegin(1)
+	b.Loop(0, 3, 1, func(iv ir.Reg) { b.BinTo(isa.ADD, x, x, iv) })
+	b.RegionEnd(1)
+	fs, err := sched.Schedule(b.Func(), &machine.VLIW2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(fs, mem.NewPerfect(&machine.VLIW2))
+	var buf strings.Builder
+	m.Trace = &buf
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "R1") || !strings.Contains(out, "total=") {
+		t.Errorf("trace missing content:\n%s", out)
+	}
+	if n := strings.Count(out, "\n"); n < 5 {
+		t.Errorf("trace has only %d lines", n)
+	}
+}

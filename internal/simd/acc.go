@@ -1,0 +1,110 @@
+package simd
+
+// Acc is a 192-bit packed accumulator, as proposed in the MDMX multimedia
+// extension and adopted by the paper's Vector-µSIMD ISA. Physically it is
+// 192 bits wide: in byte mode it holds eight 24-bit lanes, in halfword mode
+// four 48-bit lanes. We model each lane in an int64 and wrap to the
+// architectural lane width on every update, so overflow behaviour matches
+// the hardware.
+type Acc struct {
+	// Lanes holds the lane values. Byte-mode operations use all eight
+	// entries (24-bit lanes); halfword-mode operations use the first four
+	// (48-bit lanes).
+	Lanes [8]int64
+}
+
+// accLaneBits returns the architectural lane width for the given sub-word
+// width: 8 lanes x 24 bits for bytes, 4 lanes x 48 bits for halfwords.
+func accLaneBits(w Width) (lanes int, bits uint) {
+	switch w {
+	case W8:
+		return 8, 24
+	case W16:
+		return 4, 48
+	default:
+		panic("simd: accumulator supports byte and halfword modes only")
+	}
+}
+
+// wrap truncates v to a signed field of the given bit width.
+func wrap(v int64, bits uint) int64 {
+	return v << (64 - bits) >> (64 - bits)
+}
+
+// Clear zeroes the accumulator (the "A=0" operation of the paper's Figure 4).
+func (a *Acc) Clear() { a.Lanes = [8]int64{} }
+
+// SADB accumulates the per-byte-lane absolute differences of x and y:
+// lane[i] += |x.b[i] - y.b[i]|. This is the element step of the vector SAD
+// operation used by the motion-estimation kernel.
+func (a *Acc) SADB(x, y uint64) {
+	d := SADLanes(x, y)
+	for i := 0; i < 8; i++ {
+		a.Lanes[i] = wrap(a.Lanes[i]+int64(d[i]), 24)
+	}
+}
+
+// MACW accumulates signed 16-bit lane products: lane[i] += x.w[i]*y.w[i],
+// with four 48-bit lanes. It is the element step of the vector
+// multiply-accumulate used by DCT and correlation kernels.
+func (a *Acc) MACW(x, y uint64) {
+	for i := 0; i < 4; i++ {
+		p := GetS(x, W16, i) * GetS(y, W16, i)
+		a.Lanes[i] = wrap(a.Lanes[i]+p, 48)
+	}
+}
+
+// ACCW accumulates signed 16-bit lanes: lane[i] += x.w[i] (four 48-bit
+// lanes). Used for plain sum reductions (e.g. energies already squared).
+func (a *Acc) ACCW(x uint64) {
+	for i := 0; i < 4; i++ {
+		a.Lanes[i] = wrap(a.Lanes[i]+GetS(x, W16, i), 48)
+	}
+}
+
+// Sum reduces the accumulator to a single scalar in the given mode
+// (the "R=SUM(A)" operation). Byte mode sums eight lanes, halfword mode
+// four. Only one vector lane performs this final reduction in hardware;
+// the full-latency (non-chained) scheduling of SUM reflects that.
+func (a *Acc) Sum(w Width) int64 {
+	lanes, _ := accLaneBits(w)
+	var s int64
+	for i := 0; i < lanes; i++ {
+		s += a.Lanes[i]
+	}
+	return s
+}
+
+// Pack returns the four halfword-mode lanes shifted right arithmetically
+// by sh, saturated to int16 and packed into one 64-bit word (the MDMX-like
+// accumulator round-and-pack operation).
+func (a *Acc) Pack(sh uint) uint64 {
+	var r uint64
+	for i := 0; i < 4; i++ {
+		v := a.Lanes[i] >> sh
+		if v > 32767 {
+			v = 32767
+		}
+		if v < -32768 {
+			v = -32768
+		}
+		r = Put(r, W16, i, uint64(v))
+	}
+	return r
+}
+
+// SumSat reduces like Sum and then saturates the result to a signed field
+// of the given number of bits (used when storing reductions into packed
+// 16/32-bit destinations).
+func (a *Acc) SumSat(w Width, bits uint) int64 {
+	s := a.Sum(w)
+	max := int64(1)<<(bits-1) - 1
+	min := -(int64(1) << (bits - 1))
+	if s > max {
+		return max
+	}
+	if s < min {
+		return min
+	}
+	return s
+}

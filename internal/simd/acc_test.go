@@ -1,0 +1,132 @@
+package simd
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAccClear(t *testing.T) {
+	var a Acc
+	a.Lanes[0] = 42
+	a.Clear()
+	for i, v := range a.Lanes {
+		if v != 0 {
+			t.Fatalf("lane %d = %d after Clear", i, v)
+		}
+	}
+}
+
+func TestAccSADB(t *testing.T) {
+	var a Acc
+	x := Put(Put(0, W8, 0, 10), W8, 7, 200)
+	y := Put(Put(0, W8, 0, 14), W8, 7, 150)
+	a.SADB(x, y)
+	if a.Lanes[0] != 4 || a.Lanes[7] != 50 {
+		t.Errorf("lanes = %v, want lane0=4 lane7=50", a.Lanes)
+	}
+	// Accumulation across calls.
+	a.SADB(x, y)
+	if a.Lanes[0] != 8 || a.Lanes[7] != 100 {
+		t.Errorf("accumulation failed: %v", a.Lanes)
+	}
+}
+
+func TestAccSADBWraps24Bits(t *testing.T) {
+	var a Acc
+	x := Put(0, W8, 0, 255)
+	// 255 per step; lane is 24-bit signed: wraps after 2^23/255 steps.
+	steps := (1 << 23) / 255
+	for i := 0; i <= steps; i++ {
+		a.SADB(x, 0)
+	}
+	if a.Lanes[0] >= 1<<23 {
+		t.Errorf("lane exceeded 24-bit signed range: %d", a.Lanes[0])
+	}
+}
+
+func TestAccMACW(t *testing.T) {
+	var a Acc
+	x := Put(Put(0, W16, 0, 100), W16, 3, uint64(0xFFFF)) // lane3 = -1
+	y := Put(Put(0, W16, 0, 200), W16, 3, 50)
+	a.MACW(x, y)
+	if a.Lanes[0] != 20000 {
+		t.Errorf("lane0 = %d, want 20000", a.Lanes[0])
+	}
+	if a.Lanes[3] != -50 {
+		t.Errorf("lane3 = %d, want -50", a.Lanes[3])
+	}
+}
+
+func TestAccACCW(t *testing.T) {
+	var a Acc
+	x := Put(Put(0, W16, 1, 7), W16, 2, uint64(0xFFF9)) // -7
+	a.ACCW(x)
+	a.ACCW(x)
+	if a.Lanes[1] != 14 || a.Lanes[2] != -14 {
+		t.Errorf("lanes = %v", a.Lanes[:4])
+	}
+}
+
+func TestAccSum(t *testing.T) {
+	var a Acc
+	for i := range a.Lanes {
+		a.Lanes[i] = int64(i + 1)
+	}
+	if got := a.Sum(W8); got != 36 {
+		t.Errorf("Sum byte mode = %d, want 36", got)
+	}
+	if got := a.Sum(W16); got != 10 {
+		t.Errorf("Sum halfword mode = %d, want 10 (four lanes)", got)
+	}
+}
+
+func TestAccSumSat(t *testing.T) {
+	var a Acc
+	a.Lanes[0] = 1 << 40
+	if got := a.SumSat(W16, 32); got != (1<<31)-1 {
+		t.Errorf("SumSat = %d, want int32 max", got)
+	}
+	a.Lanes[0] = -(1 << 40)
+	if got := a.SumSat(W16, 32); got != -(1 << 31) {
+		t.Errorf("SumSat = %d, want int32 min", got)
+	}
+	a.Lanes[0] = 1234
+	if got := a.SumSat(W16, 32); got != 1234 {
+		t.Errorf("SumSat in-range = %d, want 1234", got)
+	}
+}
+
+func TestAccLaneBitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for W32 accumulator mode")
+		}
+	}()
+	var a Acc
+	a.Sum(W32)
+}
+
+func TestPropAccSADBEqualsScalarSAD(t *testing.T) {
+	// Sum over accumulator lanes after one SADB step equals the scalar SAD.
+	f := func(x, y uint64) bool {
+		var a Acc
+		a.SADB(x, y)
+		return uint64(a.Sum(W8)) == SAD(x, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropAccMACWMatchesMAdd(t *testing.T) {
+	// One MACW step summed equals the sum of the two MAdd 32-bit lanes.
+	f := func(x, y uint64) bool {
+		var a Acc
+		a.MACW(x, y)
+		m := MAdd(x, y)
+		return a.Sum(W16) == GetS(m, W32, 0)+GetS(m, W32, 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

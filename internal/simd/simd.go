@@ -1,0 +1,399 @@
+// Package simd implements the functional semantics of the µSIMD
+// (sub-word SIMD) operations used by the Vector-µSIMD-VLIW architecture.
+//
+// A µSIMD register is a single 64-bit word that packs either eight 8-bit,
+// four 16-bit, or two 32-bit items. Every function in this package operates
+// on such packed words, exactly as the corresponding machine operation
+// would: the simulator's execution engine and the vector functional units
+// (which apply one of these word operations per vector element) are both
+// built on top of it.
+//
+// The opcode set mirrors the integer subset of Intel SSE/MMX (the paper
+// states its µSIMD extension "provides 67 opcodes fairly similar to Intel's
+// SSE integer opcodes") plus the MDMX-like packed-accumulator operations
+// (SAD and multiply-accumulate) needed for reductions.
+package simd
+
+// Width is the sub-word element width of a packed operation.
+type Width uint8
+
+// Sub-word widths supported by the architecture. A 64-bit word packs
+// 8, 4 or 2 elements respectively.
+const (
+	W8  Width = 1 // eight 8-bit items
+	W16 Width = 2 // four 16-bit items
+	W32 Width = 4 // two 32-bit items
+	W64 Width = 8 // one 64-bit item (degenerate, used by a few moves)
+)
+
+// Lanes reports how many sub-word elements of width w fit in a 64-bit word.
+func (w Width) Lanes() int {
+	switch w {
+	case W8:
+		return 8
+	case W16:
+		return 4
+	case W32:
+		return 2
+	case W64:
+		return 1
+	}
+	panic("simd: invalid width")
+}
+
+// Bits reports the width of one element in bits.
+func (w Width) Bits() int { return int(w) * 8 }
+
+// String implements fmt.Stringer.
+func (w Width) String() string {
+	switch w {
+	case W8:
+		return "b"
+	case W16:
+		return "w"
+	case W32:
+		return "d"
+	case W64:
+		return "q"
+	}
+	return "?"
+}
+
+// getU extracts lane i of word x as an unsigned value.
+func getU(x uint64, w Width, i int) uint64 {
+	sh := uint(i) * uint(w) * 8
+	mask := ^uint64(0) >> (64 - uint(w)*8)
+	return (x >> sh) & mask
+}
+
+// getS extracts lane i of word x as a signed value.
+func getS(x uint64, w Width, i int) int64 {
+	v := getU(x, w, i)
+	bits := uint(w) * 8
+	return int64(v<<(64-bits)) >> (64 - bits)
+}
+
+// put stores the low bits of v into lane i of word x.
+func put(x uint64, w Width, i int, v uint64) uint64 {
+	sh := uint(i) * uint(w) * 8
+	mask := (^uint64(0) >> (64 - uint(w)*8)) << sh
+	return (x &^ mask) | ((v << sh) & mask)
+}
+
+// GetU returns lane i of x zero-extended. It is exported for use by the
+// execution engine and tests.
+func GetU(x uint64, w Width, i int) uint64 { return getU(x, w, i) }
+
+// GetS returns lane i of x sign-extended.
+func GetS(x uint64, w Width, i int) int64 { return getS(x, w, i) }
+
+// Put returns x with lane i replaced by the low bits of v.
+func Put(x uint64, w Width, i int, v uint64) uint64 { return put(x, w, i, v) }
+
+// mapLanes applies an unsigned lane-wise binary function.
+func mapLanes(a, b uint64, w Width, f func(x, y uint64) uint64) uint64 {
+	var r uint64
+	for i := 0; i < w.Lanes(); i++ {
+		r = put(r, w, i, f(getU(a, w, i), getU(b, w, i)))
+	}
+	return r
+}
+
+// mapLanesS applies a signed lane-wise binary function.
+func mapLanesS(a, b uint64, w Width, f func(x, y int64) int64) uint64 {
+	var r uint64
+	for i := 0; i < w.Lanes(); i++ {
+		r = put(r, w, i, uint64(f(getS(a, w, i), getS(b, w, i))))
+	}
+	return r
+}
+
+// satS clamps v to the signed range of width w.
+func satS(v int64, w Width) int64 {
+	bits := uint(w) * 8
+	max := int64(1)<<(bits-1) - 1
+	min := -(int64(1) << (bits - 1))
+	if v > max {
+		return max
+	}
+	if v < min {
+		return min
+	}
+	return v
+}
+
+// satU clamps v to the unsigned range of width w.
+func satU(v int64, w Width) uint64 {
+	bits := uint(w) * 8
+	max := int64(1)<<bits - 1
+	if v > max {
+		return uint64(max)
+	}
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
+}
+
+// Add performs lane-wise modular addition (PADDB/PADDW/PADDD).
+func Add(a, b uint64, w Width) uint64 {
+	return mapLanes(a, b, w, func(x, y uint64) uint64 { return x + y })
+}
+
+// Sub performs lane-wise modular subtraction (PSUBB/PSUBW/PSUBD).
+func Sub(a, b uint64, w Width) uint64 {
+	return mapLanes(a, b, w, func(x, y uint64) uint64 { return x - y })
+}
+
+// AddS performs lane-wise signed saturating addition (PADDSB/PADDSW).
+func AddS(a, b uint64, w Width) uint64 {
+	return mapLanesS(a, b, w, func(x, y int64) int64 { return satS(x+y, w) })
+}
+
+// SubS performs lane-wise signed saturating subtraction (PSUBSB/PSUBSW).
+func SubS(a, b uint64, w Width) uint64 {
+	return mapLanesS(a, b, w, func(x, y int64) int64 { return satS(x-y, w) })
+}
+
+// AddU performs lane-wise unsigned saturating addition (PADDUSB/PADDUSW).
+func AddU(a, b uint64, w Width) uint64 {
+	return mapLanes(a, b, w, func(x, y uint64) uint64 { return satU(int64(x)+int64(y), w) })
+}
+
+// SubU performs lane-wise unsigned saturating subtraction (PSUBUSB/PSUBUSW).
+func SubU(a, b uint64, w Width) uint64 {
+	return mapLanes(a, b, w, func(x, y uint64) uint64 { return satU(int64(x)-int64(y), w) })
+}
+
+// MulLo multiplies lanes and keeps the low half of each product (PMULLW).
+func MulLo(a, b uint64, w Width) uint64 {
+	return mapLanesS(a, b, w, func(x, y int64) int64 { return x * y })
+}
+
+// MulHi multiplies signed lanes and keeps the high half (PMULHW).
+func MulHi(a, b uint64, w Width) uint64 {
+	bits := uint(w) * 8
+	return mapLanesS(a, b, w, func(x, y int64) int64 { return (x * y) >> bits })
+}
+
+// MAdd multiplies signed 16-bit lanes and adds adjacent pairs into 32-bit
+// lanes (PMADDWD). The width argument of the machine operation is fixed at
+// W16; the result is W32 packed.
+func MAdd(a, b uint64) uint64 {
+	var r uint64
+	for i := 0; i < 2; i++ {
+		p0 := getS(a, W16, 2*i) * getS(b, W16, 2*i)
+		p1 := getS(a, W16, 2*i+1) * getS(b, W16, 2*i+1)
+		r = put(r, W32, i, uint64(p0+p1))
+	}
+	return r
+}
+
+// AvgU performs lane-wise unsigned rounding average (PAVGB/PAVGW):
+// (a+b+1)>>1.
+func AvgU(a, b uint64, w Width) uint64 {
+	return mapLanes(a, b, w, func(x, y uint64) uint64 { return (x + y + 1) >> 1 })
+}
+
+// MinU / MaxU are unsigned lane-wise min/max (PMINUB/PMAXUB).
+func MinU(a, b uint64, w Width) uint64 {
+	return mapLanes(a, b, w, func(x, y uint64) uint64 {
+		if x < y {
+			return x
+		}
+		return y
+	})
+}
+
+// MaxU is the unsigned lane-wise maximum.
+func MaxU(a, b uint64, w Width) uint64 {
+	return mapLanes(a, b, w, func(x, y uint64) uint64 {
+		if x > y {
+			return x
+		}
+		return y
+	})
+}
+
+// MinS / MaxS are signed lane-wise min/max (PMINSW/PMAXSW).
+func MinS(a, b uint64, w Width) uint64 {
+	return mapLanesS(a, b, w, func(x, y int64) int64 {
+		if x < y {
+			return x
+		}
+		return y
+	})
+}
+
+// MaxS is the signed lane-wise maximum.
+func MaxS(a, b uint64, w Width) uint64 {
+	return mapLanesS(a, b, w, func(x, y int64) int64 {
+		if x > y {
+			return x
+		}
+		return y
+	})
+}
+
+// AbsDiffU computes the lane-wise unsigned absolute difference |a-b|.
+func AbsDiffU(a, b uint64, w Width) uint64 {
+	return mapLanes(a, b, w, func(x, y uint64) uint64 {
+		if x > y {
+			return x - y
+		}
+		return y - x
+	})
+}
+
+// SAD computes the sum of absolute differences of the eight unsigned bytes
+// of a and b (PSADBW): a single scalar result.
+func SAD(a, b uint64) uint64 {
+	var s uint64
+	for i := 0; i < 8; i++ {
+		x, y := getU(a, W8, i), getU(b, W8, i)
+		if x > y {
+			s += x - y
+		} else {
+			s += y - x
+		}
+	}
+	return s
+}
+
+// SADLanes computes the per-byte-lane absolute differences of a and b,
+// returning them as eight separate values. It is the element step of the
+// MDMX-style packed-accumulator SAD: each byte lane accumulates into its own
+// 24-bit accumulator lane.
+func SADLanes(a, b uint64) [8]uint64 {
+	var r [8]uint64
+	for i := 0; i < 8; i++ {
+		x, y := getU(a, W8, i), getU(b, W8, i)
+		if x > y {
+			r[i] = x - y
+		} else {
+			r[i] = y - x
+		}
+	}
+	return r
+}
+
+// And, Or, Xor, AndNot are the bit-wise logical operations (PAND/POR/PXOR/
+// PANDN). AndNot computes ^a & b, matching the SSE PANDN semantics.
+func And(a, b uint64) uint64    { return a & b }
+func Or(a, b uint64) uint64     { return a | b }
+func Xor(a, b uint64) uint64    { return a ^ b }
+func AndNot(a, b uint64) uint64 { return ^a & b }
+
+// ShlI shifts each lane left by imm bits (PSLLW/PSLLD). Shifts >= lane width
+// produce zero, as in SSE.
+func ShlI(a uint64, w Width, imm uint) uint64 {
+	if imm >= uint(w)*8 {
+		return 0
+	}
+	return mapLanes(a, 0, w, func(x, _ uint64) uint64 { return x << imm })
+}
+
+// ShrI logically shifts each lane right by imm bits (PSRLW/PSRLD).
+func ShrI(a uint64, w Width, imm uint) uint64 {
+	if imm >= uint(w)*8 {
+		return 0
+	}
+	return mapLanes(a, 0, w, func(x, _ uint64) uint64 { return x >> imm })
+}
+
+// SraI arithmetically shifts each lane right by imm bits (PSRAW/PSRAD).
+// Shifts >= lane width replicate the sign bit, as in SSE.
+func SraI(a uint64, w Width, imm uint) uint64 {
+	if imm >= uint(w)*8 {
+		imm = uint(w)*8 - 1
+	}
+	return mapLanesS(a, 0, w, func(x, _ int64) int64 { return x >> imm })
+}
+
+// CmpEq sets each lane to all-ones where a == b, else zero (PCMPEQB/W/D).
+func CmpEq(a, b uint64, w Width) uint64 {
+	return mapLanes(a, b, w, func(x, y uint64) uint64 {
+		if x == y {
+			return ^uint64(0)
+		}
+		return 0
+	})
+}
+
+// CmpGtS sets each lane to all-ones where a > b (signed), else zero
+// (PCMPGTB/W/D).
+func CmpGtS(a, b uint64, w Width) uint64 {
+	return mapLanesS(a, b, w, func(x, y int64) int64 {
+		if x > y {
+			return -1
+		}
+		return 0
+	})
+}
+
+// PackSS packs the signed lanes of a (low half of the result) and b (high
+// half) into lanes of half the width with signed saturation (PACKSSWB /
+// PACKSSDW). w is the source width (W16 or W32).
+func PackSS(a, b uint64, w Width) uint64 {
+	half := w / 2
+	n := w.Lanes()
+	var r uint64
+	for i := 0; i < n; i++ {
+		r = put(r, half, i, uint64(satS(getS(a, w, i), half)))
+		r = put(r, half, n+i, uint64(satS(getS(b, w, i), half)))
+	}
+	return r
+}
+
+// PackUS packs signed source lanes into unsigned half-width lanes with
+// unsigned saturation (PACKUSWB). w is the source width.
+func PackUS(a, b uint64, w Width) uint64 {
+	half := w / 2
+	n := w.Lanes()
+	var r uint64
+	for i := 0; i < n; i++ {
+		r = put(r, half, i, satU(getS(a, w, i), half))
+		r = put(r, half, n+i, satU(getS(b, w, i), half))
+	}
+	return r
+}
+
+// UnpackLo interleaves the low-half lanes of a and b into double-width
+// positions (PUNPCKLBW/PUNPCKLWD/PUNPCKLDQ at width w): the result holds
+// a[0], b[0], a[1], b[1], ... for the low n/2 source lanes.
+func UnpackLo(a, b uint64, w Width) uint64 {
+	n := w.Lanes()
+	var r uint64
+	for i := 0; i < n/2; i++ {
+		r = put(r, w, 2*i, getU(a, w, i))
+		r = put(r, w, 2*i+1, getU(b, w, i))
+	}
+	if n == 1 { // W64 degenerate: result is a
+		return a
+	}
+	return r
+}
+
+// UnpackHi interleaves the high-half lanes of a and b (PUNPCKHBW etc.).
+func UnpackHi(a, b uint64, w Width) uint64 {
+	n := w.Lanes()
+	var r uint64
+	for i := 0; i < n/2; i++ {
+		r = put(r, w, 2*i, getU(a, w, n/2+i))
+		r = put(r, w, 2*i+1, getU(b, w, n/2+i))
+	}
+	if n == 1 {
+		return b
+	}
+	return r
+}
+
+// Splat broadcasts the low lane of width w of v to all lanes.
+func Splat(v uint64, w Width) uint64 {
+	var r uint64
+	low := getU(v, w, 0)
+	for i := 0; i < w.Lanes(); i++ {
+		r = put(r, w, i, low)
+	}
+	return r
+}

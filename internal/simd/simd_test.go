@@ -1,0 +1,514 @@
+package simd
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWidthLanes(t *testing.T) {
+	cases := []struct {
+		w     Width
+		lanes int
+		bits  int
+		str   string
+	}{
+		{W8, 8, 8, "b"},
+		{W16, 4, 16, "w"},
+		{W32, 2, 32, "d"},
+		{W64, 1, 64, "q"},
+	}
+	for _, c := range cases {
+		if got := c.w.Lanes(); got != c.lanes {
+			t.Errorf("Lanes(%v) = %d, want %d", c.w, got, c.lanes)
+		}
+		if got := c.w.Bits(); got != c.bits {
+			t.Errorf("Bits(%v) = %d, want %d", c.w, got, c.bits)
+		}
+		if got := c.w.String(); got != c.str {
+			t.Errorf("String(%v) = %q, want %q", c.w, got, c.str)
+		}
+	}
+}
+
+func TestWidthLanesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Lanes on invalid width did not panic")
+		}
+	}()
+	Width(3).Lanes()
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	for _, w := range []Width{W8, W16, W32, W64} {
+		var x uint64
+		for i := 0; i < w.Lanes(); i++ {
+			x = Put(x, w, i, uint64(i+1))
+		}
+		for i := 0; i < w.Lanes(); i++ {
+			if got := GetU(x, w, i); got != uint64(i+1) {
+				t.Errorf("w=%v lane %d: got %d, want %d", w, i, got, i+1)
+			}
+		}
+	}
+}
+
+func TestGetS(t *testing.T) {
+	// 0xFF in a byte lane must read back as -1 signed.
+	x := Put(0, W8, 3, 0xFF)
+	if got := GetS(x, W8, 3); got != -1 {
+		t.Errorf("GetS(0xFF) = %d, want -1", got)
+	}
+	x = Put(0, W16, 1, 0x8000)
+	if got := GetS(x, W16, 1); got != -32768 {
+		t.Errorf("GetS(0x8000) = %d, want -32768", got)
+	}
+	x = Put(0, W32, 1, 0xFFFFFFFF)
+	if got := GetS(x, W32, 1); got != -1 {
+		t.Errorf("GetS(0xFFFFFFFF) = %d, want -1", got)
+	}
+}
+
+func TestAddWrap(t *testing.T) {
+	a := Put(0, W8, 0, 250)
+	b := Put(0, W8, 0, 10)
+	if got := GetU(Add(a, b, W8), W8, 0); got != 4 {
+		t.Errorf("byte 250+10 wrap = %d, want 4", got)
+	}
+	// Lanes must not interfere: 0xFF + 1 in lane 0 must not carry into lane 1.
+	a = Put(Put(0, W8, 0, 0xFF), W8, 1, 5)
+	b = Put(0, W8, 0, 1)
+	r := Add(a, b, W8)
+	if GetU(r, W8, 0) != 0 || GetU(r, W8, 1) != 5 {
+		t.Errorf("carry leaked across lanes: %x", r)
+	}
+}
+
+func TestSubWrap(t *testing.T) {
+	a := Put(0, W16, 2, 5)
+	b := Put(0, W16, 2, 10)
+	if got := GetU(Sub(a, b, W16), W16, 2); got != 0xFFFB {
+		t.Errorf("5-10 wrap = %#x, want 0xFFFB", got)
+	}
+}
+
+func TestAddSSaturate(t *testing.T) {
+	a := Put(0, W16, 0, 0x7FFF) // 32767
+	b := Put(0, W16, 0, 1)
+	if got := GetS(AddS(a, b, W16), W16, 0); got != 32767 {
+		t.Errorf("AddS overflow = %d, want 32767", got)
+	}
+	a = Put(0, W16, 0, 0x8000) // -32768
+	b = Put(0, W16, 0, 0xFFFF) // -1
+	if got := GetS(AddS(a, b, W16), W16, 0); got != -32768 {
+		t.Errorf("AddS underflow = %d, want -32768", got)
+	}
+}
+
+func TestSubSSaturate(t *testing.T) {
+	a := Put(0, W8, 0, 0x80) // -128
+	b := Put(0, W8, 0, 1)
+	if got := GetS(SubS(a, b, W8), W8, 0); got != -128 {
+		t.Errorf("SubS underflow = %d, want -128", got)
+	}
+}
+
+func TestAddUSaturate(t *testing.T) {
+	a := Put(0, W8, 0, 200)
+	b := Put(0, W8, 0, 100)
+	if got := GetU(AddU(a, b, W8), W8, 0); got != 255 {
+		t.Errorf("AddU overflow = %d, want 255", got)
+	}
+}
+
+func TestSubUSaturate(t *testing.T) {
+	a := Put(0, W8, 0, 10)
+	b := Put(0, W8, 0, 20)
+	if got := GetU(SubU(a, b, W8), W8, 0); got != 0 {
+		t.Errorf("SubU underflow = %d, want 0", got)
+	}
+}
+
+func TestMulLoHi(t *testing.T) {
+	a := Put(0, W16, 0, 300)
+	b := Put(0, W16, 0, 400)
+	// 300*400 = 120000 = 0x1D4C0 -> lo 0xD4C0, hi 0x1.
+	if got := GetU(MulLo(a, b, W16), W16, 0); got != 0xD4C0 {
+		t.Errorf("MulLo = %#x, want 0xD4C0", got)
+	}
+	if got := GetU(MulHi(a, b, W16), W16, 0); got != 1 {
+		t.Errorf("MulHi = %#x, want 1", got)
+	}
+	// Signed: -2 * 3 = -6 -> hi must be 0xFFFF (sign extension of -1... -6>>16 = -1).
+	a = Put(0, W16, 0, uint64(0xFFFE)) // -2
+	b = Put(0, W16, 0, 3)
+	if got := GetS(MulHi(a, b, W16), W16, 0); got != -1 {
+		t.Errorf("signed MulHi = %d, want -1", got)
+	}
+}
+
+func TestMAdd(t *testing.T) {
+	// a = [1, 2, 3, 4], b = [5, 6, 7, 8] (16-bit lanes)
+	var a, b uint64
+	for i, v := range []uint64{1, 2, 3, 4} {
+		a = Put(a, W16, i, v)
+	}
+	for i, v := range []uint64{5, 6, 7, 8} {
+		b = Put(b, W16, i, v)
+	}
+	r := MAdd(a, b)
+	// lane0 = 1*5+2*6 = 17; lane1 = 3*7+4*8 = 53.
+	if GetS(r, W32, 0) != 17 || GetS(r, W32, 1) != 53 {
+		t.Errorf("MAdd = [%d,%d], want [17,53]", GetS(r, W32, 0), GetS(r, W32, 1))
+	}
+	// Negative operands.
+	a = Put(0, W16, 0, uint64(0xFFFF)) // -1
+	b = Put(0, W16, 0, 100)
+	if got := GetS(MAdd(a, b), W32, 0); got != -100 {
+		t.Errorf("MAdd signed = %d, want -100", got)
+	}
+}
+
+func TestAvgU(t *testing.T) {
+	a := Put(0, W8, 0, 10)
+	b := Put(0, W8, 0, 13)
+	if got := GetU(AvgU(a, b, W8), W8, 0); got != 12 {
+		t.Errorf("AvgU(10,13) = %d, want 12 (rounding)", got)
+	}
+	if got := GetU(AvgU(Put(0, W8, 0, 255), Put(0, W8, 0, 255), W8), W8, 0); got != 255 {
+		t.Errorf("AvgU(255,255) = %d, want 255", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	a := Put(0, W8, 0, 200)
+	b := Put(0, W8, 0, 100)
+	if got := GetU(MinU(a, b, W8), W8, 0); got != 100 {
+		t.Errorf("MinU = %d", got)
+	}
+	if got := GetU(MaxU(a, b, W8), W8, 0); got != 200 {
+		t.Errorf("MaxU = %d", got)
+	}
+	// Signed: 200 as int8 is -56, so signed min(200,100) is 200's lane.
+	if got := GetS(MinS(a, b, W8), W8, 0); got != -56 {
+		t.Errorf("MinS = %d, want -56", got)
+	}
+	if got := GetS(MaxS(a, b, W8), W8, 0); got != 100 {
+		t.Errorf("MaxS = %d, want 100", got)
+	}
+}
+
+func TestSAD(t *testing.T) {
+	var a, b uint64
+	av := []uint64{10, 20, 30, 40, 50, 60, 70, 80}
+	bv := []uint64{15, 10, 30, 45, 40, 70, 60, 90}
+	var want uint64
+	for i := range av {
+		a = Put(a, W8, i, av[i])
+		b = Put(b, W8, i, bv[i])
+		d := int64(av[i]) - int64(bv[i])
+		if d < 0 {
+			d = -d
+		}
+		want += uint64(d)
+	}
+	if got := SAD(a, b); got != want {
+		t.Errorf("SAD = %d, want %d", got, want)
+	}
+	lanes := SADLanes(a, b)
+	var sum uint64
+	for _, v := range lanes {
+		sum += v
+	}
+	if sum != want {
+		t.Errorf("sum(SADLanes) = %d, want %d", sum, want)
+	}
+}
+
+func TestLogical(t *testing.T) {
+	a, b := uint64(0xF0F0), uint64(0xFF00)
+	if And(a, b) != 0xF000 || Or(a, b) != 0xFFF0 || Xor(a, b) != 0x0FF0 {
+		t.Error("And/Or/Xor wrong")
+	}
+	if AndNot(a, b)&0xFFFF != 0x0F00 {
+		t.Errorf("AndNot = %#x, want low bits 0x0F00", AndNot(a, b)&0xFFFF)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	a := Put(0, W16, 0, 0x8001)
+	if got := GetU(ShlI(a, W16, 1), W16, 0); got != 2 {
+		t.Errorf("ShlI = %#x, want 2", got)
+	}
+	if got := GetU(ShrI(a, W16, 1), W16, 0); got != 0x4000 {
+		t.Errorf("ShrI = %#x, want 0x4000", got)
+	}
+	if got := GetS(SraI(a, W16, 1), W16, 0); got != -16384 {
+		t.Errorf("SraI = %d, want -16384", got)
+	}
+	// Out-of-range shifts.
+	if ShlI(a, W16, 16) != 0 || ShrI(a, W16, 16) != 0 {
+		t.Error("shift >= width must produce 0")
+	}
+	if got := GetS(SraI(a, W16, 20), W16, 0); got != -1 {
+		t.Errorf("SraI >= width = %d, want -1 (sign fill)", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := Put(Put(0, W16, 0, 5), W16, 1, 9)
+	b := Put(Put(0, W16, 0, 5), W16, 1, 3)
+	eq := CmpEq(a, b, W16)
+	if GetU(eq, W16, 0) != 0xFFFF || GetU(eq, W16, 1) != 0 {
+		t.Errorf("CmpEq = %#x", eq)
+	}
+	gt := CmpGtS(a, b, W16)
+	if GetU(gt, W16, 0) != 0 || GetU(gt, W16, 1) != 0xFFFF {
+		t.Errorf("CmpGtS = %#x", gt)
+	}
+}
+
+func TestPackSS(t *testing.T) {
+	// Pack 16->8 with signed saturation.
+	var a, b uint64
+	for i, v := range []int64{-200, -10, 10, 200} {
+		a = Put(a, W16, i, uint64(v))
+	}
+	for i, v := range []int64{300, 0, -1, 127} {
+		b = Put(b, W16, i, uint64(v))
+	}
+	r := PackSS(a, b, W16)
+	want := []int64{-128, -10, 10, 127, 127, 0, -1, 127}
+	for i, w := range want {
+		if got := GetS(r, W8, i); got != w {
+			t.Errorf("PackSS lane %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestPackUS(t *testing.T) {
+	var a, b uint64
+	for i, v := range []int64{-5, 100, 256, 300} {
+		a = Put(a, W16, i, uint64(v))
+	}
+	for i, v := range []int64{0, 255, -1, 1} {
+		b = Put(b, W16, i, uint64(v))
+	}
+	r := PackUS(a, b, W16)
+	want := []uint64{0, 100, 255, 255, 0, 255, 0, 1}
+	for i, w := range want {
+		if got := GetU(r, W8, i); got != w {
+			t.Errorf("PackUS lane %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestUnpack(t *testing.T) {
+	var a, b uint64
+	for i := 0; i < 8; i++ {
+		a = Put(a, W8, i, uint64(i))    // 0..7
+		b = Put(b, W8, i, uint64(10+i)) // 10..17
+	}
+	lo := UnpackLo(a, b, W8)
+	wantLo := []uint64{0, 10, 1, 11, 2, 12, 3, 13}
+	for i, w := range wantLo {
+		if got := GetU(lo, W8, i); got != w {
+			t.Errorf("UnpackLo lane %d = %d, want %d", i, got, w)
+		}
+	}
+	hi := UnpackHi(a, b, W8)
+	wantHi := []uint64{4, 14, 5, 15, 6, 16, 7, 17}
+	for i, w := range wantHi {
+		if got := GetU(hi, W8, i); got != w {
+			t.Errorf("UnpackHi lane %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestUnpackDegenerate(t *testing.T) {
+	if UnpackLo(7, 9, W64) != 7 {
+		t.Error("UnpackLo W64 must return a")
+	}
+	if UnpackHi(7, 9, W64) != 9 {
+		t.Error("UnpackHi W64 must return b")
+	}
+}
+
+func TestSplat(t *testing.T) {
+	r := Splat(0xAB, W8)
+	for i := 0; i < 8; i++ {
+		if GetU(r, W8, i) != 0xAB {
+			t.Fatalf("Splat lane %d = %#x", i, GetU(r, W8, i))
+		}
+	}
+	r = Splat(0x1234, W16)
+	if GetU(r, W16, 3) != 0x1234 {
+		t.Errorf("Splat W16 = %#x", r)
+	}
+}
+
+// --- property-based tests -------------------------------------------------
+
+func TestPropAddCommutative(t *testing.T) {
+	for _, w := range []Width{W8, W16, W32} {
+		w := w
+		f := func(a, b uint64) bool { return Add(a, b, w) == Add(b, a, w) }
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("width %v: %v", w, err)
+		}
+	}
+}
+
+func TestPropAddSubInverse(t *testing.T) {
+	for _, w := range []Width{W8, W16, W32} {
+		w := w
+		f := func(a, b uint64) bool { return Sub(Add(a, b, w), b, w) == a }
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("width %v: %v", w, err)
+		}
+	}
+}
+
+func TestPropSaturatingAddBounds(t *testing.T) {
+	f := func(a, b uint64) bool {
+		r := AddS(a, b, W16)
+		for i := 0; i < 4; i++ {
+			v := GetS(r, W16, i)
+			if v < -32768 || v > 32767 {
+				return false
+			}
+			// Saturating add must equal clamped exact sum.
+			exact := GetS(a, W16, i) + GetS(b, W16, i)
+			if exact > 32767 {
+				exact = 32767
+			}
+			if exact < -32768 {
+				exact = -32768
+			}
+			if v != exact {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSADTriangle(t *testing.T) {
+	// SAD(a,b) == 0 iff a == b, and SAD satisfies the triangle inequality.
+	f := func(a, b, c uint64) bool {
+		if (SAD(a, b) == 0) != (a == b) {
+			return false
+		}
+		return SAD(a, c) <= SAD(a, b)+SAD(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSADSymmetric(t *testing.T) {
+	f := func(a, b uint64) bool { return SAD(a, b) == SAD(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMinMaxOrdering(t *testing.T) {
+	f := func(a, b uint64) bool {
+		mn, mx := MinU(a, b, W8), MaxU(a, b, W8)
+		for i := 0; i < 8; i++ {
+			if GetU(mn, W8, i) > GetU(mx, W8, i) {
+				return false
+			}
+		}
+		// min+max == a+b lane-wise.
+		return Add(mn, mx, W8) == Add(a, b, W8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropPackUnpackIdentity(t *testing.T) {
+	// Unpacking bytes to words with zero and packing back (unsigned) must
+	// reproduce the original bytes.
+	f := func(a uint64) bool {
+		lo := UnpackLo(a, 0, W8) // bytes 0..3 zero-extended into 16-bit lanes
+		hi := UnpackHi(a, 0, W8) // bytes 4..7
+		return PackUS(lo, hi, W16) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropShiftComposition(t *testing.T) {
+	f := func(a uint64) bool {
+		return ShlI(ShrI(a, W16, 4), W16, 4) == And(a, 0xFFF0FFF0FFF0FFF0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropLogicalDeMorgan(t *testing.T) {
+	f := func(a, b uint64) bool {
+		return AndNot(a, b) == And(^a, b) && Xor(a, b) == Or(a, b)&^And(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropGetPut(t *testing.T) {
+	f := func(x uint64, v uint64) bool {
+		for _, w := range []Width{W8, W16, W32, W64} {
+			for i := 0; i < w.Lanes(); i++ {
+				y := Put(x, w, i, v)
+				mask := ^uint64(0) >> (64 - uint(w)*8)
+				if GetU(y, w, i) != v&mask {
+					return false
+				}
+				// Other lanes unchanged.
+				for j := 0; j < w.Lanes(); j++ {
+					if j != i && GetU(y, w, j) != GetU(x, w, j) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzPackedLanes cross-checks the lane accessors and a few algebraic
+// identities under arbitrary inputs.
+func FuzzPackedLanes(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(^uint64(0), uint64(0x0123456789ABCDEF))
+	f.Fuzz(func(t *testing.T, a, b uint64) {
+		for _, w := range []Width{W8, W16, W32} {
+			if Sub(Add(a, b, w), b, w) != a {
+				t.Fatal("add/sub inverse broken")
+			}
+			if MinU(a, b, w) != MinU(b, a, w) || MaxS(a, b, w) != MaxS(b, a, w) {
+				t.Fatal("min/max not commutative")
+			}
+			if AbsDiffU(a, b, w) != AbsDiffU(b, a, w) {
+				t.Fatal("absdiff not symmetric")
+			}
+		}
+		if SAD(a, b) != SAD(b, a) {
+			t.Fatal("SAD not symmetric")
+		}
+		if PackUS(UnpackLo(a, 0, W8), UnpackHi(a, 0, W8), W16) != a {
+			t.Fatal("unpack/pack identity broken")
+		}
+	})
+}
