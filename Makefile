@@ -1,0 +1,27 @@
+# CI entry points. `make ci` is what every PR must keep green: vet, build,
+# the full test suite, and the race detector over the packages that share
+# compiled programs across goroutines (the parallel evaluation sweep).
+
+GO ?= go
+
+.PHONY: ci vet build test race bench figures
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/report ./internal/core ./internal/sim
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$'
+
+figures:
+	$(GO) run ./cmd/paperfigs

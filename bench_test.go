@@ -300,3 +300,24 @@ func BenchmarkEnergy(b *testing.B) {
 	}
 	b.ReportMetric(edp(&machine.Vector1x4)/edp(&machine.USIMD8), "v1_4w_edp_vs_usimd8w")
 }
+
+// BenchmarkCollect measures the full 120-cell evaluation sweep fanned out
+// on the parallel worker pool (one complete sweep per iteration).
+func BenchmarkCollect(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := report.CollectOpts(report.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCollectSequential is the parallelism=1 baseline; the ratio to
+// BenchmarkCollect is the worker pool's wall-clock speedup on a
+// multi-core host.
+func BenchmarkCollectSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := report.CollectOpts(report.Options{Parallelism: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

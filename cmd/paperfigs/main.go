@@ -10,6 +10,7 @@
 //	                       # figure3, figure4, figure5a, figure5b,
 //	                       # figure6, figure7, table3, ablations
 //	paperfigs -v           # progress lines while simulating
+//	paperfigs -j 4         # simulation workers (0 = all CPUs, 1 = serial)
 package main
 
 import (
@@ -27,6 +28,7 @@ func main() {
 	only := flag.String("only", "", "render a single artifact (e.g. figure5a)")
 	csvPath := flag.String("csv", "", "also write the raw evaluation matrix as CSV to this file")
 	verbose := flag.Bool("v", false, "print per-run progress")
+	workers := flag.Int("j", 0, "parallel simulation workers (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
 	// Figure 4 and the ablation study need no full sweep.
@@ -49,7 +51,7 @@ func main() {
 	if *verbose {
 		progress = os.Stderr
 	}
-	m, err := report.Collect(progress)
+	m, err := report.CollectOpts(report.Options{Progress: progress, Parallelism: *workers})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperfigs:", err)
 		os.Exit(1)

@@ -15,6 +15,9 @@
 package core
 
 import (
+	"fmt"
+	"runtime"
+
 	"vsimdvliw/internal/ir"
 	"vsimdvliw/internal/machine"
 	"vsimdvliw/internal/mem"
@@ -37,8 +40,32 @@ const (
 	Realistic
 )
 
+// Models lists the memory models in the paper's evaluation order.
+var Models = []MemoryModel{Perfect, Realistic}
+
+// String returns the model's name as used in progress output and reports.
+func (m MemoryModel) String() string {
+	switch m {
+	case Perfect:
+		return "perfect"
+	case Realistic:
+		return "realistic"
+	}
+	return fmt.Sprintf("mem(%d)", int(m))
+}
+
+// DefaultParallelism is the worker count evaluation sweeps use when the
+// caller does not specify one.
+func DefaultParallelism() int { return runtime.NumCPU() }
+
 // Program is a compiled (scheduled) program bound to a machine
 // configuration.
+//
+// A Program is immutable once Compile returns: Run and NewMachine build
+// fresh per-run state (register files, flat data memory, a private memory
+// model), so a single Program may be run from any number of goroutines
+// concurrently. Callers must uphold the same contract and not mutate the
+// schedule or the underlying ir.Func after compilation.
 type Program struct {
 	Sched  *sched.FuncSched
 	Config *machine.Config

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"sync"
 	"testing"
 
 	"vsimdvliw/internal/ir"
 	"vsimdvliw/internal/isa"
 	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/sim"
 	"vsimdvliw/internal/simd"
 )
 
@@ -86,5 +88,59 @@ func TestRealisticSlowerOrEqual(t *testing.T) {
 	}
 	if r.Cycles < p.Cycles {
 		t.Errorf("realistic (%d) faster than perfect (%d)", r.Cycles, p.Cycles)
+	}
+}
+
+func TestMemoryModelString(t *testing.T) {
+	if Perfect.String() != "perfect" || Realistic.String() != "realistic" {
+		t.Errorf("model names = %q, %q", Perfect, Realistic)
+	}
+	if s := MemoryModel(7).String(); s != "mem(7)" {
+		t.Errorf("unknown model = %q", s)
+	}
+	if len(Models) != 2 || Models[0] != Perfect || Models[1] != Realistic {
+		t.Errorf("Models = %v", Models)
+	}
+	if DefaultParallelism() < 1 {
+		t.Errorf("DefaultParallelism() = %d", DefaultParallelism())
+	}
+}
+
+// TestProgramConcurrentRun exercises the immutability contract: a single
+// compiled Program is run from many goroutines under both memory models,
+// and every run must produce the same result as a sequential run. Run
+// with -race to prove the schedule and IR are never written during
+// execution.
+func TestProgramConcurrentRun(t *testing.T) {
+	f, _ := buildVectorProgram()
+	prog, err := Compile(f, &machine.Vector2x2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mm := range Models {
+		want, err := prog.Run(mm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 8
+		results := make([]*sim.Result, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i], errs[i] = prog.Run(mm)
+			}(i)
+		}
+		wg.Wait()
+		for i := 0; i < n; i++ {
+			if errs[i] != nil {
+				t.Fatalf("%v run %d: %v", mm, i, errs[i])
+			}
+			if *results[i] != *want {
+				t.Errorf("%v run %d diverged from sequential result", mm, i)
+			}
+		}
 	}
 }

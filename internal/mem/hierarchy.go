@@ -178,7 +178,13 @@ func (h *Hierarchy) ScalarAccess(addr int64, size int, write bool) int {
 //   - dirty L1 lines covering the accessed words are flushed to the L2
 //     and invalidated (exclusive bit + inclusion), costing one L1-flush
 //     penalty each.
+//
+// A non-positive vl is clamped to 1: latency formulas divide (vl-1) by the
+// port rate, and a negative numerator would silently *reduce* latency.
 func (h *Hierarchy) VectorAccess(base, stride int64, vl int, write bool) int {
+	if vl < 1 {
+		vl = 1
+	}
 	lat := h.cfg.LatL2
 	unit := stride == 8
 	if unit {
@@ -212,7 +218,11 @@ func (h *Hierarchy) VectorAccess(base, stride int64, vl int, write bool) int {
 					h.l1.Invalidate(l)
 				}
 			}
-			if write && unit && !h.opts.NoWriteValidate {
+			// Write-validate requires the store to cover the *whole* line:
+			// the first and last lines of an unaligned span are only
+			// partially written and must be fetched like any other miss.
+			covered := l >= base && l+int64(h.l2.LineSize()) <= base+int64(vl)*8
+			if write && unit && covered && !h.opts.NoWriteValidate {
 				// Write-validate: a stride-one vector store covers whole
 				// lines through the wide port, so a missing line is
 				// installed without fetching it from below.
@@ -253,8 +263,12 @@ func (p *Perfect) ScalarAccess(addr int64, size int, write bool) int {
 	return p.cfg.LatL1
 }
 
-// VectorAccess implements Model: always a full-rate L2 hit.
+// VectorAccess implements Model: always a full-rate L2 hit. A
+// non-positive vl is clamped to 1 (see Hierarchy.VectorAccess).
 func (p *Perfect) VectorAccess(base, stride int64, vl int, write bool) int {
+	if vl < 1 {
+		vl = 1
+	}
 	return p.cfg.LatL2 + (vl-1)/p.cfg.L2PortWords
 }
 

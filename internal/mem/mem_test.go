@@ -277,3 +277,51 @@ func TestPerfectMatchesScheduledLatency(t *testing.T) {
 		}
 	}
 }
+
+func TestWriteValidatePartialLinesTakeFillPath(t *testing.T) {
+	cfg := &machine.Vector2x2
+	line := int64(cfg.L2Line)
+
+	// A line-aligned stride-one store covering whole lines only: every
+	// line is write-validated, so the cold store costs no fill latency.
+	aligned := NewHierarchy(cfg)
+	base := int64(0x10000)
+	lat := aligned.VectorAccess(base, 8, 16, true) // 128 B = 2 whole lines
+	want := cfg.LatL2 + 15/cfg.L2PortWords
+	if lat != want {
+		t.Errorf("aligned cold store latency %d, want %d (pure write-validate)", lat, want)
+	}
+
+	// The same VL*8-byte span shifted by half a line touches three lines;
+	// the first and last are only partially written, so validating them
+	// without a fetch would corrupt the unwritten halves. They must take
+	// the fill path (one memory fill each — the next-line prefetcher only
+	// covers the middle line), while the fully covered middle line is
+	// still write-validated for free.
+	part := NewHierarchy(cfg)
+	lat = part.VectorAccess(base+line/2, 8, 16, true)
+	want = cfg.LatL2 + 15/cfg.L2PortWords + 2*cfg.LatMem
+	if lat != want {
+		t.Errorf("unaligned cold store latency %d, want %d (two edge-line fills)", lat, want)
+	}
+}
+
+func TestVectorAccessClampsNonPositiveVL(t *testing.T) {
+	cfg := &machine.Vector2x2
+	h := NewHierarchy(cfg)
+	h.VectorAccess(0x10000, 8, 16, false) // warm the touched lines
+	one := h.VectorAccess(0x10000, 8, 1, false)
+	for _, vl := range []int{0, -4} {
+		if got := h.VectorAccess(0x10000, 8, vl, false); got != one {
+			t.Errorf("vl=%d latency %d, want vl=1 latency %d", vl, got, one)
+		}
+	}
+
+	p := NewPerfect(cfg)
+	one = p.VectorAccess(0, 8, 1, false)
+	for _, vl := range []int{0, -4} {
+		if got := p.VectorAccess(0, 8, vl, false); got != one {
+			t.Errorf("perfect vl=%d latency %d, want vl=1 latency %d", vl, got, one)
+		}
+	}
+}

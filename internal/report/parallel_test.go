@@ -1,0 +1,108 @@
+package report
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vsimdvliw/internal/apps"
+	"vsimdvliw/internal/machine"
+)
+
+// reducedApps and reducedCfgs form a 2-app x 3-config sub-matrix that
+// still exercises all three ISA variants (and therefore the single-flight
+// build cache) while staying cheap enough to run under -race.
+func reducedApps(t *testing.T) []*apps.App {
+	t.Helper()
+	all := apps.All()
+	return all[:2] // jpeg_enc, jpeg_dec
+}
+
+var reducedCfgs = []*machine.Config{&machine.VLIW2, &machine.USIMD2, &machine.Vector2x2}
+
+// TestCollectParallelMatchesSequential is the differential test of the
+// worker pool: the full 120-cell matrix collected with many workers must
+// be cell-for-cell identical to the sequential sweep.
+func TestCollectParallelMatchesSequential(t *testing.T) {
+	par := getMatrix(t) // shared matrix, collected with default parallelism
+	seq, err := CollectOpts(Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, sk := par.sortedKeys(), seq.sortedKeys()
+	if !reflect.DeepEqual(pk, sk) {
+		t.Fatalf("cell sets differ: parallel %d cells, sequential %d cells", len(pk), len(sk))
+	}
+	for _, k := range sk {
+		if !reflect.DeepEqual(par.res[k], seq.res[k]) {
+			t.Errorf("cell %s: parallel result differs from sequential", k)
+		}
+	}
+}
+
+// TestCollectReducedMatrixConcurrent drives the worker pool at a high
+// worker count over the reduced matrix; running it under -race proves the
+// shared build/compile results are never written concurrently.
+func TestCollectReducedMatrixConcurrent(t *testing.T) {
+	a := reducedApps(t)
+	par, err := collect(a, reducedCfgs, Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(par.sortedKeys()), len(a)*len(reducedCfgs)*2; got != want {
+		t.Fatalf("collected %d cells, want %d", got, want)
+	}
+	seq, err := collect(a, reducedCfgs, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range seq.sortedKeys() {
+		if !reflect.DeepEqual(par.res[k], seq.res[k]) {
+			t.Errorf("cell %s: parallel result differs from sequential", k)
+		}
+		if par.res[k].Cycles <= 0 {
+			t.Errorf("cell %s: no cycles recorded", k)
+		}
+	}
+}
+
+// TestCollectProgressDeterministic checks the progress stream: a header,
+// model names instead of bare ints, and byte-identical output no matter
+// how many workers complete runs out of order.
+func TestCollectProgressDeterministic(t *testing.T) {
+	a := reducedApps(t)
+	var seq, par bytes.Buffer
+	if _, err := collect(a, reducedCfgs, Options{Parallelism: 1, Progress: &seq}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := collect(a, reducedCfgs, Options{Parallelism: 8, Progress: &par}); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Errorf("progress output depends on worker count:\n--- sequential ---\n%s--- parallel ---\n%s",
+			seq.String(), par.String())
+	}
+	lines := strings.Split(strings.TrimRight(seq.String(), "\n"), "\n")
+	if got, want := len(lines), 1+len(a)*len(reducedCfgs)*2; got != want {
+		t.Fatalf("progress lines = %d, want %d (header + one per run)", got, want)
+	}
+	header := lines[0]
+	for _, col := range []string{"app", "config", "memory", "cycles"} {
+		if !strings.Contains(header, col) {
+			t.Errorf("header %q missing column %q", header, col)
+		}
+	}
+	body := strings.Join(lines[1:], "\n")
+	if !strings.Contains(body, "perfect") || !strings.Contains(body, "realistic") {
+		t.Errorf("progress lines must name the memory model:\n%s", body)
+	}
+	if strings.Contains(body, "mem=") {
+		t.Errorf("progress lines still print the model as a bare int:\n%s", body)
+	}
+	// Canonical order: the first two runs are the first app on the first
+	// config under both models.
+	if !strings.HasPrefix(lines[1], a[0].Name) || !strings.HasPrefix(lines[2], a[0].Name) {
+		t.Errorf("progress not in canonical order:\n%s", seq.String())
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"vsimdvliw/internal/apps"
 	"vsimdvliw/internal/core"
@@ -50,41 +52,209 @@ func key(app, cfg string, mem core.MemoryModel) string {
 	return fmt.Sprintf("%s|%s|%d", app, cfg, mem)
 }
 
+// Options configures an evaluation sweep.
+type Options struct {
+	// Parallelism is the number of worker goroutines the sweep fans the
+	// (app, config, memory) cells out on. 0 (the default) uses
+	// core.DefaultParallelism(); 1 reproduces the historical sequential
+	// behaviour.
+	Parallelism int
+	// Progress, when non-nil, receives a header plus one line per
+	// completed run, always in canonical (app, config, memory) order
+	// regardless of the order runs finish in under the worker pool.
+	Progress io.Writer
+}
+
 // Collect builds, compiles and simulates every application on every
-// configuration under both memory models. progress (may be nil) receives
-// one line per completed run.
+// configuration under both memory models, in parallel across all CPUs.
+// progress (may be nil) receives one line per completed run.
 func Collect(progress io.Writer) (*Matrix, error) {
-	m := &Matrix{Apps: apps.All(), res: make(map[string]*sim.Result)}
-	for _, a := range m.Apps {
-		built := map[kernels.Variant]*ir0{}
-		for _, cfg := range machine.All() {
-			v := VariantFor(cfg)
-			bv, ok := built[v]
+	return CollectOpts(Options{Progress: progress})
+}
+
+// CollectOpts is Collect with explicit sweep options.
+func CollectOpts(o Options) (*Matrix, error) {
+	return collect(apps.All(), machine.All(), o)
+}
+
+// buildEntry memoizes apps.Build per (app, variant): the first worker that
+// needs a variant builds it; every other worker reuses the result, which
+// is treated as immutable from then on.
+type buildEntry struct {
+	once sync.Once
+	app  *apps.App
+	v    kernels.Variant
+	b    *apps.Built
+}
+
+func (e *buildEntry) get() *apps.Built {
+	e.once.Do(func() { e.b = e.app.Build(e.v) })
+	return e.b
+}
+
+// compileEntry memoizes core.Compile per (app, config). The compiled
+// Program is immutable and shared by the runs of both memory models.
+type compileEntry struct {
+	once  sync.Once
+	build *buildEntry
+	cfg   *machine.Config
+	prog  *core.Program
+	err   error
+}
+
+func (e *compileEntry) get() (*core.Program, error) {
+	e.once.Do(func() { e.prog, e.err = core.Compile(e.build.get().Func, e.cfg) })
+	return e.prog, e.err
+}
+
+// cell is one (app, config, memory) point of the sweep.
+type cell struct {
+	app  *apps.App
+	cfg  *machine.Config
+	mem  core.MemoryModel
+	comp *compileEntry
+	res  *sim.Result
+	err  error
+}
+
+// collect runs the sweep over the given applications and configurations.
+// Every cell is independent: shared work (build, compile) is done once
+// through single-flight entries and then only read, so cells can run on
+// any number of goroutines while producing results identical to the
+// sequential sweep.
+func collect(appList []*apps.App, cfgs []*machine.Config, o Options) (*Matrix, error) {
+	workers := o.Parallelism
+	if workers <= 0 {
+		workers = core.DefaultParallelism()
+	}
+
+	type buildKey struct {
+		app string
+		v   kernels.Variant
+	}
+	type compileKey struct{ app, cfg string }
+	builds := make(map[buildKey]*buildEntry)
+	compiles := make(map[compileKey]*compileEntry)
+	var cells []*cell
+	for _, a := range appList {
+		for _, cfg := range cfgs {
+			bk := buildKey{a.Name, VariantFor(cfg)}
+			be, ok := builds[bk]
 			if !ok {
-				bv = &ir0{b: a.Build(v)}
-				built[v] = bv
+				be = &buildEntry{app: a, v: bk.v}
+				builds[bk] = be
 			}
-			prog, err := core.Compile(bv.b.Func, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("report: %s on %s: %w", a.Name, cfg.Name, err)
+			ck := compileKey{a.Name, cfg.Name}
+			ce, ok := compiles[ck]
+			if !ok {
+				ce = &compileEntry{build: be, cfg: cfg}
+				compiles[ck] = ce
 			}
-			for _, mem := range []core.MemoryModel{core.Perfect, core.Realistic} {
-				res, err := prog.Run(mem)
-				if err != nil {
-					return nil, fmt.Errorf("report: %s on %s: %w", a.Name, cfg.Name, err)
-				}
-				m.res[key(a.Name, cfg.Name, mem)] = res
-				if progress != nil {
-					fmt.Fprintf(progress, "%-10s %-11s mem=%d cycles=%d\n", a.Name, cfg.Name, mem, res.Cycles)
-				}
+			for _, mm := range core.Models {
+				cells = append(cells, &cell{app: a, cfg: cfg, mem: mm, comp: ce})
 			}
 		}
+	}
+
+	prog := newProgress(o.Progress)
+	var failed atomic.Bool
+	run := func(i int) {
+		c := cells[i]
+		if failed.Load() {
+			prog.skip(i)
+			return
+		}
+		p, err := c.comp.get()
+		if err == nil {
+			c.res, err = p.Run(c.mem)
+		}
+		if err != nil {
+			c.err = fmt.Errorf("report: %s on %s: %w", c.app.Name, c.cfg.Name, err)
+			failed.Store(true)
+			prog.skip(i)
+			return
+		}
+		prog.done(i, fmt.Sprintf("%-10s %-12s %-9s %d\n",
+			c.app.Name, c.cfg.Name, c.mem, c.res.Cycles))
+	}
+
+	if workers == 1 || len(cells) <= 1 {
+		for i := range cells {
+			run(i)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					run(i)
+				}
+			}()
+		}
+		for i := range cells {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	// The first error in canonical order wins, keeping failures
+	// deterministic under the pool.
+	for _, c := range cells {
+		if c.err != nil {
+			return nil, c.err
+		}
+	}
+	m := &Matrix{Apps: appList, res: make(map[string]*sim.Result, len(cells))}
+	for _, c := range cells {
+		m.res[key(c.app.Name, c.cfg.Name, c.mem)] = c.res
 	}
 	return m, nil
 }
 
-// ir0 wraps a built app (small indirection keeping Build calls single).
-type ir0 struct{ b *apps.Built }
+// progressWriter serializes per-run progress into canonical cell order:
+// line i is released only once every line before it has been released (or
+// skipped), so concurrent completions never interleave or reorder.
+type progressWriter struct {
+	w       io.Writer
+	mu      sync.Mutex
+	next    int
+	pending map[int]string // completed lines not yet released; "" = skipped
+}
+
+func newProgress(w io.Writer) *progressWriter {
+	if w != nil {
+		fmt.Fprintf(w, "%-10s %-12s %-9s %s\n", "app", "config", "memory", "cycles")
+	}
+	return &progressWriter{w: w, pending: make(map[int]string)}
+}
+
+func (p *progressWriter) done(i int, line string) { p.record(i, line) }
+
+func (p *progressWriter) skip(i int) { p.record(i, "") }
+
+func (p *progressWriter) record(i int, line string) {
+	if p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pending[i] = line
+	for {
+		l, ok := p.pending[p.next]
+		if !ok {
+			return
+		}
+		delete(p.pending, p.next)
+		p.next++
+		if l != "" {
+			fmt.Fprint(p.w, l)
+		}
+	}
+}
 
 // Get returns the result for one (app, config, memory) cell.
 func (m *Matrix) Get(app, cfg string, mem core.MemoryModel) *sim.Result {

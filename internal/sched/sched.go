@@ -160,10 +160,15 @@ func vecRate(op *ir.Op, cfg *machine.Config) int {
 
 // descriptors computes (occupancy, full write latency) for an operation
 // under the compile-time vector length vl, per Figure 3 of the paper.
+// A non-positive vl is clamped to 1: (vl-1)/rate would go negative and
+// silently shorten the schedule.
 func descriptors(op *ir.Op, cfg *machine.Config, vl int) (occ, tlw int) {
 	in := op.Info()
 	if !in.Vector {
 		return 1, in.Lat
+	}
+	if vl < 1 {
+		vl = 1
 	}
 	rate := vecRate(op, cfg)
 	occ = (vl + rate - 1) / rate

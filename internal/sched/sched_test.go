@@ -736,3 +736,22 @@ func TestLoopRegBuilder(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDescriptorsClampNonPositiveVL(t *testing.T) {
+	// (vl-1)/rate on a non-positive vl would go negative and silently
+	// shorten the schedule; descriptors must clamp to vl=1.
+	cfg := &machine.Vector2x2
+	vadd := &ir.Op{Opcode: isa.VADD, Width: simd.W16}
+	wantOcc, wantTlw := descriptors(vadd, cfg, 1)
+	for _, vl := range []int{0, -7} {
+		occ, tlw := descriptors(vadd, cfg, vl)
+		if occ != wantOcc || tlw != wantTlw {
+			t.Errorf("vl=%d: occ=%d tlw=%d, want %d,%d", vl, occ, tlw, wantOcc, wantTlw)
+		}
+	}
+	vld := &ir.Op{Opcode: isa.VLD}
+	wantOcc, wantTlw = descriptors(vld, cfg, 1)
+	if occ, tlw := descriptors(vld, cfg, 0); occ != wantOcc || tlw != wantTlw {
+		t.Errorf("VLD vl=0: occ=%d tlw=%d, want %d,%d", occ, tlw, wantOcc, wantTlw)
+	}
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/mem"
+	"vsimdvliw/internal/sched"
+	"vsimdvliw/internal/simd"
+)
+
+// TestConcurrentMachinesShareSchedule runs independent Machines over one
+// shared FuncSched from many goroutines (meaningful under -race): the
+// parallel evaluation sweep compiles each (app, config) once and runs it
+// under both memory models concurrently, so execution must treat the
+// schedule and the underlying IR as read-only.
+func TestConcurrentMachinesShareSchedule(t *testing.T) {
+	b := ir.NewBuilder("conc")
+	in := b.DataH([]int16{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	out := b.Alloc(32)
+	b.SetVLI(4)
+	b.SetVSI(8)
+	v := b.Vld(b.Const(in), 0, 1)
+	b.Vst(b.V(isa.VADD, simd.W16, v, v), b.Const(out), 0, 2)
+	cfg := &machine.Vector2x2
+	fs, err := sched.Schedule(b.Func(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	models := []func() mem.Model{
+		func() mem.Model { return mem.NewPerfect(cfg) },
+		func() mem.Model { return mem.NewHierarchy(cfg) },
+	}
+	for mi, newModel := range models {
+		want, err := New(fs, newModel()).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 8
+		results := make([]*Result, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i], errs[i] = New(fs, newModel()).Run()
+			}(i)
+		}
+		wg.Wait()
+		for i := 0; i < n; i++ {
+			if errs[i] != nil {
+				t.Fatalf("model %d run %d: %v", mi, i, errs[i])
+			}
+			if *results[i] != *want {
+				t.Errorf("model %d run %d diverged from sequential result", mi, i)
+			}
+		}
+	}
+}
