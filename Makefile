@@ -1,12 +1,13 @@
 # CI entry points. `make ci` is what every PR must keep green: vet, build,
-# the full test suite, and the race detector over the packages that share
-# compiled programs across goroutines (the parallel evaluation sweep).
+# the full test suite, the race detector over the packages that share
+# compiled programs across goroutines (the parallel evaluation sweep), and
+# a short scheduler fuzzing smoke run.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench figures
+.PHONY: ci vet build test race fuzz bench figures
 
-ci: vet build test race
+ci: vet build test race fuzz
 
 vet:
 	$(GO) vet ./...
@@ -19,6 +20,9 @@ test:
 
 race:
 	$(GO) test -race ./internal/report ./internal/core ./internal/sim
+
+fuzz:
+	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzSchedule -fuzztime=10s
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$'

@@ -14,10 +14,12 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"vsimdvliw/internal/core"
 	"vsimdvliw/internal/machine"
@@ -27,6 +29,7 @@ import (
 func main() {
 	only := flag.String("only", "", "render a single artifact (e.g. figure5a)")
 	csvPath := flag.String("csv", "", "also write the raw evaluation matrix as CSV to this file")
+	metricsDir := flag.String("metrics", "", "also write the full per-cell metrics (matrix.jsonl) to this directory")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	workers := flag.Int("j", 0, "parallel simulation workers (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
@@ -67,6 +70,12 @@ func main() {
 			os.Exit(1)
 		}
 		f.Close()
+	}
+	if *metricsDir != "" {
+		if err := writeMetrics(m, *metricsDir); err != nil {
+			fmt.Fprintln(os.Stderr, "paperfigs:", err)
+			os.Exit(1)
+		}
 	}
 	artifacts := []struct {
 		name   string
@@ -110,4 +119,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "paperfigs: unknown artifact %q\n", *only)
 		os.Exit(1)
 	}
+}
+
+// writeMetrics exports the evaluation matrix as one JSONL record per
+// app x configuration x memory-model cell, in the CSV row order.
+func writeMetrics(m *report.Matrix, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "matrix.jsonl"))
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := m.WriteMetricsJSONL(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

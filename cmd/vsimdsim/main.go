@@ -4,18 +4,22 @@
 // Usage:
 //
 //	vsimdsim -app mpeg2_enc -config Vector2-4w [-mem perfect|realistic]
+//	vsimdsim -app jpeg_enc -stats-json
+//	vsimdsim -app jpeg_enc -trace 100 -trace-json trace.jsonl
 //	vsimdsim -list
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"vsimdvliw/internal/apps"
 	"vsimdvliw/internal/core"
 	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/metrics"
 	"vsimdvliw/internal/report"
 	"vsimdvliw/internal/sim"
 )
@@ -26,6 +30,10 @@ func main() {
 	memName := flag.String("mem", "realistic", "memory model: perfect or realistic")
 	list := flag.Bool("list", false, "list applications and configurations")
 	trace := flag.Int("trace", 0, "print the first N basic-block trace lines")
+	statsJSON := flag.Bool("stats-json", false, "print the statistics as JSON instead of text")
+	traceJSON := flag.String("trace-json", "", "write a bounded JSONL event trace to this file")
+	traceJSONLimit := flag.Int("trace-json-limit", 100000,
+		"maximum JSONL trace events before the truncation marker (0 = unbounded)")
 	flag.Parse()
 
 	if *list {
@@ -64,19 +72,50 @@ func main() {
 		fail(err)
 	}
 	machineSim := prog.NewMachine(mem)
-	var traceBuf strings.Builder
 	if *trace > 0 {
-		machineSim.Trace = &traceBuf
+		// Stream through a line-limiting writer: the trace stops at N lines
+		// with an explicit "... truncated after N lines" marker instead of
+		// cutting off silently mid-run.
+		machineSim.Trace = metrics.NewLineLimitWriter(os.Stdout, *trace)
+	}
+	var traceFile *os.File
+	var traceBuf *bufio.Writer
+	if *traceJSON != "" {
+		traceFile, err = os.Create(*traceJSON)
+		if err != nil {
+			fail(err)
+		}
+		traceBuf = bufio.NewWriter(traceFile)
+		machineSim.TraceJSON = metrics.NewTraceWriter(traceBuf, *traceJSONLimit)
 	}
 	res, err := machineSim.Run()
 	if err != nil {
 		fail(err)
 	}
-	if *trace > 0 {
-		lines := strings.SplitAfter(traceBuf.String(), "\n")
-		for i := 0; i < *trace && i < len(lines); i++ {
-			fmt.Print(lines[i])
+	if traceFile != nil {
+		if err := machineSim.TraceJSON.Err(); err != nil {
+			fail(err)
 		}
+		if err := traceBuf.Flush(); err != nil {
+			fail(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fail(err)
+		}
+	}
+
+	if *statsJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report.CellMetrics{
+			App: a.Name, Config: cfg.Name, ISA: cfg.ISA.String(),
+			Issue: cfg.Issue, Memory: *memName,
+			Stats:          res,
+			StallsByOpcode: res.StallsByOpcode(),
+		}); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	fmt.Printf("%s on %s (%s code, %s memory)\n", a.Name, cfg.Name, variant, *memName)
@@ -85,6 +124,15 @@ func main() {
 	fmt.Printf("  micro-ops:     %d (%.2f per cycle)\n", res.MicroOps, res.MicroOPC())
 	fmt.Printf("  vector cycles: %d (%.1f%% of execution)\n",
 		res.VectorCycles(), 100*float64(res.VectorCycles())/float64(res.Cycles))
+	if res.StallCycles > 0 {
+		fmt.Printf("  stall causes: ")
+		for _, c := range metrics.Causes() {
+			if v := res.Stalls[c]; v != 0 {
+				fmt.Printf(" %s=%d", c, v)
+			}
+		}
+		fmt.Println()
+	}
 	for i := 0; i < sim.MaxRegions; i++ {
 		r := res.Regions[i]
 		if r.Cycles == 0 {
@@ -102,6 +150,10 @@ func main() {
 			res.Mem.L1Hits, res.Mem.L1Misses, res.Mem.L2Hits, res.Mem.L2Misses,
 			res.Mem.L3Hits, res.Mem.L3Misses, res.Mem.CoherencyFlushes,
 			res.Mem.StridedVectorAccesses)
+		fmt.Printf("  L2 banks: hits %d/%d  misses %d/%d  conflicts=%d\n",
+			res.Mem.L2BankHits[0], res.Mem.L2BankHits[1],
+			res.Mem.L2BankMisses[0], res.Mem.L2BankMisses[1],
+			res.Mem.BankConflicts)
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 
@@ -138,7 +139,9 @@ func TestProgramConcurrentRun(t *testing.T) {
 			if errs[i] != nil {
 				t.Fatalf("%v run %d: %v", mm, i, errs[i])
 			}
-			if *results[i] != *want {
+			// DeepEqual rather than ==: Result.Util is a pointer whose
+			// pointee, not identity, must match.
+			if !reflect.DeepEqual(results[i], want) {
 				t.Errorf("%v run %d diverged from sequential result", mm, i)
 			}
 		}

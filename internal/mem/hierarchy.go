@@ -1,6 +1,9 @@
 package mem
 
-import "vsimdvliw/internal/machine"
+import (
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/metrics"
+)
 
 // Model is the timing interface the simulator drives. Both the realistic
 // Hierarchy and the Perfect model implement it. Returned values are the
@@ -19,21 +22,48 @@ type Model interface {
 	Reset()
 }
 
+// Detailed is implemented by models that attribute each access's extra
+// latency to stall causes. The simulator uses it, when available, to tag
+// every run-time stall cycle with the cause that produced it.
+type Detailed interface {
+	Model
+	// LastAccess returns the per-cause extra-latency components of the
+	// most recent ScalarAccess/VectorAccess call. The pointer is reused
+	// between accesses; callers must consume it before the next access.
+	LastAccess() *metrics.Components
+}
+
+// NumL2Banks is the number of interleaved banks of the L2 vector cache
+// (the paper's two-bank organisation). Consecutive lines map to
+// alternating banks.
+const NumL2Banks = 2
+
 // Stats aggregates hierarchy event counters.
 type Stats struct {
-	L1Hits, L1Misses int64
-	L2Hits, L2Misses int64
-	L3Hits, L3Misses int64
+	L1Hits   int64 `json:"l1_hits"`
+	L1Misses int64 `json:"l1_misses"`
+	L2Hits   int64 `json:"l2_hits"`
+	L2Misses int64 `json:"l2_misses"`
+	L3Hits   int64 `json:"l3_hits"`
+	L3Misses int64 `json:"l3_misses"`
+	// L2BankHits/L2BankMisses split the L2 counters across the interleaved
+	// banks; they sum exactly to L2Hits/L2Misses (asserted by the
+	// invariant tests, making them an oracle for the lookup paths).
+	L2BankHits   [NumL2Banks]int64 `json:"l2_bank_hits"`
+	L2BankMisses [NumL2Banks]int64 `json:"l2_bank_misses"`
+	// BankConflicts counts strided vector accesses whose stride mapped
+	// every element onto a single bank, serializing the banked port.
+	BankConflicts int64 `json:"bank_conflicts"`
 	// CoherencyFlushes counts dirty L1 lines written back (and
 	// invalidated, per the exclusive-bit policy) because a vector access
 	// touched them.
-	CoherencyFlushes int64
+	CoherencyFlushes int64 `json:"coherency_flushes"`
 	// StridedVectorAccesses counts vector accesses served at one element
 	// per cycle because their stride was not one.
-	StridedVectorAccesses int64
-	UnitVectorAccesses    int64
+	StridedVectorAccesses int64 `json:"strided_vector_accesses"`
+	UnitVectorAccesses    int64 `json:"unit_vector_accesses"`
 	// Prefetches counts next-line prefetch fills issued by the L2.
-	Prefetches int64
+	Prefetches int64 `json:"prefetches"`
 }
 
 // Options selects memory-model variations for ablation studies (the
@@ -61,6 +91,12 @@ type Hierarchy struct {
 	l2   *Cache // the two-bank interleaved vector cache
 	l3   *Cache
 	st   Stats
+	// det accumulates the per-cause extra latency of the access in flight;
+	// it is read back by the simulator through LastAccess. detDirty defers
+	// the clear to the next access that needs it, so the common all-hit
+	// path never pays for zeroing the array.
+	det      metrics.Components
+	detDirty bool
 }
 
 // NewHierarchy builds the hierarchy described by cfg with default options.
@@ -97,6 +133,41 @@ func (h *Hierarchy) Reset() {
 	h.l2.Reset()
 	h.l3.Reset()
 	h.st = Stats{}
+	h.det.Reset()
+	h.detDirty = false
+}
+
+// LastAccess implements Detailed.
+func (h *Hierarchy) LastAccess() *metrics.Components { return &h.det }
+
+// detReset prepares the components for a new access: the clear is skipped
+// entirely unless a previous access left something behind.
+func (h *Hierarchy) detReset() {
+	if h.detDirty {
+		h.det.Reset()
+		h.detDirty = false
+	}
+}
+
+// detAdd charges extra latency to a cause for the access in flight.
+func (h *Hierarchy) detAdd(cause metrics.Cause, cycles int64) {
+	h.det.Add(cause, cycles)
+	h.detDirty = true
+}
+
+// l2Lookup is the single funnel for timed L2 lookups: it splits the
+// hit/miss into the interleaved bank the line maps to. Probe and Fill
+// bypass it (they do not touch the counters), so the per-bank counters sum
+// exactly to the cache's own Hits/Misses.
+func (h *Hierarchy) l2Lookup(addr int64, write bool) bool {
+	bank := (addr / int64(h.l2.LineSize())) & (NumL2Banks - 1)
+	hit := h.l2.Lookup(addr, write)
+	if hit {
+		h.st.L2BankHits[bank]++
+	} else {
+		h.st.L2BankMisses[bank]++
+	}
+	return hit
 }
 
 // fillL2 ensures the line containing addr is in the L2 (filling from L3 or
@@ -105,23 +176,32 @@ func (h *Hierarchy) Reset() {
 // every fill, so sequential streams pay the full memory latency only for
 // the first line — without it the in-order, stall-on-miss machine would
 // serialize hundreds of cycles per line on streaming code.
-func (h *Hierarchy) fillL2(addr int64) int {
+// The edge flag marks the partially covered boundary line of an unaligned
+// stride-one store, whose fill is attributed to CauseEdgeLine instead of
+// the miss level that served it.
+func (h *Hierarchy) fillL2(addr int64, edge bool) int {
 	// Tagged next-line prefetch: every L2 access (hit or miss) pulls the
 	// following line in at no cost, so streams pay the memory latency
 	// only on their first line.
 	if !h.opts.NoPrefetch {
 		defer h.prefetch(h.l2.LineBase(addr) + int64(h.l2.LineSize()))
 	}
-	if h.l2.Lookup(addr, false) {
+	if h.l2Lookup(addr, false) {
 		return 0
 	}
 	lat := 0
+	cause := metrics.CauseL2Miss
 	if h.l3.Lookup(addr, false) {
 		lat = h.cfg.LatL3
 	} else {
 		lat = h.cfg.LatMem
+		cause = metrics.CauseL3Miss
 		h.l3.Fill(addr) // write-back of the victim is hidden behind the fill
 	}
+	if edge {
+		cause = metrics.CauseEdgeLine
+	}
+	h.detAdd(cause, int64(lat))
 	h.installL2(addr)
 	return lat
 }
@@ -153,10 +233,15 @@ func (h *Hierarchy) installL2(addr int64) {
 // ScalarAccess implements Model: L1 first, then L2/L3/memory, inclusive
 // fills along the way.
 func (h *Hierarchy) ScalarAccess(addr int64, size int, write bool) int {
+	h.detReset()
 	if h.l1.Lookup(addr, write) {
 		return h.cfg.LatL1
 	}
-	lat := h.cfg.LatL2 + h.fillL2(addr)
+	// The miss pays the L2 access (beyond the scheduled L1 hit) plus
+	// whatever fill the L2 itself needs; clamping in the simulator trims
+	// the share the schedule's slack absorbed.
+	h.detAdd(metrics.CauseL1Miss, int64(h.cfg.LatL2))
+	lat := h.cfg.LatL2 + h.fillL2(addr, false)
 	if base, ok, dirty := h.l1.Fill(addr); ok && dirty {
 		// Write the victim back into the L2 (it is there by inclusion).
 		h.l2.MarkDirty(base)
@@ -185,6 +270,7 @@ func (h *Hierarchy) VectorAccess(base, stride int64, vl int, write bool) int {
 	if vl < 1 {
 		vl = 1
 	}
+	h.detReset()
 	lat := h.cfg.LatL2
 	unit := stride == 8
 	if unit {
@@ -193,6 +279,18 @@ func (h *Hierarchy) VectorAccess(base, stride int64, vl int, write bool) int {
 	} else {
 		h.st.StridedVectorAccesses++
 		lat += (vl - 1) / h.opts.StridedWordsPerCycle
+		// The slow path's extra over the scheduled full-rate transfer. A
+		// stride that is a multiple of twice the line size maps every
+		// element onto one bank — a true bank conflict rather than the
+		// generic one-element-per-cycle strided port.
+		if extra := int64((vl-1)/h.opts.StridedWordsPerCycle - (vl-1)/h.cfg.L2PortWords); extra > 0 {
+			if stride%(2*int64(h.l2.LineSize())) == 0 {
+				h.st.BankConflicts++
+				h.detAdd(metrics.CauseBankConflict, extra)
+			} else {
+				h.detAdd(metrics.CauseStride, extra)
+			}
+		}
 	}
 
 	// Visit each distinct line the access touches.
@@ -213,6 +311,7 @@ func (h *Hierarchy) VectorAccess(base, stride int64, vl int, write bool) int {
 					h.l1.Invalidate(l)
 					h.l2.MarkDirty(l)
 					h.st.CoherencyFlushes++
+					h.detAdd(metrics.CauseCoherency, int64(h.cfg.LatL1+1))
 					lat += h.cfg.LatL1 + 1
 				} else if write {
 					h.l1.Invalidate(l)
@@ -226,7 +325,7 @@ func (h *Hierarchy) VectorAccess(base, stride int64, vl int, write bool) int {
 				// Write-validate: a stride-one vector store covers whole
 				// lines through the wide port, so a missing line is
 				// installed without fetching it from below.
-				if !h.l2.Lookup(l, true) {
+				if !h.l2Lookup(l, true) {
 					if base, ok, dirty := h.l2.Fill(l); ok && dirty {
 						if present, _ := h.l3.Probe(base); !present {
 							h.l3.Fill(base)
@@ -236,7 +335,11 @@ func (h *Hierarchy) VectorAccess(base, stride int64, vl int, write bool) int {
 					h.l2.MarkDirty(l)
 				}
 			} else {
-				lat += h.fillL2(l)
+				// A stride-one store reaching this branch was denied
+				// write-validate only because the line is a partially
+				// covered edge of the span.
+				edge := write && unit && !h.opts.NoWriteValidate
+				lat += h.fillL2(l, edge)
 				if write {
 					h.l2.MarkDirty(l)
 				}
@@ -247,6 +350,7 @@ func (h *Hierarchy) VectorAccess(base, stride int64, vl int, write bool) int {
 }
 
 var _ Model = (*Hierarchy)(nil)
+var _ Detailed = (*Hierarchy)(nil)
 
 // Perfect is the paper's perfect-memory model (Figure 5a): every access
 // hits in its cache with the corresponding latency, and vector accesses

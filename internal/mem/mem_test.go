@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/metrics"
 )
 
 func TestCacheBasics(t *testing.T) {
@@ -303,6 +304,109 @@ func TestWriteValidatePartialLinesTakeFillPath(t *testing.T) {
 	want = cfg.LatL2 + 15/cfg.L2PortWords + 2*cfg.LatMem
 	if lat != want {
 		t.Errorf("unaligned cold store latency %d, want %d (two edge-line fills)", lat, want)
+	}
+}
+
+func TestL2BankCountersSumToTotals(t *testing.T) {
+	cfg := &machine.Vector2x2
+	h := NewHierarchy(cfg)
+	// A mix of everything that reaches the L2: scalar misses, unit and
+	// strided vector loads, stores with and without write-validate.
+	for i := int64(0); i < 64; i++ {
+		h.ScalarAccess(0x4000+i*72, 8, i%3 == 0)
+	}
+	h.VectorAccess(0x10000, 8, 16, false)
+	h.VectorAccess(0x10000, 8, 16, true)
+	h.VectorAccess(0x20000+int64(cfg.L2Line)/2, 8, 16, true) // edge lines
+	h.VectorAccess(0x30000, 256, 8, false)
+	st := h.Stats()
+	if got := st.L2BankHits[0] + st.L2BankHits[1]; got != st.L2Hits {
+		t.Errorf("bank hits sum to %d, L2 total %d", got, st.L2Hits)
+	}
+	if got := st.L2BankMisses[0] + st.L2BankMisses[1]; got != st.L2Misses {
+		t.Errorf("bank misses sum to %d, L2 total %d", got, st.L2Misses)
+	}
+	// A dense stream must touch both banks.
+	if st.L2BankMisses[0] == 0 || st.L2BankMisses[1] == 0 {
+		t.Errorf("interleaving broken: per-bank misses %v", st.L2BankMisses)
+	}
+}
+
+func TestBankConflictAttribution(t *testing.T) {
+	cfg := &machine.Vector2x2
+	h := NewHierarchy(cfg)
+	line := int64(cfg.L2Line)
+
+	// Stride = 2*lineSize maps every element onto one bank.
+	h.VectorAccess(0x10000, 2*line, 8, false)
+	comp := *h.LastAccess()
+	wantExtra := int64(7/1 - 7/cfg.L2PortWords)
+	if got := comp[metrics.CauseBankConflict]; got != wantExtra {
+		t.Errorf("bank-conflict component = %d, want %d", got, wantExtra)
+	}
+	if st := h.Stats(); st.BankConflicts != 1 {
+		t.Errorf("BankConflicts = %d, want 1", st.BankConflicts)
+	}
+
+	// Stride = lineSize alternates banks: the generic strided slow path.
+	h.VectorAccess(0x10000, line, 8, false)
+	comp = *h.LastAccess()
+	if got := comp[metrics.CauseStride]; got != wantExtra {
+		t.Errorf("stride component = %d, want %d", got, wantExtra)
+	}
+	if got := comp[metrics.CauseBankConflict]; got != 0 {
+		t.Errorf("alternating stride misattributed to bank conflict: %d", got)
+	}
+	if st := h.Stats(); st.BankConflicts != 1 {
+		t.Errorf("BankConflicts = %d after alternating stride, want still 1", st.BankConflicts)
+	}
+}
+
+func TestComponentsScalarMissChain(t *testing.T) {
+	cfg := &machine.USIMD2
+	h := NewHierarchy(cfg)
+	h.ScalarAccess(0x10000, 8, false) // cold: L1 miss + memory fill
+	comp := *h.LastAccess()
+	if got := comp[metrics.CauseL1Miss]; got != int64(cfg.LatL2) {
+		t.Errorf("l1_miss component = %d, want %d", got, cfg.LatL2)
+	}
+	if got := comp[metrics.CauseL3Miss]; got != int64(cfg.LatMem) {
+		t.Errorf("l3_miss component = %d, want %d", got, cfg.LatMem)
+	}
+	// An L1 hit records nothing.
+	h.ScalarAccess(0x10000, 8, false)
+	comp = *h.LastAccess()
+	for i, v := range comp {
+		if v != 0 {
+			t.Errorf("L1 hit left component %d = %d", i, v)
+		}
+	}
+}
+
+func TestComponentsEdgeLineStore(t *testing.T) {
+	cfg := &machine.Vector2x2
+	h := NewHierarchy(cfg)
+	line := int64(cfg.L2Line)
+	// Unaligned stride-one store: the two boundary lines are fetched and
+	// attributed to the edge-line cause, not to a plain miss.
+	h.VectorAccess(0x10000+line/2, 8, 16, true)
+	comp := *h.LastAccess()
+	if got := comp[metrics.CauseEdgeLine]; got != int64(2*cfg.LatMem) {
+		t.Errorf("edge_line component = %d, want %d", got, 2*cfg.LatMem)
+	}
+	if got := comp[metrics.CauseL3Miss]; got != 0 {
+		t.Errorf("edge fill leaked into l3_miss: %d", got)
+	}
+}
+
+func TestComponentsCoherencyFlush(t *testing.T) {
+	cfg := &machine.Vector2x2
+	h := NewHierarchy(cfg)
+	h.ScalarAccess(0x10000, 8, true) // dirty L1 line
+	h.VectorAccess(0x10000, 8, 16, false)
+	comp := *h.LastAccess()
+	if got := comp[metrics.CauseCoherency]; got != int64(cfg.LatL1+1) {
+		t.Errorf("coherency component = %d, want %d", got, cfg.LatL1+1)
 	}
 }
 

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceWriter emits a bounded JSONL event stream: one JSON object per
+// line, at most limit events, then a single
+//
+//	{"event":"truncated","emitted":N}
+//
+// marker after which everything else is discarded. Event values should be
+// structs (encoding/json preserves struct field order, keeping the stream
+// deterministic for golden tests). Errors are sticky; check Err once at
+// the end rather than after every event.
+type TraceWriter struct {
+	w         io.Writer
+	limit     int
+	emitted   int
+	truncated bool
+	err       error
+}
+
+// NewTraceWriter returns a trace writer bounded to limit events. A limit
+// of zero or less means unbounded.
+func NewTraceWriter(w io.Writer, limit int) *TraceWriter {
+	return &TraceWriter{w: w, limit: limit}
+}
+
+// Event appends one event line, or the truncation marker if the bound was
+// just exceeded.
+func (t *TraceWriter) Event(v any) {
+	if t.err != nil || t.truncated {
+		return
+	}
+	if t.limit > 0 && t.emitted >= t.limit {
+		t.truncated = true
+		_, t.err = fmt.Fprintf(t.w, "{\"event\":\"truncated\",\"emitted\":%d}\n", t.emitted)
+		return
+	}
+	line, err := json.Marshal(v)
+	if err != nil {
+		t.err = err
+		return
+	}
+	line = append(line, '\n')
+	if _, err := t.w.Write(line); err != nil {
+		t.err = err
+		return
+	}
+	t.emitted++
+}
+
+// Emitted returns the number of event lines written (excluding the
+// truncation marker).
+func (t *TraceWriter) Emitted() int { return t.emitted }
+
+// Truncated reports whether the event bound was exceeded.
+func (t *TraceWriter) Truncated() bool { return t.truncated }
+
+// Err returns the first write or marshal error, if any.
+func (t *TraceWriter) Err() error { return t.err }
+
+// lineLimitWriter forwards at most limit lines and then prints a
+// truncation marker once; everything after it is swallowed (Write always
+// reports full success so producers keep running undisturbed).
+type lineLimitWriter struct {
+	w         io.Writer
+	remaining int
+	done      bool
+	limit     int
+}
+
+// NewLineLimitWriter wraps w so that at most limit lines pass through,
+// followed by a final "... truncated after N lines" marker. It fixes the
+// silent mid-run cutoff of bounded text traces: the reader can tell an
+// exhausted budget from a finished trace.
+func NewLineLimitWriter(w io.Writer, limit int) io.Writer {
+	return &lineLimitWriter{w: w, remaining: limit, limit: limit}
+}
+
+func (l *lineLimitWriter) Write(p []byte) (int, error) {
+	n := len(p)
+	if l.done {
+		return n, nil
+	}
+	for len(p) > 0 {
+		if l.remaining == 0 {
+			l.done = true
+			fmt.Fprintf(l.w, "... truncated after %d lines\n", l.limit)
+			return n, nil
+		}
+		i := 0
+		for ; i < len(p); i++ {
+			if p[i] == '\n' {
+				break
+			}
+		}
+		if i == len(p) {
+			// Partial line: forward it; the newline (and the budget
+			// decrement) arrives with a later write.
+			if _, err := l.w.Write(p); err != nil {
+				return n, err
+			}
+			return n, nil
+		}
+		if _, err := l.w.Write(p[:i+1]); err != nil {
+			return n, err
+		}
+		p = p[i+1:]
+		l.remaining--
+	}
+	return n, nil
+}

@@ -1,0 +1,250 @@
+// Package metrics is the observability vocabulary of the simulator: the
+// run-time stall causes of the paper's narrative (Figures 5-7 are all
+// explanations of where cycles go), per-cause stall breakdowns, issue-slot
+// and functional-unit utilization histograms, and bounded machine-readable
+// trace writers.
+//
+// The package is a leaf (standard library only) so every layer can share
+// its types: internal/mem tags the extra latency of each access with the
+// causes that produced it, internal/sim attributes every run-time stall
+// cycle to exactly one cause, internal/sched contributes static occupancy
+// profiles, and internal/report exports the whole evaluation matrix as
+// JSONL.
+//
+// Two exact-sum invariants make the layer a correctness oracle:
+//
+//   - a StallBreakdown filled through Attribute sums exactly to the stall
+//     cycles it was fed (any unexplained residual lands in CauseOther);
+//   - a Utilization finished with Finish sums, bucket-wise, exactly to the
+//     executed cycle count.
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Cause identifies why the in-order, lock-step machine stalled: the
+// compiler schedules every memory operation as a stride-one cache hit, and
+// the processor stalls at run time when the assumption fails. Causes are
+// listed in attribution priority order (see StallBreakdown.Attribute).
+type Cause uint8
+
+// The stall causes. CauseOther must stay last: it absorbs any stall
+// cycles the memory model could not explain, keeping breakdowns exact.
+const (
+	// CauseL3Miss: a line was filled from main memory (missed every cache).
+	CauseL3Miss Cause = iota
+	// CauseL2Miss: a line was filled into the L2 vector cache from the L3.
+	CauseL2Miss
+	// CauseL1Miss: a scalar or µSIMD access missed the L1 and was served
+	// by the L2 (the base L2 latency, excluding any fill below it).
+	CauseL1Miss
+	// CauseEdgeLine: a partially covered edge line of an unaligned
+	// stride-one vector store had to be fetched instead of write-validated.
+	CauseEdgeLine
+	// CauseCoherency: a dirty L1 line covering a vector access was flushed
+	// to the L2 and invalidated (exclusive-bit policy).
+	CauseCoherency
+	// CauseBankConflict: a strided vector access whose stride maps every
+	// element onto the same L2 bank, serializing the banked port.
+	CauseBankConflict
+	// CauseStride: the non-unit-stride slow path (one element per cycle
+	// instead of the full port width).
+	CauseStride
+	// CauseOther: stall cycles not explained by the memory model (e.g. a
+	// compile-time vector length shorter than the run-time one).
+	CauseOther
+)
+
+// NumCauses is the number of stall causes.
+const NumCauses = int(CauseOther) + 1
+
+var causeNames = [NumCauses]string{
+	"l3_miss", "l2_miss", "l1_miss", "edge_line",
+	"coherency", "bank_conflict", "stride", "other",
+}
+
+// String returns the cause's snake_case name as used in JSON exports.
+func (c Cause) String() string {
+	if int(c) < NumCauses {
+		return causeNames[c]
+	}
+	return fmt.Sprintf("cause(%d)", int(c))
+}
+
+// Causes lists every cause in attribution order.
+func Causes() []Cause {
+	out := make([]Cause, NumCauses)
+	for i := range out {
+		out[i] = Cause(i)
+	}
+	return out
+}
+
+// Components is the per-cause extra service latency of one memory access,
+// in cycles, beyond the statically scheduled assumption (stride-one hit).
+// The memory model fills one per access; the simulator clamps it against
+// the actual stall (schedule slack may absorb part of the latency).
+type Components [NumCauses]int64
+
+// Reset zeroes the components for the next access.
+func (c *Components) Reset() { *c = Components{} }
+
+// Add charges extra latency cycles to a cause.
+func (c *Components) Add(cause Cause, cycles int64) { c[cause] += cycles }
+
+// StallBreakdown counts stall cycles per cause. The zero value is ready to
+// use.
+type StallBreakdown [NumCauses]int64
+
+// Total returns the stall cycles summed over all causes.
+func (b *StallBreakdown) Total() int64 {
+	var n int64
+	for _, v := range b {
+		n += v
+	}
+	return n
+}
+
+// AddBreakdown accumulates another breakdown into b.
+func (b *StallBreakdown) AddBreakdown(o *StallBreakdown) {
+	for i, v := range o {
+		b[i] += v
+	}
+}
+
+// Attribute splits one stall of s cycles across the access's latency
+// components, walking the causes in declaration (priority) order and
+// clamping each share to the cycles still unexplained; any residual is
+// charged to CauseOther. The per-stall shares are added to b and also
+// returned (their entries sum exactly to s), so callers can feed the same
+// stall to several aggregates or a trace. comp may be nil (no detail:
+// everything lands in CauseOther).
+func (b *StallBreakdown) Attribute(s int64, comp *Components) StallBreakdown {
+	var take StallBreakdown
+	if s <= 0 {
+		return take
+	}
+	rem := s
+	if comp != nil {
+		for i := 0; i < NumCauses-1 && rem > 0; i++ {
+			t := comp[i]
+			if t > rem {
+				t = rem
+			}
+			if t > 0 {
+				take[i] = t
+				rem -= t
+			}
+		}
+	}
+	if rem > 0 {
+		take[CauseOther] = rem
+	}
+	b.AddBreakdown(&take)
+	return take
+}
+
+// MarshalJSON renders the breakdown as an object with one key per cause,
+// in attribution order (deterministic field order for golden tests).
+func (b StallBreakdown) MarshalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, v := range b {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(&buf, "%q:%d", Cause(i).String(), v)
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
+
+// UnmarshalJSON parses the cause-keyed object form written by
+// MarshalJSON. Unknown causes are an error: a consumer compiled against an
+// older cause list must not silently drop cycles.
+func (b *StallBreakdown) UnmarshalJSON(data []byte) error {
+	var m map[string]int64
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	*b = StallBreakdown{}
+	for i := 0; i < NumCauses; i++ {
+		name := Cause(i).String()
+		if v, ok := m[name]; ok {
+			b[i] = v
+			delete(m, name)
+		}
+	}
+	for k := range m {
+		return fmt.Errorf("metrics: unknown stall cause %q", k)
+	}
+	return nil
+}
+
+// Utilization aggregates occupancy histograms over a run: IssueSlots[k] is
+// the number of cycles in which exactly k operations issued, and
+// Units[class][k] the number of cycles in which exactly k instances of the
+// functional-unit class were busy. After Finish, every histogram sums
+// exactly to the run's cycle count (stall and drain cycles land in bucket
+// zero).
+type Utilization struct {
+	IssueSlots []int64            `json:"issue_slots"`
+	Units      map[string][]int64 `json:"units"`
+}
+
+// NewUtilization returns an empty utilization aggregate.
+func NewUtilization() *Utilization {
+	return &Utilization{Units: make(map[string][]int64)}
+}
+
+func grow(h []int64, k int) []int64 {
+	for len(h) <= k {
+		h = append(h, 0)
+	}
+	return h
+}
+
+// AddIssue counts cycles with exactly k issued operations (k >= 1; the
+// zero bucket is derived by Finish).
+func (u *Utilization) AddIssue(k int, cycles int64) {
+	u.IssueSlots = grow(u.IssueSlots, k)
+	u.IssueSlots[k] += cycles
+}
+
+// AddUnit counts cycles with exactly k busy instances of the unit class
+// (k >= 1; the zero bucket is derived by Finish).
+func (u *Utilization) AddUnit(class string, k int, cycles int64) {
+	u.Units[class] = grow(u.Units[class], k)
+	u.Units[class][k] += cycles
+}
+
+// Finish derives every zero bucket so that each histogram sums exactly to
+// total. A negative zero bucket (more busy cycles counted than executed)
+// is left in place for the invariant tests to catch.
+func (u *Utilization) Finish(total int64) {
+	fix := func(h []int64) []int64 {
+		h = grow(h, 0)
+		var busy int64
+		for _, v := range h[1:] {
+			busy += v
+		}
+		h[0] = total - busy
+		return h
+	}
+	u.IssueSlots = fix(u.IssueSlots)
+	for class, h := range u.Units {
+		u.Units[class] = fix(h)
+	}
+}
+
+// Total returns the cycles covered by the issue-slot histogram.
+func (u *Utilization) Total() int64 {
+	var n int64
+	for _, v := range u.IssueSlots {
+		n += v
+	}
+	return n
+}

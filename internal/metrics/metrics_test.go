@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCauseNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Causes() {
+		name := c.String()
+		if name == "" || strings.Contains(name, "cause(") {
+			t.Errorf("cause %d has no name", c)
+		}
+		if seen[name] {
+			t.Errorf("duplicate cause name %q", name)
+		}
+		seen[name] = true
+	}
+	if Cause(200).String() != "cause(200)" {
+		t.Error("out-of-range cause must not panic")
+	}
+}
+
+func TestAttributeExactSum(t *testing.T) {
+	comp := &Components{}
+	comp.Add(CauseL3Miss, 500)
+	comp.Add(CauseStride, 11)
+	var b StallBreakdown
+	// Schedule slack absorbed part of the latency: the stall is smaller
+	// than the components, so later causes are clamped away.
+	take := b.Attribute(503, comp)
+	if got := take.Total(); got != 503 {
+		t.Fatalf("per-stall shares sum to %d, want 503", got)
+	}
+	if take[CauseL3Miss] != 500 || take[CauseStride] != 3 {
+		t.Fatalf("clamped attribution wrong: %+v", take)
+	}
+	// A stall larger than the components leaves a residual in CauseOther.
+	take = b.Attribute(520, comp)
+	if take[CauseOther] != 9 || take.Total() != 520 {
+		t.Fatalf("residual attribution wrong: %+v", take)
+	}
+	if b.Total() != 503+520 {
+		t.Fatalf("aggregate breakdown = %d, want %d", b.Total(), 503+520)
+	}
+	// No detail at all: everything is unexplained.
+	var nb StallBreakdown
+	take = nb.Attribute(7, nil)
+	if take[CauseOther] != 7 {
+		t.Fatalf("nil components must land in CauseOther, got %+v", take)
+	}
+	if got := nb.Attribute(0, comp); got.Total() != 0 {
+		t.Fatalf("zero stall must attribute nothing, got %+v", got)
+	}
+}
+
+func TestStallBreakdownJSONDeterministic(t *testing.T) {
+	var b StallBreakdown
+	b[CauseL2Miss] = 3
+	b[CauseOther] = 1
+	out, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"l3_miss":0,"l2_miss":3,"l1_miss":0,"edge_line":0,"coherency":0,"bank_conflict":0,"stride":0,"other":1}`
+	if string(out) != want {
+		t.Fatalf("breakdown JSON = %s, want %s", out, want)
+	}
+}
+
+func TestStallBreakdownJSONRoundTrip(t *testing.T) {
+	var b StallBreakdown
+	b[CauseL3Miss] = 500
+	b[CauseStride] = 7
+	out, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back StallBreakdown
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != b {
+		t.Fatalf("round trip changed breakdown: %v -> %v", b, back)
+	}
+	if err := json.Unmarshal([]byte(`{"warp_drive":1}`), &back); err == nil {
+		t.Error("unknown cause must not unmarshal silently")
+	}
+}
+
+func TestUtilizationFinish(t *testing.T) {
+	u := NewUtilization()
+	u.AddIssue(2, 10)
+	u.AddIssue(1, 5)
+	u.AddUnit("int", 1, 12)
+	u.Finish(40)
+	if u.Total() != 40 {
+		t.Fatalf("issue histogram sums to %d, want 40", u.Total())
+	}
+	if u.IssueSlots[0] != 25 {
+		t.Fatalf("zero bucket = %d, want 25", u.IssueSlots[0])
+	}
+	var unitTotal int64
+	for _, v := range u.Units["int"] {
+		unitTotal += v
+	}
+	if unitTotal != 40 || u.Units["int"][0] != 28 {
+		t.Fatalf("unit histogram wrong: %v", u.Units["int"])
+	}
+}
+
+func TestTraceWriterBound(t *testing.T) {
+	type ev struct {
+		Event string `json:"event"`
+		N     int    `json:"n"`
+	}
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf, 3)
+	for i := 0; i < 10; i++ {
+		tw.Event(ev{"tick", i})
+	}
+	if err := tw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !tw.Truncated() || tw.Emitted() != 3 {
+		t.Fatalf("emitted=%d truncated=%v, want 3/true", tw.Emitted(), tw.Truncated())
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 3 events + marker:\n%s", len(lines), buf.String())
+	}
+	if lines[3] != `{"event":"truncated","emitted":3}` {
+		t.Fatalf("marker line = %q", lines[3])
+	}
+	// Unbounded writer never truncates.
+	buf.Reset()
+	tw = NewTraceWriter(&buf, 0)
+	for i := 0; i < 5; i++ {
+		tw.Event(ev{"tick", i})
+	}
+	if tw.Truncated() || tw.Emitted() != 5 {
+		t.Fatalf("unbounded writer truncated: emitted=%d", tw.Emitted())
+	}
+}
+
+func TestLineLimitWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewLineLimitWriter(&buf, 2)
+	for i := 0; i < 5; i++ {
+		if _, err := w.Write([]byte("line\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := "line\nline\n... truncated after 2 lines\n"
+	if buf.String() != want {
+		t.Fatalf("got %q, want %q", buf.String(), want)
+	}
+
+	// Under the limit: no marker.
+	buf.Reset()
+	w = NewLineLimitWriter(&buf, 10)
+	w.Write([]byte("a\nb\n"))
+	if buf.String() != "a\nb\n" {
+		t.Fatalf("under-limit output altered: %q", buf.String())
+	}
+
+	// Lines split across writes still count once, and the marker lands
+	// exactly at the boundary even when one chunk carries several lines.
+	buf.Reset()
+	w = NewLineLimitWriter(&buf, 2)
+	w.Write([]byte("par"))
+	w.Write([]byte("tial\nsecond\nthird\nfourth\n"))
+	want = "partial\nsecond\n... truncated after 2 lines\n"
+	if buf.String() != want {
+		t.Fatalf("split-write handling: got %q, want %q", buf.String(), want)
+	}
+}

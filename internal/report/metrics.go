@@ -1,0 +1,47 @@
+package report
+
+import (
+	"io"
+
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/metrics"
+	"vsimdvliw/internal/sim"
+)
+
+// CellMetrics is the machine-readable export of one evaluation-matrix
+// cell: the full simulation result (with stall-cause breakdown, per-bank
+// counters and utilization histograms) keyed by the cell's coordinates.
+// Struct field order is the JSON wire order, and StallsByOpcode marshals
+// with sorted keys, so the export is deterministic.
+type CellMetrics struct {
+	App            string           `json:"app"`
+	Config         string           `json:"config"`
+	ISA            string           `json:"isa"`
+	Issue          int              `json:"issue"`
+	Memory         string           `json:"memory"`
+	Stats          *sim.Result      `json:"stats"`
+	StallsByOpcode map[string]int64 `json:"stalls_by_opcode,omitempty"`
+}
+
+// WriteMetricsJSONL exports the full evaluation matrix as JSONL, one
+// CellMetrics object per line, in the same cell order as WriteCSV (every
+// configuration; requires a fully collected matrix).
+func (m *Matrix) WriteMetricsJSONL(w io.Writer) error {
+	tw := metrics.NewTraceWriter(w, 0)
+	memName := map[core.MemoryModel]string{core.Perfect: "perfect", core.Realistic: "realistic"}
+	for _, a := range m.Apps {
+		for _, cfg := range machine.All() {
+			for _, mm := range []core.MemoryModel{core.Perfect, core.Realistic} {
+				res := m.Get(a.Name, cfg.Name, mm)
+				tw.Event(CellMetrics{
+					App: a.Name, Config: cfg.Name, ISA: cfg.ISA.String(),
+					Issue: cfg.Issue, Memory: memName[mm],
+					Stats:          res,
+					StallsByOpcode: res.StallsByOpcode(),
+				})
+			}
+		}
+	}
+	return tw.Err()
+}

@@ -1,0 +1,162 @@
+package report
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strconv"
+	"testing"
+
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/mem"
+	"vsimdvliw/internal/sim"
+)
+
+// checkCellInvariants asserts the exact-sum properties the metrics layer
+// guarantees on one matrix cell, making the observability layer itself a
+// correctness oracle for the memory hierarchy and the scheduler profiles.
+func checkCellInvariants(t *testing.T, label string, res *sim.Result) {
+	t.Helper()
+	if got := res.Stalls.Total(); got != res.StallCycles {
+		t.Errorf("%s: stall breakdown sums to %d, StallCycles %d", label, got, res.StallCycles)
+	}
+	for r := range res.Regions {
+		rs := &res.Regions[r]
+		if got := rs.Stalls.Total(); got != rs.StallCycles {
+			t.Errorf("%s: region %d breakdown sums to %d, StallCycles %d", label, r, got, rs.StallCycles)
+		}
+	}
+	var bankHits, bankMisses int64
+	for b := 0; b < mem.NumL2Banks; b++ {
+		bankHits += res.Mem.L2BankHits[b]
+		bankMisses += res.Mem.L2BankMisses[b]
+	}
+	if bankHits != res.Mem.L2Hits {
+		t.Errorf("%s: bank hits sum to %d, L2Hits %d", label, bankHits, res.Mem.L2Hits)
+	}
+	if bankMisses != res.Mem.L2Misses {
+		t.Errorf("%s: bank misses sum to %d, L2Misses %d", label, bankMisses, res.Mem.L2Misses)
+	}
+	if res.Util == nil {
+		t.Fatalf("%s: Util not populated", label)
+	}
+	if got := res.Util.Total(); got != res.Cycles {
+		t.Errorf("%s: issue histogram sums to %d, Cycles %d", label, got, res.Cycles)
+	}
+}
+
+// TestReducedMatrixInvariants asserts the exact-sum invariants on every
+// cell of the reduced app x config x memory-model matrix.
+func TestReducedMatrixInvariants(t *testing.T) {
+	a := reducedApps(t)
+	mtx, err := collect(a, reducedCfgs, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range a {
+		for _, cfg := range reducedCfgs {
+			for _, mm := range []core.MemoryModel{core.Perfect, core.Realistic} {
+				label := app.Name + "/" + cfg.Name + "/" + mm.String()
+				checkCellInvariants(t, label, mtx.Get(app.Name, cfg.Name, mm))
+			}
+		}
+	}
+}
+
+// TestFullMatrixInvariantsSpotCheck sweeps the invariants over the full
+// shared matrix (all apps, all ten configurations, both memory models).
+func TestFullMatrixInvariantsSpotCheck(t *testing.T) {
+	m := getMatrix(t)
+	var stalls int64
+	for _, app := range m.Apps {
+		for _, cfg := range machine.All() {
+			for _, mm := range []core.MemoryModel{core.Perfect, core.Realistic} {
+				res := m.Get(app.Name, cfg.Name, mm)
+				checkCellInvariants(t, app.Name+"/"+cfg.Name+"/"+mm.String(), res)
+				stalls += res.StallCycles
+			}
+		}
+	}
+	if stalls == 0 {
+		t.Error("no cell of the full matrix stalled; the invariants were vacuous")
+	}
+}
+
+// TestMetricsJSONLAgreesWithCSV cross-checks the JSONL export against the
+// CSV matrix: same cells in the same order, and identical totals wherever
+// both report the same quantity.
+func TestMetricsJSONLAgreesWithCSV(t *testing.T) {
+	m := getMatrix(t)
+	var jb, cb bytes.Buffer
+	if err := m.WriteMetricsJSONL(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&cb).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	header, rows := rows[0], rows[1:]
+	col := make(map[string]int, len(header))
+	for i, h := range header {
+		col[h] = i
+	}
+	num := func(row []string, name string) int64 {
+		v, err := strconv.ParseInt(row[col[name]], 10, 64)
+		if err != nil {
+			t.Fatalf("column %s: %v", name, err)
+		}
+		return v
+	}
+
+	sc := bufio.NewScanner(&jb)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		if n >= len(rows) {
+			t.Fatal("JSONL has more lines than the CSV has rows")
+		}
+		row := rows[n]
+		var cell CellMetrics
+		if err := json.Unmarshal(sc.Bytes(), &cell); err != nil {
+			t.Fatalf("line %d: %v", n+1, err)
+		}
+		label := cell.App + "/" + cell.Config + "/" + cell.Memory
+		if cell.App != row[col["app"]] || cell.Config != row[col["config"]] || cell.Memory != row[col["memory"]] {
+			t.Fatalf("line %d: cell %s does not match CSV row %s/%s/%s",
+				n+1, label, row[col["app"]], row[col["config"]], row[col["memory"]])
+		}
+		res := cell.Stats
+		if res.Cycles != num(row, "cycles") || res.StallCycles != num(row, "stall_cycles") ||
+			res.Ops != num(row, "ops") || res.MicroOps != num(row, "micro_ops") {
+			t.Errorf("%s: cycle/op totals disagree with CSV", label)
+		}
+		if res.Mem.L2Hits != num(row, "l2_hits") || res.Mem.L2Misses != num(row, "l2_misses") {
+			t.Errorf("%s: L2 totals disagree with CSV", label)
+		}
+		if got := res.Mem.L2BankHits[0] + res.Mem.L2BankHits[1]; got != num(row, "l2_hits") {
+			t.Errorf("%s: bank hits %d disagree with CSV l2_hits %d", label, got, num(row, "l2_hits"))
+		}
+		if got := res.Stalls.Total(); got != num(row, "stall_cycles") {
+			t.Errorf("%s: breakdown total %d disagrees with CSV stall_cycles %d", label, got, num(row, "stall_cycles"))
+		}
+		var perRegion int64
+		for r := range res.Regions {
+			perRegion += res.Regions[r].StallCycles
+		}
+		if perRegion != num(row, "r0_stalls")+num(row, "r1_stalls")+num(row, "r2_stalls")+num(row, "r3_stalls") {
+			t.Errorf("%s: per-region stalls disagree with CSV", label)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(rows) {
+		t.Fatalf("JSONL has %d lines, CSV has %d rows", n, len(rows))
+	}
+}

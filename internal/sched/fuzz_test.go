@@ -1,0 +1,59 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/progen"
+)
+
+// FuzzSchedule drives randomly generated (but valid) IR programs through
+// the whole static pipeline — verify, schedule under several option sets,
+// validate the resulting reservation tables — hunting for programs the
+// scheduler mis-schedules or rejects. The generator only produces IR that
+// passes Verify, so any downstream failure is a scheduler bug.
+func FuzzSchedule(f *testing.F) {
+	f.Add(uint64(1), 40)
+	f.Add(uint64(7919), 60)
+	f.Add(uint64(1<<32), 25)
+	f.Add(uint64(0xDEADBEEF), 90)
+	f.Fuzz(func(t *testing.T, seed uint64, nops int) {
+		// Bound the program size: schedule cost grows with block size, and
+		// huge programs add latency without adding coverage.
+		if nops < 0 {
+			nops = -nops
+		}
+		nops = nops%120 + 1
+		p, err := progen.Generate(seed, nops)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := p.Func.Verify(); err != nil {
+			t.Fatalf("seed %d: generator emitted invalid IR: %v", seed, err)
+		}
+		cfgs := []*machine.Config{&machine.Vector1x2, &machine.Vector2x4}
+		opts := []Options{
+			{},
+			{NoChaining: true, SourceOrderPriority: true},
+			{OverlapDrain: true, SoftwarePipeline: true},
+		}
+		for _, cfg := range cfgs {
+			for _, o := range opts {
+				fs, err := ScheduleOpts(p.Func, cfg, o)
+				if err != nil {
+					// Register pressure beyond the configuration's files is
+					// a legitimate rejection, not a scheduler bug.
+					if strings.Contains(err.Error(), "pressure") {
+						continue
+					}
+					t.Fatalf("seed %d nops %d on %s (%+v): %v", seed, nops, cfg.Name, o, err)
+				}
+				if err := fs.Validate(); err != nil {
+					t.Fatalf("seed %d nops %d on %s (%+v): invalid schedule: %v",
+						seed, nops, cfg.Name, o, err)
+				}
+			}
+		}
+	})
+}

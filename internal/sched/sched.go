@@ -28,6 +28,7 @@ package sched
 
 import (
 	"fmt"
+	"sync"
 
 	"vsimdvliw/internal/ir"
 	"vsimdvliw/internal/isa"
@@ -64,6 +65,12 @@ type BlockSched struct {
 	// blocks when the schedule was built with Options.SoftwarePipeline:
 	// the cost of each back-to-back re-execution. 0 means not pipelined.
 	II int
+
+	// Memoized occupancy profiles ([0] full block, [1] steady state); see
+	// Profile. Guarded by profileOnce so concurrent machines sharing the
+	// schedule compute each at most once.
+	profileOnce [2]sync.Once
+	profiles    [2]*Profile
 }
 
 // FuncSched is a fully scheduled function for one machine configuration.

@@ -1,0 +1,75 @@
+package sched
+
+import "vsimdvliw/internal/isa"
+
+// Profile is the cycle-by-cycle occupancy of one block's static schedule:
+// how many operations issue and how many instances of each functional-unit
+// class are busy at every cycle of the block. The simulator weights these
+// profiles by run-time block-execution counts to build the utilization
+// histograms — the reservation tables are exact for a machine that issues
+// in lock step, so no per-cycle run-time bookkeeping is needed.
+type Profile struct {
+	Cycles int
+	// Issue[c] is the number of operations issued at cycle c.
+	Issue []int
+	// Units[u][c] is the number of busy instances of unit class u at
+	// cycle c (an operation occupies its unit for Occ cycles).
+	Units map[isa.Unit][]int
+}
+
+// Profile computes the block's occupancy profile. With steady set (and the
+// block modulo-scheduled, II > 0), the profile covers one steady-state
+// initiation interval: issue and occupancy wrap modulo II, exactly as
+// back-to-back iterations overlap. Otherwise it covers the full block
+// length; occupancy reaching past the last cycle (possible under
+// OverlapDrain) is dropped, since the machine overlaps it with the next
+// block.
+// The result is memoized: the schedule is immutable once built, and the
+// memoization keeps Profile race-free for concurrent simulations of one
+// compiled program.
+func (bs *BlockSched) Profile(steady bool) *Profile {
+	idx := 0
+	if steady {
+		idx = 1
+	}
+	bs.profileOnce[idx].Do(func() {
+		bs.profiles[idx] = bs.computeProfile(steady)
+	})
+	return bs.profiles[idx]
+}
+
+func (bs *BlockSched) computeProfile(steady bool) *Profile {
+	n := bs.Length
+	if steady && bs.II > 0 {
+		n = bs.II
+	}
+	if n < 1 {
+		n = 1
+	}
+	p := &Profile{Cycles: n, Issue: make([]int, n), Units: make(map[isa.Unit][]int)}
+	for i := range bs.Ops {
+		os := &bs.Ops[i]
+		if os.Unit == isa.UnitNone {
+			continue // pseudo-op: consumes no slot
+		}
+		p.Issue[os.Cycle%n]++
+		h := p.Units[os.Unit]
+		if h == nil {
+			h = make([]int, n)
+			p.Units[os.Unit] = h
+		}
+		occ := os.Occ
+		if occ < 1 {
+			occ = 1
+		}
+		for j := 0; j < occ; j++ {
+			c := os.Cycle + j
+			if steady {
+				h[c%n]++
+			} else if c < n {
+				h[c]++
+			}
+		}
+	}
+	return p
+}

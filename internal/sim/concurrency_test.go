@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 
@@ -56,7 +57,9 @@ func TestConcurrentMachinesShareSchedule(t *testing.T) {
 			if errs[i] != nil {
 				t.Fatalf("model %d run %d: %v", mi, i, errs[i])
 			}
-			if *results[i] != *want {
+			// DeepEqual rather than ==: Result.Util is a pointer whose
+			// pointee, not identity, must match.
+			if !reflect.DeepEqual(results[i], want) {
 				t.Errorf("model %d run %d diverged from sequential result", mi, i)
 			}
 		}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"vsimdvliw/internal/apps"
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/kernels"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/mem"
+	"vsimdvliw/internal/progen"
+	"vsimdvliw/internal/sched"
+)
+
+// TestInterpreterOpcodeCoverage executes the suites' program corpus — the
+// every-opcode unit program, the differential generator's seeds, and the
+// six benchmark applications — counting every opcode the interpreter
+// actually executes. It fails with a named list if any isa opcode is never
+// exercised dynamically, so an opcode added to the ISA without test
+// coverage is caught here rather than silently rotting.
+func TestInterpreterOpcodeCoverage(t *testing.T) {
+	executed := make([]int64, isa.NumOpcodes)
+	run := func(name string, f *ir.Func, cfg *machine.Config) {
+		fs, err := sched.Schedule(f, cfg)
+		if err != nil {
+			t.Fatalf("%s on %s: %v", name, cfg.Name, err)
+		}
+		m := New(fs, mem.NewHierarchy(cfg))
+		m.opHook = func(op *ir.Op) { executed[op.Opcode]++ }
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("%s on %s: %v", name, cfg.Name, err)
+		}
+	}
+
+	// The unit suite's every-opcode program.
+	run("everyop", buildEveryOpcode(), &machine.Vector2x4)
+
+	// The differential suite's generated programs.
+	for seed := uint64(1); seed <= 24; seed++ {
+		p, err := progen.Generate(seed*7919, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run("progen", p.Func, &machine.Vector2x2)
+	}
+
+	// The benchmark applications, each in the variant its natural
+	// configuration runs (scalar code on the VLIW machine, µSIMD and
+	// vector code on theirs).
+	variants := []struct {
+		v   kernels.Variant
+		cfg *machine.Config
+	}{
+		{kernels.Scalar, &machine.VLIW2},
+		{kernels.USIMD, &machine.USIMD2},
+		{kernels.Vector, &machine.Vector2x2},
+	}
+	for _, a := range apps.All() {
+		for _, vc := range variants {
+			run(a.Name, a.Build(vc.v).Func, vc.cfg)
+		}
+	}
+
+	var missing []string
+	for op := isa.Opcode(0); int(op) < isa.NumOpcodes; op++ {
+		if executed[op] == 0 {
+			missing = append(missing, op.Name())
+		}
+	}
+	if len(missing) > 0 {
+		t.Fatalf("opcodes implemented by the interpreter but never exercised dynamically:\n  %s",
+			strings.Join(missing, ", "))
+	}
+}

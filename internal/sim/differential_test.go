@@ -1,357 +1,30 @@
 package sim
 
 import (
-	"encoding/binary"
-	"fmt"
 	"testing"
 
 	"vsimdvliw/internal/ir"
-	"vsimdvliw/internal/isa"
 	"vsimdvliw/internal/machine"
 	"vsimdvliw/internal/mem"
+	"vsimdvliw/internal/progen"
 	"vsimdvliw/internal/sched"
-	"vsimdvliw/internal/simd"
 )
 
-// Differential testing: a random program generator that maintains its own
-// independent mirror of the machine state while emitting IR. After
+// Differential testing against internal/progen: the generator maintains
+// its own independent mirror of the machine state while emitting IR. After
 // simulation, the machine's memory must match the mirror exactly — on
 // every configuration, under both memory models. This exercises the
-// verifier, the scheduler and the interpreter together on program shapes the
-// hand-written kernels never produce.
-
-// genState is the generator's mirror of the architectural state.
-type genState struct {
-	rng    uint64
-	b      *ir.Builder
-	intv   []uint64 // mirrored integer registers
-	intr   []ir.Reg
-	simdv  []uint64
-	simdr  []ir.Reg
-	vecv   [][16]uint64
-	vecr   []ir.Reg
-	vl     int
-	arena  int64 // data segment base for random memory traffic
-	asize  int64
-	mirror []byte // mirrored arena contents
-}
-
-func (g *genState) next() uint64 {
-	g.rng ^= g.rng << 13
-	g.rng ^= g.rng >> 7
-	g.rng ^= g.rng << 17
-	return g.rng * 0x9E3779B97F4A7C15
-}
-
-func (g *genState) pick(n int) int { return int(g.next() % uint64(n)) }
-
-// action is one emitted operation together with its mirror-side effect;
-// loops replay the mirror effects without re-emitting.
-type action func()
-
-// emitScalarOp emits one random scalar ALU op and returns its mirror.
-func (g *genState) emitScalarOp() action {
-	d := g.pick(len(g.intr))
-	a := g.pick(len(g.intr))
-	b := g.pick(len(g.intr))
-	ops := []isa.Opcode{isa.ADD, isa.SUB, isa.MUL, isa.AND, isa.OR, isa.XOR,
-		isa.SHL, isa.SHR, isa.SRA, isa.CMPEQ, isa.CMPLT, isa.CMPLTU, isa.CMPNE, isa.CMPLE}
-	op := ops[g.pick(len(ops))]
-	g.b.BinTo(op, g.intr[d], g.intr[a], g.intr[b])
-	return func() {
-		x, y := g.intv[a], g.intv[b]
-		var r uint64
-		switch op {
-		case isa.ADD:
-			r = uint64(int64(x) + int64(y))
-		case isa.SUB:
-			r = uint64(int64(x) - int64(y))
-		case isa.MUL:
-			r = uint64(int64(x) * int64(y))
-		case isa.AND:
-			r = x & y
-		case isa.OR:
-			r = x | y
-		case isa.XOR:
-			r = x ^ y
-		case isa.SHL:
-			r = x << (y & 63)
-		case isa.SHR:
-			r = x >> (y & 63)
-		case isa.SRA:
-			r = uint64(int64(x) >> (y & 63))
-		case isa.CMPEQ:
-			r = boolTo(x == y)
-		case isa.CMPNE:
-			r = boolTo(x != y)
-		case isa.CMPLT:
-			r = boolTo(int64(x) < int64(y))
-		case isa.CMPLE:
-			r = boolTo(int64(x) <= int64(y))
-		case isa.CMPLTU:
-			r = boolTo(x < y)
-		}
-		g.intv[d] = r
-	}
-}
-
-// emitPackedOp emits one random µSIMD op.
-func (g *genState) emitPackedOp() action {
-	d := g.pick(len(g.simdr))
-	a := g.pick(len(g.simdr))
-	b := g.pick(len(g.simdr))
-	type pk struct {
-		op isa.Opcode
-		w  simd.Width
-	}
-	ops := []pk{
-		{isa.PADD, simd.W8}, {isa.PADD, simd.W16}, {isa.PADD, simd.W32},
-		{isa.PSUB, simd.W16}, {isa.PADDS, simd.W16}, {isa.PSUBS, simd.W8},
-		{isa.PADDU, simd.W8}, {isa.PSUBU, simd.W16},
-		{isa.PMULL, simd.W16}, {isa.PMULH, simd.W16}, {isa.PMADD, simd.W16},
-		{isa.PAVG, simd.W8}, {isa.PMINU, simd.W8}, {isa.PMAXU, simd.W8},
-		{isa.PMINS, simd.W16}, {isa.PMAXS, simd.W16}, {isa.PABSD, simd.W8},
-		{isa.PAND, 0}, {isa.POR, 0}, {isa.PXOR, 0}, {isa.PANDN, 0},
-		{isa.PCMPEQ, simd.W16}, {isa.PCMPGT, simd.W8},
-		{isa.PACKSS, simd.W16}, {isa.PACKUS, simd.W16},
-		{isa.PUNPCKL, simd.W8}, {isa.PUNPCKH, simd.W32},
-		{isa.PSAD, simd.W8},
-	}
-	p := ops[g.pick(len(ops))]
-	g.b.PTo(p.op, p.w, g.simdr[d], g.simdr[a], g.simdr[b])
-	return func() {
-		v, err := packedEval(p.op, p.w, g.simdv[a], g.simdv[b])
-		if err != nil {
-			panic(err)
-		}
-		g.simdv[d] = v
-	}
-}
-
-// emitVectorOp emits one random vector compute op under the current VL.
-func (g *genState) emitVectorOp() action {
-	d := g.pick(len(g.vecr))
-	a := g.pick(len(g.vecr))
-	b := g.pick(len(g.vecr))
-	type pk struct {
-		vop, pop isa.Opcode
-		w        simd.Width
-	}
-	ops := []pk{
-		{isa.VADD, isa.PADD, simd.W16}, {isa.VSUB, isa.PSUB, simd.W8},
-		{isa.VADDS, isa.PADDS, simd.W16}, {isa.VMULL, isa.PMULL, simd.W16},
-		{isa.VAVG, isa.PAVG, simd.W8}, {isa.VMINU, isa.PMINU, simd.W8},
-		{isa.VXOR, isa.PXOR, 0}, {isa.VCMPGT, isa.PCMPGT, simd.W16},
-		{isa.VUNPCKL, isa.PUNPCKL, simd.W16}, {isa.VPACKUS, isa.PACKUS, simd.W16},
-	}
-	p := ops[g.pick(len(ops))]
-	g.b.VTo(p.vop, p.w, g.vecr[d], g.vecr[a], g.vecr[b])
-	vl := g.vl
-	return func() {
-		for i := 0; i < vl; i++ {
-			v, err := packedEval(p.pop, p.w, g.vecv[a][i], g.vecv[b][i])
-			if err != nil {
-				panic(err)
-			}
-			g.vecv[d][i] = v
-		}
-	}
-}
-
-// emitStore emits a store of a random int register to a random aligned
-// arena slot.
-func (g *genState) emitStore() action {
-	r := g.pick(len(g.intr))
-	slot := int64(g.pick(int(g.asize/8))) * 8
-	base := g.b.Const(g.arena)
-	g.b.Store(isa.STD, g.intr[r], base, slot, 1+g.pick(3))
-	return func() {
-		binary.LittleEndian.PutUint64(g.mirror[slot:], g.intv[r])
-	}
-}
-
-// emitLoad emits a load from a random aligned arena slot.
-func (g *genState) emitLoad() action {
-	r := g.pick(len(g.intr))
-	slot := int64(g.pick(int(g.asize/8))) * 8
-	base := g.b.Const(g.arena)
-	sz := []isa.Opcode{isa.LDD, isa.LDW, isa.LDHU, isa.LDBU, isa.LDB, isa.LDH, isa.LDWU}[g.pick(7)]
-	g.b.Emit(ir.Op{Opcode: sz, Dst: []ir.Reg{g.intr[r]}, Src: []ir.Reg{base},
-		Imm: slot, Alias: 1 + g.pick(3)})
-	return func() {
-		raw := binary.LittleEndian.Uint64(g.mirror[slot:])
-		switch sz {
-		case isa.LDD:
-			g.intv[r] = raw
-		case isa.LDW:
-			g.intv[r] = uint64(int64(int32(raw)))
-		case isa.LDWU:
-			g.intv[r] = uint64(uint32(raw))
-		case isa.LDH:
-			g.intv[r] = uint64(int64(int16(raw)))
-		case isa.LDHU:
-			g.intv[r] = uint64(uint16(raw))
-		case isa.LDB:
-			g.intv[r] = uint64(int64(int8(raw)))
-		case isa.LDBU:
-			g.intv[r] = uint64(uint8(raw))
-		}
-	}
-}
-
-// emitVectorMem emits a unit-stride vector store+load pair over a random
-// arena region (keeping the mirror in sync word-wise).
-func (g *genState) emitVectorMem() action {
-	v := g.pick(len(g.vecr))
-	maxBase := g.asize - 16*8
-	slot := int64(g.pick(int(maxBase/8))) * 8
-	base := g.b.Const(g.arena)
-	g.b.Vst(g.vecr[v], base, slot, 1+g.pick(3))
-	d := g.pick(len(g.vecr))
-	g.b.Emit(ir.Op{Opcode: isa.VLD, Dst: []ir.Reg{g.vecr[d]}, Src: []ir.Reg{base},
-		Imm: slot, Alias: 0}) // alias 0: may alias the store above
-	vl := g.vl
-	return func() {
-		for i := 0; i < vl; i++ {
-			binary.LittleEndian.PutUint64(g.mirror[slot+int64(8*i):], g.vecv[v][i])
-		}
-		for i := 0; i < vl; i++ {
-			g.vecv[d][i] = binary.LittleEndian.Uint64(g.mirror[slot+int64(8*i):])
-		}
-	}
-}
-
-// generate builds a random program and returns the function plus the
-// mirrored final arena contents.
-func generate(seed uint64, nops int) (*ir.Func, []byte, error) {
-	b := ir.NewBuilder(fmt.Sprintf("fuzz%d", seed))
-	g := &genState{rng: seed | 1, b: b, asize: 512}
-	g.arena = b.Alloc(g.asize)
-	g.mirror = make([]byte, g.asize)
-
-	// Architectural state pools (small, to stay within every register
-	// file of Table 2).
-	for i := 0; i < 6; i++ {
-		val := g.next() % 1000
-		g.intr = append(g.intr, b.Const(int64(val)))
-		g.intv = append(g.intv, val)
-	}
-	for i := 0; i < 4; i++ {
-		val := g.next()
-		dst := b.SIMDReg()
-		b.Emit(ir.Op{Opcode: isa.MOVIM, Dst: []ir.Reg{dst}, Imm: int64(val), UseImm: true})
-		g.simdr = append(g.simdr, dst)
-		g.simdv = append(g.simdv, val)
-	}
-	g.vl = 2 + g.pick(15)
-	if g.vl > 16 {
-		g.vl = 16
-	}
-	b.SetVLI(int64(g.vl))
-	b.SetVSI(8)
-	for i := 0; i < 3; i++ {
-		val := g.next()
-		r := b.Vsplat(b.Const(int64(val)))
-		g.vecr = append(g.vecr, r)
-		var words [16]uint64
-		for j := 0; j < g.vl; j++ {
-			words[j] = val
-		}
-		g.vecv = append(g.vecv, words)
-	}
-
-	var loops []struct {
-		trip    int
-		actions []action
-	}
-	var current []action
-	inLoop := false
-	var trip int
-
-	flush := func() {
-		if len(current) > 0 {
-			loops = append(loops, struct {
-				trip    int
-				actions []action
-			}{1, current})
-			current = nil
-		}
-	}
-
-	for i := 0; i < nops; i++ {
-		if !inLoop && g.pick(10) == 0 {
-			// Open a counted loop (the body's mirror replays trip times).
-			flush()
-			trip = 2 + g.pick(5)
-			inLoop = true
-			b.Loop(0, int64(trip), 1, func(ir.Reg) {
-				for j := 0; j < 6+g.pick(8); j++ {
-					current = append(current, g.emitAny())
-					i++
-				}
-			})
-			loops = append(loops, struct {
-				trip    int
-				actions []action
-			}{trip, current})
-			current = nil
-			inLoop = false
-			continue
-		}
-		current = append(current, g.emitAny())
-	}
-	flush()
-
-	// Dump every register to the arena tail... (store int regs).
-	for i, r := range g.intr {
-		slot := g.asize - int64(8*(i+1))
-		base := b.Const(g.arena)
-		b.Store(isa.STD, r, base, slot, 1)
-		idx := i
-		loops = append(loops, struct {
-			trip    int
-			actions []action
-		}{1, []action{func() {
-			binary.LittleEndian.PutUint64(g.mirror[slot:], g.intv[idx])
-		}}})
-	}
-
-	// Replay the mirror.
-	for _, l := range loops {
-		for t := 0; t < l.trip; t++ {
-			for _, a := range l.actions {
-				a()
-			}
-		}
-	}
-	return b.Func(), g.mirror, nil
-}
-
-// emitAny picks a random action kind.
-func (g *genState) emitAny() action {
-	switch g.pick(10) {
-	case 0, 1, 2:
-		return g.emitScalarOp()
-	case 3, 4:
-		return g.emitPackedOp()
-	case 5, 6:
-		return g.emitVectorOp()
-	case 7:
-		return g.emitStore()
-	case 8:
-		return g.emitLoad()
-	default:
-		return g.emitVectorMem()
-	}
-}
+// verifier, the scheduler and the interpreter together on program shapes
+// the hand-written kernels never produce.
 
 func TestDifferentialRandomPrograms(t *testing.T) {
 	cfgs := []*machine.Config{&machine.Vector1x2, &machine.Vector2x2, &machine.Vector2x4}
 	for seed := uint64(1); seed <= 24; seed++ {
-		f, want, err := generate(seed*7919, 60)
+		p, err := progen.Generate(seed*7919, 60)
 		if err != nil {
 			t.Fatal(err)
 		}
+		f, want := p.Func, p.Arena
 		if err := f.Verify(); err != nil {
 			t.Fatalf("seed %d: generated invalid IR: %v", seed, err)
 		}
@@ -371,7 +44,8 @@ func TestDifferentialRandomPrograms(t *testing.T) {
 			}
 			for _, model := range []mem.Model{mem.NewPerfect(cfg), mem.NewHierarchy(cfg)} {
 				m := New(fs, model)
-				if _, err := m.Run(); err != nil {
+				res, err := m.Run()
+				if err != nil {
 					t.Fatalf("seed %d on %s: %v", seed, cfg.Name, err)
 				}
 				got, err := m.ReadBytes(ir.DataBase, int64(len(want)))
@@ -384,6 +58,9 @@ func TestDifferentialRandomPrograms(t *testing.T) {
 							seed, cfg.Name, i, got[i], want[i])
 					}
 				}
+				// The observability invariants must hold on arbitrary
+				// programs too, not just the curated kernels.
+				checkResultInvariants(t, res)
 			}
 		}
 	}

@@ -6,6 +6,8 @@ import (
 
 	"vsimdvliw/internal/ir"
 	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/mem"
+	"vsimdvliw/internal/metrics"
 	"vsimdvliw/internal/sched"
 	"vsimdvliw/internal/simd"
 )
@@ -286,14 +288,14 @@ func (m *Machine) execOp(op *ir.Op, os *sched.OpSched) (stall int64, branch int,
 			v = signExtend(v, size)
 		}
 		m.seti(op.Dst[0], v)
-		stall = m.memStall(os, m.model.ScalarAccess(addr, size, false))
+		stall = m.memStall(op, os, m.model.ScalarAccess(addr, size, false))
 	case isa.STB, isa.STH, isa.STW, isa.STD:
 		size := isa.AccessBytes(op.Opcode)
 		addr := int64(m.geti(op.Src[1])) + op.Imm
 		if e := m.storeWord(addr, size, m.geti(op.Src[0])); e != nil {
 			return 0, -1, false, e
 		}
-		stall = m.memStall(os, m.model.ScalarAccess(addr, size, true))
+		stall = m.memStall(op, os, m.model.ScalarAccess(addr, size, true))
 
 	case isa.BEQ:
 		if m.geti(op.Src[0]) == m.geti(op.Src[1]) {
@@ -323,13 +325,13 @@ func (m *Machine) execOp(op *ir.Op, os *sched.OpSched) (stall int64, branch int,
 			return 0, -1, false, e
 		}
 		m.setm(op.Dst[0], v)
-		stall = m.memStall(os, m.model.ScalarAccess(addr, 8, false))
+		stall = m.memStall(op, os, m.model.ScalarAccess(addr, 8, false))
 	case isa.STM:
 		addr := int64(m.geti(op.Src[1])) + op.Imm
 		if e := m.storeWord(addr, 8, m.getm(op.Src[0])); e != nil {
 			return 0, -1, false, e
 		}
-		stall = m.memStall(os, m.model.ScalarAccess(addr, 8, true))
+		stall = m.memStall(op, os, m.model.ScalarAccess(addr, 8, true))
 	case isa.MOVIM:
 		m.setm(op.Dst[0], uint64(op.Imm))
 	case isa.MOVRM:
@@ -380,7 +382,7 @@ func (m *Machine) execOp(op *ir.Op, os *sched.OpSched) (stall int64, branch int,
 			}
 			vec[i] = v
 		}
-		stall = m.memStall(os, m.model.VectorAccess(base, m.vs, m.vl, false))
+		stall = m.memStall(op, os, m.model.VectorAccess(base, m.vs, m.vl, false))
 	case isa.VST:
 		base := int64(m.geti(op.Src[1])) + op.Imm
 		vec := &m.vecRegs[op.Src[0].ID]
@@ -389,7 +391,7 @@ func (m *Machine) execOp(op *ir.Op, os *sched.OpSched) (stall int64, branch int,
 				return 0, -1, false, e
 			}
 		}
-		stall = m.memStall(os, m.model.VectorAccess(base, m.vs, m.vl, true))
+		stall = m.memStall(op, os, m.model.VectorAccess(base, m.vs, m.vl, true))
 	case isa.VMOV:
 		src := m.vecRegs[op.Src[0].ID]
 		dst := &m.vecRegs[op.Dst[0].ID]
@@ -477,10 +479,33 @@ func (m *Machine) execOp(op *ir.Op, os *sched.OpSched) (stall int64, branch int,
 }
 
 // memStall converts an access's actual service latency into the stall the
-// lock-step machine pays beyond what the compiler scheduled (os.Tlw).
-func (m *Machine) memStall(os *sched.OpSched, actual int) int64 {
-	if s := int64(actual - os.Tlw); s > 0 {
-		return s
+// lock-step machine pays beyond what the compiler scheduled (os.Tlw), and
+// attributes every stall cycle to the cause the memory model reported for
+// the access (clamped in priority order; the unexplained residual lands in
+// CauseOther). The per-cause shares therefore sum exactly to the stall —
+// and, aggregated, to Result.StallCycles.
+func (m *Machine) memStall(op *ir.Op, os *sched.OpSched, actual int) int64 {
+	s := int64(actual - os.Tlw)
+	if s <= 0 {
+		return 0
 	}
-	return 0
+	var comp *metrics.Components
+	if d, ok := m.model.(mem.Detailed); ok {
+		comp = d.LastAccess()
+	}
+	take := m.res.Stalls.Attribute(s, comp)
+	m.res.Regions[m.region()].Stalls.AddBreakdown(&take)
+	m.res.OpStalls[op.Opcode] += s
+	if m.TraceJSON != nil {
+		for i, v := range take {
+			if v != 0 {
+				m.TraceJSON.Event(stallEvent{
+					Event: "stall", Opcode: op.Opcode.Name(),
+					Cause: metrics.Cause(i).String(), Cycles: v,
+					Region: m.region(), Block: m.curBlock,
+				})
+			}
+		}
+	}
+	return s
 }

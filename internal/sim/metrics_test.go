@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/mem"
+	"vsimdvliw/internal/metrics"
+	"vsimdvliw/internal/sched"
+	"vsimdvliw/internal/simd"
+)
+
+// buildStallHeavy returns a program that exercises several stall causes:
+// cold scalar loads (L1 miss + memory fill), a strided vector load, and a
+// stride-one vector store.
+func buildStallHeavy(t *testing.T) *ir.Func {
+	t.Helper()
+	b := ir.NewBuilder("stallheavy")
+	in := b.DataH(make([]int16, 4096))
+	out := b.Alloc(256)
+	// Scalar loads far apart: cold misses all the way to memory.
+	s := b.Load(isa.LDD, b.Const(in), 0, 1)
+	s = b.Bin(isa.ADD, s, b.Load(isa.LDD, b.Const(in+2048), 0, 1))
+	b.Store(isa.STD, s, b.Const(out), 0, 2)
+	// Strided vector loads — stride 192 exercises the generic strided slow
+	// path, stride 256 (a multiple of twice the 64-byte line) lands every
+	// element on one bank — then a unit-stride store.
+	b.SetVLI(16)
+	b.SetVSI(192)
+	v := b.Vld(b.Const(in), 0, 1)
+	b.SetVSI(256)
+	w := b.Vld(b.Const(in), 0, 1)
+	b.SetVSI(8)
+	b.Vst(b.V(isa.VADD, simd.W16, v, w), b.Const(out), 0, 2)
+	return b.Func()
+}
+
+func runOn(t *testing.T, f *ir.Func, cfg *machine.Config, model mem.Model) *Result {
+	t.Helper()
+	fs, err := sched.Schedule(f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(fs, model).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func checkResultInvariants(t *testing.T, res *Result) {
+	t.Helper()
+	if got := res.Stalls.Total(); got != res.StallCycles {
+		t.Errorf("stall breakdown sums to %d, StallCycles = %d", got, res.StallCycles)
+	}
+	var regionStalls, opStalls int64
+	for r := range res.Regions {
+		rs := &res.Regions[r]
+		if got := rs.Stalls.Total(); got != rs.StallCycles {
+			t.Errorf("region %d breakdown sums to %d, StallCycles = %d", r, got, rs.StallCycles)
+		}
+		regionStalls += rs.StallCycles
+	}
+	if regionStalls != res.StallCycles {
+		t.Errorf("region stalls sum to %d, total %d", regionStalls, res.StallCycles)
+	}
+	for _, v := range res.OpStalls {
+		opStalls += v
+	}
+	if opStalls != res.StallCycles {
+		t.Errorf("per-opcode stalls sum to %d, total %d", opStalls, res.StallCycles)
+	}
+	if res.Util == nil {
+		t.Fatal("Result.Util not populated")
+	}
+	if got := res.Util.Total(); got != res.Cycles {
+		t.Errorf("issue histogram sums to %d, Cycles = %d", got, res.Cycles)
+	}
+	for class, h := range res.Util.Units {
+		var n int64
+		for _, v := range h {
+			n += v
+		}
+		if n != res.Cycles {
+			t.Errorf("unit %q histogram sums to %d, Cycles = %d", class, n, res.Cycles)
+		}
+	}
+}
+
+func TestStallAttributionInvariants(t *testing.T) {
+	cfg := &machine.Vector2x2
+	f := buildStallHeavy(t)
+	res := runOn(t, f, cfg, mem.NewHierarchy(cfg))
+	if res.StallCycles == 0 {
+		t.Fatal("stall-heavy program did not stall")
+	}
+	checkResultInvariants(t, res)
+	// The program's signature causes must be present.
+	if res.Stalls[metrics.CauseStride] == 0 {
+		t.Error("strided vector load produced no stride stalls")
+	}
+	if res.Stalls[metrics.CauseBankConflict] == 0 {
+		t.Error("single-bank stride produced no bank-conflict stalls")
+	}
+	if res.Stalls[metrics.CauseL3Miss] == 0 {
+		t.Error("cold accesses produced no memory-fill stalls")
+	}
+	// Stalls come only from memory operations.
+	for name := range res.StallsByOpcode() {
+		switch name {
+		case "ldd", "std", "vld", "vst", "ldm", "stm":
+		default:
+			t.Errorf("non-memory opcode %q charged stalls", name)
+		}
+	}
+}
+
+func TestPerfectMemoryNeverStallsWithZeroBreakdown(t *testing.T) {
+	cfg := &machine.Vector2x2
+	res := runOn(t, buildStallHeavy(t), cfg, mem.NewPerfect(cfg))
+	if res.StallCycles != 0 {
+		t.Fatalf("perfect memory stalled %d cycles", res.StallCycles)
+	}
+	checkResultInvariants(t, res)
+	if res.Stalls != (metrics.StallBreakdown{}) {
+		t.Errorf("perfect memory breakdown non-zero: %v", res.Stalls)
+	}
+}
+
+// TestTraceLineLimitMarker drives the machine's text trace through the
+// line-limiting writer vsimdsim uses for -trace N: exactly N block lines
+// come out, followed by an explicit truncation marker instead of a silent
+// mid-run cutoff.
+func TestTraceLineLimitMarker(t *testing.T) {
+	cfg := &machine.Vector2x2
+	// A counted loop: each iteration emits a block trace line, so the run
+	// produces more lines than the limit below.
+	b := ir.NewBuilder("traceloop")
+	out := b.Alloc(64)
+	b.Loop(0, 8, 1, func(iv ir.Reg) {
+		b.Store(isa.STD, iv, b.Const(out), 0, 1)
+	})
+	fs, err := sched.Schedule(b.Func(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(fs, mem.NewPerfect(cfg))
+	var buf bytes.Buffer
+	m.Trace = metrics.NewLineLimitWriter(&buf, 2)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d trace lines, want 2 blocks + marker:\n%s", len(lines), buf.String())
+	}
+	if lines[2] != "... truncated after 2 lines" {
+		t.Errorf("missing truncation marker, last line = %q", lines[2])
+	}
+	for _, l := range lines[:2] {
+		if !strings.HasPrefix(l, "B") {
+			t.Errorf("unexpected trace line %q", l)
+		}
+	}
+}
+
+func TestUtilizationCountsIssuedOps(t *testing.T) {
+	cfg := &machine.Vector2x2
+	res := runOn(t, buildStallHeavy(t), cfg, mem.NewPerfect(cfg))
+	// Total issued operations recoverable from the histogram must match
+	// the executed op count (pseudo-ops excluded on both sides).
+	var issued int64
+	for k, cycles := range res.Util.IssueSlots {
+		issued += int64(k) * cycles
+	}
+	if issued != res.Ops {
+		t.Errorf("histogram-weighted issues = %d, Ops = %d", issued, res.Ops)
+	}
+}

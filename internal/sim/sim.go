@@ -24,6 +24,7 @@ import (
 	"vsimdvliw/internal/ir"
 	"vsimdvliw/internal/isa"
 	"vsimdvliw/internal/mem"
+	"vsimdvliw/internal/metrics"
 	"vsimdvliw/internal/sched"
 	"vsimdvliw/internal/simd"
 )
@@ -34,22 +35,48 @@ const MaxRegions = 4
 
 // RegionStats accumulates per-region execution statistics.
 type RegionStats struct {
-	Cycles      int64 // total cycles, including stalls
-	StallCycles int64 // run-time memory stalls
-	Ops         int64 // operations executed (pseudo-ops excluded)
-	MicroOps    int64 // micro-operations (sub-word items processed)
-	Blocks      int64 // basic-block executions
+	Cycles      int64 `json:"cycles"`       // total cycles, including stalls
+	StallCycles int64 `json:"stall_cycles"` // run-time memory stalls
+	Ops         int64 `json:"ops"`          // operations executed (pseudo-ops excluded)
+	MicroOps    int64 `json:"micro_ops"`    // micro-operations (sub-word items processed)
+	Blocks      int64 `json:"blocks"`       // basic-block executions
+	// Stalls attributes the region's stall cycles to their causes; it sums
+	// exactly to StallCycles.
+	Stalls metrics.StallBreakdown `json:"stalls"`
 }
 
 // Result is the outcome of one simulation.
 type Result struct {
-	Cycles      int64
-	StallCycles int64
-	Ops         int64
-	MicroOps    int64
-	Regions     [MaxRegions]RegionStats
+	Cycles      int64 `json:"cycles"`
+	StallCycles int64 `json:"stall_cycles"`
+	Ops         int64 `json:"ops"`
+	MicroOps    int64 `json:"micro_ops"`
+	// Stalls attributes every run-time stall cycle to the cause that
+	// produced it; the breakdown sums exactly to StallCycles.
+	Stalls  metrics.StallBreakdown  `json:"stalls"`
+	Regions [MaxRegions]RegionStats `json:"regions"`
 	// Mem holds hierarchy statistics when the model is a *mem.Hierarchy.
-	Mem mem.Stats
+	Mem mem.Stats `json:"mem"`
+	// Util holds the issue-slot and per-unit-class occupancy histograms
+	// (static schedule profiles weighted by run-time block-execution
+	// counts); every histogram sums exactly to Cycles.
+	Util *metrics.Utilization `json:"utilization,omitempty"`
+	// OpStalls counts stall cycles per opcode; use StallsByOpcode for the
+	// sparse, name-keyed view.
+	OpStalls [isa.NumOpcodes]int64 `json:"-"`
+}
+
+// StallsByOpcode returns the per-opcode stall cycles as a name-keyed map
+// holding only non-zero entries (maps marshal with sorted keys, so the
+// JSON form is deterministic).
+func (r *Result) StallsByOpcode() map[string]int64 {
+	out := make(map[string]int64)
+	for op, v := range r.OpStalls {
+		if v != 0 {
+			out[isa.Opcode(op).Name()] = v
+		}
+	}
+	return out
 }
 
 // OPC returns operations per cycle for the whole run.
@@ -94,6 +121,16 @@ type Machine struct {
 	regionStack []int
 	pipelined   bool
 	res         Result
+	// blockRuns/blockPipeRuns count executions of each block (indexed by
+	// block id) in full-length and pipelined steady-state form; they weight
+	// the static schedule profiles into the utilization histograms.
+	blockRuns     []int64
+	blockPipeRuns []int64
+	curBlock      int
+	// opHook, when non-nil, observes every operation reached by execBlock
+	// (including pseudo-ops) before it executes. Tests use it to measure
+	// opcode coverage.
+	opHook func(*ir.Op)
 	// MaxCycles aborts runaway simulations (default 4e9).
 	MaxCycles int64
 	// Trace, when non-nil, receives one line per executed basic block:
@@ -101,6 +138,9 @@ type Machine struct {
 	// and the running cycle counter — a lightweight execution trace for
 	// debugging kernels and timing models.
 	Trace io.Writer
+	// TraceJSON, when non-nil, receives one JSONL event per executed block
+	// and per attributed stall (see trace.go for the event shapes).
+	TraceJSON *metrics.TraceWriter
 }
 
 // New prepares a machine to run the scheduled function fs against the
@@ -122,6 +162,8 @@ func New(fs *sched.FuncSched, model mem.Model) *Machine {
 	for _, chunk := range f.DataInit {
 		copy(m.memory[chunk.Addr:], chunk.Bytes)
 	}
+	m.blockRuns = make([]int64, len(fs.Blocks))
+	m.blockPipeRuns = make([]int64, len(fs.Blocks))
 	m.regionStack = []int{0}
 	return m
 }
@@ -169,8 +211,42 @@ func (m *Machine) Run() (*Result, error) {
 	if h, ok := m.model.(*mem.Hierarchy); ok {
 		m.res.Mem = h.Stats()
 	}
+	m.res.Util = m.utilization()
 	res := m.res
 	return &res, nil
+}
+
+// utilization folds each block's static occupancy profile, weighted by its
+// run-time execution count, into the run's histograms. Stall and drain
+// cycles land in the zero buckets via Finish, so every histogram sums
+// exactly to the executed cycle count.
+func (m *Machine) utilization() *metrics.Utilization {
+	u := metrics.NewUtilization()
+	add := func(p *sched.Profile, runs int64) {
+		for c := 0; c < p.Cycles; c++ {
+			if k := p.Issue[c]; k > 0 {
+				u.AddIssue(k, runs)
+			}
+		}
+		for unit, h := range p.Units {
+			class := unit.String()
+			for c := 0; c < p.Cycles; c++ {
+				if k := h[c]; k > 0 {
+					u.AddUnit(class, k, runs)
+				}
+			}
+		}
+	}
+	for i, bs := range m.fs.Blocks {
+		if m.blockRuns[i] > 0 {
+			add(bs.Profile(false), m.blockRuns[i])
+		}
+		if m.blockPipeRuns[i] > 0 {
+			add(bs.Profile(true), m.blockPipeRuns[i])
+		}
+	}
+	u.Finish(m.res.Cycles)
+	return u
 }
 
 // region returns the currently active region id.
@@ -186,9 +262,13 @@ func (m *Machine) execBlock(bs *sched.BlockSched) (next int, halted bool, err er
 	// markers have executed (the builder places markers at block heads).
 	regionFrozen := false
 	blockRegion := m.region()
+	m.curBlock = bs.Block.ID
 
 	for i := range bs.Block.Ops {
 		op := &bs.Block.Ops[i]
+		if m.opHook != nil {
+			m.opHook(op)
+		}
 		switch op.Opcode {
 		case isa.REGBEGIN:
 			m.regionStack = append(m.regionStack, int(op.Imm))
@@ -231,6 +311,9 @@ func (m *Machine) execBlock(bs *sched.BlockSched) (next int, halted bool, err er
 		// Software-pipelined steady state: back-to-back iterations of a
 		// self-loop block initiate every II cycles.
 		length = int64(bs.II)
+		m.blockPipeRuns[bs.Block.ID]++
+	} else {
+		m.blockRuns[bs.Block.ID]++
 	}
 	cycles := length + stalls
 	m.res.Cycles += cycles
@@ -246,6 +329,13 @@ func (m *Machine) execBlock(bs *sched.BlockSched) (next int, halted bool, err er
 		}
 		fmt.Fprintf(m.Trace, "B%-4d R%d cycles=%-6d stalls=%-6d total=%d%s\n",
 			bs.Block.ID, blockRegion, cycles, stalls, m.res.Cycles, pipe)
+	}
+	if m.TraceJSON != nil {
+		m.TraceJSON.Event(blockEvent{
+			Event: "block", Block: bs.Block.ID, Region: blockRegion,
+			Cycles: cycles, Stalls: stalls, Total: m.res.Cycles,
+			Pipelined: m.pipelined,
+		})
 	}
 	return next, halted, nil
 }

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/mem"
+	"vsimdvliw/internal/metrics"
+	"vsimdvliw/internal/sched"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden files")
+
+// TestGoldenStatsAndTrace freezes the machine-readable outputs on a fixed
+// small program: the stats JSON (struct field order is the wire order, and
+// name-keyed maps marshal sorted, so the bytes are deterministic) and the
+// bounded JSONL event trace including its truncation marker. Regenerate
+// intentionally with:
+//
+//	go test ./internal/sim -run TestGoldenStatsAndTrace -update
+func TestGoldenStatsAndTrace(t *testing.T) {
+	cfg := &machine.Vector2x2
+	fs, err := sched.Schedule(buildStallHeavy(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(fs, mem.NewHierarchy(cfg))
+	var trace bytes.Buffer
+	m.TraceJSON = metrics.NewTraceWriter(&trace, 4) // small bound: marker included
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.TraceJSON.Truncated() {
+		t.Fatal("trace bound not hit; the golden must cover the truncation marker")
+	}
+
+	stats, err := json.MarshalIndent(struct {
+		Stats          *Result          `json:"stats"`
+		StallsByOpcode map[string]int64 `json:"stalls_by_opcode"`
+	}{res, res.StallsByOpcode()}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats = append(stats, '\n')
+
+	golden := map[string][]byte{
+		"stats.json":  stats,
+		"trace.jsonl": trace.Bytes(),
+	}
+	if *updateGolden {
+		if err := os.MkdirAll("testdata/golden", 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, got := range golden {
+		path := filepath.Join("testdata", "golden", name)
+		if *updateGolden {
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (regenerate with -update)", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s drifted from golden (regenerate intentionally with -update):\ngot:\n%s\nwant:\n%s",
+				name, got, want)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package sim
+
+// JSONL trace events (Machine.TraceJSON). The field order of these structs
+// is the wire order — encoding/json preserves it, keeping traces
+// deterministic for golden tests.
+
+// blockEvent records one executed basic block: the cycles charged
+// (schedule length, or II in pipelined steady state, plus stalls) and the
+// running cycle counter.
+type blockEvent struct {
+	Event     string `json:"event"` // "block"
+	Block     int    `json:"block"`
+	Region    int    `json:"region"`
+	Cycles    int64  `json:"cycles"`
+	Stalls    int64  `json:"stalls"`
+	Total     int64  `json:"total"`
+	Pipelined bool   `json:"pipelined,omitempty"`
+}
+
+// stallEvent records one attributed share of a run-time stall: the opcode
+// that incurred it, the cause, and where it happened. A single stall with
+// several latency components emits one event per cause.
+type stallEvent struct {
+	Event  string `json:"event"` // "stall"
+	Opcode string `json:"opcode"`
+	Cause  string `json:"cause"`
+	Cycles int64  `json:"cycles"`
+	Region int    `json:"region"`
+	Block  int    `json:"block"`
+}
