@@ -1,13 +1,15 @@
 # CI entry points. `make ci` is what every PR must keep green: vet, build,
 # the full test suite, the race detector over the packages that share
 # compiled programs across goroutines (the parallel evaluation sweep), and
-# a short scheduler fuzzing smoke run.
+# short fuzzing smoke runs of the scheduler and of the differential
+# engine-equivalence harness (reference interpreter vs pre-decoded engine
+# over generated programs).
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz bench figures
+.PHONY: ci vet build test race fuzz fuzz-engine bench bench-json figures
 
-ci: vet build test race fuzz
+ci: vet build test race fuzz fuzz-engine
 
 vet:
 	$(GO) vet ./...
@@ -24,8 +26,16 @@ race:
 fuzz:
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzSchedule -fuzztime=10s
 
+fuzz-engine:
+	$(GO) test ./internal/sim -run='^$$' -fuzz=FuzzEngineEquivalence -fuzztime=10s
+
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$'
+
+# bench-json runs the headline benchmarks and writes BENCH_<date>.json
+# (machine-readable: ns/op plus custom metrics such as sim_ops/s).
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_$$(date +%Y-%m-%d).json
 
 figures:
 	$(GO) run ./cmd/paperfigs

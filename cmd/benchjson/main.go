@@ -1,0 +1,136 @@
+// Command benchjson runs the repository's headline benchmarks and writes
+// the parsed results as machine-readable JSON (BENCH_<date>.json via
+// `make bench-json`). Every benchmark's iteration count and metrics
+// (ns/op plus custom metrics such as sim_ops/s) are preserved, and the
+// headline simulator throughput is lifted to the top level so regression
+// tracking across commits is a one-field diff.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// result is the parsed form of one benchmark line.
+type result struct {
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// output is the JSON document bench-json writes.
+type output struct {
+	Date       string            `json:"date"`
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchtime  string            `json:"benchtime"`
+	SimOpsPerS float64           `json:"sim_ops_per_s"`
+	Benchmarks map[string]result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "", "output file (default stdout)")
+		pattern   = flag.String("bench", "BenchmarkSimulator|BenchmarkScheduler|BenchmarkCollect", "benchmark regexp to run")
+		benchtime = flag.String("benchtime", "3x", "value for -benchtime")
+	)
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *pattern,
+		"-benchtime", *benchtime, ".")
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go test: %v\n%s", err, buf.String())
+		os.Exit(1)
+	}
+
+	doc := output{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchtime:  *benchtime,
+		Benchmarks: map[string]result{},
+	}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			doc.CPU = cpu
+			continue
+		}
+		name, res, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		doc.Benchmarks[name] = res
+		if name == "Simulator" {
+			doc.SimOpsPerS = res.Metrics["sim_ops/s"]
+		}
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark results parsed from go test output:\n%s", buf.String())
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (sim_ops/s = %.0f)\n", *out, doc.SimOpsPerS)
+}
+
+// parseBenchLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkSimulator   3   6427189 ns/op   34420070 sim_ops/s
+//
+// into the benchmark's short name (GOMAXPROCS suffix stripped) and its
+// iteration count and metric pairs.
+func parseBenchLine(line string) (string, result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", result{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		name = name[:i]
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", result{}, false
+	}
+	res := result{Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	if len(res.Metrics) == 0 {
+		return "", result{}, false
+	}
+	return name, res, true
+}

@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sync"
 
 	"vsimdvliw/internal/ir"
 	"vsimdvliw/internal/machine"
@@ -69,6 +70,11 @@ func DefaultParallelism() int { return runtime.NumCPU() }
 type Program struct {
 	Sched  *sched.FuncSched
 	Config *machine.Config
+
+	// pools recycle machines (register files, data memory, memory model)
+	// per memory model across Run calls; Machine.Reset restores the
+	// freshly-constructed state between runs.
+	pools [2]sync.Pool
 }
 
 // Compile schedules f for cfg, verifying ISA support and register
@@ -81,6 +87,12 @@ func Compile(f *ir.Func, cfg *machine.Config) (*Program, error) {
 func CompileWith(f *ir.Func, cfg *machine.Config, opts sched.Options) (*Program, error) {
 	fs, err := sched.ScheduleOpts(f, cfg, opts)
 	if err != nil {
+		return nil, err
+	}
+	// Lower every block into its pre-decoded executor sequence now, so
+	// runs (often many, across goroutines) share the compiled code and
+	// never pay the lowering cost.
+	if err := sim.Predecode(fs); err != nil {
 		return nil, err
 	}
 	return &Program{Sched: fs, Config: cfg}, nil
@@ -100,8 +112,28 @@ func (p *Program) NewMachine(model MemoryModel) *sim.Machine {
 }
 
 // Run executes the program to completion under the given memory model.
+// Machines are pooled and reset between runs, so repeated runs (sweeps,
+// benchmarks) reuse register files, data memory and the memory model
+// instead of reallocating them.
 func (p *Program) Run(model MemoryModel) (*sim.Result, error) {
-	return p.NewMachine(model).Run()
+	if int(model) < 0 || int(model) >= len(p.pools) {
+		return p.NewMachine(model).Run()
+	}
+	pool := &p.pools[model]
+	m, ok := pool.Get().(*sim.Machine)
+	if ok {
+		m.Reset()
+	} else {
+		m = p.NewMachine(model)
+	}
+	res, err := m.Run()
+	if err != nil {
+		// Drop errored machines: their state (e.g. an aborted runaway
+		// loop) is not worth recycling.
+		return nil, err
+	}
+	pool.Put(m)
+	return res, nil
 }
 
 // RunModel executes the program against an explicit memory model (e.g. a

@@ -71,6 +71,23 @@ type BlockSched struct {
 	// schedule compute each at most once.
 	profileOnce [2]sync.Once
 	profiles    [2]*Profile
+
+	// Memoized pre-decoded executor sequence for this block; see Code.
+	// The scheduler is agnostic to its shape (the simulator lowers the
+	// block), so the slot is typed any.
+	codeOnce sync.Once
+	code     any
+	codeErr  error
+}
+
+// Code returns the block's pre-decoded code, building it on first use via
+// build and memoizing the result. Concurrent machines sharing the schedule
+// lower each block at most once (the same single-flight discipline as
+// Profile); the first caller's build wins, so all users of a schedule must
+// agree on the lowered representation.
+func (bs *BlockSched) Code(build func(*BlockSched) (any, error)) (any, error) {
+	bs.codeOnce.Do(func() { bs.code, bs.codeErr = build(bs) })
+	return bs.code, bs.codeErr
 }
 
 // FuncSched is a fully scheduled function for one machine configuration.

@@ -74,3 +74,42 @@ func TestInterpreterOpcodeCoverage(t *testing.T) {
 			strings.Join(missing, ", "))
 	}
 }
+
+// TestPredecodeOpcodeCoverage lowers a minimal well-formed operation of
+// every opcode through compileOp and asserts an executor exists. A new
+// opcode that the pre-decoded engine does not lower fails here explicitly
+// — there is no silent fall-back to the interpreter.
+func TestPredecodeOpcodeCoverage(t *testing.T) {
+	var missing []string
+	for op := isa.Opcode(0); int(op) < isa.NumOpcodes; op++ {
+		switch op {
+		case isa.NOP, isa.REGBEGIN, isa.REGEND:
+			continue // pseudo-ops are lowered by compileBlock itself
+		}
+		in := op.Get()
+		o := ir.Op{Opcode: op}
+		for _, c := range in.Sig.Dst {
+			o.Dst = append(o.Dst, ir.Reg{Class: c})
+		}
+		for _, c := range in.Sig.Src {
+			o.Src = append(o.Src, ir.Reg{Class: c})
+		}
+		if len(in.Widths) > 0 {
+			o.Width = in.Widths[0]
+		}
+		if in.Imm && len(in.Sig.Src) == 0 {
+			o.UseImm = true // MOVI/MOVIM-style: the immediate is the only source
+		}
+		ex, err := compileOp(&o, &sched.OpSched{})
+		if err != nil {
+			missing = append(missing, op.Name()+" ("+err.Error()+")")
+			continue
+		}
+		if ex == nil {
+			missing = append(missing, op.Name())
+		}
+	}
+	if len(missing) > 0 {
+		t.Fatalf("opcodes without a pre-decoded executor:\n  %s", strings.Join(missing, "\n  "))
+	}
+}

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/mem"
+	"vsimdvliw/internal/progen"
+	"vsimdvliw/internal/sched"
+)
+
+// Engine equivalence: the pre-decoded engine must be bit-for-bit
+// indistinguishable from the reference interpreter — same registers, same
+// memory image, same cycles, stalls and per-cause breakdowns, same
+// utilization histograms — on arbitrary progen programs, every machine
+// configuration and both memory models.
+
+// runBothEngines executes fs twice from identical initial state, once on
+// the reference interpreter and once on the pre-decoded engine, and
+// returns the two machines and results.
+func runBothEngines(t *testing.T, fs *sched.FuncSched, mkModel func() mem.Model) (mi, mp *Machine, ri, rp *Result) {
+	t.Helper()
+	mi = New(fs, mkModel())
+	mi.interp = true
+	ri, err := mi.Run()
+	if err != nil {
+		t.Fatalf("interpreter: %v", err)
+	}
+	mp = New(fs, mkModel())
+	rp, err = mp.Run()
+	if err != nil {
+		t.Fatalf("pre-decoded: %v", err)
+	}
+	return mi, mp, ri, rp
+}
+
+// compareEngines asserts every architectural and accounting observable
+// matches between the two engines.
+func compareEngines(t *testing.T, mi, mp *Machine, ri, rp *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(ri, rp) {
+		t.Errorf("results differ:\ninterpreter: %+v\npre-decoded: %+v", ri, rp)
+	}
+	if !reflect.DeepEqual(mi.intRegs, mp.intRegs) {
+		t.Errorf("int registers differ:\ninterpreter: %v\npre-decoded: %v", mi.intRegs, mp.intRegs)
+	}
+	if !reflect.DeepEqual(mi.simdRegs, mp.simdRegs) {
+		t.Errorf("simd registers differ:\ninterpreter: %v\npre-decoded: %v", mi.simdRegs, mp.simdRegs)
+	}
+	if !reflect.DeepEqual(mi.vecRegs, mp.vecRegs) {
+		t.Errorf("vector registers differ")
+	}
+	if !reflect.DeepEqual(mi.accRegs, mp.accRegs) {
+		t.Errorf("accumulators differ:\ninterpreter: %v\npre-decoded: %v", mi.accRegs, mp.accRegs)
+	}
+	if mi.vl != mp.vl || mi.vs != mp.vs {
+		t.Errorf("VL/VS differ: interpreter %d/%d, pre-decoded %d/%d", mi.vl, mi.vs, mp.vl, mp.vs)
+	}
+	if !reflect.DeepEqual(mi.memory, mp.memory) {
+		for i := range mi.memory {
+			if mi.memory[i] != mp.memory[i] {
+				t.Errorf("memory differs first at %#x: interpreter %#x, pre-decoded %#x",
+					i, mi.memory[i], mp.memory[i])
+				break
+			}
+		}
+	}
+}
+
+// checkEngineEquivalence schedules f on cfg with opts and cross-checks the
+// two engines under both memory models.
+func checkEngineEquivalence(t *testing.T, f *ir.Func, cfg *machine.Config, opts sched.Options) {
+	t.Helper()
+	fs, err := sched.ScheduleOpts(f, cfg, opts)
+	if err != nil {
+		t.Fatalf("schedule on %s: %v", cfg.Name, err)
+	}
+	models := []func() mem.Model{
+		func() mem.Model { return mem.NewPerfect(cfg) },
+		func() mem.Model { return mem.NewHierarchy(cfg) },
+	}
+	for _, mk := range models {
+		mi, mp, ri, rp := runBothEngines(t, fs, mk)
+		compareEngines(t, mi, mp, ri, rp)
+	}
+}
+
+func TestEngineEquivalenceRandomPrograms(t *testing.T) {
+	cfgs := []*machine.Config{&machine.Vector1x2, &machine.Vector2x2, &machine.Vector2x4}
+	schedOpts := []sched.Options{
+		{},
+		{NoChaining: true},
+		{OverlapDrain: true, SoftwarePipeline: true},
+	}
+	for seed := uint64(1); seed <= 24; seed++ {
+		p, err := progen.Generate(seed*104729, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range cfgs {
+			checkEngineEquivalence(t, p.Func, cfg, schedOpts[int(seed)%len(schedOpts)])
+		}
+	}
+}
+
+// TestEngineEquivalenceReset checks that a pooled (Reset) machine behaves
+// exactly like a fresh one, on both engines.
+func TestEngineEquivalenceReset(t *testing.T) {
+	p, err := progen.Generate(31337, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &machine.Vector2x4
+	fs, err := sched.ScheduleOpts(p.Func, cfg, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, interp := range []bool{false, true} {
+		m := New(fs, mem.NewHierarchy(cfg))
+		m.interp = interp
+		first, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Reset()
+		second, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, second) {
+			t.Errorf("interp=%v: results differ after Reset:\nfirst:  %+v\nsecond: %+v",
+				interp, first, second)
+		}
+	}
+}
+
+// FuzzEngineEquivalence drives the differential engine harness from the
+// fuzzer: each input seeds progen and the two engines must agree on every
+// observable. `make ci` runs this as a short smoke; longer runs explore
+// new program shapes.
+func FuzzEngineEquivalence(f *testing.F) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		f.Add(seed, uint(60))
+	}
+	cfgs := []*machine.Config{&machine.Vector1x2, &machine.Vector2x2, &machine.Vector2x4}
+	schedOpts := []sched.Options{
+		{},
+		{NoChaining: true},
+		{OverlapDrain: true, SoftwarePipeline: true},
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, nops uint) {
+		n := int(nops%120) + 10
+		p, err := progen.Generate(seed, n)
+		if err != nil {
+			t.Skip()
+		}
+		cfg := cfgs[int(seed>>8)%len(cfgs)]
+		checkEngineEquivalence(t, p.Func, cfg, schedOpts[int(seed>>16)%len(schedOpts)])
+	})
+}

@@ -249,14 +249,6 @@ func (m *Machine) execOp(op *ir.Op, os *sched.OpSched) (stall int64, branch int,
 	branch = -1
 	m.count(op)
 
-	// Second ALU source: immediate or register.
-	src2 := func() uint64 {
-		if op.UseImm {
-			return uint64(op.Imm)
-		}
-		return m.geti(op.Src[1])
-	}
-
 	switch op.Opcode {
 	case isa.MOVI:
 		m.seti(op.Dst[0], uint64(op.Imm))
@@ -265,7 +257,12 @@ func (m *Machine) execOp(op *ir.Op, os *sched.OpSched) (stall int64, branch int,
 	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.AND, isa.OR, isa.XOR,
 		isa.SHL, isa.SHR, isa.SRA, isa.CMPEQ, isa.CMPNE, isa.CMPLT,
 		isa.CMPLE, isa.CMPLTU:
-		v, e := aluEval(op.Opcode, m.geti(op.Src[0]), src2())
+		// Second ALU source: immediate or register.
+		src2 := uint64(op.Imm)
+		if !op.UseImm {
+			src2 = m.geti(op.Src[1])
+		}
+		v, e := aluEval(op.Opcode, m.geti(op.Src[0]), src2)
 		if e != nil {
 			return 0, -1, false, e
 		}

@@ -1,0 +1,705 @@
+package sim
+
+import (
+	"fmt"
+
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/sched"
+	"vsimdvliw/internal/simd"
+)
+
+// Pre-decoded execution engine. At compile time every scheduled basic
+// block is lowered into a flat slice of specialized executor closures —
+// one per operation, with opcode, width, immediate, register indices and
+// the vector→packed opcode mapping all resolved once — so the per-
+// execution inner loop is a plain `for _, ex := range code { ex(m) }`
+// with no dispatch switch (threaded code, in the classic interpreter
+// sense). The original interpreter (exec.go) is retained unchanged as the
+// reference engine: the differential tests and the engine-equivalence
+// fuzzer prove the two agree on registers, memory, cycles and stall
+// breakdowns.
+//
+// Executors communicate control flow through machine fields (branchTo,
+// haltFl, stallAcc) instead of multi-value returns, keeping the closure
+// signature to one pointer argument. Closures capture only compile-time
+// state (indices, immediates, resolved functions) plus the op/schedule
+// pointers needed for stall attribution, never machine state — the same
+// lowered code is shared by any number of concurrent machines.
+
+// execFn is one pre-decoded executor. It runs one operation against m.
+type execFn func(m *Machine) error
+
+// blockCode is the lowered form of one scheduled basic block.
+type blockCode struct {
+	code []execFn
+	// opIdx maps each entry to its index in Block.Ops, or -1 for region
+	// markers (whose errors the interpreter reports without op context).
+	opIdx []int32
+	// head is the number of leading region-marker entries before the
+	// first real operation: the block's accounting region is sampled
+	// after they run, exactly as the interpreter freezes it.
+	head int
+}
+
+// Predecode lowers every block of fs, memoizing the code on the schedule
+// so concurrent machines share it. core.Compile calls it so programs pay
+// the lowering cost once at compile time; Machine.Run falls back to it
+// lazily for schedules built directly against internal/sched. It fails
+// loudly if any opcode lacks an executor — there is no silent
+// interpretation fallback.
+func Predecode(fs *sched.FuncSched) error {
+	_, err := predecoded(fs)
+	return err
+}
+
+func predecoded(fs *sched.FuncSched) ([]*blockCode, error) {
+	out := make([]*blockCode, len(fs.Blocks))
+	for i, bs := range fs.Blocks {
+		c, err := bs.Code(compileBlock)
+		if err != nil {
+			return nil, fmt.Errorf("sim: predecode %s B%d: %w", fs.Func.Name, bs.Block.ID, err)
+		}
+		out[i] = c.(*blockCode)
+	}
+	return out, nil
+}
+
+// compileBlock lowers one block. NOPs vanish; region markers become tiny
+// stack executors; every other operation becomes a specialized closure.
+func compileBlock(bs *sched.BlockSched) (any, error) {
+	bc := &blockCode{}
+	leading := true
+	for i := range bs.Block.Ops {
+		op := &bs.Block.Ops[i]
+		switch op.Opcode {
+		case isa.NOP:
+			continue
+		case isa.REGBEGIN:
+			id := int(op.Imm)
+			bc.code = append(bc.code, func(m *Machine) error {
+				m.regionStack = append(m.regionStack, id)
+				return nil
+			})
+			bc.opIdx = append(bc.opIdx, -1)
+			if leading {
+				bc.head = len(bc.code)
+			}
+			continue
+		case isa.REGEND:
+			id := int(op.Imm)
+			bc.code = append(bc.code, func(m *Machine) error {
+				if len(m.regionStack) == 1 {
+					return fmt.Errorf("unmatched region end (id %d)", id)
+				}
+				if top := m.region(); top != id {
+					return fmt.Errorf("region end %d does not match open region %d", id, top)
+				}
+				m.regionStack = m.regionStack[:len(m.regionStack)-1]
+				return nil
+			})
+			bc.opIdx = append(bc.opIdx, -1)
+			if leading {
+				bc.head = len(bc.code)
+			}
+			continue
+		}
+		leading = false
+		ex, err := compileOp(op, &bs.Ops[i])
+		if err != nil {
+			return nil, fmt.Errorf("op %d (%s): %w", i, op, err)
+		}
+		bc.code = append(bc.code, ex)
+		bc.opIdx = append(bc.opIdx, int32(i))
+	}
+	return bc, nil
+}
+
+// microParts splits microOps into compile-time factors: a dynamic
+// operation executes base + perVL*vl micro-operations.
+func microParts(op *ir.Op) (base, perVL int64) {
+	in := op.Info()
+	perWord := int64(1)
+	if op.Width != 0 {
+		perWord = int64(op.Width.Lanes())
+	} else if in.Unit == isa.UnitSIMD || in.Unit == isa.UnitVector {
+		switch op.Opcode {
+		case isa.PAND, isa.POR, isa.PXOR, isa.PANDN,
+			isa.VAND, isa.VOR, isa.VXOR, isa.VANDN:
+			perWord = 8
+		}
+	}
+	if in.Vector {
+		if op.Opcode.IsVectorMem() {
+			return 0, 1
+		}
+		return 0, perWord
+	}
+	if in.Unit == isa.UnitSIMD {
+		return perWord, 0
+	}
+	return 1, 0
+}
+
+// countN records an executed operation with a known micro-op count.
+func (m *Machine) countN(micro int64) {
+	m.res.Ops++
+	m.res.MicroOps += micro
+	rs := &m.res.Regions[m.region()]
+	rs.Ops++
+	rs.MicroOps += micro
+}
+
+// aluFn resolves a non-trapping scalar ALU opcode to a direct function
+// (DIV, which can fault, is lowered separately).
+func aluFn(op isa.Opcode) func(a, b uint64) uint64 {
+	switch op {
+	case isa.ADD:
+		return func(a, b uint64) uint64 { return a + b }
+	case isa.SUB:
+		return func(a, b uint64) uint64 { return a - b }
+	case isa.MUL:
+		return func(a, b uint64) uint64 { return uint64(int64(a) * int64(b)) }
+	case isa.AND:
+		return func(a, b uint64) uint64 { return a & b }
+	case isa.OR:
+		return func(a, b uint64) uint64 { return a | b }
+	case isa.XOR:
+		return func(a, b uint64) uint64 { return a ^ b }
+	case isa.SHL:
+		return func(a, b uint64) uint64 { return a << (b & 63) }
+	case isa.SHR:
+		return func(a, b uint64) uint64 { return a >> (b & 63) }
+	case isa.SRA:
+		return func(a, b uint64) uint64 { return uint64(int64(a) >> (b & 63)) }
+	case isa.CMPEQ:
+		return func(a, b uint64) uint64 { return boolTo(a == b) }
+	case isa.CMPNE:
+		return func(a, b uint64) uint64 { return boolTo(a != b) }
+	case isa.CMPLT:
+		return func(a, b uint64) uint64 { return boolTo(int64(a) < int64(b)) }
+	case isa.CMPLE:
+		return func(a, b uint64) uint64 { return boolTo(int64(a) <= int64(b)) }
+	case isa.CMPLTU:
+		return func(a, b uint64) uint64 { return boolTo(a < b) }
+	}
+	return nil
+}
+
+// packedFn resolves a two-source packed opcode and width to a direct
+// word-level function, hoisting the interpreter's packedEval dispatch to
+// compile time. It returns nil for opcodes that are not two-source packed
+// computes.
+func packedFn(op isa.Opcode, w simd.Width) func(a, b uint64) uint64 {
+	switch op {
+	case isa.PADD:
+		return func(a, b uint64) uint64 { return simd.Add(a, b, w) }
+	case isa.PSUB:
+		return func(a, b uint64) uint64 { return simd.Sub(a, b, w) }
+	case isa.PADDS:
+		return func(a, b uint64) uint64 { return simd.AddS(a, b, w) }
+	case isa.PSUBS:
+		return func(a, b uint64) uint64 { return simd.SubS(a, b, w) }
+	case isa.PADDU:
+		return func(a, b uint64) uint64 { return simd.AddU(a, b, w) }
+	case isa.PSUBU:
+		return func(a, b uint64) uint64 { return simd.SubU(a, b, w) }
+	case isa.PMULL:
+		return func(a, b uint64) uint64 { return simd.MulLo(a, b, w) }
+	case isa.PMULH:
+		return func(a, b uint64) uint64 { return simd.MulHi(a, b, w) }
+	case isa.PMADD:
+		return func(a, b uint64) uint64 { return simd.MAdd(a, b) }
+	case isa.PAVG:
+		return func(a, b uint64) uint64 { return simd.AvgU(a, b, w) }
+	case isa.PMINU:
+		return func(a, b uint64) uint64 { return simd.MinU(a, b, w) }
+	case isa.PMAXU:
+		return func(a, b uint64) uint64 { return simd.MaxU(a, b, w) }
+	case isa.PMINS:
+		return func(a, b uint64) uint64 { return simd.MinS(a, b, w) }
+	case isa.PMAXS:
+		return func(a, b uint64) uint64 { return simd.MaxS(a, b, w) }
+	case isa.PABSD:
+		return func(a, b uint64) uint64 { return simd.AbsDiffU(a, b, w) }
+	case isa.PSAD:
+		return func(a, b uint64) uint64 { return simd.SAD(a, b) }
+	case isa.PAND:
+		return func(a, b uint64) uint64 { return simd.And(a, b) }
+	case isa.POR:
+		return func(a, b uint64) uint64 { return simd.Or(a, b) }
+	case isa.PXOR:
+		return func(a, b uint64) uint64 { return simd.Xor(a, b) }
+	case isa.PANDN:
+		return func(a, b uint64) uint64 { return simd.AndNot(a, b) }
+	case isa.PCMPEQ:
+		return func(a, b uint64) uint64 { return simd.CmpEq(a, b, w) }
+	case isa.PCMPGT:
+		return func(a, b uint64) uint64 { return simd.CmpGtS(a, b, w) }
+	case isa.PACKSS:
+		return func(a, b uint64) uint64 { return simd.PackSS(a, b, w) }
+	case isa.PACKUS:
+		return func(a, b uint64) uint64 { return simd.PackUS(a, b, w) }
+	case isa.PUNPCKL:
+		return func(a, b uint64) uint64 { return simd.UnpackLo(a, b, w) }
+	case isa.PUNPCKH:
+		return func(a, b uint64) uint64 { return simd.UnpackHi(a, b, w) }
+	}
+	return nil
+}
+
+// shiftFn resolves an immediate packed shift (opcode, width, amount) to a
+// direct word-level function.
+func shiftFn(op isa.Opcode, w simd.Width, imm uint) func(a uint64) uint64 {
+	switch op {
+	case isa.PSLL:
+		return func(a uint64) uint64 { return simd.ShlI(a, w, imm) }
+	case isa.PSRL:
+		return func(a uint64) uint64 { return simd.ShrI(a, w, imm) }
+	case isa.PSRA:
+		return func(a uint64) uint64 { return simd.SraI(a, w, imm) }
+	}
+	return nil
+}
+
+// compileOp lowers one real (non-pseudo) operation into its executor.
+// Every opcode the interpreter implements must be lowered here — the
+// coverage test asserts there is no gap.
+func compileOp(op *ir.Op, os *sched.OpSched) (execFn, error) {
+	switch op.Opcode {
+	case isa.MOVI:
+		d, imm := op.Dst[0].ID, uint64(op.Imm)
+		return func(m *Machine) error {
+			m.countN(1)
+			m.intRegs[d] = imm
+			return nil
+		}, nil
+	case isa.MOV:
+		d, s0 := op.Dst[0].ID, op.Src[0].ID
+		return func(m *Machine) error {
+			m.countN(1)
+			m.intRegs[d] = m.intRegs[s0]
+			return nil
+		}, nil
+
+	case isa.ADD, isa.SUB, isa.MUL, isa.AND, isa.OR, isa.XOR,
+		isa.SHL, isa.SHR, isa.SRA, isa.CMPEQ, isa.CMPNE, isa.CMPLT,
+		isa.CMPLE, isa.CMPLTU:
+		f := aluFn(op.Opcode)
+		d, s0 := op.Dst[0].ID, op.Src[0].ID
+		if op.UseImm {
+			imm := uint64(op.Imm)
+			return func(m *Machine) error {
+				m.countN(1)
+				m.intRegs[d] = f(m.intRegs[s0], imm)
+				return nil
+			}, nil
+		}
+		s1 := op.Src[1].ID
+		return func(m *Machine) error {
+			m.countN(1)
+			m.intRegs[d] = f(m.intRegs[s0], m.intRegs[s1])
+			return nil
+		}, nil
+	case isa.DIV:
+		d, s0 := op.Dst[0].ID, op.Src[0].ID
+		if op.UseImm {
+			imm := int64(op.Imm)
+			return func(m *Machine) error {
+				m.countN(1)
+				if imm == 0 {
+					return fmt.Errorf("division by zero")
+				}
+				m.intRegs[d] = uint64(int64(m.intRegs[s0]) / imm)
+				return nil
+			}, nil
+		}
+		s1 := op.Src[1].ID
+		return func(m *Machine) error {
+			m.countN(1)
+			b := int64(m.intRegs[s1])
+			if b == 0 {
+				return fmt.Errorf("division by zero")
+			}
+			m.intRegs[d] = uint64(int64(m.intRegs[s0]) / b)
+			return nil
+		}, nil
+	case isa.SELECT:
+		d, c, a, b := op.Dst[0].ID, op.Src[0].ID, op.Src[1].ID, op.Src[2].ID
+		return func(m *Machine) error {
+			m.countN(1)
+			if m.intRegs[c] != 0 {
+				m.intRegs[d] = m.intRegs[a]
+			} else {
+				m.intRegs[d] = m.intRegs[b]
+			}
+			return nil
+		}, nil
+
+	case isa.LDB, isa.LDBU, isa.LDH, isa.LDHU, isa.LDW, isa.LDWU, isa.LDD:
+		size := isa.AccessBytes(op.Opcode)
+		signed := isa.LoadSigned(op.Opcode)
+		d, base, imm := op.Dst[0].ID, op.Src[0].ID, op.Imm
+		opp, oss := op, os
+		return func(m *Machine) error {
+			m.countN(1)
+			addr := int64(m.intRegs[base]) + imm
+			v, e := m.loadWord(addr, size)
+			if e != nil {
+				return e
+			}
+			if signed {
+				v = signExtend(v, size)
+			}
+			m.intRegs[d] = v
+			m.stallAcc += m.memStall(opp, oss, m.model.ScalarAccess(addr, size, false))
+			return nil
+		}, nil
+	case isa.STB, isa.STH, isa.STW, isa.STD:
+		size := isa.AccessBytes(op.Opcode)
+		val, base, imm := op.Src[0].ID, op.Src[1].ID, op.Imm
+		opp, oss := op, os
+		return func(m *Machine) error {
+			m.countN(1)
+			addr := int64(m.intRegs[base]) + imm
+			if e := m.storeWord(addr, size, m.intRegs[val]); e != nil {
+				return e
+			}
+			m.stallAcc += m.memStall(opp, oss, m.model.ScalarAccess(addr, size, true))
+			return nil
+		}, nil
+
+	case isa.BEQ:
+		a, b, t := op.Src[0].ID, op.Src[1].ID, op.Target
+		return func(m *Machine) error {
+			m.countN(1)
+			if m.intRegs[a] == m.intRegs[b] {
+				m.branchTo = t
+			}
+			return nil
+		}, nil
+	case isa.BNE:
+		a, b, t := op.Src[0].ID, op.Src[1].ID, op.Target
+		return func(m *Machine) error {
+			m.countN(1)
+			if m.intRegs[a] != m.intRegs[b] {
+				m.branchTo = t
+			}
+			return nil
+		}, nil
+	case isa.BLT:
+		a, b, t := op.Src[0].ID, op.Src[1].ID, op.Target
+		return func(m *Machine) error {
+			m.countN(1)
+			if int64(m.intRegs[a]) < int64(m.intRegs[b]) {
+				m.branchTo = t
+			}
+			return nil
+		}, nil
+	case isa.BGE:
+		a, b, t := op.Src[0].ID, op.Src[1].ID, op.Target
+		return func(m *Machine) error {
+			m.countN(1)
+			if int64(m.intRegs[a]) >= int64(m.intRegs[b]) {
+				m.branchTo = t
+			}
+			return nil
+		}, nil
+	case isa.JMP:
+		t := op.Target
+		return func(m *Machine) error {
+			m.countN(1)
+			m.branchTo = t
+			return nil
+		}, nil
+	case isa.HALT:
+		return func(m *Machine) error {
+			m.countN(1)
+			m.haltFl = true
+			return nil
+		}, nil
+
+	case isa.LDM:
+		d, base, imm := op.Dst[0].ID, op.Src[0].ID, op.Imm
+		opp, oss := op, os
+		return func(m *Machine) error {
+			m.countN(1)
+			addr := int64(m.intRegs[base]) + imm
+			v, e := m.loadWord(addr, 8)
+			if e != nil {
+				return e
+			}
+			m.simdRegs[d] = v
+			m.stallAcc += m.memStall(opp, oss, m.model.ScalarAccess(addr, 8, false))
+			return nil
+		}, nil
+	case isa.STM:
+		val, base, imm := op.Src[0].ID, op.Src[1].ID, op.Imm
+		opp, oss := op, os
+		return func(m *Machine) error {
+			m.countN(1)
+			addr := int64(m.intRegs[base]) + imm
+			if e := m.storeWord(addr, 8, m.simdRegs[val]); e != nil {
+				return e
+			}
+			m.stallAcc += m.memStall(opp, oss, m.model.ScalarAccess(addr, 8, true))
+			return nil
+		}, nil
+	case isa.MOVIM:
+		d, imm := op.Dst[0].ID, uint64(op.Imm)
+		micro, _ := microParts(op)
+		return func(m *Machine) error {
+			m.countN(micro)
+			m.simdRegs[d] = imm
+			return nil
+		}, nil
+	case isa.MOVRM:
+		d, s0 := op.Dst[0].ID, op.Src[0].ID
+		micro, _ := microParts(op)
+		return func(m *Machine) error {
+			m.countN(micro)
+			m.simdRegs[d] = m.intRegs[s0]
+			return nil
+		}, nil
+	case isa.MOVMR:
+		d, s0 := op.Dst[0].ID, op.Src[0].ID
+		micro, _ := microParts(op)
+		return func(m *Machine) error {
+			m.countN(micro)
+			m.intRegs[d] = m.simdRegs[s0]
+			return nil
+		}, nil
+	case isa.PSPLAT:
+		d, s0, w := op.Dst[0].ID, op.Src[0].ID, op.Width
+		micro, _ := microParts(op)
+		return func(m *Machine) error {
+			m.countN(micro)
+			m.simdRegs[d] = simd.Splat(m.intRegs[s0], w)
+			return nil
+		}, nil
+
+	case isa.PSLL, isa.PSRL, isa.PSRA:
+		f := shiftFn(op.Opcode, op.Width, uint(op.Imm))
+		d, s0 := op.Dst[0].ID, op.Src[0].ID
+		micro, _ := microParts(op)
+		return func(m *Machine) error {
+			m.countN(micro)
+			m.simdRegs[d] = f(m.simdRegs[s0])
+			return nil
+		}, nil
+	case isa.PADD, isa.PSUB, isa.PADDS, isa.PSUBS, isa.PADDU, isa.PSUBU,
+		isa.PMULL, isa.PMULH, isa.PMADD, isa.PAVG, isa.PMINU, isa.PMAXU,
+		isa.PMINS, isa.PMAXS, isa.PABSD, isa.PSAD, isa.PAND, isa.POR,
+		isa.PXOR, isa.PANDN, isa.PCMPEQ, isa.PCMPGT, isa.PACKSS,
+		isa.PACKUS, isa.PUNPCKL, isa.PUNPCKH:
+		f := packedFn(op.Opcode, op.Width)
+		d, s0, s1 := op.Dst[0].ID, op.Src[0].ID, op.Src[1].ID
+		micro, _ := microParts(op)
+		return func(m *Machine) error {
+			m.countN(micro)
+			m.simdRegs[d] = f(m.simdRegs[s0], m.simdRegs[s1])
+			return nil
+		}, nil
+
+	case isa.SETVL:
+		if op.UseImm {
+			v := op.Imm
+			return func(m *Machine) error {
+				m.countN(1)
+				if v < 1 || v > isa.MaxVL {
+					return fmt.Errorf("SETVL %d out of range", v)
+				}
+				m.vl = int(v)
+				return nil
+			}, nil
+		}
+		s0 := op.Src[0].ID
+		return func(m *Machine) error {
+			m.countN(1)
+			v := int64(m.intRegs[s0])
+			if v < 1 || v > isa.MaxVL {
+				return fmt.Errorf("SETVL %d out of range", v)
+			}
+			m.vl = int(v)
+			return nil
+		}, nil
+	case isa.SETVS:
+		if op.UseImm {
+			v := op.Imm
+			return func(m *Machine) error {
+				m.countN(1)
+				m.vs = v
+				return nil
+			}, nil
+		}
+		s0 := op.Src[0].ID
+		return func(m *Machine) error {
+			m.countN(1)
+			m.vs = int64(m.intRegs[s0])
+			return nil
+		}, nil
+
+	case isa.VLD:
+		d, base, imm := op.Dst[0].ID, op.Src[0].ID, op.Imm
+		opp, oss := op, os
+		return func(m *Machine) error {
+			m.countN(int64(m.vl))
+			b := int64(m.intRegs[base]) + imm
+			vec := &m.vecRegs[d]
+			for i := 0; i < m.vl; i++ {
+				v, e := m.loadWord(b+int64(i)*m.vs, 8)
+				if e != nil {
+					return e
+				}
+				vec[i] = v
+			}
+			m.stallAcc += m.memStall(opp, oss, m.model.VectorAccess(b, m.vs, m.vl, false))
+			return nil
+		}, nil
+	case isa.VST:
+		val, base, imm := op.Src[0].ID, op.Src[1].ID, op.Imm
+		opp, oss := op, os
+		return func(m *Machine) error {
+			m.countN(int64(m.vl))
+			b := int64(m.intRegs[base]) + imm
+			vec := &m.vecRegs[val]
+			for i := 0; i < m.vl; i++ {
+				if e := m.storeWord(b+int64(i)*m.vs, 8, vec[i]); e != nil {
+					return e
+				}
+			}
+			m.stallAcc += m.memStall(opp, oss, m.model.VectorAccess(b, m.vs, m.vl, true))
+			return nil
+		}, nil
+	case isa.VMOV:
+		d, s0 := op.Dst[0].ID, op.Src[0].ID
+		_, perVL := microParts(op)
+		return func(m *Machine) error {
+			m.countN(perVL * int64(m.vl))
+			src, dst := &m.vecRegs[s0], &m.vecRegs[d]
+			for i := 0; i < m.vl; i++ {
+				dst[i] = src[i]
+			}
+			return nil
+		}, nil
+	case isa.VSPLAT:
+		d, s0 := op.Dst[0].ID, op.Src[0].ID
+		_, perVL := microParts(op)
+		return func(m *Machine) error {
+			m.countN(perVL * int64(m.vl))
+			v := m.intRegs[s0]
+			dst := &m.vecRegs[d]
+			for i := 0; i < m.vl; i++ {
+				dst[i] = v
+			}
+			return nil
+		}, nil
+
+	case isa.VSLL, isa.VSRL, isa.VSRA:
+		f := shiftFn(vecBase(op.Opcode), op.Width, uint(op.Imm))
+		d, s0 := op.Dst[0].ID, op.Src[0].ID
+		_, perVL := microParts(op)
+		return func(m *Machine) error {
+			m.countN(perVL * int64(m.vl))
+			src, dst := &m.vecRegs[s0], &m.vecRegs[d]
+			for i := 0; i < m.vl; i++ {
+				dst[i] = f(src[i])
+			}
+			return nil
+		}, nil
+	case isa.VADD, isa.VSUB, isa.VADDS, isa.VSUBS, isa.VADDU, isa.VSUBU,
+		isa.VMULL, isa.VMULH, isa.VMADD, isa.VAVG, isa.VMINU, isa.VMAXU,
+		isa.VMINS, isa.VMAXS, isa.VABSD, isa.VAND, isa.VOR, isa.VXOR,
+		isa.VANDN, isa.VCMPEQ, isa.VCMPGT, isa.VPACKSS, isa.VPACKUS,
+		isa.VUNPCKL, isa.VUNPCKH:
+		f := packedFn(vecBase(op.Opcode), op.Width)
+		d, s0, s1 := op.Dst[0].ID, op.Src[0].ID, op.Src[1].ID
+		_, perVL := microParts(op)
+		return func(m *Machine) error {
+			m.countN(perVL * int64(m.vl))
+			a, b, dst := &m.vecRegs[s0], &m.vecRegs[s1], &m.vecRegs[d]
+			for i := 0; i < m.vl; i++ {
+				dst[i] = f(a[i], b[i])
+			}
+			return nil
+		}, nil
+	case isa.VEXTR:
+		d, s0, imm := op.Dst[0].ID, op.Src[0].ID, op.Imm
+		return func(m *Machine) error {
+			m.countN(1)
+			if imm < 0 || imm >= isa.MaxVL {
+				return fmt.Errorf("VEXTR index %d out of range", imm)
+			}
+			m.intRegs[d] = m.vecRegs[s0][imm]
+			return nil
+		}, nil
+	case isa.VINS:
+		d, s0, s1, imm := op.Dst[0].ID, op.Src[0].ID, op.Src[1].ID, op.Imm
+		return func(m *Machine) error {
+			m.countN(1)
+			if imm < 0 || imm >= isa.MaxVL {
+				return fmt.Errorf("VINS index %d out of range", imm)
+			}
+			v := m.vecRegs[s1]
+			v[imm] = m.intRegs[s0]
+			m.vecRegs[d] = v
+			return nil
+		}, nil
+
+	case isa.ACLR:
+		d := op.Dst[0].ID
+		return func(m *Machine) error {
+			m.countN(1)
+			m.accRegs[d].Clear()
+			return nil
+		}, nil
+	case isa.VSADA:
+		d, s0, s1 := op.Dst[0].ID, op.Src[0].ID, op.Src[1].ID
+		_, perVL := microParts(op)
+		return func(m *Machine) error {
+			m.countN(perVL * int64(m.vl))
+			a, b, acc := &m.vecRegs[s0], &m.vecRegs[s1], &m.accRegs[d]
+			for i := 0; i < m.vl; i++ {
+				acc.SADB(a[i], b[i])
+			}
+			return nil
+		}, nil
+	case isa.VMACA:
+		d, s0, s1 := op.Dst[0].ID, op.Src[0].ID, op.Src[1].ID
+		_, perVL := microParts(op)
+		return func(m *Machine) error {
+			m.countN(perVL * int64(m.vl))
+			a, b, acc := &m.vecRegs[s0], &m.vecRegs[s1], &m.accRegs[d]
+			for i := 0; i < m.vl; i++ {
+				acc.MACW(a[i], b[i])
+			}
+			return nil
+		}, nil
+	case isa.VACCW:
+		d, s0 := op.Dst[0].ID, op.Src[0].ID
+		_, perVL := microParts(op)
+		return func(m *Machine) error {
+			m.countN(perVL * int64(m.vl))
+			a, acc := &m.vecRegs[s0], &m.accRegs[d]
+			for i := 0; i < m.vl; i++ {
+				acc.ACCW(a[i])
+			}
+			return nil
+		}, nil
+	case isa.VSUM:
+		d, s0, w := op.Dst[0].ID, op.Src[0].ID, op.Width
+		return func(m *Machine) error {
+			m.countN(1)
+			m.intRegs[d] = uint64(m.accRegs[s0].Sum(w))
+			return nil
+		}, nil
+	case isa.APACK:
+		d, s0, imm := op.Dst[0].ID, op.Src[0].ID, uint(op.Imm)
+		return func(m *Machine) error {
+			m.countN(1)
+			m.intRegs[d] = m.accRegs[s0].Pack(imm)
+			return nil
+		}, nil
+	}
+	return nil, fmt.Errorf("no pre-decoded executor for opcode %s", op.Opcode.Name())
+}

@@ -129,8 +129,19 @@ type Machine struct {
 	curBlock      int
 	// opHook, when non-nil, observes every operation reached by execBlock
 	// (including pseudo-ops) before it executes. Tests use it to measure
-	// opcode coverage.
+	// opcode coverage. Setting it forces the interpreter engine, which is
+	// the only one that still walks pseudo-ops at run time.
 	opHook func(*ir.Op)
+	// code holds the pre-decoded executor sequences (one per block) when
+	// the machine runs on the fast engine; interp forces the reference
+	// interpreter instead. The engine-equivalence tests exercise both.
+	code   []*blockCode
+	interp bool
+	// branchTo/haltFl/stallAcc carry control flow and stall accumulation
+	// out of pre-decoded executors within one block execution.
+	branchTo int
+	haltFl   bool
+	stallAcc int64
 	// MaxCycles aborts runaway simulations (default 4e9).
 	MaxCycles int64
 	// Trace, when non-nil, receives one line per executed basic block:
@@ -181,8 +192,18 @@ func (m *Machine) ReadBytes(addr, n int64) ([]byte, error) {
 	return out, nil
 }
 
-// Run executes the program to completion and returns the statistics.
+// Run executes the program to completion and returns the statistics. It
+// runs on the pre-decoded engine (lowering the schedule on first use if
+// core.Compile has not already) unless an opHook or the interpreter flag
+// demands the reference interpreter.
 func (m *Machine) Run() (*Result, error) {
+	if m.code == nil && !m.interp && m.opHook == nil {
+		code, err := predecoded(m.fs)
+		if err != nil {
+			return nil, err
+		}
+		m.code = code
+	}
 	blocks := m.fs.Blocks
 	pc := 0
 	prev := -1
@@ -193,7 +214,16 @@ func (m *Machine) Run() (*Result, error) {
 		bs := blocks[pc]
 		m.pipelined = bs.II > 0 && pc == prev
 		prev = pc
-		next, halted, err := m.execBlock(bs)
+		var (
+			next   int
+			halted bool
+			err    error
+		)
+		if m.code != nil && m.opHook == nil {
+			next, halted, err = m.execBlockCode(bs, m.code[pc])
+		} else {
+			next, halted, err = m.execBlock(bs)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("sim: %s B%d: %w", m.fs.Func.Name, pc, err)
 		}
@@ -306,6 +336,15 @@ func (m *Machine) execBlock(bs *sched.BlockSched) (next int, halted bool, err er
 		}
 	}
 
+	m.finishBlock(bs, blockRegion, stalls)
+	return next, halted, nil
+}
+
+// finishBlock charges one executed block: its scheduled length (II when
+// pipelined) plus the run-time stalls accumulated during it, attributed to
+// the block's accounting region. Both engines share it, so the cycle
+// accounting is identical by construction.
+func (m *Machine) finishBlock(bs *sched.BlockSched, blockRegion int, stalls int64) {
 	length := int64(bs.Length)
 	if m.pipelined {
 		// Software-pipelined steady state: back-to-back iterations of a
@@ -337,7 +376,69 @@ func (m *Machine) execBlock(bs *sched.BlockSched) (next int, halted bool, err er
 			Pipelined: m.pipelined,
 		})
 	}
-	return next, halted, nil
+}
+
+// execBlockCode executes one block on the pre-decoded engine: a flat walk
+// over specialized executors with no opcode dispatch. Semantics match
+// execBlock exactly — the region a block's cycles belong to is sampled
+// after the leading markers (bc.head), the last taken branch wins, and
+// HALT is sticky.
+func (m *Machine) execBlockCode(bs *sched.BlockSched, bc *blockCode) (next int, halted bool, err error) {
+	m.curBlock = bs.Block.ID
+	m.branchTo = -1
+	m.haltFl = false
+	m.stallAcc = 0
+	if err := m.runCode(bs, bc, 0, bc.head); err != nil {
+		return 0, false, err
+	}
+	blockRegion := m.region()
+	if err := m.runCode(bs, bc, bc.head, len(bc.code)); err != nil {
+		return 0, false, err
+	}
+	m.finishBlock(bs, blockRegion, m.stallAcc)
+	return m.branchTo, m.haltFl, nil
+}
+
+// runCode is the pre-decoded inner loop over entries [lo, hi).
+func (m *Machine) runCode(bs *sched.BlockSched, bc *blockCode, lo, hi int) error {
+	code := bc.code
+	for i := lo; i < hi; i++ {
+		if err := code[i](m); err != nil {
+			if j := bc.opIdx[i]; j >= 0 {
+				return fmt.Errorf("op %d (%s): %w", j, &bs.Block.Ops[j], err)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Reset returns the machine to its freshly constructed state — registers,
+// vector state, data memory, accounting and the memory model — while
+// keeping every allocation and the pre-decoded code. core.Program uses it
+// to recycle machines across runs instead of reallocating per run.
+func (m *Machine) Reset() {
+	clear(m.intRegs)
+	clear(m.simdRegs)
+	clear(m.vecRegs)
+	clear(m.accRegs)
+	m.vl = isa.MaxVL
+	m.vs = 8
+	clear(m.memory)
+	for _, chunk := range m.fs.Func.DataInit {
+		copy(m.memory[chunk.Addr:], chunk.Bytes)
+	}
+	m.regionStack = m.regionStack[:1]
+	m.regionStack[0] = 0
+	m.pipelined = false
+	m.res = Result{}
+	clear(m.blockRuns)
+	clear(m.blockPipeRuns)
+	m.curBlock = 0
+	m.branchTo = 0
+	m.haltFl = false
+	m.stallAcc = 0
+	m.model.Reset()
 }
 
 // count records an executed operation and its micro-operations.

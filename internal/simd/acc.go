@@ -38,9 +38,10 @@ func (a *Acc) Clear() { a.Lanes = [8]int64{} }
 // lane[i] += |x.b[i] - y.b[i]|. This is the element step of the vector SAD
 // operation used by the motion-estimation kernel.
 func (a *Acc) SADB(x, y uint64) {
-	d := SADLanes(x, y)
+	// One branchless SWAR abs-diff over the word, then peel the byte lanes.
+	d := AbsDiffU(x, y, W8)
 	for i := 0; i < 8; i++ {
-		a.Lanes[i] = wrap(a.Lanes[i]+int64(d[i]), 24)
+		a.Lanes[i] = wrap(a.Lanes[i]+int64(d>>(8*uint(i))&0xFF), 24)
 	}
 }
 

@@ -1,0 +1,162 @@
+package simd
+
+// Reference (oracle) implementations of the packed operations that the
+// exported entry points implement with branchless SWAR arithmetic. Each
+// ref* function is the original per-lane loop, written against getU/getS/
+// put only, so it is obviously correct by inspection. The property tests
+// (swar_test.go) cross-check every SWAR kernel against its reference over
+// seeded random inputs, all widths and the known saturation edge vectors;
+// the reference is deliberately kept no matter how slow it is.
+
+// refAdd is the lane-loop oracle for Add.
+func refAdd(a, b uint64, w Width) uint64 {
+	return mapLanes(a, b, w, func(x, y uint64) uint64 { return x + y })
+}
+
+// refSub is the lane-loop oracle for Sub.
+func refSub(a, b uint64, w Width) uint64 {
+	return mapLanes(a, b, w, func(x, y uint64) uint64 { return x - y })
+}
+
+// refAddS is the lane-loop oracle for AddS.
+func refAddS(a, b uint64, w Width) uint64 {
+	return mapLanesS(a, b, w, func(x, y int64) int64 { return satS(x+y, w) })
+}
+
+// refSubS is the lane-loop oracle for SubS.
+func refSubS(a, b uint64, w Width) uint64 {
+	return mapLanesS(a, b, w, func(x, y int64) int64 { return satS(x-y, w) })
+}
+
+// refAddU is the lane-loop oracle for AddU.
+func refAddU(a, b uint64, w Width) uint64 {
+	return mapLanes(a, b, w, func(x, y uint64) uint64 { return satU(int64(x)+int64(y), w) })
+}
+
+// refSubU is the lane-loop oracle for SubU.
+func refSubU(a, b uint64, w Width) uint64 {
+	return mapLanes(a, b, w, func(x, y uint64) uint64 { return satU(int64(x)-int64(y), w) })
+}
+
+// refAvgU is the lane-loop oracle for AvgU.
+func refAvgU(a, b uint64, w Width) uint64 {
+	return mapLanes(a, b, w, func(x, y uint64) uint64 { return (x + y + 1) >> 1 })
+}
+
+// refMinU is the lane-loop oracle for MinU.
+func refMinU(a, b uint64, w Width) uint64 {
+	return mapLanes(a, b, w, func(x, y uint64) uint64 {
+		if x < y {
+			return x
+		}
+		return y
+	})
+}
+
+// refMaxU is the lane-loop oracle for MaxU.
+func refMaxU(a, b uint64, w Width) uint64 {
+	return mapLanes(a, b, w, func(x, y uint64) uint64 {
+		if x > y {
+			return x
+		}
+		return y
+	})
+}
+
+// refMinS is the lane-loop oracle for MinS.
+func refMinS(a, b uint64, w Width) uint64 {
+	return mapLanesS(a, b, w, func(x, y int64) int64 {
+		if x < y {
+			return x
+		}
+		return y
+	})
+}
+
+// refMaxS is the lane-loop oracle for MaxS.
+func refMaxS(a, b uint64, w Width) uint64 {
+	return mapLanesS(a, b, w, func(x, y int64) int64 {
+		if x > y {
+			return x
+		}
+		return y
+	})
+}
+
+// refAbsDiffU is the lane-loop oracle for AbsDiffU.
+func refAbsDiffU(a, b uint64, w Width) uint64 {
+	return mapLanes(a, b, w, func(x, y uint64) uint64 {
+		if x > y {
+			return x - y
+		}
+		return y - x
+	})
+}
+
+// refSAD is the lane-loop oracle for SAD.
+func refSAD(a, b uint64) uint64 {
+	var s uint64
+	for i := 0; i < 8; i++ {
+		x, y := getU(a, W8, i), getU(b, W8, i)
+		if x > y {
+			s += x - y
+		} else {
+			s += y - x
+		}
+	}
+	return s
+}
+
+// refCmpEq is the lane-loop oracle for CmpEq.
+func refCmpEq(a, b uint64, w Width) uint64 {
+	return mapLanes(a, b, w, func(x, y uint64) uint64 {
+		if x == y {
+			return ^uint64(0)
+		}
+		return 0
+	})
+}
+
+// refCmpGtS is the lane-loop oracle for CmpGtS.
+func refCmpGtS(a, b uint64, w Width) uint64 {
+	return mapLanesS(a, b, w, func(x, y int64) int64 {
+		if x > y {
+			return -1
+		}
+		return 0
+	})
+}
+
+// refShlI is the lane-loop oracle for ShlI.
+func refShlI(a uint64, w Width, imm uint) uint64 {
+	if imm >= uint(w)*8 {
+		return 0
+	}
+	return mapLanes(a, 0, w, func(x, _ uint64) uint64 { return x << imm })
+}
+
+// refShrI is the lane-loop oracle for ShrI.
+func refShrI(a uint64, w Width, imm uint) uint64 {
+	if imm >= uint(w)*8 {
+		return 0
+	}
+	return mapLanes(a, 0, w, func(x, _ uint64) uint64 { return x >> imm })
+}
+
+// refSraI is the lane-loop oracle for SraI.
+func refSraI(a uint64, w Width, imm uint) uint64 {
+	if imm >= uint(w)*8 {
+		imm = uint(w)*8 - 1
+	}
+	return mapLanesS(a, 0, w, func(x, _ int64) int64 { return x >> imm })
+}
+
+// refSplat is the lane-loop oracle for Splat.
+func refSplat(v uint64, w Width) uint64 {
+	var r uint64
+	low := getU(v, w, 0)
+	for i := 0; i < w.Lanes(); i++ {
+		r = put(r, w, i, low)
+	}
+	return r
+}

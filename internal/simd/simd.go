@@ -108,6 +108,51 @@ func mapLanesS(a, b uint64, w Width, f func(x, y int64) int64) uint64 {
 	return r
 }
 
+// laneMasks returns the two partitioned-arithmetic constants of width w:
+// lsb has the least-significant bit of every lane set (0x01…01 for bytes),
+// msb has the sign bit of every lane set (0x80…80 for bytes). All the SWAR
+// kernels below are built from these two masks, following the classic
+// Hacker's-Delight partitioned-add construction: clear or force the lane
+// sign bits so carries and borrows cannot cross a lane boundary, do one
+// full-width 64-bit operation, then patch the sign-bit column back in.
+func laneMasks(w Width) (lsb, msb uint64) {
+	switch w {
+	case W8:
+		return 0x0101010101010101, 0x8080808080808080
+	case W16:
+		return 0x0001000100010001, 0x8000800080008000
+	case W32:
+		return 0x0000000100000001, 0x8000000080000000
+	}
+	return 1, 1 << 63 // W64: one degenerate lane
+}
+
+// expand turns a lane-sign-bit flag mask into a full-lane mask: every lane
+// whose msb is set in m becomes all-ones. The multiply spreads each 0/1
+// lane flag across its lane without touching the neighbours.
+func expand(m uint64, w Width) uint64 {
+	bits := uint(w) * 8
+	return (m >> (bits - 1)) * (uint64(1)<<bits - 1)
+}
+
+// ltUMask returns a full-lane mask of the lanes where a < b unsigned: the
+// borrow out of each lane of a-b, computed bitwise from the operand sign
+// bits and the partitioned difference (Hacker's Delight 2-17).
+func ltUMask(a, b uint64, w Width) uint64 {
+	_, h := laneMasks(w)
+	d := Sub(a, b, w)
+	return expand(((^a&b)|(^(a^b)&d))&h, w)
+}
+
+// ltSMask returns a full-lane mask of the lanes where a < b signed: true
+// when a is negative and b is not, or when equal signs make the (then
+// overflow-free) difference negative.
+func ltSMask(a, b uint64, w Width) uint64 {
+	_, h := laneMasks(w)
+	d := Sub(a, b, w)
+	return expand(((a&^b)|(^(a^b)&d))&h, w)
+}
+
 // satS clamps v to the signed range of width w.
 func satS(v int64, w Width) int64 {
 	bits := uint(w) * 8
@@ -135,34 +180,56 @@ func satU(v int64, w Width) uint64 {
 	return uint64(v)
 }
 
-// Add performs lane-wise modular addition (PADDB/PADDW/PADDD).
+// Add performs lane-wise modular addition (PADDB/PADDW/PADDD): add with
+// the lane sign bits cleared so no carry crosses a lane, then restore the
+// sign-bit column (x7^y7^carry-in).
 func Add(a, b uint64, w Width) uint64 {
-	return mapLanes(a, b, w, func(x, y uint64) uint64 { return x + y })
+	_, h := laneMasks(w)
+	return ((a &^ h) + (b &^ h)) ^ ((a ^ b) & h)
 }
 
-// Sub performs lane-wise modular subtraction (PSUBB/PSUBW/PSUBD).
+// Sub performs lane-wise modular subtraction (PSUBB/PSUBW/PSUBD): force
+// the minuend sign bits to 1 and clear the subtrahend's so no borrow
+// crosses a lane, then patch the sign-bit column.
 func Sub(a, b uint64, w Width) uint64 {
-	return mapLanes(a, b, w, func(x, y uint64) uint64 { return x - y })
+	_, h := laneMasks(w)
+	return ((a | h) - (b &^ h)) ^ ((a ^ b ^ h) & h)
 }
 
 // AddS performs lane-wise signed saturating addition (PADDSB/PADDSW).
+// Overflowed lanes (equal operand signs, flipped result sign) are replaced
+// by MaxS + sign(a): 0x7F… for positive overflow, 0x80… for negative.
 func AddS(a, b uint64, w Width) uint64 {
-	return mapLanesS(a, b, w, func(x, y int64) int64 { return satS(x+y, w) })
+	_, h := laneMasks(w)
+	s := Add(a, b, w)
+	ovf := expand(^(a^b)&(a^s)&h, w)
+	sat := ^h + ((a & h) >> (uint(w)*8 - 1))
+	return (s &^ ovf) | (sat & ovf)
 }
 
-// SubS performs lane-wise signed saturating subtraction (PSUBSB/PSUBSW).
+// SubS performs lane-wise signed saturating subtraction (PSUBSB/PSUBSW):
+// overflow when the operand signs differ and the result sign flipped.
 func SubS(a, b uint64, w Width) uint64 {
-	return mapLanesS(a, b, w, func(x, y int64) int64 { return satS(x-y, w) })
+	_, h := laneMasks(w)
+	s := Sub(a, b, w)
+	ovf := expand((a^b)&(a^s)&h, w)
+	sat := ^h + ((a & h) >> (uint(w)*8 - 1))
+	return (s &^ ovf) | (sat & ovf)
 }
 
-// AddU performs lane-wise unsigned saturating addition (PADDUSB/PADDUSW).
+// AddU performs lane-wise unsigned saturating addition (PADDUSB/PADDUSW):
+// lanes with a carry out of their sign bit saturate to all-ones.
 func AddU(a, b uint64, w Width) uint64 {
-	return mapLanes(a, b, w, func(x, y uint64) uint64 { return satU(int64(x)+int64(y), w) })
+	_, h := laneMasks(w)
+	s := Add(a, b, w)
+	carry := ((a & b) | ((a | b) &^ s)) & h
+	return s | expand(carry, w)
 }
 
-// SubU performs lane-wise unsigned saturating subtraction (PSUBUSB/PSUBUSW).
+// SubU performs lane-wise unsigned saturating subtraction (PSUBUSB/
+// PSUBUSW): lanes that would borrow clamp to zero.
 func SubU(a, b uint64, w Width) uint64 {
-	return mapLanes(a, b, w, func(x, y uint64) uint64 { return satU(int64(x)-int64(y), w) })
+	return Sub(a, b, w) &^ ltUMask(a, b, w)
 }
 
 // MulLo multiplies lanes and keeps the low half of each product (PMULLW).
@@ -190,74 +257,59 @@ func MAdd(a, b uint64) uint64 {
 }
 
 // AvgU performs lane-wise unsigned rounding average (PAVGB/PAVGW):
-// (a+b+1)>>1.
+// (a+b+1)>>1, via the carry-free identity ceil((x+y)/2) = (x|y)-((x^y)>>1).
+// The shifted term masks off each lane's sign-bit position, which the
+// shift filled with the neighbouring lane's low bit; the full-width
+// subtraction never borrows across lanes because each lane's minuend is at
+// least its subtrahend.
 func AvgU(a, b uint64, w Width) uint64 {
-	return mapLanes(a, b, w, func(x, y uint64) uint64 { return (x + y + 1) >> 1 })
+	_, h := laneMasks(w)
+	return (a | b) - (((a ^ b) >> 1) &^ h)
 }
 
-// MinU / MaxU are unsigned lane-wise min/max (PMINUB/PMAXUB).
+// MinU / MaxU are unsigned lane-wise min/max (PMINUB/PMAXUB), selected by
+// the unsigned borrow mask.
 func MinU(a, b uint64, w Width) uint64 {
-	return mapLanes(a, b, w, func(x, y uint64) uint64 {
-		if x < y {
-			return x
-		}
-		return y
-	})
+	m := ltUMask(a, b, w)
+	return (a & m) | (b &^ m)
 }
 
 // MaxU is the unsigned lane-wise maximum.
 func MaxU(a, b uint64, w Width) uint64 {
-	return mapLanes(a, b, w, func(x, y uint64) uint64 {
-		if x > y {
-			return x
-		}
-		return y
-	})
+	m := ltUMask(a, b, w)
+	return (b & m) | (a &^ m)
 }
 
 // MinS / MaxS are signed lane-wise min/max (PMINSW/PMAXSW).
 func MinS(a, b uint64, w Width) uint64 {
-	return mapLanesS(a, b, w, func(x, y int64) int64 {
-		if x < y {
-			return x
-		}
-		return y
-	})
+	m := ltSMask(a, b, w)
+	return (a & m) | (b &^ m)
 }
 
 // MaxS is the signed lane-wise maximum.
 func MaxS(a, b uint64, w Width) uint64 {
-	return mapLanesS(a, b, w, func(x, y int64) int64 {
-		if x > y {
-			return x
-		}
-		return y
-	})
+	m := ltSMask(a, b, w)
+	return (b & m) | (a &^ m)
 }
 
-// AbsDiffU computes the lane-wise unsigned absolute difference |a-b|.
+// AbsDiffU computes the lane-wise unsigned absolute difference |a-b| by
+// computing both partitioned differences and selecting per lane.
 func AbsDiffU(a, b uint64, w Width) uint64 {
-	return mapLanes(a, b, w, func(x, y uint64) uint64 {
-		if x > y {
-			return x - y
-		}
-		return y - x
-	})
+	m := ltUMask(a, b, w)
+	return (Sub(a, b, w) &^ m) | (Sub(b, a, w) & m)
 }
 
 // SAD computes the sum of absolute differences of the eight unsigned bytes
-// of a and b (PSADBW): a single scalar result.
+// of a and b (PSADBW): a single scalar result. The horizontal reduction
+// folds the byte differences pairwise (16-bit partial sums never exceed
+// 2040, so no fold overflows its slot).
 func SAD(a, b uint64) uint64 {
-	var s uint64
-	for i := 0; i < 8; i++ {
-		x, y := getU(a, W8, i), getU(b, W8, i)
-		if x > y {
-			s += x - y
-		} else {
-			s += y - x
-		}
-	}
-	return s
+	d := AbsDiffU(a, b, W8)
+	const m1 = 0x00FF00FF00FF00FF
+	s := (d & m1) + ((d >> 8) & m1)
+	s += s >> 16
+	s += s >> 32
+	return s & 0xFFFF
 }
 
 // SADLanes computes the per-byte-lane absolute differences of a and b,
@@ -284,51 +336,63 @@ func Or(a, b uint64) uint64     { return a | b }
 func Xor(a, b uint64) uint64    { return a ^ b }
 func AndNot(a, b uint64) uint64 { return ^a & b }
 
-// ShlI shifts each lane left by imm bits (PSLLW/PSLLD). Shifts >= lane width
-// produce zero, as in SSE.
+// ShlI shifts each lane left by imm bits (PSLLW/PSLLD): one full-width
+// shift, then clear the low imm bits of every lane (filled from the lane
+// below). Shifts >= lane width produce zero, as in SSE.
 func ShlI(a uint64, w Width, imm uint) uint64 {
 	if imm >= uint(w)*8 {
 		return 0
 	}
-	return mapLanes(a, 0, w, func(x, _ uint64) uint64 { return x << imm })
+	if imm == 0 {
+		return a
+	}
+	l, _ := laneMasks(w)
+	return (a << imm) &^ ((uint64(1)<<imm - 1) * l)
 }
 
-// ShrI logically shifts each lane right by imm bits (PSRLW/PSRLD).
+// ShrI logically shifts each lane right by imm bits (PSRLW/PSRLD),
+// clearing the high imm bits of every lane.
 func ShrI(a uint64, w Width, imm uint) uint64 {
-	if imm >= uint(w)*8 {
+	bits := uint(w) * 8
+	if imm >= bits {
 		return 0
 	}
-	return mapLanes(a, 0, w, func(x, _ uint64) uint64 { return x >> imm })
+	if imm == 0 {
+		return a
+	}
+	l, _ := laneMasks(w)
+	return (a >> imm) & ((uint64(1)<<(bits-imm) - 1) * l)
 }
 
-// SraI arithmetically shifts each lane right by imm bits (PSRAW/PSRAD).
-// Shifts >= lane width replicate the sign bit, as in SSE.
+// SraI arithmetically shifts each lane right by imm bits (PSRAW/PSRAD):
+// the logical shift, plus the high imm bits of every negative lane forced
+// to one. Shifts >= lane width replicate the sign bit, as in SSE.
 func SraI(a uint64, w Width, imm uint) uint64 {
-	if imm >= uint(w)*8 {
-		imm = uint(w)*8 - 1
+	bits := uint(w) * 8
+	if imm >= bits {
+		imm = bits - 1
 	}
-	return mapLanesS(a, 0, w, func(x, _ int64) int64 { return x >> imm })
+	if imm == 0 {
+		return a
+	}
+	l, h := laneMasks(w)
+	top := ((uint64(1)<<imm - 1) << (bits - imm)) * l
+	return ((a >> imm) & ((uint64(1)<<(bits-imm) - 1) * l)) | (top & expand(a&h, w))
 }
 
-// CmpEq sets each lane to all-ones where a == b, else zero (PCMPEQB/W/D).
+// CmpEq sets each lane to all-ones where a == b, else zero (PCMPEQB/W/D):
+// zero-lane detection on a^b (a lane is zero iff neither its sign bit is
+// set nor adding 0x7F… to its low bits carries into the sign position).
 func CmpEq(a, b uint64, w Width) uint64 {
-	return mapLanes(a, b, w, func(x, y uint64) uint64 {
-		if x == y {
-			return ^uint64(0)
-		}
-		return 0
-	})
+	_, h := laneMasks(w)
+	z := a ^ b
+	return expand(^(((z&^h)+^h)|z)&h, w)
 }
 
 // CmpGtS sets each lane to all-ones where a > b (signed), else zero
 // (PCMPGTB/W/D).
 func CmpGtS(a, b uint64, w Width) uint64 {
-	return mapLanesS(a, b, w, func(x, y int64) int64 {
-		if x > y {
-			return -1
-		}
-		return 0
-	})
+	return ltSMask(b, a, w)
 }
 
 // PackSS packs the signed lanes of a (low half of the result) and b (high
@@ -388,12 +452,9 @@ func UnpackHi(a, b uint64, w Width) uint64 {
 	return r
 }
 
-// Splat broadcasts the low lane of width w of v to all lanes.
+// Splat broadcasts the low lane of width w of v to all lanes: the lane
+// value times the per-lane LSB mask replicates it without overlap.
 func Splat(v uint64, w Width) uint64 {
-	var r uint64
-	low := getU(v, w, 0)
-	for i := 0; i < w.Lanes(); i++ {
-		r = put(r, w, i, low)
-	}
-	return r
+	l, _ := laneMasks(w)
+	return getU(v, w, 0) * l
 }

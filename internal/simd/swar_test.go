@@ -1,0 +1,151 @@
+package simd
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The SWAR kernels are cross-checked against the retained lane-loop
+// reference implementations (reference.go): over seeded random inputs, at
+// every width, and on the classic saturation/overflow edge vectors (sign
+// columns, saturation boundaries, alternating lanes, zero-lane patterns).
+
+// allWidths covers every partition the 64-bit word supports, including
+// the degenerate single-lane W64.
+var allWidths = []Width{W8, W16, W32, W64}
+
+// edgeWords are the adversarial operand patterns: every lane at the signed
+// minimum / maximum, carry chains (all-ones), alternating lanes, and
+// single-bit columns that expose cross-lane carry and borrow leaks.
+var edgeWords = []uint64{
+	0,
+	^uint64(0),
+	0x8080808080808080, 0x7F7F7F7F7F7F7F7F,
+	0x8000800080008000, 0x7FFF7FFF7FFF7FFF,
+	0x8000000080000000, 0x7FFFFFFF7FFFFFFF,
+	0x8000000000000000, 0x7FFFFFFFFFFFFFFF,
+	0x0101010101010101, 0xFEFEFEFEFEFEFEFE,
+	0x00FF00FF00FF00FF, 0xFF00FF00FF00FF00,
+	0x0001000100010001, 0xFFFEFFFEFFFEFFFE,
+	0x00000000FFFFFFFF, 0xFFFFFFFF00000000,
+	0x0123456789ABCDEF, 0xDEADBEEFCAFEF00D,
+	1, 0x80, 0x8000, 0x80000000,
+}
+
+// xorshift is the seeded generator for the random cross-check corpus
+// (deterministic, so a failure reproduces).
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift(v)
+	return v * 0x9E3779B97F4A7C15
+}
+
+// operandPairs yields the full edge-vector cross product followed by n
+// seeded random pairs.
+func operandPairs(n int, f func(a, b uint64)) {
+	for _, a := range edgeWords {
+		for _, b := range edgeWords {
+			f(a, b)
+		}
+	}
+	rng := xorshift(0x5EED5EED5EED5EED)
+	for i := 0; i < n; i++ {
+		f(rng.next(), rng.next())
+	}
+}
+
+func TestSWARBinaryAgainstReference(t *testing.T) {
+	// The saturating and averaging references compute through 64-bit
+	// intermediates that are only exact up to 32-bit lanes (satU/satS
+	// overflow their own clamp bounds at W64, AvgU wraps x+y+1); the ISA
+	// restricts those opcodes to W8/W16 anyway, so the cross-check covers
+	// the supported widths plus W32. Everything else is checked at all
+	// four partitions including the degenerate W64.
+	subWord := []Width{W8, W16, W32}
+	cases := []struct {
+		name   string
+		widths []Width
+		swar   func(a, b uint64, w Width) uint64
+		ref    func(a, b uint64, w Width) uint64
+	}{
+		{"Add", allWidths, Add, refAdd},
+		{"Sub", allWidths, Sub, refSub},
+		{"AddS", subWord, AddS, refAddS},
+		{"SubS", subWord, SubS, refSubS},
+		{"AddU", subWord, AddU, refAddU},
+		{"SubU", subWord, SubU, refSubU},
+		{"AvgU", subWord, AvgU, refAvgU},
+		{"MinU", allWidths, MinU, refMinU},
+		{"MaxU", allWidths, MaxU, refMaxU},
+		{"MinS", allWidths, MinS, refMinS},
+		{"MaxS", allWidths, MaxS, refMaxS},
+		{"AbsDiffU", allWidths, AbsDiffU, refAbsDiffU},
+		{"CmpEq", allWidths, CmpEq, refCmpEq},
+		{"CmpGtS", allWidths, CmpGtS, refCmpGtS},
+	}
+	for _, tc := range cases {
+		for _, w := range tc.widths {
+			t.Run(fmt.Sprintf("%s/%s", tc.name, w), func(t *testing.T) {
+				operandPairs(4096, func(a, b uint64) {
+					got, want := tc.swar(a, b, w), tc.ref(a, b, w)
+					if got != want {
+						t.Fatalf("%s(%#016x, %#016x, %s) = %#016x, reference %#016x",
+							tc.name, a, b, w, got, want)
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestSWARSADAgainstReference(t *testing.T) {
+	operandPairs(4096, func(a, b uint64) {
+		if got, want := SAD(a, b), refSAD(a, b); got != want {
+			t.Fatalf("SAD(%#016x, %#016x) = %d, reference %d", a, b, got, want)
+		}
+	})
+}
+
+func TestSWARShiftsAgainstReference(t *testing.T) {
+	cases := []struct {
+		name string
+		swar func(a uint64, w Width, imm uint) uint64
+		ref  func(a uint64, w Width, imm uint) uint64
+	}{
+		{"ShlI", ShlI, refShlI},
+		{"ShrI", ShrI, refShrI},
+		{"SraI", SraI, refSraI},
+	}
+	for _, tc := range cases {
+		for _, w := range allWidths {
+			t.Run(fmt.Sprintf("%s/%s", tc.name, w), func(t *testing.T) {
+				// Every shift count through the lane width and beyond
+				// (over-shifts must zero or sign-fill, as in SSE).
+				for imm := uint(0); imm <= uint(w)*8+2; imm++ {
+					operandPairs(256, func(a, _ uint64) {
+						got, want := tc.swar(a, w, imm), tc.ref(a, w, imm)
+						if got != want {
+							t.Fatalf("%s(%#016x, %s, %d) = %#016x, reference %#016x",
+								tc.name, a, w, imm, got, want)
+						}
+					})
+				}
+			})
+		}
+	}
+}
+
+func TestSWARSplatAgainstReference(t *testing.T) {
+	for _, w := range allWidths {
+		operandPairs(1024, func(v, _ uint64) {
+			if got, want := Splat(v, w), refSplat(v, w); got != want {
+				t.Fatalf("Splat(%#016x, %s) = %#016x, reference %#016x", v, w, got, want)
+			}
+		})
+	}
+}
