@@ -1,9 +1,11 @@
 # CI entry points. `make ci` is what every PR must keep green: vet, build,
 # the full test suite, the race detector over the packages that share
-# compiled programs across goroutines (the parallel evaluation sweep), and
-# short fuzzing smoke runs of the scheduler and of the differential
-# engine-equivalence harness (reference interpreter vs pre-decoded engine
-# over generated programs).
+# compiled programs across goroutines (the parallel evaluation sweep and
+# the vsimdd daemon, whose suite starts a server on a random port, runs a
+# load burst plus a canceled-deadline request, and asserts clean shutdown
+# and exact-sum metric invariants), and short fuzzing smoke runs of the
+# scheduler and of the differential engine-equivalence harness (reference
+# interpreter vs pre-decoded engine over generated programs).
 
 GO ?= go
 
@@ -21,7 +23,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/report ./internal/core ./internal/sim
+	$(GO) test -race ./internal/report ./internal/core ./internal/sim ./internal/server
 
 fuzz:
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzSchedule -fuzztime=10s

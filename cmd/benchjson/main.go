@@ -3,12 +3,15 @@
 // `make bench-json`). Every benchmark's iteration count and metrics
 // (ns/op plus custom metrics such as sim_ops/s) are preserved, and the
 // headline simulator throughput is lifted to the top level so regression
-// tracking across commits is a one-field diff.
+// tracking across commits is a one-field diff. It also spins up an
+// in-process vsimdd and drives it with a short load burst, lifting the
+// serving throughput to the service_req_s headline field.
 package main
 
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -18,6 +21,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"vsimdvliw/internal/server"
 )
 
 // result is the parsed form of one benchmark line.
@@ -28,21 +33,28 @@ type result struct {
 
 // output is the JSON document bench-json writes.
 type output struct {
-	Date       string            `json:"date"`
-	GoVersion  string            `json:"go_version"`
-	GOOS       string            `json:"goos"`
-	GOARCH     string            `json:"goarch"`
-	CPU        string            `json:"cpu,omitempty"`
-	Benchtime  string            `json:"benchtime"`
-	SimOpsPerS float64           `json:"sim_ops_per_s"`
-	Benchmarks map[string]result `json:"benchmarks"`
+	Date       string  `json:"date"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchtime  string  `json:"benchtime"`
+	SimOpsPerS float64 `json:"sim_ops_per_s"`
+	// ServiceReqPerS is the serving-path headline: completed /v1/run
+	// requests per second from a short in-process vsimdd load burst
+	// (0 when the burst is disabled with -service-duration 0).
+	ServiceReqPerS float64            `json:"service_req_s"`
+	Service        *server.LoadReport `json:"service,omitempty"`
+	Benchmarks     map[string]result  `json:"benchmarks"`
 }
 
 func main() {
 	var (
-		out       = flag.String("out", "", "output file (default stdout)")
-		pattern   = flag.String("bench", "BenchmarkSimulator|BenchmarkScheduler|BenchmarkCollect", "benchmark regexp to run")
-		benchtime = flag.String("benchtime", "3x", "value for -benchtime")
+		out         = flag.String("out", "", "output file (default stdout)")
+		pattern     = flag.String("bench", "BenchmarkSimulator|BenchmarkScheduler|BenchmarkCollect", "benchmark regexp to run")
+		benchtime   = flag.String("benchtime", "3x", "value for -benchtime")
+		serviceDur  = flag.Duration("service-duration", 2*time.Second, "in-process vsimdd load-burst length (0 disables)")
+		serviceConc = flag.Int("service-concurrency", runtime.NumCPU(), "load-burst client concurrency")
 	)
 	flag.Parse()
 
@@ -85,6 +97,16 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *serviceDur > 0 {
+		rep, err := serviceBurst(*serviceDur, *serviceConc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: service burst: %v\n", err)
+			os.Exit(1)
+		}
+		doc.Service = rep
+		doc.ServiceReqPerS = rep.ReqPerS
+	}
+
 	enc, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -92,14 +114,47 @@ func main() {
 	}
 	enc = append(enc, '\n')
 	if *out == "" {
-		os.Stdout.Write(enc)
+		if _, err := os.Stdout.Write(enc); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (sim_ops/s = %.0f)\n", *out, doc.SimOpsPerS)
+	fmt.Printf("wrote %s (sim_ops/s = %.0f, service_req_s = %.1f)\n",
+		*out, doc.SimOpsPerS, doc.ServiceReqPerS)
+}
+
+// serviceBurst measures the serving path: it starts an in-process vsimdd
+// on a random loopback port, drives it with the default repeated-cell
+// workload (cache-friendly steady state) for the given duration, and
+// shuts it down gracefully. Transport errors fail the measurement.
+func serviceBurst(dur time.Duration, conc int) (*server.LoadReport, error) {
+	srv := server.New(server.Config{})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	rep, err := server.Load(context.Background(), server.LoadOptions{
+		URL:         "http://" + addr,
+		Concurrency: conc,
+		Duration:    dur,
+	})
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if serr := srv.Shutdown(shutdownCtx); err == nil && serr != nil {
+		err = serr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if rep.Errors > 0 {
+		return nil, fmt.Errorf("%d requests failed during the burst", rep.Errors)
+	}
+	return rep, nil
 }
 
 // parseBenchLine parses one `go test -bench` result line, e.g.

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"vsimdvliw/internal/server"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	name, res, ok := parseBenchLine(
+		"BenchmarkSimulator-8   3   6427189 ns/op   34420070 sim_ops/s")
+	if !ok {
+		t.Fatal("did not parse a valid benchmark line")
+	}
+	if name != "Simulator" {
+		t.Fatalf("name = %q, want Simulator (GOMAXPROCS suffix stripped)", name)
+	}
+	if res.Iterations != 3 {
+		t.Fatalf("iterations = %d, want 3", res.Iterations)
+	}
+	want := map[string]float64{"ns/op": 6427189, "sim_ops/s": 34420070}
+	if !reflect.DeepEqual(res.Metrics, want) {
+		t.Fatalf("metrics = %v, want %v", res.Metrics, want)
+	}
+
+	for _, bad := range []string{
+		"",
+		"ok  	vsimdvliw	3.2s",
+		"PASS",
+		"goos: linux",
+		"BenchmarkBroken notanumber 5 ns/op",
+	} {
+		if _, _, ok := parseBenchLine(bad); ok {
+			t.Errorf("parseBenchLine(%q) unexpectedly parsed", bad)
+		}
+	}
+}
+
+// TestOutputSchema golden-checks the BENCH JSON document shape: the
+// top-level field names (including the service_req_s headline) are the
+// contract regression tooling diffs across commits, so a rename must be
+// a deliberate, test-visible change.
+func TestOutputSchema(t *testing.T) {
+	doc := output{
+		Date:           "2026-08-06",
+		GoVersion:      "go1.24",
+		GOOS:           "linux",
+		GOARCH:         "amd64",
+		CPU:            "test",
+		Benchtime:      "3x",
+		SimOpsPerS:     1,
+		ServiceReqPerS: 2,
+		Service:        &server.LoadReport{},
+		Benchmarks: map[string]result{
+			"Simulator": {Iterations: 3, Metrics: map[string]float64{"sim_ops/s": 1}},
+		},
+	}
+	b, err := json.Marshal(&doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]json.RawMessage
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		"date", "go_version", "goos", "goarch", "cpu", "benchtime",
+		"sim_ops_per_s", "service_req_s", "service", "benchmarks",
+	} {
+		if _, ok := got[field]; !ok {
+			t.Errorf("BENCH JSON is missing top-level field %q", field)
+		}
+	}
+	var svc map[string]json.RawMessage
+	if err := json.Unmarshal(got["service"], &svc); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		"requests", "shed", "canceled", "errors", "duration_s",
+		"req_s", "p50_ms", "p95_ms", "p99_ms", "max_ms",
+	} {
+		if _, ok := svc[field]; !ok {
+			t.Errorf("service report is missing field %q", field)
+		}
+	}
+}

@@ -15,15 +15,20 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"vsimdvliw/internal/core"
 	"vsimdvliw/internal/machine"
 	"vsimdvliw/internal/report"
+	"vsimdvliw/internal/sim"
 )
 
 func main() {
@@ -54,22 +59,26 @@ func main() {
 	if *verbose {
 		progress = os.Stderr
 	}
-	m, err := report.CollectOpts(report.Options{Progress: progress, Parallelism: *workers})
+	// Cancel the sweep cleanly on SIGINT/SIGTERM: running cells stop
+	// within a few thousand simulated cycles and no partial output files
+	// are written (the CSV/JSONL exports only start once the sweep has
+	// fully collected).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	m, err := report.CollectOpts(report.Options{Progress: progress, Parallelism: *workers, Context: ctx})
 	if err != nil {
+		if errors.Is(err, sim.ErrCanceled) || errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "paperfigs: canceled by signal; no output written")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "paperfigs:", err)
 		os.Exit(1)
 	}
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
+		if err := writeCSV(m, *csvPath); err != nil {
 			fmt.Fprintln(os.Stderr, "paperfigs:", err)
 			os.Exit(1)
 		}
-		if err := m.WriteCSV(f); err != nil {
-			fmt.Fprintln(os.Stderr, "paperfigs:", err)
-			os.Exit(1)
-		}
-		f.Close()
 	}
 	if *metricsDir != "" {
 		if err := writeMetrics(m, *metricsDir); err != nil {
@@ -85,7 +94,13 @@ func main() {
 		{"figure1", m.Figure1},
 		{"table2", m.Table2},
 		{"figure3", m.Figure3},
-		{"figure4", func() string { s, _ := report.Figure4(); return s }},
+		{"figure4", func() string {
+			s, err := report.Figure4()
+			if err != nil {
+				return "figure4 failed: " + err.Error()
+			}
+			return s
+		}},
 		{"figure5a", func() string { return m.Figure5(core.Perfect) }},
 		{"figure5b", func() string { return m.Figure5(core.Realistic) }},
 		{"figure6", m.Figure6},
@@ -119,6 +134,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "paperfigs: unknown artifact %q\n", *only)
 		os.Exit(1)
 	}
+}
+
+// writeCSV exports the raw evaluation matrix, failing loudly (non-zero
+// exit upstream) if any write — including the final close — fails.
+func writeCSV(m *report.Matrix, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeMetrics exports the evaluation matrix as one JSONL record per

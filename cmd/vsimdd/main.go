@@ -1,0 +1,73 @@
+// Command vsimdd is the simulation daemon: it serves the Vector-µSIMD-
+// VLIW evaluation matrix over a JSON HTTP API, backed by a sharded LRU of
+// compiled programs, an admission-controlled worker pool, per-request
+// deadlines and graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	vsimdd                          # listen on :8037 with NumCPU workers
+//	vsimdd -addr 127.0.0.1:0        # random port (printed on stdout)
+//	vsimdd -workers 8 -queue 64 -cache 512
+//
+// API (see README "Running the daemon" for curl examples):
+//
+//	POST /v1/run     {"app":"jpeg_enc","config":"Vector2-2w","memory":"realistic"}
+//	POST /v1/sweep   {"apps":["gsm_dec"],"configs":["VLIW-2w","Vector2-2w"]}
+//	GET  /healthz
+//	GET  /metrics    Prometheus text format
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vsimdvliw/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8037", "listen address (host:port; port 0 picks one)")
+		workers  = flag.Int("workers", 0, "simulation workers (0 = all CPUs)")
+		queue    = flag.Int("queue", 0, "admission queue depth (0 = 4x workers); full queue sheds with 429")
+		cache    = flag.Int("cache", 256, "compiled-program cache capacity (programs)")
+		shards   = flag.Int("cache-shards", 16, "compiled-program cache shards")
+		check    = flag.Int64("check-cycles", 0, "cancellation poll interval in simulated cycles (0 = default)")
+		drainFor = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheCapacity: *cache,
+		CacheShards:   *shards,
+		CheckCycles:   *check,
+	})
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vsimdd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("vsimdd: listening on %s\n", bound)
+
+	// Drain gracefully on SIGINT/SIGTERM: stop accepting, let in-flight
+	// simulations finish (bounded by -drain-timeout), then exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	fmt.Println("vsimdd: draining…")
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "vsimdd: shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Println("vsimdd: stopped")
+}

@@ -1,0 +1,128 @@
+// Command vsimdload drives a running vsimdd daemon with a closed-loop
+// workload at a fixed concurrency for a fixed duration and reports
+// throughput (req/s) and latency percentiles (p50/p95/p99).
+//
+// Usage:
+//
+//	vsimdload -url http://127.0.0.1:8037 -c 8 -d 30s
+//	vsimdload -apps gsm_dec,jpeg_enc -configs VLIW-2w,Vector2-2w -mem realistic
+//	vsimdload -timeout-ms 1 -d 5s      # deadline-storm: exercises cancellation
+//	vsimdload -json -                  # machine-readable report on stdout
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"vsimdvliw/internal/server"
+)
+
+func main() {
+	var (
+		url       = flag.String("url", "http://127.0.0.1:8037", "daemon base URL")
+		conc      = flag.Int("c", 4, "concurrent closed-loop clients")
+		dur       = flag.Duration("d", 10*time.Second, "load duration")
+		appsF     = flag.String("apps", "", "comma-separated applications (empty = default mix)")
+		cfgsF     = flag.String("configs", "", "comma-separated configurations (empty = default mix)")
+		memF      = flag.String("mem", "realistic", "memory model for the workload")
+		timeoutMS = flag.Int64("timeout-ms", 0, "per-request deadline in ms (0 = none)")
+		jsonOut   = flag.String("json", "", "also write the report as JSON to this file (- = stdout)")
+	)
+	flag.Parse()
+
+	reqs, err := workload(*appsF, *cfgsF, *memF, *timeoutMS)
+	if err != nil {
+		fail(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := server.Load(ctx, server.LoadOptions{
+		URL:         strings.TrimRight(*url, "/"),
+		Concurrency: *conc,
+		Duration:    *dur,
+		Requests:    reqs,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(rep)
+
+	if *jsonOut != "" {
+		enc, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		enc = append(enc, '\n')
+		if *jsonOut == "-" {
+			if _, err := os.Stdout.Write(enc); err != nil {
+				fail(err)
+			}
+		} else if err := os.WriteFile(*jsonOut, enc, 0o644); err != nil {
+			fail(err)
+		}
+	}
+	if rep.Errors > 0 {
+		fail(fmt.Errorf("%d requests failed (transport errors or 5xx)", rep.Errors))
+	}
+}
+
+// workload builds the request mix from the flag values: the cross product
+// of the requested apps and configs, validated against the known names so
+// typos fail up front with the valid values.
+func workload(appsCSV, cfgsCSV, mem string, timeoutMS int64) ([]server.RunRequest, error) {
+	if _, err := server.LookupMemory(mem); err != nil {
+		return nil, err
+	}
+	if appsCSV == "" && cfgsCSV == "" {
+		base := server.DefaultWorkload()
+		for i := range base {
+			base[i].Memory = mem
+			base[i].TimeoutMS = timeoutMS
+		}
+		return base, nil
+	}
+	appNames := splitOrDefault(appsCSV, []string{"gsm_dec"})
+	cfgNames := splitOrDefault(cfgsCSV, []string{"Vector2-2w"})
+	var reqs []server.RunRequest
+	for _, a := range appNames {
+		if _, err := server.LookupApp(a); err != nil {
+			return nil, err
+		}
+		for _, c := range cfgNames {
+			if _, err := server.LookupConfig(c); err != nil {
+				return nil, err
+			}
+			reqs = append(reqs, server.RunRequest{
+				App: a, Config: c, Memory: mem, TimeoutMS: timeoutMS,
+			})
+		}
+	}
+	return reqs, nil
+}
+
+func splitOrDefault(csv string, def []string) []string {
+	if csv == "" {
+		return def
+	}
+	parts := strings.Split(csv, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "vsimdload:", err)
+	os.Exit(1)
+}

@@ -21,6 +21,7 @@ import (
 	"vsimdvliw/internal/machine"
 	"vsimdvliw/internal/metrics"
 	"vsimdvliw/internal/report"
+	"vsimdvliw/internal/server"
 	"vsimdvliw/internal/sim"
 )
 
@@ -48,21 +49,20 @@ func main() {
 		return
 	}
 
-	a, err := apps.ByName(*appName)
+	// The lookup helpers are shared with the vsimdd API: a typo in any of
+	// the three axes fails up front with the list of valid values instead
+	// of a bare "unknown name".
+	a, err := server.LookupApp(*appName)
 	if err != nil {
 		fail(err)
 	}
-	cfg := machine.ByName(*cfgName)
-	if cfg == nil {
-		fail(fmt.Errorf("unknown configuration %q (try -list)", *cfgName))
+	cfg, err := server.LookupConfig(*cfgName)
+	if err != nil {
+		fail(err)
 	}
-	mem := core.Realistic
-	switch *memName {
-	case "perfect":
-		mem = core.Perfect
-	case "realistic":
-	default:
-		fail(fmt.Errorf("unknown memory model %q", *memName))
+	mem, err := server.LookupMemory(*memName)
+	if err != nil {
+		fail(err)
 	}
 
 	variant := report.VariantFor(cfg)

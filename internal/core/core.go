@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -111,13 +112,43 @@ func (p *Program) NewMachine(model MemoryModel) *sim.Machine {
 	return sim.New(p.Sched, mm)
 }
 
+// RunOptions tunes one execution of a compiled program.
+type RunOptions struct {
+	// Context, when non-nil and cancelable, bounds the run: once it is
+	// done the simulation stops within CheckCycles simulated cycles and
+	// the error unwraps to sim.ErrCanceled (a *sim.CanceledError carrying
+	// the partial result).
+	Context context.Context
+	// CheckCycles is the cancellation-poll interval in simulated cycles
+	// (<= 0 uses sim.DefaultCheckCycles).
+	CheckCycles int64
+	// VLCap, when in [1, isa.MaxVL), clamps every vector length the
+	// program sets via SETVL — a variable-VL timing experiment; capped
+	// runs compute different values than the reference outputs.
+	VLCap int
+}
+
 // Run executes the program to completion under the given memory model.
 // Machines are pooled and reset between runs, so repeated runs (sweeps,
 // benchmarks) reuse register files, data memory and the memory model
 // instead of reallocating them.
 func (p *Program) Run(model MemoryModel) (*sim.Result, error) {
+	return p.RunOpts(model, RunOptions{})
+}
+
+// RunContext is Run bounded by a context: cancellation or deadline expiry
+// stops the simulation with a typed *sim.CanceledError.
+func (p *Program) RunContext(ctx context.Context, model MemoryModel) (*sim.Result, error) {
+	return p.RunOpts(model, RunOptions{Context: ctx})
+}
+
+// RunOpts is Run with explicit per-run options.
+func (p *Program) RunOpts(model MemoryModel, o RunOptions) (*sim.Result, error) {
 	if int(model) < 0 || int(model) >= len(p.pools) {
-		return p.NewMachine(model).Run()
+		m := p.NewMachine(model)
+		m.SetContext(o.Context, o.CheckCycles)
+		m.SetVLCap(o.VLCap)
+		return m.Run()
 	}
 	pool := &p.pools[model]
 	m, ok := pool.Get().(*sim.Machine)
@@ -126,12 +157,16 @@ func (p *Program) Run(model MemoryModel) (*sim.Result, error) {
 	} else {
 		m = p.NewMachine(model)
 	}
+	m.SetContext(o.Context, o.CheckCycles)
+	m.SetVLCap(o.VLCap)
 	res, err := m.Run()
 	if err != nil {
 		// Drop errored machines: their state (e.g. an aborted runaway
-		// loop) is not worth recycling.
+		// loop or a canceled run) is not worth recycling.
 		return nil, err
 	}
+	// Release the caller's context before the machine re-enters the pool.
+	m.SetContext(nil, 0)
 	pool.Put(m)
 	return res, nil
 }

@@ -1,0 +1,41 @@
+package report
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"vsimdvliw/internal/sim"
+)
+
+// TestCollectCanceled checks that a canceled sweep fails fast with the
+// typed cancellation instead of completing (or wedging) the matrix.
+func TestCollectCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := collect(reducedApps(t), reducedCfgs, Options{Parallelism: 4, Context: ctx})
+	if err == nil {
+		t.Fatal("canceled sweep returned no error")
+	}
+	if !errors.Is(err, sim.ErrCanceled) {
+		t.Fatalf("err = %v, want to unwrap to sim.ErrCanceled", err)
+	}
+}
+
+// TestCollectNilContextUnchanged checks the default path still sweeps to
+// completion with identical results.
+func TestCollectNilContextUnchanged(t *testing.T) {
+	withCtx, err := collect(reducedApps(t), reducedCfgs, Options{Parallelism: 2, Context: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := collect(reducedApps(t), reducedCfgs, Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range plain.sortedKeys() {
+		if plain.res[k].Cycles != withCtx.res[k].Cycles {
+			t.Fatalf("cell %s: context plumbing changed the result", k)
+		}
+	}
+}

@@ -14,6 +14,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -63,6 +64,11 @@ type Options struct {
 	// completed run, always in canonical (app, config, memory) order
 	// regardless of the order runs finish in under the worker pool.
 	Progress io.Writer
+	// Context, when non-nil, bounds the sweep: once it is done, running
+	// cells stop within sim.DefaultCheckCycles simulated cycles, pending
+	// cells are skipped, and the sweep returns an error unwrapping to
+	// sim.ErrCanceled. A nil Context sweeps to completion.
+	Context context.Context
 }
 
 // Collect builds, compiles and simulates every application on every
@@ -156,17 +162,24 @@ func collect(appList []*apps.App, cfgs []*machine.Config, o Options) (*Matrix, e
 		}
 	}
 
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	prog := newProgress(o.Progress)
 	var failed atomic.Bool
 	run := func(i int) {
 		c := cells[i]
-		if failed.Load() {
+		if failed.Load() || ctx.Err() != nil {
+			if c.err == nil && ctx.Err() != nil {
+				c.err = &sim.CanceledError{Cause: ctx.Err()}
+			}
 			prog.skip(i)
 			return
 		}
 		p, err := c.comp.get()
 		if err == nil {
-			c.res, err = p.Run(c.mem)
+			c.res, err = p.RunContext(ctx, c.mem)
 		}
 		if err != nil {
 			c.err = fmt.Errorf("report: %s on %s: %w", c.app.Name, c.cfg.Name, err)

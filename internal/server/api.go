@@ -1,0 +1,176 @@
+package server
+
+import (
+	"fmt"
+
+	"vsimdvliw/internal/apps"
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/report"
+	"vsimdvliw/internal/sim"
+)
+
+// RunRequest is the body of POST /v1/run: one (app, config, memory) cell
+// of the evaluation matrix, with optional per-request machine overrides.
+type RunRequest struct {
+	App    string `json:"app"`
+	Config string `json:"config"`
+	// Memory selects the timing model ("perfect" or "realistic"; empty
+	// defaults to realistic).
+	Memory string `json:"memory,omitempty"`
+
+	// VL caps the vector length the program sets via SETVL (1..16; 0
+	// leaves the architectural maximum). Capped runs are SLAP-style
+	// variable-VL timing experiments: the program computes different
+	// values, so only timing — not outputs — is meaningful.
+	VL int `json:"vl,omitempty"`
+	// Lanes overrides the number of vector lanes (and matches the L2 port
+	// width to it, as the lane-count study does). Vector configs only.
+	Lanes int `json:"lanes,omitempty"`
+	// Issue overrides the VLIW issue width; the program is rescheduled
+	// for the new width (distinct compiled-program cache slot).
+	Issue int `json:"issue,omitempty"`
+
+	// TimeoutMS bounds the run in wall-clock milliseconds; once exceeded
+	// the simulation is canceled and the response carries the typed
+	// cancellation with partial stall attribution.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// RunResponse is the body of a successful POST /v1/run: the same
+// CellMetrics shape the batch exporters write (bit-identical to a
+// report.Collect cell for non-overridden requests) plus serving metadata.
+type RunResponse struct {
+	report.CellMetrics
+	// Cache is "hit" when the compiled program was already cached.
+	Cache string `json:"cache"`
+	// QueueMS and RunMS split the server-side latency into time waiting
+	// for a worker and time simulating.
+	QueueMS float64 `json:"queue_ms"`
+	RunMS   float64 `json:"run_ms"`
+}
+
+// ErrorResponse is the body of every non-2xx API response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Canceled is set when the run was stopped by deadline or
+	// cancellation (the typed sim.ErrCanceled path).
+	Canceled bool `json:"canceled,omitempty"`
+	// Partial carries the partial simulation result of a canceled run;
+	// its stall breakdown still sums exactly to its stall cycles.
+	Partial *sim.Result `json:"partial,omitempty"`
+}
+
+// SweepRequest is the body of POST /v1/sweep: a sub-matrix. Empty axes
+// default to the full axis (all apps, all configs, both memory models).
+type SweepRequest struct {
+	Apps     []string `json:"apps,omitempty"`
+	Configs  []string `json:"configs,omitempty"`
+	Memories []string `json:"memories,omitempty"`
+	// TimeoutMS bounds the whole sweep.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// SweepCell is one cell of a sweep response, in canonical (app, config,
+// memory) order. Failed or canceled cells carry Error instead of Stats.
+type SweepCell struct {
+	App      string      `json:"app"`
+	Config   string      `json:"config"`
+	Memory   string      `json:"memory"`
+	Stats    *sim.Result `json:"stats,omitempty"`
+	Cache    string      `json:"cache,omitempty"`
+	Error    string      `json:"error,omitempty"`
+	Canceled bool        `json:"canceled,omitempty"`
+}
+
+// SweepResponse is the body of a successful POST /v1/sweep.
+type SweepResponse struct {
+	Cells []SweepCell `json:"cells"`
+	// Errors counts cells that failed or were canceled.
+	Errors int `json:"errors"`
+}
+
+// runSpec is a fully resolved, validated run request.
+type runSpec struct {
+	app   *apps.App
+	cfg   *machine.Config
+	mem   core.MemoryModel
+	vlCap int
+}
+
+// resolve validates a RunRequest against the known applications,
+// configurations and memory models and applies the machine overrides,
+// returning an error suitable for a 400 (it names the valid values).
+func (r *RunRequest) resolve() (*runSpec, error) {
+	app, err := LookupApp(r.App)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := LookupConfig(r.Config)
+	if err != nil {
+		return nil, err
+	}
+	mm, err := LookupMemory(r.Memory)
+	if err != nil {
+		return nil, err
+	}
+	if r.VL < 0 || r.VL > isa.MaxVL {
+		return nil, fmt.Errorf("vl override %d out of range [1, %d]", r.VL, isa.MaxVL)
+	}
+	if r.Lanes < 0 || r.Issue < 0 {
+		return nil, fmt.Errorf("lanes/issue overrides must be positive")
+	}
+	if r.Lanes > 0 || r.Issue > 0 {
+		c := *cfg // clone: the base configs are shared and immutable
+		suffix := ""
+		if r.Lanes > 0 {
+			if cfg.ISA != machine.ISAVector {
+				return nil, fmt.Errorf("lanes override requires a vector configuration (got %s)", cfg.Name)
+			}
+			c.Lanes = r.Lanes
+			c.L2PortWords = r.Lanes
+			suffix += fmt.Sprintf(",lanes=%d", r.Lanes)
+		}
+		if r.Issue > 0 {
+			c.Issue = r.Issue
+			suffix += fmt.Sprintf(",issue=%d", r.Issue)
+		}
+		c.Name = fmt.Sprintf("%s[%s]", cfg.Name, suffix[1:])
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("invalid override: %w", err)
+		}
+		cfg = &c
+	}
+	return &runSpec{app: app, cfg: cfg, mem: mm, vlCap: r.VL}, nil
+}
+
+// resolveSweep expands a SweepRequest into its cells in canonical order.
+func (r *SweepRequest) resolveSweep() ([]*runSpec, error) {
+	appNames := r.Apps
+	if len(appNames) == 0 {
+		appNames = AppNames()
+	}
+	cfgNames := r.Configs
+	if len(cfgNames) == 0 {
+		cfgNames = ConfigNames()
+	}
+	memNames := r.Memories
+	if len(memNames) == 0 {
+		memNames = MemoryNames()
+	}
+	specs := make([]*runSpec, 0, len(appNames)*len(cfgNames)*len(memNames))
+	for _, an := range appNames {
+		for _, cn := range cfgNames {
+			for _, mn := range memNames {
+				req := RunRequest{App: an, Config: cn, Memory: mn}
+				spec, err := req.resolve()
+				if err != nil {
+					return nil, err
+				}
+				specs = append(specs, spec)
+			}
+		}
+	}
+	return specs, nil
+}

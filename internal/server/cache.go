@@ -1,0 +1,125 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"vsimdvliw/internal/apps"
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/kernels"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/report"
+)
+
+// progCache is a sharded LRU of compiled core.Programs keyed by
+// (application, code variant, machine-configuration hash). Each entry
+// carries its own sync.Once, so concurrent requests for the same key
+// single-flight the expensive build+compile (the same memoization shape as
+// internal/report's sweep entries) while other shards stay untouched.
+// Compiled Programs are immutable (see core.Program), so a cached entry
+// can serve any number of concurrent runs.
+type progCache struct {
+	shards   []cacheShard
+	perShard int
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	byKey map[string]*list.Element
+	order *list.List // front = most recently used; values are *cacheEntry
+}
+
+type cacheEntry struct {
+	key  string
+	once sync.Once
+	prog *core.Program
+	err  error
+}
+
+// newProgCache builds a cache holding at most capacity programs across
+// nShards shards (both floored at 1; capacity is rounded up to a multiple
+// of the shard count).
+func newProgCache(capacity, nShards int) *progCache {
+	if nShards < 1 {
+		nShards = 1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	perShard := (capacity + nShards - 1) / nShards
+	c := &progCache{shards: make([]cacheShard, nShards), perShard: perShard}
+	for i := range c.shards {
+		c.shards[i].byKey = make(map[string]*list.Element)
+		c.shards[i].order = list.New()
+	}
+	return c
+}
+
+// configKey is a stable fingerprint of a machine configuration, covering
+// every field (so per-request lane/issue overrides land in distinct cache
+// slots even though they share the base configuration's name).
+func configKey(cfg *machine.Config) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%#v", *cfg)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// cacheKey identifies one compiled program.
+func cacheKey(app string, v kernels.Variant, cfg *machine.Config) string {
+	return fmt.Sprintf("%s|%d|%s", app, v, configKey(cfg))
+}
+
+// get returns the compiled program for (app, cfg), compiling at most once
+// per key. hit reports whether the entry already existed (even if its
+// compile is still in flight on another goroutine).
+func (c *progCache) get(app *apps.App, cfg *machine.Config) (prog *core.Program, hit bool, err error) {
+	v := report.VariantFor(cfg)
+	key := cacheKey(app.Name, v, cfg)
+	s := &c.shards[shardIndex(key, len(c.shards))]
+
+	s.mu.Lock()
+	el, ok := s.byKey[key]
+	var e *cacheEntry
+	if ok {
+		s.order.MoveToFront(el)
+		e = el.Value.(*cacheEntry)
+	} else {
+		e = &cacheEntry{key: key}
+		s.byKey[key] = s.order.PushFront(e)
+		if s.order.Len() > c.perShard {
+			oldest := s.order.Back()
+			s.order.Remove(oldest)
+			delete(s.byKey, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	s.mu.Unlock()
+
+	// Build+compile outside the shard lock: other keys proceed, and
+	// duplicate requests for this key block on the same Once.
+	e.once.Do(func() {
+		built := app.Build(v)
+		e.prog, e.err = core.Compile(built.Func, cfg)
+	})
+	return e.prog, ok, e.err
+}
+
+// len returns the number of cached entries across all shards.
+func (c *progCache) len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// shardIndex hashes a key onto a shard.
+func shardIndex(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"vsimdvliw/internal/machine"
+)
+
+// TestCacheSingleFlight fires many concurrent gets for the same key and
+// checks they all receive the same compiled program (one compile, shared
+// by everyone).
+func TestCacheSingleFlight(t *testing.T) {
+	c := newProgCache(8, 2)
+	app, err := LookupApp("gsm_dec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	progs := make([]any, n)
+	var hits atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prog, hit, err := c.get(app, &machine.Vector2x2)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if hit {
+				hits.Add(1)
+			}
+			progs[i] = prog
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if progs[i] != progs[0] {
+			t.Fatalf("get %d returned a different program pointer", i)
+		}
+	}
+	if c.len() != 1 {
+		t.Fatalf("cache holds %d entries after one key, want 1", c.len())
+	}
+	if hits.Load() != n-1 {
+		t.Fatalf("%d hits for %d gets, want %d (single miss)", hits.Load(), n, n-1)
+	}
+}
+
+// TestCacheLRUEviction fills a single-shard cache past capacity and
+// checks the oldest key is evicted and recompiled on the next get.
+func TestCacheLRUEviction(t *testing.T) {
+	c := newProgCache(2, 1)
+	app, err := LookupApp("gsm_dec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []*machine.Config{&machine.VLIW2, &machine.USIMD2, &machine.Vector2x2}
+	first, _, err := c.get(app, cfgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range cfgs[1:] {
+		if _, _, err := c.get(app, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d entries, want capacity 2", c.len())
+	}
+	// cfgs[0] was the least recently used; it must have been evicted and
+	// now recompiles as a miss with a fresh program value.
+	again, hit, err := c.get(app, cfgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("evicted key reported as a cache hit")
+	}
+	if again == first {
+		t.Fatal("evicted key returned the original program pointer")
+	}
+}
+
+// TestCacheDistinctKeys checks the config fingerprint separates
+// per-request overrides that share a base configuration name.
+func TestCacheDistinctKeys(t *testing.T) {
+	base := machine.Vector2x2
+	override := machine.Vector2x2
+	override.Lanes = 8
+	if configKey(&base) == configKey(&override) {
+		t.Fatal("lane override produced the same config fingerprint")
+	}
+	if configKey(&base) != configKey(&machine.Vector2x2) {
+		t.Fatal("config fingerprint is not stable")
+	}
+}

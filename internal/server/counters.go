@@ -1,0 +1,133 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vsimdvliw/internal/metrics"
+	"vsimdvliw/internal/sim"
+)
+
+// serverMetrics holds the daemon's operational counters plus the
+// aggregate simulation statistics of every served run (backed by
+// internal/metrics' exact-sum StallBreakdown, so the per-cause series on
+// /metrics always sums to the stall total — the same invariant the
+// simulator enforces per run).
+type serverMetrics struct {
+	start time.Time
+
+	mu       sync.Mutex
+	requests map[reqKey]int64
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	shed        atomic.Int64
+
+	runsTotal    atomic.Int64
+	runsCanceled atomic.Int64
+	runsFailed   atomic.Int64
+
+	runMu         sync.Mutex
+	runSeconds    float64
+	servedCycles  int64
+	servedStalls  int64
+	servedOps     int64
+	stallsByCause metrics.StallBreakdown
+}
+
+// reqKey labels one vsimdd_requests_total series.
+type reqKey struct {
+	endpoint string
+	code     int
+}
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{start: time.Now(), requests: make(map[reqKey]int64)}
+}
+
+// request counts one finished HTTP exchange.
+func (m *serverMetrics) request(endpoint string, code int) {
+	m.mu.Lock()
+	m.requests[reqKey{endpoint, code}]++
+	m.mu.Unlock()
+}
+
+// servedRun folds one run's outcome into the aggregates. Canceled runs
+// contribute their partial results: the simulator guarantees partial
+// breakdowns still sum exactly, so the /metrics invariant survives.
+func (m *serverMetrics) servedRun(res *sim.Result, elapsed time.Duration) {
+	m.runsTotal.Add(1)
+	m.runMu.Lock()
+	m.runSeconds += elapsed.Seconds()
+	if res != nil {
+		m.servedCycles += res.Cycles
+		m.servedStalls += res.StallCycles
+		m.servedOps += res.Ops
+		m.stallsByCause.AddBreakdown(&res.Stalls)
+	}
+	m.runMu.Unlock()
+}
+
+// writePrometheus renders the counters in Prometheus text exposition
+// format. Map-backed series are emitted in sorted label order, so the
+// output is deterministic.
+func (m *serverMetrics) writePrometheus(w io.Writer, cacheLen, queueDepth int, inflight int64) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		fmt.Fprintf(w, "%s %d\n", name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		fmt.Fprintf(w, "%s %d\n", name, v)
+	}
+
+	m.mu.Lock()
+	keys := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].endpoint != keys[j].endpoint {
+			return keys[i].endpoint < keys[j].endpoint
+		}
+		return keys[i].code < keys[j].code
+	})
+	fmt.Fprintf(w, "# HELP vsimdd_requests_total HTTP requests served, by endpoint and status code.\n")
+	fmt.Fprintf(w, "# TYPE vsimdd_requests_total counter\n")
+	for _, k := range keys {
+		fmt.Fprintf(w, "vsimdd_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, m.requests[k])
+	}
+	m.mu.Unlock()
+
+	counter("vsimdd_cache_hits_total", "Compiled-program cache hits.", m.cacheHits.Load())
+	counter("vsimdd_cache_misses_total", "Compiled-program cache misses (cold compiles).", m.cacheMisses.Load())
+	gauge("vsimdd_cache_entries", "Compiled programs currently cached.", int64(cacheLen))
+	counter("vsimdd_shed_total", "Requests shed by admission control (429).", m.shed.Load())
+	gauge("vsimdd_queue_depth", "Admitted jobs waiting for a worker.", int64(queueDepth))
+	gauge("vsimdd_inflight_runs", "Simulations currently executing.", inflight)
+	counter("vsimdd_runs_total", "Simulation runs started on the worker pool.", m.runsTotal.Load())
+	counter("vsimdd_runs_canceled_total", "Runs stopped by deadline or cancellation.", m.runsCanceled.Load())
+	counter("vsimdd_runs_failed_total", "Runs that ended in a simulation error.", m.runsFailed.Load())
+
+	m.runMu.Lock()
+	fmt.Fprintf(w, "# HELP vsimdd_run_seconds_total Wall-clock seconds spent simulating.\n")
+	fmt.Fprintf(w, "# TYPE vsimdd_run_seconds_total counter\n")
+	fmt.Fprintf(w, "vsimdd_run_seconds_total %g\n", m.runSeconds)
+	counter("vsimdd_served_cycles_total", "Simulated cycles across all served runs.", m.servedCycles)
+	counter("vsimdd_served_ops_total", "Simulated operations across all served runs.", m.servedOps)
+	counter("vsimdd_served_stall_cycles_total", "Simulated stall cycles across all served runs.", m.servedStalls)
+	fmt.Fprintf(w, "# HELP vsimdd_served_stall_cycles_by_cause_total Stall cycles by cause; the series sums exactly to vsimdd_served_stall_cycles_total.\n")
+	fmt.Fprintf(w, "# TYPE vsimdd_served_stall_cycles_by_cause_total counter\n")
+	for _, c := range metrics.Causes() {
+		fmt.Fprintf(w, "vsimdd_served_stall_cycles_by_cause_total{cause=%q} %d\n", c.String(), m.stallsByCause[c])
+	}
+	m.runMu.Unlock()
+
+	fmt.Fprintf(w, "# HELP vsimdd_uptime_seconds Seconds since the daemon started.\n")
+	fmt.Fprintf(w, "# TYPE vsimdd_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "vsimdd_uptime_seconds %g\n", time.Since(m.start).Seconds())
+}

@@ -1,0 +1,182 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Load harness: drives a running vsimdd at a fixed concurrency for a
+// fixed duration and reports throughput and latency percentiles.
+// cmd/vsimdload is the CLI over it; cmd/benchjson runs a short in-process
+// burst to derive the service_req_s headline metric.
+
+// LoadOptions configures one load run.
+type LoadOptions struct {
+	// URL is the daemon's base URL, e.g. "http://127.0.0.1:8037".
+	URL string
+	// Concurrency is the number of closed-loop clients (default 4).
+	Concurrency int
+	// Duration is how long to keep issuing requests (default 10s).
+	Duration time.Duration
+	// Requests is the workload mix; clients cycle through it round-robin.
+	// Empty defaults to DefaultWorkload().
+	Requests []RunRequest
+	// Client overrides the HTTP client (default: http.Client with a 30s
+	// timeout).
+	Client *http.Client
+}
+
+// DefaultWorkload is a small repeated-cell mix: the cheapest app on three
+// configurations covering all three ISA variants, realistic memory. Its
+// repetition makes it a cache-friendly steady-state workload (hit-rate
+// approaches 1 after the first few requests).
+func DefaultWorkload() []RunRequest {
+	return []RunRequest{
+		{App: "gsm_dec", Config: "VLIW-2w", Memory: "realistic"},
+		{App: "gsm_dec", Config: "uSIMD-2w", Memory: "realistic"},
+		{App: "gsm_dec", Config: "Vector2-2w", Memory: "realistic"},
+	}
+}
+
+// LoadReport is the outcome of one load run.
+type LoadReport struct {
+	Requests  int64         `json:"requests"` // completed 200s
+	Shed      int64         `json:"shed"`     // 429s (admission control)
+	Canceled  int64         `json:"canceled"` // 504s (deadline)
+	Errors    int64         `json:"errors"`   // transport failures and 5xx
+	Duration  time.Duration `json:"-"`
+	DurationS float64       `json:"duration_s"`
+	ReqPerS   float64       `json:"req_s"` // completed requests per second
+	P50MS     float64       `json:"p50_ms"`
+	P95MS     float64       `json:"p95_ms"`
+	P99MS     float64       `json:"p99_ms"`
+	MaxMS     float64       `json:"max_ms"`
+}
+
+// String renders the report for terminals.
+func (r *LoadReport) String() string {
+	return fmt.Sprintf(
+		"requests=%d shed=%d canceled=%d errors=%d in %.2fs\n"+
+			"throughput: %.1f req/s\nlatency: p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms",
+		r.Requests, r.Shed, r.Canceled, r.Errors, r.DurationS,
+		r.ReqPerS, r.P50MS, r.P95MS, r.P99MS, r.MaxMS)
+}
+
+// Load drives the daemon until the duration elapses or ctx is done.
+func Load(ctx context.Context, o LoadOptions) (*LoadReport, error) {
+	if o.Concurrency <= 0 {
+		o.Concurrency = 4
+	}
+	if o.Duration <= 0 {
+		o.Duration = 10 * time.Second
+	}
+	if len(o.Requests) == 0 {
+		o.Requests = DefaultWorkload()
+	}
+	client := o.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	bodies := make([][]byte, len(o.Requests))
+	for i := range o.Requests {
+		b, err := json.Marshal(&o.Requests[i])
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+	url := o.URL + "/v1/run"
+
+	ctx, cancel := context.WithTimeout(ctx, o.Duration)
+	defer cancel()
+
+	var (
+		ok, shed, canceled, fail atomic.Int64
+		next                     atomic.Int64
+		mu                       sync.Mutex
+		lat                      []float64
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < o.Concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				body := bodies[int(next.Add(1))%len(bodies)]
+				t0 := time.Now()
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+				if err != nil {
+					fail.Add(1)
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err != nil {
+					if ctx.Err() != nil {
+						return // the duration elapsed mid-request, not a failure
+					}
+					fail.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				ms := float64(time.Since(t0)) / float64(time.Millisecond)
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+					mu.Lock()
+					lat = append(lat, ms)
+					mu.Unlock()
+				case http.StatusTooManyRequests:
+					shed.Add(1)
+				case http.StatusGatewayTimeout:
+					canceled.Add(1)
+				default:
+					fail.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Float64s(lat)
+	rep := &LoadReport{
+		Requests: ok.Load(), Shed: shed.Load(), Canceled: canceled.Load(),
+		Errors: fail.Load(), Duration: elapsed, DurationS: elapsed.Seconds(),
+	}
+	if elapsed > 0 {
+		rep.ReqPerS = float64(rep.Requests) / elapsed.Seconds()
+	}
+	rep.P50MS = percentile(lat, 0.50)
+	rep.P95MS = percentile(lat, 0.95)
+	rep.P99MS = percentile(lat, 0.99)
+	if len(lat) > 0 {
+		rep.MaxMS = lat[len(lat)-1]
+	}
+	return rep, nil
+}
+
+// percentile returns the p-quantile of sorted samples (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	"vsimdvliw/internal/apps"
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/machine"
+)
+
+// The lookup helpers resolve the user-facing names of the evaluation
+// matrix's three axes and, on failure, return an error naming every valid
+// value — the API maps these to 400s, and the CLIs (vsimdsim, vsimdload)
+// share them so flag typos produce the same actionable message instead of
+// a bare "unknown name".
+
+// AppNames returns the benchmark application names in the paper's order.
+func AppNames() []string {
+	all := apps.All()
+	out := make([]string, len(all))
+	for i, a := range all {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// ConfigNames returns the machine configuration names in Table 2 order.
+func ConfigNames() []string {
+	all := machine.All()
+	out := make([]string, len(all))
+	for i, c := range all {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// MemoryNames returns the memory model names in the paper's order.
+func MemoryNames() []string {
+	out := make([]string, len(core.Models))
+	for i, m := range core.Models {
+		out[i] = m.String()
+	}
+	return out
+}
+
+// LookupApp resolves an application by name.
+func LookupApp(name string) (*apps.App, error) {
+	if a, err := apps.ByName(name); err == nil {
+		return a, nil
+	}
+	return nil, fmt.Errorf("unknown application %q (valid: %s)",
+		name, strings.Join(AppNames(), ", "))
+}
+
+// LookupConfig resolves a machine configuration by name.
+func LookupConfig(name string) (*machine.Config, error) {
+	if c := machine.ByName(name); c != nil {
+		return c, nil
+	}
+	return nil, fmt.Errorf("unknown configuration %q (valid: %s)",
+		name, strings.Join(ConfigNames(), ", "))
+}
+
+// LookupMemory resolves a memory model by name. The empty string defaults
+// to the realistic hierarchy, matching the CLIs.
+func LookupMemory(name string) (core.MemoryModel, error) {
+	if name == "" {
+		return core.Realistic, nil
+	}
+	for _, m := range core.Models {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown memory model %q (valid: %s)",
+		name, strings.Join(MemoryNames(), ", "))
+}

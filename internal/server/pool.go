@@ -1,0 +1,123 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Admission control: a bounded queue in front of a fixed worker pool.
+// Simulation runs are CPU-bound, so capacity is workers × queue depth —
+// once the queue is full the server sheds load immediately (the handler
+// turns errQueueFull into 429 + Retry-After) instead of stacking
+// unbounded goroutines behind the CPUs. A shutting-down pool refuses new
+// work but drains everything already admitted.
+
+var (
+	// errQueueFull reports that the admission queue had no room.
+	errQueueFull = errors.New("server: admission queue full")
+	// errDraining reports that the pool is shutting down.
+	errDraining = errors.New("server: shutting down")
+)
+
+// job is one admitted unit of work. The worker that pops it runs do
+// unless the job's context is already done, then closes done.
+type job struct {
+	ctx  context.Context
+	do   func(ctx context.Context)
+	done chan struct{}
+}
+
+// workerPool runs admitted jobs on a fixed set of worker goroutines.
+type workerPool struct {
+	jobs chan *job
+	wg   sync.WaitGroup
+
+	// mu guards the submit-vs-close race: submits hold it shared so a
+	// concurrent Close cannot close the channel mid-send.
+	mu     sync.RWMutex
+	closed bool
+
+	inflight atomic.Int64
+}
+
+// newWorkerPool starts workers goroutines behind a queue of queueDepth
+// pending jobs (both floored at 1).
+func newWorkerPool(workers, queueDepth int) *workerPool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	p := &workerPool{jobs: make(chan *job, queueDepth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *workerPool) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		// do is responsible for bailing out quickly when the job's
+		// deadline expired while it sat in the queue (the submitter has
+		// already observed ctx.Done and answered by then).
+		p.inflight.Add(1)
+		j.do(j.ctx)
+		p.inflight.Add(-1)
+		close(j.done)
+	}
+}
+
+// submit tries to admit a job without blocking. It returns errQueueFull
+// when the queue has no room and errDraining after close.
+func (p *workerPool) submit(j *job) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return errDraining
+	}
+	select {
+	case p.jobs <- j:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// submitWait admits a job, blocking until there is queue room or ctx is
+// done. Sweep cells use it: the batch was already admitted as a whole, so
+// its cells wait for workers instead of shedding against each other. The
+// shared read-lock also pauses close() until the send lands, so a blocked
+// submitWait never races a channel close.
+func (p *workerPool) submitWait(ctx context.Context, j *job) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return errDraining
+	}
+	select {
+	case p.jobs <- j:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// close stops admission and waits for every already-admitted job to
+// finish (graceful drain).
+func (p *workerPool) close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// depth is the number of queued (not yet started) jobs.
+func (p *workerPool) depth() int { return len(p.jobs) }

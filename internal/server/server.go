@@ -1,0 +1,408 @@
+// Package server turns the Vector-µSIMD-VLIW evaluation stack into a
+// long-running service: a JSON HTTP API over the compiled-program cache,
+// an admission-controlled worker pool, per-request deadlines plumbed into
+// the cycle loop, and Prometheus metrics. cmd/vsimdd is the daemon
+// wrapping it; cmd/vsimdload is the load generator driving it.
+//
+// Endpoints:
+//
+//	POST /v1/run     one app × config × memory cell, optional VL/lane/issue
+//	                 overrides and a per-request deadline
+//	POST /v1/sweep   a batched sub-matrix in canonical cell order
+//	GET  /healthz    liveness
+//	GET  /metrics    Prometheus text format (server counters plus exact-sum
+//	                 aggregates of every served run)
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/report"
+	"vsimdvliw/internal/sim"
+)
+
+// Config tunes a Server. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the number of simulation workers (default: NumCPU).
+	Workers int
+	// QueueDepth is the admission queue bound; a full queue sheds new
+	// requests with 429 (default: 4 × Workers).
+	QueueDepth int
+	// CacheCapacity bounds the compiled-program LRU (default: 256).
+	CacheCapacity int
+	// CacheShards is the cache's shard count (default: 16).
+	CacheShards int
+	// CheckCycles is the cancellation-poll interval in simulated cycles
+	// (default: sim.DefaultCheckCycles).
+	CheckCycles int64
+	// MaxBodyBytes bounds request bodies (default: 1 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheCapacity <= 0 {
+		c.CacheCapacity = 256
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
+	if c.CheckCycles <= 0 {
+		c.CheckCycles = sim.DefaultCheckCycles
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Server is the simulation service.
+type Server struct {
+	cfg   Config
+	cache *progCache
+	pool  *workerPool
+	met   *serverMetrics
+	hs    *http.Server
+
+	mu       sync.Mutex
+	listener net.Listener
+	serveErr chan error
+}
+
+// New builds a Server (not yet listening).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: newProgCache(cfg.CacheCapacity, cfg.CacheShards),
+		pool:  newWorkerPool(cfg.Workers, cfg.QueueDepth),
+		met:   newServerMetrics(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.hs = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	return s
+}
+
+// Handler exposes the API mux (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.hs.Handler }
+
+// Metrics returns a snapshot of the operational counters most callers
+// need programmatically.
+func (s *Server) Metrics() (cacheHits, cacheMisses, shed int64) {
+	return s.met.cacheHits.Load(), s.met.cacheMisses.Load(), s.met.shed.Load()
+}
+
+// Start listens on addr (":0" picks a random port) and serves in the
+// background, returning the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.serveErr = make(chan error, 1)
+	s.mu.Unlock()
+	go func() { s.serveErr <- s.hs.Serve(l) }()
+	return l.Addr().String(), nil
+}
+
+// Serve serves on the given listener until Shutdown (blocking).
+func (s *Server) Serve(l net.Listener) error {
+	err := s.hs.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown gracefully stops the server: it stops accepting connections,
+// waits (up to ctx) for in-flight requests — and therefore in-flight
+// simulations — to drain, then stops the worker pool.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.hs.Shutdown(ctx)
+	s.pool.close()
+	s.mu.Lock()
+	ch := s.serveErr
+	s.mu.Unlock()
+	if ch != nil {
+		if serr := <-ch; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+			err = serr
+		}
+	}
+	return err
+}
+
+// runResult is the worker-side outcome of one cell; the submitting
+// handler reads it only after the job's done channel closes.
+type runResult struct {
+	res     *sim.Result
+	hit     bool
+	queueMS float64
+	runMS   float64
+	err     error
+}
+
+// execute admits one resolved cell onto the worker pool and waits for it
+// (or for ctx). Cancellation while queued answers immediately with the
+// typed error; the worker skips the stale job.
+func (s *Server) execute(ctx context.Context, spec *runSpec, block bool) *runResult {
+	out := &runResult{}
+	submitted := time.Now()
+	j := &job{ctx: ctx, done: make(chan struct{})}
+	j.do = func(ctx context.Context) {
+		start := time.Now()
+		out.queueMS = float64(start.Sub(submitted)) / float64(time.Millisecond)
+		if err := ctx.Err(); err != nil {
+			// Deadline expired while queued: the submitter has already
+			// answered with the typed cancellation; don't wedge a worker
+			// on dead work.
+			s.met.runsCanceled.Add(1)
+			out.err = &sim.CanceledError{Cause: err}
+			return
+		}
+		prog, hit, err := s.cache.get(spec.app, spec.cfg)
+		out.hit = hit
+		if hit {
+			s.met.cacheHits.Add(1)
+		} else {
+			s.met.cacheMisses.Add(1)
+		}
+		if err != nil {
+			s.met.runsFailed.Add(1)
+			out.err = err
+			return
+		}
+		res, err := prog.RunOpts(spec.mem, core.RunOptions{
+			Context:     ctx,
+			CheckCycles: s.cfg.CheckCycles,
+			VLCap:       spec.vlCap,
+		})
+		elapsed := time.Since(start)
+		out.runMS = float64(elapsed) / float64(time.Millisecond)
+		if err != nil {
+			var ce *sim.CanceledError
+			if errors.As(err, &ce) {
+				s.met.runsCanceled.Add(1)
+				s.met.servedRun(ce.Partial, elapsed)
+			} else {
+				s.met.runsFailed.Add(1)
+			}
+			out.err = err
+			return
+		}
+		s.met.servedRun(res, elapsed)
+		out.res = res
+	}
+	var err error
+	if block {
+		err = s.pool.submitWait(ctx, j)
+	} else {
+		err = s.pool.submit(j)
+	}
+	if err != nil {
+		if errors.Is(err, errQueueFull) {
+			s.met.shed.Add(1)
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			err = &sim.CanceledError{Cause: err}
+		}
+		return &runResult{err: err}
+	}
+	select {
+	case <-j.done:
+		return out
+	case <-ctx.Done():
+		// The job may still be queued or just starting; never touch out
+		// again — the worker owns it (and does the cancellation
+		// accounting when it pops the job). Answer with the typed error.
+		return &runResult{err: &sim.CanceledError{Cause: ctx.Err()}}
+	}
+}
+
+// requestContext applies the request deadline, if any.
+func requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	if timeoutMS > 0 {
+		return context.WithTimeout(ctx, time.Duration(timeoutMS)*time.Millisecond)
+	}
+	return ctx, func() {}
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if !s.decode(w, r, "run", &req) {
+		return
+	}
+	spec, err := req.resolve()
+	if err != nil {
+		s.writeError(w, "run", http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := requestContext(r, req.TimeoutMS)
+	defer cancel()
+	out := s.execute(ctx, spec, false)
+	if out.err != nil {
+		s.writeRunError(w, "run", out.err)
+		return
+	}
+	s.writeJSON(w, "run", http.StatusOK, &RunResponse{
+		CellMetrics: report.CellMetrics{
+			App: spec.app.Name, Config: spec.cfg.Name, ISA: spec.cfg.ISA.String(),
+			Issue: spec.cfg.Issue, Memory: spec.mem.String(),
+			Stats:          out.res,
+			StallsByOpcode: out.res.StallsByOpcode(),
+		},
+		Cache:   cacheLabel(out.hit),
+		QueueMS: out.queueMS,
+		RunMS:   out.runMS,
+	})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !s.decode(w, r, "sweep", &req) {
+		return
+	}
+	specs, err := req.resolveSweep()
+	if err != nil {
+		s.writeError(w, "sweep", http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	// Fan the cells out on the worker pool. Sweep cells use blocking
+	// admission (the batch as a whole was admitted; its cells queue as
+	// workers free up) so a sub-matrix larger than the queue bound still
+	// completes instead of shedding against itself.
+	outs := make([]*runResult, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outs[i] = s.execute(ctx, spec, true)
+		}()
+	}
+	wg.Wait()
+
+	resp := &SweepResponse{Cells: make([]SweepCell, len(specs))}
+	for i, spec := range specs {
+		cell := SweepCell{App: spec.app.Name, Config: spec.cfg.Name, Memory: spec.mem.String()}
+		out := outs[i]
+		switch {
+		case out.err != nil:
+			cell.Error = out.err.Error()
+			cell.Canceled = errors.Is(out.err, sim.ErrCanceled)
+			resp.Errors++
+		default:
+			cell.Stats = out.res
+			cell.Cache = cacheLabel(out.hit)
+		}
+		resp.Cells[i] = cell
+	}
+	code := http.StatusOK
+	if resp.Errors == len(resp.Cells) && len(resp.Cells) > 0 {
+		// Nothing succeeded: surface the failure mode as the status.
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			code = http.StatusGatewayTimeout
+		} else {
+			code = http.StatusInternalServerError
+		}
+	}
+	s.writeJSON(w, "sweep", code, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, "healthz", http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.met.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.writePrometheus(w, s.cache.len(), s.pool.depth(), s.pool.inflight.Load())
+	s.met.request("metrics", http.StatusOK)
+}
+
+// decode parses a JSON body, rejecting unknown fields; on failure it has
+// already written the 400.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, endpoint string, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		s.writeError(w, endpoint, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// writeRunError maps an execution error onto the right status code.
+func (s *Server) writeRunError(w http.ResponseWriter, endpoint string, err error) {
+	switch {
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, endpoint, http.StatusTooManyRequests, err)
+	case errors.Is(err, errDraining):
+		s.writeError(w, endpoint, http.StatusServiceUnavailable, err)
+	case errors.Is(err, sim.ErrCanceled):
+		var ce *sim.CanceledError
+		resp := &ErrorResponse{Error: err.Error(), Canceled: true}
+		if errors.As(err, &ce) {
+			resp.Partial = ce.Partial
+		}
+		s.writeJSON(w, endpoint, http.StatusGatewayTimeout, resp)
+	default:
+		s.writeError(w, endpoint, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, endpoint string, code int, err error) {
+	s.writeJSON(w, endpoint, code, &ErrorResponse{Error: err.Error()})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, endpoint string, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil && !isClientGone(err) {
+		// The header is out; all we can do is count it.
+		code = http.StatusInternalServerError
+	}
+	s.met.request(endpoint, code)
+}
+
+func cacheLabel(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// isClientGone reports a write error caused by the peer disconnecting.
+func isClientGone(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		strings.Contains(err.Error(), "broken pipe") ||
+		strings.Contains(err.Error(), "connection reset")
+}

@@ -1,0 +1,472 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/report"
+	"vsimdvliw/internal/sim"
+)
+
+// sameResult compares two results through their JSON wire form — the
+// API's contract. (Result.OpStalls is json:"-" and is exposed separately
+// as the stalls_by_opcode map, so in-memory DeepEqual would be stricter
+// than what the API promises.)
+func sameResult(t *testing.T, got, want *sim.Result) bool {
+	t.Helper()
+	gj, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wj, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.Equal(gj, wj)
+}
+
+// startServer boots a daemon on a random loopback port and tears it down
+// gracefully when the test ends.
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	srv := New(cfg)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return srv, "http://" + addr
+}
+
+// post sends a JSON body and decodes the response into out (if non-nil),
+// returning the status code.
+func post(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestRunEndpointMatchesCollect is the bit-identity acceptance check: the
+// daemon's served per-cell results must equal report.Collect's for the
+// same (app, config, memory) cells.
+func TestRunEndpointMatchesCollect(t *testing.T) {
+	_, url := startServer(t, Config{Workers: 2})
+
+	apps := []string{"jpeg_enc", "gsm_dec"}
+	cfgs := []string{"VLIW-2w", "Vector2-2w"}
+	mems := []string{"perfect", "realistic"}
+
+	want, err := report.CollectOpts(report.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	memModel := map[string]core.MemoryModel{"perfect": core.Perfect, "realistic": core.Realistic}
+	for _, a := range apps {
+		for _, c := range cfgs {
+			for _, mm := range mems {
+				var got RunResponse
+				code := post(t, url+"/v1/run", &RunRequest{App: a, Config: c, Memory: mm}, &got)
+				if code != http.StatusOK {
+					t.Fatalf("POST /v1/run %s/%s/%s: status %d", a, c, mm, code)
+				}
+				ref := want.Get(a, c, memModel[mm])
+				if !sameResult(t, got.Stats, ref) {
+					t.Errorf("cell %s/%s/%s: served result differs from report.Collect", a, c, mm)
+				}
+				refOps := ref.StallsByOpcode()
+				if (len(got.StallsByOpcode) > 0 || len(refOps) > 0) &&
+					!reflect.DeepEqual(got.StallsByOpcode, refOps) {
+					t.Errorf("cell %s/%s/%s: served stalls_by_opcode differs from report.Collect", a, c, mm)
+				}
+			}
+		}
+	}
+}
+
+// TestSweepEndpointMatchesCollect checks the batched path: a sub-matrix
+// sweep returns every cell in canonical order, bit-identical to Collect.
+func TestSweepEndpointMatchesCollect(t *testing.T) {
+	_, url := startServer(t, Config{Workers: 4, QueueDepth: 2})
+
+	req := SweepRequest{
+		Apps:     []string{"gsm_dec", "gsm_enc"},
+		Configs:  []string{"VLIW-2w", "uSIMD-2w", "Vector2-2w"},
+		Memories: []string{"perfect", "realistic"},
+	}
+	var resp SweepResponse
+	if code := post(t, url+"/v1/sweep", &req, &resp); code != http.StatusOK {
+		t.Fatalf("POST /v1/sweep: status %d", code)
+	}
+	if resp.Errors != 0 {
+		t.Fatalf("sweep reported %d cell errors", resp.Errors)
+	}
+	wantCells := len(req.Apps) * len(req.Configs) * len(req.Memories)
+	if len(resp.Cells) != wantCells {
+		t.Fatalf("sweep returned %d cells, want %d", len(resp.Cells), wantCells)
+	}
+
+	want, err := report.CollectOpts(report.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	memModel := map[string]core.MemoryModel{"perfect": core.Perfect, "realistic": core.Realistic}
+	i := 0
+	for _, a := range req.Apps {
+		for _, c := range req.Configs {
+			for _, mm := range req.Memories {
+				cell := resp.Cells[i]
+				i++
+				if cell.App != a || cell.Config != c || cell.Memory != mm {
+					t.Fatalf("cell %d = %s/%s/%s, want canonical %s/%s/%s",
+						i-1, cell.App, cell.Config, cell.Memory, a, c, mm)
+				}
+				if !sameResult(t, cell.Stats, want.Get(a, c, memModel[mm])) {
+					t.Errorf("cell %s/%s/%s: sweep result differs from report.Collect", a, c, mm)
+				}
+			}
+		}
+	}
+}
+
+// TestCacheHitRate replays a repeated-cell workload and checks the
+// compiled-program cache serves >90% of it (the acceptance threshold).
+func TestCacheHitRate(t *testing.T) {
+	srv, url := startServer(t, Config{Workers: 2})
+	const n = 60
+	for i := 0; i < n; i++ {
+		req := DefaultWorkload()[i%3]
+		if code := post(t, url+"/v1/run", &req, nil); code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+	}
+	hits, misses, _ := srv.Metrics()
+	if hits+misses != n {
+		t.Fatalf("cache saw %d lookups, want %d", hits+misses, n)
+	}
+	if rate := float64(hits) / float64(n); rate <= 0.90 {
+		t.Fatalf("cache hit rate %.2f on a repeated-cell workload, want > 0.90", rate)
+	}
+}
+
+// TestValidation400s checks the shared input validation: unknown names on
+// any axis are rejected with 400 and the list of valid values.
+func TestValidation400s(t *testing.T) {
+	_, url := startServer(t, Config{Workers: 1})
+	cases := []struct {
+		req  RunRequest
+		want string
+	}{
+		{RunRequest{App: "nope", Config: "VLIW-2w"}, "jpeg_enc"},
+		{RunRequest{App: "gsm_dec", Config: "nope"}, "Vector2-2w"},
+		{RunRequest{App: "gsm_dec", Config: "VLIW-2w", Memory: "nope"}, "realistic"},
+		{RunRequest{App: "gsm_dec", Config: "VLIW-2w", VL: 99}, "out of range"},
+		{RunRequest{App: "gsm_dec", Config: "VLIW-2w", Lanes: 4}, "vector configuration"},
+	}
+	for _, c := range cases {
+		var er ErrorResponse
+		if code := post(t, url+"/v1/run", &c.req, &er); code != http.StatusBadRequest {
+			t.Fatalf("%+v: status %d, want 400", c.req, code)
+		}
+		if !strings.Contains(er.Error, c.want) {
+			t.Errorf("%+v: error %q does not mention %q", c.req, er.Error, c.want)
+		}
+	}
+	// Unknown fields are rejected too.
+	resp, err := http.Post(url+"/v1/run", "application/json",
+		strings.NewReader(`{"app":"gsm_dec","config":"VLIW-2w","bogus":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestOverrides checks the per-request machine overrides change timing
+// through distinct compiled-program cache slots.
+func TestOverrides(t *testing.T) {
+	_, url := startServer(t, Config{Workers: 2})
+	var base, lanes, vl RunResponse
+	if code := post(t, url+"/v1/run", &RunRequest{App: "gsm_dec", Config: "Vector2-2w"}, &base); code != 200 {
+		t.Fatalf("base: status %d", code)
+	}
+	if code := post(t, url+"/v1/run", &RunRequest{App: "gsm_dec", Config: "Vector2-2w", Lanes: 8}, &lanes); code != 200 {
+		t.Fatalf("lanes: status %d", code)
+	}
+	if code := post(t, url+"/v1/run", &RunRequest{App: "gsm_dec", Config: "Vector2-2w", VL: 2}, &vl); code != 200 {
+		t.Fatalf("vl: status %d", code)
+	}
+	if lanes.Config != "Vector2-2w[lanes=8]" {
+		t.Errorf("lanes override config = %q", lanes.Config)
+	}
+	if lanes.Stats.Cycles == base.Stats.Cycles {
+		t.Errorf("lanes=8 did not change timing (%d cycles)", base.Stats.Cycles)
+	}
+	if vl.Stats.MicroOps >= base.Stats.MicroOps {
+		t.Errorf("vl=2 did not reduce micro-ops (%d vs %d)", vl.Stats.MicroOps, base.Stats.MicroOps)
+	}
+}
+
+// TestDeadlineDoesNotWedgeWorker is the cancellation acceptance check: a
+// request with a 1ms deadline returns the typed cancellation error and
+// the (single) worker stays usable for the next request. The worker is
+// held busy with a blocking job so the deadline deterministically expires
+// while the request waits in the queue; the stale job is then skipped
+// when the worker finally pops it.
+func TestDeadlineDoesNotWedgeWorker(t *testing.T) {
+	srv, url := startServer(t, Config{Workers: 1, QueueDepth: 4, CheckCycles: 1000})
+	release := make(chan struct{})
+	blocker := &job{ctx: context.Background(), done: make(chan struct{})}
+	blocker.do = func(context.Context) { <-release }
+	if err := srv.pool.submit(blocker); err != nil {
+		t.Fatal(err)
+	}
+	for srv.pool.inflight.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	var er ErrorResponse
+	code := post(t, url+"/v1/run",
+		&RunRequest{App: "mpeg2_enc", Config: "Vector2-4w", TimeoutMS: 1}, &er)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("deadline request: status %d, want 504", code)
+	}
+	if !er.Canceled {
+		t.Fatalf("deadline request not marked canceled: %+v", er)
+	}
+	if er.Partial != nil {
+		// When the run got far enough to produce a partial snapshot, it
+		// must uphold the exact-sum invariant.
+		if er.Partial.Stalls.Total() != er.Partial.StallCycles {
+			t.Fatalf("partial stall breakdown %d != stall cycles %d",
+				er.Partial.Stalls.Total(), er.Partial.StallCycles)
+		}
+	}
+	// Release the worker: it skips the stale deadline-expired job and
+	// must be free again for a normal request.
+	close(release)
+	<-blocker.done
+	var ok RunResponse
+	if code := post(t, url+"/v1/run", &RunRequest{App: "gsm_dec", Config: "VLIW-2w"}, &ok); code != 200 {
+		t.Fatalf("post-deadline request: status %d, want 200 (worker wedged?)", code)
+	}
+}
+
+// TestAdmissionControlSheds deterministically saturates a 1-worker /
+// 1-slot daemon (blocking jobs occupy the worker and the queue slot) and
+// checks the next request is shed with 429 + Retry-After, then that
+// releasing the workers restores normal 200 service.
+func TestAdmissionControlSheds(t *testing.T) {
+	srv, url := startServer(t, Config{Workers: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	blocker := func() *job {
+		j := &job{ctx: context.Background(), done: make(chan struct{})}
+		j.do = func(context.Context) { <-release }
+		return j
+	}
+	// Occupy the single worker...
+	first := blocker()
+	if err := srv.pool.submit(first); err != nil {
+		t.Fatal(err)
+	}
+	for srv.pool.inflight.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// ...and the single queue slot.
+	second := blocker()
+	if err := srv.pool.submit(second); err != nil {
+		t.Fatal(err)
+	}
+
+	b, _ := json.Marshal(&RunRequest{App: "gsm_dec", Config: "VLIW-2w"})
+	resp, err := http.Post(url+"/v1/run", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated daemon answered %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if _, _, shed := srv.Metrics(); shed != 1 {
+		t.Errorf("shed counter = %d, want 1", shed)
+	}
+
+	// Release the pool; service resumes.
+	close(release)
+	<-first.done
+	<-second.done
+	var ok RunResponse
+	if code := post(t, url+"/v1/run", &RunRequest{App: "gsm_dec", Config: "VLIW-2w"}, &ok); code != http.StatusOK {
+		t.Fatalf("post-saturation request: status %d, want 200", code)
+	}
+}
+
+// TestMetricsEndpointInvariants scrapes /metrics after a few runs and
+// asserts the exact-sum invariant: the per-cause stall series sums to the
+// stall total, and served cycles are non-zero.
+func TestMetricsEndpointInvariants(t *testing.T) {
+	_, url := startServer(t, Config{Workers: 2})
+	for i := 0; i < 6; i++ {
+		req := DefaultWorkload()[i%3]
+		if code := post(t, url+"/v1/run", &req, nil); code != 200 {
+			t.Fatalf("warmup %d: status %d", i, code)
+		}
+	}
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	vals := map[string]float64{}
+	var causeSum float64
+	sc := newLineScanner(t, resp)
+	for _, line := range sc {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, valStr, found := strings.Cut(line, " ")
+		if !found {
+			continue
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("bad sample line %q: %v", line, err)
+		}
+		if strings.HasPrefix(name, "vsimdd_served_stall_cycles_by_cause_total{") {
+			causeSum += v
+			continue
+		}
+		vals[name] = v
+	}
+	if vals["vsimdd_served_cycles_total"] <= 0 {
+		t.Fatal("no served cycles recorded")
+	}
+	if total := vals["vsimdd_served_stall_cycles_total"]; causeSum != total {
+		t.Fatalf("stall causes sum to %.0f, want exactly %.0f", causeSum, total)
+	}
+	if vals["vsimdd_runs_total"] < 6 {
+		t.Fatalf("runs_total = %.0f, want >= 6", vals["vsimdd_runs_total"])
+	}
+}
+
+func newLineScanner(t *testing.T, resp *http.Response) []string {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return strings.Split(buf.String(), "\n")
+}
+
+// TestLoadBurst is the CI smoke of the load harness: a short burst at
+// moderate concurrency must complete with zero transport errors and sane
+// latency percentiles, and the daemon must shut down cleanly afterwards
+// (the startServer cleanup asserts that).
+func TestLoadBurst(t *testing.T) {
+	_, url := startServer(t, Config{})
+	dur := 800 * time.Millisecond
+	if testing.Short() {
+		dur = 200 * time.Millisecond
+	}
+	rep, err := Load(context.Background(), LoadOptions{URL: url, Concurrency: 4, Duration: dur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("load burst had %d errors:\n%s", rep.Errors, rep)
+	}
+	if rep.Requests == 0 {
+		t.Fatalf("load burst completed no requests:\n%s", rep)
+	}
+	if rep.P50MS <= 0 || rep.P99MS < rep.P50MS {
+		t.Fatalf("implausible percentiles:\n%s", rep)
+	}
+}
+
+// TestHealthz checks liveness.
+func TestHealthz(t *testing.T) {
+	_, url := startServer(t, Config{Workers: 1})
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+}
+
+// TestGracefulShutdownDrains starts a slow request, begins shutdown
+// mid-flight, and checks the request still completes successfully.
+func TestGracefulShutdownDrains(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + addr
+
+	done := make(chan int, 1)
+	go func() {
+		b, _ := json.Marshal(&RunRequest{App: "mpeg2_enc", Config: "Vector2-4w"})
+		resp, err := http.Post(url+"/v1/run", "application/json", bytes.NewReader(b))
+		if err != nil {
+			done <- -1
+			return
+		}
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	time.Sleep(50 * time.Millisecond) // let the request reach a worker
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("in-flight request finished with %d during drain, want 200", code)
+	}
+
+	// New connections are refused after shutdown.
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Fatal("server still accepting connections after Shutdown")
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt for debug edits

@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"vsimdvliw/internal/apps"
+	"vsimdvliw/internal/kernels"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/mem"
+	"vsimdvliw/internal/sched"
+)
+
+// buildApp schedules one benchmark application for cfg.
+func buildApp(t *testing.T, name string, cfg *machine.Config, v kernels.Variant) *sched.FuncSched {
+	t.Helper()
+	a, err := apps.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := sched.Schedule(a.Build(v).Func, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// cancelAfterWrites is an io.Writer that cancels a context after n
+// writes; wired to Machine.Trace it cancels a run from inside the cycle
+// loop at a deterministic block count.
+type cancelAfterWrites struct {
+	n      int
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfterWrites) Write(p []byte) (int, error) {
+	if c.n--; c.n <= 0 {
+		c.cancel()
+	}
+	return len(p), nil
+}
+
+func TestRunCanceledBeforeStart(t *testing.T) {
+	fs := buildApp(t, "gsm_dec", &machine.VLIW2, kernels.Scalar)
+	m := New(fs, mem.NewPerfect(&machine.VLIW2))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m.SetContext(ctx, 0)
+	res, err := m.Run()
+	if res != nil {
+		t.Fatalf("got a result from a canceled run")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want to unwrap to context.Canceled", err)
+	}
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %T, want *CanceledError", err)
+	}
+	if ce.Partial != nil {
+		t.Fatalf("canceled-before-start run has a partial result (%d cycles)", ce.Partial.Cycles)
+	}
+}
+
+// TestRunCanceledMidRunPartial cancels a run partway through and checks
+// the typed error carries a partial result that upholds the exact-sum
+// invariants (stall breakdown == stall cycles, utilization == cycles).
+func TestRunCanceledMidRunPartial(t *testing.T) {
+	cfg := &machine.Vector2x2
+	fs := buildApp(t, "mpeg2_enc", cfg, kernels.Vector)
+
+	// First measure the full run length so the cancellation point is
+	// guaranteed to fall inside the run.
+	full, err := New(fs, mem.NewHierarchy(cfg)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := New(fs, mem.NewHierarchy(cfg))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Cancel deterministically from inside the run: the block trace fires
+	// once per executed block, so the context goes down after 200 blocks
+	// and the next cycle-poll (every cycle) stops the run mid-flight.
+	m.Trace = &cancelAfterWrites{n: 200, cancel: cancel}
+	m.SetContext(ctx, 1)
+	res, err := m.Run()
+	if res != nil {
+		t.Fatalf("got a result from a canceled run")
+	}
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v (%T), want *CanceledError", err, err)
+	}
+	p := ce.Partial
+	if p == nil {
+		t.Fatal("canceled mid-run without a partial result")
+	}
+	if p.Cycles <= 0 || p.Cycles >= full.Cycles {
+		t.Fatalf("partial cycles = %d, want in (0, %d)", p.Cycles, full.Cycles)
+	}
+	if got := p.Stalls.Total(); got != p.StallCycles {
+		t.Fatalf("partial stall breakdown sums to %d, want StallCycles %d", got, p.StallCycles)
+	}
+	var regionStalls, regionCycles int64
+	for _, r := range p.Regions {
+		regionStalls += r.StallCycles
+		regionCycles += r.Cycles
+		if rg := r.Stalls.Total(); rg != r.StallCycles {
+			t.Fatalf("region stall breakdown sums to %d, want %d", rg, r.StallCycles)
+		}
+	}
+	if regionStalls != p.StallCycles || regionCycles != p.Cycles {
+		t.Fatalf("region sums (%d cycles, %d stalls) != totals (%d, %d)",
+			regionCycles, regionStalls, p.Cycles, p.StallCycles)
+	}
+	if p.Util == nil || p.Util.Total() != p.Cycles {
+		t.Fatalf("partial utilization does not sum to cycles")
+	}
+}
+
+// TestRunDeadlineExpiry drives a real wall-clock deadline through the
+// cycle loop: with a tiny poll interval the run must stop well before the
+// uncanceled run length and unwrap to DeadlineExceeded.
+func TestRunDeadlineExpiry(t *testing.T) {
+	cfg := &machine.Vector2x2
+	fs := buildApp(t, "mpeg2_enc", cfg, kernels.Vector)
+	m := New(fs, mem.NewHierarchy(cfg))
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	m.SetContext(ctx, 1000)
+	time.Sleep(time.Millisecond) // let the deadline definitely pass
+	_, err := m.Run()
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCanceled unwrapping to DeadlineExceeded", err)
+	}
+}
+
+// deadlineOnlyCtx carries a deadline but never closes a Done channel —
+// the shape of a context whose runtime timer is starved (e.g. by the
+// spinning cycle loop on a single-CPU host). The poll must catch the
+// deadline by wall clock, not only via ctx.Err().
+type deadlineOnlyCtx struct {
+	context.Context
+	d time.Time
+}
+
+func (c deadlineOnlyCtx) Deadline() (time.Time, bool) { return c.d, true }
+
+func TestRunDeadlineWithoutTimer(t *testing.T) {
+	cfg := &machine.Vector2x2
+	fs := buildApp(t, "mpeg2_enc", cfg, kernels.Vector)
+	m := New(fs, mem.NewHierarchy(cfg))
+	m.SetContext(deadlineOnlyCtx{context.Background(), time.Now().Add(-time.Second)}, 1000)
+	res, err := m.Run()
+	if res != nil {
+		t.Fatal("got a result from a run with an expired deadline")
+	}
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCanceled unwrapping to DeadlineExceeded", err)
+	}
+}
+
+// TestSetContextNoop checks that background-style contexts disable the
+// polling and leave results untouched.
+func TestSetContextNoop(t *testing.T) {
+	cfg := &machine.VLIW2
+	fs := buildApp(t, "gsm_dec", cfg, kernels.Scalar)
+	plain, err := New(fs, mem.NewPerfect(cfg)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(fs, mem.NewPerfect(cfg))
+	m.SetContext(context.Background(), 1)
+	withCtx, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cycles != withCtx.Cycles || plain.Ops != withCtx.Ops {
+		t.Fatalf("context plumbing changed the result: %d/%d vs %d/%d cycles/ops",
+			plain.Cycles, plain.Ops, withCtx.Cycles, withCtx.Ops)
+	}
+}
+
+// TestVLCap checks the variable-VL timing experiment: capping VL must cut
+// the per-operation micro-op count of vector code while the default cap
+// reproduces the uncapped run bit-for-bit.
+func TestVLCap(t *testing.T) {
+	cfg := &machine.Vector2x2
+	fs := buildApp(t, "gsm_dec", cfg, kernels.Vector)
+
+	base, err := New(fs, mem.NewPerfect(cfg)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mDefault := New(fs, mem.NewPerfect(cfg))
+	mDefault.SetVLCap(0) // explicit "no cap"
+	same, err := mDefault.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Cycles != base.Cycles || same.MicroOps != base.MicroOps {
+		t.Fatalf("uncapped SetVLCap changed the run: %d/%d vs %d/%d",
+			same.Cycles, same.MicroOps, base.Cycles, base.MicroOps)
+	}
+
+	mCap := New(fs, mem.NewPerfect(cfg))
+	mCap.SetVLCap(2)
+	capped, err := mCap.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.MicroOps >= base.MicroOps {
+		t.Fatalf("VL cap 2 did not reduce micro-ops: %d vs %d", capped.MicroOps, base.MicroOps)
+	}
+	// Reset restores the architectural maximum.
+	mCap.Reset()
+	after, err := mCap.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.MicroOps != base.MicroOps {
+		t.Fatalf("Reset did not clear the VL cap: %d vs %d micro-ops", after.MicroOps, base.MicroOps)
+	}
+}

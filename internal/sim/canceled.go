@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrCanceled is the sentinel all cancellation errors match through
+// errors.Is: a run that was stopped by its context before reaching HALT.
+var ErrCanceled = errors.New("sim: run canceled")
+
+// CanceledError reports a simulation stopped by context cancellation or
+// deadline expiry. It carries the partial result accumulated up to the
+// cancellation point — cycles, per-region statistics and the stall
+// attribution still satisfy the exact-sum invariants (Stalls sums to
+// StallCycles, the utilization histograms sum to Cycles), so a caller can
+// bill or display partial work faithfully.
+type CanceledError struct {
+	// Cause is the context error (context.Canceled or
+	// context.DeadlineExceeded). Never nil.
+	Cause error
+	// Partial is the result accumulated before the run stopped; nil when
+	// the run was canceled before it started.
+	Partial *Result
+}
+
+// Error implements error.
+func (e *CanceledError) Error() string {
+	if e.Partial != nil {
+		return fmt.Sprintf("sim: run canceled after %d cycles: %v", e.Partial.Cycles, e.Cause)
+	}
+	return fmt.Sprintf("sim: run canceled before start: %v", e.Cause)
+}
+
+// Unwrap exposes the context error so errors.Is(err,
+// context.DeadlineExceeded) works.
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// Is matches the ErrCanceled sentinel.
+func (e *CanceledError) Is(target error) bool { return target == ErrCanceled }
+
+// DefaultCheckCycles is how many simulated cycles pass between
+// cancellation checks when SetContext is called with checkEvery <= 0. The
+// check itself is a single ctx.Err() call, so the interval only bounds
+// cancellation latency (tens of microseconds of wall time at typical
+// simulation speeds), not throughput.
+const DefaultCheckCycles = 50_000
+
+// SetContext arms the machine with a cancellation context: Run polls
+// ctx.Err() every checkEvery simulated cycles (DefaultCheckCycles if <= 0)
+// and, once the context is done, stops and returns a *CanceledError
+// holding the partial result. A context deadline is additionally compared
+// against the wall clock at every poll — ctx.Err() alone is not enough,
+// because the runtime timer that closes ctx.Done can be starved by the
+// spinning cycle loop on a single-CPU host. A nil ctx (or
+// context.Background()) disables the checks.
+func (m *Machine) SetContext(ctx context.Context, checkEvery int64) {
+	m.ctxDeadline, m.ctxHasDL = time.Time{}, false
+	if ctx != nil {
+		m.ctxDeadline, m.ctxHasDL = ctx.Deadline()
+	}
+	if ctx != nil && ctx.Done() == nil && !m.ctxHasDL {
+		ctx = nil // never cancelable: skip the polling entirely
+	}
+	if checkEvery <= 0 {
+		checkEvery = DefaultCheckCycles
+	}
+	m.ctx = ctx
+	m.ctxEvery = checkEvery
+	m.ctxCheckAt = checkEvery
+}
+
+// canceled finalizes a canceled run: like a completed run it snapshots the
+// memory-hierarchy statistics and folds the block execution counts into
+// the utilization histograms, so the partial result upholds the same
+// exact-sum invariants as a finished one.
+func (m *Machine) canceled(cause error) error {
+	res := m.finalize()
+	return &CanceledError{Cause: cause, Partial: res}
+}

@@ -362,7 +362,7 @@ func (m *Machine) execOp(op *ir.Op, os *sched.OpSched) (stall int64, branch int,
 		if v < 1 || v > isa.MaxVL {
 			return 0, -1, false, fmt.Errorf("SETVL %d out of range", v)
 		}
-		m.vl = int(v)
+		m.setVL(int(v))
 	case isa.SETVS:
 		v := op.Imm
 		if !op.UseImm {

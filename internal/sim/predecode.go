@@ -509,7 +509,7 @@ func compileOp(op *ir.Op, os *sched.OpSched) (execFn, error) {
 				if v < 1 || v > isa.MaxVL {
 					return fmt.Errorf("SETVL %d out of range", v)
 				}
-				m.vl = int(v)
+				m.setVL(int(v))
 				return nil
 			}, nil
 		}
@@ -520,7 +520,7 @@ func compileOp(op *ir.Op, os *sched.OpSched) (execFn, error) {
 			if v < 1 || v > isa.MaxVL {
 				return fmt.Errorf("SETVL %d out of range", v)
 			}
-			m.vl = int(v)
+			m.setVL(int(v))
 			return nil
 		}, nil
 	case isa.SETVS:

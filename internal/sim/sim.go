@@ -18,8 +18,10 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"vsimdvliw/internal/ir"
 	"vsimdvliw/internal/isa"
@@ -142,6 +144,21 @@ type Machine struct {
 	branchTo int
 	haltFl   bool
 	stallAcc int64
+	// ctx, when non-nil, is polled every ctxEvery simulated cycles (the
+	// next check fires once Cycles reaches ctxCheckAt); a done context
+	// stops the run with a *CanceledError carrying the partial result.
+	// ctxDeadline mirrors ctx.Deadline(): the poll compares it against the
+	// wall clock directly, because on a single-CPU host the runtime timer
+	// that would close ctx.Done can be starved by the spinning cycle loop,
+	// leaving ctx.Err() nil long past the deadline.
+	ctx         context.Context
+	ctxEvery    int64
+	ctxCheckAt  int64
+	ctxDeadline time.Time
+	ctxHasDL    bool
+	// vlCap clamps the vector length SETVL establishes (the SLAP-style
+	// variable-VL timing experiment); isa.MaxVL means uncapped.
+	vlCap int
 	// MaxCycles aborts runaway simulations (default 4e9).
 	MaxCycles int64
 	// Trace, when non-nil, receives one line per executed basic block:
@@ -166,6 +183,7 @@ func New(fs *sched.FuncSched, model mem.Model) *Machine {
 		vecRegs:   make([][isa.MaxVL]uint64, f.NumRegs[isa.RegVec]),
 		accRegs:   make([]simd.Acc, f.NumRegs[isa.RegAcc]),
 		vl:        isa.MaxVL,
+		vlCap:     isa.MaxVL,
 		vs:        8,
 		memory:    make([]byte, ir.DataBase+f.DataSize),
 		MaxCycles: 4e9,
@@ -182,6 +200,31 @@ func New(fs *sched.FuncSched, model mem.Model) *Machine {
 // Memory exposes the flat data memory (for output verification).
 func (m *Machine) Memory() []byte { return m.memory }
 
+// SetVLCap clamps every vector length the program establishes through
+// SETVL to at most cap (a SLAP-style variable-VL timing experiment: the
+// same compiled program runs with shorter vectors, trading stall
+// amortization for iteration overhead). cap <= 0 or cap >= isa.MaxVL
+// restores the architectural maximum. Capping VL changes the values the
+// program computes — capped runs are timing experiments, not functional
+// reproductions, and output checks do not apply to them.
+func (m *Machine) SetVLCap(cap int) {
+	if cap <= 0 || cap > isa.MaxVL {
+		cap = isa.MaxVL
+	}
+	m.vlCap = cap
+	if m.vl > cap {
+		m.vl = cap
+	}
+}
+
+// setVL applies a SETVL value under the machine's VL cap.
+func (m *Machine) setVL(v int) {
+	if v > m.vlCap {
+		v = m.vlCap
+	}
+	m.vl = v
+}
+
 // ReadBytes copies n bytes starting at the virtual address addr.
 func (m *Machine) ReadBytes(addr, n int64) ([]byte, error) {
 	if addr < 0 || addr+n > int64(len(m.memory)) {
@@ -197,6 +240,14 @@ func (m *Machine) ReadBytes(addr, n int64) ([]byte, error) {
 // core.Compile has not already) unless an opHook or the interpreter flag
 // demands the reference interpreter.
 func (m *Machine) Run() (*Result, error) {
+	if m.ctx != nil {
+		if err := m.ctx.Err(); err != nil {
+			return nil, &CanceledError{Cause: err}
+		}
+		if m.ctxHasDL && !time.Now().Before(m.ctxDeadline) {
+			return nil, &CanceledError{Cause: context.DeadlineExceeded}
+		}
+	}
 	if m.code == nil && !m.interp && m.opHook == nil {
 		code, err := predecoded(m.fs)
 		if err != nil {
@@ -237,13 +288,30 @@ func (m *Machine) Run() (*Result, error) {
 		if m.res.Cycles > m.MaxCycles {
 			return nil, fmt.Errorf("sim: exceeded %d cycles (runaway loop?)", m.MaxCycles)
 		}
+		if m.ctx != nil && m.res.Cycles >= m.ctxCheckAt {
+			m.ctxCheckAt = m.res.Cycles + m.ctxEvery
+			if err := m.ctx.Err(); err != nil {
+				return nil, m.canceled(err)
+			}
+			if m.ctxHasDL && !time.Now().Before(m.ctxDeadline) {
+				return nil, m.canceled(context.DeadlineExceeded)
+			}
+		}
 	}
+	return m.finalize(), nil
+}
+
+// finalize snapshots the run's result: memory-hierarchy statistics (when
+// the model is a *mem.Hierarchy) and the utilization histograms derived
+// from the block execution counts. Completed and canceled runs share it,
+// so partial results uphold the same exact-sum invariants.
+func (m *Machine) finalize() *Result {
 	if h, ok := m.model.(*mem.Hierarchy); ok {
 		m.res.Mem = h.Stats()
 	}
 	m.res.Util = m.utilization()
 	res := m.res
-	return &res, nil
+	return &res
 }
 
 // utilization folds each block's static occupancy profile, weighted by its
@@ -423,6 +491,7 @@ func (m *Machine) Reset() {
 	clear(m.vecRegs)
 	clear(m.accRegs)
 	m.vl = isa.MaxVL
+	m.vlCap = isa.MaxVL
 	m.vs = 8
 	clear(m.memory)
 	for _, chunk := range m.fs.Func.DataInit {
@@ -438,6 +507,11 @@ func (m *Machine) Reset() {
 	m.branchTo = 0
 	m.haltFl = false
 	m.stallAcc = 0
+	m.ctx = nil
+	m.ctxEvery = 0
+	m.ctxCheckAt = 0
+	m.ctxDeadline = time.Time{}
+	m.ctxHasDL = false
 	m.model.Reset()
 }
 
