@@ -4,14 +4,18 @@
 # the vsimdd daemon, whose suite starts a server on a random port, runs a
 # load burst plus a canceled-deadline request, and asserts clean shutdown
 # and exact-sum metric invariants), and short fuzzing smoke runs of the
-# scheduler and of the differential engine-equivalence harness (reference
-# interpreter vs pre-decoded engine over generated programs).
+# scheduler, of the differential engine-equivalence harness (reference
+# interpreter vs pre-decoded engine over generated programs) and of the
+# memory-hierarchy equivalence harness (optimized mem.Hierarchy vs
+# mem.ReferenceHierarchy over random access streams). When at least two
+# BENCH_*.json files exist, ci also prints a non-fatal benchdiff report
+# of the two most recent so perf regressions show up in every CI log.
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz fuzz-engine bench bench-json figures
+.PHONY: ci vet build test race fuzz fuzz-engine fuzz-mem bench bench-json bench-diff bench-report figures
 
-ci: vet build test race fuzz fuzz-engine
+ci: vet build test race fuzz fuzz-engine fuzz-mem bench-report
 
 vet:
 	$(GO) vet ./...
@@ -23,13 +27,16 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/report ./internal/core ./internal/sim ./internal/server
+	$(GO) test -race ./internal/report ./internal/core ./internal/sim ./internal/server ./internal/mem
 
 fuzz:
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzSchedule -fuzztime=10s
 
 fuzz-engine:
 	$(GO) test ./internal/sim -run='^$$' -fuzz=FuzzEngineEquivalence -fuzztime=10s
+
+fuzz-mem:
+	$(GO) test ./internal/mem -run='^$$' -fuzz=FuzzMemHierarchy -fuzztime=10s
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$'
@@ -38,6 +45,23 @@ bench:
 # (machine-readable: ns/op plus custom metrics such as sim_ops/s).
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_$$(date +%Y-%m-%d).json
+
+# bench-diff compares the two most recent BENCH_*.json files and fails on
+# a >5% regression of any headline metric (use THRESHOLD=n to override).
+THRESHOLD ?= 5
+bench-diff:
+	@files=$$(ls -1 BENCH_*.json 2>/dev/null | tail -2); \
+	set -- $$files; \
+	if [ $$# -lt 2 ]; then echo "bench-diff: need two BENCH_*.json files"; exit 1; fi; \
+	$(GO) run ./cmd/benchdiff -threshold $(THRESHOLD) -fail "$$1" "$$2"
+
+# bench-report is the non-fatal ci variant: it prints the diff when two
+# BENCH files exist and stays quiet (and green) otherwise.
+bench-report:
+	@files=$$(ls -1 BENCH_*.json 2>/dev/null | tail -2); \
+	set -- $$files; \
+	if [ $$# -ge 2 ]; then $(GO) run ./cmd/benchdiff -threshold $(THRESHOLD) "$$1" "$$2"; \
+	else echo "bench-report: fewer than two BENCH_*.json files, skipping"; fi
 
 figures:
 	$(GO) run ./cmd/paperfigs

@@ -1,0 +1,147 @@
+// Command benchdiff compares two BENCH_*.json files produced by `make
+// bench-json` and reports per-metric deltas, flagging regressions beyond
+// a configurable threshold. `make bench-diff` runs it against the two
+// most recent BENCH files; `make ci` includes a non-fatal report when a
+// prior BENCH file exists, so a perf regression is visible in every CI
+// log without making the build flaky on noisy machines.
+//
+// Usage:
+//
+//	benchdiff [-threshold 5] [-fail] OLD.json NEW.json
+//
+// With -fail the exit status is 1 when any higher-is-better metric
+// dropped (or lower-is-better metric rose) by more than the threshold
+// percentage.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// doc mirrors the subset of the benchjson schema benchdiff reads.
+type doc struct {
+	Date           string           `json:"date"`
+	SimOpsPerS     float64          `json:"sim_ops_per_s"`
+	ServiceReqPerS float64          `json:"service_req_s"`
+	Benchmarks     map[string]bench `json:"benchmarks"`
+}
+
+type bench struct {
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// row is one compared metric.
+type row struct {
+	Name       string
+	Old, New   float64
+	DeltaPct   float64 // signed percent change, new vs old
+	Regression bool    // beyond threshold in the bad direction
+}
+
+// lowerIsBetter reports the improvement direction of a metric by name:
+// rates (anything per second) improve upward, per-op costs (ns/op, B/op,
+// allocs/op) improve downward.
+func lowerIsBetter(metric string) bool {
+	return strings.HasSuffix(metric, "/op")
+}
+
+// compare diffs the headline fields and every shared benchmark metric of
+// two bench documents. threshold is the regression tolerance in percent.
+func compare(old, new *doc, threshold float64) []row {
+	var rows []row
+	add := func(name string, o, n float64, lower bool) {
+		if o == 0 || n == 0 {
+			return // metric absent in one of the runs
+		}
+		d := (n - o) / o * 100
+		bad := d < -threshold
+		if lower {
+			bad = d > threshold
+		}
+		rows = append(rows, row{Name: name, Old: o, New: n, DeltaPct: d, Regression: bad})
+	}
+	add("sim_ops_per_s", old.SimOpsPerS, new.SimOpsPerS, false)
+	add("service_req_s", old.ServiceReqPerS, new.ServiceReqPerS, false)
+
+	names := make([]string, 0, len(old.Benchmarks))
+	for name := range old.Benchmarks {
+		if _, ok := new.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o, n := old.Benchmarks[name], new.Benchmarks[name]
+		metrics := make([]string, 0, len(o.Metrics))
+		for m := range o.Metrics {
+			if _, ok := n.Metrics[m]; ok {
+				metrics = append(metrics, m)
+			}
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			add(name+" "+m, o.Metrics[m], n.Metrics[m], lowerIsBetter(m))
+		}
+	}
+	return rows
+}
+
+func load(path string) (*doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &d, nil
+}
+
+func render(w *os.File, oldPath, newPath string, rows []row) int {
+	fmt.Fprintf(w, "benchdiff %s -> %s\n", oldPath, newPath)
+	fmt.Fprintf(w, "%-40s %14s %14s %8s\n", "metric", "old", "new", "delta")
+	regressions := 0
+	for _, r := range rows {
+		mark := ""
+		if r.Regression {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-40s %14.4g %14.4g %+7.2f%%%s\n", r.Name, r.Old, r.New, r.DeltaPct, mark)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "%d regression(s) beyond threshold\n", regressions)
+	}
+	return regressions
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 5, "regression threshold in percent")
+	failOnReg := flag.Bool("fail", false, "exit 1 when a regression exceeds the threshold")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-fail] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldDoc, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newDoc, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	regressions := render(os.Stdout, flag.Arg(0), flag.Arg(1), compare(oldDoc, newDoc, *threshold))
+	if *failOnReg && regressions > 0 {
+		os.Exit(1)
+	}
+}

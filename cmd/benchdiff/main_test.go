@@ -1,0 +1,83 @@
+package main
+
+import "testing"
+
+func docPair() (*doc, *doc) {
+	old := &doc{
+		SimOpsPerS:     30e6,
+		ServiceReqPerS: 300,
+		Benchmarks: map[string]bench{
+			"BenchmarkSimulator": {Metrics: map[string]float64{"ns/op": 7e6, "sim_ops/s": 30e6}},
+			"BenchmarkCollect":   {Metrics: map[string]float64{"ns/op": 3e9}},
+			"BenchmarkOldOnly":   {Metrics: map[string]float64{"ns/op": 1}},
+		},
+	}
+	new := &doc{
+		SimOpsPerS:     39e6,
+		ServiceReqPerS: 290,
+		Benchmarks: map[string]bench{
+			"BenchmarkSimulator": {Metrics: map[string]float64{"ns/op": 5.5e6, "sim_ops/s": 39e6}},
+			"BenchmarkCollect":   {Metrics: map[string]float64{"ns/op": 3.4e9}},
+			"BenchmarkNewOnly":   {Metrics: map[string]float64{"ns/op": 1}},
+		},
+	}
+	return old, new
+}
+
+func find(rows []row, name string) *row {
+	for i := range rows {
+		if rows[i].Name == name {
+			return &rows[i]
+		}
+	}
+	return nil
+}
+
+func TestCompareDirections(t *testing.T) {
+	old, new := docPair()
+	rows := compare(old, new, 5)
+
+	if r := find(rows, "sim_ops_per_s"); r == nil || r.Regression {
+		t.Errorf("sim_ops_per_s +30%% flagged as regression: %+v", r)
+	}
+	// service_req_s dropped ~3.3%: inside the 5% threshold.
+	if r := find(rows, "service_req_s"); r == nil || r.Regression {
+		t.Errorf("service_req_s -3.3%% within threshold flagged: %+v", r)
+	}
+	// ns/op is lower-is-better: a 13% rise is a regression.
+	if r := find(rows, "BenchmarkCollect ns/op"); r == nil || !r.Regression {
+		t.Errorf("BenchmarkCollect ns/op +13%% not flagged: %+v", r)
+	}
+	// ns/op falling sharply is an improvement, not a regression.
+	if r := find(rows, "BenchmarkSimulator ns/op"); r == nil || r.Regression {
+		t.Errorf("BenchmarkSimulator ns/op drop flagged: %+v", r)
+	}
+	// Benchmarks present in only one file are skipped.
+	if find(rows, "BenchmarkOldOnly ns/op") != nil || find(rows, "BenchmarkNewOnly ns/op") != nil {
+		t.Error("unpaired benchmarks must not be compared")
+	}
+}
+
+func TestCompareThreshold(t *testing.T) {
+	old, new := docPair()
+	// With a 3% threshold the service_req_s drop becomes a regression.
+	rows := compare(old, new, 3)
+	if r := find(rows, "service_req_s"); r == nil || !r.Regression {
+		t.Errorf("service_req_s -3.3%% not flagged at 3%% threshold: %+v", r)
+	}
+}
+
+func TestLowerIsBetter(t *testing.T) {
+	cases := map[string]bool{
+		"ns/op":       true,
+		"B/op":        true,
+		"allocs/op":   true,
+		"sim_ops/s":   false,
+		"sched_ops/s": false,
+	}
+	for m, want := range cases {
+		if got := lowerIsBetter(m); got != want {
+			t.Errorf("lowerIsBetter(%q) = %v, want %v", m, got, want)
+		}
+	}
+}

@@ -23,6 +23,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 
 	"vsimdvliw/internal/core"
@@ -37,7 +39,36 @@ func main() {
 	metricsDir := flag.String("metrics", "", "also write the full per-cell metrics (matrix.jsonl) to this directory")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	workers := flag.Int("j", 0, "parallel simulation workers (0 = all CPUs, 1 = sequential)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (taken after the sweep) to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperfigs:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "paperfigs:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "paperfigs:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the retained heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "paperfigs:", err)
+			}
+		}()
+	}
 
 	// Figure 4 and the ablation study need no full sweep.
 	static := map[string]func() (string, error){

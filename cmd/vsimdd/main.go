@@ -21,6 +21,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,8 +40,21 @@ func main() {
 		shards   = flag.Int("cache-shards", 16, "compiled-program cache shards")
 		check    = flag.Int64("check-cycles", 0, "cancellation poll interval in simulated cycles (0 = default)")
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	)
 	flag.Parse()
+
+	if *pprof != "" {
+		// The profiling endpoints live on their own listener so they are
+		// never exposed on the service address. DefaultServeMux carries
+		// the /debug/pprof/* handlers registered by the pprof import.
+		go func() {
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "vsimdd: pprof:", err)
+			}
+		}()
+		fmt.Printf("vsimdd: pprof on http://%s/debug/pprof/\n", *pprof)
+	}
 
 	srv := server.New(server.Config{
 		Workers:       *workers,

@@ -9,22 +9,103 @@
 // The package models timing only: functional data lives in the
 // simulator's flat memory (internal/sim). Timing and function are
 // decoupled exactly as in trace-driven simulators.
+//
+// The hierarchy is the hottest object of the cycle loop, so Cache and
+// Hierarchy are optimized (shift/mask indexing, an MRU way filter, direct
+// line walks) while the original straightforward implementation is
+// retained in reference.go as ReferenceHierarchy; differential tests and
+// FuzzMemHierarchy prove the two bit-identical on every latency, counter
+// and stall component.
 package mem
+
+import "sort"
+
+// renormTick is the LRU-clock ceiling: once a cache's tick reaches it the
+// stamps are renormalized (see renormStamps). It sits below the 1<<62
+// victim-scan sentinel so stamps can never reach the sentinel, and far
+// enough from MaxInt64 that the post-increment can never overflow.
+const renormTick = int64(1) << 62
+
+// renormStamps rewrites the LRU stamps of one set-associative tag store as
+// their per-set recency ranks (1..ways, older = smaller; ties — only
+// possible between never-touched stamps — keep way order, matching the
+// first-lowest victim scan) and returns the new clock value, ways+1.
+// Order is preserved exactly, so victim selection after a renormalization
+// is identical to the unrenormalized run — the operation is observable
+// only through the absence of stamp overflow in simulations long enough
+// to exhaust a 62-bit clock (long-running vsimdd daemons).
+//
+// Both Cache and refCache renormalize at the same tick with this shared
+// helper, keeping the optimized and reference hierarchies in lock step.
+func renormStamps(stamp []int64, sets, ways int) int64 {
+	order := make([]int, ways)
+	for s := 0; s < sets; s++ {
+		base := s * ways
+		for w := range order {
+			order[w] = w
+		}
+		set := stamp[base : base+ways]
+		sort.SliceStable(order, func(i, j int) bool {
+			return set[order[i]] < set[order[j]]
+		})
+		ranked := make([]int64, ways)
+		for rank, w := range order {
+			ranked[w] = int64(rank + 1)
+		}
+		copy(set, ranked)
+	}
+	return int64(ways) + 1
+}
 
 // Cache is a set-associative write-back, write-allocate cache with LRU
 // replacement. It tracks tags only (timing model).
+//
+// Hot-path layout: all sizes are powers of two in every machine
+// configuration, so NewCache precomputes the line and set shift/mask
+// pair and index never divides. A one-entry MRU filter (the set, tag and
+// way of the last hit) short-circuits the associative scan on the
+// extremely common repeat-hit pattern while updating the LRU stamp, dirty
+// bit and hit counter exactly as the full scan would. Addresses are
+// assumed non-negative (the simulator bounds-checks every access against
+// the flat data memory before consulting the timing model).
 type Cache struct {
 	lineSize int
 	sets     int
 	ways     int
-	tags     []int64 // [set*ways + way]
-	valid    []bool
-	dirty    []bool
-	stamp    []int64
-	tick     int64
+
+	lineShift uint  // log2(lineSize) when pow2
+	setShift  uint  // log2(sets) when pow2
+	setMask   int64 // sets-1 when pow2
+	pow2      bool  // lineSize and sets are both powers of two
+
+	tags  []int64 // [set*ways + way]
+	valid []bool
+	dirty []bool
+	stamp []int64
+	tick  int64
+
+	// MRU way filter: the location of the most recent hit or fill.
+	// Invariant: when mruWay >= 0, way mruWay of set mruSet is valid and
+	// holds mruTag. Fill and Invalidate maintain it; Lookup consults it.
+	mruSet int
+	mruWay int
+	mruTag int64
 
 	Hits   int64
 	Misses int64
+}
+
+// log2 returns (log2(n), true) for positive powers of two.
+func log2(n int) (uint, bool) {
+	if n <= 0 || n&(n-1) != 0 {
+		return 0, false
+	}
+	s := uint(0)
+	for n > 1 {
+		n >>= 1
+		s++
+	}
+	return s, true
 }
 
 // NewCache builds a cache of the given total size, associativity and line
@@ -35,7 +116,7 @@ func NewCache(bytes, ways, line int) *Cache {
 		sets = 1
 	}
 	n := sets * ways
-	return &Cache{
+	c := &Cache{
 		lineSize: line,
 		sets:     sets,
 		ways:     ways,
@@ -43,7 +124,14 @@ func NewCache(bytes, ways, line int) *Cache {
 		valid:    make([]bool, n),
 		dirty:    make([]bool, n),
 		stamp:    make([]int64, n),
+		mruWay:   -1,
 	}
+	ls, ok1 := log2(line)
+	ss, ok2 := log2(sets)
+	if ok1 && ok2 {
+		c.lineShift, c.setShift, c.setMask, c.pow2 = ls, ss, int64(sets-1), true
+	}
+	return c
 }
 
 // LineBase returns the base address of the line containing addr.
@@ -55,8 +143,21 @@ func (c *Cache) LineBase(addr int64) int64 {
 func (c *Cache) LineSize() int { return c.lineSize }
 
 func (c *Cache) index(addr int64) (set int, tag int64) {
+	if c.pow2 {
+		line := addr >> c.lineShift
+		return int(line & c.setMask), line >> c.setShift
+	}
 	line := addr / int64(c.lineSize)
 	return int(line % int64(c.sets)), line / int64(c.sets)
+}
+
+// touch advances the LRU clock, renormalizing the stamps when it reaches
+// the 62-bit ceiling.
+func (c *Cache) touch() {
+	c.tick++
+	if c.tick >= renormTick {
+		c.tick = renormStamps(c.stamp, c.sets, c.ways)
+	}
 }
 
 // Lookup probes the cache. On a hit it updates LRU state, marks the line
@@ -64,14 +165,27 @@ func (c *Cache) index(addr int64) (set int, tag int64) {
 // (the caller decides whether to Fill).
 func (c *Cache) Lookup(addr int64, write bool) bool {
 	set, tag := c.index(addr)
-	c.tick++
-	for w := 0; w < c.ways; w++ {
-		i := set*c.ways + w
-		if c.valid[i] && c.tags[i] == tag {
+	c.touch()
+	if c.mruWay >= 0 && c.mruSet == set && c.mruTag == tag {
+		i := set*c.ways + c.mruWay
+		c.stamp[i] = c.tick
+		if write {
+			c.dirty[i] = true
+		}
+		c.Hits++
+		return true
+	}
+	base := set * c.ways
+	tags := c.tags[base : base+c.ways]
+	valid := c.valid[base : base+c.ways]
+	for w := range tags {
+		if valid[w] && tags[w] == tag {
+			i := base + w
 			c.stamp[i] = c.tick
 			if write {
 				c.dirty[i] = true
 			}
+			c.mruSet, c.mruWay, c.mruTag = set, w, tag
 			c.Hits++
 			return true
 		}
@@ -83,10 +197,12 @@ func (c *Cache) Lookup(addr int64, write bool) bool {
 // Probe reports presence and dirtiness without touching LRU or counters.
 func (c *Cache) Probe(addr int64) (present, dirty bool) {
 	set, tag := c.index(addr)
-	for w := 0; w < c.ways; w++ {
-		i := set*c.ways + w
-		if c.valid[i] && c.tags[i] == tag {
-			return true, c.dirty[i]
+	base := set * c.ways
+	tags := c.tags[base : base+c.ways]
+	valid := c.valid[base : base+c.ways]
+	for w := range tags {
+		if valid[w] && tags[w] == tag {
+			return true, c.dirty[base+w]
 		}
 	}
 	return false, false
@@ -98,7 +214,7 @@ func (c *Cache) Probe(addr int64) (present, dirty bool) {
 // write=true afterwards for a write allocation.
 func (c *Cache) Fill(addr int64) (victimBase int64, victimValid, victimDirty bool) {
 	set, tag := c.index(addr)
-	c.tick++
+	c.touch()
 	lru, lruStamp := -1, int64(1<<62)
 	for w := 0; w < c.ways; w++ {
 		i := set*c.ways + w
@@ -121,6 +237,8 @@ func (c *Cache) Fill(addr int64) (victimBase int64, victimValid, victimDirty boo
 	c.valid[i] = true
 	c.dirty[i] = false
 	c.stamp[i] = c.tick
+	// The fresh line is the most recently used entry of the cache.
+	c.mruSet, c.mruWay, c.mruTag = set, i-set*c.ways, tag
 	return victimBase, victimValid, victimDirty
 }
 
@@ -128,6 +246,9 @@ func (c *Cache) Fill(addr int64) (victimBase int64, victimValid, victimDirty boo
 // previous presence and dirtiness.
 func (c *Cache) Invalidate(addr int64) (present, dirty bool) {
 	set, tag := c.index(addr)
+	if c.mruWay >= 0 && c.mruSet == set && c.mruTag == tag {
+		c.mruWay = -1
+	}
 	for w := 0; w < c.ways; w++ {
 		i := set*c.ways + w
 		if c.valid[i] && c.tags[i] == tag {
@@ -160,6 +281,7 @@ func (c *Cache) Reset() {
 		c.stamp[i] = 0
 	}
 	c.tick = 0
+	c.mruWay = -1
 	c.Hits = 0
 	c.Misses = 0
 }

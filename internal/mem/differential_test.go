@@ -1,0 +1,243 @@
+package mem
+
+import (
+	"fmt"
+	"testing"
+
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/metrics"
+)
+
+// This file is the proof obligation of the memory-model fast path: the
+// optimized Hierarchy must be bit-identical to ReferenceHierarchy on
+// every returned latency, every Stats counter and every per-cause stall
+// component, for any access stream. A seeded property test and a native
+// fuzzer drive both models in lock step and compare after every access;
+// a dedicated test forces the LRU-clock renormalization path in both.
+
+// xorshift64 is a tiny deterministic PRNG so the property test and the
+// fuzzer share one stream generator.
+type xorshift64 uint64
+
+func (x *xorshift64) next() uint64 {
+	v := uint64(*x)
+	if v == 0 {
+		v = 0x9e3779b97f4a7c15
+	}
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift64(v)
+	return v
+}
+
+// diffStrides covers every stride class of the optimized VectorAccess:
+// unit (8), zero, sub-line (1, 3, 7, 16, 24, 56), line-straddling near
+// the line size (63, 64, 65, 70 — 65 and 70 make consecutive elements
+// share a line, defeating naive dedup), super-line (96, 256, 1024), the
+// single-bank conflict stride (128 = 2 x L2 line) and negative strides
+// (which fall back to the reference per-element walk).
+var diffStrides = []int64{0, 1, 3, 7, 8, 16, 24, 56, 63, 64, 65, 70, 96, 128, 256, 1024, -8, -64, -65}
+
+// diffPair drives one optimized and one reference hierarchy with the
+// same pseudo-random access stream, failing the test on the first
+// divergence in latency, stall attribution or statistics.
+type diffPair struct {
+	h   *Hierarchy
+	r   *ReferenceHierarchy
+	rng xorshift64
+}
+
+func newDiffPair(cfg *machine.Config, opts Options, seed uint64) *diffPair {
+	return &diffPair{
+		h:   NewHierarchyOpts(cfg, opts),
+		r:   NewReferenceHierarchyOpts(cfg, opts),
+		rng: xorshift64(seed),
+	}
+}
+
+func (p *diffPair) step(t *testing.T, i int) {
+	t.Helper()
+	v := p.rng.next()
+	write := v&1 != 0
+	var desc string
+	var got, want int
+	// Vector accesses only exist on configurations with an L2 vector
+	// port; µSIMD machines issue scalar/sub-word accesses exclusively.
+	if v&2 != 0 || p.h.cfg.L2PortWords < 1 {
+		addr := int64((v >> 8) % (1<<21 - 8))
+		size := 1 << ((v >> 4) & 3) // 1, 2, 4 or 8 bytes
+		desc = fmt.Sprintf("scalar addr=%#x size=%d write=%v", addr, size, write)
+		got = p.h.ScalarAccess(addr, size, write)
+		want = p.r.ScalarAccess(addr, size, write)
+	} else {
+		stride := diffStrides[(v>>16)%uint64(len(diffStrides))]
+		vl := int((v>>32)%16) + 1
+		base := int64((v >> 8) & 0xffff)
+		if stride < 0 {
+			// Keep the whole footprint at non-negative addresses.
+			base += -stride*int64(vl) + 8
+		}
+		desc = fmt.Sprintf("vector base=%#x stride=%d vl=%d write=%v", base, stride, vl, write)
+		got = p.h.VectorAccess(base, stride, vl, write)
+		want = p.r.VectorAccess(base, stride, vl, write)
+	}
+	if got != want {
+		t.Fatalf("access %d (%s): latency %d, reference %d", i, desc, got, want)
+	}
+	if g, w := *p.h.LastAccess(), *p.r.LastAccess(); g != w {
+		t.Fatalf("access %d (%s): stall components %v, reference %v", i, desc, g, w)
+	}
+	if g, w := p.h.Stats(), p.r.Stats(); g != w {
+		t.Fatalf("access %d (%s): stats %+v, reference %+v", i, desc, g, w)
+	}
+}
+
+func runDifferential(t *testing.T, cfg *machine.Config, opts Options, seed uint64, n int) {
+	t.Helper()
+	p := newDiffPair(cfg, opts, seed)
+	for i := 0; i < n; i++ {
+		p.step(t, i)
+	}
+}
+
+var diffOptVariants = []Options{
+	{},
+	{NoPrefetch: true},
+	{NoWriteValidate: true},
+	{StridedWordsPerCycle: 4},
+	{NoPrefetch: true, NoWriteValidate: true},
+}
+
+// TestDifferentialHierarchy runs 10k seeded random accesses per
+// configuration and option set, comparing the optimized hierarchy
+// against the reference after every single access.
+func TestDifferentialHierarchy(t *testing.T) {
+	cfgs := []*machine.Config{&machine.USIMD2, &machine.Vector2x2, &machine.Vector2x4}
+	for _, cfg := range cfgs {
+		for oi, opts := range diffOptVariants {
+			t.Run(fmt.Sprintf("%s/opts%d", cfg.Name, oi), func(t *testing.T) {
+				runDifferential(t, cfg, opts, 0x9e3779b97f4a7c15+uint64(oi), 10000)
+			})
+		}
+	}
+}
+
+// FuzzMemHierarchy fuzzes the optimized-vs-reference equivalence over
+// random seeds, stream lengths, configurations and ablation options.
+// make fuzz-mem runs it for 10s; make ci includes that smoke run.
+func FuzzMemHierarchy(f *testing.F) {
+	f.Add(uint64(1), uint16(500), uint8(0))
+	f.Add(uint64(0x9e3779b97f4a7c15), uint16(2000), uint8(7))
+	f.Add(uint64(42), uint16(100), uint8(30))
+	cfgs := []*machine.Config{&machine.USIMD2, &machine.Vector2x2, &machine.Vector2x4}
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, sel uint8) {
+		cfg := cfgs[int(sel)%len(cfgs)]
+		opts := Options{
+			NoPrefetch:      sel&4 != 0,
+			NoWriteValidate: sel&8 != 0,
+		}
+		if sel&16 != 0 {
+			opts.StridedWordsPerCycle = 4
+		}
+		runDifferential(t, cfg, opts, seed, int(n%2048)+32)
+	})
+}
+
+// TestCacheTickRenormalization forces the LRU-clock renormalization path
+// of the optimized Cache and checks that the clock drops back to a small
+// value while the replacement order is preserved exactly.
+func TestCacheTickRenormalization(t *testing.T) {
+	c := NewCache(1024, 2, 64) // 8 sets, 2 ways; set 0 lines are 512 apart
+	c.Fill(0)
+	c.Fill(512)
+	c.Lookup(0, false) // set 0 LRU order now: 512 (older), 0 (newer)
+	c.tick = renormTick - 1
+	if !c.Lookup(0, false) { // this touch crosses the ceiling
+		t.Fatal("line 0 must still hit")
+	}
+	if c.tick >= renormTick {
+		t.Fatalf("tick %d not renormalized", c.tick)
+	}
+	if c.tick > int64(c.ways)+2 {
+		t.Fatalf("tick %d after renormalization, want a small rank-based clock", c.tick)
+	}
+	// Replacement order must survive: 512 is still the LRU victim.
+	base, ok, _ := c.Fill(1024)
+	if !ok || base != 512 {
+		t.Fatalf("victim after renormalization = %#x (valid=%v), want 0x200", base, ok)
+	}
+	if !c.Lookup(0, false) {
+		t.Error("recently used line evicted after renormalization")
+	}
+}
+
+// TestDifferentialAcrossRenormalization pins every cache clock of both
+// hierarchies just below the renormalization ceiling mid-stream and
+// checks they stay in lock step through and past the renormalization.
+func TestDifferentialAcrossRenormalization(t *testing.T) {
+	cfg := &machine.Vector2x2
+	p := newDiffPair(cfg, Options{}, 7)
+	for i := 0; i < 2000; i++ {
+		p.step(t, i)
+	}
+	for _, c := range []*Cache{p.h.l1, p.h.l2, p.h.l3} {
+		c.tick = renormTick - 40
+	}
+	for _, c := range []*refCache{p.r.l1, p.r.l2, p.r.l3} {
+		c.tick = renormTick - 40
+	}
+	for i := 2000; i < 4000; i++ {
+		p.step(t, i)
+	}
+	for _, c := range []*Cache{p.h.l1, p.h.l2, p.h.l3} {
+		if c.tick >= renormTick {
+			t.Fatal("renormalization did not fire")
+		}
+	}
+}
+
+// TestCacheMRUFilterAfterInvalidate guards the MRU way filter against
+// serving a stale entry once the line it points at has been invalidated.
+func TestCacheMRUFilterAfterInvalidate(t *testing.T) {
+	c := NewCache(1024, 2, 64)
+	c.Fill(0)
+	if !c.Lookup(0, false) { // filter now points at line 0
+		t.Fatal("fill then lookup must hit")
+	}
+	c.Invalidate(0)
+	if c.Lookup(0, false) {
+		t.Fatal("stale MRU filter produced a hit after invalidate")
+	}
+}
+
+// TestScalarLineCrossing checks the line-crossing scalar fix: an access
+// that straddles an L1 line boundary probes and fills both lines, and a
+// warm crossing access costs two L1 hits with the second attributed to
+// the edge-line cause.
+func TestScalarLineCrossing(t *testing.T) {
+	cfg := &machine.USIMD2
+	h := NewHierarchy(cfg)
+	base := int64(0x10000 + cfg.L1Line - 4) // 8-byte access, 4 bytes past the boundary
+	h.ScalarAccess(base, 8, false)
+	if st := h.Stats(); st.L1Misses != 2 {
+		t.Errorf("cold crossing access: L1 misses = %d, want 2 (both lines filled)", st.L1Misses)
+	}
+	if lat := h.ScalarAccess(base, 8, false); lat != 2*cfg.LatL1 {
+		t.Errorf("warm crossing access latency = %d, want %d", lat, 2*cfg.LatL1)
+	}
+	if c := h.LastAccess(); c[metrics.CauseEdgeLine] != int64(cfg.LatL1) {
+		t.Errorf("edge-line component = %d, want %d", c[metrics.CauseEdgeLine], cfg.LatL1)
+	}
+	// An aligned 8-byte access still touches exactly one line.
+	h2 := NewHierarchy(cfg)
+	h2.ScalarAccess(0x10000, 8, false)
+	if st := h2.Stats(); st.L1Misses != 1 {
+		t.Errorf("aligned access: L1 misses = %d, want 1", st.L1Misses)
+	}
+	// A 1-byte access at the last byte of a line never crosses.
+	h2.ScalarAccess(0x10000+int64(cfg.L1Line)-1, 1, false)
+	if st := h2.Stats(); st.L1Misses != 1 {
+		t.Errorf("1-byte edge access: L1 misses = %d, want 1", st.L1Misses)
+	}
+}

@@ -84,6 +84,15 @@ type Options struct {
 }
 
 // Hierarchy is the realistic three-level memory system.
+//
+// This is the optimized implementation: VectorAccess walks the distinct
+// lines of the access directly (per stride class) instead of looping over
+// elements, the caches index with shift/mask and an MRU way filter, and
+// the per-access stall components are epoch-tagged so detReset never
+// zeroes the array. ReferenceHierarchy (reference.go) is the
+// straightforward original; the two are proven bit-identical on every
+// latency, Stats field and stall component by the differential tests and
+// FuzzMemHierarchy.
 type Hierarchy struct {
 	cfg  *machine.Config
 	opts Options
@@ -92,11 +101,14 @@ type Hierarchy struct {
 	l3   *Cache
 	st   Stats
 	// det accumulates the per-cause extra latency of the access in flight;
-	// it is read back by the simulator through LastAccess. detDirty defers
-	// the clear to the next access that needs it, so the common all-hit
-	// path never pays for zeroing the array.
+	// it is read back by the simulator through LastAccess. Entries are
+	// epoch-tagged: detReset only bumps detEpoch, detAdd overwrites a
+	// stale entry instead of accumulating into it, and LastAccess zeroes
+	// whatever entries the current access did not touch. The common
+	// all-hit path therefore never writes the array at all.
 	det      metrics.Components
-	detDirty bool
+	detTag   [metrics.NumCauses]uint64
+	detEpoch uint64
 }
 
 // NewHierarchy builds the hierarchy described by cfg with default options.
@@ -134,25 +146,37 @@ func (h *Hierarchy) Reset() {
 	h.l3.Reset()
 	h.st = Stats{}
 	h.det.Reset()
-	h.detDirty = false
+	h.detTag = [metrics.NumCauses]uint64{}
+	h.detEpoch = 0
 }
 
-// LastAccess implements Detailed.
-func (h *Hierarchy) LastAccess() *metrics.Components { return &h.det }
-
-// detReset prepares the components for a new access: the clear is skipped
-// entirely unless a previous access left something behind.
-func (h *Hierarchy) detReset() {
-	if h.detDirty {
-		h.det.Reset()
-		h.detDirty = false
+// LastAccess implements Detailed. It materializes the epoch-tagged
+// components: entries the access in flight did not touch are zeroed here,
+// instead of eagerly at the start of every access.
+func (h *Hierarchy) LastAccess() *metrics.Components {
+	for i := range h.det {
+		if h.detTag[i] != h.detEpoch {
+			h.det[i] = 0
+			h.detTag[i] = h.detEpoch
+		}
 	}
+	return &h.det
+}
+
+// detReset opens a new attribution epoch for the next access. No state is
+// cleared: stale entries are recognized by their tag.
+func (h *Hierarchy) detReset() {
+	h.detEpoch++
 }
 
 // detAdd charges extra latency to a cause for the access in flight.
 func (h *Hierarchy) detAdd(cause metrics.Cause, cycles int64) {
-	h.det.Add(cause, cycles)
-	h.detDirty = true
+	if h.detTag[cause] != h.detEpoch {
+		h.det[cause] = cycles
+		h.detTag[cause] = h.detEpoch
+		return
+	}
+	h.det[cause] += cycles
 }
 
 // l2Lookup is the single funnel for timed L2 lookups: it splits the
@@ -160,7 +184,12 @@ func (h *Hierarchy) detAdd(cause metrics.Cause, cycles int64) {
 // bypass it (they do not touch the counters), so the per-bank counters sum
 // exactly to the cache's own Hits/Misses.
 func (h *Hierarchy) l2Lookup(addr int64, write bool) bool {
-	bank := (addr / int64(h.l2.LineSize())) & (NumL2Banks - 1)
+	var bank int64
+	if h.l2.pow2 {
+		bank = (addr >> h.l2.lineShift) & (NumL2Banks - 1)
+	} else {
+		bank = (addr / int64(h.l2.lineSize)) & (NumL2Banks - 1)
+	}
 	hit := h.l2.Lookup(addr, write)
 	if hit {
 		h.st.L2BankHits[bank]++
@@ -180,29 +209,29 @@ func (h *Hierarchy) l2Lookup(addr int64, write bool) bool {
 // stride-one store, whose fill is attributed to CauseEdgeLine instead of
 // the miss level that served it.
 func (h *Hierarchy) fillL2(addr int64, edge bool) int {
+	lat := 0
+	if !h.l2Lookup(addr, false) {
+		cause := metrics.CauseL2Miss
+		if h.l3.Lookup(addr, false) {
+			lat = h.cfg.LatL3
+		} else {
+			lat = h.cfg.LatMem
+			cause = metrics.CauseL3Miss
+			h.l3.Fill(addr) // write-back of the victim is hidden behind the fill
+		}
+		if edge {
+			cause = metrics.CauseEdgeLine
+		}
+		h.detAdd(cause, int64(lat))
+		h.installL2(addr)
+	}
 	// Tagged next-line prefetch: every L2 access (hit or miss) pulls the
 	// following line in at no cost, so streams pay the memory latency
-	// only on their first line.
+	// only on their first line. It runs after the fill (the reference
+	// defers it), so the cache-state update order is identical.
 	if !h.opts.NoPrefetch {
-		defer h.prefetch(h.l2.LineBase(addr) + int64(h.l2.LineSize()))
+		h.prefetch(h.l2.LineBase(addr) + int64(h.l2.lineSize))
 	}
-	if h.l2Lookup(addr, false) {
-		return 0
-	}
-	lat := 0
-	cause := metrics.CauseL2Miss
-	if h.l3.Lookup(addr, false) {
-		lat = h.cfg.LatL3
-	} else {
-		lat = h.cfg.LatMem
-		cause = metrics.CauseL3Miss
-		h.l3.Fill(addr) // write-back of the victim is hidden behind the fill
-	}
-	if edge {
-		cause = metrics.CauseEdgeLine
-	}
-	h.detAdd(cause, int64(lat))
-	h.installL2(addr)
 	return lat
 }
 
@@ -230,24 +259,116 @@ func (h *Hierarchy) installL2(addr int64) {
 	}
 }
 
-// ScalarAccess implements Model: L1 first, then L2/L3/memory, inclusive
-// fills along the way.
-func (h *Hierarchy) ScalarAccess(addr int64, size int, write bool) int {
-	h.detReset()
+// scalarLine services one L1 line of a scalar access: the L1 lookup and,
+// on a miss, the fill chain below it. It reports whether the line hit.
+func (h *Hierarchy) scalarLine(addr int64, write bool) (lat int, hit bool) {
 	if h.l1.Lookup(addr, write) {
-		return h.cfg.LatL1
+		return h.cfg.LatL1, true
 	}
 	// The miss pays the L2 access (beyond the scheduled L1 hit) plus
 	// whatever fill the L2 itself needs; clamping in the simulator trims
 	// the share the schedule's slack absorbed.
 	h.detAdd(metrics.CauseL1Miss, int64(h.cfg.LatL2))
-	lat := h.cfg.LatL2 + h.fillL2(addr, false)
+	lat = h.cfg.LatL2 + h.fillL2(addr, false)
 	if base, ok, dirty := h.l1.Fill(addr); ok && dirty {
 		// Write the victim back into the L2 (it is there by inclusion).
 		h.l2.MarkDirty(base)
 	}
 	if write {
 		h.l1.MarkDirty(addr) // write allocation
+	}
+	return lat, false
+}
+
+// ScalarAccess implements Model: L1 first, then L2/L3/memory, inclusive
+// fills along the way. An access whose [addr, addr+size) span crosses an
+// L1 line boundary probes (and on a miss fills) both lines, serialized:
+// the second line's hit cost is charged to the edge-line cause, and its
+// misses to the ordinary miss chain.
+func (h *Hierarchy) ScalarAccess(addr int64, size int, write bool) int {
+	h.detReset()
+	lat, _ := h.scalarLine(addr, write)
+	if size > 1 {
+		if last := h.l1.LineBase(addr + int64(size) - 1); last != h.l1.LineBase(addr) {
+			lat2, hit := h.scalarLine(last, write)
+			if hit {
+				h.detAdd(metrics.CauseEdgeLine, int64(lat2))
+			}
+			lat += lat2
+		}
+	}
+	return lat
+}
+
+// vectorHeader charges the port-transfer part of a vector access and
+// registers its stride class; it returns the base latency. Shared by the
+// per-stride line walks below.
+func (h *Hierarchy) vectorHeader(stride int64, vl int, unit bool) int {
+	lat := h.cfg.LatL2
+	if unit {
+		h.st.UnitVectorAccesses++
+		lat += (vl - 1) / h.cfg.L2PortWords
+		return lat
+	}
+	h.st.StridedVectorAccesses++
+	lat += (vl - 1) / h.opts.StridedWordsPerCycle
+	// The slow path's extra over the scheduled full-rate transfer. A
+	// stride that is a multiple of twice the line size maps every
+	// element onto one bank — a true bank conflict rather than the
+	// generic one-element-per-cycle strided port.
+	if extra := int64((vl-1)/h.opts.StridedWordsPerCycle - (vl-1)/h.cfg.L2PortWords); extra > 0 {
+		if stride%(2*int64(h.l2.LineSize())) == 0 {
+			h.st.BankConflicts++
+			h.detAdd(metrics.CauseBankConflict, extra)
+		} else {
+			h.detAdd(metrics.CauseStride, extra)
+		}
+	}
+	return lat
+}
+
+// vecLine services one distinct L2 line touched by a vector access: the
+// coherency probe against the L1 and the L2 lookup/fill (write-validate
+// for fully covered lines of a stride-one store). It returns the line's
+// latency contribution.
+func (h *Hierarchy) vecLine(l, base int64, vl int, write, unit bool) int {
+	lat := 0
+	// Coherency probe: flush dirty L1 copies; a vector store also
+	// invalidates clean copies (exclusive-bit policy).
+	if present, dirty := h.l1.Probe(l); present {
+		if dirty {
+			h.l1.Invalidate(l)
+			h.l2.MarkDirty(l)
+			h.st.CoherencyFlushes++
+			h.detAdd(metrics.CauseCoherency, int64(h.cfg.LatL1+1))
+			lat += h.cfg.LatL1 + 1
+		} else if write {
+			h.l1.Invalidate(l)
+		}
+	}
+	if write && unit && !h.opts.NoWriteValidate {
+		// Write-validate requires the store to cover the *whole* line:
+		// the first and last lines of an unaligned span are only
+		// partially written and must be fetched like any other miss.
+		if l >= base && l+int64(h.l2.LineSize()) <= base+int64(vl)*8 {
+			// Write-validate: a stride-one vector store covers whole
+			// lines through the wide port, so a missing line is
+			// installed without fetching it from below.
+			if !h.l2Lookup(l, true) {
+				h.installL2(l)
+				h.l2.MarkDirty(l)
+			}
+			return lat
+		}
+		// A partially covered edge line of the span: fetched, with the
+		// fill attributed to the edge-line cause.
+		lat += h.fillL2(l, true)
+		h.l2.MarkDirty(l)
+		return lat
+	}
+	lat += h.fillL2(l, false)
+	if write {
+		h.l2.MarkDirty(l)
 	}
 	return lat
 }
@@ -264,6 +385,14 @@ func (h *Hierarchy) ScalarAccess(addr int64, size int, write bool) int {
 //     and invalidated (exclusive bit + inclusion), costing one L1-flush
 //     penalty each.
 //
+// The lines the access touches are enumerated directly per stride class
+// (see DESIGN.md §7 for the derivation): a positive stride up to the line
+// size touches a dense ascending run of lines, a longer stride touches at
+// most two lines per element, and only the rare remaining shapes
+// (negative strides, sub-8-byte lines) fall back to the per-element walk
+// of the reference model. Every class reproduces the reference's line
+// visit sequence exactly — same lines, same order, same multiplicity.
+//
 // A non-positive vl is clamped to 1: latency formulas divide (vl-1) by the
 // port rate, and a negative numerator would silently *reduce* latency.
 func (h *Hierarchy) VectorAccess(base, stride int64, vl int, write bool) int {
@@ -271,78 +400,71 @@ func (h *Hierarchy) VectorAccess(base, stride int64, vl int, write bool) int {
 		vl = 1
 	}
 	h.detReset()
-	lat := h.cfg.LatL2
 	unit := stride == 8
-	if unit {
-		h.st.UnitVectorAccesses++
-		lat += (vl - 1) / h.cfg.L2PortWords
-	} else {
-		h.st.StridedVectorAccesses++
-		lat += (vl - 1) / h.opts.StridedWordsPerCycle
-		// The slow path's extra over the scheduled full-rate transfer. A
-		// stride that is a multiple of twice the line size maps every
-		// element onto one bank — a true bank conflict rather than the
-		// generic one-element-per-cycle strided port.
-		if extra := int64((vl-1)/h.opts.StridedWordsPerCycle - (vl-1)/h.cfg.L2PortWords); extra > 0 {
-			if stride%(2*int64(h.l2.LineSize())) == 0 {
-				h.st.BankConflicts++
-				h.detAdd(metrics.CauseBankConflict, extra)
-			} else {
-				h.detAdd(metrics.CauseStride, extra)
+	lat := h.vectorHeader(stride, vl, unit)
+
+	ls := int64(h.l2.LineSize())
+	switch {
+	case stride >= 8 && stride <= ls && ls >= 8:
+		// Elements do not overlap (stride covers the 8-byte word),
+		// consecutive elements start at most a line apart and each element
+		// spans at most one boundary, so the visited lines are exactly the
+		// dense ascending run from the first element's first line to the
+		// last element's last line, each visited once. (Sub-word strides
+		// overlap elements and re-visit lines the last-line dedup cannot
+		// coalesce — they take the reference walk below.)
+		last := h.l2.LineBase(base + int64(vl-1)*stride + 7)
+		for l := h.l2.LineBase(base); l <= last; l += ls {
+			lat += h.vecLine(l, base, vl, write, unit)
+		}
+	case stride == 0 && ls >= 8:
+		first, second := h.l2.LineBase(base), h.l2.LineBase(base+7)
+		if first == second {
+			// Every element touches the same single line; the walk
+			// coalesces to one visit.
+			lat += h.vecLine(first, base, vl, write, unit)
+		} else {
+			// A line-crossing word at stride zero alternates between its
+			// two lines on every element, defeating the last-line
+			// coalescing — visit both lines per element, like the
+			// reference walk does.
+			for i := 0; i < vl; i++ {
+				lat += h.vecLine(first, base, vl, write, unit)
+				lat += h.vecLine(second, base, vl, write, unit)
 			}
 		}
-	}
-
-	// Visit each distinct line the access touches.
-	lastLine := int64(-1)
-	for i := 0; i < vl; i++ {
-		addr := base + int64(i)*stride
-		line := h.l2.LineBase(addr)
-		endLine := h.l2.LineBase(addr + 7)
-		for l := line; l <= endLine; l += int64(h.l2.LineSize()) {
-			if l == lastLine {
-				continue
+	case stride > ls && ls >= 8:
+		// Each element touches its own line, plus the next when the word
+		// crosses a boundary; strides within a word of the line size can
+		// land the next element on the previous element's second line, so
+		// the last visited line is still deduplicated.
+		lastLine := int64(-1)
+		for i := 0; i < vl; i++ {
+			a := base + int64(i)*stride
+			l0, l1 := h.l2.LineBase(a), h.l2.LineBase(a+7)
+			if l0 != lastLine {
+				lat += h.vecLine(l0, base, vl, write, unit)
 			}
-			lastLine = l
-			// Coherency probe: flush dirty L1 copies; a vector store also
-			// invalidates clean copies (exclusive-bit policy).
-			if present, dirty := h.l1.Probe(l); present {
-				if dirty {
-					h.l1.Invalidate(l)
-					h.l2.MarkDirty(l)
-					h.st.CoherencyFlushes++
-					h.detAdd(metrics.CauseCoherency, int64(h.cfg.LatL1+1))
-					lat += h.cfg.LatL1 + 1
-				} else if write {
-					h.l1.Invalidate(l)
-				}
+			if l1 != l0 {
+				lat += h.vecLine(l1, base, vl, write, unit)
 			}
-			// Write-validate requires the store to cover the *whole* line:
-			// the first and last lines of an unaligned span are only
-			// partially written and must be fetched like any other miss.
-			covered := l >= base && l+int64(h.l2.LineSize()) <= base+int64(vl)*8
-			if write && unit && covered && !h.opts.NoWriteValidate {
-				// Write-validate: a stride-one vector store covers whole
-				// lines through the wide port, so a missing line is
-				// installed without fetching it from below.
-				if !h.l2Lookup(l, true) {
-					if base, ok, dirty := h.l2.Fill(l); ok && dirty {
-						if present, _ := h.l3.Probe(base); !present {
-							h.l3.Fill(base)
-						}
-						h.l3.MarkDirty(base)
-					}
-					h.l2.MarkDirty(l)
+			lastLine = l1
+		}
+	default:
+		// Negative strides (descending walks revisit lines in patterns the
+		// closed forms above do not cover), sub-word strides 1..7
+		// (overlapping elements re-visit lines) and degenerate sub-8-byte
+		// lines: the reference per-element walk.
+		lastLine := int64(-1)
+		for i := 0; i < vl; i++ {
+			a := base + int64(i)*stride
+			endLine := h.l2.LineBase(a + 7)
+			for l := h.l2.LineBase(a); l <= endLine; l += ls {
+				if l == lastLine {
+					continue
 				}
-			} else {
-				// A stride-one store reaching this branch was denied
-				// write-validate only because the line is a partially
-				// covered edge of the span.
-				edge := write && unit && !h.opts.NoWriteValidate
-				lat += h.fillL2(l, edge)
-				if write {
-					h.l2.MarkDirty(l)
-				}
+				lastLine = l
+				lat += h.vecLine(l, base, vl, write, unit)
 			}
 		}
 	}

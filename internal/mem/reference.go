@@ -1,0 +1,408 @@
+package mem
+
+import (
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/metrics"
+)
+
+// This file retains the original, straightforward memory-hierarchy
+// implementation as the reference model, following the oracle pattern of
+// the pre-decoded engine (internal/sim) and the SWAR kernels
+// (internal/simd/reference.go): the optimized Hierarchy in hierarchy.go
+// must stay bit-identical to ReferenceHierarchy on every returned
+// latency, Stats counter and per-cause stall component. The differential
+// property test and FuzzMemHierarchy in this package cross-check the two
+// on seeded random access streams, and the engine-level differential
+// tests replay whole applications through both.
+//
+// refCache indexes with div/mod and scans every way on each lookup;
+// ReferenceHierarchy walks vector accesses element by element with
+// last-line deduplication. Keep this file boring: any change to the
+// modeled semantics must be made here first, in the clearest possible
+// form, and then mirrored by the fast path.
+
+// refCache is the reference set-associative write-back, write-allocate
+// LRU cache (tags only).
+type refCache struct {
+	lineSize int
+	sets     int
+	ways     int
+	tags     []int64 // [set*ways + way]
+	valid    []bool
+	dirty    []bool
+	stamp    []int64
+	tick     int64
+
+	Hits   int64
+	Misses int64
+}
+
+func newRefCache(bytes, ways, line int) *refCache {
+	sets := bytes / (ways * line)
+	if sets < 1 {
+		sets = 1
+	}
+	n := sets * ways
+	return &refCache{
+		lineSize: line,
+		sets:     sets,
+		ways:     ways,
+		tags:     make([]int64, n),
+		valid:    make([]bool, n),
+		dirty:    make([]bool, n),
+		stamp:    make([]int64, n),
+	}
+}
+
+func (c *refCache) LineBase(addr int64) int64 {
+	return addr &^ int64(c.lineSize-1)
+}
+
+func (c *refCache) LineSize() int { return c.lineSize }
+
+func (c *refCache) index(addr int64) (set int, tag int64) {
+	line := addr / int64(c.lineSize)
+	return int(line % int64(c.sets)), line / int64(c.sets)
+}
+
+// touch advances the LRU clock, renormalizing at the same tick — with the
+// same shared helper — as the optimized Cache, so the two stay in lock
+// step across a renormalization.
+func (c *refCache) touch() {
+	c.tick++
+	if c.tick >= renormTick {
+		c.tick = renormStamps(c.stamp, c.sets, c.ways)
+	}
+}
+
+func (c *refCache) Lookup(addr int64, write bool) bool {
+	set, tag := c.index(addr)
+	c.touch()
+	for w := 0; w < c.ways; w++ {
+		i := set*c.ways + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.stamp[i] = c.tick
+			if write {
+				c.dirty[i] = true
+			}
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+func (c *refCache) Probe(addr int64) (present, dirty bool) {
+	set, tag := c.index(addr)
+	for w := 0; w < c.ways; w++ {
+		i := set*c.ways + w
+		if c.valid[i] && c.tags[i] == tag {
+			return true, c.dirty[i]
+		}
+	}
+	return false, false
+}
+
+func (c *refCache) Fill(addr int64) (victimBase int64, victimValid, victimDirty bool) {
+	set, tag := c.index(addr)
+	c.touch()
+	lru, lruStamp := -1, int64(1<<62)
+	for w := 0; w < c.ways; w++ {
+		i := set*c.ways + w
+		if !c.valid[i] {
+			lru = i
+			lruStamp = -1
+			break
+		}
+		if c.stamp[i] < lruStamp {
+			lru, lruStamp = i, c.stamp[i]
+		}
+	}
+	i := lru
+	if c.valid[i] {
+		victimValid = true
+		victimDirty = c.dirty[i]
+		victimBase = (c.tags[i]*int64(c.sets) + int64(set)) * int64(c.lineSize)
+	}
+	c.tags[i] = tag
+	c.valid[i] = true
+	c.dirty[i] = false
+	c.stamp[i] = c.tick
+	return victimBase, victimValid, victimDirty
+}
+
+func (c *refCache) Invalidate(addr int64) (present, dirty bool) {
+	set, tag := c.index(addr)
+	for w := 0; w < c.ways; w++ {
+		i := set*c.ways + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.valid[i] = false
+			d := c.dirty[i]
+			c.dirty[i] = false
+			return true, d
+		}
+	}
+	return false, false
+}
+
+func (c *refCache) MarkDirty(addr int64) {
+	set, tag := c.index(addr)
+	for w := 0; w < c.ways; w++ {
+		i := set*c.ways + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.dirty[i] = true
+			return
+		}
+	}
+}
+
+func (c *refCache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.dirty[i] = false
+		c.stamp[i] = 0
+	}
+	c.tick = 0
+	c.Hits = 0
+	c.Misses = 0
+}
+
+// ReferenceHierarchy is the reference realistic three-level memory
+// system: semantically identical to Hierarchy, implemented in the
+// original straightforward style (per-element vector walks, full
+// associative scans, eager lazy-flag attribution reset).
+type ReferenceHierarchy struct {
+	cfg  *machine.Config
+	opts Options
+	l1   *refCache
+	l2   *refCache
+	l3   *refCache
+	st   Stats
+	// det accumulates the per-cause extra latency of the access in flight;
+	// detDirty defers the clear to the next access that needs it.
+	det      metrics.Components
+	detDirty bool
+}
+
+// NewReferenceHierarchy builds the reference hierarchy with default
+// options.
+func NewReferenceHierarchy(cfg *machine.Config) *ReferenceHierarchy {
+	return NewReferenceHierarchyOpts(cfg, Options{})
+}
+
+// NewReferenceHierarchyOpts builds the reference hierarchy with ablation
+// options.
+func NewReferenceHierarchyOpts(cfg *machine.Config, opts Options) *ReferenceHierarchy {
+	if opts.StridedWordsPerCycle < 1 {
+		opts.StridedWordsPerCycle = 1
+	}
+	return &ReferenceHierarchy{
+		cfg:  cfg,
+		opts: opts,
+		l1:   newRefCache(cfg.L1Bytes, cfg.L1Ways, cfg.L1Line),
+		l2:   newRefCache(cfg.L2Bytes, cfg.L2Ways, cfg.L2Line),
+		l3:   newRefCache(cfg.L3Bytes, cfg.L3Ways, cfg.L3Line),
+	}
+}
+
+// Stats returns a snapshot of the event counters.
+func (h *ReferenceHierarchy) Stats() Stats {
+	s := h.st
+	s.L1Hits, s.L1Misses = h.l1.Hits, h.l1.Misses
+	s.L2Hits, s.L2Misses = h.l2.Hits, h.l2.Misses
+	s.L3Hits, s.L3Misses = h.l3.Hits, h.l3.Misses
+	return s
+}
+
+// Reset implements Model.
+func (h *ReferenceHierarchy) Reset() {
+	h.l1.Reset()
+	h.l2.Reset()
+	h.l3.Reset()
+	h.st = Stats{}
+	h.det.Reset()
+	h.detDirty = false
+}
+
+// LastAccess implements Detailed.
+func (h *ReferenceHierarchy) LastAccess() *metrics.Components { return &h.det }
+
+func (h *ReferenceHierarchy) detReset() {
+	if h.detDirty {
+		h.det.Reset()
+		h.detDirty = false
+	}
+}
+
+func (h *ReferenceHierarchy) detAdd(cause metrics.Cause, cycles int64) {
+	h.det.Add(cause, cycles)
+	h.detDirty = true
+}
+
+func (h *ReferenceHierarchy) l2Lookup(addr int64, write bool) bool {
+	bank := (addr / int64(h.l2.LineSize())) & (NumL2Banks - 1)
+	hit := h.l2.Lookup(addr, write)
+	if hit {
+		h.st.L2BankHits[bank]++
+	} else {
+		h.st.L2BankMisses[bank]++
+	}
+	return hit
+}
+
+func (h *ReferenceHierarchy) fillL2(addr int64, edge bool) int {
+	if !h.opts.NoPrefetch {
+		defer h.prefetch(h.l2.LineBase(addr) + int64(h.l2.LineSize()))
+	}
+	if h.l2Lookup(addr, false) {
+		return 0
+	}
+	lat := 0
+	cause := metrics.CauseL2Miss
+	if h.l3.Lookup(addr, false) {
+		lat = h.cfg.LatL3
+	} else {
+		lat = h.cfg.LatMem
+		cause = metrics.CauseL3Miss
+		h.l3.Fill(addr)
+	}
+	if edge {
+		cause = metrics.CauseEdgeLine
+	}
+	h.detAdd(cause, int64(lat))
+	h.installL2(addr)
+	return lat
+}
+
+func (h *ReferenceHierarchy) prefetch(line int64) {
+	if present, _ := h.l2.Probe(line); present {
+		return
+	}
+	if p3, _ := h.l3.Probe(line); !p3 {
+		h.l3.Fill(line)
+	}
+	h.installL2(line)
+	h.st.Prefetches++
+}
+
+func (h *ReferenceHierarchy) installL2(addr int64) {
+	if base, ok, dirty := h.l2.Fill(addr); ok && dirty {
+		if present, _ := h.l3.Probe(base); !present {
+			h.l3.Fill(base)
+		}
+		h.l3.MarkDirty(base)
+	}
+}
+
+// scalarLine services one L1 line of a scalar access (see
+// Hierarchy.scalarLine).
+func (h *ReferenceHierarchy) scalarLine(addr int64, write bool) (lat int, hit bool) {
+	if h.l1.Lookup(addr, write) {
+		return h.cfg.LatL1, true
+	}
+	h.detAdd(metrics.CauseL1Miss, int64(h.cfg.LatL2))
+	lat = h.cfg.LatL2 + h.fillL2(addr, false)
+	if base, ok, dirty := h.l1.Fill(addr); ok && dirty {
+		h.l2.MarkDirty(base)
+	}
+	if write {
+		h.l1.MarkDirty(addr)
+	}
+	return lat, false
+}
+
+// ScalarAccess implements Model, including the line-crossing rule of
+// Hierarchy.ScalarAccess: both lines of a span crossing an L1 boundary
+// are probed and filled, serialized.
+func (h *ReferenceHierarchy) ScalarAccess(addr int64, size int, write bool) int {
+	h.detReset()
+	lat, _ := h.scalarLine(addr, write)
+	if size > 1 {
+		if last := h.l1.LineBase(addr + int64(size) - 1); last != h.l1.LineBase(addr) {
+			lat2, hit := h.scalarLine(last, write)
+			if hit {
+				h.detAdd(metrics.CauseEdgeLine, int64(lat2))
+			}
+			lat += lat2
+		}
+	}
+	return lat
+}
+
+// VectorAccess implements Model with the original per-element walk: every
+// element's span is enumerated line by line, deduplicating only against
+// the immediately previously visited line.
+func (h *ReferenceHierarchy) VectorAccess(base, stride int64, vl int, write bool) int {
+	if vl < 1 {
+		vl = 1
+	}
+	h.detReset()
+	lat := h.cfg.LatL2
+	unit := stride == 8
+	if unit {
+		h.st.UnitVectorAccesses++
+		lat += (vl - 1) / h.cfg.L2PortWords
+	} else {
+		h.st.StridedVectorAccesses++
+		lat += (vl - 1) / h.opts.StridedWordsPerCycle
+		if extra := int64((vl-1)/h.opts.StridedWordsPerCycle - (vl-1)/h.cfg.L2PortWords); extra > 0 {
+			if stride%(2*int64(h.l2.LineSize())) == 0 {
+				h.st.BankConflicts++
+				h.detAdd(metrics.CauseBankConflict, extra)
+			} else {
+				h.detAdd(metrics.CauseStride, extra)
+			}
+		}
+	}
+
+	// Visit each distinct line the access touches.
+	lastLine := int64(-1)
+	for i := 0; i < vl; i++ {
+		addr := base + int64(i)*stride
+		line := h.l2.LineBase(addr)
+		endLine := h.l2.LineBase(addr + 7)
+		for l := line; l <= endLine; l += int64(h.l2.LineSize()) {
+			if l == lastLine {
+				continue
+			}
+			lastLine = l
+			if present, dirty := h.l1.Probe(l); present {
+				if dirty {
+					h.l1.Invalidate(l)
+					h.l2.MarkDirty(l)
+					h.st.CoherencyFlushes++
+					h.detAdd(metrics.CauseCoherency, int64(h.cfg.LatL1+1))
+					lat += h.cfg.LatL1 + 1
+				} else if write {
+					h.l1.Invalidate(l)
+				}
+			}
+			// Write-validate requires the store to cover the *whole* line:
+			// the first and last lines of an unaligned span are only
+			// partially written and must be fetched like any other miss.
+			covered := l >= base && l+int64(h.l2.LineSize()) <= base+int64(vl)*8
+			if write && unit && covered && !h.opts.NoWriteValidate {
+				if !h.l2Lookup(l, true) {
+					if base, ok, dirty := h.l2.Fill(l); ok && dirty {
+						if present, _ := h.l3.Probe(base); !present {
+							h.l3.Fill(base)
+						}
+						h.l3.MarkDirty(base)
+					}
+					h.l2.MarkDirty(l)
+				}
+			} else {
+				edge := write && unit && !h.opts.NoWriteValidate
+				lat += h.fillL2(l, edge)
+				if write {
+					h.l2.MarkDirty(l)
+				}
+			}
+		}
+	}
+	return lat
+}
+
+var _ Model = (*ReferenceHierarchy)(nil)
+var _ Detailed = (*ReferenceHierarchy)(nil)

@@ -1,0 +1,43 @@
+package report
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/mem"
+)
+
+// TestMatrixDifferentialMemoryModels replays the reduced evaluation
+// matrix through the optimized mem.Hierarchy and the retained
+// mem.ReferenceHierarchy and requires the complete simulation results —
+// cycles, stalls, per-cause attribution, memory statistics — to be
+// identical. Together with the per-access differential tests in
+// internal/mem this pins the fast path to the reference at application
+// scale, where prefetch streams, coherency flushes and eviction patterns
+// interact over millions of accesses.
+func TestMatrixDifferentialMemoryModels(t *testing.T) {
+	for _, a := range reducedApps(t) {
+		for _, cfg := range reducedCfgs {
+			t.Run(fmt.Sprintf("%s/%s", a.Name, cfg.Name), func(t *testing.T) {
+				built := a.Build(VariantFor(cfg))
+				prog, err := core.Compile(built.Func, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opt, err := prog.RunModel(mem.NewHierarchy(cfg))
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, err := prog.RunModel(mem.NewReferenceHierarchy(cfg))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(opt, ref) {
+					t.Errorf("optimized hierarchy diverges from reference:\n  opt: %+v\n  ref: %+v", opt, ref)
+				}
+			})
+		}
+	}
+}

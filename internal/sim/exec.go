@@ -6,7 +6,6 @@ import (
 
 	"vsimdvliw/internal/ir"
 	"vsimdvliw/internal/isa"
-	"vsimdvliw/internal/mem"
 	"vsimdvliw/internal/metrics"
 	"vsimdvliw/internal/sched"
 	"vsimdvliw/internal/simd"
@@ -487,8 +486,8 @@ func (m *Machine) memStall(op *ir.Op, os *sched.OpSched, actual int) int64 {
 		return 0
 	}
 	var comp *metrics.Components
-	if d, ok := m.model.(mem.Detailed); ok {
-		comp = d.LastAccess()
+	if m.detailed != nil {
+		comp = m.detailed.LastAccess()
 	}
 	take := m.res.Stalls.Attribute(s, comp)
 	m.res.Regions[m.region()].Stalls.AddBreakdown(&take)

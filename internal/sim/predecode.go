@@ -352,7 +352,7 @@ func compileOp(op *ir.Op, os *sched.OpSched) (execFn, error) {
 				v = signExtend(v, size)
 			}
 			m.intRegs[d] = v
-			m.stallAcc += m.memStall(opp, oss, m.model.ScalarAccess(addr, size, false))
+			m.stallAcc += m.memStall(opp, oss, m.scalarTiming(addr, size, false))
 			return nil
 		}, nil
 	case isa.STB, isa.STH, isa.STW, isa.STD:
@@ -365,7 +365,7 @@ func compileOp(op *ir.Op, os *sched.OpSched) (execFn, error) {
 			if e := m.storeWord(addr, size, m.intRegs[val]); e != nil {
 				return e
 			}
-			m.stallAcc += m.memStall(opp, oss, m.model.ScalarAccess(addr, size, true))
+			m.stallAcc += m.memStall(opp, oss, m.scalarTiming(addr, size, true))
 			return nil
 		}, nil
 
@@ -430,7 +430,7 @@ func compileOp(op *ir.Op, os *sched.OpSched) (execFn, error) {
 				return e
 			}
 			m.simdRegs[d] = v
-			m.stallAcc += m.memStall(opp, oss, m.model.ScalarAccess(addr, 8, false))
+			m.stallAcc += m.memStall(opp, oss, m.scalarTiming(addr, 8, false))
 			return nil
 		}, nil
 	case isa.STM:
@@ -442,7 +442,7 @@ func compileOp(op *ir.Op, os *sched.OpSched) (execFn, error) {
 			if e := m.storeWord(addr, 8, m.simdRegs[val]); e != nil {
 				return e
 			}
-			m.stallAcc += m.memStall(opp, oss, m.model.ScalarAccess(addr, 8, true))
+			m.stallAcc += m.memStall(opp, oss, m.scalarTiming(addr, 8, true))
 			return nil
 		}, nil
 	case isa.MOVIM:
@@ -553,7 +553,7 @@ func compileOp(op *ir.Op, os *sched.OpSched) (execFn, error) {
 				}
 				vec[i] = v
 			}
-			m.stallAcc += m.memStall(opp, oss, m.model.VectorAccess(b, m.vs, m.vl, false))
+			m.stallAcc += m.memStall(opp, oss, m.vectorTiming(b, m.vs, m.vl, false))
 			return nil
 		}, nil
 	case isa.VST:
@@ -568,7 +568,7 @@ func compileOp(op *ir.Op, os *sched.OpSched) (execFn, error) {
 					return e
 				}
 			}
-			m.stallAcc += m.memStall(opp, oss, m.model.VectorAccess(b, m.vs, m.vl, true))
+			m.stallAcc += m.memStall(opp, oss, m.vectorTiming(b, m.vs, m.vl, true))
 			return nil
 		}, nil
 	case isa.VMOV:

@@ -111,6 +111,15 @@ func (r *Result) VectorCycles() int64 {
 type Machine struct {
 	fs    *sched.FuncSched
 	model mem.Model
+	// hier/perf/detailed cache the concrete type of model, resolved once
+	// at construction: the pre-decoded executors call the hierarchy
+	// through them (scalarTiming/vectorTiming) so the per-access dispatch
+	// is a direct — and, for Perfect, inlinable — call instead of an
+	// interface call, and memStall reads LastAccess without a per-stall
+	// type assertion.
+	hier     *mem.Hierarchy
+	perf     *mem.Perfect
+	detailed mem.Detailed
 
 	intRegs  []uint64
 	simdRegs []uint64
@@ -194,7 +203,40 @@ func New(fs *sched.FuncSched, model mem.Model) *Machine {
 	m.blockRuns = make([]int64, len(fs.Blocks))
 	m.blockPipeRuns = make([]int64, len(fs.Blocks))
 	m.regionStack = []int{0}
+	switch mm := model.(type) {
+	case *mem.Hierarchy:
+		m.hier = mm
+	case *mem.Perfect:
+		m.perf = mm
+	}
+	if d, ok := model.(mem.Detailed); ok {
+		m.detailed = d
+	}
 	return m
+}
+
+// scalarTiming services a scalar access through the devirtualized memory
+// model (see the hier/perf fields).
+func (m *Machine) scalarTiming(addr int64, size int, write bool) int {
+	if m.hier != nil {
+		return m.hier.ScalarAccess(addr, size, write)
+	}
+	if m.perf != nil {
+		return m.perf.ScalarAccess(addr, size, write)
+	}
+	return m.model.ScalarAccess(addr, size, write)
+}
+
+// vectorTiming services a vector access through the devirtualized memory
+// model.
+func (m *Machine) vectorTiming(base, stride int64, vl int, write bool) int {
+	if m.hier != nil {
+		return m.hier.VectorAccess(base, stride, vl, write)
+	}
+	if m.perf != nil {
+		return m.perf.VectorAccess(base, stride, vl, write)
+	}
+	return m.model.VectorAccess(base, stride, vl, write)
 }
 
 // Memory exposes the flat data memory (for output verification).
@@ -306,7 +348,10 @@ func (m *Machine) Run() (*Result, error) {
 // from the block execution counts. Completed and canceled runs share it,
 // so partial results uphold the same exact-sum invariants.
 func (m *Machine) finalize() *Result {
-	if h, ok := m.model.(*mem.Hierarchy); ok {
+	switch h := m.model.(type) {
+	case *mem.Hierarchy:
+		m.res.Mem = h.Stats()
+	case *mem.ReferenceHierarchy:
 		m.res.Mem = h.Stats()
 	}
 	m.res.Util = m.utilization()
