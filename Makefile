@@ -2,8 +2,11 @@
 # the full test suite, the race detector over the packages that share
 # compiled programs across goroutines (the parallel evaluation sweep and
 # the vsimdd daemon, whose suite starts a server on a random port, runs a
-# load burst plus a canceled-deadline request, and asserts clean shutdown
-# and exact-sum metric invariants), and short fuzzing smoke runs of the
+# load burst plus a canceled-deadline request, exercises the result cache
+# under contention — N concurrent identical requests must coalesce onto
+# exactly one simulation, and hits must be bit-identical to fresh runs —
+# and asserts clean shutdown and exact-sum metric invariants over mixed
+# hit/miss traffic), and short fuzzing smoke runs of the
 # scheduler, of the differential engine-equivalence harness (reference
 # interpreter vs pre-decoded engine over generated programs) and of the
 # memory-hierarchy equivalence harness (optimized mem.Hierarchy vs

@@ -4,8 +4,9 @@
 // (ns/op plus custom metrics such as sim_ops/s) are preserved, and the
 // headline simulator throughput is lifted to the top level so regression
 // tracking across commits is a one-field diff. It also spins up an
-// in-process vsimdd and drives it with a short load burst, lifting the
-// serving throughput to the service_req_s headline field.
+// in-process vsimdd and drives it with two short load bursts — cold
+// start and prewarmed hot-cache — lifting the serving throughput to the
+// service_req_s and service_hot_req_s headline fields.
 package main
 
 import (
@@ -43,9 +44,14 @@ type output struct {
 	// ServiceReqPerS is the serving-path headline: completed /v1/run
 	// requests per second from a short in-process vsimdd load burst
 	// (0 when the burst is disabled with -service-duration 0).
-	ServiceReqPerS float64            `json:"service_req_s"`
-	Service        *server.LoadReport `json:"service,omitempty"`
-	Benchmarks     map[string]result  `json:"benchmarks"`
+	ServiceReqPerS float64 `json:"service_req_s"`
+	// ServiceHotReqPerS is the hot-cache serving ceiling: the same burst
+	// against a prewarmed daemon, where every request is a result-cache
+	// hit served without entering the cycle loop.
+	ServiceHotReqPerS float64            `json:"service_hot_req_s"`
+	Service           *server.LoadReport `json:"service,omitempty"`
+	ServiceHot        *server.LoadReport `json:"service_hot,omitempty"`
+	Benchmarks        map[string]result  `json:"benchmarks"`
 }
 
 func main() {
@@ -98,13 +104,15 @@ func main() {
 	}
 
 	if *serviceDur > 0 {
-		rep, err := serviceBurst(*serviceDur, *serviceConc)
+		cold, hot, err := serviceBurst(*serviceDur, *serviceConc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: service burst: %v\n", err)
 			os.Exit(1)
 		}
-		doc.Service = rep
-		doc.ServiceReqPerS = rep.ReqPerS
+		doc.Service = cold
+		doc.ServiceReqPerS = cold.ReqPerS
+		doc.ServiceHot = hot
+		doc.ServiceHotReqPerS = hot.ReqPerS
 	}
 
 	enc, err := json.MarshalIndent(&doc, "", "  ")
@@ -124,37 +132,47 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (sim_ops/s = %.0f, service_req_s = %.1f)\n",
-		*out, doc.SimOpsPerS, doc.ServiceReqPerS)
+	fmt.Printf("wrote %s (sim_ops/s = %.0f, service_req_s = %.1f, service_hot_req_s = %.1f)\n",
+		*out, doc.SimOpsPerS, doc.ServiceReqPerS, doc.ServiceHotReqPerS)
 }
 
-// serviceBurst measures the serving path: it starts an in-process vsimdd
-// on a random loopback port, drives it with the default repeated-cell
-// workload (cache-friendly steady state) for the given duration, and
-// shuts it down gracefully. Transport errors fail the measurement.
-func serviceBurst(dur time.Duration, conc int) (*server.LoadReport, error) {
+// serviceBurst measures the serving path twice: a cold-start burst (the
+// daemon compiles and simulates its first cells mid-measurement) and a
+// hot-cache burst against the now-warm daemon with an explicit prewarm
+// pass, where every request is a result-cache hit — the serving ceiling.
+// Transport errors fail the measurement.
+func serviceBurst(dur time.Duration, conc int) (cold, hot *server.LoadReport, err error) {
 	srv := server.New(server.Config{})
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	rep, err := server.Load(context.Background(), server.LoadOptions{
-		URL:         "http://" + addr,
+	url := "http://" + addr
+	cold, err = server.Load(context.Background(), server.LoadOptions{
+		URL:         url,
 		Concurrency: conc,
 		Duration:    dur,
 	})
+	if err == nil {
+		hot, err = server.Load(context.Background(), server.LoadOptions{
+			URL:         url,
+			Concurrency: conc,
+			Duration:    dur,
+			Prewarm:     true,
+		})
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if serr := srv.Shutdown(shutdownCtx); err == nil && serr != nil {
 		err = serr
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if rep.Errors > 0 {
-		return nil, fmt.Errorf("%d requests failed during the burst", rep.Errors)
+	if n := cold.Errors + hot.Errors; n > 0 {
+		return nil, nil, fmt.Errorf("%d requests failed during the bursts", n)
 	}
-	return rep, nil
+	return cold, hot, nil
 }
 
 // parseBenchLine parses one `go test -bench` result line, e.g.

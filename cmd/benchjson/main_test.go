@@ -44,15 +44,17 @@ func TestParseBenchLine(t *testing.T) {
 // a deliberate, test-visible change.
 func TestOutputSchema(t *testing.T) {
 	doc := output{
-		Date:           "2026-08-06",
-		GoVersion:      "go1.24",
-		GOOS:           "linux",
-		GOARCH:         "amd64",
-		CPU:            "test",
-		Benchtime:      "3x",
-		SimOpsPerS:     1,
-		ServiceReqPerS: 2,
-		Service:        &server.LoadReport{},
+		Date:              "2026-08-06",
+		GoVersion:         "go1.24",
+		GOOS:              "linux",
+		GOARCH:            "amd64",
+		CPU:               "test",
+		Benchtime:         "3x",
+		SimOpsPerS:        1,
+		ServiceReqPerS:    2,
+		ServiceHotReqPerS: 3,
+		Service:           &server.LoadReport{},
+		ServiceHot:        &server.LoadReport{},
 		Benchmarks: map[string]result{
 			"Simulator": {Iterations: 3, Metrics: map[string]float64{"sim_ops/s": 1}},
 		},
@@ -67,22 +69,25 @@ func TestOutputSchema(t *testing.T) {
 	}
 	for _, field := range []string{
 		"date", "go_version", "goos", "goarch", "cpu", "benchtime",
-		"sim_ops_per_s", "service_req_s", "service", "benchmarks",
+		"sim_ops_per_s", "service_req_s", "service_hot_req_s",
+		"service", "service_hot", "benchmarks",
 	} {
 		if _, ok := got[field]; !ok {
 			t.Errorf("BENCH JSON is missing top-level field %q", field)
 		}
 	}
-	var svc map[string]json.RawMessage
-	if err := json.Unmarshal(got["service"], &svc); err != nil {
-		t.Fatal(err)
-	}
-	for _, field := range []string{
-		"requests", "shed", "canceled", "errors", "duration_s",
-		"req_s", "p50_ms", "p95_ms", "p99_ms", "max_ms",
-	} {
-		if _, ok := svc[field]; !ok {
-			t.Errorf("service report is missing field %q", field)
+	for _, name := range []string{"service", "service_hot"} {
+		var svc map[string]json.RawMessage
+		if err := json.Unmarshal(got[name], &svc); err != nil {
+			t.Fatal(err)
+		}
+		for _, field := range []string{
+			"requests", "result_hits", "shed", "canceled", "errors",
+			"duration_s", "req_s", "p50_ms", "p95_ms", "p99_ms", "max_ms",
+		} {
+			if _, ok := svc[field]; !ok {
+				t.Errorf("%s report is missing field %q", name, field)
+			}
 		}
 	}
 }

@@ -1,13 +1,16 @@
 // Command vsimdd is the simulation daemon: it serves the Vector-µSIMD-
-// VLIW evaluation matrix over a JSON HTTP API, backed by a sharded LRU of
-// compiled programs, an admission-controlled worker pool, per-request
-// deadlines and graceful drain on SIGINT/SIGTERM.
+// VLIW evaluation matrix over a JSON HTTP API, backed by sharded LRUs of
+// compiled programs and of finished results (identical requests coalesce
+// onto one simulation and then serve result-hits in microseconds, with
+// ETag/If-None-Match revalidation), an admission-controlled worker pool,
+// per-request deadlines and graceful drain on SIGINT/SIGTERM.
 //
 // Usage:
 //
 //	vsimdd                          # listen on :8037 with NumCPU workers
 //	vsimdd -addr 127.0.0.1:0        # random port (printed on stdout)
 //	vsimdd -workers 8 -queue 64 -cache 512
+//	vsimdd -warmup                  # pre-simulate the 120-cell matrix first
 //
 // API (see README "Running the daemon" for curl examples):
 //
@@ -38,6 +41,8 @@ func main() {
 		queue    = flag.Int("queue", 0, "admission queue depth (0 = 4x workers); full queue sheds with 429")
 		cache    = flag.Int("cache", 256, "compiled-program cache capacity (programs)")
 		shards   = flag.Int("cache-shards", 16, "compiled-program cache shards")
+		results  = flag.Int("result-cache", 4096, "result-cache capacity (results; 0 disables result caching and coalescing)")
+		warmup   = flag.Bool("warmup", false, "pre-simulate the canonical 120-cell matrix into the result cache before listening")
 		check    = flag.Int64("check-cycles", 0, "cancellation poll interval in simulated cycles (0 = default)")
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
@@ -57,12 +62,25 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Workers:       *workers,
-		QueueDepth:    *queue,
-		CacheCapacity: *cache,
-		CacheShards:   *shards,
-		CheckCycles:   *check,
+		Workers:             *workers,
+		QueueDepth:          *queue,
+		CacheCapacity:       *cache,
+		CacheShards:         *shards,
+		ResultCacheCapacity: *results,
+		DisableResultCache:  *results == 0,
+		CheckCycles:         *check,
 	})
+	if *warmup {
+		// Warm before listening so a fresh fleet member serves
+		// result-hits from its very first request.
+		t0 := time.Now()
+		n, err := srv.Warmup(context.Background())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vsimdd: warmup:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("vsimdd: warmed %d cells in %s\n", n, time.Since(t0).Round(time.Millisecond))
+	}
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vsimdd:", err)

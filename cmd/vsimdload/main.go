@@ -7,6 +7,8 @@
 //	vsimdload -url http://127.0.0.1:8037 -c 8 -d 30s
 //	vsimdload -apps gsm_dec,jpeg_enc -configs VLIW-2w,Vector2-2w -mem realistic
 //	vsimdload -timeout-ms 1 -d 5s      # deadline-storm: exercises cancellation
+//	vsimdload -prewarm -c 16 -d 10s    # hot-cache regime (result-hits only)
+//	vsimdload -fresh -d 10s            # bypass the result cache (simulate path)
 //	vsimdload -json -                  # machine-readable report on stdout
 package main
 
@@ -33,11 +35,13 @@ func main() {
 		cfgsF     = flag.String("configs", "", "comma-separated configurations (empty = default mix)")
 		memF      = flag.String("mem", "realistic", "memory model for the workload")
 		timeoutMS = flag.Int64("timeout-ms", 0, "per-request deadline in ms (0 = none)")
+		prewarm   = flag.Bool("prewarm", false, "issue each distinct request once before the timed window (hot-cache measurement)")
+		fresh     = flag.Bool("fresh", false, "bypass the daemon's result cache (measure the simulate path)")
 		jsonOut   = flag.String("json", "", "also write the report as JSON to this file (- = stdout)")
 	)
 	flag.Parse()
 
-	reqs, err := workload(*appsF, *cfgsF, *memF, *timeoutMS)
+	reqs, err := workload(*appsF, *cfgsF, *memF, *timeoutMS, *fresh)
 	if err != nil {
 		fail(err)
 	}
@@ -49,6 +53,7 @@ func main() {
 		Concurrency: *conc,
 		Duration:    *dur,
 		Requests:    reqs,
+		Prewarm:     *prewarm,
 	})
 	if err != nil {
 		fail(err)
@@ -77,7 +82,7 @@ func main() {
 // workload builds the request mix from the flag values: the cross product
 // of the requested apps and configs, validated against the known names so
 // typos fail up front with the valid values.
-func workload(appsCSV, cfgsCSV, mem string, timeoutMS int64) ([]server.RunRequest, error) {
+func workload(appsCSV, cfgsCSV, mem string, timeoutMS int64, fresh bool) ([]server.RunRequest, error) {
 	if _, err := server.LookupMemory(mem); err != nil {
 		return nil, err
 	}
@@ -86,6 +91,7 @@ func workload(appsCSV, cfgsCSV, mem string, timeoutMS int64) ([]server.RunReques
 		for i := range base {
 			base[i].Memory = mem
 			base[i].TimeoutMS = timeoutMS
+			base[i].Fresh = fresh
 		}
 		return base, nil
 	}
@@ -101,7 +107,7 @@ func workload(appsCSV, cfgsCSV, mem string, timeoutMS int64) ([]server.RunReques
 				return nil, err
 			}
 			reqs = append(reqs, server.RunRequest{
-				App: a, Config: c, Memory: mem, TimeoutMS: timeoutMS,
+				App: a, Config: c, Memory: mem, TimeoutMS: timeoutMS, Fresh: fresh,
 			})
 		}
 	}

@@ -36,6 +36,11 @@ type RunRequest struct {
 	// the simulation is canceled and the response carries the typed
 	// cancellation with partial stall attribution.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// Fresh bypasses the result cache: the cell is simulated even when
+	// an identical result is cached (differential checks, re-measuring).
+	// The compiled-program cache still applies.
+	Fresh bool `json:"fresh,omitempty"`
 }
 
 // RunResponse is the body of a successful POST /v1/run: the same
@@ -43,7 +48,10 @@ type RunRequest struct {
 // report.Collect cell for non-overridden requests) plus serving metadata.
 type RunResponse struct {
 	report.CellMetrics
-	// Cache is "hit" when the compiled program was already cached.
+	// Cache labels how the cell was served: "result-hit" (cached result,
+	// no simulation), or the compiled-program cache outcome of the run —
+	// "hit" (program cached), "miss" (cold compile), "wait" (coalesced
+	// onto an in-flight compile; no duplicate work, full compile latency).
 	Cache string `json:"cache"`
 	// QueueMS and RunMS split the server-side latency into time waiting
 	// for a worker and time simulating.
@@ -70,10 +78,15 @@ type SweepRequest struct {
 	Memories []string `json:"memories,omitempty"`
 	// TimeoutMS bounds the whole sweep.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Fresh bypasses the result cache for every cell.
+	Fresh bool `json:"fresh,omitempty"`
 }
 
 // SweepCell is one cell of a sweep response, in canonical (app, config,
-// memory) order. Failed or canceled cells carry Error instead of Stats.
+// memory) order. Failed or canceled cells carry Error instead of Stats;
+// canceled cells additionally carry the partial result the typed
+// cancellation captured, whose stall breakdown still sums exactly to its
+// stall cycles (the same contract as a single-run 504).
 type SweepCell struct {
 	App      string      `json:"app"`
 	Config   string      `json:"config"`
@@ -82,6 +95,7 @@ type SweepCell struct {
 	Cache    string      `json:"cache,omitempty"`
 	Error    string      `json:"error,omitempty"`
 	Canceled bool        `json:"canceled,omitempty"`
+	Partial  *sim.Result `json:"partial,omitempty"`
 }
 
 // SweepResponse is the body of a successful POST /v1/sweep.
@@ -97,6 +111,7 @@ type runSpec struct {
 	cfg   *machine.Config
 	mem   core.MemoryModel
 	vlCap int
+	fresh bool
 }
 
 // resolve validates a RunRequest against the known applications,
@@ -116,10 +131,13 @@ func (r *RunRequest) resolve() (*runSpec, error) {
 		return nil, err
 	}
 	if r.VL < 0 || r.VL > isa.MaxVL {
-		return nil, fmt.Errorf("vl override %d out of range [1, %d]", r.VL, isa.MaxVL)
+		return nil, fmt.Errorf("vl override %d out of range [0, %d] (0 leaves the architectural maximum)", r.VL, isa.MaxVL)
 	}
-	if r.Lanes < 0 || r.Issue < 0 {
-		return nil, fmt.Errorf("lanes/issue overrides must be positive")
+	if r.Lanes < 0 {
+		return nil, fmt.Errorf("lanes override %d out of range (must be >= 0; 0 keeps the configuration's lane count)", r.Lanes)
+	}
+	if r.Issue < 0 {
+		return nil, fmt.Errorf("issue override %d out of range (must be >= 0; 0 keeps the configuration's issue width)", r.Issue)
 	}
 	if r.Lanes > 0 || r.Issue > 0 {
 		c := *cfg // clone: the base configs are shared and immutable
@@ -142,7 +160,7 @@ func (r *RunRequest) resolve() (*runSpec, error) {
 		}
 		cfg = &c
 	}
-	return &runSpec{app: app, cfg: cfg, mem: mm, vlCap: r.VL}, nil
+	return &runSpec{app: app, cfg: cfg, mem: mm, vlCap: r.VL, fresh: r.Fresh}, nil
 }
 
 // resolveSweep expands a SweepRequest into its cells in canonical order.
@@ -163,7 +181,7 @@ func (r *SweepRequest) resolveSweep() ([]*runSpec, error) {
 	for _, an := range appNames {
 		for _, cn := range cfgNames {
 			for _, mn := range memNames {
-				req := RunRequest{App: an, Config: cn, Memory: mn}
+				req := RunRequest{App: an, Config: cn, Memory: mn, Fresh: r.Fresh}
 				spec, err := req.resolve()
 				if err != nil {
 					return nil, err

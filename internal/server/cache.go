@@ -34,9 +34,26 @@ type cacheShard struct {
 type cacheEntry struct {
 	key  string
 	once sync.Once
-	prog *core.Program
-	err  error
+	// ready is closed once prog/err are set; an entry that exists but is
+	// not yet ready is an in-flight compile, and a request landing on it
+	// is a wait, not a hit — it pays the full compile latency.
+	ready chan struct{}
+	prog  *core.Program
+	err   error
 }
+
+// cacheOutcome classifies one progCache lookup.
+type cacheOutcome int
+
+const (
+	// progMiss created the entry and ran the compile.
+	progMiss cacheOutcome = iota
+	// progHit found a finished entry: the program was served immediately.
+	progHit
+	// progWait coalesced onto an entry whose compile was still in
+	// flight: no duplicate compile, but full compile latency.
+	progWait
+)
 
 // newProgCache builds a cache holding at most capacity programs across
 // nShards shards (both floored at 1; capacity is rounded up to a multiple
@@ -72,9 +89,11 @@ func cacheKey(app string, v kernels.Variant, cfg *machine.Config) string {
 }
 
 // get returns the compiled program for (app, cfg), compiling at most once
-// per key. hit reports whether the entry already existed (even if its
-// compile is still in flight on another goroutine).
-func (c *progCache) get(app *apps.App, cfg *machine.Config) (prog *core.Program, hit bool, err error) {
+// per key. The outcome distinguishes a true hit (entry finished — the
+// program is served immediately) from a wait (entry existed but its
+// compile was still in flight: the request coalesces onto the same Once
+// and pays the full compile latency without duplicating the work).
+func (c *progCache) get(app *apps.App, cfg *machine.Config) (prog *core.Program, outcome cacheOutcome, err error) {
 	v := report.VariantFor(cfg)
 	key := cacheKey(app.Name, v, cfg)
 	s := &c.shards[shardIndex(key, len(c.shards))]
@@ -86,7 +105,7 @@ func (c *progCache) get(app *apps.App, cfg *machine.Config) (prog *core.Program,
 		s.order.MoveToFront(el)
 		e = el.Value.(*cacheEntry)
 	} else {
-		e = &cacheEntry{key: key}
+		e = &cacheEntry{key: key, ready: make(chan struct{})}
 		s.byKey[key] = s.order.PushFront(e)
 		if s.order.Len() > c.perShard {
 			oldest := s.order.Back()
@@ -96,13 +115,26 @@ func (c *progCache) get(app *apps.App, cfg *machine.Config) (prog *core.Program,
 	}
 	s.mu.Unlock()
 
+	switch {
+	case !ok:
+		outcome = progMiss
+	default:
+		select {
+		case <-e.ready:
+			outcome = progHit
+		default:
+			outcome = progWait
+		}
+	}
+
 	// Build+compile outside the shard lock: other keys proceed, and
 	// duplicate requests for this key block on the same Once.
 	e.once.Do(func() {
 		built := app.Build(v)
 		e.prog, e.err = core.Compile(built.Func, cfg)
+		close(e.ready)
 	})
-	return e.prog, ok, e.err
+	return e.prog, outcome, e.err
 }
 
 // len returns the number of cached entries across all shards.

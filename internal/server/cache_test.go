@@ -4,13 +4,17 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/report"
 )
 
 // TestCacheSingleFlight fires many concurrent gets for the same key and
 // checks they all receive the same compiled program (one compile, shared
-// by everyone).
+// by everyone). Concurrent requests that land while the compile is in
+// flight must report wait, not hit — only requests finding a finished
+// entry are hits.
 func TestCacheSingleFlight(t *testing.T) {
 	c := newProgCache(8, 2)
 	app, err := LookupApp("gsm_dec")
@@ -19,19 +23,24 @@ func TestCacheSingleFlight(t *testing.T) {
 	}
 	const n = 16
 	progs := make([]any, n)
-	var hits atomic.Int64
+	var hits, waits, misses atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			prog, hit, err := c.get(app, &machine.Vector2x2)
+			prog, outcome, err := c.get(app, &machine.Vector2x2)
 			if err != nil {
 				t.Error(err)
 				return
 			}
-			if hit {
+			switch outcome {
+			case progHit:
 				hits.Add(1)
+			case progWait:
+				waits.Add(1)
+			default:
+				misses.Add(1)
 			}
 			progs[i] = prog
 		}()
@@ -45,8 +54,74 @@ func TestCacheSingleFlight(t *testing.T) {
 	if c.len() != 1 {
 		t.Fatalf("cache holds %d entries after one key, want 1", c.len())
 	}
-	if hits.Load() != n-1 {
-		t.Fatalf("%d hits for %d gets, want %d (single miss)", hits.Load(), n, n-1)
+	if misses.Load() != 1 {
+		t.Fatalf("%d misses for %d gets, want exactly 1 compile", misses.Load(), n)
+	}
+	if hits.Load()+waits.Load() != n-1 {
+		t.Fatalf("hits+waits = %d for %d gets, want %d", hits.Load()+waits.Load(), n, n-1)
+	}
+	// With the compile finished, the next get is a true hit.
+	if _, outcome, err := c.get(app, &machine.Vector2x2); err != nil || outcome != progHit {
+		t.Fatalf("post-compile get: outcome %v err %v, want progHit", outcome, err)
+	}
+}
+
+// TestCacheWaitOutcome pins the wait outcome deterministically: a request
+// landing on an entry whose compile is still in flight must report wait
+// (it pays the full compile latency), not hit — the bug this guards
+// against inflated cold-start hit rates with requests that were actually
+// slow.
+func TestCacheWaitOutcome(t *testing.T) {
+	c := newProgCache(8, 1)
+	app, err := LookupApp("gsm_dec")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Install the entry by hand and hold its once open behind a gate so
+	// the in-flight window is arbitrarily wide.
+	key := cacheKey(app.Name, report.VariantFor(&machine.Vector2x2), &machine.Vector2x2)
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	s := &c.shards[shardIndex(key, len(c.shards))]
+	s.mu.Lock()
+	s.byKey[key] = s.order.PushFront(e)
+	s.mu.Unlock()
+
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	go e.once.Do(func() {
+		close(entered)
+		<-gate
+		e.prog, e.err = nil, nil
+		close(e.ready)
+	})
+	<-entered // the leader owns the Once before any lookup runs
+
+	type got struct {
+		outcome cacheOutcome
+		err     error
+	}
+	done := make(chan got)
+	go func() {
+		_, outcome, err := c.get(app, &machine.Vector2x2)
+		done <- got{outcome, err}
+	}()
+	select {
+	case g := <-done:
+		t.Fatalf("get returned %v before the in-flight compile finished", g.outcome)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(gate)
+	g := <-done
+	if g.err != nil {
+		t.Fatal(g.err)
+	}
+	if g.outcome != progWait {
+		t.Fatalf("outcome = %v for an in-flight entry, want progWait", g.outcome)
+	}
+	// Now the entry is ready: the next lookup is a plain hit.
+	if _, outcome, _ := c.get(app, &machine.Vector2x2); outcome != progHit {
+		t.Fatalf("outcome = %v for a finished entry, want progHit", outcome)
 	}
 }
 
@@ -73,12 +148,12 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 	// cfgs[0] was the least recently used; it must have been evicted and
 	// now recompiles as a miss with a fresh program value.
-	again, hit, err := c.get(app, cfgs[0])
+	again, outcome, err := c.get(app, cfgs[0])
 	if err != nil {
 		t.Fatal(err)
 	}
-	if hit {
-		t.Fatal("evicted key reported as a cache hit")
+	if outcome != progMiss {
+		t.Fatalf("evicted key reported outcome %v, want progMiss", outcome)
 	}
 	if again == first {
 		t.Fatal("evicted key returned the original program pointer")

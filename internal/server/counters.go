@@ -25,11 +25,18 @@ type serverMetrics struct {
 
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+	cacheWaits  atomic.Int64
 	shed        atomic.Int64
 
-	runsTotal    atomic.Int64
-	runsCanceled atomic.Int64
-	runsFailed   atomic.Int64
+	resultHits      atomic.Int64
+	resultMisses    atomic.Int64
+	resultCoalesced atomic.Int64
+
+	runsTotal      atomic.Int64
+	runsCanceled   atomic.Int64
+	runsFailed     atomic.Int64
+	servedTotal    atomic.Int64
+	encodeFailures atomic.Int64
 
 	runMu         sync.Mutex
 	runSeconds    float64
@@ -56,26 +63,44 @@ func (m *serverMetrics) request(endpoint string, code int) {
 	m.mu.Unlock()
 }
 
-// servedRun folds one run's outcome into the aggregates. Canceled runs
-// contribute their partial results: the simulator guarantees partial
-// breakdowns still sum exactly, so the /metrics invariant survives.
+// servedRun folds one simulated run's outcome into the aggregates.
+// Canceled runs contribute their partial results: the simulator
+// guarantees partial breakdowns still sum exactly, so the /metrics
+// invariant survives.
 func (m *serverMetrics) servedRun(res *sim.Result, elapsed time.Duration) {
 	m.runsTotal.Add(1)
+	m.servedTotal.Add(1)
 	m.runMu.Lock()
 	m.runSeconds += elapsed.Seconds()
+	m.foldLocked(res)
+	m.runMu.Unlock()
+}
+
+// servedHit folds one result-cache serve into the aggregates. Every
+// logical serve — hit or miss — contributes the same result, so the
+// served_* series (and their exact-sum stall invariant) are independent
+// of the cache state; only runsTotal/runSeconds, which measure actual
+// simulation work, stay miss-only.
+func (m *serverMetrics) servedHit(res *sim.Result) {
+	m.servedTotal.Add(1)
+	m.runMu.Lock()
+	m.foldLocked(res)
+	m.runMu.Unlock()
+}
+
+func (m *serverMetrics) foldLocked(res *sim.Result) {
 	if res != nil {
 		m.servedCycles += res.Cycles
 		m.servedStalls += res.StallCycles
 		m.servedOps += res.Ops
 		m.stallsByCause.AddBreakdown(&res.Stalls)
 	}
-	m.runMu.Unlock()
 }
 
 // writePrometheus renders the counters in Prometheus text exposition
 // format. Map-backed series are emitted in sorted label order, so the
 // output is deterministic.
-func (m *serverMetrics) writePrometheus(w io.Writer, cacheLen, queueDepth int, inflight int64) {
+func (m *serverMetrics) writePrometheus(w io.Writer, cacheLen, resultLen, queueDepth int, inflight int64) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
 		fmt.Fprintf(w, "%s %d\n", name, v)
@@ -103,15 +128,22 @@ func (m *serverMetrics) writePrometheus(w io.Writer, cacheLen, queueDepth int, i
 	}
 	m.mu.Unlock()
 
-	counter("vsimdd_cache_hits_total", "Compiled-program cache hits.", m.cacheHits.Load())
+	counter("vsimdd_cache_hits_total", "Compiled-program cache hits (program served immediately).", m.cacheHits.Load())
 	counter("vsimdd_cache_misses_total", "Compiled-program cache misses (cold compiles).", m.cacheMisses.Load())
+	counter("vsimdd_cache_waits_total", "Requests coalesced onto an in-flight compile (no duplicate work, full compile latency).", m.cacheWaits.Load())
 	gauge("vsimdd_cache_entries", "Compiled programs currently cached.", int64(cacheLen))
+	counter("vsimdd_result_cache_hits_total", "Result-cache hits (served without simulating; includes coalesced serves).", m.resultHits.Load())
+	counter("vsimdd_result_cache_misses_total", "Result-cache misses (the request led its cell's simulation).", m.resultMisses.Load())
+	counter("vsimdd_result_cache_coalesced_total", "Result-cache hits that waited for an identical in-flight run.", m.resultCoalesced.Load())
+	gauge("vsimdd_result_cache_entries", "Results currently cached.", int64(resultLen))
 	counter("vsimdd_shed_total", "Requests shed by admission control (429).", m.shed.Load())
 	gauge("vsimdd_queue_depth", "Admitted jobs waiting for a worker.", int64(queueDepth))
 	gauge("vsimdd_inflight_runs", "Simulations currently executing.", inflight)
 	counter("vsimdd_runs_total", "Simulation runs started on the worker pool.", m.runsTotal.Load())
 	counter("vsimdd_runs_canceled_total", "Runs stopped by deadline or cancellation.", m.runsCanceled.Load())
 	counter("vsimdd_runs_failed_total", "Runs that ended in a simulation error.", m.runsFailed.Load())
+	counter("vsimdd_served_total", "Logical serves folded into the served aggregates (simulations plus result-cache hits).", m.servedTotal.Load())
+	counter("vsimdd_encode_failures_total", "Responses whose JSON body failed to encode after the status line was sent.", m.encodeFailures.Load())
 
 	m.runMu.Lock()
 	fmt.Fprintf(w, "# HELP vsimdd_run_seconds_total Wall-clock seconds spent simulating.\n")

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+
+	"vsimdvliw/internal/report"
+	"vsimdvliw/internal/sim"
+)
+
+// resultCache is a sharded LRU of finished simulation results keyed by
+// the canonical fingerprint of a fully resolved request (application,
+// code variant, configuration hash, memory model, VL cap). The simulator
+// is deterministic, so a cached result is bit-identical to re-running the
+// cell — serving it skips the worker pool and the cycle loop entirely.
+//
+// Each entry doubles as a single-flight latch: the goroutine that
+// creates it (the leader) runs the simulation and completes the entry;
+// identical requests arriving in the meantime coalesce — they wait on
+// the entry's done channel instead of queueing N copies of the same run
+// behind the pool. Failed and canceled runs are never cached: complete
+// removes their entry so the next identical request retries.
+type resultCache struct {
+	shards   []resultShard
+	perShard int
+}
+
+type resultShard struct {
+	mu    sync.Mutex
+	byKey map[string]*list.Element
+	order *list.List // front = most recently used; values are *resultEntry
+}
+
+// resultEntry is one cached (or in-flight) cell. res and err are written
+// exactly once, before done is closed; readers must wait on done first.
+type resultEntry struct {
+	key  string
+	done chan struct{}
+	res  *sim.Result
+	err  error
+}
+
+// newResultCache builds a cache holding at most capacity results across
+// nShards shards (both floored at 1; capacity is rounded up to a
+// multiple of the shard count).
+func newResultCache(capacity, nShards int) *resultCache {
+	if nShards < 1 {
+		nShards = 1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	perShard := (capacity + nShards - 1) / nShards
+	c := &resultCache{shards: make([]resultShard, nShards), perShard: perShard}
+	for i := range c.shards {
+		c.shards[i].byKey = make(map[string]*list.Element)
+		c.shards[i].order = list.New()
+	}
+	return c
+}
+
+// acquire returns the entry for key, creating it when absent. leader is
+// true for the creator, which must run the cell and call complete; every
+// other caller waits on the entry's done channel. Evicting an in-flight
+// entry only drops it from the index — waiters hold the entry pointer
+// and still receive its result when the leader completes it.
+func (c *resultCache) acquire(key string) (e *resultEntry, leader bool) {
+	s := &c.shards[shardIndex(key, len(c.shards))]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byKey[key]; ok {
+		s.order.MoveToFront(el)
+		return el.Value.(*resultEntry), false
+	}
+	e = &resultEntry{key: key, done: make(chan struct{})}
+	s.byKey[key] = s.order.PushFront(e)
+	if s.order.Len() > c.perShard {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.byKey, oldest.Value.(*resultEntry).key)
+	}
+	return e, true
+}
+
+// complete publishes the leader's outcome and wakes every coalesced
+// waiter. Errors (including cancellations) are not cacheable: the entry
+// is removed so the next identical request runs fresh.
+func (c *resultCache) complete(e *resultEntry, res *sim.Result, err error) {
+	e.res, e.err = res, err
+	close(e.done)
+	if err != nil {
+		c.remove(e)
+	}
+}
+
+// remove drops e from the index if it is still the entry indexed under
+// its key (a newer entry for the same key is left alone).
+func (c *resultCache) remove(e *resultEntry) {
+	s := &c.shards[shardIndex(e.key, len(c.shards))]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byKey[e.key]; ok && el.Value.(*resultEntry) == e {
+		s.order.Remove(el)
+		delete(s.byKey, e.key)
+	}
+}
+
+// len returns the number of indexed entries across all shards.
+func (c *resultCache) len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// fingerprint canonically identifies the cell a resolved request maps
+// to: application, code variant, full configuration hash (covering
+// lane/issue overrides), memory model and VL cap. Requests with the same
+// fingerprint are guaranteed the same sim.Result.
+func (sp *runSpec) fingerprint() string {
+	v := report.VariantFor(sp.cfg)
+	return fmt.Sprintf("%s|%d|%s|%s|vl%d", sp.app.Name, v, configKey(sp.cfg), sp.mem, sp.vlCap)
+}
+
+// etagFor derives the strong ETag served with a cell's response from its
+// fingerprint. Determinism makes the fingerprint a complete validator:
+// the same fingerprint always names the same representation.
+func etagFor(fingerprint string) string {
+	h := fnv.New64a()
+	h.Write([]byte(fingerprint))
+	return fmt.Sprintf("\"%016x\"", h.Sum64())
+}
+
+// etagMatch reports whether an If-None-Match header matches etag. The
+// header may carry a comma-separated list or "*"; weak validators
+// (W/"...") compare by their opaque tag, which is exact here because the
+// ETag is a pure function of the fingerprint.
+func etagMatch(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		if part == "*" || strings.TrimPrefix(part, "W/") == etag {
+			return true
+		}
+	}
+	return false
+}

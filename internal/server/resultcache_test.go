@@ -1,0 +1,429 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"reflect"
+	"sync"
+	"testing"
+
+	"vsimdvliw/internal/sim"
+)
+
+// TestResultCacheCoalescing is the coalescing acceptance check, run under
+// the race detector by `make race`: N concurrent identical requests must
+// trigger exactly one simulation — every other request coalesces onto it
+// (or finds the finished entry) and is served as a result-hit with the
+// bit-identical result.
+func TestResultCacheCoalescing(t *testing.T) {
+	srv, url := startServer(t, Config{Workers: 4})
+	const n = 12
+	req := RunRequest{App: "mpeg2_enc", Config: "Vector2-4w", Memory: "realistic"}
+
+	bodies := make([][]byte, n)
+	labels := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var resp RunResponse
+			if code := post(t, url+"/v1/run", &req, &resp); code != http.StatusOK {
+				t.Errorf("request %d: status %d", i, code)
+				return
+			}
+			labels[i] = resp.Cache
+			b, err := json.Marshal(resp.Stats)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			bodies[i] = b
+		}()
+	}
+	wg.Wait()
+
+	if sims := srv.met.runsTotal.Load(); sims != 1 {
+		t.Fatalf("%d simulations for %d identical concurrent requests, want exactly 1", sims, n)
+	}
+	hits, misses, _ := srv.ResultMetrics()
+	if misses != 1 || hits != n-1 {
+		t.Fatalf("result cache: hits=%d misses=%d, want %d result-hits and 1 miss", hits, misses, n-1)
+	}
+	nHitLabels := 0
+	for i, l := range labels {
+		if l == resultHitLabel {
+			nHitLabels++
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("request %d served a different result than request 0", i)
+		}
+	}
+	if nHitLabels != n-1 {
+		t.Fatalf("%d responses labeled %q, want %d", nHitLabels, resultHitLabel, n-1)
+	}
+	if served := srv.met.servedTotal.Load(); served != n {
+		t.Fatalf("served_total = %d, want %d (every logical serve counts)", served, n)
+	}
+}
+
+// TestETagRoundTrip checks the revalidation path: a run response carries
+// an ETag derived from the request fingerprint, a repeat with
+// If-None-Match answers 304 with no body, and a different cell (or a
+// stale validator) still gets the full 200.
+func TestETagRoundTrip(t *testing.T) {
+	_, url := startServer(t, Config{Workers: 2})
+	body, _ := json.Marshal(&RunRequest{App: "gsm_dec", Config: "Vector2-2w"})
+
+	resp, err := http.Post(url+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first run: status %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("run response carries no ETag")
+	}
+
+	revalidate := func(inm string) *http.Response {
+		req, err := http.NewRequest(http.MethodPost, url+"/v1/run", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("If-None-Match", inm)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	resp = revalidate(etag)
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("matching If-None-Match: status %d, want 304", resp.StatusCode)
+	}
+	if b, _ := io.ReadAll(resp.Body); len(b) != 0 {
+		t.Fatalf("304 carried a %d-byte body", len(b))
+	}
+	if got := resp.Header.Get("ETag"); got != etag {
+		t.Fatalf("304 ETag = %q, want %q", got, etag)
+	}
+
+	if resp = revalidate(`"0000000000000000"`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale If-None-Match: status %d, want 200", resp.StatusCode)
+	}
+
+	// The ETag is a function of the resolved fingerprint: a vl-capped
+	// variant of the same cell must validate differently.
+	capped, _ := json.Marshal(&RunRequest{App: "gsm_dec", Config: "Vector2-2w", VL: 2})
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/run", bytes.NewReader(capped))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("If-None-Match", etag)
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("vl-capped request with the uncapped ETag: status %d, want 200", r2.StatusCode)
+	}
+	if r2.Header.Get("ETag") == etag {
+		t.Fatal("vl-capped request produced the same ETag as the uncapped cell")
+	}
+}
+
+// TestResultHitMatchesFreshRun is the differential acceptance check: for
+// every cell of a reduced matrix — including vl-capped requests — the
+// result served from the cache must be reflect.DeepEqual to a fresh
+// bypassed run of the same cell.
+func TestResultHitMatchesFreshRun(t *testing.T) {
+	srv := New(Config{Workers: 4})
+	t.Cleanup(srv.pool.close)
+	ctx := context.Background()
+
+	var reqs []RunRequest
+	for _, a := range []string{"gsm_dec", "jpeg_enc"} {
+		for _, c := range []string{"VLIW-2w", "uSIMD-2w", "Vector2-2w"} {
+			for _, mm := range []string{"perfect", "realistic"} {
+				reqs = append(reqs, RunRequest{App: a, Config: c, Memory: mm})
+			}
+		}
+	}
+	// SLAP-style per-request VL caps must land in distinct fingerprints
+	// and stay differentially identical too.
+	reqs = append(reqs,
+		RunRequest{App: "gsm_dec", Config: "Vector2-2w", VL: 2},
+		RunRequest{App: "gsm_dec", Config: "Vector2-2w", VL: 7},
+		RunRequest{App: "jpeg_enc", Config: "Vector2-2w", VL: 4},
+	)
+
+	for _, req := range reqs {
+		spec, err := req.resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if miss := srv.serveCell(ctx, spec, true); miss.err != nil {
+			t.Fatalf("%s/%s vl=%d: populate: %v", req.App, req.Config, req.VL, miss.err)
+		}
+		hit := srv.serveCell(ctx, spec, true)
+		if hit.err != nil {
+			t.Fatalf("%s/%s vl=%d: hit: %v", req.App, req.Config, req.VL, hit.err)
+		}
+		if hit.cache != resultHitLabel {
+			t.Fatalf("%s/%s vl=%d: second serve labeled %q, want %q",
+				req.App, req.Config, req.VL, hit.cache, resultHitLabel)
+		}
+
+		freshReq := req
+		freshReq.Fresh = true
+		freshSpec, err := freshReq.resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh := srv.serveCell(ctx, freshSpec, true)
+		if fresh.err != nil {
+			t.Fatalf("%s/%s vl=%d: fresh: %v", req.App, req.Config, req.VL, fresh.err)
+		}
+		if fresh.cache == resultHitLabel {
+			t.Fatalf("%s/%s vl=%d: fresh run was served from the result cache", req.App, req.Config, req.VL)
+		}
+		if hit.res == fresh.res {
+			t.Fatal("fresh run returned the cached result pointer — the comparison is vacuous")
+		}
+		if !reflect.DeepEqual(hit.res, fresh.res) {
+			t.Errorf("%s/%s vl=%d: cached result differs from a fresh run", req.App, req.Config, req.VL)
+		}
+	}
+}
+
+// TestWarmupServesHitsFirstRequest warms a sub-matrix and checks the
+// first client request is already a result-hit — no simulation runs
+// after warmup on a warmed cell.
+func TestWarmupServesHitsFirstRequest(t *testing.T) {
+	srv, url := startServer(t, Config{Workers: 4})
+	warmed, err := srv.WarmupSweep(context.Background(), &SweepRequest{
+		Apps:    []string{"gsm_dec"},
+		Configs: []string{"VLIW-2w", "Vector2-2w"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmed != 4 {
+		t.Fatalf("warmed %d cells, want 4", warmed)
+	}
+	simsAfterWarmup := srv.met.runsTotal.Load()
+
+	var resp RunResponse
+	if code := post(t, url+"/v1/run", &RunRequest{App: "gsm_dec", Config: "Vector2-2w"}, &resp); code != http.StatusOK {
+		t.Fatalf("first request: status %d", code)
+	}
+	if resp.Cache != resultHitLabel {
+		t.Fatalf("first request after warmup: cache label %q, want %q", resp.Cache, resultHitLabel)
+	}
+	if got := srv.met.runsTotal.Load(); got != simsAfterWarmup {
+		t.Fatalf("first request simulated (runsTotal %d -> %d) despite warmup", simsAfterWarmup, got)
+	}
+}
+
+// TestSweepCellKeepsPartial pins the satellite bugfix: a canceled sweep
+// cell must carry the partial result its typed cancellation holds — the
+// same payload a single-run 504 returns — and the partial must uphold
+// the exact-sum stall invariant.
+func TestSweepCellKeepsPartial(t *testing.T) {
+	// Build a genuine partial-shaped result via a real (completed) run:
+	// completed results satisfy the same invariant the simulator
+	// guarantees for partials.
+	srv := New(Config{Workers: 1})
+	t.Cleanup(srv.pool.close)
+	req := RunRequest{App: "gsm_dec", Config: "VLIW-2w"}
+	spec, err := req.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := srv.serveCell(context.Background(), spec, true)
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	partial := out.res
+
+	cell := sweepCell(spec, &runResult{
+		err: &sim.CanceledError{Cause: context.DeadlineExceeded, Partial: partial},
+	})
+	if !cell.Canceled {
+		t.Fatal("canceled cell not marked canceled")
+	}
+	if cell.Partial == nil {
+		t.Fatal("canceled sweep cell dropped the partial result")
+	}
+	if cell.Partial.Stalls.Total() != cell.Partial.StallCycles {
+		t.Fatalf("partial stall breakdown %d != stall cycles %d",
+			cell.Partial.Stalls.Total(), cell.Partial.StallCycles)
+	}
+	if cell.Stats != nil {
+		t.Fatal("canceled cell also carries Stats")
+	}
+
+	// A non-canceled failure carries neither Canceled nor Partial.
+	plain := sweepCell(spec, &runResult{err: errors.New("boom")})
+	if plain.Canceled || plain.Partial != nil {
+		t.Fatalf("plain error produced canceled=%v partial=%v", plain.Canceled, plain.Partial)
+	}
+}
+
+// TestSweepDeadlinePartialInvariant drives the e2e path: a sweep whose
+// deadline expires mid-run answers 504 with canceled cells, and every
+// cell that got far enough to carry a partial upholds the exact-sum
+// invariant on the wire.
+func TestSweepDeadlinePartialInvariant(t *testing.T) {
+	_, url := startServer(t, Config{Workers: 1, CheckCycles: 1000})
+	req := SweepRequest{
+		Apps:      []string{"mpeg2_enc"},
+		Configs:   []string{"Vector2-4w", "Vector2-2w"},
+		Memories:  []string{"realistic"},
+		TimeoutMS: 1,
+		Fresh:     true,
+	}
+	var resp SweepResponse
+	if code := post(t, url+"/v1/sweep", &req, &resp); code != http.StatusGatewayTimeout {
+		t.Fatalf("deadline sweep: status %d, want 504", code)
+	}
+	canceled := 0
+	for _, cell := range resp.Cells {
+		if !cell.Canceled {
+			continue
+		}
+		canceled++
+		if cell.Partial != nil && cell.Partial.Stalls.Total() != cell.Partial.StallCycles {
+			t.Fatalf("cell %s/%s partial breakdown %d != stall cycles %d",
+				cell.App, cell.Config, cell.Partial.Stalls.Total(), cell.Partial.StallCycles)
+		}
+	}
+	if canceled == 0 {
+		t.Fatal("no sweep cell was canceled under a 1ms deadline")
+	}
+}
+
+// failingWriter is an http.ResponseWriter whose body writes fail after
+// the status line — the mid-body encode-failure scenario.
+type failingWriter struct {
+	header http.Header
+	code   int
+	err    error
+}
+
+func (f *failingWriter) Header() http.Header { return f.header }
+func (f *failingWriter) WriteHeader(c int)   { f.code = c }
+func (f *failingWriter) Write([]byte) (int, error) {
+	return 0, f.err
+}
+
+// TestWriteJSONCountsSentStatus pins the satellite bugfix: when the JSON
+// body fails to encode after the status line went out, the per-endpoint
+// request counter must record the status the client actually received —
+// not a fabricated 500 — and the failure lands in its own counter.
+func TestWriteJSONCountsSentStatus(t *testing.T) {
+	s := New(Config{Workers: 1})
+	t.Cleanup(s.pool.close)
+
+	fw := &failingWriter{header: http.Header{}, err: errors.New("disk full")}
+	s.writeJSON(fw, "run", http.StatusOK, map[string]int{"x": 1})
+	if fw.code != http.StatusOK {
+		t.Fatalf("status line = %d, want 200", fw.code)
+	}
+	s.met.mu.Lock()
+	got200 := s.met.requests[reqKey{"run", http.StatusOK}]
+	got500 := s.met.requests[reqKey{"run", http.StatusInternalServerError}]
+	s.met.mu.Unlock()
+	if got200 != 1 {
+		t.Fatalf("requests{run,200} = %d, want 1 (the status actually sent)", got200)
+	}
+	if got500 != 0 {
+		t.Fatalf("requests{run,500} = %d, want 0 — the client never saw a 500", got500)
+	}
+	if got := s.met.encodeFailures.Load(); got != 1 {
+		t.Fatalf("encodeFailures = %d, want 1", got)
+	}
+
+	// A client disconnect is not an encode failure.
+	fw2 := &failingWriter{header: http.Header{}, err: errors.New("write tcp: broken pipe")}
+	s.writeJSON(fw2, "run", http.StatusOK, map[string]int{"x": 1})
+	if got := s.met.encodeFailures.Load(); got != 1 {
+		t.Fatalf("encodeFailures = %d after client disconnect, want still 1", got)
+	}
+}
+
+// TestResultCacheEviction exercises the LRU: a one-slot cache keeps only
+// the most recent fingerprint, and completing with an error removes the
+// entry so the next identical request retries.
+func TestResultCacheEviction(t *testing.T) {
+	c := newResultCache(1, 1)
+	a, leaderA := c.acquire("a")
+	if !leaderA {
+		t.Fatal("first acquire of a is not the leader")
+	}
+	c.complete(a, &sim.Result{Cycles: 1}, nil)
+	if e, leader := c.acquire("a"); leader || e != a {
+		t.Fatal("completed entry not served back")
+	}
+	// b evicts a.
+	b, leaderB := c.acquire("b")
+	if !leaderB {
+		t.Fatal("first acquire of b is not the leader")
+	}
+	c.complete(b, &sim.Result{Cycles: 2}, nil)
+	if c.len() != 1 {
+		t.Fatalf("cache len = %d, want 1", c.len())
+	}
+	if _, leader := c.acquire("a"); !leader {
+		t.Fatal("evicted key did not re-acquire as leader")
+	}
+
+	// Errors are not cached.
+	d, _ := c.acquire("d")
+	c.complete(d, nil, errors.New("boom"))
+	select {
+	case <-d.done:
+	default:
+		t.Fatal("complete did not close done")
+	}
+	if _, leader := c.acquire("d"); !leader {
+		t.Fatal("failed entry stayed cached")
+	}
+}
+
+// TestEtagMatch covers the header forms the validator accepts.
+func TestEtagMatch(t *testing.T) {
+	etag := etagFor("x")
+	cases := []struct {
+		header string
+		want   bool
+	}{
+		{"", false},
+		{etag, true},
+		{"*", true},
+		{`"deadbeef", ` + etag, true},
+		{"W/" + etag, true},
+		{`"deadbeef"`, false},
+	}
+	for _, c := range cases {
+		if got := etagMatch(c.header, etag); got != c.want {
+			t.Errorf("etagMatch(%q) = %v, want %v", c.header, got, c.want)
+		}
+	}
+	if etagFor("x") != etagFor("x") || etagFor("x") == etagFor("y") {
+		t.Fatal("etagFor is not a stable pure function")
+	}
+}

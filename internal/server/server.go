@@ -1,6 +1,9 @@
 // Package server turns the Vector-µSIMD-VLIW evaluation stack into a
-// long-running service: a JSON HTTP API over the compiled-program cache,
-// an admission-controlled worker pool, per-request deadlines plumbed into
+// long-running service: a JSON HTTP API over the compiled-program cache
+// and a result cache with request coalescing (the simulator is
+// deterministic, so identical requests serve a cached result in
+// microseconds with an ETag/If-None-Match revalidation path), an
+// admission-controlled worker pool, per-request deadlines plumbed into
 // the cycle loop, and Prometheus metrics. cmd/vsimdd is the daemon
 // wrapping it; cmd/vsimdload is the load generator driving it.
 //
@@ -42,6 +45,13 @@ type Config struct {
 	CacheCapacity int
 	// CacheShards is the cache's shard count (default: 16).
 	CacheShards int
+	// ResultCacheCapacity bounds the result LRU (default: 4096). The
+	// simulator is deterministic, so cached results serve identical
+	// requests without re-entering the cycle loop.
+	ResultCacheCapacity int
+	// DisableResultCache turns result caching (and request coalescing)
+	// off; every request simulates.
+	DisableResultCache bool
 	// CheckCycles is the cancellation-poll interval in simulated cycles
 	// (default: sim.DefaultCheckCycles).
 	CheckCycles int64
@@ -62,6 +72,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheShards <= 0 {
 		c.CacheShards = 16
 	}
+	if c.ResultCacheCapacity <= 0 {
+		c.ResultCacheCapacity = 4096
+	}
 	if c.CheckCycles <= 0 {
 		c.CheckCycles = sim.DefaultCheckCycles
 	}
@@ -73,11 +86,12 @@ func (c Config) withDefaults() Config {
 
 // Server is the simulation service.
 type Server struct {
-	cfg   Config
-	cache *progCache
-	pool  *workerPool
-	met   *serverMetrics
-	hs    *http.Server
+	cfg     Config
+	cache   *progCache
+	results *resultCache // nil when disabled
+	pool    *workerPool
+	met     *serverMetrics
+	hs      *http.Server
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -92,6 +106,9 @@ func New(cfg Config) *Server {
 		cache: newProgCache(cfg.CacheCapacity, cfg.CacheShards),
 		pool:  newWorkerPool(cfg.Workers, cfg.QueueDepth),
 		met:   newServerMetrics(),
+	}
+	if !cfg.DisableResultCache {
+		s.results = newResultCache(cfg.ResultCacheCapacity, cfg.CacheShards)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -109,6 +126,13 @@ func (s *Server) Handler() http.Handler { return s.hs.Handler }
 // need programmatically.
 func (s *Server) Metrics() (cacheHits, cacheMisses, shed int64) {
 	return s.met.cacheHits.Load(), s.met.cacheMisses.Load(), s.met.shed.Load()
+}
+
+// ResultMetrics returns the result-cache counters: hits (serves without
+// a simulation, coalesced included), misses (requests that led their
+// cell's simulation) and the coalesced subset of hits.
+func (s *Server) ResultMetrics() (hits, misses, coalesced int64) {
+	return s.met.resultHits.Load(), s.met.resultMisses.Load(), s.met.resultCoalesced.Load()
 }
 
 // Start listens on addr (":0" picks a random port) and serves in the
@@ -152,11 +176,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// runResult is the worker-side outcome of one cell; the submitting
-// handler reads it only after the job's done channel closes.
+// runResult is the outcome of serving one cell; for pool-executed cells
+// the submitting handler reads it only after the job's done channel
+// closes.
 type runResult struct {
-	res     *sim.Result
-	hit     bool
+	res *sim.Result
+	// cache is the response's "cache" label: resultHitLabel for a
+	// result-cache serve, otherwise the compiled-program cache outcome.
+	cache   string
 	queueMS float64
 	runMS   float64
 	err     error
@@ -180,11 +207,14 @@ func (s *Server) execute(ctx context.Context, spec *runSpec, block bool) *runRes
 			out.err = &sim.CanceledError{Cause: err}
 			return
 		}
-		prog, hit, err := s.cache.get(spec.app, spec.cfg)
-		out.hit = hit
-		if hit {
+		prog, outcome, err := s.cache.get(spec.app, spec.cfg)
+		out.cache = cacheLabel(outcome)
+		switch outcome {
+		case progHit:
 			s.met.cacheHits.Add(1)
-		} else {
+		case progWait:
+			s.met.cacheWaits.Add(1)
+		default:
 			s.met.cacheMisses.Add(1)
 		}
 		if err != nil {
@@ -239,6 +269,92 @@ func (s *Server) execute(ctx context.Context, spec *runSpec, block bool) *runRes
 	}
 }
 
+// serveCell serves one resolved cell through the result cache. The first
+// request for a fingerprint (the leader) simulates on the worker pool and
+// publishes the result; identical requests arriving while it runs
+// coalesce onto the same entry — one simulation, N−1 result-hits —
+// instead of queueing N copies behind the pool, and later identical
+// requests serve the cached result in microseconds. Failed or canceled
+// leaders don't poison the cache: waiters retry (one may become the new
+// leader) and fall back to an uncached run.
+func (s *Server) serveCell(ctx context.Context, spec *runSpec, block bool) *runResult {
+	if s.results == nil || spec.fresh {
+		return s.execute(ctx, spec, block)
+	}
+	key := spec.fingerprint()
+	for attempt := 0; attempt < 2; attempt++ {
+		e, leader := s.results.acquire(key)
+		if leader {
+			s.met.resultMisses.Add(1)
+			out := s.execute(ctx, spec, block)
+			s.results.complete(e, out.res, out.err)
+			return out
+		}
+		coalesced := false
+		select {
+		case <-e.done:
+		default:
+			coalesced = true
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				// The waiter's own deadline expired; the leader keeps
+				// running for everyone else.
+				return &runResult{err: &sim.CanceledError{Cause: ctx.Err()}}
+			}
+		}
+		if e.err == nil {
+			s.met.resultHits.Add(1)
+			if coalesced {
+				s.met.resultCoalesced.Add(1)
+			}
+			s.met.servedHit(e.res)
+			return &runResult{res: e.res, cache: resultHitLabel}
+		}
+		// The leader failed (error or its deadline fired) and removed the
+		// entry; loop once — this waiter may now become the leader.
+	}
+	return s.execute(ctx, spec, block)
+}
+
+// Warmup pre-simulates every cell of the canonical evaluation matrix
+// (all apps × all configurations × both memory models) through the
+// result cache, so a fresh daemon serves result-hits from its first
+// request. It returns the number of cells warmed and the first error.
+func (s *Server) Warmup(ctx context.Context) (int, error) {
+	return s.WarmupSweep(ctx, &SweepRequest{})
+}
+
+// WarmupSweep warms the sub-matrix a SweepRequest selects (empty axes
+// default to the full axis), fanning cells out on the worker pool with
+// blocking admission.
+func (s *Server) WarmupSweep(ctx context.Context, req *SweepRequest) (int, error) {
+	specs, err := req.resolveSweep()
+	if err != nil {
+		return 0, err
+	}
+	outs := make([]*runResult, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outs[i] = s.serveCell(ctx, spec, true)
+		}()
+	}
+	wg.Wait()
+	n := 0
+	var first error
+	for _, out := range outs {
+		if out.err == nil {
+			n++
+		} else if first == nil {
+			first = out.err
+		}
+	}
+	return n, first
+}
+
 // requestContext applies the request deadline, if any.
 func requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
 	ctx := r.Context()
@@ -260,9 +376,20 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := requestContext(r, req.TimeoutMS)
 	defer cancel()
-	out := s.execute(ctx, spec, false)
+	out := s.serveCell(ctx, spec, false)
 	if out.err != nil {
 		s.writeRunError(w, "run", out.err)
+		return
+	}
+	// The ETag is a pure function of the resolved fingerprint: the
+	// simulator is deterministic, so a matching If-None-Match guarantees
+	// the client's representation is current. The result is still
+	// obtained first (a hit after warmup — microseconds) so every logical
+	// serve, including a 304, folds into the served aggregates.
+	etag := etagFor(spec.fingerprint())
+	w.Header().Set("ETag", etag)
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		s.writeNotModified(w, "run")
 		return
 	}
 	s.writeJSON(w, "run", http.StatusOK, &RunResponse{
@@ -272,7 +399,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			Stats:          out.res,
 			StallsByOpcode: out.res.StallsByOpcode(),
 		},
-		Cache:   cacheLabel(out.hit),
+		Cache:   out.cache,
 		QueueMS: out.queueMS,
 		RunMS:   out.runMS,
 	})
@@ -301,23 +428,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			outs[i] = s.execute(ctx, spec, true)
+			outs[i] = s.serveCell(ctx, spec, true)
 		}()
 	}
 	wg.Wait()
 
 	resp := &SweepResponse{Cells: make([]SweepCell, len(specs))}
 	for i, spec := range specs {
-		cell := SweepCell{App: spec.app.Name, Config: spec.cfg.Name, Memory: spec.mem.String()}
-		out := outs[i]
-		switch {
-		case out.err != nil:
-			cell.Error = out.err.Error()
-			cell.Canceled = errors.Is(out.err, sim.ErrCanceled)
+		cell := sweepCell(spec, outs[i])
+		if cell.Error != "" {
 			resp.Errors++
-		default:
-			cell.Stats = out.res
-			cell.Cache = cacheLabel(out.hit)
 		}
 		resp.Cells[i] = cell
 	}
@@ -330,7 +450,41 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			code = http.StatusInternalServerError
 		}
 	}
+	// The sweep ETag fingerprints the whole resolved cell list, in
+	// order; like /v1/run it only validates successful responses.
+	if code == http.StatusOK {
+		fps := make([]string, len(specs))
+		for i, spec := range specs {
+			fps[i] = spec.fingerprint()
+		}
+		etag := etagFor(strings.Join(fps, "\n"))
+		w.Header().Set("ETag", etag)
+		if etagMatch(r.Header.Get("If-None-Match"), etag) {
+			s.writeNotModified(w, "sweep")
+			return
+		}
+	}
 	s.writeJSON(w, "sweep", code, resp)
+}
+
+// sweepCell maps one cell's outcome onto the wire shape. Canceled cells
+// keep the partial result the typed cancellation carries — the same
+// payload a single-run 504 returns — instead of dropping it.
+func sweepCell(spec *runSpec, out *runResult) SweepCell {
+	cell := SweepCell{App: spec.app.Name, Config: spec.cfg.Name, Memory: spec.mem.String()}
+	switch {
+	case out.err != nil:
+		cell.Error = out.err.Error()
+		var ce *sim.CanceledError
+		if errors.As(out.err, &ce) {
+			cell.Canceled = true
+			cell.Partial = ce.Partial
+		}
+	default:
+		cell.Stats = out.res
+		cell.Cache = out.cache
+	}
+	return cell
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -342,7 +496,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.writePrometheus(w, s.cache.len(), s.pool.depth(), s.pool.inflight.Load())
+	resultLen := 0
+	if s.results != nil {
+		resultLen = s.results.len()
+	}
+	s.met.writePrometheus(w, s.cache.len(), resultLen, s.pool.depth(), s.pool.inflight.Load())
 	s.met.request("metrics", http.StatusOK)
 }
 
@@ -387,17 +545,34 @@ func (s *Server) writeJSON(w http.ResponseWriter, endpoint string, code int, v a
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(v); err != nil && !isClientGone(err) {
-		// The header is out; all we can do is count it.
-		code = http.StatusInternalServerError
+		// The status line is already out — the client saw code, not a
+		// 500 — so the request counter records what was actually sent
+		// and the truncated body is tracked separately.
+		s.met.encodeFailures.Add(1)
 	}
 	s.met.request(endpoint, code)
 }
 
-func cacheLabel(hit bool) string {
-	if hit {
+// writeNotModified answers an If-None-Match revalidation: no body, but
+// the exchange is still counted per endpoint.
+func (s *Server) writeNotModified(w http.ResponseWriter, endpoint string) {
+	w.WriteHeader(http.StatusNotModified)
+	s.met.request(endpoint, http.StatusNotModified)
+}
+
+// resultHitLabel is the response cache label of a result-cache serve.
+const resultHitLabel = "result-hit"
+
+// cacheLabel renders a compiled-program cache outcome for responses.
+func cacheLabel(o cacheOutcome) string {
+	switch o {
+	case progHit:
 		return "hit"
+	case progWait:
+		return "wait"
+	default:
+		return "miss"
 	}
-	return "miss"
 }
 
 // isClientGone reports a write error caused by the peer disconnecting.

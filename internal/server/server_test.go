@@ -158,11 +158,15 @@ func TestSweepEndpointMatchesCollect(t *testing.T) {
 
 // TestCacheHitRate replays a repeated-cell workload and checks the
 // compiled-program cache serves >90% of it (the acceptance threshold).
+// The requests set fresh so every one reaches the simulate path — the
+// result cache would otherwise absorb all repeats before the program
+// cache sees them.
 func TestCacheHitRate(t *testing.T) {
 	srv, url := startServer(t, Config{Workers: 2})
 	const n = 60
 	for i := 0; i < n; i++ {
 		req := DefaultWorkload()[i%3]
+		req.Fresh = true
 		if code := post(t, url+"/v1/run", &req, nil); code != http.StatusOK {
 			t.Fatalf("request %d: status %d", i, code)
 		}
@@ -173,6 +177,34 @@ func TestCacheHitRate(t *testing.T) {
 	}
 	if rate := float64(hits) / float64(n); rate <= 0.90 {
 		t.Fatalf("cache hit rate %.2f on a repeated-cell workload, want > 0.90", rate)
+	}
+}
+
+// TestResultCacheHitRate replays the same repeated-cell workload without
+// fresh: after the first pass over the three distinct cells, every
+// request must be a result-hit served without a simulation.
+func TestResultCacheHitRate(t *testing.T) {
+	srv, url := startServer(t, Config{Workers: 2})
+	const n = 60
+	for i := 0; i < n; i++ {
+		req := DefaultWorkload()[i%3]
+		var resp RunResponse
+		if code := post(t, url+"/v1/run", &req, &resp); code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+		if i >= 3 && resp.Cache != resultHitLabel {
+			t.Fatalf("request %d: cache label %q, want %q", i, resp.Cache, resultHitLabel)
+		}
+	}
+	hits, misses, _ := srv.ResultMetrics()
+	if misses != 3 {
+		t.Fatalf("result-cache misses = %d, want exactly 3 (one per distinct cell)", misses)
+	}
+	if hits != n-3 {
+		t.Fatalf("result-cache hits = %d, want %d", hits, n-3)
+	}
+	if got := srv.met.runsTotal.Load(); got != 3 {
+		t.Fatalf("runsTotal = %d simulations for %d requests, want 3", got, n)
 	}
 }
 
@@ -189,6 +221,14 @@ func TestValidation400s(t *testing.T) {
 		{RunRequest{App: "gsm_dec", Config: "VLIW-2w", Memory: "nope"}, "realistic"},
 		{RunRequest{App: "gsm_dec", Config: "VLIW-2w", VL: 99}, "out of range"},
 		{RunRequest{App: "gsm_dec", Config: "VLIW-2w", Lanes: 4}, "vector configuration"},
+		// The 400 messages must state the actual accepted ranges: vl 0 is
+		// valid (no cap), so the range is [0, MaxVL]; lanes/issue reject
+		// only negatives, with 0 meaning "no override".
+		{RunRequest{App: "gsm_dec", Config: "VLIW-2w", VL: -1}, "[0, 16]"},
+		{RunRequest{App: "gsm_dec", Config: "VLIW-2w", VL: 99}, "[0, 16]"},
+		{RunRequest{App: "gsm_dec", Config: "Vector2-2w", Lanes: -4}, ">= 0"},
+		{RunRequest{App: "gsm_dec", Config: "Vector2-2w", Lanes: -4}, "lane count"},
+		{RunRequest{App: "gsm_dec", Config: "VLIW-2w", Issue: -2}, ">= 0"},
 	}
 	for _, c := range cases {
 		var er ErrorResponse
@@ -333,16 +373,23 @@ func TestAdmissionControlSheds(t *testing.T) {
 	}
 }
 
-// TestMetricsEndpointInvariants scrapes /metrics after a few runs and
-// asserts the exact-sum invariant: the per-cause stall series sums to the
-// stall total, and served cycles are non-zero.
+// TestMetricsEndpointInvariants scrapes /metrics after a mixed
+// hit/miss workload and asserts the exact-sum invariants: the per-cause
+// stall series sums to the stall total, and the served aggregates count
+// every logical serve — result-cache hits fold the same result as the
+// simulation that produced it, so served cycles equal the sum over all
+// responses.
 func TestMetricsEndpointInvariants(t *testing.T) {
 	_, url := startServer(t, Config{Workers: 2})
+	var wantCycles, wantStalls float64
 	for i := 0; i < 6; i++ {
 		req := DefaultWorkload()[i%3]
-		if code := post(t, url+"/v1/run", &req, nil); code != 200 {
+		var resp RunResponse
+		if code := post(t, url+"/v1/run", &req, &resp); code != 200 {
 			t.Fatalf("warmup %d: status %d", i, code)
 		}
+		wantCycles += float64(resp.Stats.Cycles)
+		wantStalls += float64(resp.Stats.StallCycles)
 	}
 	resp, err := http.Get(url + "/metrics")
 	if err != nil {
@@ -373,14 +420,26 @@ func TestMetricsEndpointInvariants(t *testing.T) {
 		}
 		vals[name] = v
 	}
-	if vals["vsimdd_served_cycles_total"] <= 0 {
-		t.Fatal("no served cycles recorded")
+	if vals["vsimdd_served_cycles_total"] != wantCycles {
+		t.Fatalf("served_cycles_total = %.0f, want %.0f (sum over every logical serve)",
+			vals["vsimdd_served_cycles_total"], wantCycles)
+	}
+	if vals["vsimdd_served_stall_cycles_total"] != wantStalls {
+		t.Fatalf("served_stall_cycles_total = %.0f, want %.0f (sum over every logical serve)",
+			vals["vsimdd_served_stall_cycles_total"], wantStalls)
 	}
 	if total := vals["vsimdd_served_stall_cycles_total"]; causeSum != total {
 		t.Fatalf("stall causes sum to %.0f, want exactly %.0f", causeSum, total)
 	}
-	if vals["vsimdd_runs_total"] < 6 {
-		t.Fatalf("runs_total = %.0f, want >= 6", vals["vsimdd_runs_total"])
+	if vals["vsimdd_served_total"] != 6 {
+		t.Fatalf("served_total = %.0f, want 6 (every logical serve)", vals["vsimdd_served_total"])
+	}
+	// Only 3 distinct cells were simulated; the rest were result-hits.
+	if vals["vsimdd_runs_total"] != 3 {
+		t.Fatalf("runs_total = %.0f, want 3 simulations", vals["vsimdd_runs_total"])
+	}
+	if vals["vsimdd_result_cache_hits_total"] != 3 {
+		t.Fatalf("result_cache_hits_total = %.0f, want 3", vals["vsimdd_result_cache_hits_total"])
 	}
 }
 
