@@ -6,8 +6,11 @@
 # under contention — N concurrent identical requests must coalesce onto
 # exactly one simulation, and hits must be bit-identical to fresh runs —
 # and asserts clean shutdown and exact-sum metric invariants over mixed
-# hit/miss traffic), and short fuzzing smoke runs of the
-# scheduler, of the differential engine-equivalence harness (reference
+# hit/miss traffic, and the scheduler, whose pooled scratch arenas and
+# package-init descriptor tables must stay clean under concurrent
+# Compiles), and short fuzzing smoke runs of the
+# scheduler (differential: fast path vs sched.ReferenceSchedule must be
+# schedule-identical), of the differential engine-equivalence harness (reference
 # interpreter vs pre-decoded engine over generated programs) and of the
 # memory-hierarchy equivalence harness (optimized mem.Hierarchy vs
 # mem.ReferenceHierarchy over random access streams). When at least two
@@ -30,7 +33,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/report ./internal/core ./internal/sim ./internal/server ./internal/mem
+	$(GO) test -race ./internal/report ./internal/core ./internal/sim ./internal/server ./internal/mem ./internal/sched
 
 fuzz:
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzSchedule -fuzztime=10s

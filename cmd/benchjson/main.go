@@ -41,6 +41,12 @@ type output struct {
 	CPU        string  `json:"cpu,omitempty"`
 	Benchtime  string  `json:"benchtime"`
 	SimOpsPerS float64 `json:"sim_ops_per_s"`
+	// SchedOpsPerS is the compile-path headline: static-scheduling
+	// throughput of the fast scheduler on the BenchmarkSchedule workload
+	// (internal/sched; BenchmarkScheduleReference in the benchmarks map is
+	// the retained original on the same workload, so their ratio is the
+	// fast path's speedup).
+	SchedOpsPerS float64 `json:"sched_ops_s"`
 	// ServiceReqPerS is the serving-path headline: completed /v1/run
 	// requests per second from a short in-process vsimdd load burst
 	// (0 when the burst is disabled with -service-duration 0).
@@ -57,7 +63,7 @@ type output struct {
 func main() {
 	var (
 		out         = flag.String("out", "", "output file (default stdout)")
-		pattern     = flag.String("bench", "BenchmarkSimulator|BenchmarkScheduler|BenchmarkCollect", "benchmark regexp to run")
+		pattern     = flag.String("bench", "BenchmarkSimulator|BenchmarkScheduler|BenchmarkCollect|BenchmarkSchedule|BenchmarkCompile", "benchmark regexp to run")
 		benchtime   = flag.String("benchtime", "3x", "value for -benchtime")
 		serviceDur  = flag.Duration("service-duration", 2*time.Second, "in-process vsimdd load-burst length (0 disables)")
 		serviceConc = flag.Int("service-concurrency", runtime.NumCPU(), "load-burst client concurrency")
@@ -65,7 +71,7 @@ func main() {
 	flag.Parse()
 
 	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *pattern,
-		"-benchtime", *benchtime, ".")
+		"-benchtime", *benchtime, ".", "./internal/sched", "./internal/core")
 	var buf bytes.Buffer
 	cmd.Stdout = &buf
 	cmd.Stderr = os.Stderr
@@ -96,6 +102,9 @@ func main() {
 		doc.Benchmarks[name] = res
 		if name == "Simulator" {
 			doc.SimOpsPerS = res.Metrics["sim_ops/s"]
+		}
+		if name == "Schedule" {
+			doc.SchedOpsPerS = res.Metrics["sched_ops/s"]
 		}
 	}
 	if len(doc.Benchmarks) == 0 {
@@ -132,8 +141,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (sim_ops/s = %.0f, service_req_s = %.1f, service_hot_req_s = %.1f)\n",
-		*out, doc.SimOpsPerS, doc.ServiceReqPerS, doc.ServiceHotReqPerS)
+	fmt.Printf("wrote %s (sim_ops/s = %.0f, sched_ops/s = %.0f, service_req_s = %.1f, service_hot_req_s = %.1f)\n",
+		*out, doc.SimOpsPerS, doc.SchedOpsPerS, doc.ServiceReqPerS, doc.ServiceHotReqPerS)
 }
 
 // serviceBurst measures the serving path twice: a cold-start burst (the

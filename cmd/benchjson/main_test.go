@@ -51,6 +51,7 @@ func TestOutputSchema(t *testing.T) {
 		CPU:               "test",
 		Benchtime:         "3x",
 		SimOpsPerS:        1,
+		SchedOpsPerS:      4,
 		ServiceReqPerS:    2,
 		ServiceHotReqPerS: 3,
 		Service:           &server.LoadReport{},
@@ -69,7 +70,7 @@ func TestOutputSchema(t *testing.T) {
 	}
 	for _, field := range []string{
 		"date", "go_version", "goos", "goarch", "cpu", "benchtime",
-		"sim_ops_per_s", "service_req_s", "service_hot_req_s",
+		"sim_ops_per_s", "sched_ops_s", "service_req_s", "service_hot_req_s",
 		"service", "service_hot", "benchmarks",
 	} {
 		if _, ok := got[field]; !ok {

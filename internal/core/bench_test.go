@@ -1,0 +1,38 @@
+package core_test
+
+// Compile-path benchmarks: the full Compile cost (schedule + predecode)
+// on the largest application, tracked in BENCH_*.json via cmd/benchjson.
+// BenchmarkCompile is the daemon's cold-start unit of work — what a
+// vsimdd cache miss pays before the first cycle simulates.
+
+import (
+	"testing"
+
+	"vsimdvliw/internal/apps"
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/kernels"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/sched"
+)
+
+func BenchmarkCompile(b *testing.B) {
+	a, err := apps.ByName("jpeg_enc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	built := a.Build(kernels.USIMD)
+	ops := built.Func.NumOps()
+	var schedNS int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st, err := core.CompileWithStats(built.Func, &machine.USIMD4, sched.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		schedNS += st.ScheduleNS
+	}
+	b.ReportMetric(float64(ops)*float64(b.N)/b.Elapsed().Seconds(), "compile_ops/s")
+	if schedNS > 0 {
+		b.ReportMetric(float64(ops)*float64(b.N)/(float64(schedNS)/1e9), "sched_ops/s")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"vsimdvliw/internal/ir"
 	"vsimdvliw/internal/machine"
@@ -86,13 +87,59 @@ func Compile(f *ir.Func, cfg *machine.Config) (*Program, error) {
 
 // CompileWith compiles with explicit scheduler options (ablations).
 func CompileWith(f *ir.Func, cfg *machine.Config, opts sched.Options) (*Program, error) {
+	p, _, err := CompileWithStats(f, cfg, opts)
+	return p, err
+}
+
+// CompileStats is the cost breakdown of one compilation, for the daemon's
+// /metrics compile timing and the compile benchmarks. All times are
+// wall-clock nanoseconds.
+type CompileStats struct {
+	// ScheduleNS is the static-scheduling time (verify, pressure check,
+	// dependence graphs, list scheduling).
+	ScheduleNS int64
+	// PredecodeNS is the time lowering every block into its pre-decoded
+	// executor sequence.
+	PredecodeNS int64
+	// Ops is the number of IR operations compiled, so callers can derive a
+	// sched_ops/s rate from ScheduleNS.
+	Ops int
+}
+
+// CompileWithStats is CompileWith plus a timing breakdown.
+func CompileWithStats(f *ir.Func, cfg *machine.Config, opts sched.Options) (*Program, CompileStats, error) {
+	var st CompileStats
+	for _, blk := range f.Blocks {
+		st.Ops += len(blk.Ops)
+	}
+	t0 := time.Now()
 	fs, err := sched.ScheduleOpts(f, cfg, opts)
+	st.ScheduleNS = time.Since(t0).Nanoseconds()
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
 	// Lower every block into its pre-decoded executor sequence now, so
 	// runs (often many, across goroutines) share the compiled code and
 	// never pay the lowering cost.
+	t1 := time.Now()
+	err = sim.Predecode(fs)
+	st.PredecodeNS = time.Since(t1).Nanoseconds()
+	if err != nil {
+		return nil, st, err
+	}
+	return &Program{Sched: fs, Config: cfg}, st, nil
+}
+
+// CompileReference compiles through sched.ReferenceScheduleOpts — the
+// retained original scheduler — instead of the fast path. It exists for
+// differential tests (report-level reflect.DeepEqual of schedules and
+// simulation results) and for measuring what the fast path is worth; the
+// two compilers must produce identical Programs for any valid input.
+func CompileReference(f *ir.Func, cfg *machine.Config, opts sched.Options) (*Program, error) {
+	fs, err := sched.ReferenceScheduleOpts(f, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
 	if err := sim.Predecode(fs); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,78 @@
+package report
+
+import (
+	"reflect"
+	"testing"
+
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/sched"
+)
+
+// TestReferenceCompileMatchesCollect is the report-level leg of the
+// scheduler's differential proof (ISSUE 7): over the reduced app/config
+// matrix, programs compiled through the retained original scheduler
+// (core.CompileReference) must carry schedules identical to the fast
+// path's and produce simulation results reflect.DeepEqual to the ones a
+// regular collect sweep records — i.e. every figure and table derived
+// from the matrix is byte-identical no matter which scheduler compiled
+// the cells.
+func TestReferenceCompileMatchesCollect(t *testing.T) {
+	a := reducedApps(t)
+	mtx, err := collect(a, reducedCfgs, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range a {
+		for _, cfg := range reducedCfgs {
+			built := app.Build(VariantFor(cfg))
+			fast, err := core.Compile(built.Func, cfg)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", app.Name, cfg.Name, err)
+			}
+			ref, err := core.CompileReference(built.Func, cfg, sched.Options{})
+			if err != nil {
+				t.Fatalf("%s on %s: reference compile: %v", app.Name, cfg.Name, err)
+			}
+
+			// Schedule identity, field by field (the sync.Once memo slots
+			// make whole-FuncSched DeepEqual meaningless).
+			fs, rs := fast.Sched, ref.Sched
+			if fs.MaxPressure != rs.MaxPressure {
+				t.Fatalf("%s on %s: MaxPressure: fast=%v reference=%v",
+					app.Name, cfg.Name, fs.MaxPressure, rs.MaxPressure)
+			}
+			if len(fs.Blocks) != len(rs.Blocks) {
+				t.Fatalf("%s on %s: block count: fast=%d reference=%d",
+					app.Name, cfg.Name, len(fs.Blocks), len(rs.Blocks))
+			}
+			for bi := range fs.Blocks {
+				fb, rb := fs.Blocks[bi], rs.Blocks[bi]
+				if fb.Length != rb.Length || fb.II != rb.II || !reflect.DeepEqual(fb.Ops, rb.Ops) {
+					t.Fatalf("%s on %s B%d: schedules diverge", app.Name, cfg.Name, bi)
+				}
+				for _, steady := range []bool{false, true} {
+					if !reflect.DeepEqual(fb.Profile(steady), rb.Profile(steady)) {
+						t.Fatalf("%s on %s B%d: Profile(steady=%v) diverges",
+							app.Name, cfg.Name, bi, steady)
+					}
+				}
+			}
+
+			// Result identity against the sweep's recorded cells.
+			for _, mm := range core.Models {
+				res, err := ref.Run(mm)
+				if err != nil {
+					t.Fatalf("%s on %s under %s: reference run: %v", app.Name, cfg.Name, mm, err)
+				}
+				want := mtx.res[key(app.Name, cfg.Name, mm)]
+				if want == nil {
+					t.Fatalf("%s on %s under %s: cell missing from sweep", app.Name, cfg.Name, mm)
+				}
+				if !reflect.DeepEqual(res, want) {
+					t.Errorf("%s on %s under %s: reference-compiled result differs from collect sweep",
+						app.Name, cfg.Name, mm)
+				}
+			}
+		}
+	}
+}

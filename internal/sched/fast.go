@@ -1,0 +1,744 @@
+package sched
+
+// fast.go is the production scheduler: the same list-scheduling algorithm
+// as reference.go, rebuilt for throughput. The scheduler is the slowest
+// layer of the stack (cold-cache compiles dominate vsimdd cold-start and
+// any many-config sweep), so its hot paths avoid the per-op maps and
+// slices of the original:
+//
+//   - the dependence graph lives in preallocated node/edge arenas; each
+//     node's successor list is a singly linked list threaded through the
+//     edge arena (prepend order — the reverse of the reference's append
+//     order — is safe because every consumer of an edge list is
+//     order-independent: priorities take a max, in-degrees count, and
+//     readyAt takes a max);
+//   - the builder's register tables (last definition and reader lists per
+//     virtual register) are flat epoch-stamped arrays indexed by the
+//     dense per-class register IDs ir.Func.Verify guarantees, so per-block
+//     reuse costs O(1) instead of a map rebuild;
+//   - reservation tables are bitsets probed and claimed with word-wise
+//     masks; issue-slot counts are a flat array;
+//   - per-opcode descriptor inputs (unit, latency, vector/memory/pseudo
+//     flags) are memoized into a flat table at package init, and the two
+//     quotients of the Figure 3 descriptors come from (rate, VL) lookup
+//     tables;
+//   - cycles in which nothing is ready are skipped in one step (the
+//     reference burns them one at a time); nothing issues in them, so the
+//     resulting schedule is identical.
+//
+// The result is required to be schedule-identical to the reference: same
+// cycle assignment, slot placement, unit indices, lengths, II, and
+// therefore the same Profile reservation tables. FuzzSchedule and
+// TestScheduleDifferential10k enforce this; any behavioral change must be
+// made to reference.go as well or the differential suite fails.
+//
+// All package-level tables here are built in init and read-only
+// afterwards, so concurrent Compiles share them without synchronization;
+// mutable working state lives in a pooled schedScratch per ScheduleOpts
+// call.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/machine"
+)
+
+// numUnitClasses bounds isa.Unit values for flat unit-indexed tables
+// (UnitNone through UnitVMem).
+const numUnitClasses = int(isa.UnitVMem) + 1
+
+// opMeta is the per-opcode metadata the fast paths index by opcode,
+// flattened from the isa.Info table at package init so the scheduling
+// inner loops never chase it.
+type opMeta struct {
+	unit   isa.Unit
+	lat    int32
+	vector bool
+	vmem   bool
+	store  bool
+	mem    bool
+	branch bool
+	pseudo bool
+	setvl  bool
+	setvs  bool
+}
+
+var opMetaTab [isa.NumOpcodes]opMeta
+
+// maxRateTab bounds the (rate, vl) descriptor lookup tables. Both axes are
+// tiny in every Table 2 configuration (lanes, L2 port words and VL are all
+// <= isa.MaxVL); out-of-range values fall back to the divisions.
+const maxRateTab = 16
+
+// vecOccTab[rate][vl] = ceil(max(vl,1)/rate) and vecLastTab[rate][vl] =
+// (max(vl,1)-1)/rate: the two quotients descriptors() computes per op.
+var (
+	vecOccTab  [maxRateTab + 1][isa.MaxVL + 1]int32
+	vecLastTab [maxRateTab + 1][isa.MaxVL + 1]int32
+)
+
+func init() {
+	for op := 0; op < isa.NumOpcodes; op++ {
+		in := isa.Opcode(op).Get()
+		if int(in.Unit) >= numUnitClasses {
+			panic("sched: isa.Unit value out of range for flat unit tables")
+		}
+		opMetaTab[op] = opMeta{
+			unit:   in.Unit,
+			lat:    int32(in.Lat),
+			vector: in.Vector,
+			vmem:   isa.Opcode(op).IsVectorMem(),
+			store:  in.Mem == isa.MemStore,
+			mem:    in.Mem != isa.MemNone,
+			branch: in.Branch,
+			pseudo: in.Unit == isa.UnitNone,
+			setvl:  isa.Opcode(op) == isa.SETVL,
+			setvs:  isa.Opcode(op) == isa.SETVS,
+		}
+	}
+	for rate := 1; rate <= maxRateTab; rate++ {
+		for vl := 0; vl <= isa.MaxVL; vl++ {
+			v := vl
+			if v < 1 {
+				v = 1
+			}
+			vecOccTab[rate][vl] = int32((v + rate - 1) / rate)
+			vecLastTab[rate][vl] = int32((v - 1) / rate)
+		}
+	}
+}
+
+// fastDescriptors mirrors descriptors() through the init-time tables.
+func fastDescriptors(m *opMeta, rate, vl int) (occ, tlw int32) {
+	if !m.vector {
+		return 1, m.lat
+	}
+	if rate <= maxRateTab && vl >= 0 && vl <= isa.MaxVL {
+		return vecOccTab[rate][vl], m.lat + vecLastTab[rate][vl]
+	}
+	if vl < 1 {
+		vl = 1
+	}
+	return int32((vl + rate - 1) / rate), m.lat + int32((vl-1)/rate)
+}
+
+// fnode is one operation in the arena-allocated dependence graph. Only
+// what the scheduling loop reads is kept: the reference's node carries
+// predecessor lists and an *ir.Op pointer, neither of which the fast path
+// needs (in-degree replaces the former; opMetaTab the latter).
+type fnode struct {
+	unit     isa.Unit
+	pseudo   bool
+	vector   bool
+	vl       int32
+	lat      int32
+	occ      int32
+	tlw      int32
+	indeg    int32
+	succHead int32 // first outgoing edge in the arena, -1 when none
+}
+
+// fedge is one dependence edge in the shared arena: successor lists are
+// linked through next.
+type fedge struct {
+	to   int32
+	lat  int32
+	next int32
+}
+
+// listNode is one cell of the builder's reader/vector-op linked lists.
+type listNode struct {
+	val  int32
+	next int32
+}
+
+// memRec mirrors the reference builder's memory-operation record.
+type memRec struct {
+	idx   int32
+	alias int32
+	store bool
+}
+
+// epochTable is a reusable int32-valued map over dense keys (virtual
+// register IDs): reset bumps an epoch instead of clearing, so reuse
+// across blocks costs O(1).
+type epochTable struct {
+	epoch []uint32
+	val   []int32
+	cur   uint32
+}
+
+func (t *epochTable) reset(n int) {
+	if cap(t.epoch) < n {
+		t.epoch = make([]uint32, n)
+		t.val = make([]int32, n)
+		t.cur = 1
+		return
+	}
+	t.epoch = t.epoch[:n]
+	t.val = t.val[:n]
+	t.cur++
+	if t.cur == 0 { // epoch counter wrapped: clear and restart
+		for i := range t.epoch {
+			t.epoch[i] = 0
+		}
+		t.cur = 1
+	}
+}
+
+func (t *epochTable) get(i int32) (int32, bool) {
+	if t.epoch[i] == t.cur {
+		return t.val[i], true
+	}
+	return 0, false
+}
+
+func (t *epochTable) set(i int32, v int32) {
+	t.epoch[i] = t.cur
+	t.val[i] = v
+}
+
+// flowLat, antiLat and outLat are rawLat, warLat and wawLat over fnodes
+// (see depgraph.go for the latency model commentary).
+func flowLat(p, c *fnode, opts Options) int32 {
+	if p.pseudo {
+		return 0
+	}
+	if p.vector {
+		if c.vector && !opts.NoChaining {
+			lat := p.lat
+			if slack := p.tlw - (c.tlw - c.lat); slack > lat {
+				lat = slack
+			}
+			return lat
+		}
+		return p.tlw
+	}
+	return p.lat
+}
+
+func antiLat(r *fnode) int32 {
+	if r.vector {
+		return r.tlw - r.lat + 1
+	}
+	return 0
+}
+
+func outLat(first, second *fnode) int32 {
+	l := first.tlw - second.tlw + 1
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// fastRes is the bitset reservation table: one bit per (unit instance,
+// cycle), probed and claimed with word-wise masks, plus a flat issue-slot
+// count per cycle. Occupancies are a handful of cycles, so a probe
+// touches at most two words.
+type fastRes struct {
+	busy  [numUnitClasses][][]uint64
+	issue []int32
+}
+
+func (r *fastRes) reset() {
+	for u := range r.busy {
+		for _, words := range r.busy[u] {
+			for i := range words {
+				words[i] = 0
+			}
+		}
+	}
+	for i := range r.issue {
+		r.issue[i] = 0
+	}
+}
+
+func (r *fastRes) issueFree(cycle, width int) bool {
+	return cycle >= len(r.issue) || int(r.issue[cycle]) < width
+}
+
+func (r *fastRes) takeIssue(cycle int) {
+	for len(r.issue) <= cycle {
+		r.issue = append(r.issue, 0)
+	}
+	r.issue[cycle]++
+}
+
+// wordsFree reports whether bits [start, start+n) are all clear; bits
+// beyond the slice's length are clear by definition.
+func wordsFree(w []uint64, start, n int) bool {
+	for n > 0 {
+		wi := start >> 6
+		if wi >= len(w) {
+			return true
+		}
+		b := uint(start & 63)
+		span := 64 - int(b)
+		if span > n {
+			span = n
+		}
+		mask := (^uint64(0) >> (64 - uint(span))) << b
+		if w[wi]&mask != 0 {
+			return false
+		}
+		start += span
+		n -= span
+	}
+	return true
+}
+
+// wordsClaim sets bits [start, start+n), growing the slice as needed, and
+// returns it.
+func wordsClaim(w []uint64, start, n int) []uint64 {
+	for need := (start + n + 63) >> 6; len(w) < need; {
+		w = append(w, 0)
+	}
+	for n > 0 {
+		wi := start >> 6
+		b := uint(start & 63)
+		span := 64 - int(b)
+		if span > n {
+			span = n
+		}
+		w[wi] |= (^uint64(0) >> (64 - uint(span))) << b
+		start += span
+		n -= span
+	}
+	return w
+}
+
+// reserve probes instances 0..count-1 in order — the reference's probe
+// order, so the chosen instance index always matches — and claims the
+// first that is free for [cycle, cycle+occ).
+func (r *fastRes) reserve(unit isa.Unit, cycle, occ, count int) (int, bool) {
+	insts := r.busy[unit]
+	for len(insts) < count {
+		insts = append(insts, nil)
+	}
+	r.busy[unit] = insts
+	for idx := 0; idx < count; idx++ {
+		if wordsFree(insts[idx], cycle, occ) {
+			insts[idx] = wordsClaim(insts[idx], cycle, occ)
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+// schedScratch is the reusable working state of one ScheduleOpts call:
+// the node/edge arenas, the builder's register tables and the reservation
+// bitsets. Drawn from a pool per call, so concurrent Compiles never share
+// one.
+type schedScratch struct {
+	nodes []fnode
+	edges []fedge
+	list  []listNode
+
+	lastDef  [5]epochTable // per class: reg -> defining op index
+	readHead [5]epochTable // per class: reg -> head of reader list (-1 none)
+	mems     []memRec
+
+	prio   []int32
+	state  []int64 // doneBit | indeg<<32 | readyAt per node (see scheduleBlock)
+	cand   []int32
+	sorted []int32
+	cnt    []int32
+	ready  []int32
+	res    fastRes
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(schedScratch) }}
+
+func growI32(s *[]int32, n int) []int32 {
+	if cap(*s) < n {
+		*s = make([]int32, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+func (s *schedScratch) addEdge(from, to, lat int32) {
+	if from == to {
+		return
+	}
+	s.edges = append(s.edges, fedge{to: to, lat: lat, next: s.nodes[from].succHead})
+	s.nodes[from].succHead = int32(len(s.edges)) - 1
+	s.nodes[to].indeg++
+}
+
+// buildGraph is buildDAG over the arenas: same pass structure, same edges
+// with the same latencies (only the successor-list order differs; see the
+// file comment), returning the VL value at block exit.
+func (s *schedScratch) buildGraph(blk *ir.Block, numRegs *[5]int32, cfg *machine.Config, vlIn int, opts Options) int {
+	n := len(blk.Ops)
+	if cap(s.nodes) < n {
+		s.nodes = make([]fnode, n)
+	}
+	s.nodes = s.nodes[:n]
+	s.edges = s.edges[:0]
+	s.list = s.list[:0]
+	s.mems = s.mems[:0]
+	for cl := range s.lastDef {
+		s.lastDef[cl].reset(int(numRegs[cl]))
+		s.readHead[cl].reset(int(numRegs[cl]))
+	}
+	nodes := s.nodes
+
+	rateC, rateM := cfg.Lanes, cfg.L2PortWords
+	vl := vlIn
+	lastSetVL, lastSetVS := int32(-1), int32(-1)
+	vecVLHead, vecVSHead := int32(-1), int32(-1)
+	branch := int32(-1)
+
+	for i := 0; i < n; i++ {
+		op := &blk.Ops[i]
+		m := &opMetaTab[op.Opcode]
+		ii := int32(i)
+		nd := &nodes[i]
+		*nd = fnode{unit: m.unit, pseudo: m.pseudo, vector: m.vector, lat: m.lat, succHead: -1}
+
+		if m.setvl {
+			if op.UseImm {
+				vl = int(op.Imm)
+			} else {
+				vl = isa.MaxVL // unknown at compile time: assume the maximum
+			}
+		}
+		if m.vector {
+			nd.vl = int32(vl)
+		}
+		rate := rateC
+		if m.vmem {
+			rate = rateM
+		}
+		nd.occ, nd.tlw = fastDescriptors(m, rate, vl)
+
+		// Flow dependences on register sources.
+		for _, r := range op.Src {
+			cl := int(r.Class)
+			if d, ok := s.lastDef[cl].get(r.ID); ok {
+				s.addEdge(d, ii, flowLat(&nodes[d], nd, opts))
+			}
+			head := int32(-1)
+			if h, ok := s.readHead[cl].get(r.ID); ok {
+				head = h
+			}
+			s.list = append(s.list, listNode{val: ii, next: head})
+			s.readHead[cl].set(r.ID, int32(len(s.list))-1)
+		}
+		// Implicit dependences on the VL/VS special registers.
+		if m.vector && lastSetVL >= 0 {
+			s.addEdge(lastSetVL, ii, nodes[lastSetVL].lat)
+		}
+		if m.vmem && lastSetVS >= 0 {
+			s.addEdge(lastSetVS, ii, nodes[lastSetVS].lat)
+		}
+		if m.vector {
+			s.list = append(s.list, listNode{val: ii, next: vecVLHead})
+			vecVLHead = int32(len(s.list)) - 1
+		}
+		if m.vmem {
+			s.list = append(s.list, listNode{val: ii, next: vecVSHead})
+			vecVSHead = int32(len(s.list)) - 1
+		}
+		if m.setvl {
+			for e := vecVLHead; e >= 0; e = s.list[e].next {
+				v := s.list[e].val
+				s.addEdge(v, ii, antiLat(&nodes[v]))
+			}
+			if lastSetVL >= 0 {
+				s.addEdge(lastSetVL, ii, 1)
+			}
+			vecVLHead = -1
+			lastSetVL = ii
+		}
+		if m.setvs {
+			for e := vecVSHead; e >= 0; e = s.list[e].next {
+				v := s.list[e].val
+				s.addEdge(v, ii, antiLat(&nodes[v]))
+			}
+			if lastSetVS >= 0 {
+				s.addEdge(lastSetVS, ii, 1)
+			}
+			vecVSHead = -1
+			lastSetVS = ii
+		}
+
+		// Memory dependences: conservative ordering between accesses that
+		// may alias, unless both are loads. Stores must complete before a
+		// dependent load issues.
+		if m.mem {
+			alias := int32(op.Alias)
+			for k := range s.mems {
+				mr := &s.mems[k]
+				if !(mr.alias == 0 || alias == 0 || mr.alias == alias) || (!mr.store && !m.store) {
+					continue
+				}
+				lat := int32(1)
+				if mr.store && !m.store {
+					lat = nodes[mr.idx].tlw // store -> load: full write-back
+				}
+				s.addEdge(mr.idx, ii, lat)
+			}
+			s.mems = append(s.mems, memRec{idx: ii, alias: alias, store: m.store})
+		}
+
+		// Anti and output dependences on destinations.
+		for _, r := range op.Dst {
+			cl := int(r.Class)
+			if h, ok := s.readHead[cl].get(r.ID); ok {
+				for e := h; e >= 0; e = s.list[e].next {
+					s.addEdge(s.list[e].val, ii, antiLat(&nodes[s.list[e].val]))
+				}
+			}
+			if d, ok := s.lastDef[cl].get(r.ID); ok {
+				s.addEdge(d, ii, outLat(&nodes[d], nd))
+			}
+			s.lastDef[cl].set(r.ID, ii)
+			s.readHead[cl].set(r.ID, -1)
+		}
+
+		if m.branch {
+			branch = ii
+		}
+	}
+
+	// No operation may issue after the block's branch.
+	if branch >= 0 {
+		for i := int32(0); i < int32(n); i++ {
+			if i != branch && !nodes[i].pseudo {
+				s.addEdge(i, branch, 0)
+			}
+		}
+	}
+	return vl
+}
+
+// scheduleBlock is the fast counterpart of refScheduleBlock; it must make
+// exactly the same placement decisions (see the file comment).
+func (s *schedScratch) scheduleBlock(blk *ir.Block, f *ir.Func, cfg *machine.Config, vlIn int, opts Options) (*BlockSched, int, error) {
+	vlOut := s.buildGraph(blk, &f.NumRegs, cfg, vlIn, opts)
+	bs := &BlockSched{Block: blk, Ops: make([]OpSched, len(blk.Ops))}
+	n := len(s.nodes)
+	if n == 0 {
+		return bs, vlOut, nil
+	}
+	nodes := s.nodes
+	edges := s.edges
+
+	// Longest path to the end of the block (critical-path priority), or
+	// plain source order under the ablation option.
+	prio := growI32(&s.prio, n)
+	if opts.SourceOrderPriority {
+		for i := 0; i < n; i++ {
+			prio[i] = int32(n - i)
+		}
+	} else {
+		for i := n - 1; i >= 0; i-- {
+			nd := &nodes[i]
+			p := nd.tlw
+			for e := nd.succHead; e >= 0; e = edges[e].next {
+				if q := edges[e].lat + prio[edges[e].to]; q > p {
+					p = q
+				}
+			}
+			prio[i] = p
+		}
+	}
+
+	s.res.reset()
+	// Per-node scheduling state packs the remaining in-degree (high 32
+	// bits) over the ready cycle (low 32 bits), with doneBit marking an
+	// issued node: a node is issueable at cycle c exactly when
+	// state <= c, one comparison in the hot scan.
+	const doneBit = int64(1) << 62
+	if cap(s.state) < n {
+		s.state = make([]int64, n)
+	}
+	state := s.state[:n]
+	cand := s.cand[:0]
+	remaining := 0
+	// Pseudo-operations are placed immediately at cycle 0 and consume
+	// nothing. Their successor edges are never released (the reference
+	// never issues them either); pseudo ops carry no registers, so in
+	// valid IR they have no successors.
+	for i := 0; i < n; i++ {
+		state[i] = int64(nodes[i].indeg) << 32
+		if nodes[i].pseudo {
+			state[i] = doneBit
+			bs.Ops[i] = OpSched{Index: i, Unit: isa.UnitNone}
+			continue
+		}
+		cand = append(cand, int32(i))
+		remaining++
+	}
+	// Pre-order the candidates by (priority desc, index asc). The
+	// reference gathers ready ops in index order and stable-insertion-
+	// sorts them by descending priority every cycle; priorities are fixed
+	// per block, so that per-cycle sort always lands on this one total
+	// order. Gathering in this order makes every cycle's ready list come
+	// out already sorted.
+	cand = s.orderByPriority(cand, prio)
+
+	// Fold the configuration's unit mapping and instance counts into flat
+	// tables so the issue loop skips the per-op switches.
+	var unitFold [numUnitClasses]isa.Unit
+	var unitCount [numUnitClasses]int
+	for u := 0; u < numUnitClasses; u++ {
+		unitFold[u] = cfg.UnitFor(isa.Unit(u))
+		unitCount[u] = cfg.Units(unitFold[u])
+	}
+	issueWidth := cfg.Issue
+
+	ready := s.ready[:0]
+	for cycle := 0; remaining > 0; cycle++ {
+		if cycle > maxScheduleCycles {
+			s.cand, s.ready = cand, ready
+			return nil, 0, fmt.Errorf("schedule did not converge")
+		}
+		// Gather ready ops in priority order, compacting issued ones out
+		// of the candidate list, and track the earliest future ready time.
+		ready = ready[:0]
+		next := -1
+		w := 0
+		cyc64 := int64(cycle)
+		for _, iv := range cand {
+			st := state[iv]
+			if st >= doneBit {
+				continue // issued: drop from the candidate list
+			}
+			cand[w] = iv
+			w++
+			if st <= cyc64 {
+				ready = append(ready, iv)
+			} else if st < 1<<32 { // in-degree 0, ready in the future
+				if r := int(st); next < 0 || r < next {
+					next = r
+				}
+			}
+		}
+		cand = cand[:w]
+		if len(ready) == 0 {
+			if next < 0 {
+				// No op can ever become ready (only possible with an edge
+				// out of a never-issued pseudo op, i.e. invalid IR): the
+				// reference spins to the cycle cap and gives up; fail the
+				// same way without the spin.
+				s.cand, s.ready = cand, ready
+				return nil, 0, fmt.Errorf("schedule did not converge")
+			}
+			// Idle until the earliest ready time. The reference walks
+			// these cycles one at a time; nothing can issue in them, so
+			// jumping is schedule-identical (the convergence check above
+			// still sees the jumped-to cycle).
+			cycle = next - 1
+			continue
+		}
+		// failedOcc[u] memoizes this cycle's reserve failures: a failed
+		// probe of unit u for occupancy o fails for every occupancy >= o
+		// until the cycle ends (reservations only accumulate), so the
+		// skipped reprobe is exactly the reference's failing one.
+		var failedOcc [numUnitClasses]int32
+		for u := range failedOcc {
+			failedOcc[u] = 1 << 30
+		}
+		for _, iv := range ready {
+			i := int(iv)
+			nd := &nodes[i]
+			if !s.res.issueFree(cycle, issueWidth) {
+				break // instruction full this cycle
+			}
+			unit := unitFold[nd.unit]
+			if nd.occ >= failedOcc[unit] {
+				continue // this cycle already proved the unit full
+			}
+			idx, ok := s.res.reserve(unit, cycle, int(nd.occ), unitCount[nd.unit])
+			if !ok {
+				failedOcc[unit] = nd.occ
+				continue
+			}
+			s.res.takeIssue(cycle)
+			state[i] = doneBit
+			remaining--
+			bs.Ops[i] = OpSched{
+				Index: i, Cycle: cycle, Unit: unit, UnitIdx: idx,
+				VL: int(nd.vl), Occ: int(nd.occ), Tlw: int(nd.tlw),
+			}
+			if end := cycle + int(nd.tlw); end > bs.Length && !opts.OverlapDrain {
+				bs.Length = end
+			}
+			if cycle+1 > bs.Length {
+				bs.Length = cycle + 1
+			}
+			for e := nd.succHead; e >= 0; e = edges[e].next {
+				ed := &edges[e]
+				st := state[ed.to]
+				if t := cyc64 + int64(ed.lat); t > st&(1<<32-1) {
+					st = st&^(1<<32-1) | t
+				}
+				state[ed.to] = st - 1<<32 // release one in-degree
+			}
+		}
+	}
+	s.cand, s.ready = cand, ready
+
+	if opts.SoftwarePipeline {
+		// The modulo-schedule II is an ablation-only path off the hot
+		// loop; compute it over the reference DAG builder (identical
+		// graph by construction) rather than duplicating carried-edge
+		// analysis over the arenas.
+		g, _ := buildDAG(blk, cfg, vlIn, opts)
+		bs.II = computeII(bs, g, cfg)
+	}
+	return bs, vlOut, nil
+}
+
+// orderByPriority returns cand reordered by (priority desc, index asc) —
+// the fixed point of the reference's per-cycle stable sort. Priorities are
+// small non-negative ints (bounded by the block's critical path), so a
+// stable counting sort does it in O(n + maxPrio); a pathological priority
+// range (possible only with an absurd SETVL immediate) falls back to
+// comparison sort.
+func (s *schedScratch) orderByPriority(cand []int32, prio []int32) []int32 {
+	maxP := int32(0)
+	for _, iv := range cand {
+		if prio[iv] > maxP {
+			maxP = prio[iv]
+		}
+	}
+	if int(maxP) > 4*len(cand)+1024 {
+		sort.Slice(cand, func(a, b int) bool {
+			if prio[cand[a]] != prio[cand[b]] {
+				return prio[cand[a]] > prio[cand[b]]
+			}
+			return cand[a] < cand[b]
+		})
+		return cand
+	}
+	cnt := growI32(&s.cnt, int(maxP)+1)
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for _, iv := range cand {
+		cnt[maxP-prio[iv]]++
+	}
+	sum := int32(0)
+	for k := range cnt {
+		c := cnt[k]
+		cnt[k] = sum
+		sum += c
+	}
+	out := growI32(&s.sorted, len(cand))
+	for _, iv := range cand {
+		k := maxP - prio[iv]
+		out[cnt[k]] = iv
+		cnt[k]++
+	}
+	s.sorted, s.cand = cand, out // swap the backing arrays
+	return out
+}

@@ -25,36 +25,58 @@ type liveSpan struct {
 // value (read before its in-body definition) is live across the whole
 // body. Both cases are widened to cover the loop region, iterating to a
 // fixed point for nested loops.
+//
+// This is the fast implementation (checkPressure runs it on every
+// ScheduleOpts call): virtual-register lookups go through dense per-class
+// index tables (ir.Func.Verify guarantees IDs < NumRegs) instead of a map.
+// The retained original is refLiveSpans in reference.go; the differential
+// suite holds the two equal on generated programs.
 func liveSpans(f *ir.Func) []*liveSpan {
+	total := 0
+	for _, n := range f.NumRegs {
+		total += int(n)
+	}
+	// backing never reallocates (capacity covers every distinct register),
+	// so pointers into it stay valid as spans accumulate.
+	backing := make([]liveSpan, 0, total)
+	spans := make([]*liveSpan, 0, total)
+	var index [5][]int32
+	for cl := range index {
+		if n := int(f.NumRegs[cl]); n > 0 {
+			index[cl] = make([]int32, n)
+			for i := range index[cl] {
+				index[cl][i] = -1
+			}
+		}
+	}
+	touch := func(r ir.Reg, pos int, read bool) {
+		tab := index[r.Class]
+		if k := tab[r.ID]; k >= 0 {
+			backing[k].last = pos
+			return
+		}
+		tab[r.ID] = int32(len(backing))
+		backing = append(backing, liveSpan{reg: r, first: pos, last: pos, readFirst: read})
+		spans = append(spans, &backing[len(backing)-1])
+	}
+
 	// Linearize and collect raw spans.
 	blockStart := make([]int, len(f.Blocks))
 	blockEnd := make([]int, len(f.Blocks))
-	live := map[ir.Reg]*liveSpan{}
 	pos := 0
 	for bi, blk := range f.Blocks {
 		blockStart[bi] = pos
 		for i := range blk.Ops {
 			op := &blk.Ops[i]
 			for _, r := range op.Src {
-				if s, ok := live[r]; ok {
-					s.last = pos
-				} else {
-					live[r] = &liveSpan{reg: r, first: pos, last: pos, readFirst: true}
-				}
+				touch(r, pos, true)
 			}
 			for _, r := range op.Dst {
-				if s, ok := live[r]; ok {
-					s.last = pos
-				} else {
-					live[r] = &liveSpan{reg: r, first: pos, last: pos}
-				}
+				touch(r, pos, false)
 			}
 			pos++
 		}
 		blockEnd[bi] = pos - 1
-		if len(blk.Ops) == 0 {
-			blockEnd[bi] = pos - 1 // empty block: degenerate range
-		}
 	}
 
 	// Loop regions from back edges (branch targets at or before the
@@ -64,16 +86,11 @@ func liveSpans(f *ir.Func) []*liveSpan {
 	for bi, blk := range f.Blocks {
 		for i := range blk.Ops {
 			op := &blk.Ops[i]
-			if op.Info().Branch && op.Opcode != isa.HALT &&
+			if opMetaTab[op.Opcode].branch && op.Opcode != isa.HALT &&
 				op.Target <= bi && op.Target < len(f.Blocks) {
 				loops = append(loops, region{s: blockStart[op.Target], e: blockEnd[bi]})
 			}
 		}
-	}
-
-	spans := make([]*liveSpan, 0, len(live))
-	for _, s := range live {
-		spans = append(spans, s)
 	}
 
 	// Widen to a fixed point.

@@ -1,0 +1,69 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"vsimdvliw/internal/progen"
+)
+
+// TestConcurrentScheduleRace schedules many generated programs from many
+// goroutines at once — same functions, same configurations, interleaved
+// option sets. Under `make race` this proves the fast path's shared state
+// is clean: the package-init descriptor tables (opMetaTab, vecOccTab,
+// vecLastTab) are read-only after init, and every ScheduleOpts call takes
+// a private scratch arena from the pool, so concurrent Compiles never
+// share mutable scheduler state. Each goroutine also differentially
+// checks a slice of its results against the reference scheduler, so the
+// schedules are proven right, not just race-free.
+func TestConcurrentScheduleRace(t *testing.T) {
+	const programs = 24
+	funcs := make([]*progen.Program, programs)
+	for i := range funcs {
+		p, err := progen.Generate(uint64(1000+i), 1+i*4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		funcs[i] = p
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, p := range funcs {
+				cfg := diffCfgs[(w+i)%len(diffCfgs)]
+				o := diffOpts[(w+i)%len(diffOpts)]
+				fast, err := ScheduleOpts(p.Func, cfg, o)
+				if err != nil {
+					continue // pressure rejection: legitimate, and deterministic
+				}
+				if (w+i)%4 == 0 {
+					ref, err := ReferenceScheduleOpts(p.Func, cfg, o)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for bi := range fast.Blocks {
+						if fast.Blocks[bi].Length != ref.Blocks[bi].Length {
+							t.Errorf("worker %d program %d: length diverges", w, i)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,366 @@
+package sched
+
+// This file retains the original list scheduler verbatim as the
+// differential oracle for the fast path in fast.go — the same pattern as
+// mem.ReferenceHierarchy (internal/mem/reference.go) and the interpreter
+// engine behind the pre-decoded executors (PR 3): keep the slow, obviously
+// correct implementation around forever, and let the fuzzers and property
+// suites prove the optimized scheduler produces *identical* schedules
+// (cycle assignment, slot placement, unit indices, block lengths, II,
+// register allocation, and the derived Profile reservation tables).
+//
+// Keep this file boring. It is deliberately the map-and-slice-per-op
+// implementation the repository shipped with: per-node predecessor and
+// successor slices from buildDAG, map-backed reservation tables, and a
+// fresh allocation of every working array per block. Performance patches
+// belong in fast.go; correctness patches must land in BOTH files (and will
+// be caught by FuzzSchedule / TestScheduleDifferential10k if they don't).
+
+import (
+	"fmt"
+	"sort"
+
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/machine"
+)
+
+// ReferenceSchedule verifies and schedules f for cfg with default options
+// using the retained original scheduler.
+func ReferenceSchedule(f *ir.Func, cfg *machine.Config) (*FuncSched, error) {
+	return ReferenceScheduleOpts(f, cfg, Options{})
+}
+
+// ReferenceScheduleOpts is the oracle counterpart of ScheduleOpts: the
+// original implementation, kept verbatim. Differential tests schedule the
+// same function through both entry points and require the results to be
+// identical in every observable field.
+func ReferenceScheduleOpts(f *ir.Func, cfg *machine.Config, opts Options) (*FuncSched, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := f.Verify(); err != nil {
+		return nil, err
+	}
+	for _, blk := range f.Blocks {
+		for i := range blk.Ops {
+			if !cfg.Supports(blk.Ops[i].Opcode) {
+				return nil, fmt.Errorf("sched: %s: %s does not implement %s",
+					f.Name, cfg.Name, blk.Ops[i].Opcode.Name())
+			}
+		}
+	}
+	fs := &FuncSched{Func: f, Config: cfg, Opts: opts}
+	pressure, err := refCheckPressure(f, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fs.MaxPressure = pressure
+
+	// Compile-time VL propagated across blocks in layout order (the
+	// builders emit SETVL ahead of the loops that use it).
+	vl := isa.MaxVL
+	for _, blk := range f.Blocks {
+		bs, nextVL, err := refScheduleBlock(blk, cfg, vl, opts)
+		if err != nil {
+			return nil, fmt.Errorf("sched: %s B%d: %w", f.Name, blk.ID, err)
+		}
+		fs.Blocks = append(fs.Blocks, bs)
+		vl = nextVL
+	}
+	return fs, nil
+}
+
+// refScheduleBlock is the original list scheduler for one block: greedy
+// cycle-by-cycle issue in critical-path priority order over the buildDAG
+// dependence graph, with map-backed reservation tables.
+func refScheduleBlock(blk *ir.Block, cfg *machine.Config, vlIn int, opts Options) (*BlockSched, int, error) {
+	g, vlOut := buildDAG(blk, cfg, vlIn, opts)
+	bs := &BlockSched{Block: blk, Ops: make([]OpSched, len(blk.Ops))}
+	n := len(g.nodes)
+	if n == 0 {
+		return bs, vlOut, nil
+	}
+
+	// Longest path to the end of the block (critical-path priority), or
+	// plain source order under the ablation option.
+	prio := make([]int, n)
+	if opts.SourceOrderPriority {
+		for i := range prio {
+			prio[i] = n - i
+		}
+	} else {
+		for i := n - 1; i >= 0; i-- {
+			nd := &g.nodes[i]
+			prio[i] = nd.tlw
+			for _, e := range nd.succs {
+				if p := e.lat + prio[e.to]; p > prio[i] {
+					prio[i] = p
+				}
+			}
+		}
+	}
+
+	res := newRefResources(cfg)
+	readyAt := make([]int, n)
+	indeg := make([]int, n)
+	for i := range g.nodes {
+		indeg[i] = len(g.nodes[i].preds)
+	}
+	scheduled := make([]bool, n)
+	remaining := 0
+	// Pseudo-operations are placed immediately at cycle 0 and consume
+	// nothing.
+	for i := range g.nodes {
+		if g.nodes[i].pseudo {
+			scheduled[i] = true
+			bs.Ops[g.nodes[i].idx] = OpSched{Index: g.nodes[i].idx, Unit: isa.UnitNone}
+			continue
+		}
+		remaining++
+	}
+
+	for cycle := 0; remaining > 0; cycle++ {
+		if cycle > maxScheduleCycles {
+			return nil, 0, fmt.Errorf("schedule did not converge")
+		}
+		// Gather ready ops, highest priority first (stable by index).
+		var ready []int
+		for i := range g.nodes {
+			if !scheduled[i] && indeg[i] == 0 && readyAt[i] <= cycle {
+				ready = append(ready, i)
+			}
+		}
+		sortByPriority(ready, prio)
+		for _, i := range ready {
+			nd := &g.nodes[i]
+			if !res.issueFree(cycle, cfg.Issue) {
+				break // instruction full this cycle
+			}
+			unit := cfg.UnitFor(nd.unit)
+			idx, ok := res.reserve(unit, cycle, nd.occ, cfg.Units(unit))
+			if !ok {
+				continue
+			}
+			res.takeIssue(cycle)
+			scheduled[i] = true
+			remaining--
+			bs.Ops[nd.idx] = OpSched{
+				Index: nd.idx, Cycle: cycle, Unit: unit, UnitIdx: idx,
+				VL: nd.vl, Occ: nd.occ, Tlw: nd.tlw,
+			}
+			if end := cycle + nd.tlw; end > bs.Length && !opts.OverlapDrain {
+				bs.Length = end
+			}
+			if cycle+1 > bs.Length {
+				bs.Length = cycle + 1
+			}
+			for _, e := range nd.succs {
+				indeg[e.to]--
+				if t := cycle + e.lat; t > readyAt[e.to] {
+					readyAt[e.to] = t
+				}
+			}
+		}
+	}
+	if opts.SoftwarePipeline {
+		bs.II = computeII(bs, g, cfg)
+	}
+	return bs, vlOut, nil
+}
+
+func sortByPriority(idx []int, prio []int) {
+	// Insertion sort: ready lists are short and mostly ordered.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && prio[idx[j]] > prio[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+}
+
+// refResources is the original cycle-indexed reservation table: maps of
+// busy cycles per unit instance. fast.go replaces it with word-wise
+// bitsets; this one stays as the oracle's table.
+type refResources struct {
+	// busy[unit][instance] is the set of busy cycles.
+	busy  map[isa.Unit][]map[int]bool
+	issue map[int]int // ops issued per cycle
+}
+
+func newRefResources(cfg *machine.Config) *refResources {
+	return &refResources{busy: make(map[isa.Unit][]map[int]bool), issue: make(map[int]int)}
+}
+
+func (r *refResources) issueFree(cycle, width int) bool { return r.issue[cycle] < width }
+
+func (r *refResources) takeIssue(cycle int) { r.issue[cycle]++ }
+
+// reserve finds a free instance of the unit for [cycle, cycle+occ) among
+// count instances, marks it busy and returns its index.
+func (r *refResources) reserve(unit isa.Unit, cycle, occ, count int) (int, bool) {
+	insts := r.busy[unit]
+	for len(insts) < count {
+		insts = append(insts, make(map[int]bool))
+	}
+	r.busy[unit] = insts
+	for idx := 0; idx < count; idx++ {
+		free := true
+		for c := cycle; c < cycle+occ; c++ {
+			if insts[idx][c] {
+				free = false
+				break
+			}
+		}
+		if free {
+			for c := cycle; c < cycle+occ; c++ {
+				insts[idx][c] = true
+			}
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+// refLiveSpans is the original map-backed live-range computation (see
+// liveSpans in live.go for the model commentary); the fast dense-table
+// version must produce exactly the same spans.
+func refLiveSpans(f *ir.Func) []*liveSpan {
+	// Linearize and collect raw spans.
+	blockStart := make([]int, len(f.Blocks))
+	blockEnd := make([]int, len(f.Blocks))
+	live := map[ir.Reg]*liveSpan{}
+	pos := 0
+	for bi, blk := range f.Blocks {
+		blockStart[bi] = pos
+		for i := range blk.Ops {
+			op := &blk.Ops[i]
+			for _, r := range op.Src {
+				if s, ok := live[r]; ok {
+					s.last = pos
+				} else {
+					live[r] = &liveSpan{reg: r, first: pos, last: pos, readFirst: true}
+				}
+			}
+			for _, r := range op.Dst {
+				if s, ok := live[r]; ok {
+					s.last = pos
+				} else {
+					live[r] = &liveSpan{reg: r, first: pos, last: pos}
+				}
+			}
+			pos++
+		}
+		blockEnd[bi] = pos - 1
+		if len(blk.Ops) == 0 {
+			blockEnd[bi] = pos - 1 // empty block: degenerate range
+		}
+	}
+
+	// Loop regions from back edges (branch targets at or before the
+	// branching block).
+	type region struct{ s, e int }
+	var loops []region
+	for bi, blk := range f.Blocks {
+		for i := range blk.Ops {
+			op := &blk.Ops[i]
+			if op.Info().Branch && op.Opcode != isa.HALT &&
+				op.Target <= bi && op.Target < len(f.Blocks) {
+				loops = append(loops, region{s: blockStart[op.Target], e: blockEnd[bi]})
+			}
+		}
+	}
+
+	spans := make([]*liveSpan, 0, len(live))
+	for _, s := range live {
+		spans = append(spans, s)
+	}
+
+	// Widen to a fixed point.
+	for changed := true; changed; {
+		changed = false
+		for _, s := range spans {
+			for _, l := range loops {
+				if s.last < l.s || s.first > l.e {
+					continue // no intersection
+				}
+				liveThrough := s.first < l.s             // defined before, used inside
+				carried := s.readFirst && s.first >= l.s // loop-carried within this body
+				if liveThrough || carried {
+					if s.last < l.e {
+						s.last = l.e
+						changed = true
+					}
+					if carried && s.first > l.s {
+						s.first = l.s
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].first != spans[j].first {
+			return spans[i].first < spans[j].first
+		}
+		if spans[i].reg.Class != spans[j].reg.Class {
+			return spans[i].reg.Class < spans[j].reg.Class
+		}
+		return spans[i].reg.ID < spans[j].reg.ID
+	})
+	return spans
+}
+
+// refCheckPressure is checkPressure over refLiveSpans, so the oracle path
+// shares no live-range code with the fast path.
+func refCheckPressure(f *ir.Func, cfg *machine.Config) ([5]int32, error) {
+	spans := refLiveSpans(f)
+	npos := 0
+	for _, blk := range f.Blocks {
+		npos += len(blk.Ops)
+	}
+
+	// Sweep: +1 at first occurrence, -1 after last.
+	type ev struct {
+		pos   int
+		delta int
+	}
+	events := make(map[isa.RegClass][]ev)
+	for _, s := range spans {
+		events[s.reg.Class] = append(events[s.reg.Class],
+			ev{pos: s.first, delta: 1}, ev{pos: s.last + 1, delta: -1})
+	}
+
+	var max [5]int32
+	for class, evs := range events {
+		// Counting sort by position (positions are bounded by op count).
+		byPos := make([]int, npos+2)
+		for _, e := range evs {
+			byPos[e.pos] += e.delta
+		}
+		cur := int32(0)
+		for _, d := range byPos {
+			cur += int32(d)
+			if cur > max[class] {
+				max[class] = cur
+			}
+		}
+	}
+
+	for _, class := range []isa.RegClass{isa.RegInt, isa.RegSIMD, isa.RegVec, isa.RegAcc} {
+		if max[class] == 0 {
+			continue
+		}
+		limit := cfg.Regs(class)
+		if limit == 0 {
+			// The config has no such file; Supports() will reject the ops,
+			// so only report if the class is genuinely used.
+			continue
+		}
+		if int(max[class]) > limit {
+			return max, fmt.Errorf("sched: %s: %s register pressure %d exceeds the %d-entry file of %s",
+				f.Name, class, max[class], limit, cfg.Name)
+		}
+	}
+	return max, nil
+}

@@ -159,11 +159,17 @@ func ScheduleOpts(f *ir.Func, cfg *machine.Config, opts Options) (*FuncSched, er
 	}
 	fs.MaxPressure = pressure
 
+	// The fast scheduler (fast.go) reuses its arenas and reservation
+	// tables across the function's blocks; each call gets a private
+	// scratch from the pool, so concurrent Compiles never share one.
+	sc := scratchPool.Get().(*schedScratch)
+	defer scratchPool.Put(sc)
+
 	// Compile-time VL propagated across blocks in layout order (the
 	// builders emit SETVL ahead of the loops that use it).
 	vl := isa.MaxVL
 	for _, blk := range f.Blocks {
-		bs, nextVL, err := scheduleBlock(blk, cfg, vl, opts)
+		bs, nextVL, err := sc.scheduleBlock(blk, f, cfg, vl, opts)
 		if err != nil {
 			return nil, fmt.Errorf("sched: %s B%d: %w", f.Name, blk.ID, err)
 		}
@@ -200,149 +206,7 @@ func descriptors(op *ir.Op, cfg *machine.Config, vl int) (occ, tlw int) {
 	return occ, tlw
 }
 
+// maxScheduleCycles bounds the scheduling loop: a block that has not
+// fully issued by then is reported as non-converging (both schedulers use
+// the same bound, so they fail identically).
 const maxScheduleCycles = 1 << 20
-
-func scheduleBlock(blk *ir.Block, cfg *machine.Config, vlIn int, opts Options) (*BlockSched, int, error) {
-	g, vlOut := buildDAG(blk, cfg, vlIn, opts)
-	bs := &BlockSched{Block: blk, Ops: make([]OpSched, len(blk.Ops))}
-	n := len(g.nodes)
-	if n == 0 {
-		return bs, vlOut, nil
-	}
-
-	// Longest path to the end of the block (critical-path priority), or
-	// plain source order under the ablation option.
-	prio := make([]int, n)
-	if opts.SourceOrderPriority {
-		for i := range prio {
-			prio[i] = n - i
-		}
-	} else {
-		for i := n - 1; i >= 0; i-- {
-			nd := &g.nodes[i]
-			prio[i] = nd.tlw
-			for _, e := range nd.succs {
-				if p := e.lat + prio[e.to]; p > prio[i] {
-					prio[i] = p
-				}
-			}
-		}
-	}
-
-	res := newResources(cfg)
-	readyAt := make([]int, n)
-	indeg := make([]int, n)
-	for i := range g.nodes {
-		indeg[i] = len(g.nodes[i].preds)
-	}
-	scheduled := make([]bool, n)
-	remaining := 0
-	// Pseudo-operations are placed immediately at cycle 0 and consume
-	// nothing.
-	for i := range g.nodes {
-		if g.nodes[i].pseudo {
-			scheduled[i] = true
-			bs.Ops[g.nodes[i].idx] = OpSched{Index: g.nodes[i].idx, Unit: isa.UnitNone}
-			continue
-		}
-		remaining++
-	}
-
-	for cycle := 0; remaining > 0; cycle++ {
-		if cycle > maxScheduleCycles {
-			return nil, 0, fmt.Errorf("schedule did not converge")
-		}
-		// Gather ready ops, highest priority first (stable by index).
-		var ready []int
-		for i := range g.nodes {
-			if !scheduled[i] && indeg[i] == 0 && readyAt[i] <= cycle {
-				ready = append(ready, i)
-			}
-		}
-		sortByPriority(ready, prio)
-		for _, i := range ready {
-			nd := &g.nodes[i]
-			if !res.issueFree(cycle, cfg.Issue) {
-				break // instruction full this cycle
-			}
-			unit := cfg.UnitFor(nd.unit)
-			idx, ok := res.reserve(unit, cycle, nd.occ, cfg.Units(unit))
-			if !ok {
-				continue
-			}
-			res.takeIssue(cycle)
-			scheduled[i] = true
-			remaining--
-			bs.Ops[nd.idx] = OpSched{
-				Index: nd.idx, Cycle: cycle, Unit: unit, UnitIdx: idx,
-				VL: nd.vl, Occ: nd.occ, Tlw: nd.tlw,
-			}
-			if end := cycle + nd.tlw; end > bs.Length && !opts.OverlapDrain {
-				bs.Length = end
-			}
-			if cycle+1 > bs.Length {
-				bs.Length = cycle + 1
-			}
-			for _, e := range nd.succs {
-				indeg[e.to]--
-				if t := cycle + e.lat; t > readyAt[e.to] {
-					readyAt[e.to] = t
-				}
-			}
-		}
-	}
-	if opts.SoftwarePipeline {
-		bs.II = computeII(bs, g, cfg)
-	}
-	return bs, vlOut, nil
-}
-
-func sortByPriority(idx []int, prio []int) {
-	// Insertion sort: ready lists are short and mostly ordered.
-	for i := 1; i < len(idx); i++ {
-		for j := i; j > 0 && prio[idx[j]] > prio[idx[j-1]]; j-- {
-			idx[j], idx[j-1] = idx[j-1], idx[j]
-		}
-	}
-}
-
-// resources is the cycle-indexed reservation table.
-type resources struct {
-	// busy[unit][instance] is the set of busy cycles.
-	busy  map[isa.Unit][]map[int]bool
-	issue map[int]int // ops issued per cycle
-}
-
-func newResources(cfg *machine.Config) *resources {
-	return &resources{busy: make(map[isa.Unit][]map[int]bool), issue: make(map[int]int)}
-}
-
-func (r *resources) issueFree(cycle, width int) bool { return r.issue[cycle] < width }
-
-func (r *resources) takeIssue(cycle int) { r.issue[cycle]++ }
-
-// reserve finds a free instance of the unit for [cycle, cycle+occ) among
-// count instances, marks it busy and returns its index.
-func (r *resources) reserve(unit isa.Unit, cycle, occ, count int) (int, bool) {
-	insts := r.busy[unit]
-	for len(insts) < count {
-		insts = append(insts, make(map[int]bool))
-	}
-	r.busy[unit] = insts
-	for idx := 0; idx < count; idx++ {
-		free := true
-		for c := cycle; c < cycle+occ; c++ {
-			if insts[idx][c] {
-				free = false
-				break
-			}
-		}
-		if free {
-			for c := cycle; c < cycle+occ; c++ {
-				insts[idx][c] = true
-			}
-			return idx, true
-		}
-	}
-	return 0, false
-}

@@ -1,0 +1,201 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/machine"
+)
+
+// victimFunc builds a one-block function with six independent ADDs (all
+// reading the same constant, each writing a fresh register) — enough
+// parallelism that VLIW-2w spreads them over several cycles with both
+// integer units busy, giving the corruption tests same-cycle and
+// cross-cycle op pairs to work with. The builder appends the HALT.
+func victimFunc() *ir.Func {
+	b := ir.NewBuilder("victim")
+	x := b.Const(7)
+	for i := 0; i < 6; i++ {
+		b.Add(x, x)
+	}
+	return b.Func()
+}
+
+// victimSched schedules a fresh victim function (each corruption test
+// mutates its own schedule).
+func victimSched(t *testing.T) *FuncSched {
+	t.Helper()
+	fs, err := Schedule(victimFunc(), &machine.VLIW2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Validate(); err != nil {
+		t.Fatalf("pristine schedule rejected: %v", err)
+	}
+	return fs
+}
+
+// addIndices returns the block indices of the ADD operations, in issue
+// order (earliest cycle first).
+func addIndices(bs *BlockSched) []int {
+	var idx []int
+	for i := range bs.Block.Ops {
+		if bs.Block.Ops[i].Opcode == isa.ADD {
+			idx = append(idx, i)
+		}
+	}
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && bs.Ops[idx[j]].Cycle < bs.Ops[idx[j-1]].Cycle; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	return idx
+}
+
+// mustReject asserts that the (corrupted) schedule fails validation with
+// an error mentioning substr.
+func mustReject(t *testing.T, fs *FuncSched, substr, what string) {
+	t.Helper()
+	err := fs.Validate()
+	if err == nil {
+		t.Fatalf("%s: corrupted schedule passed validation", what)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("%s: error %q does not mention %q", what, err, substr)
+	}
+}
+
+// TestValidateRejectsDependenceViolation moves a consumer to its
+// producer's cycle, breaking the flow-latency edge from the constant's
+// MOVI to the ADDs.
+func TestValidateRejectsDependenceViolation(t *testing.T) {
+	fs := victimSched(t)
+	bs := fs.Blocks[0]
+	adds := addIndices(bs)
+	// The MOVI defining the shared source issues before every ADD; pulling
+	// an ADD onto its cycle violates the flow latency.
+	movi := -1
+	for i := range bs.Block.Ops {
+		if bs.Block.Ops[i].Opcode == isa.MOVI {
+			movi = i
+			break
+		}
+	}
+	if movi < 0 {
+		t.Fatal("victim function has no MOVI")
+	}
+	bs.Ops[adds[0]].Cycle = bs.Ops[movi].Cycle
+	mustReject(t, fs, "violates dependence", "dependence violation")
+}
+
+// TestValidateRejectsIssueOverSubscription piles every ADD onto one cycle
+// of the 2-issue machine.
+func TestValidateRejectsIssueOverSubscription(t *testing.T) {
+	fs := victimSched(t)
+	bs := fs.Blocks[0]
+	adds := addIndices(bs)
+	last := bs.Ops[adds[len(adds)-1]].Cycle
+	for _, i := range adds {
+		bs.Ops[i].Cycle = last
+	}
+	mustReject(t, fs, "issues", "issue over-subscription")
+}
+
+// TestValidateRejectsUnitDoubleBooking points two same-cycle ADDs at the
+// same integer-unit instance (issue width stays respected, so only the
+// reservation audit can catch it).
+func TestValidateRejectsUnitDoubleBooking(t *testing.T) {
+	fs := victimSched(t)
+	bs := fs.Blocks[0]
+	adds := addIndices(bs)
+	a, b := -1, -1
+	for i := 0; i < len(adds) && a < 0; i++ {
+		for j := i + 1; j < len(adds); j++ {
+			if bs.Ops[adds[i]].Cycle == bs.Ops[adds[j]].Cycle {
+				a, b = adds[i], adds[j]
+				break
+			}
+		}
+	}
+	if a < 0 {
+		t.Fatal("no same-cycle ADD pair; victim function too small for the config")
+	}
+	bs.Ops[b].UnitIdx = bs.Ops[a].UnitIdx
+	mustReject(t, fs, "share", "unit double-booking")
+}
+
+// TestValidateRejectsDescriptorMismatch corrupts a recorded occupancy; the
+// auditor re-derives descriptors from the ISA tables.
+func TestValidateRejectsDescriptorMismatch(t *testing.T) {
+	fs := victimSched(t)
+	bs := fs.Blocks[0]
+	adds := addIndices(bs)
+	bs.Ops[adds[0]].Occ += 3
+	mustReject(t, fs, "recorded occ/tlw", "descriptor mismatch")
+}
+
+// TestValidateRejectsUnitIndexOutOfRange points an op at a unit instance
+// the configuration does not have.
+func TestValidateRejectsUnitIndexOutOfRange(t *testing.T) {
+	fs := victimSched(t)
+	bs := fs.Blocks[0]
+	adds := addIndices(bs)
+	bs.Ops[adds[0]].UnitIdx = fs.Config.Units(bs.Ops[adds[0]].Unit)
+	mustReject(t, fs, "unit index", "unit index out of range")
+}
+
+// TestValidateRejectsWrongUnitClass retargets an integer op to the memory
+// unit.
+func TestValidateRejectsWrongUnitClass(t *testing.T) {
+	fs := victimSched(t)
+	bs := fs.Blocks[0]
+	adds := addIndices(bs)
+	bs.Ops[adds[0]].Unit = isa.UnitMem
+	mustReject(t, fs, "unit", "wrong unit class")
+}
+
+// TestValidateRejectsShortLength shrinks the recorded block length below
+// the last write-back.
+func TestValidateRejectsShortLength(t *testing.T) {
+	fs := victimSched(t)
+	bs := fs.Blocks[0]
+	bs.Length--
+	mustReject(t, fs, "does not cover", "length coverage")
+}
+
+// TestScheduleRejectsExcessLivePressure builds a function whose live
+// ranges overlap beyond the register file — 65 constants all live into a
+// consuming chain on a 64-register machine — and checks that both
+// schedulers refuse it with the same error and that the allocator agrees
+// (no physical assignment exists).
+func TestScheduleRejectsExcessLivePressure(t *testing.T) {
+	b := ir.NewBuilder("pressure")
+	n := machine.VLIW2.IntRegs + 1
+	regs := make([]ir.Reg, n)
+	for i := range regs {
+		regs[i] = b.Const(int64(i))
+	}
+	// Consume every constant after all definitions, so all n are live at
+	// once.
+	acc := regs[0]
+	for i := 1; i < n; i++ {
+		acc = b.Add(acc, regs[i])
+	}
+	f := b.Func()
+
+	_, errFast := Schedule(f, &machine.VLIW2)
+	if errFast == nil || !strings.Contains(errFast.Error(), "pressure") {
+		t.Fatalf("fast scheduler admitted %d live values on a %d-register file: %v",
+			n, machine.VLIW2.IntRegs, errFast)
+	}
+	_, errRef := ReferenceSchedule(f, &machine.VLIW2)
+	if errRef == nil || errRef.Error() != errFast.Error() {
+		t.Fatalf("reference scheduler error diverges:\n  fast:      %v\n  reference: %v",
+			errFast, errRef)
+	}
+	if _, _, err := Allocate(f, &machine.VLIW2); err == nil {
+		t.Fatal("Allocate assigned physical registers to an over-pressured function")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"vsimdvliw/internal/kernels"
 	"vsimdvliw/internal/machine"
 	"vsimdvliw/internal/report"
+	"vsimdvliw/internal/sched"
 )
 
 // progCache is a sharded LRU of compiled core.Programs keyed by
@@ -23,6 +24,10 @@ import (
 type progCache struct {
 	shards   []cacheShard
 	perShard int
+	// onCompile, when non-nil, observes every compile the cache performs
+	// (hits never fire it); the server points it at its metrics so
+	// /metrics exposes cold-start compile cost.
+	onCompile func(core.CompileStats)
 }
 
 type cacheShard struct {
@@ -131,7 +136,11 @@ func (c *progCache) get(app *apps.App, cfg *machine.Config) (prog *core.Program,
 	// duplicate requests for this key block on the same Once.
 	e.once.Do(func() {
 		built := app.Build(v)
-		e.prog, e.err = core.Compile(built.Func, cfg)
+		var st core.CompileStats
+		e.prog, st, e.err = core.CompileWithStats(built.Func, cfg, sched.Options{})
+		if c.onCompile != nil {
+			c.onCompile(st)
+		}
 		close(e.ready)
 	})
 	return e.prog, outcome, e.err

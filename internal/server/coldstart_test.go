@@ -1,0 +1,107 @@
+package server
+
+import (
+	"net/http"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"vsimdvliw/internal/apps"
+)
+
+// scrapeMetrics fetches /metrics and returns the unlabeled samples by
+// name.
+func scrapeMetrics(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	vals := map[string]float64{}
+	for _, line := range newLineScanner(t, resp) {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, valStr, found := strings.Cut(line, " ")
+		if !found || strings.Contains(name, "{") {
+			continue
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("bad sample line %q: %v", line, err)
+		}
+		vals[name] = v
+	}
+	return vals
+}
+
+// TestColdStartCompilePath is the cold-start e2e check from ISSUE 7: a
+// daemon with empty caches serves one request per application, every one
+// a cold compile, and /metrics accounts for each compile with non-zero
+// wall-clock cost. A second identical pass must be served entirely from
+// the result cache — byte-identical results, zero new compiles — pinning
+// down both the compile-path counters and the warm-path baseline the
+// cold-start numbers in EXPERIMENTS.md are measured against.
+func TestColdStartCompilePath(t *testing.T) {
+	_, url := startServer(t, Config{Workers: 2})
+
+	all := apps.All()
+	cold := make([]*RunResponse, len(all))
+	for i, a := range all {
+		req := &RunRequest{App: a.Name, Config: "Vector2-2w", Memory: "realistic"}
+		var resp RunResponse
+		if code := post(t, url+"/v1/run", req, &resp); code != http.StatusOK {
+			t.Fatalf("cold %s: status %d", a.Name, code)
+		}
+		if resp.Cache != "miss" {
+			t.Fatalf("cold %s: cache outcome %q, want \"miss\" (caches were empty)", a.Name, resp.Cache)
+		}
+		cold[i] = &resp
+	}
+
+	vals := scrapeMetrics(t, url)
+	wantCompiles := float64(len(all))
+	if got := vals["vsimdd_compiles_total"]; got != wantCompiles {
+		t.Errorf("vsimdd_compiles_total = %g after cold pass, want %g", got, wantCompiles)
+	}
+	if got := vals["vsimdd_cache_misses_total"]; got != wantCompiles {
+		t.Errorf("vsimdd_cache_misses_total = %g after cold pass, want %g", got, wantCompiles)
+	}
+	if vals["vsimdd_compile_seconds_total"] <= 0 {
+		t.Error("vsimdd_compile_seconds_total not positive after cold compiles")
+	}
+	if vals["vsimdd_compile_sched_seconds_total"] <= 0 {
+		t.Error("vsimdd_compile_sched_seconds_total not positive after cold compiles")
+	}
+	if vals["vsimdd_compile_sched_seconds_total"] > vals["vsimdd_compile_seconds_total"] {
+		t.Error("scheduling share exceeds total compile seconds")
+	}
+	if vals["vsimdd_compiled_ops_total"] <= 0 {
+		t.Error("vsimdd_compiled_ops_total not positive after cold compiles")
+	}
+
+	// Warm pass: identical requests are result-cache hits serving results
+	// deep-equal to the cold pass, with no further compiles.
+	for i, a := range all {
+		req := &RunRequest{App: a.Name, Config: "Vector2-2w", Memory: "realistic"}
+		var resp RunResponse
+		if code := post(t, url+"/v1/run", req, &resp); code != http.StatusOK {
+			t.Fatalf("warm %s: status %d", a.Name, code)
+		}
+		if resp.Cache != "result-hit" {
+			t.Errorf("warm %s: cache outcome %q, want \"result-hit\"", a.Name, resp.Cache)
+		}
+		if !reflect.DeepEqual(resp.Stats, cold[i].Stats) {
+			t.Errorf("warm %s: result differs from cold-pass baseline", a.Name)
+		}
+		if !reflect.DeepEqual(resp.StallsByOpcode, cold[i].StallsByOpcode) {
+			t.Errorf("warm %s: stalls_by_opcode differs from cold-pass baseline", a.Name)
+		}
+	}
+	after := scrapeMetrics(t, url)
+	if got := after["vsimdd_compiles_total"]; got != wantCompiles {
+		t.Errorf("vsimdd_compiles_total = %g after warm pass, want %g (warm requests must not compile)", got, wantCompiles)
+	}
+}

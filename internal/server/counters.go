@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vsimdvliw/internal/core"
 	"vsimdvliw/internal/metrics"
 	"vsimdvliw/internal/sim"
 )
@@ -44,6 +45,16 @@ type serverMetrics struct {
 	servedStalls  int64
 	servedOps     int64
 	stallsByCause metrics.StallBreakdown
+
+	compilesTotal atomic.Int64
+	compileMu     sync.Mutex
+	// compileSeconds is the total wall-clock cost of cold compiles
+	// (schedule + predecode); compileSchedSeconds is the scheduling share,
+	// and compiledOps the IR operations compiled — together they expose the
+	// cold-start sched_ops/s rate on /metrics.
+	compileSeconds      float64
+	compileSchedSeconds float64
+	compiledOps         int64
 }
 
 // reqKey labels one vsimdd_requests_total series.
@@ -97,6 +108,17 @@ func (m *serverMetrics) foldLocked(res *sim.Result) {
 	}
 }
 
+// compile folds one program-cache compile's cost into the aggregates
+// (progCache.onCompile points here).
+func (m *serverMetrics) compile(st core.CompileStats) {
+	m.compilesTotal.Add(1)
+	m.compileMu.Lock()
+	m.compileSeconds += float64(st.ScheduleNS+st.PredecodeNS) / 1e9
+	m.compileSchedSeconds += float64(st.ScheduleNS) / 1e9
+	m.compiledOps += int64(st.Ops)
+	m.compileMu.Unlock()
+}
+
 // writePrometheus renders the counters in Prometheus text exposition
 // format. Map-backed series are emitted in sorted label order, so the
 // output is deterministic.
@@ -144,6 +166,17 @@ func (m *serverMetrics) writePrometheus(w io.Writer, cacheLen, resultLen, queueD
 	counter("vsimdd_runs_failed_total", "Runs that ended in a simulation error.", m.runsFailed.Load())
 	counter("vsimdd_served_total", "Logical serves folded into the served aggregates (simulations plus result-cache hits).", m.servedTotal.Load())
 	counter("vsimdd_encode_failures_total", "Responses whose JSON body failed to encode after the status line was sent.", m.encodeFailures.Load())
+
+	counter("vsimdd_compiles_total", "Programs compiled on cache misses (schedule + predecode).", m.compilesTotal.Load())
+	m.compileMu.Lock()
+	fmt.Fprintf(w, "# HELP vsimdd_compile_seconds_total Wall-clock seconds spent compiling on cache misses.\n")
+	fmt.Fprintf(w, "# TYPE vsimdd_compile_seconds_total counter\n")
+	fmt.Fprintf(w, "vsimdd_compile_seconds_total %g\n", m.compileSeconds)
+	fmt.Fprintf(w, "# HELP vsimdd_compile_sched_seconds_total Scheduling share of vsimdd_compile_seconds_total.\n")
+	fmt.Fprintf(w, "# TYPE vsimdd_compile_sched_seconds_total counter\n")
+	fmt.Fprintf(w, "vsimdd_compile_sched_seconds_total %g\n", m.compileSchedSeconds)
+	counter("vsimdd_compiled_ops_total", "IR operations compiled on cache misses.", m.compiledOps)
+	m.compileMu.Unlock()
 
 	m.runMu.Lock()
 	fmt.Fprintf(w, "# HELP vsimdd_run_seconds_total Wall-clock seconds spent simulating.\n")

@@ -107,6 +107,7 @@ func New(cfg Config) *Server {
 		pool:  newWorkerPool(cfg.Workers, cfg.QueueDepth),
 		met:   newServerMetrics(),
 	}
+	s.cache.onCompile = s.met.compile
 	if !cfg.DisableResultCache {
 		s.results = newResultCache(cfg.ResultCacheCapacity, cfg.CacheShards)
 	}
