@@ -13,7 +13,11 @@
 # schedule-identical), of the differential engine-equivalence harness (reference
 # interpreter vs pre-decoded engine over generated programs) and of the
 # memory-hierarchy equivalence harness (optimized mem.Hierarchy vs
-# mem.ReferenceHierarchy over random access streams). When at least two
+# mem.ReferenceHierarchy over random access streams). The race target also
+# covers internal/sweep (the batched VL-sweep planner/executor fans groups
+# out over the worker pool) and the sweep tests include the reduced
+# cycles-and-energy-vs-VL golden check (testdata/golden/figurevl.txt), so
+# `make ci` exercises the VL-sweep path end to end. When at least two
 # BENCH_*.json files exist, ci also prints a non-fatal benchdiff report
 # of the two most recent so perf regressions show up in every CI log.
 
@@ -33,7 +37,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/report ./internal/core ./internal/sim ./internal/server ./internal/mem ./internal/sched
+	$(GO) test -race ./internal/report ./internal/core ./internal/sim ./internal/server ./internal/mem ./internal/sched ./internal/sweep
 
 fuzz:
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzSchedule -fuzztime=10s

@@ -25,10 +25,11 @@ import (
 
 // doc mirrors the subset of the benchjson schema benchdiff reads.
 type doc struct {
-	Date           string           `json:"date"`
-	SimOpsPerS     float64          `json:"sim_ops_per_s"`
-	ServiceReqPerS float64          `json:"service_req_s"`
-	Benchmarks     map[string]bench `json:"benchmarks"`
+	Date             string           `json:"date"`
+	SimOpsPerS       float64          `json:"sim_ops_per_s"`
+	ServiceReqPerS   float64          `json:"service_req_s"`
+	VLSweepCellsPerS float64          `json:"vlsweep_cells_s"`
+	Benchmarks       map[string]bench `json:"benchmarks"`
 }
 
 type bench struct {
@@ -51,6 +52,20 @@ func lowerIsBetter(metric string) bool {
 	return strings.HasSuffix(metric, "/op")
 }
 
+// collectSpeedup derives the parallel sweep's wall-clock speedup from a
+// document: BenchmarkCollectSequential ns/op over BenchmarkCollect ns/op.
+// Below 1.0 the worker pool made the sweep slower than running it
+// sequentially — a regression regardless of how the two runs compare to
+// an older baseline, so main guards it directly.
+func collectSpeedup(d *doc) float64 {
+	par := d.Benchmarks["BenchmarkCollect"].Metrics["ns/op"]
+	seq := d.Benchmarks["BenchmarkCollectSequential"].Metrics["ns/op"]
+	if par <= 0 || seq <= 0 {
+		return 0
+	}
+	return seq / par
+}
+
 // compare diffs the headline fields and every shared benchmark metric of
 // two bench documents. threshold is the regression tolerance in percent.
 func compare(old, new *doc, threshold float64) []row {
@@ -68,6 +83,8 @@ func compare(old, new *doc, threshold float64) []row {
 	}
 	add("sim_ops_per_s", old.SimOpsPerS, new.SimOpsPerS, false)
 	add("service_req_s", old.ServiceReqPerS, new.ServiceReqPerS, false)
+	add("vlsweep_cells_s", old.VLSweepCellsPerS, new.VLSweepCellsPerS, false)
+	add("Collect_parallel_speedup", collectSpeedup(old), collectSpeedup(new), false)
 
 	names := make([]string, 0, len(old.Benchmarks))
 	for name := range old.Benchmarks {
@@ -141,6 +158,12 @@ func main() {
 		os.Exit(2)
 	}
 	regressions := render(os.Stdout, flag.Arg(0), flag.Arg(1), compare(oldDoc, newDoc, *threshold))
+	// Absolute guard, independent of the baseline: the parallel sweep must
+	// not be slower than its own sequential variant in the new run.
+	if sp := collectSpeedup(newDoc); sp > 0 && sp < 1 {
+		fmt.Printf("Collect_parallel_speedup %.3f < 1: parallel sweep slower than sequential  REGRESSION\n", sp)
+		regressions++
+	}
 	if *failOnReg && regressions > 0 {
 		os.Exit(1)
 	}

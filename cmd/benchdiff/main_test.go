@@ -67,6 +67,25 @@ func TestCompareThreshold(t *testing.T) {
 	}
 }
 
+func TestCollectSpeedupGuard(t *testing.T) {
+	d := &doc{Benchmarks: map[string]bench{
+		"BenchmarkCollect":           {Metrics: map[string]float64{"ns/op": 2e9}},
+		"BenchmarkCollectSequential": {Metrics: map[string]float64{"ns/op": 3e9}},
+	}}
+	if sp := collectSpeedup(d); sp != 1.5 {
+		t.Fatalf("collectSpeedup = %v, want 1.5", sp)
+	}
+	// The regression the guard exists for: parallel slower than sequential.
+	d.Benchmarks["BenchmarkCollect"] = bench{Metrics: map[string]float64{"ns/op": 4e9}}
+	if sp := collectSpeedup(d); sp >= 1 {
+		t.Fatalf("collectSpeedup = %v, want < 1 (parallel regression)", sp)
+	}
+	// Absent benchmarks must not fabricate a ratio.
+	if sp := collectSpeedup(&doc{}); sp != 0 {
+		t.Fatalf("collectSpeedup(empty) = %v, want 0", sp)
+	}
+}
+
 func TestLowerIsBetter(t *testing.T) {
 	cases := map[string]bool{
 		"ns/op":       true,

@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/exec"
 	"runtime"
@@ -54,10 +55,16 @@ type output struct {
 	// ServiceHotReqPerS is the hot-cache serving ceiling: the same burst
 	// against a prewarmed daemon, where every request is a result-cache
 	// hit served without entering the cycle loop.
-	ServiceHotReqPerS float64            `json:"service_hot_req_s"`
-	Service           *server.LoadReport `json:"service,omitempty"`
-	ServiceHot        *server.LoadReport `json:"service_hot,omitempty"`
-	Benchmarks        map[string]result  `json:"benchmarks"`
+	ServiceHotReqPerS float64 `json:"service_hot_req_s"`
+	// VLSweepCellsPerS is the batched-sweep headline: cells per second of
+	// one cold full-matrix /v1/vlsweep (compile-once grouping, pooled
+	// machines, VL aliasing). VLSweepHotCellsPerS repeats the identical
+	// sweep against the now-warm result cache.
+	VLSweepCellsPerS    float64            `json:"vlsweep_cells_s"`
+	VLSweepHotCellsPerS float64            `json:"vlsweep_hot_cells_s"`
+	Service             *server.LoadReport `json:"service,omitempty"`
+	ServiceHot          *server.LoadReport `json:"service_hot,omitempty"`
+	Benchmarks          map[string]result  `json:"benchmarks"`
 }
 
 func main() {
@@ -67,6 +74,7 @@ func main() {
 		benchtime   = flag.String("benchtime", "3x", "value for -benchtime")
 		serviceDur  = flag.Duration("service-duration", 2*time.Second, "in-process vsimdd load-burst length (0 disables)")
 		serviceConc = flag.Int("service-concurrency", runtime.NumCPU(), "load-burst client concurrency")
+		vlsweepVLs  = flag.String("vlsweep-vls", "1,2,4,6,8,10,12,16", "VL axis of the full-matrix /v1/vlsweep burst (empty disables)")
 	)
 	flag.Parse()
 
@@ -124,6 +132,21 @@ func main() {
 		doc.ServiceHotReqPerS = hot.ReqPerS
 	}
 
+	if *vlsweepVLs != "" {
+		vls, err := parseVLs(*vlsweepVLs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: -vlsweep-vls: %v\n", err)
+			os.Exit(1)
+		}
+		cold, hot, err := vlsweepBurst(vls)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: vlsweep burst: %v\n", err)
+			os.Exit(1)
+		}
+		doc.VLSweepCellsPerS = cold
+		doc.VLSweepHotCellsPerS = hot
+	}
+
 	enc, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -141,8 +164,69 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (sim_ops/s = %.0f, sched_ops/s = %.0f, service_req_s = %.1f, service_hot_req_s = %.1f)\n",
-		*out, doc.SimOpsPerS, doc.SchedOpsPerS, doc.ServiceReqPerS, doc.ServiceHotReqPerS)
+	fmt.Printf("wrote %s (sim_ops/s = %.0f, sched_ops/s = %.0f, service_req_s = %.1f, service_hot_req_s = %.1f, vlsweep_cells_s = %.1f)\n",
+		*out, doc.SimOpsPerS, doc.SchedOpsPerS, doc.ServiceReqPerS, doc.ServiceHotReqPerS, doc.VLSweepCellsPerS)
+}
+
+// parseVLs parses the comma-separated -vlsweep-vls value.
+func parseVLs(s string) ([]int, error) {
+	var vls []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		vls = append(vls, v)
+	}
+	return vls, nil
+}
+
+// vlsweepBurst measures the batched sweep engine end to end: one cold
+// full-matrix /v1/vlsweep on a fresh in-process daemon (cells per second,
+// the vlsweep_cells_s headline) and the identical sweep again against the
+// warm result cache. Any failed cell fails the measurement.
+func vlsweepBurst(vls []int) (coldCellsPerS, hotCellsPerS float64, err error) {
+	srv := server.New(server.Config{})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if serr := srv.Shutdown(shutdownCtx); err == nil && serr != nil {
+			err = serr
+		}
+	}()
+	url := "http://" + addr + "/v1/vlsweep"
+	sweep := func() (float64, error) {
+		body, err := json.Marshal(&server.VLSweepRequest{VLs: vls})
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		var sr server.VLSweepResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			return 0, err
+		}
+		elapsed := time.Since(start)
+		if resp.StatusCode != http.StatusOK || sr.Errors > 0 {
+			return 0, fmt.Errorf("status %d, %d failed cells", resp.StatusCode, sr.Errors)
+		}
+		return float64(len(sr.Cells)) / elapsed.Seconds(), nil
+	}
+	if coldCellsPerS, err = sweep(); err != nil {
+		return 0, 0, err
+	}
+	if hotCellsPerS, err = sweep(); err != nil {
+		return 0, 0, err
+	}
+	return coldCellsPerS, hotCellsPerS, nil
 }
 
 // serviceBurst measures the serving path twice: a cold-start burst (the

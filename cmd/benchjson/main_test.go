@@ -71,6 +71,7 @@ func TestOutputSchema(t *testing.T) {
 	for _, field := range []string{
 		"date", "go_version", "goos", "goarch", "cpu", "benchtime",
 		"sim_ops_per_s", "sched_ops_s", "service_req_s", "service_hot_req_s",
+		"vlsweep_cells_s", "vlsweep_hot_cells_s",
 		"service", "service_hot", "benchmarks",
 	} {
 		if _, ok := got[field]; !ok {

@@ -8,7 +8,7 @@
 //	paperfigs              # everything
 //	paperfigs -only table1 # one artifact: table1, figure1, table2,
 //	                       # figure3, figure4, figure5a, figure5b,
-//	                       # figure6, figure7, table3, ablations
+//	                       # figure6, figure7, table3, ablations, vlsweep
 //	paperfigs -v           # progress lines while simulating
 //	paperfigs -j 4         # simulation workers (0 = all CPUs, 1 = serial)
 package main
@@ -31,6 +31,7 @@ import (
 	"vsimdvliw/internal/machine"
 	"vsimdvliw/internal/report"
 	"vsimdvliw/internal/sim"
+	"vsimdvliw/internal/sweep"
 )
 
 func main() {
@@ -75,6 +76,7 @@ func main() {
 		"figure4":   report.Figure4,
 		"ablations": func() (string, error) { return report.RunAblations(machine.ByName("Vector2-2w")) },
 		"lanes":     report.LanesStudy,
+		"vlsweep":   func() (string, error) { return sweep.Figure(machine.ByName("Vector2-4w"), sweep.DefaultVLs) },
 	}
 	if f, ok := static[*only]; ok {
 		out, err := f()
@@ -149,6 +151,13 @@ func main() {
 			out, err := report.RunAblations(machine.ByName("Vector2-2w"))
 			if err != nil {
 				return "ablations failed: " + err.Error()
+			}
+			return out
+		}},
+		{"vlsweep", func() string {
+			out, err := sweep.Figure(machine.ByName("Vector2-4w"), sweep.DefaultVLs)
+			if err != nil {
+				return "vlsweep figure failed: " + err.Error()
 			}
 			return out
 		}},

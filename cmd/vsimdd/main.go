@@ -11,11 +11,15 @@
 //	vsimdd -addr 127.0.0.1:0        # random port (printed on stdout)
 //	vsimdd -workers 8 -queue 64 -cache 512
 //	vsimdd -warmup                  # pre-simulate the 120-cell matrix first
+//	vsimdd -warmup-vls 1,2,4,8,16   # also sweep these VL caps (fills the
+//	                                # autotune tables, so "vl":"auto" answers
+//	                                # from history immediately)
 //
 // API (see README "Running the daemon" for curl examples):
 //
 //	POST /v1/run     {"app":"jpeg_enc","config":"Vector2-2w","memory":"realistic"}
 //	POST /v1/sweep   {"apps":["gsm_dec"],"configs":["VLIW-2w","Vector2-2w"]}
+//	POST /v1/vlsweep {"apps":["gsm_dec"],"vls":[1,2,4,8,16]}
 //	GET  /healthz
 //	GET  /metrics    Prometheus text format
 package main
@@ -28,6 +32,8 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -43,6 +49,7 @@ func main() {
 		shards   = flag.Int("cache-shards", 16, "compiled-program cache shards")
 		results  = flag.Int("result-cache", 4096, "result-cache capacity (results; 0 disables result caching and coalescing)")
 		warmup   = flag.Bool("warmup", false, "pre-simulate the canonical 120-cell matrix into the result cache before listening")
+		warmVLs  = flag.String("warmup-vls", "", "comma-separated VL caps to pre-sweep over the full matrix before listening (fills the result cache and autotune tables; empty disables)")
 		check    = flag.Int64("check-cycles", 0, "cancellation poll interval in simulated cycles (0 = default)")
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
@@ -81,6 +88,20 @@ func main() {
 		}
 		fmt.Printf("vsimdd: warmed %d cells in %s\n", n, time.Since(t0).Round(time.Millisecond))
 	}
+	if *warmVLs != "" {
+		vls, err := parseVLs(*warmVLs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vsimdd: -warmup-vls:", err)
+			os.Exit(1)
+		}
+		t0 := time.Now()
+		n, err := srv.WarmupVL(context.Background(), vls)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vsimdd: warmup-vls:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("vsimdd: VL-swept %d runs in %s\n", n, time.Since(t0).Round(time.Millisecond))
+	}
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vsimdd:", err)
@@ -103,4 +124,17 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("vsimdd: stopped")
+}
+
+// parseVLs parses the comma-separated -warmup-vls value.
+func parseVLs(s string) ([]int, error) {
+	var vls []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		vls = append(vls, v)
+	}
+	return vls, nil
 }

@@ -9,6 +9,8 @@
 //	vsimdload -timeout-ms 1 -d 5s      # deadline-storm: exercises cancellation
 //	vsimdload -prewarm -c 16 -d 10s    # hot-cache regime (result-hits only)
 //	vsimdload -fresh -d 10s            # bypass the result cache (simulate path)
+//	vsimdload -vl 4 -d 10s             # cap every request at vector length 4
+//	vsimdload -vl auto -d 10s          # let the daemon's autotuner pick the VL
 //	vsimdload -json -                  # machine-readable report on stdout
 package main
 
@@ -19,10 +21,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"vsimdvliw/internal/isa"
 	"vsimdvliw/internal/server"
 )
 
@@ -37,11 +41,16 @@ func main() {
 		timeoutMS = flag.Int64("timeout-ms", 0, "per-request deadline in ms (0 = none)")
 		prewarm   = flag.Bool("prewarm", false, "issue each distinct request once before the timed window (hot-cache measurement)")
 		fresh     = flag.Bool("fresh", false, "bypass the daemon's result cache (measure the simulate path)")
+		vlF       = flag.String("vl", "", "vector-length cap for every request: 1..16, 0 for uncapped, or \"auto\" (empty = no cap field)")
 		jsonOut   = flag.String("json", "", "also write the report as JSON to this file (- = stdout)")
 	)
 	flag.Parse()
 
-	reqs, err := workload(*appsF, *cfgsF, *memF, *timeoutMS, *fresh)
+	vl, err := parseVL(*vlF)
+	if err != nil {
+		fail(err)
+	}
+	reqs, err := workload(*appsF, *cfgsF, *memF, *timeoutMS, *fresh, vl)
 	if err != nil {
 		fail(err)
 	}
@@ -82,7 +91,7 @@ func main() {
 // workload builds the request mix from the flag values: the cross product
 // of the requested apps and configs, validated against the known names so
 // typos fail up front with the valid values.
-func workload(appsCSV, cfgsCSV, mem string, timeoutMS int64, fresh bool) ([]server.RunRequest, error) {
+func workload(appsCSV, cfgsCSV, mem string, timeoutMS int64, fresh bool, vl server.VLValue) ([]server.RunRequest, error) {
 	if _, err := server.LookupMemory(mem); err != nil {
 		return nil, err
 	}
@@ -92,6 +101,7 @@ func workload(appsCSV, cfgsCSV, mem string, timeoutMS int64, fresh bool) ([]serv
 			base[i].Memory = mem
 			base[i].TimeoutMS = timeoutMS
 			base[i].Fresh = fresh
+			base[i].VL = vl
 		}
 		return base, nil
 	}
@@ -107,11 +117,28 @@ func workload(appsCSV, cfgsCSV, mem string, timeoutMS int64, fresh bool) ([]serv
 				return nil, err
 			}
 			reqs = append(reqs, server.RunRequest{
-				App: a, Config: c, Memory: mem, TimeoutMS: timeoutMS, Fresh: fresh,
+				App: a, Config: c, Memory: mem, TimeoutMS: timeoutMS, Fresh: fresh, VL: vl,
 			})
 		}
 	}
 	return reqs, nil
+}
+
+// parseVL interprets the -vl flag: empty means "send no cap" (zero value,
+// omitted from the wire), "auto" asks the daemon's autotuner, and a number
+// is validated against the architectural maximum up front.
+func parseVL(s string) (server.VLValue, error) {
+	switch s {
+	case "":
+		return 0, nil
+	case "auto":
+		return server.VLAuto, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 || n > isa.MaxVL {
+		return 0, fmt.Errorf("-vl must be 0..%d or \"auto\", got %q", isa.MaxVL, s)
+	}
+	return server.VLValue(n), nil
 }
 
 func splitOrDefault(csv string, def []string) []string {

@@ -133,6 +133,10 @@ func collect(appList []*apps.App, cfgs []*machine.Config, o Options) (*Matrix, e
 	if workers <= 0 {
 		workers = core.DefaultParallelism()
 	}
+	// More workers than cells only costs goroutine churn.
+	if n := len(appList) * len(cfgs) * len(core.Models); workers > n && n > 0 {
+		workers = n
+	}
 
 	type buildKey struct {
 		app string
@@ -187,8 +191,12 @@ func collect(appList []*apps.App, cfgs []*machine.Config, o Options) (*Matrix, e
 			prog.skip(i)
 			return
 		}
-		prog.done(i, fmt.Sprintf("%-10s %-12s %-9s %d\n",
-			c.app.Name, c.cfg.Name, c.mem, c.res.Cycles))
+		line := ""
+		if prog.enabled() {
+			line = fmt.Sprintf("%-10s %-12s %-9s %d\n",
+				c.app.Name, c.cfg.Name, c.mem, c.res.Cycles)
+		}
+		prog.done(i, line)
 	}
 
 	if workers == 1 || len(cells) <= 1 {
@@ -196,7 +204,9 @@ func collect(appList []*apps.App, cfgs []*machine.Config, o Options) (*Matrix, e
 			run(i)
 		}
 	} else {
-		jobs := make(chan int)
+		// Buffered to the full cell count: the feeder never blocks, so no
+		// worker ever idles waiting on the producer.
+		jobs := make(chan int, len(cells))
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
@@ -244,6 +254,10 @@ func newProgress(w io.Writer) *progressWriter {
 	}
 	return &progressWriter{w: w, pending: make(map[int]string)}
 }
+
+// enabled reports whether progress output is being written at all, so
+// callers can skip formatting lines nobody will see.
+func (p *progressWriter) enabled() bool { return p.w != nil }
 
 func (p *progressWriter) done(i int, line string) { p.record(i, line) }
 

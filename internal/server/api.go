@@ -1,7 +1,9 @@
 package server
 
 import (
+	"bytes"
 	"fmt"
+	"strconv"
 
 	"vsimdvliw/internal/apps"
 	"vsimdvliw/internal/core"
@@ -9,7 +11,39 @@ import (
 	"vsimdvliw/internal/machine"
 	"vsimdvliw/internal/report"
 	"vsimdvliw/internal/sim"
+	"vsimdvliw/internal/sweep"
 )
+
+// VLValue is the "vl" field of a RunRequest: a JSON number (an explicit
+// cap) or the string "auto" (serve the best-known VL from the daemon's
+// autotune history). The zero value means "uncapped".
+type VLValue int
+
+// VLAuto is the resolved form of `"vl":"auto"`.
+const VLAuto VLValue = -1
+
+// UnmarshalJSON accepts a non-negative number or the string "auto" (the
+// sentinel VLAuto is reserved, so a literal negative never aliases it).
+func (v *VLValue) UnmarshalJSON(b []byte) error {
+	if bytes.Equal(b, []byte(`"auto"`)) {
+		*v = VLAuto
+		return nil
+	}
+	n, err := strconv.Atoi(string(b))
+	if err != nil || n < 0 {
+		return fmt.Errorf("vl must be a number in [0, %d] or \"auto\"", isa.MaxVL)
+	}
+	*v = VLValue(n)
+	return nil
+}
+
+// MarshalJSON renders VLAuto back as "auto".
+func (v VLValue) MarshalJSON() ([]byte, error) {
+	if v == VLAuto {
+		return []byte(`"auto"`), nil
+	}
+	return []byte(strconv.Itoa(int(v))), nil
+}
 
 // RunRequest is the body of POST /v1/run: one (app, config, memory) cell
 // of the evaluation matrix, with optional per-request machine overrides.
@@ -21,10 +55,12 @@ type RunRequest struct {
 	Memory string `json:"memory,omitempty"`
 
 	// VL caps the vector length the program sets via SETVL (1..16; 0
-	// leaves the architectural maximum). Capped runs are SLAP-style
-	// variable-VL timing experiments: the program computes different
-	// values, so only timing — not outputs — is meaningful.
-	VL int `json:"vl,omitempty"`
+	// leaves the architectural maximum), or "auto" to let the daemon pick
+	// the VL with the fewest recorded cycles for this cell (default VL
+	// when no history exists yet). Capped runs are SLAP-style variable-VL
+	// timing experiments: the program computes different values, so only
+	// timing — not outputs — is meaningful.
+	VL VLValue `json:"vl,omitempty"`
 	// Lanes overrides the number of vector lanes (and matches the L2 port
 	// width to it, as the lane-count study does). Vector configs only.
 	Lanes int `json:"lanes,omitempty"`
@@ -53,6 +89,12 @@ type RunResponse struct {
 	// "hit" (program cached), "miss" (cold compile), "wait" (coalesced
 	// onto an in-flight compile; no duplicate work, full compile latency).
 	Cache string `json:"cache"`
+	// VL echoes the VL cap the run actually used (canonical: 0 means
+	// uncapped), and VLSource labels how an "auto" request was resolved:
+	// "auto:history" (argmin of the recorded cycles) or "auto:default"
+	// (no history yet; the default uncapped VL was used).
+	VL       int    `json:"vl,omitempty"`
+	VLSource string `json:"vl_source,omitempty"`
 	// QueueMS and RunMS split the server-side latency into time waiting
 	// for a worker and time simulating.
 	QueueMS float64 `json:"queue_ms"`
@@ -105,13 +147,131 @@ type SweepResponse struct {
 	Errors int `json:"errors"`
 }
 
-// runSpec is a fully resolved, validated run request.
+// VLSweepRequest is the body of POST /v1/vlsweep: a dense VL sweep over a
+// sub-matrix. Empty app/config/memory axes default to the full axis; the
+// VL axis is required and kept in the caller's order.
+type VLSweepRequest struct {
+	Apps     []string `json:"apps,omitempty"`
+	Configs  []string `json:"configs,omitempty"`
+	Memories []string `json:"memories,omitempty"`
+	// VLs is the vector-length axis: each entry 0..16 (0 = uncapped), no
+	// duplicates, at least one entry.
+	VLs []int `json:"vls"`
+	// TimeoutMS bounds the whole sweep.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Fresh bypasses the result cache for every cell.
+	Fresh bool `json:"fresh,omitempty"`
+	// Stats includes each cell's full sim.Result in the response (the
+	// default response carries only the headline numbers per cell).
+	Stats bool `json:"stats,omitempty"`
+}
+
+// VLSweepCell is one requested (app, config, memory, VL) point, in
+// canonical request order. VL echoes the request verbatim; cells whose VL
+// spellings canonicalize to the same simulation share one result (their
+// Cache labels say so: "alias").
+type VLSweepCell struct {
+	App    string `json:"app"`
+	Config string `json:"config"`
+	Memory string `json:"memory"`
+	VL     int    `json:"vl"`
+	// Headline metrics, present on success.
+	Cycles      int64 `json:"cycles,omitempty"`
+	StallCycles int64 `json:"stall_cycles,omitempty"`
+	Ops         int64 `json:"ops,omitempty"`
+	// Cache labels how the cell was served: "result-hit" (result cache),
+	// "alias" (proven identical to another cell of this sweep), or the
+	// compiled-program cache outcome of the run that produced it ("hit",
+	// "miss", "wait").
+	Cache string `json:"cache,omitempty"`
+	// Stats is the full result, when the request asked for it.
+	Stats    *sim.Result `json:"stats,omitempty"`
+	Error    string      `json:"error,omitempty"`
+	Canceled bool        `json:"canceled,omitempty"`
+	Partial  *sim.Result `json:"partial,omitempty"`
+}
+
+// VLSweepResponse is the body of a successful POST /v1/vlsweep.
+type VLSweepResponse struct {
+	Cells []VLSweepCell `json:"cells"`
+	// Errors counts cells that failed or were canceled.
+	Errors int `json:"errors"`
+	// Runs, ResultHits and Aliased account for how the sweep was served:
+	// unique simulations executed, unique runs served from the result
+	// cache, and unique runs aliased to a verified identical run.
+	Runs       int `json:"runs"`
+	ResultHits int `json:"result_hits"`
+	Aliased    int `json:"aliased"`
+}
+
+// resolveVLSweep validates the request and expands its axes, returning
+// errors suitable for a 400.
+func (r *VLSweepRequest) resolveVLSweep() ([]*apps.App, []*machine.Config, []core.MemoryModel, []int, error) {
+	if len(r.VLs) == 0 {
+		return nil, nil, nil, nil, fmt.Errorf("vls is required: a non-empty list of VL caps in [0, %d] (0 leaves the architectural maximum)", isa.MaxVL)
+	}
+	seen := make(map[int]bool, len(r.VLs))
+	for _, vl := range r.VLs {
+		if vl < 0 || vl > isa.MaxVL {
+			return nil, nil, nil, nil, fmt.Errorf("vl %d out of range [0, %d]", vl, isa.MaxVL)
+		}
+		if seen[vl] {
+			return nil, nil, nil, nil, fmt.Errorf("duplicate vl %d in vls", vl)
+		}
+		seen[vl] = true
+	}
+	appNames := r.Apps
+	if len(appNames) == 0 {
+		appNames = AppNames()
+	}
+	cfgNames := r.Configs
+	if len(cfgNames) == 0 {
+		cfgNames = ConfigNames()
+	}
+	memNames := r.Memories
+	if len(memNames) == 0 {
+		memNames = MemoryNames()
+	}
+	appList := make([]*apps.App, len(appNames))
+	for i, n := range appNames {
+		a, err := LookupApp(n)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		appList[i] = a
+	}
+	cfgs := make([]*machine.Config, len(cfgNames))
+	for i, n := range cfgNames {
+		c, err := LookupConfig(n)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		cfgs[i] = c
+	}
+	mems := make([]core.MemoryModel, len(memNames))
+	for i, n := range memNames {
+		m, err := LookupMemory(n)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		mems[i] = m
+	}
+	return appList, cfgs, mems, r.VLs, nil
+}
+
+// runSpec is a fully resolved, validated run request. vlCap is always in
+// canonical form (sweep.CanonicalVL): requests that spell the same
+// simulation differently (vl 16 vs 0; any vl on a non-vector config)
+// share one fingerprint and therefore one cached result.
 type runSpec struct {
 	app   *apps.App
 	cfg   *machine.Config
 	mem   core.MemoryModel
 	vlCap int
 	fresh bool
+	// vlAuto marks a `"vl":"auto"` request; the server substitutes the
+	// autotune table's pick into vlCap before serving.
+	vlAuto bool
 }
 
 // resolve validates a RunRequest against the known applications,
@@ -130,7 +290,7 @@ func (r *RunRequest) resolve() (*runSpec, error) {
 	if err != nil {
 		return nil, err
 	}
-	if r.VL < 0 || r.VL > isa.MaxVL {
+	if r.VL != VLAuto && (r.VL < 0 || int(r.VL) > isa.MaxVL) {
 		return nil, fmt.Errorf("vl override %d out of range [0, %d] (0 leaves the architectural maximum)", r.VL, isa.MaxVL)
 	}
 	if r.Lanes < 0 {
@@ -160,7 +320,13 @@ func (r *RunRequest) resolve() (*runSpec, error) {
 		}
 		cfg = &c
 	}
-	return &runSpec{app: app, cfg: cfg, mem: mm, vlCap: r.VL, fresh: r.Fresh}, nil
+	spec := &runSpec{app: app, cfg: cfg, mem: mm, fresh: r.Fresh}
+	if r.VL == VLAuto {
+		spec.vlAuto = true
+	} else {
+		spec.vlCap = sweep.CanonicalVL(cfg, int(r.VL))
+	}
+	return spec, nil
 }
 
 // resolveSweep expands a SweepRequest into its cells in canonical order.

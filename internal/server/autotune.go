@@ -1,0 +1,130 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/machine"
+)
+
+// autotune is the daemon's VL history: per (app, configuration, memory
+// model) it records the cycle count observed at each canonical VL cap, and
+// answers `"vl":"auto"` requests with the recorded argmin. Every
+// successful /v1/run serve and every unique /v1/vlsweep run feeds it, so
+// one sweep is enough to make auto requests pick the measured optimum.
+type autotune struct {
+	mu      sync.Mutex
+	entries map[string]*autoEntry
+
+	// picksHistory counts auto requests answered from recorded history;
+	// picksDefault counts those served before any history existed (the
+	// default uncapped VL).
+	picksHistory atomic.Int64
+	picksDefault atomic.Int64
+}
+
+// autoEntry is one cell's VL history. cycles is indexed by canonical VL
+// (0 = uncapped .. isa.MaxVL-1); 0 means "not recorded yet" (no real run
+// finishes in zero cycles).
+type autoEntry struct {
+	app, cfgName, mem string
+	cycles            [isa.MaxVL]int64
+}
+
+func newAutotune() *autotune {
+	return &autotune{entries: make(map[string]*autoEntry)}
+}
+
+func autoKey(app string, cfg *machine.Config, mem core.MemoryModel) string {
+	return fmt.Sprintf("%s|%s|%s", app, configKey(cfg), mem)
+}
+
+// record stores the cycles observed for one (cell, canonical VL) point.
+// Re-recording overwrites: the simulator is deterministic, so the value
+// can only change when the recorded VL spelling maps to the same run.
+func (t *autotune) record(app string, cfg *machine.Config, mem core.MemoryModel, vl int, cycles int64) {
+	if vl < 0 || vl >= isa.MaxVL || cycles <= 0 {
+		return
+	}
+	key := autoKey(app, cfg, mem)
+	t.mu.Lock()
+	e := t.entries[key]
+	if e == nil {
+		e = &autoEntry{app: app, cfgName: cfg.Name, mem: mem.String()}
+		t.entries[key] = e
+	}
+	e.cycles[vl] = cycles
+	t.mu.Unlock()
+}
+
+// best returns the recorded VL with the fewest cycles for the cell
+// (ascending VL index breaks ties, so the uncapped run wins over an
+// equal-cycle cap). ok is false when no history exists yet; callers then
+// fall back to the default uncapped VL.
+func (t *autotune) best(app string, cfg *machine.Config, mem core.MemoryModel) (vl int, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entries[autoKey(app, cfg, mem)]
+	if e == nil {
+		return 0, false
+	}
+	bestVL, bestCycles := -1, int64(0)
+	for v, c := range e.cycles {
+		if c > 0 && (bestVL < 0 || c < bestCycles) {
+			bestVL, bestCycles = v, c
+		}
+	}
+	if bestVL < 0 {
+		return 0, false
+	}
+	return bestVL, true
+}
+
+// writePrometheus renders the autotune tables: entry count, pick counters
+// by source, and the current best VL per recorded cell (sorted label
+// order, so the output is deterministic).
+func (t *autotune) writePrometheus(w io.Writer) {
+	t.mu.Lock()
+	keys := make([]string, 0, len(t.entries))
+	for k := range t.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type bestRow struct {
+		app, cfg, mem string
+		vl            int64
+	}
+	rows := make([]bestRow, 0, len(keys))
+	for _, k := range keys {
+		e := t.entries[k]
+		bestVL, bestCycles := -1, int64(0)
+		for v, c := range e.cycles {
+			if c > 0 && (bestVL < 0 || c < bestCycles) {
+				bestVL, bestCycles = v, c
+			}
+		}
+		if bestVL >= 0 {
+			rows = append(rows, bestRow{e.app, e.cfgName, e.mem, int64(bestVL)})
+		}
+	}
+	entries := int64(len(t.entries))
+	t.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP vsimdd_autotune_entries Cells with recorded VL history.\n")
+	fmt.Fprintf(w, "# TYPE vsimdd_autotune_entries gauge\n")
+	fmt.Fprintf(w, "vsimdd_autotune_entries %d\n", entries)
+	fmt.Fprintf(w, "# HELP vsimdd_autotune_picks_total Auto-VL requests, by whether recorded history answered them.\n")
+	fmt.Fprintf(w, "# TYPE vsimdd_autotune_picks_total counter\n")
+	fmt.Fprintf(w, "vsimdd_autotune_picks_total{source=\"history\"} %d\n", t.picksHistory.Load())
+	fmt.Fprintf(w, "vsimdd_autotune_picks_total{source=\"default\"} %d\n", t.picksDefault.Load())
+	fmt.Fprintf(w, "# HELP vsimdd_autotune_best_vl Best-known canonical VL cap per cell (0 = uncapped).\n")
+	fmt.Fprintf(w, "# TYPE vsimdd_autotune_best_vl gauge\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "vsimdd_autotune_best_vl{app=%q,config=%q,memory=%q} %d\n", r.app, r.cfg, r.mem, r.vl)
+	}
+}

@@ -96,6 +96,52 @@ func (c *resultCache) complete(e *resultEntry, res *sim.Result, err error) {
 	}
 }
 
+// peek returns the finished, successful result for key without blocking.
+// In-flight entries report a miss: the sweep executor calls peek from
+// worker goroutines that may be holding the pool's only worker, so it
+// must never wait on a leader that could be queued behind it.
+func (c *resultCache) peek(key string) (*sim.Result, bool) {
+	s := &c.shards[shardIndex(key, len(c.shards))]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*resultEntry)
+	select {
+	case <-e.done:
+	default:
+		return nil, false
+	}
+	if e.err != nil {
+		return nil, false
+	}
+	s.order.MoveToFront(el)
+	return e.res, true
+}
+
+// publish inserts an already-completed result under key, unless an entry
+// (finished or in-flight) exists — an in-flight leader owns its slot and
+// completes it itself. The sweep executor publishes this way instead of
+// through acquire/complete so its group workers never block.
+func (c *resultCache) publish(key string, res *sim.Result) {
+	s := &c.shards[shardIndex(key, len(c.shards))]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byKey[key]; ok {
+		return
+	}
+	e := &resultEntry{key: key, done: make(chan struct{}), res: res}
+	close(e.done)
+	s.byKey[key] = s.order.PushFront(e)
+	if s.order.Len() > c.perShard {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.byKey, oldest.Value.(*resultEntry).key)
+	}
+}
+
 // remove drops e from the index if it is still the entry indexed under
 // its key (a newer entry for the same key is left alone).
 func (c *resultCache) remove(e *resultEntry) {

@@ -10,11 +10,15 @@
 // Endpoints:
 //
 //	POST /v1/run     one app × config × memory cell, optional VL/lane/issue
-//	                 overrides and a per-request deadline
+//	                 overrides ("vl" also accepts "auto") and a per-request
+//	                 deadline
 //	POST /v1/sweep   a batched sub-matrix in canonical cell order
+//	POST /v1/vlsweep a batched vector-length sweep: cells are deduplicated
+//	                 and grouped so each program compiles once and is
+//	                 simulated once per distinct VL cap
 //	GET  /healthz    liveness
 //	GET  /metrics    Prometheus text format (server counters plus exact-sum
-//	                 aggregates of every served run)
+//	                 aggregates of every served run and the autotune tables)
 package server
 
 import (
@@ -32,6 +36,7 @@ import (
 	"vsimdvliw/internal/core"
 	"vsimdvliw/internal/report"
 	"vsimdvliw/internal/sim"
+	"vsimdvliw/internal/sweep"
 )
 
 // Config tunes a Server. Zero values select the documented defaults.
@@ -91,6 +96,7 @@ type Server struct {
 	results *resultCache // nil when disabled
 	pool    *workerPool
 	met     *serverMetrics
+	tuner   *autotune
 	hs      *http.Server
 
 	mu       sync.Mutex
@@ -106,6 +112,7 @@ func New(cfg Config) *Server {
 		cache: newProgCache(cfg.CacheCapacity, cfg.CacheShards),
 		pool:  newWorkerPool(cfg.Workers, cfg.QueueDepth),
 		met:   newServerMetrics(),
+		tuner: newAutotune(),
 	}
 	s.cache.onCompile = s.met.compile
 	if !cfg.DisableResultCache {
@@ -116,6 +123,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/vlsweep", s.handleVLSweep)
 	s.hs = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	return s
 }
@@ -375,6 +383,20 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, "run", http.StatusBadRequest, err)
 		return
 	}
+	vlSource := ""
+	if spec.vlAuto {
+		// Resolve "auto" against the recorded history: the VL with the
+		// fewest cycles for this exact (app, config hash, memory) cell, or
+		// the default uncapped VL before any history exists.
+		if vl, ok := s.tuner.best(spec.app.Name, spec.cfg, spec.mem); ok {
+			spec.vlCap = vl
+			vlSource = "auto:history"
+			s.tuner.picksHistory.Add(1)
+		} else {
+			vlSource = "auto:default"
+			s.tuner.picksDefault.Add(1)
+		}
+	}
 	ctx, cancel := requestContext(r, req.TimeoutMS)
 	defer cancel()
 	out := s.serveCell(ctx, spec, false)
@@ -382,6 +404,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.writeRunError(w, "run", out.err)
 		return
 	}
+	s.tuner.record(spec.app.Name, spec.cfg, spec.mem, spec.vlCap, out.res.Cycles)
 	// The ETag is a pure function of the resolved fingerprint: the
 	// simulator is deterministic, so a matching If-None-Match guarantees
 	// the client's representation is current. The result is still
@@ -400,9 +423,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			Stats:          out.res,
 			StallsByOpcode: out.res.StallsByOpcode(),
 		},
-		Cache:   out.cache,
-		QueueMS: out.queueMS,
-		RunMS:   out.runMS,
+		Cache:    out.cache,
+		VL:       spec.vlCap,
+		VLSource: vlSource,
+		QueueMS:  out.queueMS,
+		RunMS:    out.runMS,
 	})
 }
 
@@ -468,6 +493,188 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, "sweep", code, resp)
 }
 
+// sweepRunKey is the result-cache fingerprint of a sweep run; it matches
+// runSpec.fingerprint exactly (the run's VL is already canonical), so
+// /v1/run and /v1/vlsweep share one cache population.
+func sweepRunKey(r *sweep.Run) string {
+	return fmt.Sprintf("%s|%d|%s|%s|vl%d", r.App.Name, r.Variant, configKey(r.Cfg), r.Mem, r.VL)
+}
+
+// sweepExecConfig wires a plan execution into the server: the shared
+// compiled-program cache, the worker pool (one submission per group — the
+// pool's unit of admission is a whole compile-once group), non-blocking
+// result-cache traffic, and the metric/autotune feeds.
+func (s *Server) sweepExecConfig(ctx context.Context, fresh bool) sweep.ExecConfig {
+	ec := sweep.ExecConfig{
+		Context:     ctx,
+		CheckCycles: s.cfg.CheckCycles,
+		Compile: func(ctx context.Context, g *sweep.Group) (*core.Program, string, error) {
+			prog, outcome, err := s.cache.get(g.App, g.Cfg)
+			switch outcome {
+			case progHit:
+				s.met.cacheHits.Add(1)
+			case progWait:
+				s.met.cacheWaits.Add(1)
+			default:
+				s.met.cacheMisses.Add(1)
+			}
+			return prog, cacheLabel(outcome), err
+		},
+		Submit: func(ctx context.Context, work func(ctx context.Context)) error {
+			j := &job{ctx: ctx, do: work, done: make(chan struct{})}
+			if err := s.pool.submitWait(ctx, j); err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					err = &sim.CanceledError{Cause: err}
+				}
+				return err
+			}
+			// Wait for the worker unconditionally: the group function bails
+			// out quickly on a dead context, and returning early would race
+			// the response builder against the worker's writes.
+			<-j.done
+			return nil
+		},
+		OnRun: func(r *sweep.Run, res *sim.Result, err error, elapsed time.Duration) {
+			if s.results != nil && !fresh {
+				s.met.resultMisses.Add(1)
+			}
+			if err != nil {
+				var ce *sim.CanceledError
+				if errors.As(err, &ce) {
+					s.met.runsCanceled.Add(1)
+					s.met.servedRun(ce.Partial, elapsed)
+				} else {
+					s.met.runsFailed.Add(1)
+				}
+				return
+			}
+			s.met.servedRun(res, elapsed)
+			s.tuner.record(r.App.Name, r.Cfg, r.Mem, r.VL, res.Cycles)
+		},
+	}
+	if s.results != nil && !fresh {
+		ec.Key = sweepRunKey
+		ec.Peek = s.results.peek
+		ec.Publish = s.results.publish
+	}
+	return ec
+}
+
+func (s *Server) handleVLSweep(w http.ResponseWriter, r *http.Request) {
+	var req VLSweepRequest
+	if !s.decode(w, r, "vlsweep", &req) {
+		return
+	}
+	appList, cfgs, mems, vls, err := req.resolveVLSweep()
+	if err != nil {
+		s.writeError(w, "vlsweep", http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	plan := sweep.New(appList, cfgs, mems, vls)
+	out := plan.Execute(s.sweepExecConfig(ctx, req.Fresh))
+
+	resp := &VLSweepResponse{Cells: make([]VLSweepCell, len(plan.Cells))}
+	for ri := range plan.Runs {
+		switch out.Results[ri].Source {
+		case sweep.SourceRun:
+			resp.Runs++
+		case sweep.SourceCached:
+			resp.ResultHits++
+		case sweep.SourceAlias:
+			resp.Aliased++
+		}
+	}
+	// Cells stay in canonical request order. The first cell consuming a
+	// simulated run carries the run's compile label (its servedRun
+	// accounting already happened in OnRun); every other successful cell is
+	// a logical serve without simulation and folds as a hit.
+	consumed := make(map[int]bool, len(plan.Runs))
+	for i := range plan.Cells {
+		c := &plan.Cells[i]
+		oc := &out.Results[c.Run]
+		cell := VLSweepCell{App: c.App.Name, Config: c.Cfg.Name, Memory: c.Mem.String(), VL: c.VL}
+		if oc.Err != nil {
+			cell.Error = oc.Err.Error()
+			var ce *sim.CanceledError
+			if errors.As(oc.Err, &ce) {
+				cell.Canceled = true
+				cell.Partial = ce.Partial
+			}
+			resp.Errors++
+		} else {
+			cell.Cycles, cell.StallCycles, cell.Ops = oc.Res.Cycles, oc.Res.StallCycles, oc.Res.Ops
+			if req.Stats {
+				cell.Stats = oc.Res
+			}
+			if !consumed[c.Run] && oc.Source == sweep.SourceRun {
+				cell.Cache = oc.CompileLabel
+			} else {
+				if !consumed[c.Run] {
+					cell.Cache = oc.Source // "result-hit" or "alias"
+				} else {
+					cell.Cache = sweep.SourceAlias // duplicate spelling of a served run
+				}
+				s.met.servedHit(oc.Res)
+				s.met.resultHits.Add(1)
+			}
+			consumed[c.Run] = true
+		}
+		resp.Cells[i] = cell
+	}
+
+	code := http.StatusOK
+	if resp.Errors == len(resp.Cells) && len(resp.Cells) > 0 {
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			code = http.StatusGatewayTimeout
+		} else {
+			code = http.StatusInternalServerError
+		}
+	}
+	if code == http.StatusOK && resp.Errors == 0 {
+		// Like /v1/sweep, the ETag fingerprints the resolved run key of
+		// every cell in order; it only validates fully successful sweeps.
+		fps := make([]string, len(plan.Cells))
+		for i := range plan.Cells {
+			fps[i] = sweepRunKey(&plan.Runs[plan.Cells[i].Run])
+		}
+		etag := etagFor(strings.Join(fps, "\n"))
+		w.Header().Set("ETag", etag)
+		if etagMatch(r.Header.Get("If-None-Match"), etag) {
+			s.writeNotModified(w, "vlsweep")
+			return
+		}
+	}
+	s.writeJSON(w, "vlsweep", code, resp)
+}
+
+// WarmupVL pre-simulates the full evaluation matrix across the given VL
+// caps through the sweep engine, populating the result cache and the
+// autotune tables so `"vl":"auto"` requests answer from history
+// immediately. It returns the number of unique runs resolved and the
+// first error.
+func (s *Server) WarmupVL(ctx context.Context, vls []int) (int, error) {
+	req := &VLSweepRequest{VLs: vls}
+	appList, cfgs, mems, rvls, err := req.resolveVLSweep()
+	if err != nil {
+		return 0, err
+	}
+	plan := sweep.New(appList, cfgs, mems, rvls)
+	out := plan.Execute(s.sweepExecConfig(ctx, false))
+	n := 0
+	var first error
+	for i := range out.Results {
+		if out.Results[i].Err == nil {
+			n++
+		} else if first == nil {
+			first = out.Results[i].Err
+		}
+	}
+	return n, first
+}
+
 // sweepCell maps one cell's outcome onto the wire shape. Canceled cells
 // keep the partial result the typed cancellation carries — the same
 // payload a single-run 504 returns — instead of dropping it.
@@ -502,6 +709,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		resultLen = s.results.len()
 	}
 	s.met.writePrometheus(w, s.cache.len(), resultLen, s.pool.depth(), s.pool.inflight.Load())
+	s.tuner.writePrometheus(w)
 	s.met.request("metrics", http.StatusOK)
 }
 

@@ -224,7 +224,7 @@ func TestValidation400s(t *testing.T) {
 		// The 400 messages must state the actual accepted ranges: vl 0 is
 		// valid (no cap), so the range is [0, MaxVL]; lanes/issue reject
 		// only negatives, with 0 meaning "no override".
-		{RunRequest{App: "gsm_dec", Config: "VLIW-2w", VL: -1}, "[0, 16]"},
+		{RunRequest{App: "gsm_dec", Config: "VLIW-2w", VL: 17}, "[0, 16]"},
 		{RunRequest{App: "gsm_dec", Config: "VLIW-2w", VL: 99}, "[0, 16]"},
 		{RunRequest{App: "gsm_dec", Config: "Vector2-2w", Lanes: -4}, ">= 0"},
 		{RunRequest{App: "gsm_dec", Config: "Vector2-2w", Lanes: -4}, "lane count"},
@@ -239,15 +239,21 @@ func TestValidation400s(t *testing.T) {
 			t.Errorf("%+v: error %q does not mention %q", c.req, er.Error, c.want)
 		}
 	}
-	// Unknown fields are rejected too.
-	resp, err := http.Post(url+"/v1/run", "application/json",
-		strings.NewReader(`{"app":"gsm_dec","config":"VLIW-2w","bogus":1}`))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("unknown field: status %d, want 400", resp.StatusCode)
+	// Unknown fields, negative VLs (only the string "auto" is a non-numeric
+	// VL) and non-numeric VL strings are rejected at decode time.
+	for _, body := range []string{
+		`{"app":"gsm_dec","config":"VLIW-2w","bogus":1}`,
+		`{"app":"gsm_dec","config":"VLIW-2w","vl":-1}`,
+		`{"app":"gsm_dec","config":"VLIW-2w","vl":"automatic"}`,
+	} {
+		resp, err := http.Post(url+"/v1/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", body, resp.StatusCode)
+		}
 	}
 }
 

@@ -1,0 +1,313 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vsimdvliw/internal/sweep"
+)
+
+// TestVLSweepMatchesRun is the endpoint's differential check: every cell
+// of a mixed VL sweep must be identical (through the JSON wire form) to a
+// fresh /v1/run of the same (app, config, memory) cell with the same
+// explicit VL cap.
+func TestVLSweepMatchesRun(t *testing.T) {
+	_, url := startServer(t, Config{Workers: 2})
+	req := VLSweepRequest{
+		Apps:    []string{"gsm_enc", "gsm_dec"},
+		Configs: []string{"VLIW-2w", "uSIMD-2w", "Vector2-2w"},
+		VLs:     []int{1, 8, 16},
+		Stats:   true,
+	}
+	var resp VLSweepResponse
+	if code := post(t, url+"/v1/vlsweep", &req, &resp); code != http.StatusOK {
+		t.Fatalf("vlsweep: status %d", code)
+	}
+	wantCells := 2 * 3 * 2 * 3
+	if len(resp.Cells) != wantCells || resp.Errors != 0 {
+		t.Fatalf("cells = %d (errors %d), want %d", len(resp.Cells), resp.Errors, wantCells)
+	}
+
+	// Cells come back in canonical (app, config, memory, VL-as-given)
+	// order, and each equals the standalone run.
+	i := 0
+	for _, an := range req.Apps {
+		for _, cn := range req.Configs {
+			for _, mn := range []string{"perfect", "realistic"} {
+				for _, vl := range req.VLs {
+					c := resp.Cells[i]
+					if c.App != an || c.Config != cn || c.Memory != mn || c.VL != vl {
+						t.Fatalf("cell %d out of canonical order: %s/%s/%s/vl%d", i, c.App, c.Config, c.Memory, c.VL)
+					}
+					var run RunResponse
+					rr := RunRequest{App: an, Config: cn, Memory: mn, VL: VLValue(vl), Fresh: true}
+					if code := post(t, url+"/v1/run", &rr, &run); code != http.StatusOK {
+						t.Fatalf("run %d: status %d", i, code)
+					}
+					if !sameResult(t, c.Stats, run.Stats) {
+						t.Fatalf("cell %d (%s/%s/%s/vl%d, cache %q) differs from a standalone run",
+							i, c.App, c.Config, c.Memory, c.VL, c.Cache)
+					}
+					if c.Cycles != c.Stats.Cycles || c.StallCycles != c.Stats.StallCycles || c.Ops != c.Stats.Ops {
+						t.Fatalf("cell %d headline numbers disagree with its stats", i)
+					}
+					i++
+				}
+			}
+		}
+	}
+	if resp.Runs == 0 || resp.Runs+resp.ResultHits+resp.Aliased > wantCells {
+		t.Fatalf("accounting: runs %d + hits %d + aliased %d vs %d cells",
+			resp.Runs, resp.ResultHits, resp.Aliased, wantCells)
+	}
+}
+
+// TestVLSweepRate is the batching acceptance check: a cold sweep of the
+// cell matrix across the VL axis must serve cells at least 5x faster than
+// issuing one /v1/run per point against a cold server, and it must
+// compile each distinct program exactly once.
+func TestVLSweepRate(t *testing.T) {
+	appNames := AppNames()
+	vls := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	if testing.Short() {
+		appNames = appNames[:2]
+		vls = []int{1, 2, 4, 6, 8, 10, 12, 16}
+	}
+	cfgNames := ConfigNames()
+	mems := []string{"perfect", "realistic"}
+
+	// Naive baseline: one request per matrix point on a cold server. One
+	// VL per point suffices for a per-point rate — every request pays the
+	// full round trip, and the cold caches are the same starting state the
+	// sweep gets.
+	_, naiveURL := startServer(t, Config{Workers: 1})
+	naivePoints := 0
+	naiveStart := time.Now()
+	for _, an := range appNames {
+		for _, cn := range cfgNames {
+			for _, mn := range mems {
+				if code := post(t, naiveURL+"/v1/run", &RunRequest{App: an, Config: cn, Memory: mn}, nil); code != http.StatusOK {
+					t.Fatalf("naive %s/%s/%s: status %d", an, cn, mn, code)
+				}
+				naivePoints++
+			}
+		}
+	}
+	naiveRate := float64(naivePoints) / time.Since(naiveStart).Seconds()
+
+	srv, url := startServer(t, Config{Workers: 1})
+	req := VLSweepRequest{Apps: appNames, VLs: vls}
+	var resp VLSweepResponse
+	sweepStart := time.Now()
+	if code := post(t, url+"/v1/vlsweep", &req, &resp); code != http.StatusOK {
+		t.Fatalf("vlsweep: status %d", code)
+	}
+	sweepRate := float64(len(resp.Cells)) / time.Since(sweepStart).Seconds()
+	wantCells := len(appNames) * len(cfgNames) * len(mems) * len(vls)
+	if len(resp.Cells) != wantCells || resp.Errors != 0 {
+		t.Fatalf("cells = %d (errors %d), want %d", len(resp.Cells), resp.Errors, wantCells)
+	}
+
+	// Compile-once: exactly one compile per distinct (app, config) program
+	// fingerprint, independent of the VL axis length.
+	wantPrograms := int64(len(appNames) * len(cfgNames))
+	if got := srv.met.compilesTotal.Load(); got != wantPrograms {
+		t.Fatalf("compiles_total = %d, want %d (one per distinct program)", got, wantPrograms)
+	}
+	if sweepRate < 5*naiveRate {
+		t.Fatalf("sweep served %.1f cells/s, naive %.1f points/s: want >= 5x", sweepRate, naiveRate)
+	}
+	t.Logf("sweep %.1f cells/s vs naive %.1f points/s (%.1fx); runs=%d hits=%d aliased=%d",
+		sweepRate, naiveRate, sweepRate/naiveRate, resp.Runs, resp.ResultHits, resp.Aliased)
+}
+
+// TestVLSweepAuto pins the auto-VL contract: before any history an "auto"
+// run serves the default uncapped VL and says so; after a sweep recorded
+// the cell's VL curve, "auto" serves the argmin of the recorded cycles
+// and matches an explicit run at that VL.
+func TestVLSweepAuto(t *testing.T) {
+	_, url := startServer(t, Config{Workers: 1})
+	const app, cfgName, mem = "gsm_enc", "Vector2-2w", "perfect"
+
+	var cold RunResponse
+	auto := RunRequest{App: app, Config: cfgName, Memory: mem, VL: VLAuto, Fresh: true}
+	if code := post(t, url+"/v1/run", &auto, &cold); code != http.StatusOK {
+		t.Fatalf("auto before history: status %d", code)
+	}
+	if cold.VLSource != "auto:default" || cold.VL != 0 {
+		t.Fatalf("auto before history: vl=%d source=%q, want uncapped auto:default", cold.VL, cold.VLSource)
+	}
+
+	sweepReq := VLSweepRequest{
+		Apps: []string{app}, Configs: []string{cfgName}, Memories: []string{mem},
+		VLs: []int{1, 2, 4, 8, 16},
+	}
+	var sr VLSweepResponse
+	if code := post(t, url+"/v1/vlsweep", &sweepReq, &sr); code != http.StatusOK || sr.Errors != 0 {
+		t.Fatalf("sweep: status %d errors %d", code, sr.Errors)
+	}
+
+	// The expected pick is the argmin of the recorded per-canonical-VL
+	// cycles; ties break toward the lowest canonical VL (0 = uncapped).
+	cfg, err := LookupConfig(cfgName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byVL := map[int]int64{}
+	for _, c := range sr.Cells {
+		byVL[sweep.CanonicalVL(cfg, c.VL)] = c.Cycles
+	}
+	wantVL, wantCycles := -1, int64(0)
+	for vl := 0; vl <= 16; vl++ {
+		if cy, ok := byVL[vl]; ok && (wantVL < 0 || cy < wantCycles) {
+			wantVL, wantCycles = vl, cy
+		}
+	}
+
+	var tuned RunResponse
+	if code := post(t, url+"/v1/run", &auto, &tuned); code != http.StatusOK {
+		t.Fatalf("auto after history: status %d", code)
+	}
+	if tuned.VLSource != "auto:history" || tuned.VL != wantVL {
+		t.Fatalf("auto after history: vl=%d source=%q, want vl=%d auto:history", tuned.VL, tuned.VLSource, wantVL)
+	}
+	var explicit RunResponse
+	exReq := RunRequest{App: app, Config: cfgName, Memory: mem, VL: VLValue(wantVL), Fresh: true}
+	if code := post(t, url+"/v1/run", &exReq, &explicit); code != http.StatusOK {
+		t.Fatalf("explicit run: status %d", code)
+	}
+	if !sameResult(t, tuned.Stats, explicit.Stats) {
+		t.Fatal("auto-served result differs from the explicit run at the picked VL")
+	}
+}
+
+// TestVLSweepValidation covers the endpoint's 400 contract.
+func TestVLSweepValidation(t *testing.T) {
+	_, url := startServer(t, Config{Workers: 1})
+	cases := []struct {
+		req  VLSweepRequest
+		want string
+	}{
+		{VLSweepRequest{}, "vls is required"},
+		{VLSweepRequest{VLs: []int{}}, "vls is required"},
+		{VLSweepRequest{VLs: []int{1, 8, 1}}, "duplicate vl 1"},
+		{VLSweepRequest{VLs: []int{17}}, "out of range"},
+		{VLSweepRequest{VLs: []int{-1}}, "out of range"},
+		{VLSweepRequest{VLs: []int{4}, Apps: []string{"nope"}}, "jpeg_enc"},
+		{VLSweepRequest{VLs: []int{4}, Configs: []string{"nope"}}, "Vector2-2w"},
+		{VLSweepRequest{VLs: []int{4}, Memories: []string{"nope"}}, "realistic"},
+	}
+	for _, c := range cases {
+		var er ErrorResponse
+		if code := post(t, url+"/v1/vlsweep", &c.req, &er); code != http.StatusBadRequest {
+			t.Fatalf("%+v: status %d, want 400", c.req, code)
+		}
+		if !strings.Contains(er.Error, c.want) {
+			t.Errorf("%+v: error %q does not mention %q", c.req, er.Error, c.want)
+		}
+	}
+}
+
+// TestVLSweepCanceled checks deadline behaviour: an expired sweep still
+// answers every requested cell in canonical order, flags the unfinished
+// ones canceled, and a mid-simulation cell carries the partial result.
+func TestVLSweepCanceled(t *testing.T) {
+	_, url := startServer(t, Config{Workers: 1})
+	vls := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	base := VLSweepRequest{Apps: []string{"mpeg2_dec"}, VLs: vls}
+	// Warm every program of the sub-matrix so the deadline below lands
+	// inside the simulation stream, not a compile.
+	if code := post(t, url+"/v1/vlsweep", &base, nil); code != http.StatusOK {
+		t.Fatalf("warm sweep: status %d", code)
+	}
+	cfgNames := ConfigNames()
+	wantCells := len(cfgNames) * 2 * len(vls)
+
+	sawPartial := false
+	for attempt := 0; attempt < 3 && !sawPartial; attempt++ {
+		req := base
+		req.Fresh = true
+		req.TimeoutMS = 60 // the fresh sweep needs ~1s+ of simulation
+		var resp VLSweepResponse
+		code := post(t, url+"/v1/vlsweep", &req, &resp)
+		if code != http.StatusOK && code != http.StatusGatewayTimeout {
+			t.Fatalf("status %d", code)
+		}
+		if len(resp.Cells) != wantCells {
+			t.Fatalf("cells = %d, want %d (canceled sweeps still answer every cell)", len(resp.Cells), wantCells)
+		}
+		if resp.Errors == 0 {
+			continue // finished before the deadline; try again
+		}
+		i, canceled := 0, 0
+		for _, cn := range cfgNames {
+			for _, mn := range []string{"perfect", "realistic"} {
+				for _, vl := range vls {
+					c := resp.Cells[i]
+					if c.App != "mpeg2_dec" || c.Config != cn || c.Memory != mn || c.VL != vl {
+						t.Fatalf("cell %d lost its canonical identity: %+v", i, c)
+					}
+					if c.Error != "" {
+						if !c.Canceled {
+							t.Fatalf("cell %d failed without cancellation: %q", i, c.Error)
+						}
+						canceled++
+						if c.Partial != nil {
+							sawPartial = true
+							if c.Partial.StallCycles != c.Partial.Stalls.Total() {
+								t.Fatalf("cell %d partial breakdown does not sum", i)
+							}
+						}
+					}
+					i++
+				}
+			}
+		}
+		if canceled != resp.Errors {
+			t.Fatalf("canceled cells = %d, response says %d errors", canceled, resp.Errors)
+		}
+	}
+	if !sawPartial {
+		t.Fatal("no attempt produced a canceled cell with a partial result")
+	}
+}
+
+// TestVLSweepConcurrentWithRun drives sweeps and auto/explicit runs
+// concurrently through the shared caches and autotune table; under
+// `make race` this is the data-race check for the sweep path.
+func TestVLSweepConcurrentWithRun(t *testing.T) {
+	_, url := startServer(t, Config{Workers: 2})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := VLSweepRequest{
+				Apps: []string{"gsm_enc"}, Configs: []string{"Vector2-2w"}, Memories: []string{"perfect"},
+				VLs: []int{1, 4, 8, 16},
+			}
+			var resp VLSweepResponse
+			if code := post(t, url+"/v1/vlsweep", &req, &resp); code != http.StatusOK || resp.Errors != 0 {
+				t.Errorf("sweep: status %d errors %d", code, resp.Errors)
+			}
+		}()
+	}
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			vl := VLAuto
+			if i%2 == 0 {
+				vl = VLValue(1 + i)
+			}
+			req := RunRequest{App: "gsm_enc", Config: "Vector2-2w", Memory: "perfect", VL: vl}
+			if code := post(t, url+"/v1/run", &req, nil); code != http.StatusOK {
+				t.Errorf("run %d: status %d", i, code)
+			}
+		}()
+	}
+	wg.Wait()
+}

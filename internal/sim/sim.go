@@ -66,6 +66,13 @@ type Result struct {
 	// OpStalls counts stall cycles per opcode; use StallsByOpcode for the
 	// sparse, name-keyed view.
 	OpStalls [isa.NumOpcodes]int64 `json:"-"`
+	// VLMax is the largest vector length the run established via SETVL
+	// (after the machine's VL cap, so an uncapped run reports the
+	// program's intrinsic maximum). Sweep executors use it to prove that
+	// looser caps cannot change the run: a cap at or above VLMax never
+	// clamps a SETVL. Zero for programs that never set a vector length.
+	// Excluded from JSON: it is planner metadata, not a paper metric.
+	VLMax int `json:"-"`
 }
 
 // StallsByOpcode returns the per-opcode stall cycles as a name-keyed map
@@ -265,6 +272,9 @@ func (m *Machine) setVL(v int) {
 		v = m.vlCap
 	}
 	m.vl = v
+	if v > m.res.VLMax {
+		m.res.VLMax = v
+	}
 }
 
 // ReadBytes copies n bytes starting at the virtual address addr.

@@ -1,0 +1,242 @@
+package sweep
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"time"
+
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/sim"
+)
+
+// Sources label how a run's result was obtained.
+const (
+	// SourceRun: the run was simulated by this execution.
+	SourceRun = "run"
+	// SourceCached: the result came from the caller's result cache.
+	SourceCached = "result-hit"
+	// SourceAlias: the result is the group's uncapped reference run,
+	// verified identical for this cap (the cap never clamps a SETVL).
+	SourceAlias = "alias"
+)
+
+// ExecConfig connects a plan execution to its environment. Only Compile
+// is required; every other hook degrades gracefully to "no cache, run
+// groups inline, observe nothing".
+type ExecConfig struct {
+	// Context bounds the execution; once done, running cells stop within
+	// CheckCycles simulated cycles and pending runs are marked canceled.
+	Context context.Context
+	// CheckCycles is the cancellation poll interval (<= 0 uses the
+	// simulator default).
+	CheckCycles int64
+	// Compile returns the compiled program of a group plus a cache label
+	// ("hit", "miss", "wait"; may be empty for standalone use). It is
+	// called at most once per group, and not at all for fully cached
+	// groups.
+	Compile func(ctx context.Context, g *Group) (prog *core.Program, label string, err error)
+	// Key fingerprints a run for the result cache. Nil disables the
+	// Peek/Publish traffic entirely.
+	Key func(r *Run) string
+	// Peek consults the result cache without blocking: it must return
+	// only finished, successful results (never wait on an in-flight
+	// computation — a sweep group may be holding the only worker).
+	Peek func(key string) (*sim.Result, bool)
+	// Publish offers a finished result to the cache (no-op when nil).
+	Publish func(key string, res *sim.Result)
+	// Submit schedules one group's work and blocks until it completed; a
+	// non-nil error means the work never ran (queue closed, context
+	// done). Nil executes groups inline, sequentially.
+	Submit func(ctx context.Context, work func(ctx context.Context)) error
+	// OnRun observes every simulation this execution performs (cache
+	// hits and aliases are not runs), with the run's wall-clock cost.
+	// err is non-nil for canceled or failed runs.
+	OnRun func(r *Run, res *sim.Result, err error, elapsed time.Duration)
+}
+
+// RunOutcome is the outcome of one unique run of the plan.
+type RunOutcome struct {
+	// Res is the simulation result (nil on error).
+	Res *sim.Result
+	// Err is the run's failure, if any; a *sim.CanceledError carries the
+	// partial result of an interrupted cell.
+	Err error
+	// Source is SourceRun, SourceCached or SourceAlias.
+	Source string
+	// CompileLabel is the group's compiled-program cache label for
+	// simulated runs ("hit", "miss", "wait", or empty standalone).
+	CompileLabel string
+}
+
+// Outcome holds the per-run outcomes of one plan execution, parallel to
+// Plan.Runs.
+type Outcome struct {
+	Results []RunOutcome
+}
+
+// Execute runs the plan: each group compiles (at most) once and
+// simulates its runs back-to-back on the program's pooled machines,
+// consulting the result cache once per unique run instead of once per
+// cell. With a Submit hook, groups fan out concurrently and Execute
+// returns when every group finished or was refused.
+func (p *Plan) Execute(ec ExecConfig) *Outcome {
+	ctx := ec.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := &Outcome{Results: make([]RunOutcome, len(p.Runs))}
+	if ec.Submit == nil {
+		for gi := range p.Groups {
+			p.execGroup(ctx, &p.Groups[gi], ec, out)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for gi := range p.Groups {
+		g := &p.Groups[gi]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := ec.Submit(ctx, func(c context.Context) { p.execGroup(c, g, ec, out) }); err != nil {
+				p.failGroup(g, out, err)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// failGroup marks every unresolved run of g with err (the group's work
+// never ran).
+func (p *Plan) failGroup(g *Group, out *Outcome, err error) {
+	for _, ri := range g.Runs {
+		oc := &out.Results[ri]
+		if oc.Res == nil && oc.Err == nil {
+			oc.Err = err
+		}
+	}
+}
+
+// execGroup resolves every run of one group. The group's runs are
+// ordered (memory model, descending effective cap), so per memory model
+// the uncapped reference — when the request includes it — is resolved
+// first; its VLMax then proves which tighter caps cannot change the
+// result, and one verification run (the tightest such cap, checked with
+// reflect.DeepEqual against the reference) licenses aliasing the rest.
+func (p *Plan) execGroup(ctx context.Context, g *Group, ec ExecConfig, out *Outcome) {
+	// Group-granularity cache consult: one Peek per unique run, none per
+	// cell. A fully cached group never compiles.
+	pending := 0
+	for _, ri := range g.Runs {
+		if ec.Key != nil && ec.Peek != nil {
+			if res, ok := ec.Peek(ec.Key(&p.Runs[ri])); ok {
+				out.Results[ri] = RunOutcome{Res: res, Source: SourceCached}
+				continue
+			}
+		}
+		pending++
+	}
+	if pending == 0 {
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		p.failGroup(g, out, &sim.CanceledError{Cause: err})
+		return
+	}
+	prog, label, err := ec.Compile(ctx, g)
+	if err != nil {
+		p.failGroup(g, out, err)
+		return
+	}
+
+	resolve := func(ri int) *RunOutcome {
+		oc := &out.Results[ri]
+		if oc.Res != nil || oc.Err != nil {
+			return oc
+		}
+		r := &p.Runs[ri]
+		if err := ctx.Err(); err != nil {
+			oc.Err = &sim.CanceledError{Cause: err}
+			return oc
+		}
+		start := time.Now()
+		res, err := prog.RunOpts(r.Mem, core.RunOptions{
+			Context:     ctx,
+			CheckCycles: ec.CheckCycles,
+			VLCap:       r.VL,
+		})
+		elapsed := time.Since(start)
+		if ec.OnRun != nil {
+			ec.OnRun(r, res, err, elapsed)
+		}
+		if err != nil {
+			oc.Err = err
+			return oc
+		}
+		oc.Res, oc.Source, oc.CompileLabel = res, SourceRun, label
+		if ec.Key != nil && ec.Publish != nil {
+			ec.Publish(ec.Key(r), res)
+		}
+		return oc
+	}
+
+	// Walk the runs one memory-model segment at a time.
+	for lo := 0; lo < len(g.Runs); {
+		hi := lo + 1
+		for hi < len(g.Runs) && p.Runs[g.Runs[hi]].Mem == p.Runs[g.Runs[lo]].Mem {
+			hi++
+		}
+		p.execSegment(g.Runs[lo:hi], ec, out, resolve)
+		lo = hi
+	}
+}
+
+// execSegment resolves one (group, memory model) slice of runs, ordered
+// by descending effective cap, aliasing caps the uncapped reference run
+// proves redundant.
+func (p *Plan) execSegment(seg []int, ec ExecConfig, out *Outcome, resolve func(int) *RunOutcome) {
+	ref := resolve(seg[0])
+	if ref.Err != nil || p.Runs[seg[0]].VL != 0 {
+		// No uncapped reference (not requested, or it failed): every cap
+		// simulates individually.
+		for _, ri := range seg[1:] {
+			resolve(ri)
+		}
+		return
+	}
+	vmax := ref.Res.VLMax
+	// seg is sorted by descending cap, so the caps the reference may
+	// prove redundant (cap >= vmax: no SETVL is ever clamped) form a
+	// prefix of the remainder.
+	k := 1
+	for k < len(seg) && p.Runs[seg[k]].EffCap() >= vmax {
+		k++
+	}
+	if k > 1 {
+		// Verify with the tightest redundant cap: equality with the
+		// reference proves the initial VL was never consumed before the
+		// first SETVL, so every looser cap is identical too.
+		probe := resolve(seg[k-1])
+		if probe.Err == nil && reflect.DeepEqual(probe.Res, ref.Res) {
+			for _, ri := range seg[1 : k-1] {
+				oc := &out.Results[ri]
+				if oc.Res != nil || oc.Err != nil {
+					continue
+				}
+				oc.Res, oc.Source = ref.Res, SourceAlias
+				if ec.Key != nil && ec.Publish != nil {
+					ec.Publish(ec.Key(&p.Runs[ri]), ref.Res)
+				}
+			}
+		}
+	}
+	for _, ri := range seg[k:] {
+		resolve(ri)
+	}
+	// Anything the verification fallback left unresolved (probe mismatch)
+	// simulates individually.
+	for _, ri := range seg[1:k] {
+		resolve(ri)
+	}
+}

@@ -1,0 +1,78 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"vsimdvliw/internal/apps"
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/energy"
+	"vsimdvliw/internal/machine"
+)
+
+// DefaultVLs is the VL axis of the paperfigs vector-length figure (and
+// its golden fixture): the powers of two the paper's kernels naturally
+// set, plus an intermediate point and the architectural maximum as the
+// normalization reference.
+var DefaultVLs = []int{1, 2, 4, 8, 12, 16}
+
+// CompileStandalone is the ExecConfig.Compile hook for self-contained
+// executions (paperfigs, tests): it builds the group's code variant and
+// compiles it directly, without a program cache.
+func CompileStandalone(ctx context.Context, g *Group) (*core.Program, string, error) {
+	built := g.App.Build(g.Variant)
+	prog, err := core.Compile(built.Func, g.Cfg)
+	return prog, "", err
+}
+
+// Figure renders the cycles-and-energy-versus-VL figure: every benchmark
+// application on one vector configuration under realistic memory, each
+// VL cap's cycle count and first-order energy/EDP estimates normalized
+// to the uncapped run. It quantifies the SLAP-style trade-off the sweep
+// engine exists to explore: shorter vectors trade stall amortization for
+// iteration overhead, and the energy optimum need not sit at either end.
+func Figure(cfg *machine.Config, vls []int) (string, error) {
+	if cfg.ISA != machine.ISAVector {
+		return "", fmt.Errorf("sweep: VL figure requires a vector configuration (got %s)", cfg.Name)
+	}
+	if len(vls) == 0 {
+		vls = DefaultVLs
+	}
+	plan := New(apps.All(), []*machine.Config{cfg}, []core.MemoryModel{core.Realistic}, vls)
+	out := plan.Execute(ExecConfig{Compile: CompileStandalone})
+	for _, oc := range out.Results {
+		if oc.Err != nil {
+			return "", oc.Err
+		}
+	}
+
+	model := energy.Default()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Cycles and energy vs vector length (%s, realistic memory; normalized to the uncapped run)\n", cfg.Name)
+	fmt.Fprintf(&sb, "%-10s %4s %12s %9s %9s %9s\n", "app", "VL", "cycles", "cyc/ref", "energy", "EDP")
+	sb.WriteString(strings.Repeat("-", 58) + "\n")
+	for ci := 0; ci < len(plan.Cells); ci += len(vls) {
+		cells := plan.Cells[ci : ci+len(vls)]
+		// Normalize to the loosest cap of the app's row (the uncapped run
+		// when VL 16 or 0 is on the axis).
+		ref := cells[0]
+		for _, c := range cells[1:] {
+			if plan.Runs[c.Run].EffCap() > plan.Runs[ref.Run].EffCap() {
+				ref = c
+			}
+		}
+		rr := out.Results[ref.Run].Res
+		re := model.Estimate(rr, ref.Cfg).Total()
+		redp := model.EDP(rr, ref.Cfg)
+		for _, c := range cells {
+			r := out.Results[c.Run].Res
+			e := model.Estimate(r, c.Cfg).Total()
+			edp := model.EDP(r, c.Cfg)
+			fmt.Fprintf(&sb, "%-10s %4d %12d %9.3f %9.3f %9.3f\n",
+				c.App.Name, c.VL, r.Cycles,
+				float64(r.Cycles)/float64(rr.Cycles), e/re, edp/redp)
+		}
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,143 @@
+// Package sweep plans and executes dense vector-length design-space
+// sweeps: a (apps × configs × memories × VL-set) request is canonicalized
+// into a deduplicated cell plan whose cells are grouped by compiled-
+// program fingerprint, so each program compiles once and is simulated K
+// times under different VL caps (the VL cap is a run-time machine
+// parameter, not a compile key — see sim.Machine.SetVLCap). The executor
+// fans groups out on a caller-supplied scheduler with pooled machine
+// reuse per memory model, consults a result cache only at group
+// granularity, and aliases provably identical cells (non-vector configs
+// are VL-independent; caps at or above a program's intrinsic maximum VL
+// are verified equal to the uncapped run) instead of re-simulating them.
+package sweep
+
+import (
+	"sort"
+
+	"vsimdvliw/internal/apps"
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/kernels"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/report"
+)
+
+// CanonicalVL maps a requested VL cap onto the canonical cap that
+// produces the same simulation result. Non-vector configurations never
+// execute SETVL, so every cap is equivalent to "uncapped" (0); on vector
+// configurations a cap at or beyond isa.MaxVL never clamps and is also
+// equivalent to 0. Requests that differ only in these redundant spellings
+// therefore share one simulation (and one result-cache entry).
+func CanonicalVL(cfg *machine.Config, vl int) int {
+	if cfg.ISA != machine.ISAVector || vl <= 0 || vl >= isa.MaxVL {
+		return 0
+	}
+	return vl
+}
+
+// Cell is one requested (app, config, memory, VL) point of a sweep, in
+// the canonical request order. Run indexes the unique simulation in
+// Plan.Runs whose result answers this cell.
+type Cell struct {
+	App *apps.App
+	Cfg *machine.Config
+	Mem core.MemoryModel
+	VL  int // the requested VL, verbatim
+	Run int
+}
+
+// Run is one unique simulation of the plan: a compiled program executed
+// under one memory model with one canonical VL cap. Several cells may map
+// onto the same run.
+type Run struct {
+	App     *apps.App
+	Variant kernels.Variant
+	Cfg     *machine.Config
+	Mem     core.MemoryModel
+	VL      int // canonical VL cap (0 = uncapped)
+	Group   int // index into Plan.Groups
+}
+
+// EffCap is the cap the machine actually enforces: the canonical 0 means
+// the architectural maximum.
+func (r *Run) EffCap() int {
+	if r.VL == 0 {
+		return isa.MaxVL
+	}
+	return r.VL
+}
+
+// Group is the set of runs sharing one compiled program — one (app, code
+// variant, configuration) triple, the compiled-program fingerprint. Runs
+// is ordered by (memory model, descending effective cap), so the executor
+// meets the uncapped reference run of each memory model first and the
+// pooled machine of one model is reused back-to-back.
+type Group struct {
+	App     *apps.App
+	Variant kernels.Variant
+	Cfg     *machine.Config
+	Runs    []int // indices into Plan.Runs
+}
+
+// Plan is a deduplicated, compile-once execution plan for a sweep.
+type Plan struct {
+	Cells  []Cell
+	Runs   []Run
+	Groups []Group
+}
+
+// New expands the request axes into cells in canonical (app, config,
+// memory, VL) order — the VL axis keeps the caller's order — and
+// deduplicates them into unique runs grouped by compiled program.
+func New(appList []*apps.App, cfgs []*machine.Config, mems []core.MemoryModel, vls []int) *Plan {
+	p := &Plan{Cells: make([]Cell, 0, len(appList)*len(cfgs)*len(mems)*len(vls))}
+	type runKey struct {
+		app string
+		cfg *machine.Config
+		mem core.MemoryModel
+		vl  int
+	}
+	type groupKey struct {
+		app string
+		cfg *machine.Config
+	}
+	runIdx := make(map[runKey]int)
+	groupIdx := make(map[groupKey]int)
+	for _, a := range appList {
+		for _, cfg := range cfgs {
+			v := report.VariantFor(cfg)
+			gk := groupKey{a.Name, cfg}
+			gi, ok := groupIdx[gk]
+			if !ok {
+				gi = len(p.Groups)
+				groupIdx[gk] = gi
+				p.Groups = append(p.Groups, Group{App: a, Variant: v, Cfg: cfg})
+			}
+			for _, mm := range mems {
+				for _, vl := range vls {
+					cvl := CanonicalVL(cfg, vl)
+					rk := runKey{a.Name, cfg, mm, cvl}
+					ri, ok := runIdx[rk]
+					if !ok {
+						ri = len(p.Runs)
+						runIdx[rk] = ri
+						p.Runs = append(p.Runs, Run{App: a, Variant: v, Cfg: cfg, Mem: mm, VL: cvl, Group: gi})
+						p.Groups[gi].Runs = append(p.Groups[gi].Runs, ri)
+					}
+					p.Cells = append(p.Cells, Cell{App: a, Cfg: cfg, Mem: mm, VL: vl, Run: ri})
+				}
+			}
+		}
+	}
+	for gi := range p.Groups {
+		g := &p.Groups[gi]
+		sort.SliceStable(g.Runs, func(i, j int) bool {
+			a, b := &p.Runs[g.Runs[i]], &p.Runs[g.Runs[j]]
+			if a.Mem != b.Mem {
+				return a.Mem < b.Mem
+			}
+			return a.EffCap() > b.EffCap()
+		})
+	}
+	return p
+}

@@ -1,0 +1,223 @@
+package sweep
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"vsimdvliw/internal/apps"
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/report"
+	"vsimdvliw/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden files")
+
+func TestCanonicalVL(t *testing.T) {
+	for _, tc := range []struct {
+		cfg  *machine.Config
+		vl   int
+		want int
+	}{
+		{&machine.VLIW2, 5, 0},
+		{&machine.USIMD4, 16, 0},
+		{&machine.Vector2x2, 0, 0},
+		{&machine.Vector2x2, 16, 0},
+		{&machine.Vector2x2, isa.MaxVL + 3, 0},
+		{&machine.Vector2x2, 1, 1},
+		{&machine.Vector2x2, 15, 15},
+	} {
+		if got := CanonicalVL(tc.cfg, tc.vl); got != tc.want {
+			t.Errorf("CanonicalVL(%s, %d) = %d, want %d", tc.cfg.Name, tc.vl, got, tc.want)
+		}
+	}
+}
+
+// TestPlanDedup checks the plan's three invariants: cells stay in
+// canonical request order, VL-independent cells collapse onto shared
+// runs, and groups partition the runs by compiled program.
+func TestPlanDedup(t *testing.T) {
+	appList := apps.All()[:2]
+	cfgs := []*machine.Config{&machine.VLIW2, &machine.USIMD2, &machine.Vector2x2}
+	vls := []int{1, 8, 16}
+	p := New(appList, cfgs, core.Models, vls)
+
+	wantCells := len(appList) * len(cfgs) * len(core.Models) * len(vls)
+	if len(p.Cells) != wantCells {
+		t.Fatalf("cells = %d, want %d", len(p.Cells), wantCells)
+	}
+	// Non-vector configs: one run per (app, cfg, mem); vector: one per
+	// canonical VL {1, 8, 0}.
+	wantRuns := 2*2*2*1 + 1*2*2*3
+	if len(p.Runs) != wantRuns {
+		t.Fatalf("runs = %d, want %d", len(p.Runs), wantRuns)
+	}
+	if len(p.Groups) != len(appList)*len(cfgs) {
+		t.Fatalf("groups = %d, want %d", len(p.Groups), len(appList)*len(cfgs))
+	}
+
+	i := 0
+	for _, a := range appList {
+		for _, cfg := range cfgs {
+			for _, mm := range core.Models {
+				for _, vl := range vls {
+					c := p.Cells[i]
+					if c.App != a || c.Cfg != cfg || c.Mem != mm || c.VL != vl {
+						t.Fatalf("cell %d out of canonical order: %s/%s/%s/vl%d", i, c.App.Name, c.Cfg.Name, c.Mem, c.VL)
+					}
+					r := &p.Runs[c.Run]
+					if r.App != a || r.Cfg != cfg || r.Mem != mm || r.VL != CanonicalVL(cfg, vl) {
+						t.Fatalf("cell %d mapped to wrong run %+v", i, r)
+					}
+					if g := &p.Groups[r.Group]; g.App != a || g.Cfg != cfg || g.Variant != report.VariantFor(cfg) {
+						t.Fatalf("run of cell %d in wrong group", i)
+					}
+					i++
+				}
+			}
+		}
+	}
+
+	// Every group's run list is ordered by (mem, descending effective
+	// cap) and covers its runs exactly once.
+	seen := make(map[int]bool)
+	for gi := range p.Groups {
+		g := &p.Groups[gi]
+		for k, ri := range g.Runs {
+			if seen[ri] {
+				t.Fatalf("run %d appears in two groups", ri)
+			}
+			seen[ri] = true
+			if p.Runs[ri].Group != gi {
+				t.Fatalf("run %d group index mismatch", ri)
+			}
+			if k > 0 {
+				a, b := &p.Runs[g.Runs[k-1]], &p.Runs[ri]
+				if a.Mem > b.Mem || (a.Mem == b.Mem && a.EffCap() <= b.EffCap()) {
+					t.Fatalf("group %d runs not ordered by (mem, desc cap)", gi)
+				}
+			}
+		}
+	}
+	if len(seen) != len(p.Runs) {
+		t.Fatalf("groups cover %d runs, want %d", len(seen), len(p.Runs))
+	}
+}
+
+// TestExecuteMatchesDirect is the executor's differential check: every
+// cell of a mixed sweep must be reflect.DeepEqual to compiling and
+// running the same (app, config, memory, canonical VL) point directly.
+func TestExecuteMatchesDirect(t *testing.T) {
+	appList := apps.All()[:2]
+	cfgs := []*machine.Config{&machine.VLIW2, &machine.Vector2x2}
+	vls := []int{3, 8, 16}
+	p := New(appList, cfgs, core.Models, vls)
+	out := p.Execute(ExecConfig{Compile: CompileStandalone})
+
+	for ci, c := range p.Cells {
+		oc := out.Results[c.Run]
+		if oc.Err != nil {
+			t.Fatalf("cell %d: %v", ci, oc.Err)
+		}
+		built := c.App.Build(report.VariantFor(c.Cfg))
+		prog, err := core.Compile(built.Func, c.Cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := prog.RunOpts(c.Mem, core.RunOptions{VLCap: CanonicalVL(c.Cfg, c.VL)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(oc.Res, want) {
+			t.Fatalf("cell %d (%s/%s/%s/vl%d, source %s) differs from a direct run",
+				ci, c.App.Name, c.Cfg.Name, c.Mem, c.VL, oc.Source)
+		}
+	}
+}
+
+// TestAliasing pins the redundant-cap optimization: caps at or above the
+// program's observed maximum SETVL alias the uncapped reference run
+// (after one verification run), and the aliased results are still
+// bit-identical to direct simulations (TestExecuteMatchesDirect covers
+// the general equality; here the Source labels are the contract).
+func TestAliasing(t *testing.T) {
+	a, err := apps.ByName("gsm_enc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &machine.Vector2x2
+	built := a.Build(report.VariantFor(cfg))
+	prog, err := core.Compile(built.Func, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := prog.Run(core.Perfect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.VLMax <= 0 || ref.VLMax >= isa.MaxVL-1 {
+		t.Skipf("gsm_enc VLMax = %d leaves no cap range to alias", ref.VLMax)
+	}
+
+	// Caps vmax..15 are redundant: the loosest resolves first as the
+	// reference, the tightest (vmax) verifies, the ones in between alias.
+	vls := []int{16, ref.VLMax, ref.VLMax + 1, isa.MaxVL - 1}
+	p := New([]*apps.App{a}, []*machine.Config{cfg}, []core.MemoryModel{core.Perfect}, vls)
+	runs := 0
+	out := p.Execute(ExecConfig{
+		Compile: CompileStandalone,
+		OnRun:   func(*Run, *sim.Result, error, time.Duration) { runs++ },
+	})
+	// Simulated: the uncapped reference plus the vmax verification run.
+	if runs != 2 {
+		t.Fatalf("simulated %d runs, want 2 (reference + verification)", runs)
+	}
+	bySource := map[string]int{}
+	for ci, c := range p.Cells {
+		oc := out.Results[c.Run]
+		if oc.Err != nil {
+			t.Fatalf("cell %d: %v", ci, oc.Err)
+		}
+		bySource[oc.Source]++
+		if !reflect.DeepEqual(oc.Res, ref) {
+			t.Fatalf("cell %d (vl %d, source %s): redundant cap changed the result", ci, c.VL, oc.Source)
+		}
+	}
+	if bySource[SourceAlias] != 2 || bySource[SourceRun] != 2 {
+		t.Fatalf("sources = %v, want 2 runs and 2 aliases", bySource)
+	}
+}
+
+// TestFigureGolden freezes the rendered VL figure. The sweep pipeline is
+// deterministic, so any diff is a real behaviour change; regenerate
+// intentionally with:
+//
+//	go test ./internal/sweep -run TestFigureGolden -update
+func TestFigureGolden(t *testing.T) {
+	got, err := Figure(&machine.Vector2x4, DefaultVLs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden", "figurevl.txt")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if got != string(want) {
+		t.Errorf("VL figure drifted from the golden output; run with -update if intentional.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
