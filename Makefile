@@ -11,9 +11,12 @@
 # Compiles), and short fuzzing smoke runs of the
 # scheduler (differential: fast path vs sched.ReferenceSchedule must be
 # schedule-identical), of the differential engine-equivalence harness (reference
-# interpreter vs pre-decoded engine over generated programs) and of the
+# interpreter vs pre-decoded engine over generated programs), of the
 # memory-hierarchy equivalence harness (optimized mem.Hierarchy vs
-# mem.ReferenceHierarchy over random access streams). The race target also
+# mem.ReferenceHierarchy over random access streams) and of the pluggable
+# L2 cache-organization harness (internal/cacheorg: fast stride-class
+# walks vs the reference per-element walk for every organization, plus
+# the interleaved/banked2 organizations vs mem.Hierarchy). The race target also
 # covers internal/sweep (the batched VL-sweep planner/executor fans groups
 # out over the worker pool) and the sweep tests include the reduced
 # cycles-and-energy-vs-VL golden check (testdata/golden/figurevl.txt), so
@@ -23,9 +26,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz fuzz-engine fuzz-mem bench bench-json bench-diff bench-report figures
+.PHONY: ci vet build test race fuzz fuzz-engine fuzz-mem fuzz-cacheorg bench bench-json bench-diff bench-report figures
 
-ci: vet build test race fuzz fuzz-engine fuzz-mem bench-report
+ci: vet build test race fuzz fuzz-engine fuzz-mem fuzz-cacheorg bench-report
 
 vet:
 	$(GO) vet ./...
@@ -37,7 +40,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/report ./internal/core ./internal/sim ./internal/server ./internal/mem ./internal/sched ./internal/sweep
+	$(GO) test -race ./internal/report ./internal/core ./internal/sim ./internal/server ./internal/mem ./internal/cacheorg ./internal/sched ./internal/sweep
 
 fuzz:
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzSchedule -fuzztime=10s
@@ -47,6 +50,9 @@ fuzz-engine:
 
 fuzz-mem:
 	$(GO) test ./internal/mem -run='^$$' -fuzz=FuzzMemHierarchy -fuzztime=10s
+
+fuzz-cacheorg:
+	$(GO) test ./internal/cacheorg -run='^$$' -fuzz=FuzzCacheOrg -fuzztime=10s
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$'

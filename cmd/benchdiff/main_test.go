@@ -7,18 +7,18 @@ func docPair() (*doc, *doc) {
 		SimOpsPerS:     30e6,
 		ServiceReqPerS: 300,
 		Benchmarks: map[string]bench{
-			"BenchmarkSimulator": {Metrics: map[string]float64{"ns/op": 7e6, "sim_ops/s": 30e6}},
-			"BenchmarkCollect":   {Metrics: map[string]float64{"ns/op": 3e9}},
-			"BenchmarkOldOnly":   {Metrics: map[string]float64{"ns/op": 1}},
+			"Simulator": {Metrics: map[string]float64{"ns/op": 7e6, "sim_ops/s": 30e6}},
+			"Collect":   {Metrics: map[string]float64{"ns/op": 3e9}},
+			"OldOnly":   {Metrics: map[string]float64{"ns/op": 1}},
 		},
 	}
 	new := &doc{
 		SimOpsPerS:     39e6,
 		ServiceReqPerS: 290,
 		Benchmarks: map[string]bench{
-			"BenchmarkSimulator": {Metrics: map[string]float64{"ns/op": 5.5e6, "sim_ops/s": 39e6}},
-			"BenchmarkCollect":   {Metrics: map[string]float64{"ns/op": 3.4e9}},
-			"BenchmarkNewOnly":   {Metrics: map[string]float64{"ns/op": 1}},
+			"Simulator": {Metrics: map[string]float64{"ns/op": 5.5e6, "sim_ops/s": 39e6}},
+			"Collect":   {Metrics: map[string]float64{"ns/op": 3.4e9}},
+			"NewOnly":   {Metrics: map[string]float64{"ns/op": 1}},
 		},
 	}
 	return old, new
@@ -45,15 +45,15 @@ func TestCompareDirections(t *testing.T) {
 		t.Errorf("service_req_s -3.3%% within threshold flagged: %+v", r)
 	}
 	// ns/op is lower-is-better: a 13% rise is a regression.
-	if r := find(rows, "BenchmarkCollect ns/op"); r == nil || !r.Regression {
-		t.Errorf("BenchmarkCollect ns/op +13%% not flagged: %+v", r)
+	if r := find(rows, "Collect ns/op"); r == nil || !r.Regression {
+		t.Errorf("Collect ns/op +13%% not flagged: %+v", r)
 	}
 	// ns/op falling sharply is an improvement, not a regression.
-	if r := find(rows, "BenchmarkSimulator ns/op"); r == nil || r.Regression {
-		t.Errorf("BenchmarkSimulator ns/op drop flagged: %+v", r)
+	if r := find(rows, "Simulator ns/op"); r == nil || r.Regression {
+		t.Errorf("Simulator ns/op drop flagged: %+v", r)
 	}
 	// Benchmarks present in only one file are skipped.
-	if find(rows, "BenchmarkOldOnly ns/op") != nil || find(rows, "BenchmarkNewOnly ns/op") != nil {
+	if find(rows, "OldOnly ns/op") != nil || find(rows, "NewOnly ns/op") != nil {
 		t.Error("unpaired benchmarks must not be compared")
 	}
 }
@@ -69,14 +69,14 @@ func TestCompareThreshold(t *testing.T) {
 
 func TestCollectSpeedupGuard(t *testing.T) {
 	d := &doc{Benchmarks: map[string]bench{
-		"BenchmarkCollect":           {Metrics: map[string]float64{"ns/op": 2e9}},
-		"BenchmarkCollectSequential": {Metrics: map[string]float64{"ns/op": 3e9}},
+		"Collect":           {Metrics: map[string]float64{"ns/op": 2e9}},
+		"CollectSequential": {Metrics: map[string]float64{"ns/op": 3e9}},
 	}}
 	if sp := collectSpeedup(d); sp != 1.5 {
 		t.Fatalf("collectSpeedup = %v, want 1.5", sp)
 	}
 	// The regression the guard exists for: parallel slower than sequential.
-	d.Benchmarks["BenchmarkCollect"] = bench{Metrics: map[string]float64{"ns/op": 4e9}}
+	d.Benchmarks["Collect"] = bench{Metrics: map[string]float64{"ns/op": 4e9}}
 	if sp := collectSpeedup(d); sp >= 1 {
 		t.Fatalf("collectSpeedup = %v, want < 1 (parallel regression)", sp)
 	}

@@ -62,6 +62,10 @@ type output struct {
 	// sweep against the now-warm result cache.
 	VLSweepCellsPerS    float64            `json:"vlsweep_cells_s"`
 	VLSweepHotCellsPerS float64            `json:"vlsweep_hot_cells_s"`
+	// CacheOrgCellsPerS is the organization-axis headline: cells per second
+	// of one cold /v1/sweep over every app on Vector2-2w under the realistic
+	// model plus all four L2 organizations (0 when disabled).
+	CacheOrgCellsPerS float64 `json:"cacheorg_cells_s"`
 	Service             *server.LoadReport `json:"service,omitempty"`
 	ServiceHot          *server.LoadReport `json:"service_hot,omitempty"`
 	Benchmarks          map[string]result  `json:"benchmarks"`
@@ -75,6 +79,7 @@ func main() {
 		serviceDur  = flag.Duration("service-duration", 2*time.Second, "in-process vsimdd load-burst length (0 disables)")
 		serviceConc = flag.Int("service-concurrency", runtime.NumCPU(), "load-burst client concurrency")
 		vlsweepVLs  = flag.String("vlsweep-vls", "1,2,4,6,8,10,12,16", "VL axis of the full-matrix /v1/vlsweep burst (empty disables)")
+		cacheorg    = flag.Bool("cacheorg", true, "run the cache-organization /v1/sweep burst")
 	)
 	flag.Parse()
 
@@ -147,6 +152,15 @@ func main() {
 		doc.VLSweepHotCellsPerS = hot
 	}
 
+	if *cacheorg {
+		cells, err := cacheorgBurst()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: cacheorg burst: %v\n", err)
+			os.Exit(1)
+		}
+		doc.CacheOrgCellsPerS = cells
+	}
+
 	enc, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -164,8 +178,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (sim_ops/s = %.0f, sched_ops/s = %.0f, service_req_s = %.1f, service_hot_req_s = %.1f, vlsweep_cells_s = %.1f)\n",
-		*out, doc.SimOpsPerS, doc.SchedOpsPerS, doc.ServiceReqPerS, doc.ServiceHotReqPerS, doc.VLSweepCellsPerS)
+	fmt.Printf("wrote %s (sim_ops/s = %.0f, sched_ops/s = %.0f, service_req_s = %.1f, service_hot_req_s = %.1f, vlsweep_cells_s = %.1f, cacheorg_cells_s = %.1f)\n",
+		*out, doc.SimOpsPerS, doc.SchedOpsPerS, doc.ServiceReqPerS, doc.ServiceHotReqPerS, doc.VLSweepCellsPerS, doc.CacheOrgCellsPerS)
 }
 
 // parseVLs parses the comma-separated -vlsweep-vls value.
@@ -227,6 +241,50 @@ func vlsweepBurst(vls []int) (coldCellsPerS, hotCellsPerS float64, err error) {
 		return 0, 0, err
 	}
 	return coldCellsPerS, hotCellsPerS, nil
+}
+
+// cacheorgBurst measures the organization axis end to end: one cold
+// /v1/sweep over every benchmark on Vector2-2w under the realistic model
+// plus all four L2 organizations (cells per second, the cacheorg_cells_s
+// headline). Any failed cell fails the measurement.
+func cacheorgBurst() (cellsPerS float64, err error) {
+	srv := server.New(server.Config{})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if serr := srv.Shutdown(shutdownCtx); err == nil && serr != nil {
+			err = serr
+		}
+	}()
+	req := server.SweepRequest{
+		Apps:    server.AppNames(),
+		Configs: []string{"Vector2-2w"},
+		Memories: []string{"realistic", "realistic:interleaved",
+			"realistic:bicameral", "realistic:banked4", "realistic:banked8"},
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	resp, err := http.Post("http://"+addr+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var sr server.SweepResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK || sr.Errors > 0 {
+		return 0, fmt.Errorf("status %d, %d failed cells", resp.StatusCode, sr.Errors)
+	}
+	return float64(len(sr.Cells)) / elapsed.Seconds(), nil
 }
 
 // serviceBurst measures the serving path twice: a cold-start burst (the

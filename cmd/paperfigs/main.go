@@ -8,7 +8,8 @@
 //	paperfigs              # everything
 //	paperfigs -only table1 # one artifact: table1, figure1, table2,
 //	                       # figure3, figure4, figure5a, figure5b,
-//	                       # figure6, figure7, table3, ablations, vlsweep
+//	                       # figure6, figure7, table3, ablations,
+//	                       # cacheorg, vlsweep
 //	paperfigs -v           # progress lines while simulating
 //	paperfigs -j 4         # simulation workers (0 = all CPUs, 1 = serial)
 package main
@@ -76,6 +77,7 @@ func main() {
 		"figure4":   report.Figure4,
 		"ablations": func() (string, error) { return report.RunAblations(machine.ByName("Vector2-2w")) },
 		"lanes":     report.LanesStudy,
+		"cacheorg":  report.CacheOrgStudy,
 		"vlsweep":   func() (string, error) { return sweep.Figure(machine.ByName("Vector2-4w"), sweep.DefaultVLs) },
 	}
 	if f, ok := static[*only]; ok {
@@ -151,6 +153,13 @@ func main() {
 			out, err := report.RunAblations(machine.ByName("Vector2-2w"))
 			if err != nil {
 				return "ablations failed: " + err.Error()
+			}
+			return out
+		}},
+		{"cacheorg", func() string {
+			out, err := report.CacheOrgStudy()
+			if err != nil {
+				return "cacheorg study failed: " + err.Error()
 			}
 			return out
 		}},

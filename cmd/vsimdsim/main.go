@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	vsimdsim -app mpeg2_enc -config Vector2-4w [-mem perfect|realistic]
+//	vsimdsim -app mpeg2_enc -config Vector2-4w [-mem perfect|realistic|realistic:banked8|...]
 //	vsimdsim -app jpeg_enc -stats-json
 //	vsimdsim -app jpeg_enc -trace 100 -trace-json trace.jsonl
 //	vsimdsim -list
@@ -28,7 +28,7 @@ import (
 func main() {
 	appName := flag.String("app", "jpeg_enc", "application to run")
 	cfgName := flag.String("config", "Vector2-2w", "machine configuration (see -list)")
-	memName := flag.String("mem", "realistic", "memory model: perfect or realistic")
+	memName := flag.String("mem", "realistic", "memory model: perfect, realistic, or an L2 organization (realistic:interleaved, realistic:bicameral, realistic:banked4, realistic:banked8)")
 	list := flag.Bool("list", false, "list applications and configurations")
 	trace := flag.Int("trace", 0, "print the first N basic-block trace lines")
 	statsJSON := flag.Bool("stats-json", false, "print the statistics as JSON instead of text")

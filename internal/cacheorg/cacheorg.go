@@ -1,0 +1,448 @@
+// Package cacheorg makes the L2 vector cache's organization pluggable.
+// The paper's hierarchy (internal/mem) hard-wires the two-bank interleaved
+// L2; this package extracts the organization decisions — where a line
+// lives, how the timed lookup is counted, what rate a strided access is
+// served at, and what extra penalties an access pays — behind the Org
+// interface and re-implements the three-level hierarchy around it.
+//
+// Three organizations ship:
+//
+//   - Interleaved: the paper's two-bank interleaved L2. Hierarchy driving
+//     it is bit-identical to mem.Hierarchy (with default mem.Options) on
+//     every latency, Stats counter and stall component; the differential
+//     fuzzer in this package cross-checks the two.
+//   - Bicameral: a split scalar/vector cache in the style of the Bicameral
+//     Cache proposal — scalar fills and vector accesses live in separate
+//     partitions, and an access that finds its line in the opposite
+//     partition migrates it home, paying a cross-partition penalty
+//     attributed to metrics.CauseMigration.
+//   - Banked: a parameterized N-bank L2 (machine.Config.L2Banks). More
+//     banks spread strided accesses across more ports: a non-unit stride
+//     is served at banks/2 words per cycle (capped at the port width)
+//     unless it maps every element onto one bank. With N = 2 it reproduces
+//     the interleaved organization's timing exactly.
+//
+// The Hierarchy here follows mem.Hierarchy line for line (L1, L3,
+// prefetch, coherency, write-validate, per-stride-class line walks); only
+// the L2 decisions go through the Org. A reference per-element walk
+// (NewReference) retains the straightforward enumeration as the oracle for
+// the optimized stride-class walks, following the repo's differential
+// pattern (mem.ReferenceHierarchy, sched.ReferenceSchedule).
+package cacheorg
+
+import (
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/mem"
+	"vsimdvliw/internal/metrics"
+)
+
+// VictimSink receives the dirty lines an organization evicts internally
+// (a bicameral migration fills the home partition, which may evict a dirty
+// line) so the hierarchy can write them back to the L3.
+type VictimSink interface {
+	PushVictim(base int64)
+}
+
+// Org is one L2 organization: the tag stores, the per-bank/partition
+// accounting and the port arbitration of the vector cache. The Hierarchy
+// drives it through timed lookups (Lookup), untimed installs
+// (Install/Present, used by fills and the prefetcher) and the strided
+// service rate (StridedRate).
+type Org interface {
+	// Name is the organization's short name ("interleaved", "bicameral",
+	// "banked4", ...), used in stats and energy accounting.
+	Name() string
+	// LineSize and LineBase describe the organization's line geometry.
+	LineSize() int
+	LineBase(addr int64) int64
+	// PortWords is the width of the wide port in 64-bit words (the rate a
+	// stride-one access is served at).
+	PortWords() int
+	// StridedRate returns the service rate of a non-unit-stride access in
+	// words per cycle, and whether the stride is a bank conflict (every
+	// element on one bank).
+	StridedRate(stride int64) (rate int, conflict bool)
+	// Lookup is one timed L2 probe. extra is additional latency the
+	// organization itself charges (e.g. a cross-partition migration),
+	// attributed to cause; organizations without internal penalties return
+	// (hit, 0, 0).
+	Lookup(addr int64, write, vector bool) (hit bool, extra int64, cause metrics.Cause)
+	// Present reports whether the line is cached anywhere in the
+	// organization, without touching LRU state or counters (prefetch
+	// dedup).
+	Present(addr int64) bool
+	// Install fills the line for the given access class and returns a
+	// dirty victim for the hierarchy to push to the L3 (ok false if the
+	// victim slot was empty or clean).
+	Install(addr int64, vector bool) (victimBase int64, dirty bool)
+	// MarkDirty sets the dirty bit of the line wherever it is cached.
+	MarkDirty(addr int64)
+	// Bind hands the organization the hierarchy's victim sink before use.
+	Bind(sink VictimSink)
+	// Snapshot returns the organization-specific counters.
+	Snapshot() *Stats
+	// ApplyStats folds the organization's counters into the shared
+	// hierarchy stats: L2Hits/L2Misses totals and the two-entry bank
+	// arrays (wider organizations fold banks modulo two), keeping the
+	// bank-sum oracle of mem.Stats intact.
+	ApplyStats(st *mem.Stats)
+	// Reset clears all tag-store state and counters.
+	Reset()
+}
+
+// Stats is the organization-specific counter snapshot, exported on
+// sim.Result (field "cacheorg") for runs driven by this package. Unlike
+// mem.Stats — which keeps fixed two-entry bank arrays for comparability —
+// the bank slices here are sized to the organization.
+type Stats struct {
+	Org       string `json:"org"`
+	Banks     int    `json:"banks,omitempty"`
+	PortWords int    `json:"port_words,omitempty"`
+	// BankHits/BankMisses split the timed L2 lookups across the banks of
+	// the interleaved/banked organizations.
+	BankHits   []int64 `json:"bank_hits,omitempty"`
+	BankMisses []int64 `json:"bank_misses,omitempty"`
+	// Bicameral partition geometry and counters. A migrated access counts
+	// as a hit of its home partition plus one migration.
+	ScalarBytes  int   `json:"scalar_bytes,omitempty"`
+	VectorBytes  int   `json:"vector_bytes,omitempty"`
+	ScalarHits   int64 `json:"scalar_hits,omitempty"`
+	ScalarMisses int64 `json:"scalar_misses,omitempty"`
+	VectorHits   int64 `json:"vector_hits,omitempty"`
+	VectorMisses int64 `json:"vector_misses,omitempty"`
+	Migrations   int64 `json:"migrations,omitempty"`
+}
+
+// Hierarchy is the three-level memory system around a pluggable L2
+// organization. It implements mem.Model and mem.Detailed and mirrors
+// mem.Hierarchy (with default mem.Options) exactly: same L1 and L3
+// behavior, same next-line prefetcher, same coherency and write-validate
+// rules, same stride-class line walks and the same epoch-tagged stall
+// attribution. Driving it with the Interleaved organization is proven
+// bit-identical to mem.Hierarchy by the differential tests.
+type Hierarchy struct {
+	cfg *machine.Config
+	org Org
+	l1  *mem.Cache
+	l3  *mem.Cache
+	st  mem.Stats
+	// ref selects the reference per-element vector walk instead of the
+	// optimized stride-class walks (the oracle for the differential
+	// tests).
+	ref bool
+	// Epoch-tagged per-access stall components (see mem.Hierarchy).
+	det      metrics.Components
+	detTag   [metrics.NumCauses]uint64
+	detEpoch uint64
+}
+
+// New builds a hierarchy around org for cfg.
+func New(cfg *machine.Config, org Org) *Hierarchy {
+	h := &Hierarchy{
+		cfg: cfg,
+		org: org,
+		l1:  mem.NewCache(cfg.L1Bytes, cfg.L1Ways, cfg.L1Line),
+		l3:  mem.NewCache(cfg.L3Bytes, cfg.L3Ways, cfg.L3Line),
+	}
+	org.Bind(h)
+	return h
+}
+
+// NewReference builds the hierarchy with the reference per-element vector
+// walk: the oracle the optimized stride-class walks are differentially
+// tested against, per organization.
+func NewReference(cfg *machine.Config, org Org) *Hierarchy {
+	h := New(cfg, org)
+	h.ref = true
+	return h
+}
+
+// Org returns the hierarchy's organization.
+func (h *Hierarchy) Org() Org { return h.org }
+
+// PushVictim implements VictimSink: a dirty line evicted inside the
+// organization is written back to the L3 (inclusion), exactly like a
+// dirty victim of a hierarchy-driven install.
+func (h *Hierarchy) PushVictim(base int64) {
+	if present, _ := h.l3.Probe(base); !present {
+		h.l3.Fill(base)
+	}
+	h.l3.MarkDirty(base)
+}
+
+// Stats returns the shared hierarchy counters, with the L2 totals and
+// two-entry bank arrays folded in by the organization.
+func (h *Hierarchy) Stats() mem.Stats {
+	s := h.st
+	s.L1Hits, s.L1Misses = h.l1.Hits, h.l1.Misses
+	s.L3Hits, s.L3Misses = h.l3.Hits, h.l3.Misses
+	h.org.ApplyStats(&s)
+	return s
+}
+
+// OrgStats returns the organization-specific counter snapshot.
+func (h *Hierarchy) OrgStats() *Stats { return h.org.Snapshot() }
+
+// Reset implements mem.Model.
+func (h *Hierarchy) Reset() {
+	h.l1.Reset()
+	h.l3.Reset()
+	h.org.Reset()
+	h.st = mem.Stats{}
+	h.det.Reset()
+	h.detTag = [metrics.NumCauses]uint64{}
+	h.detEpoch = 0
+}
+
+// LastAccess implements mem.Detailed (see mem.Hierarchy.LastAccess).
+func (h *Hierarchy) LastAccess() *metrics.Components {
+	for i := range h.det {
+		if h.detTag[i] != h.detEpoch {
+			h.det[i] = 0
+			h.detTag[i] = h.detEpoch
+		}
+	}
+	return &h.det
+}
+
+func (h *Hierarchy) detReset() { h.detEpoch++ }
+
+func (h *Hierarchy) detAdd(cause metrics.Cause, cycles int64) {
+	if h.detTag[cause] != h.detEpoch {
+		h.det[cause] = cycles
+		h.detTag[cause] = h.detEpoch
+		return
+	}
+	h.det[cause] += cycles
+}
+
+// l2Lookup is one timed organization lookup, charging any internal
+// penalty (e.g. a migration) to its cause.
+func (h *Hierarchy) l2Lookup(addr int64, write, vector bool) (hit bool, lat int) {
+	hit, extra, cause := h.org.Lookup(addr, write, vector)
+	if extra > 0 {
+		h.detAdd(cause, extra)
+		lat = int(extra)
+	}
+	return hit, lat
+}
+
+// fillL2 ensures the line containing addr is in the L2, filling from the
+// L3 or memory as needed, and returns the latency beyond the L2 access
+// itself (see mem.Hierarchy.fillL2 — the structure, including the
+// tagged next-line prefetch after the fill, is identical).
+func (h *Hierarchy) fillL2(addr int64, edge, vector bool) int {
+	hit, lat := h.l2Lookup(addr, false, vector)
+	if !hit {
+		fill := 0
+		cause := metrics.CauseL2Miss
+		if h.l3.Lookup(addr, false) {
+			fill = h.cfg.LatL3
+		} else {
+			fill = h.cfg.LatMem
+			cause = metrics.CauseL3Miss
+			h.l3.Fill(addr)
+		}
+		if edge {
+			cause = metrics.CauseEdgeLine
+		}
+		h.detAdd(cause, int64(fill))
+		h.install(addr, vector)
+		lat += fill
+	}
+	h.prefetch(h.org.LineBase(addr)+int64(h.org.LineSize()), vector)
+	return lat
+}
+
+// prefetch installs a line if absent anywhere in the organization,
+// without charging latency.
+func (h *Hierarchy) prefetch(line int64, vector bool) {
+	if h.org.Present(line) {
+		return
+	}
+	if p3, _ := h.l3.Probe(line); !p3 {
+		h.l3.Fill(line)
+	}
+	h.install(line, vector)
+	h.st.Prefetches++
+}
+
+// install fills a line into the organization, pushing a dirty victim to
+// the L3.
+func (h *Hierarchy) install(addr int64, vector bool) {
+	if base, dirty := h.org.Install(addr, vector); dirty {
+		h.PushVictim(base)
+	}
+}
+
+// scalarLine services one L1 line of a scalar access (see
+// mem.Hierarchy.scalarLine).
+func (h *Hierarchy) scalarLine(addr int64, write bool) (lat int, hit bool) {
+	if h.l1.Lookup(addr, write) {
+		return h.cfg.LatL1, true
+	}
+	h.detAdd(metrics.CauseL1Miss, int64(h.cfg.LatL2))
+	lat = h.cfg.LatL2 + h.fillL2(addr, false, false)
+	if base, ok, dirty := h.l1.Fill(addr); ok && dirty {
+		h.org.MarkDirty(base)
+	}
+	if write {
+		h.l1.MarkDirty(addr)
+	}
+	return lat, false
+}
+
+// ScalarAccess implements mem.Model, including the line-crossing rule of
+// mem.Hierarchy.ScalarAccess.
+func (h *Hierarchy) ScalarAccess(addr int64, size int, write bool) int {
+	h.detReset()
+	lat, _ := h.scalarLine(addr, write)
+	if size > 1 {
+		if last := h.l1.LineBase(addr + int64(size) - 1); last != h.l1.LineBase(addr) {
+			lat2, hit := h.scalarLine(last, write)
+			if hit {
+				h.detAdd(metrics.CauseEdgeLine, int64(lat2))
+			}
+			lat += lat2
+		}
+	}
+	return lat
+}
+
+// vectorHeader charges the port-transfer part of a vector access. The
+// strided rate and the conflict decision come from the organization: the
+// interleaved L2 serves non-unit strides at one word per cycle, a banked
+// L2 at banks/2, and a stride that maps every element onto one bank
+// serializes to one word per cycle as a bank conflict.
+func (h *Hierarchy) vectorHeader(stride int64, vl int, unit bool) int {
+	lat := h.cfg.LatL2
+	if unit {
+		h.st.UnitVectorAccesses++
+		lat += (vl - 1) / h.org.PortWords()
+		return lat
+	}
+	h.st.StridedVectorAccesses++
+	rate, conflict := h.org.StridedRate(stride)
+	lat += (vl - 1) / rate
+	if extra := int64((vl-1)/rate - (vl-1)/h.org.PortWords()); extra > 0 {
+		if conflict {
+			h.st.BankConflicts++
+			h.detAdd(metrics.CauseBankConflict, extra)
+		} else {
+			h.detAdd(metrics.CauseStride, extra)
+		}
+	}
+	return lat
+}
+
+// vecLine services one distinct L2 line touched by a vector access (see
+// mem.Hierarchy.vecLine: coherency probe, write-validate for covered
+// stride-one store lines, ordinary fill otherwise).
+func (h *Hierarchy) vecLine(l, base int64, vl int, write, unit bool) int {
+	lat := 0
+	if present, dirty := h.l1.Probe(l); present {
+		if dirty {
+			h.l1.Invalidate(l)
+			h.org.MarkDirty(l)
+			h.st.CoherencyFlushes++
+			h.detAdd(metrics.CauseCoherency, int64(h.cfg.LatL1+1))
+			lat += h.cfg.LatL1 + 1
+		} else if write {
+			h.l1.Invalidate(l)
+		}
+	}
+	if write && unit {
+		if l >= base && l+int64(h.org.LineSize()) <= base+int64(vl)*8 {
+			hit, wlat := h.l2Lookup(l, true, true)
+			lat += wlat
+			if !hit {
+				h.install(l, true)
+				h.org.MarkDirty(l)
+			}
+			return lat
+		}
+		lat += h.fillL2(l, true, true)
+		h.org.MarkDirty(l)
+		return lat
+	}
+	lat += h.fillL2(l, false, true)
+	if write {
+		h.org.MarkDirty(l)
+	}
+	return lat
+}
+
+// VectorAccess implements mem.Model with the same per-stride-class line
+// enumeration as mem.Hierarchy.VectorAccess (or, in reference mode, the
+// per-element walk of mem.ReferenceHierarchy — the two are proven to
+// visit identical line sequences by the differential tests).
+func (h *Hierarchy) VectorAccess(base, stride int64, vl int, write bool) int {
+	if vl < 1 {
+		vl = 1
+	}
+	h.detReset()
+	unit := stride == 8
+	lat := h.vectorHeader(stride, vl, unit)
+
+	ls := int64(h.org.LineSize())
+	if h.ref {
+		return lat + h.refWalk(base, stride, vl, write, unit, ls)
+	}
+	switch {
+	case stride >= 8 && stride <= ls && ls >= 8:
+		last := h.org.LineBase(base + int64(vl-1)*stride + 7)
+		for l := h.org.LineBase(base); l <= last; l += ls {
+			lat += h.vecLine(l, base, vl, write, unit)
+		}
+	case stride == 0 && ls >= 8:
+		first, second := h.org.LineBase(base), h.org.LineBase(base+7)
+		if first == second {
+			lat += h.vecLine(first, base, vl, write, unit)
+		} else {
+			for i := 0; i < vl; i++ {
+				lat += h.vecLine(first, base, vl, write, unit)
+				lat += h.vecLine(second, base, vl, write, unit)
+			}
+		}
+	case stride > ls && ls >= 8:
+		lastLine := int64(-1)
+		for i := 0; i < vl; i++ {
+			a := base + int64(i)*stride
+			l0, l1 := h.org.LineBase(a), h.org.LineBase(a+7)
+			if l0 != lastLine {
+				lat += h.vecLine(l0, base, vl, write, unit)
+			}
+			if l1 != l0 {
+				lat += h.vecLine(l1, base, vl, write, unit)
+			}
+			lastLine = l1
+		}
+	default:
+		lat += h.refWalk(base, stride, vl, write, unit, ls)
+	}
+	return lat
+}
+
+// refWalk is the reference per-element line enumeration: every element's
+// span line by line, deduplicating only against the immediately
+// previously visited line.
+func (h *Hierarchy) refWalk(base, stride int64, vl int, write, unit bool, ls int64) int {
+	lat := 0
+	lastLine := int64(-1)
+	for i := 0; i < vl; i++ {
+		a := base + int64(i)*stride
+		endLine := h.org.LineBase(a + 7)
+		for l := h.org.LineBase(a); l <= endLine; l += ls {
+			if l == lastLine {
+				continue
+			}
+			lastLine = l
+			lat += h.vecLine(l, base, vl, write, unit)
+		}
+	}
+	return lat
+}
+
+var _ mem.Model = (*Hierarchy)(nil)
+var _ mem.Detailed = (*Hierarchy)(nil)
+var _ VictimSink = (*Hierarchy)(nil)

@@ -1,0 +1,270 @@
+package cacheorg
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/mem"
+	"vsimdvliw/internal/metrics"
+)
+
+// This file carries the proof obligations of the pluggable organizations:
+//
+//   - per organization, the optimized stride-class walks must be
+//     bit-identical to the reference per-element walk on every latency,
+//     counter and stall component (the differential-oracle pattern of
+//     internal/mem, applied per organization);
+//   - the interleaved organization — and the banked one at N = 2 — must
+//     be bit-identical to the pre-existing mem.Hierarchy, proving the
+//     extraction changed nothing;
+//   - whole generated programs (internal/progen) must simulate
+//     identically under the fast and reference walks.
+
+// xorshift64 is the deterministic stream generator shared by the property
+// tests and the fuzzer (same construction as internal/mem's).
+type xorshift64 uint64
+
+func (x *xorshift64) next() uint64 {
+	v := uint64(*x)
+	if v == 0 {
+		v = 0x9e3779b97f4a7c15
+	}
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift64(v)
+	return v
+}
+
+// diffStrides covers every stride class of the optimized walks plus the
+// conflict strides of every bank count: 128 (2 banks x 64B lines), 256
+// (4 banks) and 512 (8 banks) serialize progressively larger banked
+// caches, and negative strides take the reference walk in both modes.
+var diffStrides = []int64{0, 1, 3, 7, 8, 16, 24, 56, 63, 64, 65, 70, 96, 128, 256, 512, 1024, -8, -64, -65}
+
+// orgSpec names one organization constructor so tests can build fresh,
+// identical instances for each side of a differential pair.
+type orgSpec struct {
+	name string
+	mk   func(cfg *machine.Config) Org
+}
+
+func orgSpecs() []orgSpec {
+	return []orgSpec{
+		{"interleaved", func(cfg *machine.Config) Org { return NewInterleaved(cfg) }},
+		{"bicameral", func(cfg *machine.Config) Org { return NewBicameral(cfg) }},
+		{"banked2", func(cfg *machine.Config) Org { return NewBanked(cfg, 2) }},
+		{"banked4", func(cfg *machine.Config) Org { return NewBanked(cfg, 4) }},
+		{"banked8", func(cfg *machine.Config) Org { return NewBanked(cfg, 8) }},
+	}
+}
+
+// side is one hierarchy of a differential pair, behind the common subset
+// both concrete types share.
+type side interface {
+	ScalarAccess(addr int64, size int, write bool) int
+	VectorAccess(base, stride int64, vl int, write bool) int
+	LastAccess() *metrics.Components
+	Stats() mem.Stats
+}
+
+// diffPair drives two hierarchies with the same pseudo-random access
+// stream, failing on the first divergence in latency, stall attribution
+// or statistics.
+type diffPair struct {
+	cfg  *machine.Config
+	fast side
+	ref  side
+	rng  xorshift64
+}
+
+func (p *diffPair) step(t *testing.T, i int) {
+	t.Helper()
+	v := p.rng.next()
+	write := v&1 != 0
+	var desc string
+	var got, want int
+	if v&2 != 0 || p.cfg.L2PortWords < 1 {
+		addr := int64((v >> 8) % (1<<21 - 8))
+		size := 1 << ((v >> 4) & 3)
+		desc = fmt.Sprintf("scalar addr=%#x size=%d write=%v", addr, size, write)
+		got = p.fast.ScalarAccess(addr, size, write)
+		want = p.ref.ScalarAccess(addr, size, write)
+	} else {
+		stride := diffStrides[(v>>16)%uint64(len(diffStrides))]
+		vl := int((v>>32)%16) + 1
+		base := int64((v >> 8) & 0xffff)
+		if stride < 0 {
+			base += -stride*int64(vl) + 8
+		}
+		desc = fmt.Sprintf("vector base=%#x stride=%d vl=%d write=%v", base, stride, vl, write)
+		got = p.fast.VectorAccess(base, stride, vl, write)
+		want = p.ref.VectorAccess(base, stride, vl, write)
+	}
+	if got != want {
+		t.Fatalf("access %d (%s): latency %d, reference %d", i, desc, got, want)
+	}
+	if g, w := *p.fast.LastAccess(), *p.ref.LastAccess(); g != w {
+		t.Fatalf("access %d (%s): stall components %v, reference %v", i, desc, g, w)
+	}
+	if g, w := p.fast.Stats(), p.ref.Stats(); g != w {
+		t.Fatalf("access %d (%s): stats %+v, reference %+v", i, desc, g, w)
+	}
+}
+
+func runDifferential(t *testing.T, p *diffPair, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		p.step(t, i)
+	}
+}
+
+// orgSnapshotsEqual compares the organization-specific counters of the
+// two sides (slices force reflect.DeepEqual; mem.Stats stays comparable).
+func orgSnapshotsEqual(t *testing.T, fast, ref *Hierarchy) {
+	t.Helper()
+	if g, w := fast.OrgStats(), ref.OrgStats(); !reflect.DeepEqual(g, w) {
+		t.Fatalf("organization stats %+v, reference %+v", g, w)
+	}
+}
+
+// TestDifferentialWalks pins, for every organization and configuration,
+// the optimized stride-class walks to the reference per-element walk.
+func TestDifferentialWalks(t *testing.T) {
+	cfgs := []*machine.Config{&machine.USIMD2, &machine.Vector2x2, &machine.Vector2x4}
+	for _, cfg := range cfgs {
+		for oi, spec := range orgSpecs() {
+			t.Run(fmt.Sprintf("%s/%s", cfg.Name, spec.name), func(t *testing.T) {
+				fast := New(cfg, spec.mk(cfg))
+				ref := NewReference(cfg, spec.mk(cfg))
+				p := &diffPair{cfg: cfg, fast: fast, ref: ref,
+					rng: xorshift64(0x9e3779b97f4a7c15 + uint64(oi))}
+				runDifferential(t, p, 10000)
+				orgSnapshotsEqual(t, fast, ref)
+			})
+		}
+	}
+}
+
+// TestDifferentialAgainstMemHierarchy proves the extraction lossless: the
+// interleaved organization — and the parameterized banked cache at the
+// paper's two banks — must match the pre-existing optimized mem.Hierarchy
+// access for access on latency, stall components and (folded) statistics.
+func TestDifferentialAgainstMemHierarchy(t *testing.T) {
+	cfgs := []*machine.Config{&machine.USIMD2, &machine.Vector2x2, &machine.Vector2x4}
+	twoBank := []orgSpec{orgSpecs()[0], orgSpecs()[2]} // interleaved, banked2
+	for _, cfg := range cfgs {
+		for oi, spec := range twoBank {
+			t.Run(fmt.Sprintf("%s/%s", cfg.Name, spec.name), func(t *testing.T) {
+				p := &diffPair{cfg: cfg,
+					fast: New(cfg, spec.mk(cfg)),
+					ref:  mem.NewHierarchy(cfg),
+					rng:  xorshift64(0x51ed270b + uint64(oi))}
+				runDifferential(t, p, 10000)
+			})
+		}
+	}
+}
+
+// FuzzCacheOrg fuzzes both equivalences over random seeds, stream
+// lengths, configurations and organizations. make ci includes a smoke
+// run (fuzz-cacheorg).
+func FuzzCacheOrg(f *testing.F) {
+	f.Add(uint64(1), uint16(500), uint8(0))
+	f.Add(uint64(0x9e3779b97f4a7c15), uint16(2000), uint8(7))
+	f.Add(uint64(42), uint16(100), uint8(30))
+	cfgs := []*machine.Config{&machine.USIMD2, &machine.Vector2x2, &machine.Vector2x4}
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, sel uint8) {
+		cfg := cfgs[int(sel)%len(cfgs)]
+		specs := orgSpecs()
+		spec := specs[int(sel>>2)%len(specs)]
+		steps := int(n%2048) + 32
+		fast := New(cfg, spec.mk(cfg))
+		ref := NewReference(cfg, spec.mk(cfg))
+		p := &diffPair{cfg: cfg, fast: fast, ref: ref, rng: xorshift64(seed)}
+		runDifferential(t, p, steps)
+		orgSnapshotsEqual(t, fast, ref)
+		if spec.name == "interleaved" || spec.name == "banked2" {
+			q := &diffPair{cfg: cfg,
+				fast: New(cfg, spec.mk(cfg)),
+				ref:  mem.NewHierarchy(cfg),
+				rng:  xorshift64(seed)}
+			runDifferential(t, q, steps)
+		}
+	})
+}
+
+// TestBicameralMigration exercises the cross-partition policy directly: a
+// line installed by a scalar access and then touched by a vector access
+// migrates to the vector partition, pays the migration penalty once, and
+// is attributed to CauseMigration.
+func TestBicameralMigration(t *testing.T) {
+	cfg := &machine.Vector2x2
+	h := New(cfg, NewBicameral(cfg))
+	const addr = 0x4000
+	// A scalar read installs the line in the scalar partition via the L1
+	// fill path (a write would leave a dirty L1 copy and add a coherency
+	// flush to the vector access below).
+	h.ScalarAccess(addr, 8, false)
+	cold := h.VectorAccess(0x80000, 8, 8, false)
+	warmOther := h.VectorAccess(0x80000, 8, 8, false)
+	_ = cold
+	migrated := h.VectorAccess(addr, 8, 8, false)
+	co := h.OrgStats()
+	if co.Migrations != 1 {
+		t.Fatalf("migrations = %d, want 1", co.Migrations)
+	}
+	if comp := h.LastAccess(); comp[metrics.CauseMigration] != int64(cfg.LatL2) {
+		t.Errorf("migration component = %d, want %d", comp[metrics.CauseMigration], cfg.LatL2)
+	}
+	if migrated != warmOther+cfg.LatL2 {
+		t.Errorf("migrated access latency = %d, want warm latency %d + migration penalty %d",
+			migrated, warmOther, cfg.LatL2)
+	}
+	// The line is home now: touching it again is a plain vector hit.
+	again := h.VectorAccess(addr, 8, 8, false)
+	if again != warmOther {
+		t.Errorf("post-migration access latency = %d, want %d", again, warmOther)
+	}
+	if co := h.OrgStats(); co.Migrations != 1 {
+		t.Errorf("second access migrated again: migrations = %d", co.Migrations)
+	}
+}
+
+// TestBankedStridedRates checks the banked arbitration arithmetic: more
+// banks serve non-unit strides faster, and the conflict stride of an
+// N-bank cache is N x lineSize.
+func TestBankedStridedRates(t *testing.T) {
+	cfg := &machine.Vector2x2 // 64B lines, 4-word port
+	cases := []struct {
+		banks    int
+		stride   int64
+		rate     int
+		conflict bool
+	}{
+		{2, 16, 1, false},
+		{2, 128, 1, true},
+		{4, 16, 2, false},
+		{4, 128, 2, false},
+		{4, 256, 1, true},
+		{8, 16, 4, false},
+		{8, 256, 4, false},
+		{8, 512, 1, true},
+	}
+	for _, c := range cases {
+		org := NewBanked(cfg, c.banks)
+		rate, conflict := org.StridedRate(c.stride)
+		if rate != c.rate || conflict != c.conflict {
+			t.Errorf("banked%d stride %d: rate=%d conflict=%v, want rate=%d conflict=%v",
+				c.banks, c.stride, rate, conflict, c.rate, c.conflict)
+		}
+	}
+	// cfg.L2Banks overrides the constructor's default count.
+	override := *cfg
+	override.L2Banks = 8
+	if org := NewBanked(&override, 4); org.Name() != "banked8" {
+		t.Errorf("L2Banks override ignored: %s", org.Name())
+	}
+}

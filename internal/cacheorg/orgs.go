@@ -1,0 +1,360 @@
+package cacheorg
+
+import (
+	"fmt"
+
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/mem"
+	"vsimdvliw/internal/metrics"
+)
+
+// geom is the shared line/bank index arithmetic: bank(addr) is the line
+// number modulo the bank count, matching mem.Hierarchy's interleaving
+// (consecutive lines on alternating banks). Line sizes are powers of two
+// in every paper configuration, so the index is a shift; the division
+// fallback keeps odd geometries correct.
+type geom struct {
+	line  int
+	shift uint
+	pow2  bool
+}
+
+func newGeom(line int) geom {
+	g := geom{line: line}
+	if line > 0 && line&(line-1) == 0 {
+		for n := line; n > 1; n >>= 1 {
+			g.shift++
+		}
+		g.pow2 = true
+	}
+	return g
+}
+
+func (g geom) lineNum(addr int64) int64 {
+	if g.pow2 {
+		return addr >> g.shift
+	}
+	return addr / int64(g.line)
+}
+
+func (g geom) lineBase(addr int64) int64 {
+	if g.pow2 {
+		return addr &^ int64(g.line-1)
+	}
+	return g.lineNum(addr) * int64(g.line)
+}
+
+// Interleaved is the paper's organization: one L2 tag store whose
+// consecutive lines map onto two interleaved banks, a non-unit stride
+// served at one word per cycle, and a bank conflict when the stride maps
+// every element onto one bank (a multiple of twice the line size). The
+// Hierarchy driving it is bit-identical to mem.Hierarchy with default
+// mem.Options.
+type Interleaved struct {
+	name      string
+	l2        *mem.Cache
+	g         geom
+	banks     int
+	portWords int
+	// stridedRate is the non-unit-stride service rate in words per cycle
+	// (1 for the paper's two banks; Banked widens it).
+	stridedRate int
+	hits        []int64
+	misses      []int64
+}
+
+// NewInterleaved builds the paper's two-bank interleaved L2 for cfg.
+func NewInterleaved(cfg *machine.Config) *Interleaved {
+	return newBankedOrg("interleaved", cfg, mem.NumL2Banks, 1)
+}
+
+func newBankedOrg(name string, cfg *machine.Config, banks, rate int) *Interleaved {
+	if rate < 1 {
+		rate = 1
+	}
+	return &Interleaved{
+		name:        name,
+		l2:          mem.NewCache(cfg.L2Bytes, cfg.L2Ways, cfg.L2Line),
+		g:           newGeom(cfg.L2Line),
+		banks:       banks,
+		portWords:   cfg.L2PortWords,
+		stridedRate: rate,
+		hits:        make([]int64, banks),
+		misses:      make([]int64, banks),
+	}
+}
+
+// NewBanked builds a parameterized N-bank L2. banks is the default bank
+// count; a positive cfg.L2Banks overrides it. With N banks, a non-unit
+// stride that does not conflict is served at N/2 words per cycle (capped
+// at the port width — the paper's N = 2 gives the one-word-per-cycle
+// strided port), and a stride that is a multiple of N times the line size
+// maps every element onto one bank and serializes. NewBanked with two
+// banks is timing-identical to NewInterleaved.
+func NewBanked(cfg *machine.Config, banks int) *Interleaved {
+	if cfg.L2Banks > 0 {
+		banks = cfg.L2Banks
+	}
+	rate := banks / 2
+	if rate > cfg.L2PortWords {
+		rate = cfg.L2PortWords
+	}
+	return newBankedOrg(fmt.Sprintf("banked%d", banks), cfg, banks, rate)
+}
+
+// Name implements Org.
+func (o *Interleaved) Name() string { return o.name }
+
+// LineSize implements Org.
+func (o *Interleaved) LineSize() int { return o.g.line }
+
+// LineBase implements Org.
+func (o *Interleaved) LineBase(addr int64) int64 { return o.g.lineBase(addr) }
+
+// PortWords implements Org.
+func (o *Interleaved) PortWords() int { return o.portWords }
+
+// StridedRate implements Org: a stride that is a multiple of
+// banks*lineSize maps every element onto one bank (conflict, one word per
+// cycle); anything else runs at the banked strided rate.
+func (o *Interleaved) StridedRate(stride int64) (int, bool) {
+	if stride%(int64(o.banks)*int64(o.g.line)) == 0 {
+		return 1, true
+	}
+	return o.stridedRate, false
+}
+
+// Lookup implements Org.
+func (o *Interleaved) Lookup(addr int64, write, vector bool) (bool, int64, metrics.Cause) {
+	bank := o.g.lineNum(addr) & int64(o.banks-1)
+	if o.l2.Lookup(addr, write) {
+		o.hits[bank]++
+		return true, 0, 0
+	}
+	o.misses[bank]++
+	return false, 0, 0
+}
+
+// Present implements Org.
+func (o *Interleaved) Present(addr int64) bool {
+	present, _ := o.l2.Probe(addr)
+	return present
+}
+
+// Install implements Org.
+func (o *Interleaved) Install(addr int64, vector bool) (int64, bool) {
+	base, ok, dirty := o.l2.Fill(addr)
+	return base, ok && dirty
+}
+
+// MarkDirty implements Org.
+func (o *Interleaved) MarkDirty(addr int64) { o.l2.MarkDirty(addr) }
+
+// Bind implements Org: a single tag store never evicts internally.
+func (o *Interleaved) Bind(VictimSink) {}
+
+// Snapshot implements Org.
+func (o *Interleaved) Snapshot() *Stats {
+	s := &Stats{
+		Org:        o.name,
+		Banks:      o.banks,
+		PortWords:  o.portWords,
+		BankHits:   append([]int64(nil), o.hits...),
+		BankMisses: append([]int64(nil), o.misses...),
+	}
+	return s
+}
+
+// ApplyStats implements Org: totals from the tag store, banks folded
+// modulo two into the fixed-width arrays of mem.Stats.
+func (o *Interleaved) ApplyStats(st *mem.Stats) {
+	st.L2Hits, st.L2Misses = o.l2.Hits, o.l2.Misses
+	for b := 0; b < o.banks; b++ {
+		st.L2BankHits[b&1] += o.hits[b]
+		st.L2BankMisses[b&1] += o.misses[b]
+	}
+}
+
+// Reset implements Org.
+func (o *Interleaved) Reset() {
+	o.l2.Reset()
+	for i := range o.hits {
+		o.hits[i], o.misses[i] = 0, 0
+	}
+}
+
+var _ Org = (*Interleaved)(nil)
+
+// Bicameral is a split scalar/vector L2 in the style of the Bicameral
+// Cache: scalar fills live in a small scalar partition, vector lines in
+// the remaining capacity, so vector streams cannot evict the scalar
+// working set (and vice versa). A timed access that finds its line in the
+// opposite partition migrates it home — invalidate there, fill here,
+// dirtiness carried over — counted as a hit of the home partition plus
+// one migration, and paying one extra L2 access attributed to
+// metrics.CauseMigration. Each partition keeps the paper's two-bank
+// interleave, so the strided port behaves exactly like the interleaved
+// organization's.
+type Bicameral struct {
+	scalar *mem.Cache
+	vector *mem.Cache
+	g      geom
+	// penalty is the cross-partition migration cost (one L2 access).
+	penalty     int64
+	portWords   int
+	scalarBytes int
+	vectorBytes int
+	sink        VictimSink
+	st          Stats
+}
+
+// NewBicameral builds the split cache for cfg. The scalar partition gets
+// cfg.L2ScalarBytes when positive, otherwise a quarter of the L2; the
+// vector partition gets the remainder. Associativity and line size are
+// shared with the unified cache.
+func NewBicameral(cfg *machine.Config) *Bicameral {
+	sb := cfg.L2ScalarBytes
+	if sb <= 0 {
+		sb = cfg.L2Bytes / 4
+	}
+	vb := cfg.L2Bytes - sb
+	return &Bicameral{
+		scalar:      mem.NewCache(sb, cfg.L2Ways, cfg.L2Line),
+		vector:      mem.NewCache(vb, cfg.L2Ways, cfg.L2Line),
+		g:           newGeom(cfg.L2Line),
+		penalty:     int64(cfg.LatL2),
+		portWords:   cfg.L2PortWords,
+		scalarBytes: sb,
+		vectorBytes: vb,
+	}
+}
+
+// Name implements Org.
+func (o *Bicameral) Name() string { return "bicameral" }
+
+// LineSize implements Org.
+func (o *Bicameral) LineSize() int { return o.g.line }
+
+// LineBase implements Org.
+func (o *Bicameral) LineBase(addr int64) int64 { return o.g.lineBase(addr) }
+
+// PortWords implements Org.
+func (o *Bicameral) PortWords() int { return o.portWords }
+
+// StridedRate implements Org: the vector partition keeps the two-bank
+// interleave of the paper's cache.
+func (o *Bicameral) StridedRate(stride int64) (int, bool) {
+	if stride%(mem.NumL2Banks*int64(o.g.line)) == 0 {
+		return 1, true
+	}
+	return 1, false
+}
+
+func (o *Bicameral) home(vector bool) (home, away *mem.Cache) {
+	if vector {
+		return o.vector, o.scalar
+	}
+	return o.scalar, o.vector
+}
+
+func (o *Bicameral) countHit(vector bool) {
+	if vector {
+		o.st.VectorHits++
+	} else {
+		o.st.ScalarHits++
+	}
+}
+
+// Lookup implements Org. A line is cached in at most one partition
+// (installs route home, migrations invalidate the source, and the
+// prefetcher checks Present across both), so the home lookup and the
+// cross-partition probe cover all cases.
+func (o *Bicameral) Lookup(addr int64, write, vector bool) (bool, int64, metrics.Cause) {
+	home, away := o.home(vector)
+	if home.Lookup(addr, write) {
+		o.countHit(vector)
+		return true, 0, 0
+	}
+	if present, _ := away.Probe(addr); present {
+		// Migrate the line home: the source invalidation carries the dirty
+		// bit over, and the home fill may evict a dirty victim that the
+		// hierarchy writes back to the L3.
+		_, dirty := away.Invalidate(addr)
+		if base, ok, vdirty := home.Fill(addr); ok && vdirty && o.sink != nil {
+			o.sink.PushVictim(base)
+		}
+		if dirty || write {
+			home.MarkDirty(addr)
+		}
+		o.st.Migrations++
+		o.countHit(vector)
+		return true, o.penalty, metrics.CauseMigration
+	}
+	if vector {
+		o.st.VectorMisses++
+	} else {
+		o.st.ScalarMisses++
+	}
+	return false, 0, 0
+}
+
+// Present implements Org.
+func (o *Bicameral) Present(addr int64) bool {
+	if p, _ := o.scalar.Probe(addr); p {
+		return true
+	}
+	p, _ := o.vector.Probe(addr)
+	return p
+}
+
+// Install implements Org: the line goes to its access class's home
+// partition.
+func (o *Bicameral) Install(addr int64, vector bool) (int64, bool) {
+	home, _ := o.home(vector)
+	base, ok, dirty := home.Fill(addr)
+	return base, ok && dirty
+}
+
+// MarkDirty implements Org: the line is in at most one partition, so
+// marking both is marking whichever holds it.
+func (o *Bicameral) MarkDirty(addr int64) {
+	o.scalar.MarkDirty(addr)
+	o.vector.MarkDirty(addr)
+}
+
+// Bind implements Org.
+func (o *Bicameral) Bind(sink VictimSink) { o.sink = sink }
+
+// Snapshot implements Org.
+func (o *Bicameral) Snapshot() *Stats {
+	s := o.st
+	s.Org = "bicameral"
+	s.PortWords = o.portWords
+	s.ScalarBytes = o.scalarBytes
+	s.VectorBytes = o.vectorBytes
+	return &s
+}
+
+// ApplyStats implements Org: the scalar partition reports as bank 0 and
+// the vector partition as bank 1, so the bank-sum oracle
+// (L2BankHits/L2BankMisses sum to L2Hits/L2Misses) holds for the split
+// cache too. Migrated accesses are hits of their home partition.
+func (o *Bicameral) ApplyStats(st *mem.Stats) {
+	st.L2Hits = o.st.ScalarHits + o.st.VectorHits
+	st.L2Misses = o.st.ScalarMisses + o.st.VectorMisses
+	st.L2BankHits[0] += o.st.ScalarHits
+	st.L2BankHits[1] += o.st.VectorHits
+	st.L2BankMisses[0] += o.st.ScalarMisses
+	st.L2BankMisses[1] += o.st.VectorMisses
+}
+
+// Reset implements Org.
+func (o *Bicameral) Reset() {
+	o.scalar.Reset()
+	o.vector.Reset()
+	sink := o.sink
+	o.st = Stats{}
+	o.sink = sink
+}
+
+var _ Org = (*Bicameral)(nil)

@@ -1,0 +1,67 @@
+package cacheorg_test
+
+// External test package: it drives whole simulations through internal/sim
+// (which imports cacheorg, so the in-package tests cannot).
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"vsimdvliw/internal/cacheorg"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/progen"
+	"vsimdvliw/internal/sched"
+	"vsimdvliw/internal/sim"
+)
+
+func progOrgSpecs() map[string]func(cfg *machine.Config) cacheorg.Org {
+	return map[string]func(cfg *machine.Config) cacheorg.Org{
+		"interleaved": func(cfg *machine.Config) cacheorg.Org { return cacheorg.NewInterleaved(cfg) },
+		"bicameral":   func(cfg *machine.Config) cacheorg.Org { return cacheorg.NewBicameral(cfg) },
+		"banked2":     func(cfg *machine.Config) cacheorg.Org { return cacheorg.NewBanked(cfg, 2) },
+		"banked4":     func(cfg *machine.Config) cacheorg.Org { return cacheorg.NewBanked(cfg, 4) },
+		"banked8":     func(cfg *machine.Config) cacheorg.Org { return cacheorg.NewBanked(cfg, 8) },
+	}
+}
+
+// TestDifferentialPrograms simulates generated programs (internal/progen)
+// end to end under the fast and reference walks of every organization and
+// requires identical complete results — cycles, stall attribution,
+// statistics and organization counters — plus the exact-sum stall
+// invariant.
+func TestDifferentialPrograms(t *testing.T) {
+	cfgs := []*machine.Config{&machine.Vector2x2, &machine.Vector2x4}
+	for seed := uint64(1); seed <= 12; seed++ {
+		p, err := progen.Generate(seed*7919, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := cfgs[int(seed)%len(cfgs)]
+		fs, err := sched.Schedule(p.Func, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Predecode(fs); err != nil {
+			t.Fatal(err)
+		}
+		for name, mk := range progOrgSpecs() {
+			t.Run(fmt.Sprintf("seed%d/%s", seed, name), func(t *testing.T) {
+				fast, err := sim.New(fs, cacheorg.New(cfg, mk(cfg))).Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, err := sim.New(fs, cacheorg.NewReference(cfg, mk(cfg))).Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(fast, ref) {
+					t.Errorf("fast walk diverges from reference:\n  fast: %+v\n  ref:  %+v", fast, ref)
+				}
+				if got := fast.Stalls.Total(); got != fast.StallCycles {
+					t.Errorf("stall breakdown sums to %d, want %d", got, fast.StallCycles)
+				}
+			})
+		}
+	}
+}

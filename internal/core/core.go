@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"vsimdvliw/internal/cacheorg"
 	"vsimdvliw/internal/ir"
 	"vsimdvliw/internal/machine"
 	"vsimdvliw/internal/mem"
@@ -41,18 +42,51 @@ const (
 	// interleaved L2 vector cache, coherency traffic and run-time stalls
 	// for misses and non-unit strides.
 	Realistic
+	// Interleaved: the realistic hierarchy rebuilt on the pluggable
+	// cacheorg.Interleaved organization — proven bit-identical to
+	// Realistic, and the baseline the alternative organizations below are
+	// compared against.
+	Interleaved
+	// Bicameral: a Bicameral-style split scalar/vector L2 with
+	// cross-partition line migration (cacheorg.Bicameral).
+	Bicameral
+	// Banked4 / Banked8: the parameterized N-bank L2 (cacheorg.NewBanked)
+	// at four and eight banks; machine.Config.L2Banks overrides the count.
+	Banked4
+	Banked8
+
+	numModels = int(Banked8) + 1
 )
 
-// Models lists the memory models in the paper's evaluation order.
+// Models lists the memory models in the paper's evaluation order: the
+// default two-model axis of the 120-cell matrix. The alternative L2
+// organizations are opt-in by name (see Organizations).
 var Models = []MemoryModel{Perfect, Realistic}
 
-// String returns the model's name as used in progress output and reports.
+// Organizations lists the cacheorg-backed models: the design-space axis
+// served as memory names "realistic:<org>".
+var Organizations = []MemoryModel{Interleaved, Bicameral, Banked4, Banked8}
+
+// AllModels lists every memory model: the paper's two plus the L2
+// organizations.
+var AllModels = []MemoryModel{Perfect, Realistic, Interleaved, Bicameral, Banked4, Banked8}
+
+// String returns the model's name as used in progress output, reports and
+// the served memory axis.
 func (m MemoryModel) String() string {
 	switch m {
 	case Perfect:
 		return "perfect"
 	case Realistic:
 		return "realistic"
+	case Interleaved:
+		return "realistic:interleaved"
+	case Bicameral:
+		return "realistic:bicameral"
+	case Banked4:
+		return "realistic:banked4"
+	case Banked8:
+		return "realistic:banked8"
 	}
 	return fmt.Sprintf("mem(%d)", int(m))
 }
@@ -76,7 +110,7 @@ type Program struct {
 	// pools recycle machines (register files, data memory, memory model)
 	// per memory model across Run calls; Machine.Reset restores the
 	// freshly-constructed state between runs.
-	pools [2]sync.Pool
+	pools [numModels]sync.Pool
 }
 
 // Compile schedules f for cfg, verifying ISA support and register
@@ -151,9 +185,18 @@ func CompileReference(f *ir.Func, cfg *machine.Config, opts sched.Options) (*Pro
 // the run (e.g. to verify kernel outputs).
 func (p *Program) NewMachine(model MemoryModel) *sim.Machine {
 	var mm mem.Model
-	if model == Perfect {
+	switch model {
+	case Perfect:
 		mm = mem.NewPerfect(p.Config)
-	} else {
+	case Interleaved:
+		mm = cacheorg.New(p.Config, cacheorg.NewInterleaved(p.Config))
+	case Bicameral:
+		mm = cacheorg.New(p.Config, cacheorg.NewBicameral(p.Config))
+	case Banked4:
+		mm = cacheorg.New(p.Config, cacheorg.NewBanked(p.Config, 4))
+	case Banked8:
+		mm = cacheorg.New(p.Config, cacheorg.NewBanked(p.Config, 8))
+	default:
 		mm = mem.NewHierarchy(p.Config)
 	}
 	return sim.New(p.Sched, mm)

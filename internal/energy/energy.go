@@ -37,6 +37,10 @@ type Model struct {
 	ExecPerMicroOp float64
 	// Memory access energies per event.
 	L1Access, L2Access, L3Access, MemAccess float64
+	// L2Migration is the cost of moving one line between the partitions of
+	// a bicameral split L2 (an extra read plus write of one line, about
+	// two L2 accesses).
+	L2Migration float64
 	// StaticPerUnitCycle charges leakage per functional unit per cycle:
 	// an 8-issue machine that finishes barely faster than a 4-issue one
 	// burns almost twice the idle power for it.
@@ -54,6 +58,7 @@ func Default() Model {
 		ExecPerMicroOp:     1.0,
 		L1Access:           4.0,
 		L2Access:           20.0,
+		L2Migration:        40.0,
 		L3Access:           60.0,
 		MemAccess:          400.0,
 		StaticPerUnitCycle: 0.2,
@@ -88,11 +93,39 @@ func (m Model) Estimate(res *sim.Result, cfg *machine.Config) Breakdown {
 	b.Exec = float64(res.MicroOps) * m.ExecPerMicroOp
 	st := res.Mem
 	b.Memory = float64(st.L1Hits+st.L1Misses)*m.L1Access +
-		float64(st.L2Hits+st.L2Misses+st.Prefetches)*m.L2Access +
+		m.l2Energy(res, cfg) +
 		float64(st.L3Hits+st.L3Misses)*m.L3Access +
 		float64(st.L3Misses)*m.MemAccess
 	b.Static = float64(res.Cycles) * m.StaticPerUnitCycle * float64(units(cfg))
 	return b
+}
+
+// l2Energy is the L2 term of the memory component. For the built-in
+// hierarchy it is L2Access per access (lookups plus prefetch fills). A
+// cacheorg run scales the per-access cost with the structure actually
+// cycled: a banked cache activates one bank of the capacity per access
+// (0.5 + 1/banks of the unified cost, normalized so the paper's two banks
+// cost exactly L2Access), a bicameral access cycles only its partition
+// (0.5 + 0.5*partition/total), and each migration pays L2Migration.
+func (m Model) l2Energy(res *sim.Result, cfg *machine.Config) float64 {
+	st := res.Mem
+	co := res.CacheOrg
+	if co == nil {
+		return float64(st.L2Hits+st.L2Misses+st.Prefetches) * m.L2Access
+	}
+	if co.Banks > 0 {
+		scale := 0.5 + 1.0/float64(co.Banks)
+		return float64(st.L2Hits+st.L2Misses+st.Prefetches) * m.L2Access * scale
+	}
+	// Bicameral: per-partition access costs plus migrations. Prefetch
+	// fills overwhelmingly install vector stream lines, so they are
+	// charged at the vector partition's cost.
+	total := float64(co.ScalarBytes + co.VectorBytes)
+	scaleS := 0.5 + 0.5*float64(co.ScalarBytes)/total
+	scaleV := 0.5 + 0.5*float64(co.VectorBytes)/total
+	return float64(co.ScalarHits+co.ScalarMisses)*m.L2Access*scaleS +
+		float64(co.VectorHits+co.VectorMisses+st.Prefetches)*m.L2Access*scaleV +
+		float64(co.Migrations)*m.L2Migration
 }
 
 // EDP returns the energy-delay product (energy x cycles), the standard

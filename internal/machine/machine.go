@@ -70,6 +70,18 @@ type Config struct {
 	L1Bytes, L1Ways, L1Line int
 	L2Bytes, L2Ways, L2Line int // the two-bank interleaved vector cache
 	L3Bytes, L3Ways, L3Line int
+
+	// L2 organization knobs (internal/cacheorg). Both zero values keep the
+	// paper's organization: two interleaved banks, and — for the bicameral
+	// split cache — a scalar partition of a quarter of the L2 capacity.
+	//
+	// L2Banks parameterizes the banked organization's bank count (a power
+	// of two; 0 uses the bank count implied by the selected memory model,
+	// e.g. 4 for realistic:banked4). L2ScalarBytes sizes the bicameral
+	// organization's scalar partition; the vector partition gets the
+	// remaining L2Bytes - L2ScalarBytes.
+	L2Banks       int
+	L2ScalarBytes int
 }
 
 // Validate checks internal consistency of the configuration.
@@ -89,6 +101,42 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("machine %s: vector ISA without an L2 vector port", c.Name)
 	case c.ISA == ISAVector && c.AccRegs < 1:
 		return fmt.Errorf("machine %s: vector ISA without accumulators", c.Name)
+	}
+	// Cache geometry: mem.NewCache silently floors the set count at one
+	// when bytes < ways*line and panics on non-positive parameters, so a
+	// bad geometry must be rejected here, before it reaches the tag
+	// stores.
+	caches := []struct {
+		level             string
+		bytes, ways, line int
+	}{
+		{"L1", c.L1Bytes, c.L1Ways, c.L1Line},
+		{"L2", c.L2Bytes, c.L2Ways, c.L2Line},
+		{"L3", c.L3Bytes, c.L3Ways, c.L3Line},
+	}
+	for _, l := range caches {
+		switch {
+		case l.bytes <= 0 || l.ways <= 0 || l.line <= 0:
+			return fmt.Errorf("machine %s: %s geometry %dB %d-way %dB-line: all parameters must be positive",
+				c.Name, l.level, l.bytes, l.ways, l.line)
+		case l.bytes%(l.ways*l.line) != 0:
+			return fmt.Errorf("machine %s: %s size %dB not divisible by ways*line = %d",
+				c.Name, l.level, l.bytes, l.ways*l.line)
+		}
+	}
+	if c.L2Banks != 0 {
+		if c.L2Banks < 1 || c.L2Banks&(c.L2Banks-1) != 0 {
+			return fmt.Errorf("machine %s: L2Banks %d must be a positive power of two", c.Name, c.L2Banks)
+		}
+	}
+	if c.L2ScalarBytes != 0 {
+		switch {
+		case c.L2ScalarBytes < 0 || c.L2ScalarBytes >= c.L2Bytes:
+			return fmt.Errorf("machine %s: L2ScalarBytes %d must be in (0, L2Bytes)", c.Name, c.L2ScalarBytes)
+		case c.L2ScalarBytes%(c.L2Ways*c.L2Line) != 0:
+			return fmt.Errorf("machine %s: L2ScalarBytes %d not divisible by ways*line = %d",
+				c.Name, c.L2ScalarBytes, c.L2Ways*c.L2Line)
+		}
 	}
 	return nil
 }

@@ -195,3 +195,48 @@ func TestISAKindString(t *testing.T) {
 		t.Error("ISAKind.String wrong")
 	}
 }
+
+// TestValidateCacheGeometry covers the geometry checks: non-positive
+// ways/line/bytes and sizes not divisible by ways*line must be rejected
+// for every level, as must bad organization knobs, while the paper's
+// defaults (and a legal non-power-of-two set count) pass.
+func TestValidateCacheGeometry(t *testing.T) {
+	base := Vector2x2 // value copy; mutated per case
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		ok   bool
+	}{
+		{"defaults", func(c *Config) {}, true},
+		{"l1 zero bytes", func(c *Config) { c.L1Bytes = 0 }, false},
+		{"l1 negative ways", func(c *Config) { c.L1Ways = -1 }, false},
+		{"l1 zero line", func(c *Config) { c.L1Line = 0 }, false},
+		{"l1 not divisible", func(c *Config) { c.L1Bytes = 16<<10 + 64 }, false},
+		{"l2 zero ways", func(c *Config) { c.L2Ways = 0 }, false},
+		{"l2 negative bytes", func(c *Config) { c.L2Bytes = -4096 }, false},
+		{"l2 not divisible", func(c *Config) { c.L2Bytes = c.L2Ways*c.L2Line*3 + 1 }, false},
+		{"l2 smaller than ways*line", func(c *Config) { c.L2Bytes = c.L2Ways*c.L2Line - c.L2Line }, false},
+		{"l3 zero line", func(c *Config) { c.L3Line = 0 }, false},
+		{"l3 not divisible", func(c *Config) { c.L3Bytes = 1<<20 - 32 }, false},
+		{"non-pow2 sets ok", func(c *Config) { c.L2Bytes = c.L2Ways * c.L2Line * 3 }, true},
+		{"banks pow2", func(c *Config) { c.L2Banks = 4 }, true},
+		{"banks not pow2", func(c *Config) { c.L2Banks = 3 }, false},
+		{"banks negative", func(c *Config) { c.L2Banks = -2 }, false},
+		{"scalar partition ok", func(c *Config) { c.L2ScalarBytes = 64 << 10 }, true},
+		{"scalar partition too big", func(c *Config) { c.L2ScalarBytes = c.L2Bytes }, false},
+		{"scalar partition negative", func(c *Config) { c.L2ScalarBytes = -512 }, false},
+		{"scalar partition not divisible", func(c *Config) { c.L2ScalarBytes = 64<<10 + 64 }, false},
+	}
+	for _, tc := range cases {
+		c := base
+		c.Name = "geom-" + tc.name
+		tc.mut(&c)
+		err := c.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error: %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected a validation error", tc.name)
+		}
+	}
+}

@@ -47,6 +47,10 @@ const (
 	// CauseCoherency: a dirty L1 line covering a vector access was flushed
 	// to the L2 and invalidated (exclusive-bit policy).
 	CauseCoherency
+	// CauseMigration: a bicameral split L2 served an access from the
+	// opposite partition, paying the cross-partition line migration
+	// (internal/cacheorg).
+	CauseMigration
 	// CauseBankConflict: a strided vector access whose stride maps every
 	// element onto the same L2 bank, serializing the banked port.
 	CauseBankConflict
@@ -63,7 +67,7 @@ const NumCauses = int(CauseOther) + 1
 
 var causeNames = [NumCauses]string{
 	"l3_miss", "l2_miss", "l1_miss", "edge_line",
-	"coherency", "bank_conflict", "stride", "other",
+	"coherency", "migration", "bank_conflict", "stride", "other",
 }
 
 // String returns the cause's snake_case name as used in JSON exports.

@@ -65,7 +65,7 @@ func TestStallBreakdownJSONDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := `{"l3_miss":0,"l2_miss":3,"l1_miss":0,"edge_line":0,"coherency":0,"bank_conflict":0,"stride":0,"other":1}`
+	want := `{"l3_miss":0,"l2_miss":3,"l1_miss":0,"edge_line":0,"coherency":0,"migration":0,"bank_conflict":0,"stride":0,"other":1}`
 	if string(out) != want {
 		t.Fatalf("breakdown JSON = %s, want %s", out, want)
 	}

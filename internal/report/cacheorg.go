@@ -1,0 +1,61 @@
+package report
+
+import (
+	"fmt"
+
+	"vsimdvliw/internal/apps"
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/energy"
+	"vsimdvliw/internal/machine"
+)
+
+// CacheOrgStudy compares the L2 cache organizations of internal/cacheorg
+// against the paper's built-in two-bank hierarchy: every benchmark on the
+// 2-issue Vector2 configuration, reporting cycles, energy and EDP per
+// organization normalized to the realistic baseline, plus the bicameral
+// migration traffic. The interleaved organization's ratios are exactly
+// 1.00 by construction (it is proven bit-identical to the baseline),
+// which makes this figure its own sanity check.
+func CacheOrgStudy() (string, error) {
+	cfg := &machine.Vector2x2
+	models := append([]core.MemoryModel{core.Realistic}, core.Organizations...)
+	mtx, err := collect(apps.All(), []*machine.Config{cfg}, models, Options{})
+	if err != nil {
+		return "", err
+	}
+	em := energy.Default()
+
+	t := &table{header: []string{"Benchmark", "Organization", "Cycles", "Cyc ratio", "Energy ratio", "EDP ratio", "Migrations"}}
+	sums := make(map[core.MemoryModel][3]float64, len(models))
+	for _, a := range apps.All() {
+		base := mtx.Get(a.Name, cfg.Name, core.Realistic)
+		baseE := em.Estimate(base, cfg).Total()
+		baseEDP := em.EDP(base, cfg)
+		for _, mm := range models {
+			r := mtx.Get(a.Name, cfg.Name, mm)
+			e := em.Estimate(r, cfg).Total()
+			edp := em.EDP(r, cfg)
+			migr := "-"
+			if r.CacheOrg != nil && r.CacheOrg.Org == "bicameral" {
+				migr = fmt.Sprintf("%d", r.CacheOrg.Migrations)
+			}
+			cr := float64(r.Cycles) / float64(base.Cycles)
+			er := e / baseE
+			dr := edp / baseEDP
+			s := sums[mm]
+			s[0] += cr
+			s[1] += er
+			s[2] += dr
+			sums[mm] = s
+			t.add(a.Name, mm.String(), fmt.Sprintf("%d", r.Cycles), f2(cr), f2(er), f2(dr), migr)
+		}
+	}
+	n := float64(len(apps.All()))
+	for _, mm := range models {
+		s := sums[mm]
+		t.add("AVERAGE", mm.String(), "", f2(s[0]/n), f2(s[1]/n), f2(s[2]/n), "")
+	}
+	return "Cache-organization study: cycles, energy and EDP per L2 organization,\n" +
+		"normalized to the paper's two-bank interleaved L2 (Vector2-2w)\n" +
+		t.String(), nil
+}

@@ -1,0 +1,157 @@
+package report
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"vsimdvliw/internal/cacheorg"
+	"vsimdvliw/internal/core"
+	"vsimdvliw/internal/machine"
+	"vsimdvliw/internal/mem"
+	"vsimdvliw/internal/metrics"
+)
+
+// cacheOrgs builds every organization for cfg, keyed for subtest names.
+func cacheOrgs(cfg *machine.Config) map[string]func() cacheorg.Org {
+	return map[string]func() cacheorg.Org{
+		"interleaved": func() cacheorg.Org { return cacheorg.NewInterleaved(cfg) },
+		"bicameral":   func() cacheorg.Org { return cacheorg.NewBicameral(cfg) },
+		"banked2":     func() cacheorg.Org { return cacheorg.NewBanked(cfg, 2) },
+		"banked4":     func() cacheorg.Org { return cacheorg.NewBanked(cfg, 4) },
+		"banked8":     func() cacheorg.Org { return cacheorg.NewBanked(cfg, 8) },
+	}
+}
+
+// TestMatrixDifferentialCacheOrgs replays the reduced matrix through every
+// cache organization twice — once with the optimized stride-class line
+// walks, once with the retained reference per-element walk — and requires
+// the complete simulation results to be identical, pinning the walks to
+// the oracle at application scale for every organization.
+func TestMatrixDifferentialCacheOrgs(t *testing.T) {
+	for _, a := range reducedApps(t) {
+		for _, cfg := range reducedCfgs {
+			built := a.Build(VariantFor(cfg))
+			prog, err := core.Compile(built.Func, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, mk := range cacheOrgs(cfg) {
+				t.Run(fmt.Sprintf("%s/%s/%s", a.Name, cfg.Name, name), func(t *testing.T) {
+					fast, err := prog.RunModel(cacheorg.New(cfg, mk()))
+					if err != nil {
+						t.Fatal(err)
+					}
+					ref, err := prog.RunModel(cacheorg.NewReference(cfg, mk()))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(fast, ref) {
+						t.Errorf("fast walk diverges from reference walk:\n  fast: %+v\n  ref:  %+v", fast, ref)
+					}
+					if got := fast.Stalls.Total(); got != fast.StallCycles {
+						t.Errorf("stall breakdown sums to %d, want %d", got, fast.StallCycles)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestMatrixCacheOrgInterleavedMatchesHierarchy proves the pluggable
+// two-bank organizations bit-identical to the pre-existing mem.Hierarchy
+// at application scale: every metric of the run — cycles, stall
+// attribution, memory statistics — must match, for both the interleaved
+// organization and the banked one at N = 2.
+func TestMatrixCacheOrgInterleavedMatchesHierarchy(t *testing.T) {
+	for _, a := range reducedApps(t) {
+		for _, cfg := range reducedCfgs {
+			built := a.Build(VariantFor(cfg))
+			prog, err := core.Compile(built.Func, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := prog.RunModel(mem.NewHierarchy(cfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, name := range []string{"interleaved", "banked2"} {
+				t.Run(fmt.Sprintf("%s/%s/%s", a.Name, cfg.Name, name), func(t *testing.T) {
+					org := cacheOrgs(cfg)[name]()
+					got, err := prog.RunModel(cacheorg.New(cfg, org))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got.CacheOrg == nil {
+						t.Fatal("cacheorg run carries no organization stats")
+					}
+					// The organization snapshot has no counterpart on the
+					// baseline result; everything else must be identical.
+					got.CacheOrg = nil
+					if !reflect.DeepEqual(got, base) {
+						t.Errorf("%s diverges from mem.Hierarchy:\n  org:  %+v\n  base: %+v", name, base, got)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCacheOrgRunInvariants runs one app per organization through the
+// public Run path (pooled machines) and asserts the exact-sum invariants:
+// the stall breakdown sums exactly to the stall cycles, every bank/
+// partition split sums to the L2 totals, and a bicameral run reports
+// partition traffic consistent with the folded mem.Stats.
+func TestCacheOrgRunInvariants(t *testing.T) {
+	a := reducedApps(t)[0]
+	cfg := &machine.Vector2x2
+	built := a.Build(VariantFor(cfg))
+	prog, err := core.Compile(built.Func, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mm := range core.Organizations {
+		t.Run(mm.String(), func(t *testing.T) {
+			r, err := prog.Run(mm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := r.Stalls.Total(); got != r.StallCycles {
+				t.Errorf("stall breakdown sums to %d, want %d", got, r.StallCycles)
+			}
+			if mm == core.Bicameral && r.Stalls[metrics.CauseMigration] == 0 {
+				t.Logf("note: no migration stalls on %s (allowed, but unexpected for mixed scalar/vector apps)", a.Name)
+			}
+			co := r.CacheOrg
+			if co == nil {
+				t.Fatal("no organization stats on cacheorg run")
+			}
+			var bh, bm int64
+			for _, v := range co.BankHits {
+				bh += v
+			}
+			for _, v := range co.BankMisses {
+				bm += v
+			}
+			if len(co.BankHits) > 0 {
+				if bh != r.Mem.L2Hits || bm != r.Mem.L2Misses {
+					t.Errorf("bank split %d/%d does not sum to L2 totals %d/%d",
+						bh, bm, r.Mem.L2Hits, r.Mem.L2Misses)
+				}
+			} else {
+				if co.ScalarHits+co.VectorHits != r.Mem.L2Hits ||
+					co.ScalarMisses+co.VectorMisses != r.Mem.L2Misses {
+					t.Errorf("partition split %d+%d/%d+%d does not sum to L2 totals %d/%d",
+						co.ScalarHits, co.VectorHits, co.ScalarMisses, co.VectorMisses,
+						r.Mem.L2Hits, r.Mem.L2Misses)
+				}
+			}
+			if fold := r.Mem.L2BankHits[0] + r.Mem.L2BankHits[1]; fold != r.Mem.L2Hits {
+				t.Errorf("folded bank hits %d != L2 hits %d", fold, r.Mem.L2Hits)
+			}
+			if fold := r.Mem.L2BankMisses[0] + r.Mem.L2BankMisses[1]; fold != r.Mem.L2Misses {
+				t.Errorf("folded bank misses %d != L2 misses %d", fold, r.Mem.L2Misses)
+			}
+		})
+	}
+}

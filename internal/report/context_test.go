@@ -5,6 +5,7 @@ import (
 	"errors"
 	"testing"
 
+	"vsimdvliw/internal/core"
 	"vsimdvliw/internal/sim"
 )
 
@@ -13,7 +14,7 @@ import (
 func TestCollectCanceled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := collect(reducedApps(t), reducedCfgs, Options{Parallelism: 4, Context: ctx})
+	_, err := collect(reducedApps(t), reducedCfgs, core.Models, Options{Parallelism: 4, Context: ctx})
 	if err == nil {
 		t.Fatal("canceled sweep returned no error")
 	}
@@ -25,11 +26,11 @@ func TestCollectCanceled(t *testing.T) {
 // TestCollectNilContextUnchanged checks the default path still sweeps to
 // completion with identical results.
 func TestCollectNilContextUnchanged(t *testing.T) {
-	withCtx, err := collect(reducedApps(t), reducedCfgs, Options{Parallelism: 2, Context: context.Background()})
+	withCtx, err := collect(reducedApps(t), reducedCfgs, core.Models, Options{Parallelism: 2, Context: context.Background()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := collect(reducedApps(t), reducedCfgs, Options{Parallelism: 2})
+	plain, err := collect(reducedApps(t), reducedCfgs, core.Models, Options{Parallelism: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

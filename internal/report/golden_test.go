@@ -52,6 +52,13 @@ func TestGoldenArtifacts(t *testing.T) {
 			}
 			return out
 		},
+		"cacheorg.txt": func() string {
+			out, err := CacheOrgStudy()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		},
 	}
 	if *updateGolden {
 		if err := os.MkdirAll("testdata/golden", 0o755); err != nil {

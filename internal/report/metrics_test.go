@@ -51,7 +51,7 @@ func checkCellInvariants(t *testing.T, label string, res *sim.Result) {
 // cell of the reduced app x config x memory-model matrix.
 func TestReducedMatrixInvariants(t *testing.T) {
 	a := reducedApps(t)
-	mtx, err := collect(a, reducedCfgs, Options{Parallelism: 4})
+	mtx, err := collect(a, reducedCfgs, core.Models, Options{Parallelism: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"vsimdvliw/internal/apps"
+	"vsimdvliw/internal/core"
 	"vsimdvliw/internal/machine"
 )
 
@@ -46,14 +47,14 @@ func TestCollectParallelMatchesSequential(t *testing.T) {
 // shared build/compile results are never written concurrently.
 func TestCollectReducedMatrixConcurrent(t *testing.T) {
 	a := reducedApps(t)
-	par, err := collect(a, reducedCfgs, Options{Parallelism: 8})
+	par, err := collect(a, reducedCfgs, core.Models, Options{Parallelism: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got, want := len(par.sortedKeys()), len(a)*len(reducedCfgs)*2; got != want {
 		t.Fatalf("collected %d cells, want %d", got, want)
 	}
-	seq, err := collect(a, reducedCfgs, Options{Parallelism: 1})
+	seq, err := collect(a, reducedCfgs, core.Models, Options{Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,10 +74,10 @@ func TestCollectReducedMatrixConcurrent(t *testing.T) {
 func TestCollectProgressDeterministic(t *testing.T) {
 	a := reducedApps(t)
 	var seq, par bytes.Buffer
-	if _, err := collect(a, reducedCfgs, Options{Parallelism: 1, Progress: &seq}); err != nil {
+	if _, err := collect(a, reducedCfgs, core.Models, Options{Parallelism: 1, Progress: &seq}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := collect(a, reducedCfgs, Options{Parallelism: 8, Progress: &par}); err != nil {
+	if _, err := collect(a, reducedCfgs, core.Models, Options{Parallelism: 8, Progress: &par}); err != nil {
 		t.Fatal(err)
 	}
 	if seq.String() != par.String() {

@@ -18,7 +18,7 @@ import (
 // the cells.
 func TestReferenceCompileMatchesCollect(t *testing.T) {
 	a := reducedApps(t)
-	mtx, err := collect(a, reducedCfgs, Options{Parallelism: 4})
+	mtx, err := collect(a, reducedCfgs, core.Models, Options{Parallelism: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

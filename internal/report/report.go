@@ -80,7 +80,7 @@ func Collect(progress io.Writer) (*Matrix, error) {
 
 // CollectOpts is Collect with explicit sweep options.
 func CollectOpts(o Options) (*Matrix, error) {
-	return collect(apps.All(), machine.All(), o)
+	return collect(apps.All(), machine.All(), core.Models, o)
 }
 
 // buildEntry memoizes apps.Build per (app, variant): the first worker that
@@ -123,18 +123,20 @@ type cell struct {
 	err  error
 }
 
-// collect runs the sweep over the given applications and configurations.
-// Every cell is independent: shared work (build, compile) is done once
-// through single-flight entries and then only read, so cells can run on
-// any number of goroutines while producing results identical to the
+// collect runs the sweep over the given applications, configurations and
+// memory models (the paper's matrix uses core.Models; the cache
+// organization study swaps in the cacheorg axis). Every cell is
+// independent: shared work (build, compile) is done once through
+// single-flight entries and then only read, so cells can run on any
+// number of goroutines while producing results identical to the
 // sequential sweep.
-func collect(appList []*apps.App, cfgs []*machine.Config, o Options) (*Matrix, error) {
+func collect(appList []*apps.App, cfgs []*machine.Config, models []core.MemoryModel, o Options) (*Matrix, error) {
 	workers := o.Parallelism
 	if workers <= 0 {
 		workers = core.DefaultParallelism()
 	}
 	// More workers than cells only costs goroutine churn.
-	if n := len(appList) * len(cfgs) * len(core.Models); workers > n && n > 0 {
+	if n := len(appList) * len(cfgs) * len(models); workers > n && n > 0 {
 		workers = n
 	}
 
@@ -160,7 +162,7 @@ func collect(appList []*apps.App, cfgs []*machine.Config, o Options) (*Matrix, e
 				ce = &compileEntry{build: be, cfg: cfg}
 				compiles[ck] = ce
 			}
-			for _, mm := range core.Models {
+			for _, mm := range models {
 				cells = append(cells, &cell{app: a, cfg: cfg, mem: mm, comp: ce})
 			}
 		}

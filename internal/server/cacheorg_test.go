@@ -1,0 +1,169 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestLookupMemoryOrganizations checks the served memory axis end to end:
+// every organization name resolves, and an unknown name's 400 enumerates
+// the full valid-value list (including the organizations), matching the
+// LookupApp/LookupConfig style.
+func TestLookupMemoryOrganizations(t *testing.T) {
+	for _, name := range AllMemoryNames() {
+		if _, err := LookupMemory(name); err != nil {
+			t.Errorf("LookupMemory(%q): %v", name, err)
+		}
+	}
+	_, err := LookupMemory("nope")
+	if err == nil {
+		t.Fatal("LookupMemory(nope) succeeded")
+	}
+	for _, name := range AllMemoryNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not enumerate %q", err, name)
+		}
+	}
+
+	_, url := startServer(t, Config{Workers: 1})
+	var er ErrorResponse
+	if code := post(t, url+"/v1/run", &RunRequest{App: "gsm_dec", Config: "Vector2-2w", Memory: "nope"}, &er); code != http.StatusBadRequest {
+		t.Fatalf("unknown memory: status %d, want 400", code)
+	}
+	for _, name := range []string{"perfect", "realistic", "realistic:interleaved", "realistic:bicameral", "realistic:banked4", "realistic:banked8"} {
+		if !strings.Contains(er.Error, name) {
+			t.Errorf("400 body %q does not enumerate %q", er.Error, name)
+		}
+	}
+}
+
+// TestRunCacheOrganizations serves every organization through /v1/run and
+// checks the contract of the new axis: each response carries the
+// organization's counter snapshot, every organization gets its own
+// result-cache fingerprint (distinct ETags), and the interleaved
+// organization's simulation metrics are bit-identical to the realistic
+// baseline (its own stats block aside).
+func TestRunCacheOrganizations(t *testing.T) {
+	_, url := startServer(t, Config{Workers: 2})
+
+	postRaw := func(mem string) (*http.Response, RunResponse) {
+		t.Helper()
+		body, _ := json.Marshal(&RunRequest{App: "mpeg2_enc", Config: "Vector2-2w", Memory: mem})
+		resp, err := http.Post(url+"/v1/run", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out RunResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("memory %q: status %d", mem, resp.StatusCode)
+		}
+		return resp, out
+	}
+
+	orgOf := map[string]string{
+		"realistic:interleaved": "interleaved",
+		"realistic:bicameral":   "bicameral",
+		"realistic:banked4":     "banked4",
+		"realistic:banked8":     "banked8",
+	}
+	_, base := postRaw("realistic")
+	if base.Stats.CacheOrg != nil {
+		t.Error("realistic run unexpectedly carries organization stats")
+	}
+	etags := map[string]string{}
+	for mem, wantOrg := range orgOf {
+		resp, out := postRaw(mem)
+		co := out.Stats.CacheOrg
+		if co == nil {
+			t.Fatalf("%s: no cacheorg stats in response", mem)
+		}
+		if co.Org != wantOrg {
+			t.Errorf("%s: organization %q, want %q", mem, co.Org, wantOrg)
+		}
+		etag := resp.Header.Get("ETag")
+		if etag == "" {
+			t.Fatalf("%s: no ETag", mem)
+		}
+		for other, e := range etags {
+			if e == etag {
+				t.Errorf("%s and %s share ETag %s", mem, other, etag)
+			}
+		}
+		etags[mem] = etag
+
+		if mem == "realistic:interleaved" {
+			// Bit-identical to the baseline apart from the organization
+			// stats block.
+			got := *out.Stats
+			got.CacheOrg = nil
+			if !sameResult(t, &got, base.Stats) {
+				t.Error("realistic:interleaved differs from realistic baseline")
+			}
+		}
+	}
+}
+
+// TestSweepAndVLSweepOrganizations runs the batch endpoints over the
+// organization axis: every cell must be served, and repeated sweeps hit
+// the per-organization result-cache entries.
+func TestSweepAndVLSweepOrganizations(t *testing.T) {
+	_, url := startServer(t, Config{Workers: 4})
+
+	req := SweepRequest{
+		Apps:     []string{"gsm_dec"},
+		Configs:  []string{"Vector2-2w"},
+		Memories: []string{"realistic", "realistic:interleaved", "realistic:bicameral", "realistic:banked4"},
+	}
+	var resp SweepResponse
+	if code := post(t, url+"/v1/sweep", &req, &resp); code != http.StatusOK {
+		t.Fatalf("POST /v1/sweep: status %d", code)
+	}
+	if resp.Errors != 0 || len(resp.Cells) != len(req.Memories) {
+		t.Fatalf("sweep: %d errors, %d cells (want 0, %d)", resp.Errors, len(resp.Cells), len(req.Memories))
+	}
+	for i, c := range resp.Cells {
+		if c.Memory != req.Memories[i] {
+			t.Errorf("cell %d memory %q, want %q (canonical order)", i, c.Memory, req.Memories[i])
+		}
+		if c.Stats == nil {
+			t.Errorf("cell %s has no stats", c.Memory)
+		}
+	}
+	// Same sub-matrix again: every cell must come from the result cache,
+	// proving organizations occupy distinct, stable fingerprints.
+	var again SweepResponse
+	if code := post(t, url+"/v1/sweep", &req, &again); code != http.StatusOK {
+		t.Fatalf("repeat sweep: status %d", code)
+	}
+	for _, c := range again.Cells {
+		if c.Cache != "result-hit" {
+			t.Errorf("repeat cell %s served %q, want result-hit", c.Memory, c.Cache)
+		}
+	}
+
+	vreq := VLSweepRequest{
+		Apps:     []string{"gsm_dec"},
+		Configs:  []string{"Vector2-2w"},
+		Memories: []string{"realistic:banked8"},
+		VLs:      []int{0, 8},
+	}
+	var vresp VLSweepResponse
+	if code := post(t, url+"/v1/vlsweep", &vreq, &vresp); code != http.StatusOK {
+		t.Fatalf("POST /v1/vlsweep: status %d", code)
+	}
+	if vresp.Errors != 0 || len(vresp.Cells) != 2 {
+		t.Fatalf("vlsweep: %d errors, %d cells (want 0, 2)", vresp.Errors, len(vresp.Cells))
+	}
+	for _, c := range vresp.Cells {
+		if c.Memory != "realistic:banked8" || c.Cycles <= 0 {
+			t.Errorf("vlsweep cell %+v: want banked8 with positive cycles", c)
+		}
+	}
+}

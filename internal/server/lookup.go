@@ -35,10 +35,21 @@ func ConfigNames() []string {
 	return out
 }
 
-// MemoryNames returns the memory model names in the paper's order.
+// MemoryNames returns the memory model names in the paper's order: the
+// default two-model axis of sweeps.
 func MemoryNames() []string {
 	out := make([]string, len(core.Models))
 	for i, m := range core.Models {
+		out[i] = m.String()
+	}
+	return out
+}
+
+// AllMemoryNames returns every served memory model name: the paper's two
+// plus the opt-in L2 organizations (realistic:interleaved and friends).
+func AllMemoryNames() []string {
+	out := make([]string, len(core.AllModels))
+	for i, m := range core.AllModels {
 		out[i] = m.String()
 	}
 	return out
@@ -62,17 +73,19 @@ func LookupConfig(name string) (*machine.Config, error) {
 		name, strings.Join(ConfigNames(), ", "))
 }
 
-// LookupMemory resolves a memory model by name. The empty string defaults
-// to the realistic hierarchy, matching the CLIs.
+// LookupMemory resolves a memory model by name — the paper's two models
+// or one of the L2 organizations. The empty string defaults to the
+// realistic hierarchy, matching the CLIs. The error enumerates the full
+// valid-value list, matching LookupApp/LookupConfig.
 func LookupMemory(name string) (core.MemoryModel, error) {
 	if name == "" {
 		return core.Realistic, nil
 	}
-	for _, m := range core.Models {
+	for _, m := range core.AllModels {
 		if m.String() == name {
 			return m, nil
 		}
 	}
 	return 0, fmt.Errorf("unknown memory model %q (valid: %s)",
-		name, strings.Join(MemoryNames(), ", "))
+		name, strings.Join(AllMemoryNames(), ", "))
 }

@@ -23,6 +23,7 @@ import (
 	"io"
 	"time"
 
+	"vsimdvliw/internal/cacheorg"
 	"vsimdvliw/internal/ir"
 	"vsimdvliw/internal/isa"
 	"vsimdvliw/internal/mem"
@@ -59,6 +60,10 @@ type Result struct {
 	Regions [MaxRegions]RegionStats `json:"regions"`
 	// Mem holds hierarchy statistics when the model is a *mem.Hierarchy.
 	Mem mem.Stats `json:"mem"`
+	// CacheOrg holds the organization-specific counters when the model is
+	// a *cacheorg.Hierarchy (bank splits, bicameral partition traffic and
+	// migrations); nil for the paper's built-in models.
+	CacheOrg *cacheorg.Stats `json:"cacheorg,omitempty"`
 	// Util holds the issue-slot and per-unit-class occupancy histograms
 	// (static schedule profiles weighted by run-time block-execution
 	// counts); every histogram sums exactly to Cycles.
@@ -363,6 +368,9 @@ func (m *Machine) finalize() *Result {
 		m.res.Mem = h.Stats()
 	case *mem.ReferenceHierarchy:
 		m.res.Mem = h.Stats()
+	case *cacheorg.Hierarchy:
+		m.res.Mem = h.Stats()
+		m.res.CacheOrg = h.OrgStats()
 	}
 	m.res.Util = m.utilization()
 	res := m.res
