@@ -12,6 +12,8 @@
 # scheduler (differential: fast path vs sched.ReferenceSchedule must be
 # schedule-identical), of the differential engine-equivalence harness (reference
 # interpreter vs pre-decoded engine over generated programs), of the
+# three-way v3 engine harness (threaded-code engine vs both retained
+# oracles, across memory models including cacheorg), of the
 # memory-hierarchy equivalence harness (optimized mem.Hierarchy vs
 # mem.ReferenceHierarchy over random access streams) and of the pluggable
 # L2 cache-organization harness (internal/cacheorg: fast stride-class
@@ -26,9 +28,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz fuzz-engine fuzz-mem fuzz-cacheorg bench bench-json bench-diff bench-report figures
+.PHONY: ci vet build test race fuzz fuzz-engine fuzz-engine3 fuzz-mem fuzz-cacheorg bench bench-json bench-diff bench-report figures
 
-ci: vet build test race fuzz fuzz-engine fuzz-mem fuzz-cacheorg bench-report
+ci: vet build test race fuzz fuzz-engine fuzz-engine3 fuzz-mem fuzz-cacheorg bench-report
 
 vet:
 	$(GO) vet ./...
@@ -47,6 +49,13 @@ fuzz:
 
 fuzz-engine:
 	$(GO) test ./internal/sim -run='^$$' -fuzz=FuzzEngineEquivalence -fuzztime=10s
+
+# fuzz-engine3 is the three-way differential smoke: the v3 threaded-code
+# engine must agree bit-for-bit with both retained oracles (reference
+# interpreter and v2 closure engine) on generated programs across memory
+# models, including the pluggable cacheorg organizations.
+fuzz-engine3:
+	$(GO) test ./internal/sim -run='^$$' -fuzz=FuzzEngine3 -fuzztime=10s
 
 fuzz-mem:
 	$(GO) test ./internal/mem -run='^$$' -fuzz=FuzzMemHierarchy -fuzztime=10s

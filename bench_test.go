@@ -23,6 +23,7 @@ import (
 	"vsimdvliw/internal/mem"
 	"vsimdvliw/internal/report"
 	"vsimdvliw/internal/sched"
+	"vsimdvliw/internal/sim"
 )
 
 var (
@@ -207,6 +208,47 @@ func BenchmarkSimulator(b *testing.B) {
 		ops = res.Ops
 	}
 	b.ReportMetric(float64(ops)*float64(b.N)/b.Elapsed().Seconds(), "sim_ops/s")
+}
+
+// benchmarkSimulatorEngine is BenchmarkSimulator pinned to a specific
+// execution engine: same app, config and memory model, one machine reset
+// and re-run per iteration.
+func benchmarkSimulatorEngine(b *testing.B, e sim.Engine, metric string) {
+	a, err := apps.ByName("mpeg2_enc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	built := a.Build(kernels.Vector)
+	prog, err := core.Compile(built.Func, &machine.Vector2x4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := prog.NewMachine(core.Realistic)
+	m.SetEngine(e)
+	b.ResetTimer()
+	var ops int64
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		res, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops = res.Ops
+	}
+	b.ReportMetric(float64(ops)*float64(b.N)/b.Elapsed().Seconds(), metric)
+}
+
+// BenchmarkSimulatorReference measures the reference interpreter on the
+// BenchmarkSimulator workload — the denominator of the v3 engine's
+// headline speedup.
+func BenchmarkSimulatorReference(b *testing.B) {
+	benchmarkSimulatorEngine(b, sim.EngineInterpreter, "sim_ops_ref/s")
+}
+
+// BenchmarkSimulatorV2 measures the retained v2 closure-compiled engine
+// on the BenchmarkSimulator workload.
+func BenchmarkSimulatorV2(b *testing.B) {
+	benchmarkSimulatorEngine(b, sim.EngineV2, "sim_ops_v2/s")
 }
 
 // BenchmarkScheduler measures static-scheduling throughput on the

@@ -27,6 +27,8 @@ import (
 type doc struct {
 	Date              string           `json:"date"`
 	SimOpsPerS        float64          `json:"sim_ops_per_s"`
+	SimOpsRefPerS     float64          `json:"sim_ops_ref_s"`
+	SimOpsV2PerS      float64          `json:"sim_ops_v2_s"`
 	ServiceReqPerS    float64          `json:"service_req_s"`
 	VLSweepCellsPerS  float64          `json:"vlsweep_cells_s"`
 	CacheOrgCellsPerS float64          `json:"cacheorg_cells_s"`
@@ -38,12 +40,16 @@ type bench struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
-// row is one compared metric.
+// row is one compared metric. A non-empty Note marks a metric present in
+// only one of the two documents ("new metric" / "dropped metric"): it is
+// reported instead of silently skipped, but never counts as a regression —
+// an older baseline predating a headline metric must not fail the diff.
 type row struct {
 	Name       string
 	Old, New   float64
 	DeltaPct   float64 // signed percent change, new vs old
 	Regression bool    // beyond threshold in the bad direction
+	Note       string  // "new metric" / "dropped metric" when not comparable
 }
 
 // lowerIsBetter reports the improvement direction of a metric by name:
@@ -75,8 +81,15 @@ func collectSpeedup(d *doc) float64 {
 func compare(old, new *doc, threshold float64) []row {
 	var rows []row
 	add := func(name string, o, n float64, lower bool) {
-		if o == 0 || n == 0 {
-			return // metric absent in one of the runs
+		switch {
+		case o == 0 && n == 0:
+			return // metric absent from both runs
+		case o == 0:
+			rows = append(rows, row{Name: name, New: n, Note: "new metric"})
+			return
+		case n == 0:
+			rows = append(rows, row{Name: name, Old: o, Note: "dropped metric"})
+			return
 		}
 		d := (n - o) / o * 100
 		bad := d < -threshold
@@ -86,23 +99,31 @@ func compare(old, new *doc, threshold float64) []row {
 		rows = append(rows, row{Name: name, Old: o, New: n, DeltaPct: d, Regression: bad})
 	}
 	add("sim_ops_per_s", old.SimOpsPerS, new.SimOpsPerS, false)
+	add("sim_ops_ref_s", old.SimOpsRefPerS, new.SimOpsRefPerS, false)
+	add("sim_ops_v2_s", old.SimOpsV2PerS, new.SimOpsV2PerS, false)
 	add("service_req_s", old.ServiceReqPerS, new.ServiceReqPerS, false)
 	add("vlsweep_cells_s", old.VLSweepCellsPerS, new.VLSweepCellsPerS, false)
 	add("cacheorg_cells_s", old.CacheOrgCellsPerS, new.CacheOrgCellsPerS, false)
 	add("Collect_parallel_speedup", collectSpeedup(old), collectSpeedup(new), false)
 
-	names := make([]string, 0, len(old.Benchmarks))
+	names := make([]string, 0, len(old.Benchmarks)+len(new.Benchmarks))
 	for name := range old.Benchmarks {
-		if _, ok := new.Benchmarks[name]; ok {
+		names = append(names, name)
+	}
+	for name := range new.Benchmarks {
+		if _, ok := old.Benchmarks[name]; !ok {
 			names = append(names, name)
 		}
 	}
 	sort.Strings(names)
 	for _, name := range names {
 		o, n := old.Benchmarks[name], new.Benchmarks[name]
-		metrics := make([]string, 0, len(o.Metrics))
+		metrics := make([]string, 0, len(o.Metrics)+len(n.Metrics))
 		for m := range o.Metrics {
-			if _, ok := n.Metrics[m]; ok {
+			metrics = append(metrics, m)
+		}
+		for m := range n.Metrics {
+			if _, ok := o.Metrics[m]; !ok {
 				metrics = append(metrics, m)
 			}
 		}
@@ -131,6 +152,10 @@ func render(w *os.File, oldPath, newPath string, rows []row) int {
 	fmt.Fprintf(w, "%-40s %14s %14s %8s\n", "metric", "old", "new", "delta")
 	regressions := 0
 	for _, r := range rows {
+		if r.Note != "" {
+			fmt.Fprintf(w, "%-40s %14.4g %14.4g %8s  %s\n", r.Name, r.Old, r.New, "-", r.Note)
+			continue
+		}
 		mark := ""
 		if r.Regression {
 			mark = "  REGRESSION"

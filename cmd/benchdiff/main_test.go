@@ -52,9 +52,39 @@ func TestCompareDirections(t *testing.T) {
 	if r := find(rows, "Simulator ns/op"); r == nil || r.Regression {
 		t.Errorf("Simulator ns/op drop flagged: %+v", r)
 	}
-	// Benchmarks present in only one file are skipped.
-	if find(rows, "OldOnly ns/op") != nil || find(rows, "NewOnly ns/op") != nil {
-		t.Error("unpaired benchmarks must not be compared")
+	// Benchmarks present in only one file are reported with a note rather
+	// than silently skipped, and never count as regressions.
+	if r := find(rows, "NewOnly ns/op"); r == nil || r.Note != "new metric" || r.Regression {
+		t.Errorf("NewOnly ns/op not reported as new metric: %+v", r)
+	}
+	if r := find(rows, "OldOnly ns/op"); r == nil || r.Note != "dropped metric" || r.Regression {
+		t.Errorf("OldOnly ns/op not reported as dropped metric: %+v", r)
+	}
+}
+
+// TestCompareNewHeadline models the situation the note rows exist for: an
+// old baseline predating a headline metric. The diff must surface the new
+// metric without flagging a regression at any threshold.
+func TestCompareNewHeadline(t *testing.T) {
+	old := &doc{SimOpsPerS: 30e6}
+	new := &doc{SimOpsPerS: 31e6, CacheOrgCellsPerS: 240}
+	rows := compare(old, new, 0)
+	r := find(rows, "cacheorg_cells_s")
+	if r == nil {
+		t.Fatal("cacheorg_cells_s missing from rows")
+	}
+	if r.Note != "new metric" || r.Regression {
+		t.Errorf("cacheorg_cells_s: %+v, want Note=\"new metric\", no regression", r)
+	}
+	for _, r := range rows {
+		if r.Regression {
+			t.Errorf("unexpected regression row: %+v", r)
+		}
+	}
+	// The reverse direction: a metric dropped from the new run.
+	rows = compare(new, old, 0)
+	if r := find(rows, "cacheorg_cells_s"); r == nil || r.Note != "dropped metric" || r.Regression {
+		t.Errorf("dropped cacheorg_cells_s: %+v", r)
 	}
 }
 

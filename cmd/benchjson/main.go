@@ -41,7 +41,16 @@ type output struct {
 	GOARCH     string  `json:"goarch"`
 	CPU        string  `json:"cpu,omitempty"`
 	Benchtime  string  `json:"benchtime"`
-	SimOpsPerS float64 `json:"sim_ops_per_s"`
+	// SimBenchtime is the separate (longer) -benchtime of the simulator
+	// benchmark family; see the -sim-benchtime flag.
+	SimBenchtime string  `json:"sim_benchtime,omitempty"`
+	SimOpsPerS   float64 `json:"sim_ops_per_s"`
+	// SimOpsRefPerS and SimOpsV2PerS pin the retained oracle engines —
+	// the reference interpreter and the v2 closure engine — to the same
+	// workload as SimOpsPerS, so the v3 engine's speedup over both is a
+	// one-field ratio in every BENCH file.
+	SimOpsRefPerS float64 `json:"sim_ops_ref_s"`
+	SimOpsV2PerS  float64 `json:"sim_ops_v2_s"`
 	// SchedOpsPerS is the compile-path headline: static-scheduling
 	// throughput of the fast scheduler on the BenchmarkSchedule workload
 	// (internal/sched; BenchmarkScheduleReference in the benchmarks map is
@@ -74,8 +83,10 @@ type output struct {
 func main() {
 	var (
 		out         = flag.String("out", "", "output file (default stdout)")
-		pattern     = flag.String("bench", "BenchmarkSimulator|BenchmarkScheduler|BenchmarkCollect|BenchmarkSchedule|BenchmarkCompile", "benchmark regexp to run")
+		pattern     = flag.String("bench", "BenchmarkScheduler|BenchmarkCollect|BenchmarkSchedule|BenchmarkCompile", "benchmark regexp to run")
 		benchtime   = flag.String("benchtime", "3x", "value for -benchtime")
+		simPattern  = flag.String("sim-bench", "BenchmarkSimulator", "simulator-family benchmark regexp (empty folds them into -bench)")
+		simTime     = flag.String("sim-benchtime", "300x", "value for -benchtime on the simulator family: the threaded-code engine runs one iteration in ~3ms, so a 3x window is dominated by one-time costs (branch-predictor and icache warm-up of the dispatch loop) and under-reports steady-state throughput")
 		serviceDur  = flag.Duration("service-duration", 2*time.Second, "in-process vsimdd load-burst length (0 disables)")
 		serviceConc = flag.Int("service-concurrency", runtime.NumCPU(), "load-burst client concurrency")
 		vlsweepVLs  = flag.String("vlsweep-vls", "1,2,4,6,8,10,12,16", "VL axis of the full-matrix /v1/vlsweep burst (empty disables)")
@@ -83,14 +94,21 @@ func main() {
 	)
 	flag.Parse()
 
-	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *pattern,
-		"-benchtime", *benchtime, ".", "./internal/sched", "./internal/core")
+	runs := [][]string{{"-run", "^$", "-bench", *pattern,
+		"-benchtime", *benchtime, ".", "./internal/sched", "./internal/core"}}
+	if *simPattern != "" {
+		runs = append(runs, []string{"-run", "^$", "-bench", *simPattern,
+			"-benchtime", *simTime, "."})
+	}
 	var buf bytes.Buffer
-	cmd.Stdout = &buf
-	cmd.Stderr = os.Stderr
-	if err := cmd.Run(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: go test: %v\n%s", err, buf.String())
-		os.Exit(1)
+	for _, args := range runs {
+		cmd := exec.Command("go", append([]string{"test"}, args...)...)
+		cmd.Stdout = &buf
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: go test: %v\n%s", err, buf.String())
+			os.Exit(1)
+		}
 	}
 
 	doc := output{
@@ -100,6 +118,9 @@ func main() {
 		GOARCH:     runtime.GOARCH,
 		Benchtime:  *benchtime,
 		Benchmarks: map[string]result{},
+	}
+	if *simPattern != "" {
+		doc.SimBenchtime = *simTime
 	}
 	sc := bufio.NewScanner(&buf)
 	for sc.Scan() {
@@ -115,6 +136,12 @@ func main() {
 		doc.Benchmarks[name] = res
 		if name == "Simulator" {
 			doc.SimOpsPerS = res.Metrics["sim_ops/s"]
+		}
+		if name == "SimulatorReference" {
+			doc.SimOpsRefPerS = res.Metrics["sim_ops_ref/s"]
+		}
+		if name == "SimulatorV2" {
+			doc.SimOpsV2PerS = res.Metrics["sim_ops_v2/s"]
 		}
 		if name == "Schedule" {
 			doc.SchedOpsPerS = res.Metrics["sched_ops/s"]
@@ -178,8 +205,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (sim_ops/s = %.0f, sched_ops/s = %.0f, service_req_s = %.1f, service_hot_req_s = %.1f, vlsweep_cells_s = %.1f, cacheorg_cells_s = %.1f)\n",
-		*out, doc.SimOpsPerS, doc.SchedOpsPerS, doc.ServiceReqPerS, doc.ServiceHotReqPerS, doc.VLSweepCellsPerS, doc.CacheOrgCellsPerS)
+	fmt.Printf("wrote %s (sim_ops/s = %.0f, sim_ops_ref/s = %.0f, sim_ops_v2/s = %.0f, sched_ops/s = %.0f, service_req_s = %.1f, service_hot_req_s = %.1f, vlsweep_cells_s = %.1f, cacheorg_cells_s = %.1f)\n",
+		*out, doc.SimOpsPerS, doc.SimOpsRefPerS, doc.SimOpsV2PerS, doc.SchedOpsPerS, doc.ServiceReqPerS, doc.ServiceHotReqPerS, doc.VLSweepCellsPerS, doc.CacheOrgCellsPerS)
 }
 
 // parseVLs parses the comma-separated -vlsweep-vls value.

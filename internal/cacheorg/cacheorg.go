@@ -130,10 +130,40 @@ type Hierarchy struct {
 	// optimized stride-class walks (the oracle for the differential
 	// tests).
 	ref bool
+	// Devirtualized fast path. New resolves the concrete organization up
+	// front so the per-line hot paths (lookup, present, install, line
+	// arithmetic, strided rate) branch on a nil check instead of
+	// dispatching through the Org interface, with the line geometry and
+	// port width cached beside them. NewReference clears these fields so
+	// the oracle keeps the plain interface walk — the generic path stays
+	// exercised by every differential run.
+	inter *Interleaved
+	bic   *Bicameral
+	g     geom
+	ls    int64
+	portW int
+	mono  bool
+	// pref memoizes the next-line prefetch probe issued after every L2
+	// access (see mem.Hierarchy's equivalent): an entry records that a
+	// line was present in the organization when its caches' Fill counters
+	// summed to fills. A line can only become absent through an eviction
+	// inside a Fill (a bicameral migration fills the home partition too),
+	// so a matching entry proves the prefetch would find the line present
+	// and return without touching any state — skipping the call is exact.
+	// Lines are stored +1 so the zero value never matches.
+	pref  [prefEntries]prefEnt
+	prefC [2]*mem.Cache
 	// Epoch-tagged per-access stall components (see mem.Hierarchy).
 	det      metrics.Components
 	detTag   [metrics.NumCauses]uint64
 	detEpoch uint64
+}
+
+const prefEntries = 256
+
+type prefEnt struct {
+	line  int64
+	fills int64
 }
 
 // New builds a hierarchy around org for cfg.
@@ -145,15 +175,41 @@ func New(cfg *machine.Config, org Org) *Hierarchy {
 		l3:  mem.NewCache(cfg.L3Bytes, cfg.L3Ways, cfg.L3Line),
 	}
 	org.Bind(h)
+	h.resolve()
 	return h
+}
+
+// resolve devirtualizes the shipped organizations: the hot paths branch
+// on the concrete fields, and line geometry and port width are constant
+// per organization so they are cached here. A custom Org stays on the
+// interface path (mono false) with no prefetch memo.
+func (h *Hierarchy) resolve() {
+	switch o := h.org.(type) {
+	case *Interleaved:
+		h.inter = o
+		h.prefC[0] = o.l2
+	case *Bicameral:
+		h.bic = o
+		h.prefC[0], h.prefC[1] = o.scalar, o.vector
+	default:
+		return
+	}
+	h.mono = true
+	h.g = newGeom(h.org.LineSize())
+	h.ls = int64(h.org.LineSize())
+	h.portW = h.org.PortWords()
 }
 
 // NewReference builds the hierarchy with the reference per-element vector
 // walk: the oracle the optimized stride-class walks are differentially
-// tested against, per organization.
+// tested against, per organization. It also undoes the devirtualization,
+// keeping the oracle on the generic Org-interface walk with no prefetch
+// memo, so every differential run exercises the plain path too.
 func NewReference(cfg *machine.Config, org Org) *Hierarchy {
 	h := New(cfg, org)
 	h.ref = true
+	h.inter, h.bic, h.mono = nil, nil, false
+	h.prefC = [2]*mem.Cache{}
 	return h
 }
 
@@ -188,6 +244,7 @@ func (h *Hierarchy) Reset() {
 	h.l1.Reset()
 	h.l3.Reset()
 	h.org.Reset()
+	h.pref = [prefEntries]prefEnt{}
 	h.st = mem.Stats{}
 	h.det.Reset()
 	h.detTag = [metrics.NumCauses]uint64{}
@@ -216,10 +273,97 @@ func (h *Hierarchy) detAdd(cause metrics.Cause, cycles int64) {
 	h.det[cause] += cycles
 }
 
+// The org* helpers are the devirtualized dispatch: a resolved hierarchy
+// reaches the shipped organizations through concrete (inlinable) calls
+// and cached geometry; anything else falls back to the Org interface.
+
+func (h *Hierarchy) orgLineBase(addr int64) int64 {
+	if h.mono {
+		return h.g.lineBase(addr)
+	}
+	return h.org.LineBase(addr)
+}
+
+func (h *Hierarchy) orgLineSize() int64 {
+	if h.mono {
+		return h.ls
+	}
+	return int64(h.org.LineSize())
+}
+
+func (h *Hierarchy) orgPortWords() int {
+	if h.mono {
+		return h.portW
+	}
+	return h.org.PortWords()
+}
+
+func (h *Hierarchy) orgStridedRate(stride int64) (int, bool) {
+	if h.inter != nil {
+		return h.inter.StridedRate(stride)
+	}
+	if h.bic != nil {
+		return h.bic.StridedRate(stride)
+	}
+	return h.org.StridedRate(stride)
+}
+
+func (h *Hierarchy) orgLookup(addr int64, write, vector bool) (bool, int64, metrics.Cause) {
+	if h.inter != nil {
+		return h.inter.Lookup(addr, write, vector)
+	}
+	if h.bic != nil {
+		return h.bic.Lookup(addr, write, vector)
+	}
+	return h.org.Lookup(addr, write, vector)
+}
+
+func (h *Hierarchy) orgPresent(addr int64) bool {
+	if h.inter != nil {
+		return h.inter.Present(addr)
+	}
+	if h.bic != nil {
+		return h.bic.Present(addr)
+	}
+	return h.org.Present(addr)
+}
+
+func (h *Hierarchy) orgInstall(addr int64, vector bool) (int64, bool) {
+	if h.inter != nil {
+		return h.inter.Install(addr, vector)
+	}
+	if h.bic != nil {
+		return h.bic.Install(addr, vector)
+	}
+	return h.org.Install(addr, vector)
+}
+
+func (h *Hierarchy) orgMarkDirty(addr int64) {
+	if h.inter != nil {
+		h.inter.MarkDirty(addr)
+		return
+	}
+	if h.bic != nil {
+		h.bic.MarkDirty(addr)
+		return
+	}
+	h.org.MarkDirty(addr)
+}
+
+// prefFills sums the Fill counters of the resolved organization's tag
+// stores: the version behind the prefetch memo.
+func (h *Hierarchy) prefFills() int64 {
+	f := h.prefC[0].Fills()
+	if h.prefC[1] != nil {
+		f += h.prefC[1].Fills()
+	}
+	return f
+}
+
 // l2Lookup is one timed organization lookup, charging any internal
 // penalty (e.g. a migration) to its cause.
 func (h *Hierarchy) l2Lookup(addr int64, write, vector bool) (hit bool, lat int) {
-	hit, extra, cause := h.org.Lookup(addr, write, vector)
+	hit, extra, cause := h.orgLookup(addr, write, vector)
 	if extra > 0 {
 		h.detAdd(cause, extra)
 		lat = int(extra)
@@ -250,14 +394,24 @@ func (h *Hierarchy) fillL2(addr int64, edge, vector bool) int {
 		h.install(addr, vector)
 		lat += fill
 	}
-	h.prefetch(h.org.LineBase(addr)+int64(h.org.LineSize()), vector)
+	line := h.orgLineBase(addr) + h.orgLineSize()
+	if h.mono {
+		ln := h.g.lineNum(line)
+		e := &h.pref[uint(ln)&(prefEntries-1)]
+		if e.line != ln+1 || e.fills != h.prefFills() {
+			h.prefetch(line, vector)
+			e.line, e.fills = ln+1, h.prefFills()
+		}
+	} else {
+		h.prefetch(line, vector)
+	}
 	return lat
 }
 
 // prefetch installs a line if absent anywhere in the organization,
 // without charging latency.
 func (h *Hierarchy) prefetch(line int64, vector bool) {
-	if h.org.Present(line) {
+	if h.orgPresent(line) {
 		return
 	}
 	if p3, _ := h.l3.Probe(line); !p3 {
@@ -270,7 +424,7 @@ func (h *Hierarchy) prefetch(line int64, vector bool) {
 // install fills a line into the organization, pushing a dirty victim to
 // the L3.
 func (h *Hierarchy) install(addr int64, vector bool) {
-	if base, dirty := h.org.Install(addr, vector); dirty {
+	if base, dirty := h.orgInstall(addr, vector); dirty {
 		h.PushVictim(base)
 	}
 }
@@ -284,7 +438,7 @@ func (h *Hierarchy) scalarLine(addr int64, write bool) (lat int, hit bool) {
 	h.detAdd(metrics.CauseL1Miss, int64(h.cfg.LatL2))
 	lat = h.cfg.LatL2 + h.fillL2(addr, false, false)
 	if base, ok, dirty := h.l1.Fill(addr); ok && dirty {
-		h.org.MarkDirty(base)
+		h.orgMarkDirty(base)
 	}
 	if write {
 		h.l1.MarkDirty(addr)
@@ -318,13 +472,13 @@ func (h *Hierarchy) vectorHeader(stride int64, vl int, unit bool) int {
 	lat := h.cfg.LatL2
 	if unit {
 		h.st.UnitVectorAccesses++
-		lat += (vl - 1) / h.org.PortWords()
+		lat += (vl - 1) / h.orgPortWords()
 		return lat
 	}
 	h.st.StridedVectorAccesses++
-	rate, conflict := h.org.StridedRate(stride)
+	rate, conflict := h.orgStridedRate(stride)
 	lat += (vl - 1) / rate
-	if extra := int64((vl-1)/rate - (vl-1)/h.org.PortWords()); extra > 0 {
+	if extra := int64((vl-1)/rate - (vl-1)/h.orgPortWords()); extra > 0 {
 		if conflict {
 			h.st.BankConflicts++
 			h.detAdd(metrics.CauseBankConflict, extra)
@@ -343,7 +497,7 @@ func (h *Hierarchy) vecLine(l, base int64, vl int, write, unit bool) int {
 	if present, dirty := h.l1.Probe(l); present {
 		if dirty {
 			h.l1.Invalidate(l)
-			h.org.MarkDirty(l)
+			h.orgMarkDirty(l)
 			h.st.CoherencyFlushes++
 			h.detAdd(metrics.CauseCoherency, int64(h.cfg.LatL1+1))
 			lat += h.cfg.LatL1 + 1
@@ -352,22 +506,22 @@ func (h *Hierarchy) vecLine(l, base int64, vl int, write, unit bool) int {
 		}
 	}
 	if write && unit {
-		if l >= base && l+int64(h.org.LineSize()) <= base+int64(vl)*8 {
+		if l >= base && l+h.orgLineSize() <= base+int64(vl)*8 {
 			hit, wlat := h.l2Lookup(l, true, true)
 			lat += wlat
 			if !hit {
 				h.install(l, true)
-				h.org.MarkDirty(l)
+				h.orgMarkDirty(l)
 			}
 			return lat
 		}
 		lat += h.fillL2(l, true, true)
-		h.org.MarkDirty(l)
+		h.orgMarkDirty(l)
 		return lat
 	}
 	lat += h.fillL2(l, false, true)
 	if write {
-		h.org.MarkDirty(l)
+		h.orgMarkDirty(l)
 	}
 	return lat
 }
@@ -384,18 +538,18 @@ func (h *Hierarchy) VectorAccess(base, stride int64, vl int, write bool) int {
 	unit := stride == 8
 	lat := h.vectorHeader(stride, vl, unit)
 
-	ls := int64(h.org.LineSize())
+	ls := h.orgLineSize()
 	if h.ref {
 		return lat + h.refWalk(base, stride, vl, write, unit, ls)
 	}
 	switch {
 	case stride >= 8 && stride <= ls && ls >= 8:
-		last := h.org.LineBase(base + int64(vl-1)*stride + 7)
-		for l := h.org.LineBase(base); l <= last; l += ls {
+		last := h.orgLineBase(base + int64(vl-1)*stride + 7)
+		for l := h.orgLineBase(base); l <= last; l += ls {
 			lat += h.vecLine(l, base, vl, write, unit)
 		}
 	case stride == 0 && ls >= 8:
-		first, second := h.org.LineBase(base), h.org.LineBase(base+7)
+		first, second := h.orgLineBase(base), h.orgLineBase(base+7)
 		if first == second {
 			lat += h.vecLine(first, base, vl, write, unit)
 		} else {
@@ -408,7 +562,7 @@ func (h *Hierarchy) VectorAccess(base, stride int64, vl int, write bool) int {
 		lastLine := int64(-1)
 		for i := 0; i < vl; i++ {
 			a := base + int64(i)*stride
-			l0, l1 := h.org.LineBase(a), h.org.LineBase(a+7)
+			l0, l1 := h.orgLineBase(a), h.orgLineBase(a+7)
 			if l0 != lastLine {
 				lat += h.vecLine(l0, base, vl, write, unit)
 			}
@@ -431,8 +585,8 @@ func (h *Hierarchy) refWalk(base, stride int64, vl int, write, unit bool, ls int
 	lastLine := int64(-1)
 	for i := 0; i < vl; i++ {
 		a := base + int64(i)*stride
-		endLine := h.org.LineBase(a + 7)
-		for l := h.org.LineBase(a); l <= endLine; l += ls {
+		endLine := h.orgLineBase(a + 7)
+		for l := h.orgLineBase(a); l <= endLine; l += ls {
 			if l == lastLine {
 				continue
 			}

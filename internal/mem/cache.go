@@ -78,11 +78,14 @@ type Cache struct {
 	setMask   int64 // sets-1 when pow2
 	pow2      bool  // lineSize and sets are both powers of two
 
-	tags  []int64 // [set*ways + way]
-	valid []bool
-	dirty []bool
-	stamp []int64
-	tick  int64
+	// meta packs each line's tag, LRU stamp and state into one 24-byte
+	// record so a lookup (including the stamp update every hit performs)
+	// touches one hardware cache line per way instead of two parallel
+	// arrays. renormStamps is still shared with the reference cache: the
+	// once-per-2^62-ticks renormalization copies the stamps out, ranks
+	// them, and copies them back (see touch).
+	meta []lineMeta // [set*ways + way]
+	tick int64
 
 	// MRU way filter: the location of the most recent hit or fill.
 	// Invariant: when mruWay >= 0, way mruWay of set mruSet is valid and
@@ -91,8 +94,56 @@ type Cache struct {
 	mruWay int
 	mruTag int64
 
+	// Probe filter: a small direct-mapped memo of recent Probe outcomes
+	// (indexed by set), short-circuiting the associative scan on repeat
+	// probes — coherency probes and prefetch presence checks revisit the
+	// same short cycle of lines heavily. It is self-verifying, so it
+	// cannot change any Probe result: a positive entry re-checks
+	// meta[] at its recorded way (and reads the dirty bit fresh);
+	// a negative entry is trusted only while the fill counter is
+	// unchanged — absence can only end with a Fill. The zero value is
+	// harmless: it reads as a positive claim for tag 0 at way 0 of set 0,
+	// which the verification step either confirms or falls through.
+	// The table lives at the end of the struct so its 6KB does not push
+	// the hot scalar fields below onto distant cache lines.
+	fills int64 // total Fill calls, versioning negative probe entries
+
+	// Line-range summary: [loLine, hiLine] over-approximates the set of
+	// line numbers ever filled since the last Reset (it never shrinks on
+	// eviction or invalidation), so a probe outside it is definitively
+	// absent. Vector coherency probes against the L1 hit this constantly:
+	// vector streams rarely share lines with the scalar working set.
+	loLine int64
+	hiLine int64
+
 	Hits   int64
 	Misses int64
+
+	pf [pfEntries]probeEnt
+}
+
+// pfEntries sizes the Probe filter (power of two). A motion-estimation
+// search window walks a few hundred distinct lines before repeating, so
+// the table must hold that many sets to avoid thrashing.
+const pfEntries = 256
+
+// probeEnt is one Probe-filter slot: the memoized outcome of probing
+// (set, tag). way >= 0 claims presence at that way (re-verified on use);
+// way == -1 records absence, valid while fills matches the cache's fill
+// counter.
+type probeEnt struct {
+	tag   int64
+	fills int64
+	set   int32
+	way   int32
+}
+
+// lineMeta is one cache line's tag store entry.
+type lineMeta struct {
+	tag   int64
+	stamp int64
+	valid bool
+	dirty bool
 }
 
 // log2 returns (log2(n), true) for positive powers of two.
@@ -120,11 +171,10 @@ func NewCache(bytes, ways, line int) *Cache {
 		lineSize: line,
 		sets:     sets,
 		ways:     ways,
-		tags:     make([]int64, n),
-		valid:    make([]bool, n),
-		dirty:    make([]bool, n),
-		stamp:    make([]int64, n),
+		meta:     make([]lineMeta, n),
 		mruWay:   -1,
+		loLine:   int64(1) << 62,
+		hiLine:   -1,
 	}
 	ls, ok1 := log2(line)
 	ss, ok2 := log2(sets)
@@ -142,6 +192,21 @@ func (c *Cache) LineBase(addr int64) int64 {
 // LineSize returns the cache's line size in bytes.
 func (c *Cache) LineSize() int { return c.lineSize }
 
+// Fills returns the total number of Fill calls since the last Reset. A
+// line can only become absent through an eviction inside a Fill, so an
+// unchanged Fills count proves every line present at the earlier reading
+// is still present — the versioning contract behind the negative probe
+// entries here and the prefetch memos of the hierarchies.
+func (c *Cache) Fills() int64 { return c.fills }
+
+// lineNum returns addr's line number (address divided by the line size).
+func (c *Cache) lineNum(addr int64) int64 {
+	if c.pow2 {
+		return addr >> c.lineShift
+	}
+	return addr / int64(c.lineSize)
+}
+
 func (c *Cache) index(addr int64) (set int, tag int64) {
 	if c.pow2 {
 		line := addr >> c.lineShift
@@ -152,11 +217,21 @@ func (c *Cache) index(addr int64) (set int, tag int64) {
 }
 
 // touch advances the LRU clock, renormalizing the stamps when it reaches
-// the 62-bit ceiling.
+// the 62-bit ceiling. The renormalization copies the stamps out through
+// the shared renormStamps helper and back — it runs once per 2^62 ticks,
+// so the copies cost nothing and the recency order stays in lock step
+// with the reference cache's.
 func (c *Cache) touch() {
 	c.tick++
 	if c.tick >= renormTick {
-		c.tick = renormStamps(c.stamp, c.sets, c.ways)
+		stamps := make([]int64, len(c.meta))
+		for i := range c.meta {
+			stamps[i] = c.meta[i].stamp
+		}
+		c.tick = renormStamps(stamps, c.sets, c.ways)
+		for i := range c.meta {
+			c.meta[i].stamp = stamps[i]
+		}
 	}
 }
 
@@ -167,25 +242,40 @@ func (c *Cache) Lookup(addr int64, write bool) bool {
 	set, tag := c.index(addr)
 	c.touch()
 	if c.mruWay >= 0 && c.mruSet == set && c.mruTag == tag {
-		i := set*c.ways + c.mruWay
-		c.stamp[i] = c.tick
+		mt := &c.meta[set*c.ways+c.mruWay]
+		mt.stamp = c.tick
 		if write {
-			c.dirty[i] = true
+			mt.dirty = true
 		}
 		c.Hits++
 		return true
 	}
-	base := set * c.ways
-	tags := c.tags[base : base+c.ways]
-	valid := c.valid[base : base+c.ways]
-	for w := range tags {
-		if valid[w] && tags[w] == tag {
-			i := base + w
-			c.stamp[i] = c.tick
+	// Way prediction: the Probe filter doubles as a set-indexed way
+	// predictor, catching the multi-line cycles (window walks) that the
+	// single-entry MRU filter cannot. A predicted way is verified against
+	// the tag store before use, so a stale entry only costs the scan.
+	e := &c.pf[uint(set)&(pfEntries-1)]
+	if e.set == int32(set) && e.tag == tag && e.way >= 0 {
+		if mt := &c.meta[set*c.ways+int(e.way)]; mt.valid && mt.tag == tag {
+			mt.stamp = c.tick
 			if write {
-				c.dirty[i] = true
+				mt.dirty = true
+			}
+			c.mruSet, c.mruWay, c.mruTag = set, int(e.way), tag
+			c.Hits++
+			return true
+		}
+	}
+	base := set * c.ways
+	ms := c.meta[base : base+c.ways]
+	for w := range ms {
+		if ms[w].valid && ms[w].tag == tag {
+			ms[w].stamp = c.tick
+			if write {
+				ms[w].dirty = true
 			}
 			c.mruSet, c.mruWay, c.mruTag = set, w, tag
+			*e = probeEnt{tag: tag, set: int32(set), way: int32(w)}
 			c.Hits++
 			return true
 		}
@@ -196,15 +286,29 @@ func (c *Cache) Lookup(addr int64, write bool) bool {
 
 // Probe reports presence and dirtiness without touching LRU or counters.
 func (c *Cache) Probe(addr int64) (present, dirty bool) {
+	if line := c.lineNum(addr); line < c.loLine || line > c.hiLine {
+		return false, false
+	}
 	set, tag := c.index(addr)
-	base := set * c.ways
-	tags := c.tags[base : base+c.ways]
-	valid := c.valid[base : base+c.ways]
-	for w := range tags {
-		if valid[w] && tags[w] == tag {
-			return true, c.dirty[base+w]
+	e := &c.pf[uint(set)&(pfEntries-1)]
+	if e.set == int32(set) && e.tag == tag {
+		if e.way >= 0 {
+			if mt := &c.meta[set*c.ways+int(e.way)]; mt.valid && mt.tag == tag {
+				return true, mt.dirty
+			}
+		} else if c.fills == e.fills {
+			return false, false
 		}
 	}
+	base := set * c.ways
+	ms := c.meta[base : base+c.ways]
+	for w := range ms {
+		if ms[w].valid && ms[w].tag == tag {
+			*e = probeEnt{tag: tag, set: int32(set), way: int32(w)}
+			return true, ms[w].dirty
+		}
+	}
+	*e = probeEnt{tag: tag, fills: c.fills, set: int32(set), way: -1}
 	return false, false
 }
 
@@ -215,28 +319,34 @@ func (c *Cache) Probe(addr int64) (present, dirty bool) {
 func (c *Cache) Fill(addr int64) (victimBase int64, victimValid, victimDirty bool) {
 	set, tag := c.index(addr)
 	c.touch()
+	c.fills++
+	if line := c.lineNum(addr); line < c.loLine || line > c.hiLine {
+		if line < c.loLine {
+			c.loLine = line
+		}
+		if line > c.hiLine {
+			c.hiLine = line
+		}
+	}
 	lru, lruStamp := -1, int64(1<<62)
 	for w := 0; w < c.ways; w++ {
 		i := set*c.ways + w
-		if !c.valid[i] {
+		if !c.meta[i].valid {
 			lru = i
 			lruStamp = -1
 			break
 		}
-		if c.stamp[i] < lruStamp {
-			lru, lruStamp = i, c.stamp[i]
+		if c.meta[i].stamp < lruStamp {
+			lru, lruStamp = i, c.meta[i].stamp
 		}
 	}
 	i := lru
-	if c.valid[i] {
+	if mt := &c.meta[i]; mt.valid {
 		victimValid = true
-		victimDirty = c.dirty[i]
-		victimBase = (c.tags[i]*int64(c.sets) + int64(set)) * int64(c.lineSize)
+		victimDirty = mt.dirty
+		victimBase = (mt.tag*int64(c.sets) + int64(set)) * int64(c.lineSize)
 	}
-	c.tags[i] = tag
-	c.valid[i] = true
-	c.dirty[i] = false
-	c.stamp[i] = c.tick
+	c.meta[i] = lineMeta{tag: tag, stamp: c.tick, valid: true}
 	// The fresh line is the most recently used entry of the cache.
 	c.mruSet, c.mruWay, c.mruTag = set, i-set*c.ways, tag
 	return victimBase, victimValid, victimDirty
@@ -250,11 +360,12 @@ func (c *Cache) Invalidate(addr int64) (present, dirty bool) {
 		c.mruWay = -1
 	}
 	for w := 0; w < c.ways; w++ {
-		i := set*c.ways + w
-		if c.valid[i] && c.tags[i] == tag {
-			c.valid[i] = false
-			d := c.dirty[i]
-			c.dirty[i] = false
+		if mt := &c.meta[set*c.ways+w]; mt.valid && mt.tag == tag {
+			d := mt.dirty
+			// The stamp survives invalidation, as it does in the reference
+			// cache's separate stamp array (invalid ways win victim
+			// selection outright, so it is unobservable until then).
+			*mt = lineMeta{stamp: mt.stamp}
 			return true, d
 		}
 	}
@@ -265,9 +376,8 @@ func (c *Cache) Invalidate(addr int64) (present, dirty bool) {
 func (c *Cache) MarkDirty(addr int64) {
 	set, tag := c.index(addr)
 	for w := 0; w < c.ways; w++ {
-		i := set*c.ways + w
-		if c.valid[i] && c.tags[i] == tag {
-			c.dirty[i] = true
+		if mt := &c.meta[set*c.ways+w]; mt.valid && mt.tag == tag {
+			mt.dirty = true
 			return
 		}
 	}
@@ -275,13 +385,15 @@ func (c *Cache) MarkDirty(addr int64) {
 
 // Reset clears all cache state and counters.
 func (c *Cache) Reset() {
-	for i := range c.valid {
-		c.valid[i] = false
-		c.dirty[i] = false
-		c.stamp[i] = 0
+	for i := range c.meta {
+		c.meta[i] = lineMeta{}
 	}
 	c.tick = 0
 	c.mruWay = -1
+	c.pf = [pfEntries]probeEnt{}
+	c.fills = 0
+	c.loLine = int64(1) << 62
+	c.hiLine = -1
 	c.Hits = 0
 	c.Misses = 0
 }

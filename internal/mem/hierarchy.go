@@ -109,7 +109,26 @@ type Hierarchy struct {
 	det      metrics.Components
 	detTag   [metrics.NumCauses]uint64
 	detEpoch uint64
+
+	// Prefetch memo: a direct-mapped table of L2 line numbers recently
+	// proven present (encoded +1 so the zero value never matches), each
+	// versioned by the L2 fill counter at proof time. A line's presence
+	// can only end with an L2 Fill evicting it, so while the counter is
+	// unchanged the prefetch would early-return on its presence probe —
+	// the memo skips the whole call without any observable difference.
+	pref [prefEntries]prefEnt
 }
+
+// prefEnt is one prefetch-memo slot: an L2 line number encoded +1 (zero
+// never matches) and the L2 fill count when its presence was proven.
+type prefEnt struct {
+	line  int64
+	fills int64
+}
+
+// prefEntries sizes the prefetch memo (power of two); like the cache
+// probe filter it must cover a search window's worth of distinct lines.
+const prefEntries = 256
 
 // NewHierarchy builds the hierarchy described by cfg with default options.
 func NewHierarchy(cfg *machine.Config) *Hierarchy {
@@ -148,6 +167,7 @@ func (h *Hierarchy) Reset() {
 	h.det.Reset()
 	h.detTag = [metrics.NumCauses]uint64{}
 	h.detEpoch = 0
+	h.pref = [prefEntries]prefEnt{}
 }
 
 // LastAccess implements Detailed. It materializes the epoch-tagged
@@ -230,7 +250,15 @@ func (h *Hierarchy) fillL2(addr int64, edge bool) int {
 	// only on their first line. It runs after the fill (the reference
 	// defers it), so the cache-state update order is identical.
 	if !h.opts.NoPrefetch {
-		h.prefetch(h.l2.LineBase(addr) + int64(h.l2.lineSize))
+		line := h.l2.LineBase(addr) + int64(h.l2.lineSize)
+		ln := h.l2.lineNum(line)
+		e := &h.pref[uint(ln)&(prefEntries-1)]
+		if e.line != ln+1 || e.fills != h.l2.fills {
+			h.prefetch(line)
+			// The line is in the L2 now, whether it was already present
+			// or the prefetch just installed it.
+			e.line, e.fills = ln+1, h.l2.fills
+		}
 	}
 	return lat
 }

@@ -1,0 +1,105 @@
+package sched
+
+import (
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+)
+
+// Fusion legality for the simulator's v3 threaded-code engine.
+//
+// The v3 engine peephole-fuses dominant adjacent operation pairs of the
+// six Mediabench applications into single dispatch words. Legality is a
+// property of the schedule's program order, so it lives here with the
+// rest of the per-operation schedule metadata: two operations may fuse
+// exactly when they are adjacent in the lowered stream of one basic
+// block (NOPs vanish during lowering and do not break adjacency; region
+// markers and every other operation do) and the pair matches one of the
+// shapes below. Fusion is purely a dispatch optimization — the machine's
+// cycle accounting is block-level (BlockSched.Length/II plus run-time
+// memory stalls), and a fused pair executes its two halves in program
+// order with the same memory-model calls, so timing, results and stall
+// attribution are bit-identical to unfused dispatch by construction.
+//
+// The fused shapes are the dominant dynamic pairs of the µSIMD and
+// vector variants (load→packed-op, packed-op chains such as SAD→
+// accumulate, packed-op→store, splat→op, and vector-load→accumulate):
+// e.g. ldm→psad and psad→padd in motion estimation, padd→pmull and
+// pmadd→padd in the DCT kernels, and vld→vsada in the vector SAD loops.
+
+// FusePair classifies one adjacent operation pair for the v3 engine.
+type FusePair int
+
+const (
+	// FuseNone: the pair does not fuse.
+	FuseNone FusePair = iota
+	// FuseLoadPacked is LDM followed by a two-source packed compute.
+	FuseLoadPacked
+	// FusePackedPacked is a chain of two two-source packed computes
+	// (the SAD/accumulate and unpack/arith chains).
+	FusePackedPacked
+	// FusePackedStore is a two-source packed compute followed by STM.
+	FusePackedStore
+	// FuseSplatPacked is PSPLAT followed by a two-source packed compute.
+	FuseSplatPacked
+	// FuseLoadAccum is VLD followed by a vector accumulate
+	// (VSADA/VMACA/VACCW) — the vector SAD/MAC chains.
+	FuseLoadAccum
+
+	// NumFusePairs is the number of classifications (including FuseNone).
+	NumFusePairs = int(FuseLoadAccum) + 1
+)
+
+// String names the classification for counters and test output.
+func (f FusePair) String() string {
+	switch f {
+	case FuseLoadPacked:
+		return "load_packed"
+	case FusePackedPacked:
+		return "packed_packed"
+	case FusePackedStore:
+		return "packed_store"
+	case FuseSplatPacked:
+		return "splat_packed"
+	case FuseLoadAccum:
+		return "load_accum"
+	}
+	return "none"
+}
+
+// packed2 reports whether op is a pure two-source packed compute
+// (SIMD,SIMD -> SIMD): the 26 µSIMD arithmetic/logical/pack operations.
+// Shifts (one source plus an immediate) and moves are excluded by the
+// signature check.
+func packed2(op *ir.Op) bool {
+	in := op.Info()
+	if in.Unit != isa.UnitSIMD {
+		return false
+	}
+	return len(in.Sig.Src) == 2 && in.Sig.Src[0] == isa.RegSIMD &&
+		in.Sig.Src[1] == isa.RegSIMD &&
+		len(in.Sig.Dst) == 1 && in.Sig.Dst[0] == isa.RegSIMD
+}
+
+// Fusable classifies the adjacent pair (a, b): the kind of fused
+// executor the v3 engine lowers it to, or FuseNone. Callers must only
+// pass pairs that are adjacent in the lowered stream of one block (after
+// NOP elision, with region markers breaking adjacency); under that
+// precondition every classification here is legal, because the fused
+// executor runs both halves in program order and the engine's cycle
+// accounting is block-level.
+func Fusable(a, b *ir.Op) FusePair {
+	switch {
+	case a.Opcode == isa.LDM && packed2(b):
+		return FuseLoadPacked
+	case a.Opcode == isa.PSPLAT && packed2(b):
+		return FuseSplatPacked
+	case packed2(a) && packed2(b):
+		return FusePackedPacked
+	case packed2(a) && b.Opcode == isa.STM:
+		return FusePackedStore
+	case a.Opcode == isa.VLD &&
+		(b.Opcode == isa.VSADA || b.Opcode == isa.VMACA || b.Opcode == isa.VACCW):
+		return FuseLoadAccum
+	}
+	return FuseNone
+}

@@ -72,22 +72,34 @@ type BlockSched struct {
 	profileOnce [2]sync.Once
 	profiles    [2]*Profile
 
-	// Memoized pre-decoded executor sequence for this block; see Code.
-	// The scheduler is agnostic to its shape (the simulator lowers the
-	// block), so the slot is typed any.
-	codeOnce sync.Once
-	code     any
-	codeErr  error
+	// Memoized pre-decoded executor sequences for this block, one slot per
+	// lowered representation (CodeV2 closures, CodeV3 threaded-code words);
+	// see Code. The scheduler is agnostic to their shape (the simulator
+	// lowers the block), so the slots are typed any.
+	codeOnce [NumCodeSlots]sync.Once
+	code     [NumCodeSlots]any
+	codeErr  [NumCodeSlots]error
 }
 
-// Code returns the block's pre-decoded code, building it on first use via
-// build and memoizing the result. Concurrent machines sharing the schedule
-// lower each block at most once (the same single-flight discipline as
-// Profile); the first caller's build wins, so all users of a schedule must
-// agree on the lowered representation.
-func (bs *BlockSched) Code(build func(*BlockSched) (any, error)) (any, error) {
-	bs.codeOnce.Do(func() { bs.code, bs.codeErr = build(bs) })
-	return bs.code, bs.codeErr
+// Code memoization slots: each lowered representation of a block gets its
+// own slot so machines selecting different engines can share one schedule.
+const (
+	// CodeV2 holds the closure-slice lowering (sim predecode v2).
+	CodeV2 = 0
+	// CodeV3 holds the threaded-code word-stream lowering (sim engine v3).
+	CodeV3 = 1
+	// NumCodeSlots is the number of memoization slots.
+	NumCodeSlots = 2
+)
+
+// Code returns the block's pre-decoded code for the given slot, building
+// it on first use via build and memoizing the result. Concurrent machines
+// sharing the schedule lower each block at most once per slot (the same
+// single-flight discipline as Profile); the first caller's build wins, so
+// all users of a slot must agree on its lowered representation.
+func (bs *BlockSched) Code(slot int, build func(*BlockSched) (any, error)) (any, error) {
+	bs.codeOnce[slot].Do(func() { bs.code[slot], bs.codeErr[slot] = build(bs) })
+	return bs.code[slot], bs.codeErr[slot]
 }
 
 // FuncSched is a fully scheduled function for one machine configuration.

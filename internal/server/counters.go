@@ -192,6 +192,15 @@ func (m *serverMetrics) writePrometheus(w io.Writer, cacheLen, resultLen, queueD
 	}
 	m.runMu.Unlock()
 
+	fmt.Fprintf(w, "# HELP vsimdd_engine_info Execution engine serving this daemon (info-style gauge, value is always 1).\n")
+	fmt.Fprintf(w, "# TYPE vsimdd_engine_info gauge\n")
+	fmt.Fprintf(w, "vsimdd_engine_info{version=%q} 1\n", sim.EngineVersion)
+	fmt.Fprintf(w, "# HELP vsimdd_fused_ops_lowered_total Statically fused operation pairs lowered by the v3 engine, by fusion kind (process-wide; counted once per block per schedule).\n")
+	fmt.Fprintf(w, "# TYPE vsimdd_fused_ops_lowered_total counter\n")
+	for _, fc := range sim.FusionLowered() {
+		fmt.Fprintf(w, "vsimdd_fused_ops_lowered_total{kind=%q} %d\n", fc.Kind, fc.Count)
+	}
+
 	fmt.Fprintf(w, "# HELP vsimdd_uptime_seconds Seconds since the daemon started.\n")
 	fmt.Fprintf(w, "# TYPE vsimdd_uptime_seconds gauge\n")
 	fmt.Fprintf(w, "vsimdd_uptime_seconds %g\n", time.Since(m.start).Seconds())

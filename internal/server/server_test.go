@@ -14,6 +14,7 @@ import (
 
 	"vsimdvliw/internal/core"
 	"vsimdvliw/internal/report"
+	"vsimdvliw/internal/sched"
 	"vsimdvliw/internal/sim"
 )
 
@@ -406,6 +407,7 @@ func TestMetricsEndpointInvariants(t *testing.T) {
 		t.Fatalf("content type %q", ct)
 	}
 	vals := map[string]float64{}
+	fused := map[string]float64{}
 	var causeSum float64
 	sc := newLineScanner(t, resp)
 	for _, line := range sc {
@@ -422,6 +424,10 @@ func TestMetricsEndpointInvariants(t *testing.T) {
 		}
 		if strings.HasPrefix(name, "vsimdd_served_stall_cycles_by_cause_total{") {
 			causeSum += v
+			continue
+		}
+		if kind, ok := strings.CutPrefix(name, `vsimdd_fused_ops_lowered_total{kind="`); ok {
+			fused[strings.TrimSuffix(kind, `"}`)] = v
 			continue
 		}
 		vals[name] = v
@@ -446,6 +452,25 @@ func TestMetricsEndpointInvariants(t *testing.T) {
 	}
 	if vals["vsimdd_result_cache_hits_total"] != 3 {
 		t.Fatalf("result_cache_hits_total = %.0f, want 3", vals["vsimdd_result_cache_hits_total"])
+	}
+	// The daemon advertises which execution engine serves it, and exports
+	// the static fusion counters: one series per fusion kind, with at least
+	// one kind non-zero after the vector workload above (the counters are
+	// process-wide, so only a lower bound is stable here).
+	if vals[`vsimdd_engine_info{version="`+sim.EngineVersion+`"}`] != 1 {
+		t.Fatalf("vsimdd_engine_info{version=%q} missing or not 1", sim.EngineVersion)
+	}
+	var fusedSum float64
+	for k := 1; k < sched.NumFusePairs; k++ {
+		kind := sched.FusePair(k).String()
+		v, ok := fused[kind]
+		if !ok {
+			t.Errorf("vsimdd_fused_ops_lowered_total{kind=%q} series missing", kind)
+		}
+		fusedSum += v
+	}
+	if fusedSum == 0 {
+		t.Error("all fused-op counters zero after a vector workload")
 	}
 }
 

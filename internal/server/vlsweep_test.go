@@ -226,8 +226,10 @@ func TestVLSweepCanceled(t *testing.T) {
 	cfgNames := ConfigNames()
 	wantCells := len(cfgNames) * 2 * len(vls)
 
+	// The deadline race is probabilistic (the v3 engine can finish small
+	// sweeps inside the 60ms window), so retry a few times.
 	sawPartial := false
-	for attempt := 0; attempt < 3 && !sawPartial; attempt++ {
+	for attempt := 0; attempt < 6 && !sawPartial; attempt++ {
 		req := base
 		req.Fresh = true
 		req.TimeoutMS = 60 // the fresh sweep needs ~1s+ of simulation

@@ -1,0 +1,1015 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"vsimdvliw/internal/ir"
+	"vsimdvliw/internal/isa"
+	"vsimdvliw/internal/sched"
+	"vsimdvliw/internal/simd"
+)
+
+// Execution engine v3: threaded-code dispatch over a flat struct-of-arrays
+// instruction stream. Where the v2 engine (predecode.go) lowers each
+// operation into a specialized closure and executes a block as a slice of
+// indirect calls, v3 lowers each operation into one decoded word — an
+// opcode-family index, width, register indices, immediate, and the
+// resolved packed-lane function — and executes a block as one tight loop
+// over a single dense switch (a jump table), with no per-op call overhead.
+//
+// Three further transformations ride on the flat stream:
+//
+//   - peephole fusion: the dominant adjacent pairs of the six Mediabench
+//     applications (load→packed-op, packed-op chains, packed-op→store,
+//     splat→op, vector-load→accumulate; see sched.Fusable) are merged
+//     into single fused dispatch words executing both halves in program
+//     order. Fusion is purely a dispatch optimization — cycle accounting
+//     is block-level and the memory-model calls are unchanged, so fused
+//     execution is bit-identical to unfused by construction.
+//
+//   - span-bulk accounting: the per-op Ops/MicroOps counters are
+//     precomputed per stall-free span (runs of operations between region
+//     markers and SETVLs, within which VL and the active region are
+//     constant) and charged by one accounting word per span, replacing a
+//     counter update per operation. microParts provides the compile-time
+//     (base, perVL) factors, so span totals equal the per-op sums exactly.
+//
+//   - batched accumulation: VSADA/VMACA/VACCW use the vector-granular
+//     simd.Acc methods (SADBV/MACWV/ACCWV), which wrap once per vector
+//     operation instead of once per element — bit-identical by the wrap
+//     congruence argument documented in internal/simd/acc.go.
+//
+// The v2 engine and the original interpreter are retained unchanged as
+// bit-identical oracles: the three-way differential tests and FuzzEngine3
+// prove all engines agree on registers, memory, cycles, exact-sum stall
+// breakdowns, utilization, and per-organization cache counters.
+
+// EngineVersion names the default execution engine; the served layer
+// exports it so a deployment can confirm which engine is live.
+const EngineVersion = "v3"
+
+// Opcode families of the v3 dispatch word. The dispatch switch over these
+// constants is dense, so the compiler emits a jump table.
+const (
+	famAcct uint16 = iota // span accounting word (d indexes blockCode3.accts)
+	famRB                 // region begin (imm = region id)
+	famRE                 // region end (imm = region id)
+
+	famMOVI
+	famMOV
+
+	// Scalar ALU ops get one family per opcode (register form; the
+	// immediate form is always the next constant) so the hot integer
+	// loop-control and addressing arithmetic executes inline in the
+	// dispatch switch instead of through an indirect aluFn call.
+	famADD
+	famADDI
+	famSUB
+	famSUBI
+	famMUL
+	famMULI
+	famAND
+	famANDI
+	famOR
+	famORI
+	famXOR
+	famXORI
+	famSHL
+	famSHLI
+	famSHR
+	famSHRI
+	famSRA
+	famSRAI
+	famCMPEQ
+	famCMPEQI
+	famCMPNE
+	famCMPNEI
+	famCMPLT
+	famCMPLTI
+	famCMPLE
+	famCMPLEI
+	famCMPLTU
+	famCMPLTUI
+
+	famDIV
+	famDIVI
+	famSELECT
+	famLD // flg = access size | flgSigned
+	famST // flg = access size
+	famBEQ
+	famBNE
+	famBLT
+	famBGE
+	famJMP
+	famHALT
+
+	famLDM
+	famSTM
+	famMOVIM
+	famMOVRM
+	famMOVMR
+	famPSPLAT
+	famPSH // fn1 = resolved immediate packed shift
+	famP2  // fn = resolved two-source packed compute
+
+	famSETVLI
+	famSETVLR
+	famSETVSI
+	famSETVSR
+
+	famVLD
+	famVST
+	famVMOV
+	famVSPLAT
+	famVSH
+	famV2
+	famVEXTR
+	famVINS
+	famACLR
+	famVSADA
+	famVMACA
+	famVACCW
+	famVSUM
+	famAPACK
+
+	// Fused families: two operations per dispatch word, executed in
+	// program order. The first half's fields are the unfused ones; the
+	// second half uses d2/a2/b2/fnF (and imm2/op2/os2/idx2 for the store).
+	famLdmP2
+	famSplatP2
+	famP2P2
+	famP2Stm
+	famVldSada
+	famVldMaca
+	famVldAccw
+)
+
+// famLD flag bits: low nibble is the access size in bytes, flgSigned marks
+// sign-extending loads.
+const flgSigned = 0x10
+
+// word3 is one decoded dispatch word: every compile-time decision (opcode
+// family, width, register indices, immediates, resolved lane functions)
+// is baked in, so dispatch reads only this word and machine state. Words
+// hold no run-time state — the same lowered stream is shared by any
+// number of concurrent machines.
+type word3 struct {
+	fam uint16
+	flg uint8
+	w   simd.Width
+	// First-half operands (the only ones for unfused words).
+	d, a, b, c uint16
+	// Second-half operands of fused words.
+	d2, a2, b2 uint16
+	imm, imm2  int64
+	fn, fnF    func(a, b uint64) uint64
+	fn1        func(a uint64) uint64
+}
+
+// meta3 is the cold half of a dispatch word: the source-operation
+// identity used for error wrapping and stall attribution (idx/op/os for
+// the first half, idx2/op2/os2 for a fused second half). It lives in a
+// slice parallel to blockCode3.words so the hot word stays one cache
+// line (64 bytes); only the memory, fault and SETVL arms ever touch it.
+type meta3 struct {
+	op, op2   *ir.Op
+	os, os2   *sched.OpSched
+	idx, idx2 int32
+}
+
+// acct3 is the precomputed accounting of one stall-free span: the span
+// executes ops operations and base + perVL*VL micro-operations.
+type acct3 struct {
+	ops, base, perVL int64
+}
+
+// blockCode3 is the v3 lowered form of one scheduled basic block.
+type blockCode3 struct {
+	words []word3
+	// meta is parallel to words: meta[i] is the cold half of words[i]
+	// (zero for accounting and marker words, which have no source op).
+	meta  []meta3
+	accts []acct3
+	// head is the number of leading region-marker words before the first
+	// real operation: the block's accounting region is sampled after they
+	// run, exactly as the interpreter freezes it.
+	head int
+}
+
+// fusionLowered counts statically fused pairs per kind, incremented at
+// lowering time (once per block per schedule, thanks to the Code memo).
+// The served layer exports them so a deployment can confirm fusion is
+// active; they are deliberately not part of Result, which must stay
+// bit-identical across engines.
+var fusionLowered [sched.NumFusePairs]atomic.Int64
+
+// FusionCount is one fused-pair kind's static lowering count.
+type FusionCount struct {
+	Kind  string
+	Count int64
+}
+
+// FusionLowered snapshots the per-kind fused-pair lowering counters
+// (FuseNone excluded).
+func FusionLowered() []FusionCount {
+	out := make([]FusionCount, 0, sched.NumFusePairs-1)
+	for k := 1; k < sched.NumFusePairs; k++ {
+		out = append(out, FusionCount{
+			Kind:  sched.FusePair(k).String(),
+			Count: fusionLowered[k].Load(),
+		})
+	}
+	return out
+}
+
+// predecoded3 lowers every block of fs into v3 words, memoizing on the
+// schedule's CodeV3 slot so concurrent machines share the stream.
+func predecoded3(fs *sched.FuncSched) ([]*blockCode3, error) {
+	out := make([]*blockCode3, len(fs.Blocks))
+	for i, bs := range fs.Blocks {
+		c, err := bs.Code(sched.CodeV3, compileBlockV3)
+		if err != nil {
+			return nil, fmt.Errorf("sim: predecode %s B%d: %w", fs.Func.Name, bs.Block.ID, err)
+		}
+		out[i] = c.(*blockCode3)
+	}
+	return out, nil
+}
+
+// ent3 is one lowered operation before fusion and span assembly.
+type ent3 struct {
+	w      word3
+	mt     meta3
+	marker bool
+	setvl  bool
+	// Accounting contribution: ops operations, base + perVL*VL micro-ops.
+	ops, base, perVL int64
+}
+
+// compileBlockV3 lowers one block into the v3 word stream: NOPs vanish,
+// region markers become famRB/famRE words, every other operation becomes
+// one decoded word; adjacent fusable pairs (sched.Fusable) merge into
+// fused words; and one famAcct word per stall-free span precomputes the
+// span's operation/micro-operation counts.
+func compileBlockV3(bs *sched.BlockSched) (any, error) {
+	// Pass 1: lower operations to entries (capacity for the worst case —
+	// no NOPs — so the append loop never reallocates).
+	ents := make([]ent3, 0, len(bs.Block.Ops))
+	for i := range bs.Block.Ops {
+		op := &bs.Block.Ops[i]
+		switch op.Opcode {
+		case isa.NOP:
+			continue
+		case isa.REGBEGIN:
+			ents = append(ents, ent3{w: word3{fam: famRB, imm: op.Imm}, marker: true})
+			continue
+		case isa.REGEND:
+			ents = append(ents, ent3{w: word3{fam: famRE, imm: op.Imm}, marker: true})
+			continue
+		}
+		w, err := lowerOp3(op)
+		if err != nil {
+			return nil, fmt.Errorf("op %d (%s): %w", i, op, err)
+		}
+		base, perVL := microParts(op)
+		ents = append(ents, ent3{
+			w: w, mt: meta3{op: op, os: &bs.Ops[i], idx: int32(i)},
+			setvl: op.Opcode == isa.SETVL,
+			ops:   1, base: base, perVL: perVL,
+		})
+	}
+
+	// Pass 2: greedy left-to-right peephole fusion of adjacent pairs.
+	// Markers break adjacency; SETVL and markers are never fusable, so
+	// fusion cannot cross span boundaries. The pass rewrites ents in
+	// place: entries are copied out before the write, and the write index
+	// never overtakes the read index.
+	fused := ents[:0]
+	for i := 0; i < len(ents); i++ {
+		e := ents[i]
+		if !e.marker && i+1 < len(ents) && !ents[i+1].marker {
+			n := ents[i+1]
+			if k := sched.Fusable(e.mt.op, n.mt.op); k != sched.FuseNone {
+				fw, err := fuseWords(k, &e.w, &n.w)
+				if err != nil {
+					return nil, fmt.Errorf("op %d (%s): %w", e.mt.idx, e.mt.op, err)
+				}
+				fusionLowered[k].Add(1)
+				e.w = fw
+				e.mt.op2, e.mt.os2, e.mt.idx2 = n.mt.op, n.mt.os, n.mt.idx
+				e.ops += n.ops
+				e.base += n.base
+				e.perVL += n.perVL
+				fused = append(fused, e)
+				i++
+				continue
+			}
+		}
+		fused = append(fused, e)
+	}
+
+	// Pass 3: emit words with one accounting word per stall-free span.
+	// A span's VL and region are constant (markers flush before they run;
+	// SETVL flushes after itself, its own VL-independent count included in
+	// the preceding span), so the famAcct word can charge the whole span
+	// when it executes.
+	// One word per entry plus one famAcct word per span; spans are closed
+	// by markers and SETVLs, so counting those sizes the stream exactly
+	// and the appends below never reallocate.
+	spans := 0
+	inSpan := false
+	for _, e := range fused {
+		if e.marker {
+			inSpan = false
+			continue
+		}
+		if !inSpan {
+			spans++
+			inSpan = true
+		}
+		if e.setvl {
+			inSpan = false
+		}
+	}
+	bc := &blockCode3{
+		words: make([]word3, 0, len(fused)+spans),
+		meta:  make([]meta3, 0, len(fused)+spans),
+	}
+	spanAt := -1
+	var acc acct3
+	flush := func() {
+		if spanAt >= 0 {
+			bc.words[spanAt].d = uint16(len(bc.accts))
+			bc.accts = append(bc.accts, acc)
+			acc = acct3{}
+			spanAt = -1
+		}
+	}
+	leading := true
+	for _, e := range fused {
+		if e.marker {
+			flush()
+			bc.words = append(bc.words, e.w)
+			bc.meta = append(bc.meta, meta3{})
+			if leading {
+				bc.head = len(bc.words)
+			}
+			continue
+		}
+		leading = false
+		if spanAt < 0 {
+			spanAt = len(bc.words)
+			bc.words = append(bc.words, word3{fam: famAcct})
+			bc.meta = append(bc.meta, meta3{})
+		}
+		acc.ops += e.ops
+		acc.base += e.base
+		acc.perVL += e.perVL
+		bc.words = append(bc.words, e.w)
+		bc.meta = append(bc.meta, e.mt)
+		if e.setvl {
+			flush()
+		}
+	}
+	flush()
+	return bc, nil
+}
+
+// fuseWords merges two lowered words into one fused word. The lowered
+// families must match the classification — a mismatch means sched.Fusable
+// and the lowering disagree, which is a compile bug reported loudly.
+func fuseWords(k sched.FusePair, a, b *word3) (word3, error) {
+	var fam uint16
+	switch k {
+	case sched.FuseLoadPacked:
+		if a.fam != famLDM || b.fam != famP2 {
+			return word3{}, fmt.Errorf("fusion %s does not match lowered families %d,%d", k, a.fam, b.fam)
+		}
+		fam = famLdmP2
+	case sched.FuseSplatPacked:
+		if a.fam != famPSPLAT || b.fam != famP2 {
+			return word3{}, fmt.Errorf("fusion %s does not match lowered families %d,%d", k, a.fam, b.fam)
+		}
+		fam = famSplatP2
+	case sched.FusePackedPacked:
+		if a.fam != famP2 || b.fam != famP2 {
+			return word3{}, fmt.Errorf("fusion %s does not match lowered families %d,%d", k, a.fam, b.fam)
+		}
+		fam = famP2P2
+	case sched.FusePackedStore:
+		if a.fam != famP2 || b.fam != famSTM {
+			return word3{}, fmt.Errorf("fusion %s does not match lowered families %d,%d", k, a.fam, b.fam)
+		}
+		fam = famP2Stm
+	case sched.FuseLoadAccum:
+		if a.fam != famVLD {
+			return word3{}, fmt.Errorf("fusion %s does not match lowered families %d,%d", k, a.fam, b.fam)
+		}
+		switch b.fam {
+		case famVSADA:
+			fam = famVldSada
+		case famVMACA:
+			fam = famVldMaca
+		case famVACCW:
+			fam = famVldAccw
+		default:
+			return word3{}, fmt.Errorf("fusion %s does not match lowered families %d,%d", k, a.fam, b.fam)
+		}
+	default:
+		return word3{}, fmt.Errorf("unknown fusion kind %d", k)
+	}
+	w := *a
+	w.fam = fam
+	w.d2, w.a2, w.b2 = b.d, b.a, b.b
+	w.imm2 = b.imm
+	w.fnF = b.fn
+	return w, nil
+}
+
+// aluFam3 maps a scalar ALU opcode to its specialized register-form
+// dispatch family; the immediate form is the next constant.
+func aluFam3(op isa.Opcode) uint16 {
+	switch op {
+	case isa.ADD:
+		return famADD
+	case isa.SUB:
+		return famSUB
+	case isa.MUL:
+		return famMUL
+	case isa.AND:
+		return famAND
+	case isa.OR:
+		return famOR
+	case isa.XOR:
+		return famXOR
+	case isa.SHL:
+		return famSHL
+	case isa.SHR:
+		return famSHR
+	case isa.SRA:
+		return famSRA
+	case isa.CMPEQ:
+		return famCMPEQ
+	case isa.CMPNE:
+		return famCMPNE
+	case isa.CMPLT:
+		return famCMPLT
+	case isa.CMPLE:
+		return famCMPLE
+	case isa.CMPLTU:
+		return famCMPLTU
+	}
+	panic("sim: aluFam3 called with non-ALU opcode " + op.Name())
+}
+
+// lowerOp3 lowers one real (non-pseudo) operation into its dispatch word.
+// Every opcode the interpreter implements must be lowered here — the
+// coverage test asserts there is no gap. Range checks on immediates
+// (SETVL, VEXTR/VINS, DIV by zero) stay at run time, matching the
+// interpreter: a program only faults if the faulting operation executes.
+func lowerOp3(op *ir.Op) (word3, error) {
+	w := word3{w: op.Width, imm: op.Imm}
+	dst := func(i int) uint16 { return uint16(op.Dst[i].ID) }
+	src := func(i int) uint16 { return uint16(op.Src[i].ID) }
+	switch op.Opcode {
+	case isa.MOVI:
+		w.fam, w.d = famMOVI, dst(0)
+	case isa.MOV:
+		w.fam, w.d, w.a = famMOV, dst(0), src(0)
+	case isa.ADD, isa.SUB, isa.MUL, isa.AND, isa.OR, isa.XOR,
+		isa.SHL, isa.SHR, isa.SRA, isa.CMPEQ, isa.CMPNE, isa.CMPLT,
+		isa.CMPLE, isa.CMPLTU:
+		w.d, w.a = dst(0), src(0)
+		if fam := aluFam3(op.Opcode); op.UseImm {
+			w.fam = fam + 1
+		} else {
+			w.fam, w.b = fam, src(1)
+		}
+	case isa.DIV:
+		w.d, w.a = dst(0), src(0)
+		if op.UseImm {
+			w.fam = famDIVI
+		} else {
+			w.fam, w.b = famDIV, src(1)
+		}
+	case isa.SELECT:
+		w.fam, w.d, w.a, w.b, w.c = famSELECT, dst(0), src(0), src(1), src(2)
+
+	case isa.LDB, isa.LDBU, isa.LDH, isa.LDHU, isa.LDW, isa.LDWU, isa.LDD:
+		w.fam, w.d, w.a = famLD, dst(0), src(0)
+		w.flg = uint8(isa.AccessBytes(op.Opcode))
+		if isa.LoadSigned(op.Opcode) {
+			w.flg |= flgSigned
+		}
+	case isa.STB, isa.STH, isa.STW, isa.STD:
+		w.fam, w.a, w.b = famST, src(0), src(1)
+		w.flg = uint8(isa.AccessBytes(op.Opcode))
+
+	case isa.BEQ:
+		w.fam, w.a, w.b, w.imm = famBEQ, src(0), src(1), int64(op.Target)
+	case isa.BNE:
+		w.fam, w.a, w.b, w.imm = famBNE, src(0), src(1), int64(op.Target)
+	case isa.BLT:
+		w.fam, w.a, w.b, w.imm = famBLT, src(0), src(1), int64(op.Target)
+	case isa.BGE:
+		w.fam, w.a, w.b, w.imm = famBGE, src(0), src(1), int64(op.Target)
+	case isa.JMP:
+		w.fam, w.imm = famJMP, int64(op.Target)
+	case isa.HALT:
+		w.fam = famHALT
+
+	case isa.LDM:
+		w.fam, w.d, w.a = famLDM, dst(0), src(0)
+	case isa.STM:
+		w.fam, w.a, w.b = famSTM, src(0), src(1)
+	case isa.MOVIM:
+		w.fam, w.d = famMOVIM, dst(0)
+	case isa.MOVRM:
+		w.fam, w.d, w.a = famMOVRM, dst(0), src(0)
+	case isa.MOVMR:
+		w.fam, w.d, w.a = famMOVMR, dst(0), src(0)
+	case isa.PSPLAT:
+		w.fam, w.d, w.a = famPSPLAT, dst(0), src(0)
+	case isa.PSLL, isa.PSRL, isa.PSRA:
+		w.fam, w.d, w.a = famPSH, dst(0), src(0)
+		w.fn1 = shiftFn(op.Opcode, op.Width, uint(op.Imm))
+	case isa.PADD, isa.PSUB, isa.PADDS, isa.PSUBS, isa.PADDU, isa.PSUBU,
+		isa.PMULL, isa.PMULH, isa.PMADD, isa.PAVG, isa.PMINU, isa.PMAXU,
+		isa.PMINS, isa.PMAXS, isa.PABSD, isa.PSAD, isa.PAND, isa.POR,
+		isa.PXOR, isa.PANDN, isa.PCMPEQ, isa.PCMPGT, isa.PACKSS,
+		isa.PACKUS, isa.PUNPCKL, isa.PUNPCKH:
+		w.fam, w.d, w.a, w.b = famP2, dst(0), src(0), src(1)
+		w.fn = packedFn(op.Opcode, op.Width)
+
+	case isa.SETVL:
+		if op.UseImm {
+			w.fam = famSETVLI
+		} else {
+			w.fam, w.a = famSETVLR, src(0)
+		}
+	case isa.SETVS:
+		if op.UseImm {
+			w.fam = famSETVSI
+		} else {
+			w.fam, w.a = famSETVSR, src(0)
+		}
+
+	case isa.VLD:
+		w.fam, w.d, w.a = famVLD, dst(0), src(0)
+	case isa.VST:
+		w.fam, w.a, w.b = famVST, src(0), src(1)
+	case isa.VMOV:
+		w.fam, w.d, w.a = famVMOV, dst(0), src(0)
+	case isa.VSPLAT:
+		w.fam, w.d, w.a = famVSPLAT, dst(0), src(0)
+	case isa.VSLL, isa.VSRL, isa.VSRA:
+		w.fam, w.d, w.a = famVSH, dst(0), src(0)
+		w.fn1 = shiftFn(vecBase(op.Opcode), op.Width, uint(op.Imm))
+	case isa.VADD, isa.VSUB, isa.VADDS, isa.VSUBS, isa.VADDU, isa.VSUBU,
+		isa.VMULL, isa.VMULH, isa.VMADD, isa.VAVG, isa.VMINU, isa.VMAXU,
+		isa.VMINS, isa.VMAXS, isa.VABSD, isa.VAND, isa.VOR, isa.VXOR,
+		isa.VANDN, isa.VCMPEQ, isa.VCMPGT, isa.VPACKSS, isa.VPACKUS,
+		isa.VUNPCKL, isa.VUNPCKH:
+		w.fam, w.d, w.a, w.b = famV2, dst(0), src(0), src(1)
+		w.fn = packedFn(vecBase(op.Opcode), op.Width)
+	case isa.VEXTR:
+		w.fam, w.d, w.a = famVEXTR, dst(0), src(0)
+	case isa.VINS:
+		w.fam, w.d, w.a, w.b = famVINS, dst(0), src(0), src(1)
+
+	case isa.ACLR:
+		w.fam, w.d = famACLR, dst(0)
+	case isa.VSADA:
+		w.fam, w.d, w.a, w.b = famVSADA, dst(0), src(0), src(1)
+	case isa.VMACA:
+		w.fam, w.d, w.a, w.b = famVMACA, dst(0), src(0), src(1)
+	case isa.VACCW:
+		w.fam, w.d, w.a = famVACCW, dst(0), src(0)
+	case isa.VSUM:
+		w.fam, w.d, w.a = famVSUM, dst(0), src(0)
+	case isa.APACK:
+		w.fam, w.d, w.a = famAPACK, dst(0), src(0)
+
+	default:
+		return word3{}, fmt.Errorf("no v3 dispatch word for opcode %s", op.Opcode.Name())
+	}
+	return w, nil
+}
+
+// opErr3 wraps an executor error with its source operation, matching the
+// v2 engine and the interpreter exactly.
+func opErr3(idx int32, op *ir.Op, err error) error {
+	return fmt.Errorf("op %d (%s): %w", idx, op, err)
+}
+
+// load64 is the fixed-8-byte load used by the µSIMD/vector word paths.
+func (m *Machine) load64(addr int64) (uint64, error) {
+	if addr < 0 || addr+8 > int64(len(m.memory)) {
+		return 0, fmt.Errorf("load at %#x (%d bytes) outside memory", addr, 8)
+	}
+	return binary.LittleEndian.Uint64(m.memory[addr:]), nil
+}
+
+// store64 is the fixed-8-byte store used by the µSIMD/vector word paths.
+func (m *Machine) store64(addr int64, v uint64) error {
+	if addr < 0 || addr+8 > int64(len(m.memory)) {
+		return fmt.Errorf("store at %#x (%d bytes) outside memory", addr, 8)
+	}
+	binary.LittleEndian.PutUint64(m.memory[addr:], v)
+	return nil
+}
+
+// regionEnd pops a region marker, with the same error strings as the v2
+// lowering (reported without op context, exactly as the interpreter does).
+func (m *Machine) regionEnd(id int) error {
+	if len(m.regionStack) == 1 {
+		return fmt.Errorf("unmatched region end (id %d)", id)
+	}
+	if top := m.region(); top != id {
+		return fmt.Errorf("region end %d does not match open region %d", id, top)
+	}
+	m.regionStack = m.regionStack[:len(m.regionStack)-1]
+	return nil
+}
+
+// execBlockV3 executes one block on the v3 engine. Semantics match
+// execBlock/execBlockCode exactly — the region a block's cycles belong to
+// is sampled after the leading markers, the last taken branch wins, and
+// HALT is sticky.
+func (m *Machine) execBlockV3(bs *sched.BlockSched, bc *blockCode3) (next int, halted bool, err error) {
+	m.curBlock = bs.Block.ID
+	m.branchTo = -1
+	m.haltFl = false
+	m.stallAcc = 0
+	words := bc.words
+	for i := 0; i < bc.head; i++ {
+		w := &words[i]
+		if w.fam == famRB {
+			m.regionStack = append(m.regionStack, int(w.imm))
+		} else if err := m.regionEnd(int(w.imm)); err != nil {
+			return 0, false, err
+		}
+	}
+	blockRegion := m.region()
+	if err := m.runWords3(bc, bc.head); err != nil {
+		return 0, false, err
+	}
+	m.finishBlock(bs, blockRegion, m.stallAcc)
+	return m.branchTo, m.haltFl, nil
+}
+
+// runWords3 is the v3 inner loop: one dense switch per dispatch word from
+// index lo to the end of the block. The register files are hoisted into
+// locals so the common arithmetic arms address them without reloading the
+// machine's slice headers (no arm ever reallocates them).
+func (m *Machine) runWords3(bc *blockCode3, lo int) error {
+	words := bc.words
+	intRegs := m.intRegs
+	simdRegs := m.simdRegs
+	// curRegion mirrors the top of the region stack across the loop; the
+	// famRB/famRE arms are the only places it can change, so the famAcct
+	// arm skips the stack load. Indexing Regions stays inside famAcct so
+	// an out-of-range region id faults exactly where the other engines
+	// would: on accounting, not on the marker.
+	curRegion := m.region()
+	for i := lo; i < len(words); i++ {
+		w := &words[i]
+		switch w.fam {
+		case famAcct:
+			ac := &bc.accts[w.d]
+			micro := ac.base + ac.perVL*int64(m.vl)
+			m.res.Ops += ac.ops
+			m.res.MicroOps += micro
+			rs := &m.res.Regions[curRegion]
+			rs.Ops += ac.ops
+			rs.MicroOps += micro
+		case famRB:
+			m.regionStack = append(m.regionStack, int(w.imm))
+			curRegion = int(w.imm)
+		case famRE:
+			if err := m.regionEnd(int(w.imm)); err != nil {
+				return err
+			}
+			curRegion = m.region()
+
+		case famMOVI:
+			intRegs[w.d] = uint64(w.imm)
+		case famMOV:
+			intRegs[w.d] = intRegs[w.a]
+		case famADD:
+			intRegs[w.d] = intRegs[w.a] + intRegs[w.b]
+		case famADDI:
+			intRegs[w.d] = intRegs[w.a] + uint64(w.imm)
+		case famSUB:
+			intRegs[w.d] = intRegs[w.a] - intRegs[w.b]
+		case famSUBI:
+			intRegs[w.d] = intRegs[w.a] - uint64(w.imm)
+		case famMUL:
+			intRegs[w.d] = uint64(int64(intRegs[w.a]) * int64(intRegs[w.b]))
+		case famMULI:
+			intRegs[w.d] = uint64(int64(intRegs[w.a]) * w.imm)
+		case famAND:
+			intRegs[w.d] = intRegs[w.a] & intRegs[w.b]
+		case famANDI:
+			intRegs[w.d] = intRegs[w.a] & uint64(w.imm)
+		case famOR:
+			intRegs[w.d] = intRegs[w.a] | intRegs[w.b]
+		case famORI:
+			intRegs[w.d] = intRegs[w.a] | uint64(w.imm)
+		case famXOR:
+			intRegs[w.d] = intRegs[w.a] ^ intRegs[w.b]
+		case famXORI:
+			intRegs[w.d] = intRegs[w.a] ^ uint64(w.imm)
+		case famSHL:
+			intRegs[w.d] = intRegs[w.a] << (intRegs[w.b] & 63)
+		case famSHLI:
+			intRegs[w.d] = intRegs[w.a] << (uint64(w.imm) & 63)
+		case famSHR:
+			intRegs[w.d] = intRegs[w.a] >> (intRegs[w.b] & 63)
+		case famSHRI:
+			intRegs[w.d] = intRegs[w.a] >> (uint64(w.imm) & 63)
+		case famSRA:
+			intRegs[w.d] = uint64(int64(intRegs[w.a]) >> (intRegs[w.b] & 63))
+		case famSRAI:
+			intRegs[w.d] = uint64(int64(intRegs[w.a]) >> (uint64(w.imm) & 63))
+		case famCMPEQ:
+			intRegs[w.d] = boolTo(intRegs[w.a] == intRegs[w.b])
+		case famCMPEQI:
+			intRegs[w.d] = boolTo(intRegs[w.a] == uint64(w.imm))
+		case famCMPNE:
+			intRegs[w.d] = boolTo(intRegs[w.a] != intRegs[w.b])
+		case famCMPNEI:
+			intRegs[w.d] = boolTo(intRegs[w.a] != uint64(w.imm))
+		case famCMPLT:
+			intRegs[w.d] = boolTo(int64(intRegs[w.a]) < int64(intRegs[w.b]))
+		case famCMPLTI:
+			intRegs[w.d] = boolTo(int64(intRegs[w.a]) < w.imm)
+		case famCMPLE:
+			intRegs[w.d] = boolTo(int64(intRegs[w.a]) <= int64(intRegs[w.b]))
+		case famCMPLEI:
+			intRegs[w.d] = boolTo(int64(intRegs[w.a]) <= w.imm)
+		case famCMPLTU:
+			intRegs[w.d] = boolTo(intRegs[w.a] < intRegs[w.b])
+		case famCMPLTUI:
+			intRegs[w.d] = boolTo(intRegs[w.a] < uint64(w.imm))
+		case famDIV:
+			b := int64(intRegs[w.b])
+			if b == 0 {
+				mt := &bc.meta[i]
+				return opErr3(mt.idx, mt.op, fmt.Errorf("division by zero"))
+			}
+			intRegs[w.d] = uint64(int64(intRegs[w.a]) / b)
+		case famDIVI:
+			if w.imm == 0 {
+				mt := &bc.meta[i]
+				return opErr3(mt.idx, mt.op, fmt.Errorf("division by zero"))
+			}
+			intRegs[w.d] = uint64(int64(intRegs[w.a]) / w.imm)
+		case famSELECT:
+			if intRegs[w.a] != 0 {
+				intRegs[w.d] = intRegs[w.b]
+			} else {
+				intRegs[w.d] = intRegs[w.c]
+			}
+
+		case famLD:
+			size := int(w.flg & 0xF)
+			addr := int64(intRegs[w.a]) + w.imm
+			v, e := m.loadWord(addr, size)
+			mt := &bc.meta[i]
+			if e != nil {
+				return opErr3(mt.idx, mt.op, e)
+			}
+			if w.flg&flgSigned != 0 {
+				v = signExtend(v, size)
+			}
+			intRegs[w.d] = v
+			m.stallAcc += m.memStall(mt.op, mt.os, m.scalarTiming(addr, size, false))
+		case famST:
+			size := int(w.flg & 0xF)
+			addr := int64(intRegs[w.b]) + w.imm
+			mt := &bc.meta[i]
+			if e := m.storeWord(addr, size, intRegs[w.a]); e != nil {
+				return opErr3(mt.idx, mt.op, e)
+			}
+			m.stallAcc += m.memStall(mt.op, mt.os, m.scalarTiming(addr, size, true))
+
+		case famBEQ:
+			if intRegs[w.a] == intRegs[w.b] {
+				m.branchTo = int(w.imm)
+			}
+		case famBNE:
+			if intRegs[w.a] != intRegs[w.b] {
+				m.branchTo = int(w.imm)
+			}
+		case famBLT:
+			if int64(intRegs[w.a]) < int64(intRegs[w.b]) {
+				m.branchTo = int(w.imm)
+			}
+		case famBGE:
+			if int64(intRegs[w.a]) >= int64(intRegs[w.b]) {
+				m.branchTo = int(w.imm)
+			}
+		case famJMP:
+			m.branchTo = int(w.imm)
+		case famHALT:
+			m.haltFl = true
+
+		case famLDM:
+			addr := int64(intRegs[w.a]) + w.imm
+			v, e := m.load64(addr)
+			mt := &bc.meta[i]
+			if e != nil {
+				return opErr3(mt.idx, mt.op, e)
+			}
+			simdRegs[w.d] = v
+			m.stallAcc += m.memStall(mt.op, mt.os, m.scalarTiming(addr, 8, false))
+		case famSTM:
+			addr := int64(intRegs[w.b]) + w.imm
+			mt := &bc.meta[i]
+			if e := m.store64(addr, simdRegs[w.a]); e != nil {
+				return opErr3(mt.idx, mt.op, e)
+			}
+			m.stallAcc += m.memStall(mt.op, mt.os, m.scalarTiming(addr, 8, true))
+		case famMOVIM:
+			simdRegs[w.d] = uint64(w.imm)
+		case famMOVRM:
+			simdRegs[w.d] = intRegs[w.a]
+		case famMOVMR:
+			intRegs[w.d] = simdRegs[w.a]
+		case famPSPLAT:
+			simdRegs[w.d] = simd.Splat(intRegs[w.a], w.w)
+		case famPSH:
+			simdRegs[w.d] = w.fn1(simdRegs[w.a])
+		case famP2:
+			simdRegs[w.d] = w.fn(simdRegs[w.a], simdRegs[w.b])
+
+		case famSETVLI:
+			if w.imm < 1 || w.imm > isa.MaxVL {
+				mt := &bc.meta[i]
+				return opErr3(mt.idx, mt.op, fmt.Errorf("SETVL %d out of range", w.imm))
+			}
+			m.setVL(int(w.imm))
+		case famSETVLR:
+			v := int64(intRegs[w.a])
+			if v < 1 || v > isa.MaxVL {
+				mt := &bc.meta[i]
+				return opErr3(mt.idx, mt.op, fmt.Errorf("SETVL %d out of range", v))
+			}
+			m.setVL(int(v))
+		case famSETVSI:
+			m.vs = w.imm
+		case famSETVSR:
+			m.vs = int64(intRegs[w.a])
+
+		case famVLD:
+			if err := m.vload3(w, &bc.meta[i], w.d); err != nil {
+				return err
+			}
+		case famVST:
+			b := int64(intRegs[w.b]) + w.imm
+			vec := &m.vecRegs[w.a]
+			vl := m.vl
+			mt := &bc.meta[i]
+			// Overflow-safe form of b+vl*8 <= len(memory).
+			if m.vs == 8 && b >= 0 && b <= int64(len(m.memory))-int64(vl)*8 {
+				dst := m.memory[b:]
+				for i := 0; i < vl; i++ {
+					binary.LittleEndian.PutUint64(dst[i*8:], vec[i])
+				}
+			} else {
+				for i := 0; i < vl; i++ {
+					if e := m.store64(b+int64(i)*m.vs, vec[i]); e != nil {
+						return opErr3(mt.idx, mt.op, e)
+					}
+				}
+			}
+			m.stallAcc += m.memStall(mt.op, mt.os, m.vectorTiming(b, m.vs, vl, true))
+		case famVMOV:
+			src, dst := &m.vecRegs[w.a], &m.vecRegs[w.d]
+			copy(dst[:m.vl], src[:m.vl])
+		case famVSPLAT:
+			v := intRegs[w.a]
+			dst := &m.vecRegs[w.d]
+			for i := 0; i < m.vl; i++ {
+				dst[i] = v
+			}
+		case famVSH:
+			src, dst := &m.vecRegs[w.a], &m.vecRegs[w.d]
+			f := w.fn1
+			for i := 0; i < m.vl; i++ {
+				dst[i] = f(src[i])
+			}
+		case famV2:
+			a, b, dst := &m.vecRegs[w.a], &m.vecRegs[w.b], &m.vecRegs[w.d]
+			f := w.fn
+			for i := 0; i < m.vl; i++ {
+				dst[i] = f(a[i], b[i])
+			}
+		case famVEXTR:
+			if w.imm < 0 || w.imm >= isa.MaxVL {
+				mt := &bc.meta[i]
+				return opErr3(mt.idx, mt.op, fmt.Errorf("VEXTR index %d out of range", w.imm))
+			}
+			intRegs[w.d] = m.vecRegs[w.a][w.imm]
+		case famVINS:
+			if w.imm < 0 || w.imm >= isa.MaxVL {
+				mt := &bc.meta[i]
+				return opErr3(mt.idx, mt.op, fmt.Errorf("VINS index %d out of range", w.imm))
+			}
+			v := m.vecRegs[w.b]
+			v[w.imm] = intRegs[w.a]
+			m.vecRegs[w.d] = v
+
+		case famACLR:
+			m.accRegs[w.d].Clear()
+		case famVSADA:
+			a, b := &m.vecRegs[w.a], &m.vecRegs[w.b]
+			m.accRegs[w.d].SADBV(a[:m.vl], b[:m.vl])
+		case famVMACA:
+			a, b := &m.vecRegs[w.a], &m.vecRegs[w.b]
+			m.accRegs[w.d].MACWV(a[:m.vl], b[:m.vl])
+		case famVACCW:
+			a := &m.vecRegs[w.a]
+			m.accRegs[w.d].ACCWV(a[:m.vl])
+		case famVSUM:
+			intRegs[w.d] = uint64(m.accRegs[w.a].Sum(w.w))
+		case famAPACK:
+			intRegs[w.d] = m.accRegs[w.a].Pack(uint(w.imm))
+
+		case famLdmP2:
+			addr := int64(intRegs[w.a]) + w.imm
+			v, e := m.load64(addr)
+			mt := &bc.meta[i]
+			if e != nil {
+				return opErr3(mt.idx, mt.op, e)
+			}
+			simdRegs[w.d] = v
+			m.stallAcc += m.memStall(mt.op, mt.os, m.scalarTiming(addr, 8, false))
+			simdRegs[w.d2] = w.fnF(simdRegs[w.a2], simdRegs[w.b2])
+		case famSplatP2:
+			simdRegs[w.d] = simd.Splat(intRegs[w.a], w.w)
+			simdRegs[w.d2] = w.fnF(simdRegs[w.a2], simdRegs[w.b2])
+		case famP2P2:
+			simdRegs[w.d] = w.fn(simdRegs[w.a], simdRegs[w.b])
+			simdRegs[w.d2] = w.fnF(simdRegs[w.a2], simdRegs[w.b2])
+		case famP2Stm:
+			simdRegs[w.d] = w.fn(simdRegs[w.a], simdRegs[w.b])
+			addr := int64(intRegs[w.b2]) + w.imm2
+			mt := &bc.meta[i]
+			if e := m.store64(addr, simdRegs[w.a2]); e != nil {
+				return opErr3(mt.idx2, mt.op2, e)
+			}
+			m.stallAcc += m.memStall(mt.op2, mt.os2, m.scalarTiming(addr, 8, true))
+		case famVldSada:
+			if err := m.vload3(w, &bc.meta[i], w.d); err != nil {
+				return err
+			}
+			a, b := &m.vecRegs[w.a2], &m.vecRegs[w.b2]
+			m.accRegs[w.d2].SADBV(a[:m.vl], b[:m.vl])
+		case famVldMaca:
+			if err := m.vload3(w, &bc.meta[i], w.d); err != nil {
+				return err
+			}
+			a, b := &m.vecRegs[w.a2], &m.vecRegs[w.b2]
+			m.accRegs[w.d2].MACWV(a[:m.vl], b[:m.vl])
+		case famVldAccw:
+			if err := m.vload3(w, &bc.meta[i], w.d); err != nil {
+				return err
+			}
+			a := &m.vecRegs[w.a2]
+			m.accRegs[w.d2].ACCWV(a[:m.vl])
+		}
+	}
+	return nil
+}
+
+// vload3 is the VLD half shared by famVLD and the fused vector-load
+// families: unit-stride in-bounds loads take a direct word-copy fast path;
+// everything else falls back to per-element bounds-checked loads (with the
+// v2 engine's exact partial-write-then-error behavior). One vectorTiming
+// call services the whole access, as in the other engines.
+func (m *Machine) vload3(w *word3, mt *meta3, d uint16) error {
+	b := int64(m.intRegs[w.a]) + w.imm
+	vec := &m.vecRegs[d]
+	vl := m.vl
+	// Overflow-safe form of b+vl*8 <= len(memory).
+	if m.vs == 8 && b >= 0 && b <= int64(len(m.memory))-int64(vl)*8 {
+		src := m.memory[b:]
+		for i := 0; i < vl; i++ {
+			vec[i] = binary.LittleEndian.Uint64(src[i*8:])
+		}
+	} else {
+		for i := 0; i < vl; i++ {
+			v, e := m.load64(b + int64(i)*m.vs)
+			if e != nil {
+				return opErr3(mt.idx, mt.op, e)
+			}
+			vec[i] = v
+		}
+	}
+	m.stallAcc += m.memStall(mt.op, mt.os, m.vectorTiming(b, m.vs, vl, false))
+	return nil
+}

@@ -42,21 +42,25 @@ type blockCode struct {
 	head int
 }
 
-// Predecode lowers every block of fs, memoizing the code on the schedule
+// Predecode lowers every block of fs into the default engine's
+// representation (v3 threaded-code words), memoizing it on the schedule
 // so concurrent machines share it. core.Compile calls it so programs pay
-// the lowering cost once at compile time; Machine.Run falls back to it
-// lazily for schedules built directly against internal/sched. It fails
-// loudly if any opcode lacks an executor — there is no silent
-// interpretation fallback.
+// the lowering cost once at compile time. The retained v2 closure
+// lowering is NOT built here — it lowers lazily (memoized the same way)
+// on the first v2-engine run, so programs that never select the oracle
+// engine never pay for its closures. It fails loudly if any opcode lacks
+// an executor — there is no silent interpretation fallback — and both
+// lowerings cover the identical opcode set (the coverage tests assert
+// it), so a program that predecodes here cannot fail to lower later.
 func Predecode(fs *sched.FuncSched) error {
-	_, err := predecoded(fs)
+	_, err := predecoded3(fs)
 	return err
 }
 
 func predecoded(fs *sched.FuncSched) ([]*blockCode, error) {
 	out := make([]*blockCode, len(fs.Blocks))
 	for i, bs := range fs.Blocks {
-		c, err := bs.Code(compileBlock)
+		c, err := bs.Code(sched.CodeV2, compileBlock)
 		if err != nil {
 			return nil, fmt.Errorf("sim: predecode %s B%d: %w", fs.Func.Name, bs.Block.ID, err)
 		}

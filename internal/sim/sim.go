@@ -131,6 +131,7 @@ type Machine struct {
 	// type assertion.
 	hier     *mem.Hierarchy
 	perf     *mem.Perfect
+	corg     *cacheorg.Hierarchy
 	detailed mem.Detailed
 
 	intRegs  []uint64
@@ -155,11 +156,14 @@ type Machine struct {
 	// opcode coverage. Setting it forces the interpreter engine, which is
 	// the only one that still walks pseudo-ops at run time.
 	opHook func(*ir.Op)
-	// code holds the pre-decoded executor sequences (one per block) when
-	// the machine runs on the fast engine; interp forces the reference
-	// interpreter instead. The engine-equivalence tests exercise both.
+	// code/code3 hold the lowered block sequences for the v2 closure
+	// engine and the v3 threaded-code engine; interp forces the reference
+	// interpreter and useV2 the closure engine (the default is v3). The
+	// engine-equivalence tests exercise all three.
 	code   []*blockCode
+	code3  []*blockCode3
 	interp bool
+	useV2  bool
 	// branchTo/haltFl/stallAcc carry control flow and stall accumulation
 	// out of pre-decoded executors within one block execution.
 	branchTo int
@@ -220,6 +224,8 @@ func New(fs *sched.FuncSched, model mem.Model) *Machine {
 		m.hier = mm
 	case *mem.Perfect:
 		m.perf = mm
+	case *cacheorg.Hierarchy:
+		m.corg = mm
 	}
 	if d, ok := model.(mem.Detailed); ok {
 		m.detailed = d
@@ -236,6 +242,9 @@ func (m *Machine) scalarTiming(addr int64, size int, write bool) int {
 	if m.perf != nil {
 		return m.perf.ScalarAccess(addr, size, write)
 	}
+	if m.corg != nil {
+		return m.corg.ScalarAccess(addr, size, write)
+	}
 	return m.model.ScalarAccess(addr, size, write)
 }
 
@@ -247,6 +256,9 @@ func (m *Machine) vectorTiming(base, stride int64, vl int, write bool) int {
 	}
 	if m.perf != nil {
 		return m.perf.VectorAccess(base, stride, vl, write)
+	}
+	if m.corg != nil {
+		return m.corg.VectorAccess(base, stride, vl, write)
 	}
 	return m.model.VectorAccess(base, stride, vl, write)
 }
@@ -292,10 +304,33 @@ func (m *Machine) ReadBytes(addr, n int64) ([]byte, error) {
 	return out, nil
 }
 
+// Engine selects which execution engine a machine runs on. The default
+// is the v3 threaded-code engine; the v2 closure engine and the original
+// interpreter are retained as bit-identical oracles for the differential
+// tests and fuzzers.
+type Engine int
+
+const (
+	// EngineV3 is the threaded-code engine with peephole fusion and
+	// span-bulk accounting (engine3.go) — the default.
+	EngineV3 Engine = iota
+	// EngineV2 is the pre-decoded closure engine (predecode.go).
+	EngineV2
+	// EngineInterpreter is the reference interpreter (exec.go).
+	EngineInterpreter
+)
+
+// SetEngine selects the execution engine for subsequent Runs. Reset
+// preserves the selection, so a pooled oracle machine stays an oracle.
+func (m *Machine) SetEngine(e Engine) {
+	m.interp = e == EngineInterpreter
+	m.useV2 = e == EngineV2
+}
+
 // Run executes the program to completion and returns the statistics. It
-// runs on the pre-decoded engine (lowering the schedule on first use if
-// core.Compile has not already) unless an opHook or the interpreter flag
-// demands the reference interpreter.
+// runs on the v3 threaded-code engine (lowering the schedule on first use
+// if core.Compile has not already) unless SetEngine, an opHook or the
+// interpreter flag demands one of the oracle engines.
 func (m *Machine) Run() (*Result, error) {
 	if m.ctx != nil {
 		if err := m.ctx.Err(); err != nil {
@@ -305,12 +340,35 @@ func (m *Machine) Run() (*Result, error) {
 			return nil, &CanceledError{Cause: context.DeadlineExceeded}
 		}
 	}
-	if m.code == nil && !m.interp && m.opHook == nil {
-		code, err := predecoded(m.fs)
-		if err != nil {
-			return nil, err
+	// Resolve the engine once per run: the interpreter when demanded (an
+	// opHook implies it — only the interpreter still walks pseudo-ops),
+	// else v2 or v3, lazily lowering the selected representation.
+	const (
+		engInterp = iota
+		engV2
+		engV3
+	)
+	eng := engV3
+	switch {
+	case m.interp || m.opHook != nil:
+		eng = engInterp
+	case m.useV2:
+		eng = engV2
+		if m.code == nil {
+			code, err := predecoded(m.fs)
+			if err != nil {
+				return nil, err
+			}
+			m.code = code
 		}
-		m.code = code
+	default:
+		if m.code3 == nil {
+			code, err := predecoded3(m.fs)
+			if err != nil {
+				return nil, err
+			}
+			m.code3 = code
+		}
 	}
 	blocks := m.fs.Blocks
 	pc := 0
@@ -327,9 +385,12 @@ func (m *Machine) Run() (*Result, error) {
 			halted bool
 			err    error
 		)
-		if m.code != nil && m.opHook == nil {
+		switch eng {
+		case engV3:
+			next, halted, err = m.execBlockV3(bs, m.code3[pc])
+		case engV2:
 			next, halted, err = m.execBlockCode(bs, m.code[pc])
-		} else {
+		default:
 			next, halted, err = m.execBlock(bs)
 		}
 		if err != nil {

@@ -63,6 +63,78 @@ func (a *Acc) ACCW(x uint64) {
 	}
 }
 
+// SADBV accumulates the per-byte-lane absolute differences of the vector
+// element pairs x[k], y[k]: for every k, lane[i] += |x[k].b[i] - y[k].b[i]|.
+// Bit-identical to calling SADB once per element pair: two's-complement
+// truncation is a ring homomorphism (wrap(wrap(v)+d) == wrap(v+d)), so the
+// lane sums may be accumulated at full width and wrapped once. The batched
+// per-element sums are gathered SWAR-style into 16-bit fields (even byte
+// lanes in one word, odd in another) — safe because a sum of at most
+// MaxVL=16 byte differences is ≤ 16·255 = 4080, well inside 16 bits.
+func (a *Acc) SADBV(x, y []uint64) {
+	// The abs-diff is AbsDiffU(·, ·, W8) with the byte-lane constants
+	// folded in: SWAR subtract, borrow-mask expansion (Hacker's Delight
+	// 2-17), negate-under-mask. Kept inline — this loop runs once per
+	// vector element of the motion-estimation kernels.
+	const (
+		mask = 0x00FF00FF00FF00FF
+		l8   = 0x0101010101010101
+		h8   = 0x8080808080808080
+	)
+	var ev, od uint64
+	for k := range x {
+		xv, yv := x[k], y[k]
+		d := ((xv | h8) - (yv &^ h8)) ^ ((xv ^ yv ^ h8) & h8)
+		m := ((((^xv & yv) | (^(xv ^ yv) & d)) & h8) >> 7) * 0xFF
+		d = (d ^ m) + (m & l8)
+		ev += d & mask
+		od += (d >> 8) & mask
+	}
+	for i := 0; i < 4; i++ {
+		a.Lanes[2*i] = wrap(a.Lanes[2*i]+int64(ev>>(16*uint(i))&0xFFFF), 24)
+		a.Lanes[2*i+1] = wrap(a.Lanes[2*i+1]+int64(od>>(16*uint(i))&0xFFFF), 24)
+	}
+}
+
+// MACWV accumulates signed 16-bit lane products over the vector element
+// pairs x[k], y[k]: for every k, lane[i] += x[k].w[i]*y[k].w[i].
+// Bit-identical to per-element MACW by the same wrap-congruence argument:
+// each product is < 2^30 and there are at most MaxVL=16 of them, so the
+// full-width partial sums stay < 2^34 — no int64 overflow before the
+// single final 48-bit wrap.
+func (a *Acc) MACWV(x, y []uint64) {
+	var s0, s1, s2, s3 int64
+	for k := range x {
+		xv, yv := x[k], y[k]
+		s0 += GetS(xv, W16, 0) * GetS(yv, W16, 0)
+		s1 += GetS(xv, W16, 1) * GetS(yv, W16, 1)
+		s2 += GetS(xv, W16, 2) * GetS(yv, W16, 2)
+		s3 += GetS(xv, W16, 3) * GetS(yv, W16, 3)
+	}
+	a.Lanes[0] = wrap(a.Lanes[0]+s0, 48)
+	a.Lanes[1] = wrap(a.Lanes[1]+s1, 48)
+	a.Lanes[2] = wrap(a.Lanes[2]+s2, 48)
+	a.Lanes[3] = wrap(a.Lanes[3]+s3, 48)
+}
+
+// ACCWV accumulates signed 16-bit lanes over the vector elements x[k]:
+// for every k, lane[i] += x[k].w[i]. Bit-identical to per-element ACCW
+// (wrap congruence; ≤ 16 halfwords per lane cannot overflow int64).
+func (a *Acc) ACCWV(x []uint64) {
+	var s0, s1, s2, s3 int64
+	for k := range x {
+		xv := x[k]
+		s0 += GetS(xv, W16, 0)
+		s1 += GetS(xv, W16, 1)
+		s2 += GetS(xv, W16, 2)
+		s3 += GetS(xv, W16, 3)
+	}
+	a.Lanes[0] = wrap(a.Lanes[0]+s0, 48)
+	a.Lanes[1] = wrap(a.Lanes[1]+s1, 48)
+	a.Lanes[2] = wrap(a.Lanes[2]+s2, 48)
+	a.Lanes[3] = wrap(a.Lanes[3]+s3, 48)
+}
+
 // Sum reduces the accumulator to a single scalar in the given mode
 // (the "R=SUM(A)" operation). Byte mode sums eight lanes, halfword mode
 // four. Only one vector lane performs this final reduction in hardware;

@@ -130,3 +130,64 @@ func TestPropAccMACWMatchesMAdd(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// seedAcc pre-loads an accumulator with arbitrary lane values wrapped to
+// the architectural lane width, so the batched-vs-per-element properties
+// also cover accumulation on top of prior (possibly wrapped) state.
+func seedAcc(seed [8]int64, bits uint) Acc {
+	var a Acc
+	for i, v := range seed {
+		a.Lanes[i] = wrap(v, bits)
+	}
+	return a
+}
+
+func TestPropAccSADBVEqualsPerElement(t *testing.T) {
+	// One batched SADBV over a vector slice is bit-identical to calling
+	// SADB once per element pair, from any starting accumulator state.
+	f := func(x, y [16]uint64, n uint8, seed [8]int64) bool {
+		vl := int(n%16) + 1
+		batched := seedAcc(seed, 24)
+		element := batched
+		batched.SADBV(x[:vl], y[:vl])
+		for k := 0; k < vl; k++ {
+			element.SADB(x[k], y[k])
+		}
+		return batched == element
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropAccMACWVEqualsPerElement(t *testing.T) {
+	f := func(x, y [16]uint64, n uint8, seed [8]int64) bool {
+		vl := int(n%16) + 1
+		batched := seedAcc(seed, 48)
+		element := batched
+		batched.MACWV(x[:vl], y[:vl])
+		for k := 0; k < vl; k++ {
+			element.MACW(x[k], y[k])
+		}
+		return batched == element
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropAccACCWVEqualsPerElement(t *testing.T) {
+	f := func(x [16]uint64, n uint8, seed [8]int64) bool {
+		vl := int(n%16) + 1
+		batched := seedAcc(seed, 48)
+		element := batched
+		batched.ACCWV(x[:vl])
+		for k := 0; k < vl; k++ {
+			element.ACCW(x[k])
+		}
+		return batched == element
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

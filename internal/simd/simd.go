@@ -233,8 +233,26 @@ func SubU(a, b uint64, w Width) uint64 {
 }
 
 // MulLo multiplies lanes and keeps the low half of each product (PMULLW).
+// The low half of a product is the same for signed and unsigned operands,
+// so every lane is one plain unsigned multiply; the unrolled forms keep
+// the hot path off the generic per-lane mapping.
 func MulLo(a, b uint64, w Width) uint64 {
-	return mapLanesS(a, b, w, func(x, y int64) int64 { return x * y })
+	var r uint64
+	switch w {
+	case W8:
+		for i := 0; i < 64; i += 8 {
+			r |= ((a >> i & 0xFF) * (b >> i & 0xFF) & 0xFF) << i
+		}
+	case W16:
+		for i := 0; i < 64; i += 16 {
+			r |= ((a >> i & 0xFFFF) * (b >> i & 0xFFFF) & 0xFFFF) << i
+		}
+	case W32:
+		r = (a&0xFFFFFFFF)*(b&0xFFFFFFFF)&0xFFFFFFFF | (a>>32)*(b>>32)<<32
+	default:
+		r = a * b
+	}
+	return r
 }
 
 // MulHi multiplies signed lanes and keeps the high half (PMULHW).
@@ -292,11 +310,17 @@ func MaxS(a, b uint64, w Width) uint64 {
 	return (b & m) | (a &^ m)
 }
 
-// AbsDiffU computes the lane-wise unsigned absolute difference |a-b| by
-// computing both partitioned differences and selecting per lane.
+// AbsDiffU computes the lane-wise unsigned absolute difference |a-b|:
+// one partitioned difference, then a conditional per-lane negate. In a
+// borrowing lane the wrapped difference d is b-a negated mod 2^bits, so
+// |a-b| = ^d + 1 there — computed as (d^m) + (m&lsb), where the add can
+// never carry across lanes because a borrowing lane has d != 0 (a < b
+// implies a - b is a nonzero residue), hence ^d + 1 <= lane max.
 func AbsDiffU(a, b uint64, w Width) uint64 {
-	m := ltUMask(a, b, w)
-	return (Sub(a, b, w) &^ m) | (Sub(b, a, w) & m)
+	l, h := laneMasks(w)
+	d := Sub(a, b, w)
+	m := expand(((^a&b)|(^(a^b)&d))&h, w)
+	return (d ^ m) + (m & l)
 }
 
 // SAD computes the sum of absolute differences of the eight unsigned bytes
